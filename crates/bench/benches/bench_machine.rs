@@ -1,0 +1,24 @@
+//! Criterion end-to-end machine benchmarks: whole-model simulation
+//! throughput for the reference machine and the PARROT machine, plus the
+//! raw OOO core cycle loop.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use parrot_core::{simulate, Model};
+use parrot_workloads::{app_by_name, Workload};
+
+fn bench_models(c: &mut Criterion) {
+    let wl = Workload::build(&app_by_name("gzip").expect("app"));
+    let insts = 30_000u64;
+    let mut g = c.benchmark_group("machine");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(insts));
+    for m in [Model::N, Model::W, Model::TON, Model::TOW, Model::TOS] {
+        g.bench_function(format!("simulate_{}_30k", m.name()), |b| {
+            b.iter_batched(|| &wl, |wl| simulate(m, wl, insts).cycles, BatchSize::SmallInput)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Quick diagnostic: per-unit energy shares for the models on one
+//! application (the raw material behind Fig 4.11 and the calibration).
+//!
+//! Run with: `cargo run --release -p parrot-bench --bin breakdown`
+
+use parrot_core::{simulate, Model};
+use parrot_workloads::{app_by_name, Workload};
+
+fn main() {
+    let wl = Workload::build(&app_by_name("gcc").unwrap());
+    for m in [Model::N, Model::W, Model::TN, Model::TW, Model::TON] {
+        let r = simulate(m, &wl, 150_000);
+        print!("{:4} E={:>10.0}  ", m.name(), r.energy);
+        for (label, e) in &r.energy_by_unit {
+            let share = e / r.energy * 100.0;
+            if share >= 1.0 {
+                print!("{label}={share:.0}% ");
+            }
+        }
+        println!();
+    }
+}

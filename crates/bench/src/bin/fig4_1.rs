@@ -1,0 +1,17 @@
+//! Figure 4.1: IPC improvement over the baseline of the same width
+//! (TN/TON vs N; TW/TOW vs W). Paper: TN ≈ +2%, TW ≈ +7%, TON ≈ +17%,
+//! TOW ≈ +25%; SpecInt and multimedia benefit least from the trace cache
+//! alone.
+
+use parrot_bench::{pct, print_table, ResultSet};
+use parrot_core::Model;
+
+fn main() {
+    let set = ResultSet::load_or_run();
+    let models = [Model::TN, Model::TON, Model::TW, Model::TOW];
+    print_table("Fig 4.1 — IPC improvement over baseline of same width", &models, &set, |suite, m| {
+        pct(set.suite_ratio(suite, m, m.same_width_baseline(), |r| r.ipc()))
+    });
+    parrot_bench::print_killers(&set, &models, |r, b| pct(r.ipc() / b.ipc()));
+    println!("paper reference (means): TN +2%, TW +7%, TON +17%, TOW +25%");
+}

@@ -1,0 +1,53 @@
+//! Figure 4.11: energy breakdown by component for N, TON and TOS on three
+//! contrasting applications (flash, swim, gcc). Paper observations: the
+//! front-end share shrinks from N to TON to TOS, execution's share grows
+//! on wider machines, and total trace-manipulation energy (filters +
+//! construction + optimization) is on the order of 10%.
+
+use parrot_bench::ResultSet;
+use parrot_core::Model;
+
+fn main() {
+    let set = ResultSet::load_or_run();
+    let apps = ["flash", "swim", "gcc"];
+    let models = [Model::N, Model::TON, Model::TOS];
+    for app in apps {
+        println!("## Fig 4.11 — energy breakdown: {app}");
+        print!("{:<10}", "unit");
+        for m in models {
+            print!("{:>10}", m.name());
+        }
+        println!();
+        let runs: Vec<_> = models.iter().map(|m| set.get(*m, app)).collect();
+        for (label, _) in &runs[0].energy_by_unit {
+            let shares: Vec<f64> = runs.iter().map(|r| r.unit_share(label) * 100.0).collect();
+            if shares.iter().any(|s| *s >= 0.5) {
+                print!("{label:<10}");
+                for s in &shares {
+                    print!("{s:>9.1}%");
+                }
+                println!();
+            }
+        }
+        // Aggregates the paper highlights.
+        let fe = |r: &parrot_core::SimReport| {
+            (r.unit_share("fetch") + r.unit_share("decode") + r.unit_share("bpred")) * 100.0
+        };
+        let tm = |r: &parrot_core::SimReport| {
+            (r.unit_share("tcache") + r.unit_share("filters") + r.unit_share("optimizer")
+                + r.unit_share("tpred"))
+                * 100.0
+        };
+        print!("{:<10}", "frontend*");
+        for r in &runs {
+            print!("{:>9.1}%", fe(r));
+        }
+        println!();
+        print!("{:<10}", "trace-mgmt");
+        for r in &runs {
+            print!("{:>9.1}%", tm(r));
+        }
+        println!("\n");
+    }
+    println!("paper shape: front-end share shrinks N → TON → TOS; trace manipulation ≈10%");
+}

@@ -1,0 +1,15 @@
+//! Figure 4.2: increased energy consumption over the baseline of the same
+//! width. Paper: TN ≈ 0%, TON ≈ +3% over N; all wide-machine extensions
+//! save energy (TW and TOW below W, TOW ≈ −18%).
+
+use parrot_bench::{pct, print_table, ResultSet};
+use parrot_core::Model;
+
+fn main() {
+    let set = ResultSet::load_or_run();
+    let models = [Model::TN, Model::TON, Model::TW, Model::TOW];
+    print_table("Fig 4.2 — energy increase over baseline of same width", &models, &set, |suite, m| {
+        pct(set.suite_ratio(suite, m, m.same_width_baseline(), |r| r.energy))
+    });
+    println!("paper reference (means): TON +3% over N; TOW −18% over W");
+}

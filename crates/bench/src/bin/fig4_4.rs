@@ -1,0 +1,14 @@
+//! Figure 4.4: IPC of every model relative to the narrow baseline N.
+//! Paper: W ≈ +15%, TON slightly above W, TOW ≈ +45%.
+
+use parrot_bench::{pct, print_table, ResultSet};
+use parrot_core::Model;
+
+fn main() {
+    let set = ResultSet::load_or_run();
+    let models = [Model::W, Model::TN, Model::TW, Model::TON, Model::TOW, Model::TOS];
+    print_table("Fig 4.4 — IPC relative to N", &models, &set, |suite, m| {
+        pct(set.suite_ratio(suite, m, Model::N, |r| r.ipc()))
+    });
+    println!("paper reference (means): TON ≳ W; TOW ≈ +45% over N");
+}

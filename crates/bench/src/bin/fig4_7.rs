@@ -1,0 +1,25 @@
+//! Figure 4.7: front-end predictability. Paper: hot-code trace mispredict
+//! rate is below N's branch mispredict rate, while the residual cold-code
+//! branch mispredict rate of the PARROT machine is the highest of the
+//! three — hot traces are the predictable part of the program.
+
+use parrot_bench::{groups, ResultSet};
+use parrot_core::Model;
+
+fn main() {
+    let set = ResultSet::load_or_run();
+    println!("## Fig 4.7 — misprediction rates (N 4K bpred vs TON 2K+2K)");
+    println!(
+        "{:<12}{:>16}{:>18}{:>16}",
+        "group", "N branch", "TON cold branch", "TON trace"
+    );
+    for (label, suite) in groups() {
+        let n_bmr = set.suite_metric(suite, Model::N, |r| r.branch_mispredict_rate().max(1e-6));
+        let cold = set.suite_metric(suite, Model::TON, |r| r.branch_mispredict_rate().max(1e-6));
+        let tmr = set.suite_metric(suite, Model::TON, |r| {
+            r.trace.as_ref().map(|t| t.trace_mispredict_rate()).unwrap_or(0.0).max(1e-6)
+        });
+        println!("{label:<12}{:>15.2}%{:>17.2}%{:>15.2}%", n_bmr * 100.0, cold * 100.0, tmr * 100.0);
+    }
+    println!("\npaper shape: trace < N branch < TON cold branch");
+}

@@ -1,0 +1,19 @@
+//! Figure 4.8: trace-cache coverage (fraction of committed instructions
+//! served by the hot pipeline). Paper: ≈90% for SpecFP, 60–70% for the
+//! control-intensive SpecInt.
+
+use parrot_bench::{groups, ResultSet};
+use parrot_core::Model;
+
+fn main() {
+    let set = ResultSet::load_or_run();
+    println!("## Fig 4.8 — coverage (TON)");
+    println!("{:<12}{:>12}", "group", "coverage");
+    for (label, suite) in groups() {
+        let cov = set.suite_metric(suite, Model::TON, |r| {
+            r.trace.as_ref().map(|t| t.coverage).unwrap_or(0.0).max(1e-6)
+        });
+        println!("{label:<12}{:>11.1}%", cov * 100.0);
+    }
+    println!("\npaper reference: SpecFP ≈ 90%, SpecInt 60–70%");
+}

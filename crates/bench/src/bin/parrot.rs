@@ -1,0 +1,145 @@
+//! `parrot` — the command-line front door to the simulator.
+//!
+//! ```console
+//! $ parrot list-apps                      # the 44 registered applications
+//! $ parrot list-models                    # the 7 machine models
+//! $ parrot run TON gcc --insts 200000     # one simulation, human-readable
+//! $ parrot run TON gcc --json             # machine-readable report
+//! $ parrot compare N TON gcc              # side-by-side with deltas
+//! $ parrot sweep gcc                      # all models on one application
+//! ```
+//!
+//! Run via `cargo run --release -p parrot-bench --bin parrot -- <args>`.
+
+use parrot_core::{simulate, Model, SimReport};
+use parrot_energy::metrics::cmpw_relative;
+use parrot_workloads::{all_apps, app_by_name, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list-apps") => list_apps(),
+        Some("list-models") => list_models(),
+        Some("run") => run(&args[1..]),
+        Some("compare") => compare(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]"
+    );
+    std::process::exit(2);
+}
+
+fn flag_insts(args: &[String]) -> u64 {
+    args.windows(2)
+        .find(|w| w[0] == "--insts")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(200_000)
+}
+
+fn parse_model(s: &str) -> Model {
+    Model::from_name(s).unwrap_or_else(|| {
+        eprintln!("unknown model '{s}'; known: N W TN TW TON TOW TOS");
+        std::process::exit(2);
+    })
+}
+
+fn parse_app(s: &str) -> Workload {
+    let profile = app_by_name(s).unwrap_or_else(|| {
+        eprintln!("unknown app '{s}'; run `parrot list-apps`");
+        std::process::exit(2);
+    });
+    Workload::build(&profile)
+}
+
+fn list_apps() {
+    for suite in parrot_workloads::Suite::ALL {
+        println!("{suite}:");
+        for a in all_apps().iter().filter(|a| a.suite == suite) {
+            println!("  {}", a.name);
+        }
+    }
+}
+
+fn list_models() {
+    for m in Model::ALL {
+        let c = m.config();
+        println!(
+            "{:<5} {}-wide{}{}",
+            m.name(),
+            c.core.issue_width,
+            if m.has_trace_cache() { ", trace cache" } else { "" },
+            if m.has_optimizer() { ", dynamic optimizer" } else { "" },
+        );
+    }
+}
+
+fn print_human(r: &SimReport) {
+    println!("{} on {} ({})", r.model, r.app, r.suite);
+    println!("  insts            {}", r.insts);
+    println!("  uops             {}", r.uops);
+    println!("  cycles           {}", r.cycles);
+    println!("  IPC              {:.3}", r.ipc());
+    println!("  energy           {:.0}", r.energy);
+    println!("  branch mispred   {:.2}%", r.branch_mispredict_rate() * 100.0);
+    if let Some(t) = &r.trace {
+        println!("  coverage         {:.1}%", t.coverage * 100.0);
+        println!("  trace mispred    {:.2}%", t.trace_mispredict_rate() * 100.0);
+        if let Some(o) = &t.opt {
+            println!("  uop reduction    {:.1}%", o.uop_reduction * 100.0);
+        }
+    }
+}
+
+fn run(args: &[String]) {
+    let [model, app, ..] = args else { return usage() };
+    let wl = parse_app(app);
+    let r = simulate(parse_model(model), &wl, flag_insts(args));
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&r).expect("serializable report"));
+    } else {
+        print_human(&r);
+    }
+}
+
+fn compare(args: &[String]) {
+    let [a, b, app, ..] = args else { return usage() };
+    let wl = parse_app(app);
+    let insts = flag_insts(args);
+    let ra = simulate(parse_model(a), &wl, insts);
+    let rb = simulate(parse_model(b), &wl, insts);
+    println!("{:<20}{:>12}{:>12}{:>10}", app, ra.model, rb.model, "delta");
+    let row = |label: &str, x: f64, y: f64, pct: bool| {
+        let delta = if x != 0.0 { (y / x - 1.0) * 100.0 } else { 0.0 };
+        if pct {
+            println!("{label:<20}{x:>11.2}%{y:>11.2}%{delta:>+9.1}%");
+        } else {
+            println!("{label:<20}{x:>12.3}{y:>12.3}{delta:>+9.1}%");
+        }
+    };
+    row("IPC", ra.ipc(), rb.ipc(), false);
+    row("energy", ra.energy, rb.energy, false);
+    row("branch mispredict", ra.branch_mispredict_rate() * 100.0, rb.branch_mispredict_rate() * 100.0, true);
+    let cmpw = cmpw_relative(&ra.summary(), &rb.summary());
+    println!("{:<20}{:>34}{:>+9.1}%", "CMPW (b vs a)", "", (cmpw - 1.0) * 100.0);
+}
+
+fn sweep(args: &[String]) {
+    let [app, ..] = args else { return usage() };
+    let wl = parse_app(app);
+    let insts = flag_insts(args);
+    println!("{:<6}{:>9}{:>12}{:>10}{:>10}", "model", "IPC", "energy", "cov", "tmr");
+    for m in Model::ALL {
+        let r = simulate(m, &wl, insts);
+        let (cov, tmr) = r
+            .trace
+            .as_ref()
+            .map(|t| (t.coverage * 100.0, t.trace_mispredict_rate() * 100.0))
+            .unwrap_or((0.0, 0.0));
+        println!("{:<6}{:>9.3}{:>12.0}{:>9.1}%{:>9.2}%", m.name(), r.ipc(), r.energy, cov, tmr);
+    }
+}

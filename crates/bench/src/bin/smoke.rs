@@ -1,0 +1,30 @@
+//! Quick diagnostic sweep: every model on four contrasting applications,
+//! one line per run with the calibration-relevant statistics (IPC, energy,
+//! coverage, mispredict rates, uop reduction, pipeline-balance counters).
+//!
+//! Run with: `cargo run --release -p parrot-bench --bin smoke`
+
+use parrot_core::{simulate, Model};
+use parrot_workloads::{app_by_name, Workload};
+
+fn main() {
+    let apps = ["gcc", "swim", "flash", "perlbench"];
+    for app in apps {
+        let wl = Workload::build(&app_by_name(app).unwrap());
+        for m in Model::ALL {
+            let t0 = std::time::Instant::now();
+            let r = simulate(m, &wl, 150_000);
+            let cov = r.trace.as_ref().map(|t| t.coverage).unwrap_or(0.0);
+            let tmr = r.trace.as_ref().map(|t| t.trace_mispredict_rate()).unwrap_or(0.0);
+            let ur = r.trace.as_ref().and_then(|t| t.opt.as_ref()).map(|o| o.uop_reduction).unwrap_or(0.0);
+            println!(
+                "{:10} {:4} ipc={:.3} E={:>10.0} cov={:.2} bmr={:.3} tmr={:.3} uopred={:.3} starve={:.2} blocked={:.2} cyc={} ({:.1}s)",
+                app, m.name(), r.ipc(), r.energy, cov, r.branch_mispredict_rate(), tmr, ur,
+                r.iq_empty_cycles as f64 / r.cycles as f64,
+                r.issue_blocked_cycles as f64 / r.cycles as f64,
+                r.cycles, t0.elapsed().as_secs_f32()
+            );
+        }
+        println!();
+    }
+}

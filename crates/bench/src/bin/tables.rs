@@ -1,0 +1,46 @@
+//! Tables 3.1 and 3.2: the configuration space and per-model settings,
+//! printed from the live configurations (so the tables cannot drift from
+//! the code).
+
+use parrot_core::Model;
+
+fn main() {
+    println!("## Table 3.1 — configuration space");
+    println!("{:<10}{:>14}{:>14}", "", "narrow (4w)", "wide (8w)");
+    println!("{:<10}{:>14}{:>14}", "base", "N", "W");
+    println!("{:<10}{:>14}{:>14}", "+traces", "TN", "TW");
+    println!("{:<10}{:>14}{:>14}", "+opt", "TON", "TOW");
+    println!("{:<10}{:>28}", "split", "TOS (cold 4w / hot 8w)");
+    println!();
+    println!("## Table 3.2 — microarchitectural settings");
+    println!(
+        "{:<7}{:>7}{:>7}{:>7}{:>6}{:>6}{:>8}{:>9}{:>8}{:>9}{:>7}",
+        "model", "fetch", "issue", "commit", "rob", "iq", "bpred", "tcache", "tpred", "optimize", "area"
+    );
+    for m in Model::ALL {
+        let c = m.config();
+        let t = c.trace.as_ref();
+        println!(
+            "{:<7}{:>7}{:>7}{:>7}{:>6}{:>6}{:>8}{:>9}{:>8}{:>9}{:>7.2}",
+            m.name(),
+            c.core.fetch_width,
+            c.core.issue_width,
+            c.core.commit_width,
+            c.core.rob_size,
+            c.core.iq_size,
+            c.bpred.entries,
+            t.map(|t| t.tcache.frames().to_string()).unwrap_or_else(|| "-".into()),
+            t.map(|t| t.tpred.entries.to_string()).unwrap_or_else(|| "-".into()),
+            t.and_then(|t| t.optimizer).map(|_| "full".to_string()).unwrap_or_else(|| "-".into()),
+            c.energy.core_area,
+        );
+        if let Some(hc) = c.hot_core {
+            println!(
+                "{:<7}{:>7}{:>7}{:>7}{:>6}{:>6}   (hot core)",
+                "  +hot", hc.fetch_width, hc.issue_width, hc.commit_width, hc.rob_size, hc.iq_size
+            );
+        }
+    }
+    println!("\nshared: L1I 32K/4w 2cy, L1D 32K/8w 2cy, L2 1M/8w 10cy, mem 150cy;");
+    println!("filters: hot 12, blazing 48; frames 64 uops; optimizer 100cy occupancy");
+}

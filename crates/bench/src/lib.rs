@@ -1,0 +1,255 @@
+//! # parrot-bench
+//!
+//! The experiment harness: runs every (model × application) simulation of
+//! the study, caches results, aggregates per-suite geometric means, and
+//! formats the tables behind every figure of the paper's evaluation (§4).
+//!
+//! Figure binaries (`fig4_1` … `fig4_11`, `tables`, `headline`) read the
+//! shared result cache; `reproduce` runs everything and emits an
+//! EXPERIMENTS.md-ready report.
+
+use parrot_core::{simulate, Model, SimReport};
+use parrot_energy::metrics::{cmpw_relative, geo_mean};
+use parrot_workloads::{all_apps, AppProfile, Suite, Workload};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Default committed-instruction budget per (model, app) run. Override with
+/// `PARROT_INSTS`.
+pub const DEFAULT_INSTS: u64 = 200_000;
+
+/// The instruction budget in effect.
+pub fn insts_budget() -> u64 {
+    std::env::var("PARROT_INSTS").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTS)
+}
+
+/// All results of a full sweep, keyed by (model, app).
+pub struct ResultSet {
+    pub insts: u64,
+    runs: BTreeMap<(String, String), SimReport>,
+}
+
+impl ResultSet {
+    /// Load the cached sweep for the current budget, or run it (in
+    /// parallel) and cache it under `results/`.
+    pub fn load_or_run() -> ResultSet {
+        let insts = insts_budget();
+        let path = cache_path(insts);
+        if let Ok(bytes) = std::fs::read(&path) {
+            if let Ok(runs) = serde_json::from_slice::<Vec<SimReport>>(&bytes) {
+                let map = runs
+                    .into_iter()
+                    .map(|r| ((r.model.clone(), r.app.clone()), r))
+                    .collect();
+                return ResultSet { insts, runs: map };
+            }
+        }
+        let set = Self::run_sweep(insts);
+        let all: Vec<&SimReport> = set.runs.values().collect();
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Ok(json) = serde_json::to_vec_pretty(&all) {
+            let _ = std::fs::write(&path, json);
+        }
+        set
+    }
+
+    /// Run the full (model × app) sweep with a simple thread pool.
+    pub fn run_sweep(insts: u64) -> ResultSet {
+        let apps = all_apps();
+        let results: Mutex<BTreeMap<(String, String), SimReport>> = Mutex::new(BTreeMap::new());
+        let next: Mutex<usize> = Mutex::new(0);
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = {
+                        let mut n = next.lock().expect("queue lock");
+                        let i = *n;
+                        *n += 1;
+                        i
+                    };
+                    if i >= apps.len() {
+                        break;
+                    }
+                    let wl = Workload::build(&apps[i]);
+                    for m in Model::ALL {
+                        let r = simulate(m, &wl, insts);
+                        results
+                            .lock()
+                            .expect("results lock")
+                            .insert((r.model.clone(), r.app.clone()), r);
+                    }
+                });
+            }
+        });
+        ResultSet { insts, runs: results.into_inner().expect("results") }
+    }
+
+    /// The report for (model, app).
+    pub fn get(&self, model: Model, app: &str) -> &SimReport {
+        self.runs
+            .get(&(model.name().to_string(), app.to_string()))
+            .unwrap_or_else(|| panic!("missing run {model}/{app}"))
+    }
+
+    /// All application profiles in suite order.
+    pub fn apps(&self) -> Vec<AppProfile> {
+        all_apps()
+    }
+
+    /// Per-app ratio `f(model run) / f(base run)`, geometrically averaged
+    /// over a suite (or all apps when `suite` is `None`).
+    pub fn suite_ratio(
+        &self,
+        suite: Option<Suite>,
+        model: Model,
+        base: Model,
+        f: impl Fn(&SimReport) -> f64,
+    ) -> f64 {
+        let vals: Vec<f64> = self
+            .apps()
+            .iter()
+            .filter(|a| suite.map_or(true, |s| a.suite == s))
+            .map(|a| {
+                let num = f(self.get(model, a.name));
+                let den = f(self.get(base, a.name));
+                if den == 0.0 {
+                    1.0
+                } else {
+                    num / den
+                }
+            })
+            .collect();
+        geo_mean(&vals)
+    }
+
+    /// Geometric mean of a per-run metric over a suite (or all apps).
+    pub fn suite_metric(&self, suite: Option<Suite>, model: Model, f: impl Fn(&SimReport) -> f64) -> f64 {
+        let vals: Vec<f64> = self
+            .apps()
+            .iter()
+            .filter(|a| suite.map_or(true, |s| a.suite == s))
+            .map(|a| f(self.get(model, a.name)))
+            .collect();
+        geo_mean(&vals)
+    }
+
+    /// CMPW of `model` relative to `base`, suite geomean.
+    pub fn suite_cmpw(&self, suite: Option<Suite>, model: Model, base: Model) -> f64 {
+        let vals: Vec<f64> = self
+            .apps()
+            .iter()
+            .filter(|a| suite.map_or(true, |s| a.suite == s))
+            .map(|a| {
+                cmpw_relative(&self.get(base, a.name).summary(), &self.get(model, a.name).summary())
+            })
+            .collect();
+        geo_mean(&vals)
+    }
+}
+
+fn cache_path(insts: u64) -> PathBuf {
+    PathBuf::from(env_root()).join(format!("results/sweep_{insts}.json"))
+}
+
+fn env_root() -> String {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| format!("{d}/../.."))
+        .unwrap_or_else(|_| ".".to_string())
+}
+
+/// Column groups used by the per-suite figures: each suite plus the
+/// overall mean, plus the paper's three "killer applications".
+pub fn groups() -> Vec<(String, Option<Suite>)> {
+    let mut g: Vec<(String, Option<Suite>)> =
+        Suite::ALL.iter().map(|s| (s.label().to_string(), Some(*s))).collect();
+    g.push(("Mean".to_string(), None));
+    g
+}
+
+/// Format a percent-delta (`ratio` relative to 1.0).
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+/// Print a standard figure table: rows = models, columns = suites + mean,
+/// values from `cell(group, model)`.
+pub fn print_table(
+    title: &str,
+    models: &[Model],
+    set: &ResultSet,
+    cell: impl Fn(Option<Suite>, Model) -> String,
+) {
+    let _ = set;
+    println!("## {title}");
+    print!("{:<8}", "model");
+    for (label, _) in groups() {
+        print!("{label:>12}");
+    }
+    println!();
+    for m in models {
+        print!("{:<8}", m.name());
+        for (_, suite) in groups() {
+            print!("{:>12}", cell(suite, *m));
+        }
+        println!();
+    }
+    println!();
+}
+
+/// Per-killer-app detail line used by Figs 4.1–4.3.
+pub fn print_killers(set: &ResultSet, models: &[Model], f: impl Fn(&SimReport, &SimReport) -> String) {
+    println!("killer applications:");
+    for k in parrot_workloads::killer_apps() {
+        print!("{k:<12}");
+        for m in models {
+            let base = m.same_width_baseline();
+            let s = f(set.get(*m, k), set.get(base, k));
+            print!("{:>12}", format!("{}:{s}", m.name()));
+        }
+        println!();
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_deltas() {
+        assert_eq!(pct(1.0), "+0.0%");
+        assert_eq!(pct(1.17), "+17.0%");
+        assert_eq!(pct(0.82), "-18.0%");
+    }
+
+    #[test]
+    fn groups_cover_all_suites_plus_mean() {
+        let g = groups();
+        assert_eq!(g.len(), Suite::ALL.len() + 1);
+        assert_eq!(g.last().expect("mean").0, "Mean");
+        assert!(g.last().expect("mean").1.is_none());
+    }
+
+    #[test]
+    fn insts_budget_reads_env() {
+        // Default without the variable (other tests may set it; only check
+        // that parsing falls back sanely).
+        let b = insts_budget();
+        assert!(b > 0);
+    }
+
+    #[test]
+    fn sweep_runs_and_aggregates_on_tiny_budget() {
+        let set = ResultSet::run_sweep(2_000);
+        let r = set.get(Model::N, "gcc");
+        assert_eq!(r.insts, 2_000);
+        let ratio = set.suite_ratio(None, Model::N, Model::N, |r| r.ipc());
+        assert!((ratio - 1.0).abs() < 1e-12, "self-ratio is 1");
+        let cmpw = set.suite_cmpw(Some(Suite::SpecFp), Model::N, Model::N);
+        assert!((cmpw - 1.0).abs() < 1e-12);
+    }
+}

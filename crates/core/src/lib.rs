@@ -1,0 +1,22 @@
+//! # parrot-core
+//!
+//! The top of the PARROT reproduction stack: machine models (Table 3.1/3.2),
+//! the integrated dual-pipeline machine ([`Machine`]), and simulation
+//! reports ([`SimReport`]) feeding every figure of the evaluation (§4).
+//!
+//! ```no_run
+//! use parrot_core::{simulate, Model};
+//! use parrot_workloads::{app_by_name, Workload};
+//!
+//! let wl = Workload::build(&app_by_name("gcc").expect("registered"));
+//! let report = simulate(Model::TON, &wl, 100_000);
+//! println!("IPC {:.2}, energy {:.0}", report.ipc(), report.energy);
+//! ```
+
+mod machine;
+mod models;
+mod report;
+
+pub use machine::{simulate, simulate_config, Machine};
+pub use models::{MachineConfig, Model, TraceConfig};
+pub use report::{OptReport, SimReport, TraceReport};

@@ -1,0 +1,595 @@
+//! The PARROT machine: dual front end (cold I-cache path + hot trace-cache
+//! path), fetch selector, background promotion pipeline (selection → hot
+//! filter → construction → blazing filter → optimization), atomic-trace
+//! execution with abort/rollback, and unified or split execution cores.
+//!
+//! Trace-driven discipline (§3): the committed oracle stream drives fetch;
+//! mispredictions and trace aborts manifest as stalls, flush energy and —
+//! for aborts — a rollback that re-executes the trace's instructions on the
+//! cold pipeline, exactly matching the paper's atomic-commit semantics.
+
+use crate::models::{MachineConfig, Model, TraceConfig};
+use crate::report::{OptReport, SimReport, TraceReport};
+use parrot_energy::{EnergyAccount, EnergyModel, Event};
+use parrot_isa::{Uop, UopKind};
+use parrot_opt::Optimizer;
+use parrot_trace::{
+    construct_frame, CounterFilter, OptLevel, TraceCache, TraceCandidate, TracePredictor, TraceSelector,
+};
+use parrot_uarch::core::{DispatchUop, OooCore};
+use parrot_uarch::frontend::ColdFrontEnd;
+use parrot_uarch::oracle::OracleStream;
+use parrot_workloads::Workload;
+use std::collections::VecDeque;
+
+/// Which pipeline a uop belongs to (cores differ only in split models).
+/// `HotOpt` marks uops of *optimized* traces: partial renaming was already
+/// performed by the optimizer, so they rename at trace-fetch width instead
+/// of the cold rename width (the paper's "simplified renaming" benefit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    Cold,
+    Hot,
+    HotOpt,
+}
+
+/// Extra cycles charged when a split machine transfers live register state
+/// between its cores.
+const SWITCH_PENALTY: u64 = 3;
+/// A split machine may switch sides once the retiring core has nearly
+/// drained (last-writer/first-reader forwarding covers the stragglers).
+const SWITCH_DRAIN_THRESHOLD: u32 = 12;
+/// Live registers communicated on a state switch (int + fp estimate).
+const SWITCH_REGS: u64 = 16;
+
+struct HotRun {
+    dus: Vec<DispatchUop>,
+    pos: usize,
+    optimized: bool,
+}
+
+struct TraceState {
+    cfg: TraceConfig,
+    selector: TraceSelector,
+    hot_filter: CounterFilter,
+    blazing: CounterFilter,
+    tc: TraceCache,
+    tpred: TracePredictor,
+    optimizer: Option<Optimizer>,
+    hot_run: Option<HotRun>,
+    cand_buf: Vec<TraceCandidate>,
+    hot_insts: u64,
+    cold_insts: u64,
+    aborts: u64,
+    entries: u64,
+    constructed: u64,
+    tpred_correct: u64,
+    tpred_issued: u64,
+    pred_aborts: u64,
+    attempts: u64,
+    no_variant: u64,
+}
+
+impl TraceState {
+    fn new(cfg: TraceConfig) -> TraceState {
+        TraceState {
+            selector: TraceSelector::new(cfg.selection),
+            hot_filter: CounterFilter::new(cfg.hot_filter),
+            blazing: CounterFilter::new(cfg.blazing_filter),
+            tc: TraceCache::new(cfg.tcache),
+            tpred: TracePredictor::new(cfg.tpred),
+            optimizer: cfg.optimizer.map(Optimizer::new),
+            hot_run: None,
+            cand_buf: Vec::new(),
+            hot_insts: 0,
+            cold_insts: 0,
+            aborts: 0,
+            entries: 0,
+            constructed: 0,
+            tpred_correct: 0,
+            tpred_issued: 0,
+            pred_aborts: 0,
+            attempts: 0,
+            no_variant: 0,
+            cfg,
+        }
+    }
+
+    /// Background phase for one committed instruction: TID selection, trace
+    /// predictor training, hot filtering and trace construction.
+    fn observe_inst(
+        &mut self,
+        d: &parrot_workloads::DynInst,
+        seq: u64,
+        wl: &Workload,
+        model: &EnergyModel,
+        acct: &mut EnergyAccount,
+    ) {
+        let kind = wl.program.inst(d.inst).kind;
+        acct.emit(model, Event::SelectorStep);
+        self.selector.step(d, &kind, seq, &mut self.cand_buf);
+        while let Some(cand) = self.cand_buf.pop() {
+            acct.emit(model, Event::TpredUpdate);
+            self.tpred.observe(&cand.tid);
+            acct.emit(model, Event::HotFilterAccess);
+            let count = self.hot_filter.bump(cand.tid.key());
+            if self.tc.contains(&cand.tid) {
+                // The exact recorded path just executed: the frame is live.
+                self.tc.revalidate(&cand.tid);
+            } else if count >= self.cfg.hot_filter.threshold {
+                let frame = construct_frame(&cand, &wl.decoded);
+                acct.emit_n(model, Event::TcWrite, frame.uops.len() as u64);
+                self.tc.insert(frame);
+                self.constructed += 1;
+            }
+        }
+    }
+}
+
+/// One simulated machine instance bound to a workload.
+pub struct Machine<'w> {
+    label: String,
+    wl: &'w Workload,
+    oracle: OracleStream<'w>,
+    mem: parrot_uarch::cache::MemHierarchy,
+    cores: Vec<OooCore>,
+    frontend: ColdFrontEnd,
+    queue: VecDeque<(Side, DispatchUop)>,
+    cold_buf: VecDeque<DispatchUop>,
+    cold_model: EnergyModel,
+    hot_model: EnergyModel,
+    acct: EnergyAccount,
+    trace: Option<TraceState>,
+    now: u64,
+    active_side: Side,
+    dispatch_blocked_until: u64,
+    switches: u64,
+    queue_cap: usize,
+    /// After a trace abort, hot entry is suppressed until the oracle cursor
+    /// passes this point (guarantees cold forward progress).
+    hot_block_cursor: u64,
+}
+
+impl<'w> Machine<'w> {
+    /// Build a machine for one of the study's models over `wl`, simulating
+    /// `max_insts` committed instructions.
+    pub fn new(model: Model, wl: &'w Workload, max_insts: u64) -> Machine<'w> {
+        Self::from_config(model.config(), wl, max_insts)
+    }
+
+    /// Build a machine from an arbitrary configuration (ablations, design
+    /// studies, custom machines). The report's `model` field carries
+    /// `cfg.name`.
+    pub fn from_config(cfg: MachineConfig, wl: &'w Workload, max_insts: u64) -> Machine<'w> {
+        let mut cores = vec![OooCore::new(cfg.core)];
+        if let Some(hc) = cfg.hot_core {
+            cores.push(OooCore::new(hc));
+        }
+        let cold_model = EnergyModel::new(&cfg.energy);
+        let hot_model = EnergyModel::new(cfg.hot_energy.as_ref().unwrap_or(&cfg.energy));
+        let queue_cap = 3 * cfg
+            .trace
+            .map(|t| t.hot_fetch_uops)
+            .unwrap_or(cfg.core.decode_uops)
+            .max(cfg.core.decode_uops) as usize;
+        Machine {
+            label: cfg.name.clone(),
+            frontend: ColdFrontEnd::new(cfg.core, cfg.bpred),
+            oracle: OracleStream::new(wl.engine(), max_insts),
+            mem: parrot_uarch::cache::MemHierarchy::standard(),
+            cores,
+            queue: VecDeque::with_capacity(queue_cap + 8),
+            cold_buf: VecDeque::new(),
+            cold_model,
+            hot_model,
+            acct: EnergyAccount::new(),
+            trace: cfg.trace.map(TraceState::new),
+            now: 0,
+            active_side: Side::Cold,
+            dispatch_blocked_until: 0,
+            switches: 0,
+            queue_cap,
+            hot_block_cursor: 0,
+            wl,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.oracle.exhausted()
+            && self.queue.is_empty()
+            && self.cores.iter().all(|c| c.is_empty())
+            && self.trace.as_ref().map_or(true, |t| t.hot_run.is_none())
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> SimReport {
+        let cycle_cap = self.oracle.remaining() * 400 + 5_000_000;
+        while !self.done() && self.now < cycle_cap {
+            self.tick();
+        }
+        debug_assert!(self.done(), "simulation hit the cycle cap — livelock?");
+        self.finish()
+    }
+
+    fn tick(&mut self) {
+        // Writeback → commit → issue on every core, then dispatch and fetch.
+        for i in 0..self.cores.len() {
+            let model = if i == 0 { self.cold_model.clone() } else { self.hot_model.clone() };
+            if let Some(c) = self.cores[i].writeback(self.now, &model, &mut self.acct) {
+                self.frontend.branch_resolved(c);
+            }
+            self.cores[i].commit(self.now, &mut self.mem, &model, &mut self.acct);
+            self.cores[i].issue(self.now, &mut self.mem, &model, &mut self.acct);
+        }
+        self.dispatch();
+        self.fetch();
+        self.now += 1;
+    }
+
+    fn dispatch(&mut self) {
+        if self.now < self.dispatch_blocked_until {
+            return;
+        }
+        let split = self.cores.len() > 1;
+        let mut dispatched = [0u32; 2];
+        loop {
+            let Some((side, d)) = self.queue.front().copied() else { break };
+            let phys_side = if side == Side::Cold { Side::Cold } else { Side::Hot };
+            // Split machines drain and switch between cores.
+            if split && phys_side != self.active_side {
+                if self.cores.iter().any(|c| c.occupancy() > SWITCH_DRAIN_THRESHOLD) {
+                    break; // wait for near-drain
+                }
+                self.active_side = phys_side;
+                self.switches += 1;
+                self.acct.emit_n(&self.cold_model, Event::StateSwitchReg, SWITCH_REGS);
+                self.dispatch_blocked_until = self.now + SWITCH_PENALTY;
+                break;
+            }
+            let idx = if split && phys_side == Side::Hot { 1 } else { 0 };
+            // Optimized traces were pre-renamed by the optimizer: they
+            // dispatch at trace-fetch width rather than rename width.
+            let width = if side == Side::HotOpt {
+                self.trace.as_ref().map(|t| t.cfg.hot_fetch_uops).unwrap_or(self.cores[idx].config().rename_width)
+            } else {
+                self.cores[idx].config().rename_width
+            };
+            if dispatched[idx] >= width {
+                break;
+            }
+            if !self.cores[idx].can_dispatch(&d) {
+                break;
+            }
+            let model = if idx == 0 { self.cold_model.clone() } else { self.hot_model.clone() };
+            self.cores[idx].dispatch(&d, &model, &mut self.acct);
+            self.queue.pop_front();
+            dispatched[idx] += 1;
+        }
+    }
+
+    fn fetch(&mut self) {
+        // Continue streaming an active hot run.
+        if self.trace.as_ref().is_some_and(|t| t.hot_run.is_some()) {
+            self.deliver_hot();
+            return;
+        }
+        if !self.frontend.ready(self.now) || self.queue.len() >= self.queue_cap {
+            return;
+        }
+        if self.oracle.exhausted() {
+            return;
+        }
+        // At a trace boundary (including an imminent capacity cut), the
+        // fetch selector tries the hot pipeline.
+        let at_boundary = self.trace.is_some() && {
+            let next_uops =
+                self.oracle.peek(0).map(|d| self.wl.program.inst(d.inst).kind.uop_count() as u32);
+            match next_uops {
+                Some(n) => self
+                    .trace
+                    .as_ref()
+                    .is_some_and(|t| t.selector.boundary_before(n)),
+                None => false,
+            }
+        };
+        if self.oracle.cursor() >= self.hot_block_cursor && at_boundary && self.attempt_hot_entry() {
+            return;
+        }
+        // Cold pipeline fetch.
+        let before = self.oracle.cursor();
+        self.frontend.fetch_cycle(
+            self.now,
+            &mut self.oracle,
+            self.wl,
+            &mut self.mem,
+            &self.cold_model,
+            &mut self.acct,
+            &mut self.cold_buf,
+        );
+        while let Some(d) = self.cold_buf.pop_front() {
+            self.queue.push_back((Side::Cold, d));
+        }
+        let after = self.oracle.cursor();
+        if let Some(ts) = &mut self.trace {
+            ts.cold_insts += after - before;
+            for seq in before..after {
+                let d = self.oracle.get(seq).expect("recently consumed");
+                ts.observe_inst(&d, seq, self.wl, &self.cold_model, &mut self.acct);
+            }
+        }
+    }
+
+    /// Try to enter the hot pipeline at the current trace boundary. Returns
+    /// true if this cycle was consumed by the attempt (entered or aborted).
+    ///
+    /// The fetch selector consults the (higher-priority) trace predictor and
+    /// the branch predictor (§2.3): the trace cache set at the next fetch
+    /// address may hold several path variants; the predicted TID wins if
+    /// resident, otherwise the variant whose recorded directions best agree
+    /// with the branch predictor is chosen. Divergence from the committed
+    /// path aborts the atomic trace.
+    fn attempt_hot_entry(&mut self) -> bool {
+        let now = self.now;
+        let Some(next) = self.oracle.peek(0) else { return false };
+        let start_pc = next.pc;
+        let ts = self.trace.as_mut().expect("trace state");
+        ts.attempts += 1;
+
+        self.acct.emit(&self.cold_model, Event::TpredLookup);
+        let pending_key = ts.selector.pending_tid().map(|t| t.key());
+        let predicted = ts.tpred.predict_with(pending_key);
+        self.acct.emit(&self.cold_model, Event::TcTagAccess);
+
+        // Collect confident path variants resident at this fetch address.
+        let variants: Vec<parrot_trace::Tid> = ts
+            .tc
+            .variants_at(start_pc)
+            .into_iter()
+            .filter(|f| f.live_conf >= 2)
+            .map(|f| f.tid)
+            .collect();
+        if variants.is_empty() {
+            ts.no_variant += 1;
+            return false;
+        }
+        // Variant choice: trace predictor first, branch-predictor vote next.
+        let chosen = match predicted.filter(|p| variants.contains(p)) {
+            Some(p) => p,
+            None => {
+                if variants.len() == 1 {
+                    variants[0]
+                } else {
+                    let mut best = variants[0];
+                    let mut best_score = i32::MIN;
+                    for tid in &variants {
+                        let frame = ts.tc.peek(tid).expect("resident");
+                        let mut score = 0i32;
+                        for (pc, taken) in &frame.path {
+                            // Only conditional branches are recorded in dirs;
+                            // approximate by scoring every taken-marked step.
+                            if frame.tid.num_branches > 0 {
+                                let pred = self.frontend.bpred.predict(*pc);
+                                score += if pred == *taken { 1 } else { -1 };
+                            }
+                        }
+                        if score > best_score {
+                            best_score = score;
+                            best = *tid;
+                        }
+                    }
+                    best
+                }
+            }
+        };
+        let used_prediction = predicted == Some(chosen);
+        if used_prediction {
+            ts.tpred_issued += 1;
+        }
+
+        // Match the chosen trace's recorded path against the oracle.
+        let (diverge, frame_len, num_insts) = {
+            let frame = ts.tc.peek(&chosen).expect("resident");
+            let mut diverge = None;
+            for (k, (pc, taken)) in frame.path.iter().enumerate() {
+                match self.oracle.peek(k as u64) {
+                    Some(d) if d.pc == *pc && d.taken == *taken => {}
+                    _ => {
+                        diverge = Some(k);
+                        break;
+                    }
+                }
+            }
+            (diverge, frame.uops.len() as u64, frame.num_insts)
+        };
+
+        if let Some(k) = diverge {
+            // Trace mispredict: the frame streams into the pipe and aborts
+            // at the first failing assert; the atomic trace rolls back and
+            // everything re-executes cold (charged as flush + stall; the
+            // oracle cursor is not advanced).
+            ts.aborts += 1;
+            ts.tc.on_abort(&chosen);
+            if used_prediction {
+                ts.pred_aborts += 1;
+                ts.tpred.score(false);
+                ts.tpred.punish(pending_key);
+            }
+            let flushed = {
+                let frame = ts.tc.peek(&chosen).expect("still resident");
+                frame.uops.iter().filter(|u| (u.inst_idx as usize) <= k).count() as u64
+            };
+            self.acct.emit_n(&self.cold_model, Event::TcRead, frame_len);
+            self.acct.emit_n(&self.cold_model, Event::FlushUop, flushed);
+            self.frontend.block_until(now + u64::from(ts.cfg.abort_penalty));
+            // Require cold progress before the next hot attempt.
+            self.hot_block_cursor = self.oracle.cursor() + 1;
+            return true;
+        }
+
+        // Full match: enter the hot pipeline.
+        ts.tc.on_full_match(&chosen);
+        if used_prediction {
+            ts.tpred.score(true);
+            ts.tpred_correct += 1;
+        }
+        ts.entries += 1;
+
+        // Blazing filter: promote the most frequent traces to the optimizer.
+        self.acct.emit(&self.cold_model, Event::BlazingFilterAccess);
+        let bcount = ts.blazing.bump(chosen.key());
+        if let Some(optz) = &mut ts.optimizer {
+            let qualifies = bcount >= ts.cfg.blazing_filter.threshold;
+            let constructed_level =
+                ts.tc.peek(&chosen).map(|f| f.opt_level) == Some(OptLevel::Constructed);
+            if qualifies && constructed_level && optz.is_idle(now) {
+                let mut f = ts.tc.peek(&chosen).expect("resident").clone();
+                let outcome = optz.optimize(&mut f, now);
+                self.acct.emit_n(&self.cold_model, Event::OptimizerUop, outcome.work_uops);
+                self.acct.emit_n(&self.cold_model, Event::TcWrite, f.uops.len() as u64);
+                ts.tc.replace_optimized(f);
+            }
+        }
+
+        // Build the dispatchable uop stream (addresses patched below).
+        let (mut dus, addr_ref) = {
+            let frame = ts.tc.fetch(&chosen).expect("resident");
+            let last = frame.uops.len().saturating_sub(1);
+            let mut dus = Vec::with_capacity(frame.uops.len().max(1));
+            let mut addr_ref: Vec<Option<u32>> = Vec::with_capacity(frame.uops.len().max(1));
+            for (i, u) in frame.uops.iter().enumerate() {
+                let credit = if i == last { frame.num_insts } else { 0 };
+                dus.push(DispatchUop::from_uop(u, 0, credit));
+                addr_ref.push(if u.is_mem() { Some(u.inst_idx) } else { None });
+            }
+            if dus.is_empty() {
+                // The whole trace optimized away: a single credit-carrying nop.
+                let mut nop = Uop::mov_imm(parrot_isa::Reg::int(0), 0);
+                nop.kind = UopKind::Nop;
+                nop.dst = None;
+                dus.push(DispatchUop::from_uop(&nop, 0, frame.num_insts));
+                addr_ref.push(None);
+            }
+            (dus, addr_ref)
+        };
+
+        // Consume the covered instructions from the oracle, feeding the
+        // background phase and collecting current effective addresses.
+        let from = self.oracle.cursor();
+        let mut inst_addrs = Vec::with_capacity(num_insts as usize);
+        for _ in 0..num_insts {
+            let d = self.oracle.pop().expect("matched path exists");
+            inst_addrs.push(d.eff_addr);
+        }
+        ts.hot_insts += u64::from(num_insts);
+        for seq in from..from + u64::from(num_insts) {
+            let d = self.oracle.get(seq).expect("recently consumed");
+            ts.observe_inst(&d, seq, self.wl, &self.cold_model, &mut self.acct);
+        }
+        for (du, ar) in dus.iter_mut().zip(&addr_ref) {
+            if let Some(ii) = ar {
+                du.eff_addr = inst_addrs[*ii as usize];
+            }
+        }
+        let optimized = ts.tc.peek(&chosen).map(|f| f.opt_level) == Some(OptLevel::Optimized);
+        ts.hot_run = Some(HotRun { dus, pos: 0, optimized });
+        self.deliver_hot();
+        true
+    }
+
+    fn deliver_hot(&mut self) {
+        let Some(ts) = &mut self.trace else { return };
+        let Some(run) = &mut ts.hot_run else { return };
+        let width = ts.cfg.hot_fetch_uops as usize;
+        let side = if run.optimized { Side::HotOpt } else { Side::Hot };
+        let mut n = 0;
+        while n < width && run.pos < run.dus.len() && self.queue.len() < self.queue_cap {
+            self.queue.push_back((side, run.dus[run.pos]));
+            self.acct.emit(&self.cold_model, Event::TcRead);
+            run.pos += 1;
+            n += 1;
+        }
+        if run.pos == run.dus.len() {
+            ts.hot_run = None;
+        }
+    }
+
+    fn finish(mut self) -> SimReport {
+        self.acct.finish_static(&self.cold_model, self.now);
+        let insts: u64 = self.cores.iter().map(|c| c.stats().committed_insts).sum();
+        let uops: u64 = self.cores.iter().map(|c| c.stats().committed_uops).sum();
+        let fe = self.frontend.stats();
+        let trace = self.trace.as_ref().map(|ts| {
+            let total = ts.hot_insts + ts.cold_insts;
+            let mut reuse: Vec<u64> = ts.tc.retired_opt_reuse.clone();
+            reuse.extend(
+                ts.tc
+                    .frames()
+                    .filter(|f| f.opt_level == OptLevel::Optimized)
+                    .map(|f| f.execs_since_opt),
+            );
+            let mean_opt_reuse = if reuse.is_empty() {
+                0.0
+            } else {
+                reuse.iter().sum::<u64>() as f64 / reuse.len() as f64
+            };
+            let tc_stats = ts.tc.stats();
+            TraceReport {
+                coverage: if total == 0 { 0.0 } else { ts.hot_insts as f64 / total as f64 },
+                hot_insts: ts.hot_insts,
+                cold_insts: ts.cold_insts,
+                tpred_predictions: ts.tpred_issued,
+                tpred_correct: ts.tpred_correct,
+                pred_aborts: ts.pred_aborts,
+                aborts: ts.aborts,
+                entries: ts.entries,
+                constructed: ts.constructed,
+                hot_attempts: ts.attempts,
+                no_variant: ts.no_variant,
+                tc_lookups: tc_stats.lookups,
+                tc_hits: tc_stats.hits,
+                tc_evictions: tc_stats.evictions,
+                mean_opt_reuse,
+                opt: ts.optimizer.as_ref().map(|o| {
+                    let s = o.stats();
+                    OptReport {
+                        traces: s.traces,
+                        uop_reduction: s.uop_reduction(),
+                        dep_reduction: s.dep_reduction(),
+                        work_uops: s.work_uops,
+                        fused: u64::from(s.passes.fused),
+                        simd_lanes: u64::from(s.passes.simd_lanes),
+                        removed_dead: u64::from(s.passes.removed_dead),
+                        folded: u64::from(s.passes.folded),
+                    }
+                }),
+            }
+        });
+        SimReport {
+            model: self.label.clone(),
+            app: self.wl.profile.name.to_string(),
+            suite: self.wl.profile.suite.label().to_string(),
+            insts,
+            uops,
+            cycles: self.now,
+            energy: self.acct.total(),
+            energy_by_unit: SimReport::breakdown_from(&self.acct),
+            cond_branches: fe.cond_branches,
+            cond_mispredicts: fe.cond_mispredicts,
+            iq_empty_cycles: self.cores.iter().map(|c| c.stats().iq_empty_cycles).sum(),
+            issue_blocked_cycles: self.cores.iter().map(|c| c.stats().issue_blocked_cycles).sum(),
+            state_switches: self.switches,
+            trace,
+        }
+    }
+}
+
+/// Simulate `max_insts` committed instructions of `wl` on `model`.
+pub fn simulate(model: Model, wl: &Workload, max_insts: u64) -> SimReport {
+    Machine::new(model, wl, max_insts).run()
+}
+
+/// Simulate `max_insts` committed instructions of `wl` on an arbitrary
+/// machine configuration.
+pub fn simulate_config(cfg: MachineConfig, wl: &Workload, max_insts: u64) -> SimReport {
+    Machine::from_config(cfg, wl, max_insts).run()
+}

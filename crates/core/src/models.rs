@@ -1,0 +1,306 @@
+//! The machine-model zoo of the study (Tables 3.1 and 3.2): the reference
+//! 4-wide (`N`) and 8-wide (`W`) OOO machines, their selective-trace-cache
+//! extensions (`TN`, `TW`), the PARROT models with dynamic optimization
+//! (`TON`, `TOW`), and the conceptual split-core machine (`TOS`).
+
+use parrot_energy::EnergyConfig;
+use parrot_opt::OptimizerConfig;
+use parrot_trace::{FilterConfig, SelectionConfig, TraceCacheConfig, TracePredConfig};
+use parrot_uarch::bpred::BpredConfig;
+use parrot_uarch::core::CoreConfig;
+use std::fmt;
+
+/// PARROT trace-subsystem configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Trace-selection rules.
+    pub selection: SelectionConfig,
+    /// Hot filter (gates construction).
+    pub hot_filter: FilterConfig,
+    /// Blazing filter (gates optimization).
+    pub blazing_filter: FilterConfig,
+    /// Trace-cache geometry.
+    pub tcache: TraceCacheConfig,
+    /// Next-trace predictor.
+    pub tpred: TracePredConfig,
+    /// Dynamic optimizer, if this model optimizes.
+    pub optimizer: Option<OptimizerConfig>,
+    /// Hot-pipeline fetch bandwidth in uops per cycle.
+    pub hot_fetch_uops: u32,
+    /// Extra pipeline penalty for an aborted trace (rollback + restart).
+    pub abort_penalty: u32,
+}
+
+/// Atomic trace commit requires "moderate enlargement of non-critical
+/// machine resources" (§2.3): trace-capable cores get a wider commit stage
+/// and a deeper ROB for state accumulation.
+fn trace_core(mut core: CoreConfig) -> CoreConfig {
+    core.commit_width += 2;
+    core.rob_size += 32;
+    core
+}
+
+impl TraceConfig {
+    fn standard(hot_fetch_uops: u32, optimizer: Option<OptimizerConfig>) -> TraceConfig {
+        TraceConfig {
+            selection: SelectionConfig::default(),
+            hot_filter: FilterConfig::hot(),
+            blazing_filter: FilterConfig::blazing(),
+            tcache: TraceCacheConfig::standard(),
+            tpred: TracePredConfig::parrot_2k(),
+            optimizer,
+            hot_fetch_uops,
+            abort_penalty: 14,
+        }
+    }
+}
+
+/// A complete machine description: cores, predictors, trace subsystem and
+/// the energy-model parameters.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Model name (`N`, `W`, ... or a custom label for ablations).
+    pub name: String,
+    /// The (cold or unified) execution core.
+    pub core: CoreConfig,
+    /// A separate hot core (split-execution models only).
+    pub hot_core: Option<CoreConfig>,
+    /// Branch predictor configuration.
+    pub bpred: BpredConfig,
+    /// Trace subsystem (None for the pure `N`/`W` references).
+    pub trace: Option<TraceConfig>,
+    /// Energy-model parameters for the cold/unified core.
+    pub energy: EnergyConfig,
+    /// Energy-model parameters for the hot core (split models; unified
+    /// models use `energy`).
+    pub hot_energy: Option<EnergyConfig>,
+}
+
+/// The seven models of the study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Model {
+    /// Reference 4-wide OOO machine.
+    N,
+    /// Theoretical 8-wide OOO machine (8-wide front end through retirement).
+    W,
+    /// `N` + selective trace cache, no optimization.
+    TN,
+    /// `W` + selective trace cache, no optimization.
+    TW,
+    /// PARROT: narrow machine + trace cache + dynamic optimization.
+    TON,
+    /// PARROT: wide machine + trace cache + dynamic optimization.
+    TOW,
+    /// PARROT split-execution: narrow cold core, wide hot core.
+    TOS,
+}
+
+impl Model {
+    /// All models, in the paper's presentation order.
+    pub const ALL: [Model; 7] =
+        [Model::N, Model::W, Model::TN, Model::TW, Model::TON, Model::TOW, Model::TOS];
+
+    /// The model's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::N => "N",
+            Model::W => "W",
+            Model::TN => "TN",
+            Model::TW => "TW",
+            Model::TON => "TON",
+            Model::TOW => "TOW",
+            Model::TOS => "TOS",
+        }
+    }
+
+    /// Parse a model name.
+    pub fn from_name(s: &str) -> Option<Model> {
+        Model::ALL.into_iter().find(|m| m.name().eq_ignore_ascii_case(s))
+    }
+
+    /// The baseline of the same width (Figs 4.1–4.3 compare against this).
+    pub fn same_width_baseline(self) -> Model {
+        match self {
+            Model::N | Model::TN | Model::TON => Model::N,
+            Model::W | Model::TW | Model::TOW | Model::TOS => Model::W,
+        }
+    }
+
+    /// Does this model include the trace subsystem?
+    pub fn has_trace_cache(self) -> bool {
+        !matches!(self, Model::N | Model::W)
+    }
+
+    /// Does this model include the dynamic optimizer?
+    pub fn has_optimizer(self) -> bool {
+        matches!(self, Model::TON | Model::TOW | Model::TOS)
+    }
+
+    /// Build the full machine configuration (Table 3.2).
+    pub fn config(self) -> MachineConfig {
+        let narrow = CoreConfig::narrow();
+        let wide = CoreConfig::wide();
+        match self {
+            Model::N => MachineConfig {
+                name: "N".to_string(),
+                core: narrow,
+                hot_core: None,
+                bpred: BpredConfig::baseline_4k(),
+                trace: None,
+                energy: EnergyConfig::narrow(),
+                hot_energy: None,
+            },
+            Model::W => MachineConfig {
+                name: "W".to_string(),
+                core: wide,
+                hot_core: None,
+                bpred: BpredConfig::baseline_4k(),
+                trace: None,
+                energy: EnergyConfig::wide(),
+                hot_energy: None,
+            },
+            Model::TN => MachineConfig {
+                name: "TN".to_string(),
+                core: trace_core(narrow),
+                hot_core: None,
+                bpred: BpredConfig::parrot_2k(),
+                trace: Some(TraceConfig::standard(8, None)),
+                energy: EnergyConfig {
+                    bpred_entries: 2048,
+                    core_area: 1.25, // + trace cache & filters
+                    ..EnergyConfig::narrow()
+                },
+                hot_energy: None,
+            },
+            Model::TW => MachineConfig {
+                name: "TW".to_string(),
+                core: trace_core(wide),
+                hot_core: None,
+                bpred: BpredConfig::parrot_2k(),
+                trace: Some(TraceConfig::standard(16, None)),
+                energy: EnergyConfig {
+                    bpred_entries: 2048,
+                    core_area: 1.95,
+                    ..EnergyConfig::wide()
+                },
+                hot_energy: None,
+            },
+            Model::TON => MachineConfig {
+                name: "TON".to_string(),
+                core: trace_core(narrow),
+                hot_core: None,
+                bpred: BpredConfig::parrot_2k(),
+                trace: Some(TraceConfig::standard(8, Some(OptimizerConfig::full()))),
+                energy: EnergyConfig {
+                    bpred_entries: 2048,
+                    core_area: 1.42, // + trace cache, filters and optimizer
+                    ..EnergyConfig::narrow()
+                },
+                hot_energy: None,
+            },
+            Model::TOW => MachineConfig {
+                name: "TOW".to_string(),
+                core: trace_core(wide),
+                hot_core: None,
+                bpred: BpredConfig::parrot_2k(),
+                trace: Some(TraceConfig::standard(16, Some(OptimizerConfig::full()))),
+                energy: EnergyConfig {
+                    bpred_entries: 2048,
+                    core_area: 2.12,
+                    ..EnergyConfig::wide()
+                },
+                hot_energy: None,
+            },
+            Model::TOS => MachineConfig {
+                name: "TOS".to_string(),
+                core: trace_core(narrow),
+                hot_core: Some(trace_core(wide)),
+                bpred: BpredConfig::parrot_2k(),
+                trace: Some(TraceConfig::standard(16, Some(OptimizerConfig::full()))),
+                energy: EnergyConfig {
+                    bpred_entries: 2048,
+                    core_area: 2.8, // narrow + wide cores + trace machinery
+                    ..EnergyConfig::narrow()
+                },
+                hot_energy: Some(EnergyConfig {
+                    bpred_entries: 2048,
+                    core_area: 2.8,
+                    ..EnergyConfig::wide()
+                }),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_3_2_shape() {
+        let n = Model::N.config();
+        assert!(n.trace.is_none());
+        assert_eq!(n.core.issue_width, 4);
+        assert_eq!(n.bpred.entries, 4096);
+
+        let w = Model::W.config();
+        assert_eq!(w.core.issue_width, 8);
+        assert_eq!(w.core.fetch_width, 8);
+
+        let ton = Model::TON.config();
+        assert_eq!(ton.bpred.entries, 2048);
+        let t = ton.trace.expect("TON has traces");
+        assert!(t.optimizer.is_some());
+        assert_eq!(t.tpred.entries, 2048);
+        assert_eq!(t.tcache.frames(), 512);
+        assert_eq!(t.selection.max_uops, 64);
+
+        let tn = Model::TN.config();
+        assert!(tn.trace.expect("TN has traces").optimizer.is_none());
+
+        let tos = Model::TOS.config();
+        assert!(tos.hot_core.is_some());
+        assert_eq!(tos.hot_core.expect("hot core").issue_width, 8);
+    }
+
+    #[test]
+    fn baselines_match_figure_grouping() {
+        assert_eq!(Model::TON.same_width_baseline(), Model::N);
+        assert_eq!(Model::TOW.same_width_baseline(), Model::W);
+        assert_eq!(Model::TN.same_width_baseline(), Model::N);
+        assert_eq!(Model::TW.same_width_baseline(), Model::W);
+        assert_eq!(Model::N.same_width_baseline(), Model::N);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for m in Model::ALL {
+            assert_eq!(Model::from_name(m.name()), Some(m));
+            assert_eq!(Model::from_name(&m.name().to_lowercase()), Some(m));
+        }
+        assert_eq!(Model::from_name("X"), None);
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(!Model::N.has_trace_cache());
+        assert!(Model::TN.has_trace_cache());
+        assert!(!Model::TN.has_optimizer());
+        assert!(Model::TON.has_optimizer());
+        assert!(Model::TOS.has_optimizer());
+    }
+
+    #[test]
+    fn wider_models_have_larger_core_area() {
+        let area = |m: Model| m.config().energy.core_area;
+        assert!(area(Model::W) > area(Model::N));
+        assert!(area(Model::TON) > area(Model::N), "trace machinery adds area");
+        assert!(area(Model::TOS) > area(Model::TOW), "split core is biggest");
+    }
+}

@@ -1,0 +1,220 @@
+//! Simulation reports: everything the evaluation section (§4) needs from a
+//! run, serializable for the figure harness.
+
+use parrot_energy::metrics::RunSummary;
+use parrot_energy::{EnergyAccount, Unit};
+use serde::{Deserialize, Serialize};
+
+/// PARROT trace-subsystem results for one run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Fraction of committed instructions fetched from the trace cache
+    /// (Fig 4.8).
+    pub coverage: f64,
+    /// Instructions executed hot / cold.
+    pub hot_insts: u64,
+    pub cold_insts: u64,
+    /// Confident next-trace predictions acted on at fetch (the paper's
+    /// "trace-predictor successful" path; variant-vote entries excluded).
+    pub tpred_predictions: u64,
+    /// Predictions whose trace fully matched the committed path.
+    pub tpred_correct: u64,
+    /// Predictions whose trace diverged (trace mispredictions, Fig 4.7).
+    pub pred_aborts: u64,
+    /// All trace aborts, including branch-predictor-vote entries.
+    pub aborts: u64,
+    /// Hot entries (frames streamed).
+    pub entries: u64,
+    /// Hot-entry attempts at trace boundaries / attempts finding no
+    /// resident variant (fetch-selector diagnostics).
+    pub hot_attempts: u64,
+    pub no_variant: u64,
+    /// Frames constructed and inserted.
+    pub constructed: u64,
+    /// Trace-cache statistics.
+    pub tc_lookups: u64,
+    pub tc_hits: u64,
+    pub tc_evictions: u64,
+    /// Mean dynamic executions per optimized trace (Fig 4.10).
+    pub mean_opt_reuse: f64,
+    /// Optimizer results, when the model optimizes.
+    pub opt: Option<OptReport>,
+}
+
+impl TraceReport {
+    /// Trace misprediction rate over resolved *trace-predictor* decisions
+    /// (Fig 4.7). Entries selected by the branch-predictor vote are not
+    /// trace predictions and are excluded, exactly as in the paper's
+    /// fetch-selector description (§2.3).
+    pub fn trace_mispredict_rate(&self) -> f64 {
+        let resolved = self.tpred_correct + self.pred_aborts;
+        if resolved == 0 {
+            0.0
+        } else {
+            self.pred_aborts as f64 / resolved as f64
+        }
+    }
+
+    /// Abort rate over *all* hot entries (cost accounting, stricter than
+    /// Fig 4.7's predictor-only rate).
+    pub fn entry_abort_rate(&self) -> f64 {
+        let resolved = self.entries + self.aborts;
+        if resolved == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / resolved as f64
+        }
+    }
+}
+
+/// Optimizer results for one run (Fig 4.9).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OptReport {
+    /// Traces optimized.
+    pub traces: u64,
+    /// Relative reduction in trace uop count.
+    pub uop_reduction: f64,
+    /// Relative reduction in latency-weighted critical path.
+    pub dep_reduction: f64,
+    /// Total optimizer analysis work (uop·pass).
+    pub work_uops: u64,
+    /// Pass activity: fused pairs, packed lanes, dead uops removed, folds.
+    pub fused: u64,
+    pub simd_lanes: u64,
+    pub removed_dead: u64,
+    pub folded: u64,
+}
+
+/// Full report of one (model, application) simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Model name (`N`, `TON`, ...).
+    pub model: String,
+    /// Application name.
+    pub app: String,
+    /// Suite label.
+    pub suite: String,
+    /// Macro-instructions retired.
+    pub insts: u64,
+    /// Uops retired.
+    pub uops: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Total energy (internal units).
+    pub energy: f64,
+    /// Energy by unit, in [`Unit::ALL`] order: `(label, energy)`.
+    pub energy_by_unit: Vec<(String, f64)>,
+    /// Conditional branches and mispredicts seen by the cold front end.
+    pub cond_branches: u64,
+    pub cond_mispredicts: u64,
+    /// Pipeline-balance counters: cycles the issue window was empty
+    /// (front-end starvation) vs. non-empty with nothing issued
+    /// (dependency/port bound).
+    pub iq_empty_cycles: u64,
+    pub issue_blocked_cycles: u64,
+    /// Split-core state switches (0 on unified machines).
+    pub state_switches: u64,
+    /// Trace-subsystem results (None for `N`/`W`).
+    pub trace: Option<TraceReport>,
+}
+
+impl SimReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cold-path conditional branch misprediction rate.
+    pub fn branch_mispredict_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.cond_mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// The metrics triple used by CMPW comparisons.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary { insts: self.insts, cycles: self.cycles, energy: self.energy }
+    }
+
+    /// Fraction of total energy attributed to `unit_label`.
+    pub fn unit_share(&self, unit_label: &str) -> f64 {
+        if self.energy <= 0.0 {
+            return 0.0;
+        }
+        self.energy_by_unit
+            .iter()
+            .find(|(l, _)| l == unit_label)
+            .map(|(_, e)| e / self.energy)
+            .unwrap_or(0.0)
+    }
+
+    /// Build the per-unit breakdown from an account.
+    pub fn breakdown_from(acct: &EnergyAccount) -> Vec<(String, f64)> {
+        Unit::ALL.iter().map(|u| (u.label().to_string(), acct.unit_energy(*u))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            model: "N".into(),
+            app: "gcc".into(),
+            suite: "SpecInt".into(),
+            insts: 1000,
+            uops: 1300,
+            cycles: 800,
+            energy: 5000.0,
+            energy_by_unit: vec![("decode".into(), 1000.0), ("exec".into(), 4000.0)],
+            cond_branches: 100,
+            cond_mispredicts: 7,
+            iq_empty_cycles: 0,
+            issue_blocked_cycles: 0,
+            state_switches: 0,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.ipc() - 1.25).abs() < 1e-12);
+        assert!((r.branch_mispredict_rate() - 0.07).abs() < 1e-12);
+        assert!((r.unit_share("decode") - 0.2).abs() < 1e-12);
+        assert_eq!(r.unit_share("nonexistent"), 0.0);
+        let s = r.summary();
+        assert_eq!(s.insts, 1000);
+    }
+
+    #[test]
+    fn trace_mispredict_rate() {
+        let t = TraceReport {
+            tpred_correct: 90,
+            pred_aborts: 10,
+            entries: 95,
+            aborts: 25,
+            ..TraceReport::default()
+        };
+        assert!((t.trace_mispredict_rate() - 0.1).abs() < 1e-12);
+        assert!((t.entry_abort_rate() - 25.0 / 120.0).abs() < 1e-12);
+        assert_eq!(TraceReport::default().trace_mispredict_rate(), 0.0);
+        assert_eq!(TraceReport::default().entry_abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = report();
+        let j = serde_json::to_string(&r).expect("serialize");
+        let back: SimReport = serde_json::from_str(&j).expect("deserialize");
+        assert_eq!(back.insts, r.insts);
+        assert_eq!(back.model, "N");
+    }
+}

@@ -1,0 +1,95 @@
+//! Machine-level behavioural tests: the integration contracts of the
+//! PARROT machine (promotion pipeline, atomic aborts, split switching,
+//! custom configurations) on small budgets.
+
+use parrot_core::{simulate, simulate_config, Model};
+use parrot_workloads::{app_by_name, Workload};
+
+fn wl(app: &str) -> Workload {
+    Workload::build(&app_by_name(app).expect("registered app"))
+}
+
+#[test]
+fn promotion_pipeline_reaches_every_stage() {
+    let r = simulate(Model::TON, &wl("swim"), 80_000);
+    let t = r.trace.expect("trace report");
+    assert!(t.constructed > 10, "hot filter must construct traces");
+    assert!(t.entries > 100, "traces must be streamed");
+    let o = t.opt.expect("optimizer report");
+    assert!(o.traces > 0, "blazing filter must promote traces to the optimizer");
+    assert!(o.work_uops > 0);
+}
+
+#[test]
+fn irregular_code_aborts_but_completes() {
+    let r = simulate(Model::TON, &wl("gcc"), 80_000);
+    let t = r.trace.as_ref().expect("trace report");
+    assert!(t.aborts > 0, "irregular SpecInt code must produce some trace aborts");
+    assert_eq!(r.insts, 80_000, "aborts roll back and re-execute cold: no lost instructions");
+    // Aborts are bounded: the confidence mechanism keeps them a small
+    // fraction of entries.
+    assert!(
+        (t.aborts as f64) < 0.35 * (t.entries + t.aborts) as f64,
+        "aborts {} vs entries {}",
+        t.aborts,
+        t.entries
+    );
+}
+
+#[test]
+fn split_machine_switches_sides() {
+    let r = simulate(Model::TOS, &wl("swim"), 60_000);
+    assert!(r.state_switches > 10, "TOS must alternate between its cores");
+    assert_eq!(r.insts, 60_000);
+    let unified = simulate(Model::TON, &wl("swim"), 60_000);
+    assert_eq!(unified.state_switches, 0, "unified machines never state-switch");
+}
+
+#[test]
+fn trace_models_commit_fewer_uops_with_optimizer() {
+    let a = simulate(Model::TN, &wl("wupwise"), 60_000);
+    let b = simulate(Model::TON, &wl("wupwise"), 60_000);
+    assert!(b.uops < a.uops, "optimization must eliminate committed uops");
+}
+
+#[test]
+fn custom_config_round_trips_name() {
+    let mut cfg = Model::TON.config();
+    cfg.name = "my-custom-machine".to_string();
+    cfg.trace.as_mut().expect("trace").hot_filter.threshold = 4;
+    let r = simulate_config(cfg, &wl("gzip"), 20_000);
+    assert_eq!(r.model, "my-custom-machine");
+    assert_eq!(r.insts, 20_000);
+}
+
+#[test]
+fn lower_hot_threshold_raises_coverage() {
+    let mut eager = Model::TON.config();
+    eager.trace.as_mut().expect("trace").hot_filter.threshold = 2;
+    let mut picky = Model::TON.config();
+    picky.trace.as_mut().expect("trace").hot_filter.threshold = 64;
+    let e = simulate_config(eager, &wl("word"), 60_000);
+    let p = simulate_config(picky, &wl("word"), 60_000);
+    let cov = |r: &parrot_core::SimReport| r.trace.as_ref().expect("trace").coverage;
+    assert!(
+        cov(&e) > cov(&p),
+        "eager construction must cover more: {:.2} vs {:.2}",
+        cov(&e),
+        cov(&p)
+    );
+}
+
+#[test]
+fn disabling_the_optimizer_matches_tn_shape() {
+    let mut cfg = Model::TON.config();
+    cfg.trace.as_mut().expect("trace").optimizer = None;
+    let r = simulate_config(cfg, &wl("flash"), 40_000);
+    assert!(r.trace.as_ref().expect("trace").opt.is_none(), "no optimizer => no opt report");
+}
+
+#[test]
+fn budget_zero_is_a_clean_noop() {
+    let r = simulate(Model::TON, &wl("gzip"), 0);
+    assert_eq!(r.insts, 0);
+    assert_eq!(r.uops, 0);
+}

@@ -1,0 +1,39 @@
+//! # parrot-energy
+//!
+//! WATTCH/TEMPEST-style energy modeling for the PARROT reproduction
+//! (paper §3.2) plus the evaluation metrics of §3.5.
+//!
+//! The methodology mirrors the paper exactly:
+//!
+//! 1. every microarchitectural activity is an [`Event`] with a per-access
+//!    energy cost ("power tag");
+//! 2. costs are derived from a machine description ([`EnergyConfig`]) with
+//!    width/size scaling, so an 8-wide decoder or a 64-entry scheduler pays
+//!    superlinearly more per access than a 4-wide/32-entry one;
+//! 3. the timing simulation counts events into an [`EnergyAccount`];
+//! 4. static energy (clock + leakage) accrues per cycle, leakage following
+//!    the paper's formula `LE = P_MAX · (0.05·M + 0.4·K) · CYC`;
+//! 5. results are compared via total energy and the cubic-MIPS-per-WATT
+//!    power-awareness metric ([`metrics`]).
+//!
+//! All energy values are arbitrary internal units; the paper's results (and
+//! ours) are ratios between machine models, never absolute Joules.
+//!
+//! ```
+//! use parrot_energy::{EnergyConfig, EnergyModel, EnergyAccount, Event};
+//!
+//! let model = EnergyModel::new(&EnergyConfig::narrow());
+//! let mut acct = EnergyAccount::new();
+//! acct.emit(&model, Event::ExecAlu);
+//! acct.finish_static(&model, 1_000); // 1000 cycles of clock + leakage
+//! assert!(acct.total() > 0.0);
+//! ```
+
+mod account;
+mod event;
+pub mod metrics;
+mod model;
+
+pub use account::EnergyAccount;
+pub use event::{Event, Unit};
+pub use model::{EnergyConfig, EnergyModel};

@@ -1,0 +1,228 @@
+//! Evaluation metrics from paper §3.5: IPC, total energy, and
+//! cubic-MIPS-per-WATT (CMPW) power awareness.
+//!
+//! CMPW weighs performance cubically against power because voltage/frequency
+//! scaling trades energy for performance roughly cubically: a design with
+//! better CMPW can always be scaled to dominate one with worse CMPW at equal
+//! power. At fixed frequency and equal instruction count, the ratio
+//! simplifies to `speedup² · (E_base / E)` — exactly the identity used by
+//! Figures 4.3 and 4.6.
+
+use serde::{Deserialize, Serialize};
+
+/// Headline quantities of one simulation run, sufficient for every §3.5
+/// metric.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Macro-instructions architecturally retired.
+    pub insts: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Total energy (internal units).
+    pub energy: f64,
+}
+
+impl RunSummary {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Energy per committed instruction.
+    pub fn epi(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.energy / self.insts as f64
+        }
+    }
+
+    /// Absolute cubic-MIPS-per-WATT at frequency `ghz`.
+    ///
+    /// `MIPS = insts / time / 1e6`, `W = energy / time`; both derive from the
+    /// cycle count and the chosen frequency. Energy units are internal, so
+    /// this is only meaningful as a ratio between runs — prefer
+    /// [`cmpw_relative`].
+    pub fn cmpw(&self, ghz: f64) -> f64 {
+        if self.cycles == 0 || self.energy <= 0.0 {
+            return 0.0;
+        }
+        let time = self.cycles as f64 / (ghz * 1e9);
+        let mips = self.insts as f64 / time / 1e6;
+        let watt = self.energy / time;
+        mips.powi(3) / watt
+    }
+}
+
+/// CMPW of `run` relative to `base`, at equal frequency.
+///
+/// For runs retiring the same instruction count this equals
+/// `speedup² · E_base / E`; the general form (different instruction counts)
+/// is `(MIPS/MIPS_b)³ · (W_b/W)`.
+pub fn cmpw_relative(base: &RunSummary, run: &RunSummary) -> f64 {
+    if base.cycles == 0 || run.cycles == 0 || base.energy <= 0.0 || run.energy <= 0.0 {
+        return 0.0;
+    }
+    let mips_ratio = (run.insts as f64 / run.cycles as f64) / (base.insts as f64 / base.cycles as f64);
+    let watt_ratio = (base.energy / base.cycles as f64) / (run.energy / run.cycles as f64);
+    mips_ratio.powi(3) * watt_ratio
+}
+
+/// Geometric mean of a sequence of positive values (the paper reports
+/// geometric means per application group). Returns 0 for an empty slice.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(insts: u64, cycles: u64, energy: f64) -> RunSummary {
+        RunSummary { insts, cycles, energy }
+    }
+
+    #[test]
+    fn ipc_and_epi() {
+        let s = summary(1000, 500, 2000.0);
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.epi() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmpw_relative_matches_speedup_squared_identity() {
+        // Same instruction count: 45% speedup at 39% more energy -> +51%.
+        let base = summary(1_000_000, 1_000_000, 100.0);
+        let run = summary(1_000_000, (1_000_000.0 / 1.45) as u64, 139.0);
+        let rel = cmpw_relative(&base, &run);
+        let expect = 1.45f64.powi(2) / 1.39;
+        assert!((rel - expect).abs() < 0.01, "rel={rel} expect={expect}");
+        assert!((rel - 1.51).abs() < 0.02, "paper headline: TOW ≈ +51% CMPW");
+    }
+
+    #[test]
+    fn cmpw_relative_is_reflexive_and_antisymmetric() {
+        let a = summary(100, 50, 10.0);
+        let b = summary(100, 40, 14.0);
+        assert!((cmpw_relative(&a, &a) - 1.0).abs() < 1e-12);
+        let ab = cmpw_relative(&a, &b);
+        let ba = cmpw_relative(&b, &a);
+        assert!((ab * ba - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absolute_cmpw_ratio_matches_relative() {
+        let a = summary(1000, 500, 100.0);
+        let b = summary(1000, 400, 150.0);
+        let ratio = b.cmpw(3.0) / a.cmpw(3.0);
+        assert!((ratio - cmpw_relative(&a, &b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geo_mean_basic() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+        let single = geo_mean(&[3.7]);
+        assert!((single - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let z = summary(0, 0, 0.0);
+        assert_eq!(z.ipc(), 0.0);
+        assert_eq!(z.epi(), 0.0);
+        assert_eq!(z.cmpw(3.0), 0.0);
+        assert_eq!(cmpw_relative(&z, &z), 0.0);
+    }
+}
+
+/// Voltage/frequency-scaling projections — the reasoning behind CMPW
+/// (§3.5): energy trades against performance roughly cubically, so a design
+/// with better CMPW can be scaled to dominate at equal performance or equal
+/// power.
+pub mod vf {
+    use super::RunSummary;
+
+    /// Project `run`'s energy after scaling voltage/frequency so its
+    /// runtime matches `base`'s. Slowing down by `s` (> 1) lets voltage and
+    /// frequency drop, cutting energy by ≈ `s²` (E ∝ V²·work, V ∝ f);
+    /// speeding up costs correspondingly.
+    ///
+    /// Returns `None` when either run is degenerate (zero cycles/energy).
+    pub fn iso_performance_energy(base: &RunSummary, run: &RunSummary) -> Option<f64> {
+        if base.cycles == 0 || run.cycles == 0 || run.energy <= 0.0 {
+            return None;
+        }
+        // Speed ratio needed: run must take base's time for the same work.
+        let speedup_needed = run.cycles as f64 / base.cycles as f64; // <1 if run is faster
+        Some(run.energy * speedup_needed.powi(2))
+    }
+
+    /// Project `run`'s performance (relative to its unscaled self) after
+    /// scaling so its *power* matches `base`'s: perf ∝ f and P ∝ f³, so the
+    /// achievable speed ratio is `(P_base / P_run)^(1/3)`.
+    pub fn iso_power_speed_ratio(base: &RunSummary, run: &RunSummary) -> Option<f64> {
+        if base.cycles == 0 || run.cycles == 0 || base.energy <= 0.0 || run.energy <= 0.0 {
+            return None;
+        }
+        let p_base = base.energy / base.cycles as f64;
+        let p_run = run.energy / run.cycles as f64;
+        Some((p_base / p_run).powf(1.0 / 3.0))
+    }
+}
+
+#[cfg(test)]
+mod vf_tests {
+    use super::vf::*;
+    use super::RunSummary;
+
+    fn s(cycles: u64, energy: f64) -> RunSummary {
+        RunSummary { insts: 1_000_000, cycles, energy }
+    }
+
+    #[test]
+    fn faster_design_saves_quadratically_at_iso_performance() {
+        let base = s(1_000_000, 100.0);
+        let fast = s(800_000, 110.0); // 25% faster, 10% more energy
+        let e = iso_performance_energy(&base, &fast).expect("valid");
+        // Slowing the fast design to base speed: E' = 110 * 0.8^2 = 70.4.
+        assert!((e - 70.4).abs() < 1e-9);
+        assert!(e < base.energy, "better CMPW dominates at iso-performance");
+    }
+
+    #[test]
+    fn iso_power_speed_follows_cube_root() {
+        let base = s(1_000_000, 100.0); // power 1e-4 /cycle
+        let hungry = s(1_000_000, 800.0); // 8x the power
+        let ratio = iso_power_speed_ratio(&base, &hungry).expect("valid");
+        assert!((ratio - 0.5).abs() < 1e-9, "8x power => half the frequency");
+    }
+
+    #[test]
+    fn consistency_with_cmpw() {
+        // If CMPW(run) > CMPW(base), iso-performance energy of run must be
+        // below base's energy.
+        let base = s(1_000_000, 100.0);
+        let run = s(690_000, 139.0); // TOW-like: +45% speed, +39% energy
+        let rel = super::cmpw_relative(&base, &run);
+        assert!(rel > 1.0);
+        let e = iso_performance_energy(&base, &run).expect("valid");
+        assert!(e < base.energy, "CMPW winner dominates after scaling: {e}");
+    }
+
+    #[test]
+    fn degenerate_runs_yield_none() {
+        let z = RunSummary { insts: 0, cycles: 0, energy: 0.0 };
+        let ok = s(10, 1.0);
+        assert!(iso_performance_energy(&z, &ok).is_none());
+        assert!(iso_power_speed_ratio(&ok, &z).is_none());
+    }
+}

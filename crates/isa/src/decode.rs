@@ -1,0 +1,243 @@
+//! The CISC macro-instruction decoder.
+//!
+//! Decoding is the serial, power-hungry activity that the PARROT trace cache
+//! exists to bypass: it turns each variable-length macro-instruction into
+//! 1–4 micro-operations. [`decode`] is used by the cold pipeline on every
+//! fetch, while trace construction stores its *results* so the hot pipeline
+//! never decodes at all.
+
+use crate::{AluOp, Inst, InstKind, Operand, Reg, Uop, UopKind};
+
+/// The register used as the stack pointer by convention (calls/returns push
+/// and pop through it); alias of [`Reg::SP`].
+pub const STACK_POINTER: Reg = Reg::SP;
+
+/// Number of rotating decode-temporary virtual registers (reserved at the
+/// top of the virtual register space).
+pub const NUM_DECODE_TEMPS: u8 = 8;
+/// First decode-temporary virtual register index.
+pub const DECODE_TEMP_BASE: u8 = Reg::NUM_VIRT - NUM_DECODE_TEMPS;
+
+/// The decode temporary used for the multi-uop expansion of instruction
+/// number `inst_idx`. Temps rotate so adjacent CISC instructions do not
+/// create false dependencies through a single shared temporary.
+pub fn decode_temp(inst_idx: u32) -> Reg {
+    Reg::virt(DECODE_TEMP_BASE + (inst_idx % u32::from(NUM_DECODE_TEMPS)) as u8)
+}
+
+/// Decode a macro-instruction into its micro-operations.
+///
+/// `inst_idx` is the ordinal of the instruction within the container being
+/// decoded (a fetch group or a trace under construction); it is recorded on
+/// every produced uop and selects the rotating decode temporary.
+///
+/// The expansion mirrors classic IA32 cracking:
+///
+/// | macro form | uops |
+/// |---|---|
+/// | reg-reg / reg-imm ALU, `cmp`, FP ALU | 1 |
+/// | load, store | 1 each |
+/// | load-op | load → temp, ALU |
+/// | read-modify-write | load → temp, ALU on temp, store temp |
+/// | call | push return address, jump |
+/// | return | pop return address, indirect jump |
+pub fn decode(inst: &Inst, inst_idx: u32) -> Vec<Uop> {
+    let mut out = Vec::with_capacity(inst.kind.uop_count());
+    decode_into(inst, inst_idx, &mut out);
+    out
+}
+
+/// Like [`decode`], but appends into a caller-provided buffer (the pipeline
+/// models reuse one buffer to avoid per-fetch allocation).
+pub fn decode_into(inst: &Inst, inst_idx: u32, out: &mut Vec<Uop>) {
+    let start = out.len();
+    match inst.kind {
+        InstKind::IntAlu { op, dst, src, rhs } => match (op, rhs) {
+            (AluOp::Mov, Operand::Imm(i)) => out.push(Uop::mov_imm(dst, i)),
+            (_, Operand::Reg(b)) => out.push(Uop::alu(op, dst, src, b)),
+            (_, Operand::Imm(i)) => out.push(Uop::alu_imm(op, dst, src, i)),
+        },
+        InstKind::IntMul { dst, src1, src2 } => {
+            let mut u = Uop::alu(AluOp::Add, dst, src1, src2);
+            u.kind = UopKind::Mul;
+            out.push(u);
+        }
+        InstKind::IntDiv { dst, src1, src2 } => {
+            let mut u = Uop::alu(AluOp::Add, dst, src1, src2);
+            u.kind = UopKind::Div;
+            out.push(u);
+        }
+        InstKind::Load { dst, mem } => out.push(Uop::load(dst, mem.base)),
+        InstKind::Store { src, mem } => out.push(Uop::store(src, mem.base)),
+        InstKind::LoadOp { op, dst, src, mem } => {
+            let t = decode_temp(inst_idx);
+            out.push(Uop::load(t, mem.base));
+            out.push(Uop::alu(op, dst, src, t));
+        }
+        InstKind::RmwStore { op, src, mem } => {
+            let t = decode_temp(inst_idx);
+            out.push(Uop::load(t, mem.base));
+            out.push(Uop::alu(op, t, t, src));
+            out.push(Uop::store(t, mem.base));
+        }
+        InstKind::Cmp { src, rhs } => match rhs {
+            Operand::Reg(b) => out.push(Uop::cmp(src, Some(b), None)),
+            Operand::Imm(i) => out.push(Uop::cmp(src, None, Some(i))),
+        },
+        InstKind::FpAlu { op, dst, src1, src2 } => {
+            let mut u = Uop::alu(AluOp::Add, dst, src1, src2);
+            u.kind = UopKind::Fp(op);
+            out.push(u);
+        }
+        InstKind::FpLoad { dst, mem } => out.push(Uop::load(dst, mem.base)),
+        InstKind::FpStore { src, mem } => out.push(Uop::store(src, mem.base)),
+        InstKind::CondBranch { cond } => out.push(Uop::branch(cond)),
+        InstKind::Jump => out.push(Uop { ..Uop::branch(crate::Cond::Eq) }.into_jump()),
+        InstKind::IndirectJump { sel } => {
+            let mut u = Uop::branch(crate::Cond::Eq);
+            u.kind = UopKind::JumpInd;
+            u.srcs = [Some(sel), None, None];
+            out.push(u);
+        }
+        InstKind::Call => {
+            // Push the return address (a store through SP), then jump.
+            let mut push = Uop::store(STACK_POINTER, STACK_POINTER);
+            push.kind = UopKind::CallPush;
+            push.imm = Some(inst.next_pc() as i64);
+            out.push(push);
+            let mut j = Uop::branch(crate::Cond::Eq);
+            j.kind = UopKind::Jump;
+            out.push(j);
+        }
+        InstKind::Return => {
+            // Pop the return address (a load through SP), then jump to it.
+            let t = decode_temp(inst_idx);
+            let mut pop = Uop::load(t, STACK_POINTER);
+            pop.kind = UopKind::RetPop;
+            out.push(pop);
+            let mut j = Uop::branch(crate::Cond::Eq);
+            j.kind = UopKind::JumpInd;
+            j.srcs = [Some(t), None, None];
+            out.push(j);
+        }
+        InstKind::Nop => {
+            let mut u = Uop::mov_imm(Reg::int(0), 0);
+            u.kind = UopKind::Nop;
+            u.dst = None;
+            u.imm = None;
+            out.push(u);
+        }
+    }
+    for u in &mut out[start..] {
+        u.inst_idx = inst_idx;
+    }
+    debug_assert_eq!(out.len() - start, inst.kind.uop_count());
+}
+
+impl Uop {
+    fn into_jump(mut self) -> Uop {
+        self.kind = UopKind::Jump;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, MemRef};
+
+    fn mem() -> MemRef {
+        MemRef { base: Reg::int(2), offset: 8, stream: 1 }
+    }
+
+    #[test]
+    fn uop_counts_match_declared() {
+        let kinds = [
+            InstKind::IntAlu { op: AluOp::Add, dst: Reg::int(0), src: Reg::int(1), rhs: Operand::Imm(1) },
+            InstKind::Load { dst: Reg::int(0), mem: mem() },
+            InstKind::LoadOp { op: AluOp::Xor, dst: Reg::int(0), src: Reg::int(1), mem: mem() },
+            InstKind::RmwStore { op: AluOp::Add, src: Reg::int(3), mem: mem() },
+            InstKind::Call,
+            InstKind::Return,
+            InstKind::CondBranch { cond: Cond::Lt },
+            InstKind::Nop,
+        ];
+        for k in kinds {
+            let inst = Inst::new(k);
+            assert_eq!(decode(&inst, 0).len(), k.uop_count(), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn load_op_chains_through_temp() {
+        let inst = Inst::new(InstKind::LoadOp {
+            op: AluOp::Add,
+            dst: Reg::int(0),
+            src: Reg::int(1),
+            mem: mem(),
+        });
+        let uops = decode(&inst, 3);
+        let t = decode_temp(3);
+        assert_eq!(uops[0].dst, Some(t));
+        assert!(uops[1].uses().contains(&t));
+        assert_eq!(uops[1].dst, Some(Reg::int(0)));
+    }
+
+    #[test]
+    fn rmw_is_load_alu_store() {
+        let inst = Inst::new(InstKind::RmwStore { op: AluOp::Or, src: Reg::int(3), mem: mem() });
+        let uops = decode(&inst, 0);
+        assert!(uops[0].is_load());
+        assert_eq!(uops[1].exec_class(), crate::ExecClass::IntAlu);
+        assert!(uops[2].is_store());
+    }
+
+    #[test]
+    fn decode_temps_rotate() {
+        assert_ne!(decode_temp(0), decode_temp(1));
+        assert_eq!(decode_temp(0), decode_temp(u32::from(NUM_DECODE_TEMPS)));
+        for i in 0..32 {
+            assert!(decode_temp(i).is_virtual());
+        }
+    }
+
+    #[test]
+    fn call_pushes_return_address() {
+        let mut inst = Inst::new(InstKind::Call);
+        inst.addr = 0x1000;
+        let uops = decode(&inst, 0);
+        assert!(uops[0].is_store());
+        assert_eq!(uops[0].imm, Some(inst.next_pc() as i64));
+        assert_eq!(uops[1].kind, UopKind::Jump);
+    }
+
+    #[test]
+    fn return_pops_then_jumps_indirect() {
+        let inst = Inst::new(InstKind::Return);
+        let uops = decode(&inst, 5);
+        assert!(uops[0].is_load());
+        assert_eq!(uops[1].kind, UopKind::JumpInd);
+        assert_eq!(uops[1].srcs[0], uops[0].dst);
+    }
+
+    #[test]
+    fn inst_idx_recorded_on_all_uops() {
+        let inst = Inst::new(InstKind::RmwStore { op: AluOp::Add, src: Reg::int(3), mem: mem() });
+        for u in decode(&inst, 42) {
+            assert_eq!(u.inst_idx, 42);
+        }
+    }
+
+    #[test]
+    fn mov_imm_special_cased() {
+        let inst = Inst::new(InstKind::IntAlu {
+            op: AluOp::Mov,
+            dst: Reg::int(4),
+            src: Reg::int(4),
+            rhs: Operand::Imm(99),
+        });
+        let uops = decode(&inst, 0);
+        assert_eq!(uops[0].kind, UopKind::MovImm);
+        assert!(uops[0].uses().is_empty(), "mov-imm must have no register sources");
+    }
+}

@@ -1,0 +1,401 @@
+//! Deterministic functional semantics for uops.
+//!
+//! The timing simulators never need values — they are trace-driven. This
+//! module exists so the *dynamic optimizer* can be verified: a trace and its
+//! optimized form are replayed functionally and must produce identical
+//! architectural effects (live-out registers, store sequence, branch
+//! outcomes). See `parrot-opt`'s property tests.
+//!
+//! Determinism choices (documented in DESIGN.md): FP operates on bit
+//! patterns with wrapping arithmetic, and un-written memory reads return a
+//! seeded hash of the address.
+
+use crate::{FusedKind, Reg, Uop, UopKind};
+use std::collections::HashMap;
+
+/// Comparison flags produced by `cmp`: `(zero, negative)` where `negative`
+/// is the sign of the wrapping difference `a - b` (signed compare).
+pub fn compare_flags(a: u64, b: u64) -> (bool, bool) {
+    (a == b, (a.wrapping_sub(b) as i64) < 0)
+}
+
+/// Architectural + virtual register state for functional replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArchState {
+    regs: [u64; 192],
+    /// Zero flag.
+    pub zero: bool,
+    /// Negative flag.
+    pub neg: bool,
+}
+
+impl Default for ArchState {
+    fn default() -> Self {
+        ArchState { regs: [0; 192], zero: false, neg: false }
+    }
+}
+
+impl ArchState {
+    /// All-zero state.
+    pub fn new() -> ArchState {
+        ArchState::default()
+    }
+
+    /// State with architectural registers filled from a seeded hash (virtual
+    /// registers start at zero), for randomized equivalence tests.
+    pub fn seeded(seed: u64) -> ArchState {
+        let mut st = ArchState::new();
+        for i in 0..32 {
+            st.regs[i] = splitmix(seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        st
+    }
+
+    /// Read a register. Reading [`Reg::FLAGS`] packs the flags into bits 0–1.
+    pub fn get(&self, r: Reg) -> u64 {
+        if r.is_flags() {
+            u64::from(self.zero) | (u64::from(self.neg) << 1)
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Write a register. Writing [`Reg::FLAGS`] unpacks bits 0–1.
+    pub fn set(&mut self, r: Reg, v: u64) {
+        if r.is_flags() {
+            self.zero = v & 1 != 0;
+            self.neg = v & 2 != 0;
+        } else {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// The architecturally visible portion (int, fp, flags) as a vector, for
+    /// equivalence comparison. Virtual registers are excluded by definition.
+    pub fn architectural(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.regs[..32].to_vec();
+        v.push(self.get(Reg::FLAGS));
+        v
+    }
+}
+
+/// Memory used during functional replay.
+pub trait MemModel {
+    /// Read 8 bytes at `addr`.
+    fn load(&mut self, addr: u64) -> u64;
+    /// Write 8 bytes at `addr`.
+    fn store(&mut self, addr: u64, val: u64);
+}
+
+/// Memory whose unwritten contents are a seeded hash of the address, with a
+/// write overlay and an ordered store log (the log is part of the optimizer
+/// equivalence criterion).
+#[derive(Clone, Debug, Default)]
+pub struct DeterministicMem {
+    seed: u64,
+    overlay: HashMap<u64, u64>,
+    /// Every store in program order: `(address, value)`.
+    pub store_log: Vec<(u64, u64)>,
+}
+
+impl DeterministicMem {
+    /// Memory backed by hash-of-address values derived from `seed`.
+    pub fn new(seed: u64) -> DeterministicMem {
+        DeterministicMem { seed, overlay: HashMap::new(), store_log: Vec::new() }
+    }
+}
+
+impl MemModel for DeterministicMem {
+    fn load(&mut self, addr: u64) -> u64 {
+        match self.overlay.get(&addr) {
+            Some(v) => *v,
+            None => splitmix(self.seed ^ addr.wrapping_mul(0x2545_f491_4f6c_dd1d)),
+        }
+    }
+
+    fn store(&mut self, addr: u64, val: u64) {
+        self.overlay.insert(addr, val);
+        self.store_log.push((addr, val));
+    }
+}
+
+/// Observable effects of executing a single uop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepEffect {
+    /// For control uops: the evaluated direction (`Some(taken)`).
+    pub branch: Option<bool>,
+    /// For asserts: did the assert *fail* (direction differed from the
+    /// recorded expectation)? A failing assert aborts the atomic trace.
+    pub assert_failed: bool,
+    /// For indirect jumps: the register-supplied target value.
+    pub ind_target: Option<u64>,
+}
+
+/// Execute one uop against `state` and `mem`.
+///
+/// `addr` supplies the effective address for memory uops (from the dynamic
+/// stream or a trace frame's recorded address sequence).
+///
+/// # Panics
+/// Panics (debug assertion) if a memory uop is executed without an address.
+pub fn step(uop: &Uop, state: &mut ArchState, mem: &mut dyn MemModel, addr: Option<u64>) -> StepEffect {
+    let mut fx = StepEffect::default();
+    let rhs = |state: &ArchState| -> u64 {
+        match uop.srcs[1] {
+            Some(r) => state.get(r),
+            None => uop.imm.unwrap_or(0) as u64,
+        }
+    };
+    match &uop.kind {
+        UopKind::Alu(op) => {
+            // `mov` ignores its left operand; the optimizer may drop it.
+            let a = uop.srcs[0].map(|r| state.get(r)).unwrap_or(0);
+            let v = op.apply(a, rhs(state));
+            state.set(uop.dst.expect("alu dst"), v);
+        }
+        UopKind::MovImm => {
+            state.set(uop.dst.expect("movimm dst"), uop.imm.unwrap_or(0) as u64);
+        }
+        UopKind::Mul => {
+            let a = state.get(uop.srcs[0].expect("mul src"));
+            let b = state.get(uop.srcs[1].expect("mul src"));
+            state.set(uop.dst.expect("mul dst"), a.wrapping_mul(b));
+        }
+        UopKind::Div => {
+            let a = state.get(uop.srcs[0].expect("div src"));
+            let b = state.get(uop.srcs[1].expect("div src")).max(1);
+            state.set(uop.dst.expect("div dst"), a / b);
+        }
+        UopKind::Cmp => {
+            let a = state.get(uop.srcs[0].expect("cmp src"));
+            let (z, n) = compare_flags(a, rhs(state));
+            state.zero = z;
+            state.neg = n;
+        }
+        UopKind::Fp(op) => {
+            let a = state.get(uop.srcs[0].expect("fp src"));
+            let b = uop.srcs[1].map(|r| state.get(r)).unwrap_or(uop.imm.unwrap_or(0) as u64);
+            state.set(uop.dst.expect("fp dst"), op.apply(a, b));
+        }
+        UopKind::Load | UopKind::RetPop => {
+            let a = addr.expect("load requires an effective address");
+            let v = mem.load(a);
+            state.set(uop.dst.expect("load dst"), v);
+        }
+        UopKind::Store => {
+            let a = addr.expect("store requires an effective address");
+            let v = state.get(uop.srcs[0].expect("store data"));
+            mem.store(a, v);
+        }
+        UopKind::CallPush => {
+            let a = addr.expect("push requires an effective address");
+            mem.store(a, uop.imm.unwrap_or(0) as u64);
+        }
+        UopKind::Branch(c) => {
+            fx.branch = Some(c.eval(state.zero, state.neg));
+        }
+        UopKind::Jump => {
+            fx.branch = Some(true);
+        }
+        UopKind::JumpInd => {
+            fx.branch = Some(true);
+            fx.ind_target = Some(state.get(uop.srcs[0].expect("indirect target")));
+        }
+        UopKind::Assert { cond, expect } => {
+            let taken = cond.eval(state.zero, state.neg);
+            fx.branch = Some(taken);
+            fx.assert_failed = taken != *expect;
+        }
+        UopKind::Fused(FusedKind::CmpBranch { cond }) => {
+            let a = state.get(uop.srcs[0].expect("fused cmp src"));
+            let (z, n) = compare_flags(a, rhs(state));
+            state.zero = z;
+            state.neg = n;
+            fx.branch = Some(cond.eval(z, n));
+        }
+        UopKind::Fused(FusedKind::CmpAssert { cond, expect }) => {
+            let a = state.get(uop.srcs[0].expect("fused cmp src"));
+            let (z, n) = compare_flags(a, rhs(state));
+            state.zero = z;
+            state.neg = n;
+            let taken = cond.eval(z, n);
+            fx.branch = Some(taken);
+            fx.assert_failed = taken != *expect;
+        }
+        UopKind::Fused(FusedKind::AluAlu { first, second }) => {
+            let a = state.get(uop.srcs[0].expect("fused alu src"));
+            let b = match uop.srcs[1] {
+                Some(r) => state.get(r),
+                None => uop.imm.unwrap_or(0) as u64,
+            };
+            let mid = first.apply(a, b);
+            let c = match uop.srcs[2] {
+                Some(r) => state.get(r),
+                None => uop.imm.unwrap_or(0) as u64,
+            };
+            state.set(uop.dst.expect("fused alu dst"), second.apply(mid, c));
+        }
+        UopKind::Simd(pack) => {
+            // Read all lane inputs before writing any lane output: lanes are
+            // independent by construction, but this keeps replay order-safe.
+            let inputs: Vec<(u64, u64)> = pack
+                .lanes
+                .iter()
+                .map(|l| {
+                    let a = state.get(l.a);
+                    let b = match l.b {
+                        Some(r) => state.get(r),
+                        None => l.imm as u64,
+                    };
+                    (a, b)
+                })
+                .collect();
+            for (lane, (a, b)) in pack.lanes.iter().zip(inputs) {
+                state.set(lane.dst, pack.op.apply(a, b));
+            }
+        }
+        UopKind::Nop => {}
+    }
+    fx
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Cond};
+
+    #[test]
+    fn alu_and_movimm() {
+        let mut st = ArchState::new();
+        let mut mem = DeterministicMem::new(1);
+        step(&Uop::mov_imm(Reg::int(1), 10), &mut st, &mut mem, None);
+        step(&Uop::alu_imm(AluOp::Add, Reg::int(2), Reg::int(1), 5), &mut st, &mut mem, None);
+        assert_eq!(st.get(Reg::int(2)), 15);
+    }
+
+    #[test]
+    fn cmp_then_branch() {
+        let mut st = ArchState::new();
+        let mut mem = DeterministicMem::new(1);
+        step(&Uop::mov_imm(Reg::int(0), 3), &mut st, &mut mem, None);
+        step(&Uop::cmp(Reg::int(0), None, Some(3)), &mut st, &mut mem, None);
+        let fx = step(&Uop::branch(Cond::Eq), &mut st, &mut mem, None);
+        assert_eq!(fx.branch, Some(true));
+        let fx = step(&Uop::branch(Cond::Lt), &mut st, &mut mem, None);
+        assert_eq!(fx.branch, Some(false));
+    }
+
+    #[test]
+    fn signed_compare() {
+        let (z, n) = compare_flags(u64::MAX, 0); // -1 < 0 signed
+        assert!(!z && n);
+        let (z, n) = compare_flags(5, 3);
+        assert!(!z && !n);
+    }
+
+    #[test]
+    fn assert_fails_on_mismatch() {
+        let mut st = ArchState::new();
+        let mut mem = DeterministicMem::new(1);
+        step(&Uop::cmp(Reg::int(0), None, Some(0)), &mut st, &mut mem, None); // equal
+        let ok = step(&Uop::assert(Cond::Eq, true), &mut st, &mut mem, None);
+        assert!(!ok.assert_failed);
+        let bad = step(&Uop::assert(Cond::Eq, false), &mut st, &mut mem, None);
+        assert!(bad.assert_failed);
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let mut st = ArchState::new();
+        let mut mem = DeterministicMem::new(7);
+        step(&Uop::mov_imm(Reg::int(3), 99), &mut st, &mut mem, None);
+        step(&Uop::store(Reg::int(3), Reg::int(4)), &mut st, &mut mem, Some(0x100));
+        step(&Uop::load(Reg::int(5), Reg::int(4)), &mut st, &mut mem, Some(0x100));
+        assert_eq!(st.get(Reg::int(5)), 99);
+        assert_eq!(mem.store_log, vec![(0x100, 99)]);
+    }
+
+    #[test]
+    fn unwritten_memory_is_deterministic() {
+        let mut a = DeterministicMem::new(5);
+        let mut b = DeterministicMem::new(5);
+        assert_eq!(a.load(0x42), b.load(0x42));
+        let mut c = DeterministicMem::new(6);
+        assert_ne!(a.load(0x42), c.load(0x42), "different seeds should differ");
+    }
+
+    #[test]
+    fn fused_cmp_assert_matches_unfused_pair() {
+        for v in [1u64, 5, 9] {
+            let run = |fused: bool| {
+                let mut st = ArchState::new();
+                let mut mem = DeterministicMem::new(0);
+                st.set(Reg::int(0), v);
+                if fused {
+                    let mut u = Uop::cmp(Reg::int(0), None, Some(5));
+                    u.kind = UopKind::Fused(FusedKind::CmpAssert { cond: Cond::Lt, expect: true });
+                    let fx = step(&u, &mut st, &mut mem, None);
+                    (st.architectural(), fx)
+                } else {
+                    step(&Uop::cmp(Reg::int(0), None, Some(5)), &mut st, &mut mem, None);
+                    let fx = step(&Uop::assert(Cond::Lt, true), &mut st, &mut mem, None);
+                    (st.architectural(), fx)
+                }
+            };
+            assert_eq!(run(true), run(false), "v={v}");
+        }
+    }
+
+    #[test]
+    fn fused_alu_alu_semantics() {
+        let mut st = ArchState::new();
+        let mut mem = DeterministicMem::new(0);
+        st.set(Reg::int(1), 6);
+        st.set(Reg::int(2), 2);
+        st.set(Reg::int(3), 3);
+        // dst = (r1 - r2) + r3 = 7
+        let mut u = Uop::alu(AluOp::Sub, Reg::int(0), Reg::int(1), Reg::int(2));
+        u.kind = UopKind::Fused(FusedKind::AluAlu { first: AluOp::Sub, second: AluOp::Add });
+        u.srcs = [Some(Reg::int(1)), Some(Reg::int(2)), Some(Reg::int(3))];
+        step(&u, &mut st, &mut mem, None);
+        assert_eq!(st.get(Reg::int(0)), 7);
+    }
+
+    #[test]
+    fn simd_pack_executes_all_lanes() {
+        use crate::{PackOp, SimdLane, SimdPack};
+        let mut st = ArchState::new();
+        let mut mem = DeterministicMem::new(0);
+        st.set(Reg::int(1), 10);
+        st.set(Reg::int(2), 20);
+        let pack = SimdPack {
+            op: PackOp::Int(AluOp::Add),
+            lanes: vec![
+                SimdLane { dst: Reg::int(3), a: Reg::int(1), b: None, imm: 1 },
+                SimdLane { dst: Reg::int(4), a: Reg::int(2), b: None, imm: 2 },
+            ],
+        };
+        let u = Uop { kind: UopKind::Simd(Box::new(pack)), ..Uop::mov_imm(Reg::int(0), 0) };
+        step(&u, &mut st, &mut mem, None);
+        assert_eq!(st.get(Reg::int(3)), 11);
+        assert_eq!(st.get(Reg::int(4)), 22);
+    }
+
+    #[test]
+    fn flags_pack_into_architectural_vector() {
+        let mut st = ArchState::new();
+        st.zero = true;
+        st.neg = false;
+        let v = st.architectural();
+        assert_eq!(v.len(), 33);
+        assert_eq!(v[32], 1);
+    }
+}

@@ -1,0 +1,245 @@
+use crate::{AluOp, Cond, FpOp, Operand, Reg};
+
+/// Index of a macro-instruction within its program's flat instruction table.
+pub type InstId = u32;
+
+/// A memory reference in a macro-instruction.
+///
+/// The effective address is produced at run time by the workload engine's
+/// address generators; `stream` identifies which generator. `base` and
+/// `offset` give the reference its dataflow shape (the AGU reads `base`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Register feeding address generation.
+    pub base: Reg,
+    /// Static displacement (affects encoded length).
+    pub offset: i32,
+    /// Identifier of the dynamic address stream that resolves this reference.
+    pub stream: u16,
+}
+
+/// The operation performed by a macro-instruction.
+///
+/// The mix is deliberately CISC-flavoured: several variants decode into
+/// multiple uops ([`InstKind::uop_count`]), and encoded lengths vary from 1
+/// to 15 bytes ([`Inst::encoded_len`]), so that parallel decode is the
+/// front-end bottleneck the paper describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstKind {
+    /// `dst = op(src, rhs)` — 1 uop.
+    IntAlu { op: AluOp, dst: Reg, src: Reg, rhs: Operand },
+    /// `dst = src1 * src2` — 1 uop, long latency.
+    IntMul { dst: Reg, src1: Reg, src2: Reg },
+    /// `dst = src1 / max(src2,1)` — 1 uop, very long latency, unpipelined.
+    IntDiv { dst: Reg, src1: Reg, src2: Reg },
+    /// `dst = [mem]` — 1 uop.
+    Load { dst: Reg, mem: MemRef },
+    /// `[mem] = src` — 1 uop (store-address and store-data fused).
+    Store { src: Reg, mem: MemRef },
+    /// `dst = op(src, [mem])` — CISC load-op, 2 uops.
+    LoadOp { op: AluOp, dst: Reg, src: Reg, mem: MemRef },
+    /// `[mem] = op([mem], src)` — CISC read-modify-write, 3 uops.
+    RmwStore { op: AluOp, src: Reg, mem: MemRef },
+    /// `flags = compare(src, rhs)` — 1 uop.
+    Cmp { src: Reg, rhs: Operand },
+    /// `dst = op(src1, src2)` over FP registers — 1 uop.
+    FpAlu { op: FpOp, dst: Reg, src1: Reg, src2: Reg },
+    /// `dst = [mem]` into an FP register — 1 uop.
+    FpLoad { dst: Reg, mem: MemRef },
+    /// `[mem] = src` from an FP register — 1 uop.
+    FpStore { src: Reg, mem: MemRef },
+    /// Conditional direct branch reading flags — 1 uop.
+    CondBranch { cond: Cond },
+    /// Unconditional direct jump — 1 uop.
+    Jump,
+    /// Indirect jump through a register (e.g. a jump table) — 1 uop.
+    IndirectJump { sel: Reg },
+    /// Direct call: pushes the return address (store) then jumps — 2 uops.
+    Call,
+    /// Return: pops the return address (load) then jumps — 2 uops.
+    Return,
+    /// No-operation (padding) — 1 uop.
+    Nop,
+}
+
+impl InstKind {
+    /// Number of uops this macro-instruction decodes into.
+    pub fn uop_count(&self) -> usize {
+        match self {
+            InstKind::LoadOp { .. } | InstKind::Call | InstKind::Return => 2,
+            InstKind::RmwStore { .. } => 3,
+            _ => 1,
+        }
+    }
+
+    /// Is this a control-transfer instruction?
+    pub fn is_cti(&self) -> bool {
+        matches!(
+            self,
+            InstKind::CondBranch { .. }
+                | InstKind::Jump
+                | InstKind::IndirectJump { .. }
+                | InstKind::Call
+                | InstKind::Return
+        )
+    }
+
+    /// Is this a conditional branch?
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, InstKind::CondBranch { .. })
+    }
+
+    /// Does this instruction reference memory?
+    pub fn mem_ref(&self) -> Option<MemRef> {
+        match self {
+            InstKind::Load { mem, .. }
+            | InstKind::Store { mem, .. }
+            | InstKind::LoadOp { mem, .. }
+            | InstKind::RmwStore { mem, .. }
+            | InstKind::FpLoad { mem, .. }
+            | InstKind::FpStore { mem, .. } => Some(*mem),
+            _ => None,
+        }
+    }
+}
+
+/// A macro-instruction: an [`InstKind`] plus its code-layout attributes.
+///
+/// `addr` is assigned by the workload program layout; `target` is the static
+/// branch/jump/call destination (0 when not applicable or dynamic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Inst {
+    pub kind: InstKind,
+    /// Encoded length in bytes (1..=15), fixed by the kind.
+    pub len: u8,
+    /// Virtual address of the first byte, assigned at program layout.
+    pub addr: u64,
+    /// Static control-transfer target address (0 when none/dynamic).
+    pub target: u64,
+}
+
+impl Inst {
+    /// Create an instruction with its encoded length derived from the kind.
+    /// `addr` and `target` start at zero and are filled in by program layout.
+    pub fn new(kind: InstKind) -> Inst {
+        Inst { kind, len: Self::encoded_len(&kind), addr: 0, target: 0 }
+    }
+
+    /// The variable encoded length (bytes) of a macro-instruction.
+    ///
+    /// Modeled after IA32's distribution: simple register ops are short,
+    /// immediates and displacements add bytes, CISC memory forms are long.
+    pub fn encoded_len(kind: &InstKind) -> u8 {
+        let len = match kind {
+            InstKind::IntAlu { rhs, .. } => match rhs {
+                Operand::Reg(_) => 2,
+                Operand::Imm(i) if (-128..128).contains(i) => 3,
+                Operand::Imm(_) => 6,
+            },
+            InstKind::IntMul { .. } => 3,
+            InstKind::IntDiv { .. } => 3,
+            InstKind::Load { mem, .. } | InstKind::Store { mem, .. } => mem_len(2, mem),
+            InstKind::LoadOp { mem, .. } => mem_len(3, mem),
+            InstKind::RmwStore { mem, .. } => mem_len(4, mem),
+            InstKind::Cmp { rhs, .. } => match rhs {
+                Operand::Reg(_) => 2,
+                Operand::Imm(i) if (-128..128).contains(i) => 3,
+                Operand::Imm(_) => 6,
+            },
+            InstKind::FpAlu { .. } => 4,
+            InstKind::FpLoad { mem, .. } | InstKind::FpStore { mem, .. } => mem_len(3, mem),
+            InstKind::CondBranch { .. } => 2,
+            InstKind::Jump => 2,
+            InstKind::IndirectJump { .. } => 3,
+            InstKind::Call => 5,
+            InstKind::Return => 1,
+            InstKind::Nop => 1,
+        };
+        debug_assert!((1..=15).contains(&len));
+        len
+    }
+
+    /// End address (first byte after this instruction); the fall-through PC.
+    pub fn next_pc(&self) -> u64 {
+        self.addr + u64::from(self.len)
+    }
+}
+
+fn mem_len(base: u8, mem: &MemRef) -> u8 {
+    if mem.offset == 0 {
+        base + 1
+    } else if (-128..128).contains(&mem.offset) {
+        base + 2
+    } else {
+        base + 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(offset: i32) -> MemRef {
+        MemRef { base: Reg::int(1), offset, stream: 0 }
+    }
+
+    #[test]
+    fn uop_counts_match_cisc_shape() {
+        assert_eq!(
+            InstKind::IntAlu { op: AluOp::Add, dst: Reg::int(0), src: Reg::int(1), rhs: Operand::Imm(1) }
+                .uop_count(),
+            1
+        );
+        assert_eq!(
+            InstKind::LoadOp { op: AluOp::Add, dst: Reg::int(0), src: Reg::int(1), mem: mem(0) }.uop_count(),
+            2
+        );
+        assert_eq!(InstKind::RmwStore { op: AluOp::Add, src: Reg::int(0), mem: mem(0) }.uop_count(), 3);
+        assert_eq!(InstKind::Call.uop_count(), 2);
+        assert_eq!(InstKind::Return.uop_count(), 2);
+    }
+
+    #[test]
+    fn lengths_are_variable_and_bounded() {
+        let kinds = [
+            InstKind::Nop,
+            InstKind::Return,
+            InstKind::IntAlu { op: AluOp::Add, dst: Reg::int(0), src: Reg::int(1), rhs: Operand::Imm(1 << 20) },
+            InstKind::RmwStore { op: AluOp::Add, src: Reg::int(0), mem: mem(100_000) },
+            InstKind::Call,
+        ];
+        let lens: Vec<u8> = kinds.iter().map(Inst::encoded_len).collect();
+        assert!(lens.iter().all(|&l| (1..=15).contains(&l)));
+        // Variable length: at least three distinct lengths among these.
+        let mut uniq = lens.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() >= 3, "lengths not variable: {lens:?}");
+    }
+
+    #[test]
+    fn cti_classification() {
+        assert!(InstKind::CondBranch { cond: Cond::Eq }.is_cti());
+        assert!(InstKind::CondBranch { cond: Cond::Eq }.is_cond_branch());
+        assert!(InstKind::Jump.is_cti());
+        assert!(InstKind::Call.is_cti());
+        assert!(InstKind::Return.is_cti());
+        assert!(InstKind::IndirectJump { sel: Reg::int(0) }.is_cti());
+        assert!(!InstKind::Nop.is_cti());
+        assert!(!InstKind::Jump.is_cond_branch());
+    }
+
+    #[test]
+    fn next_pc_uses_length() {
+        let mut i = Inst::new(InstKind::Call);
+        i.addr = 100;
+        assert_eq!(i.next_pc(), 100 + u64::from(i.len));
+    }
+
+    #[test]
+    fn mem_ref_extraction() {
+        let k = InstKind::Load { dst: Reg::int(0), mem: mem(4) };
+        assert_eq!(k.mem_ref(), Some(mem(4)));
+        assert_eq!(InstKind::Nop.mem_ref(), None);
+    }
+}

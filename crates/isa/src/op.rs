@@ -1,0 +1,269 @@
+use crate::Reg;
+use std::fmt;
+
+/// Integer ALU operation.
+///
+/// Semantics are defined over `u64` with wrapping arithmetic (see
+/// [`AluOp::apply`]); this keeps the functional model fully deterministic,
+/// which the optimizer equivalence tests rely on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    /// Register-to-register (or immediate-to-register) move; `rhs` is the
+    /// moved value and `src` is ignored by [`AluOp::apply`].
+    Mov,
+}
+
+impl AluOp {
+    /// All ALU operations, for exhaustive iteration in tests and generators.
+    pub const ALL: [AluOp; 8] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Mov,
+    ];
+
+    /// Apply the operation to two 64-bit values.
+    ///
+    /// Shifts use only the low 6 bits of `b`, mirroring hardware behaviour.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::Mov => b,
+        }
+    }
+
+    /// Is `op(a, identity) == a` for every `a`? Returns the right-identity
+    /// element if one exists; used by the logic-simplification pass.
+    pub fn right_identity(self) -> Option<u64> {
+        match self {
+            AluOp::Add | AluOp::Sub | AluOp::Or | AluOp::Xor | AluOp::Shl | AluOp::Shr => Some(0),
+            AluOp::And => Some(u64::MAX),
+            AluOp::Mov => None,
+        }
+    }
+
+    /// Does `op(a, z) == z` for every `a`? Returns the right-annihilator
+    /// (a constant result independent of the left operand) if one exists.
+    pub fn right_annihilator(self) -> Option<(u64, u64)> {
+        match self {
+            AluOp::And => Some((0, 0)),
+            AluOp::Or => Some((u64::MAX, u64::MAX)),
+            _ => None,
+        }
+    }
+}
+
+/// Floating-point operation.
+///
+/// For determinism the functional model evaluates FP operations over the
+/// integer bit patterns (wrapping arithmetic); only the *structure* of FP
+/// dataflow matters to the microarchitecture study, never IEEE rounding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mov,
+}
+
+impl FpOp {
+    /// All FP operations, for exhaustive iteration.
+    pub const ALL: [FpOp; 5] = [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div, FpOp::Mov];
+
+    /// Deterministic stand-in semantics over bit patterns.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            FpOp::Add => a.wrapping_add(b),
+            FpOp::Sub => a.wrapping_sub(b),
+            FpOp::Mul => a.wrapping_mul(b).rotate_left(1),
+            FpOp::Div => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            FpOp::Mov => b,
+        }
+    }
+}
+
+/// Packed (SIMD) operation kind, produced only by the dynamic optimizer's
+/// SIMDification pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PackOp {
+    Int(AluOp),
+    Fp(FpOp),
+}
+
+impl PackOp {
+    /// Apply the packed lane operation to one lane.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            PackOp::Int(op) => op.apply(a, b),
+            PackOp::Fp(op) => op.apply(a, b),
+        }
+    }
+}
+
+/// Branch condition, evaluated against the flags produced by a `cmp`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Gt,
+    Le,
+}
+
+impl Cond {
+    /// All conditions, for exhaustive iteration.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Gt, Cond::Le];
+
+    /// Evaluate against comparison flags (`zero`, `negative`), as produced by
+    /// [`crate::exec::compare_flags`].
+    pub fn eval(self, zero: bool, negative: bool) -> bool {
+        match self {
+            Cond::Eq => zero,
+            Cond::Ne => !zero,
+            Cond::Lt => negative,
+            Cond::Ge => !negative,
+            Cond::Gt => !negative && !zero,
+            Cond::Le => negative || zero,
+        }
+    }
+
+    /// The condition with the opposite truth value on every input.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Gt => Cond::Le,
+            Cond::Le => Cond::Gt,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The right-hand operand of a two-operand macro-instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    Reg(Reg),
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register named by this operand, if any.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// The immediate carried by this operand, if any.
+    pub fn imm(self) -> Option<i64> {
+        match self {
+            Operand::Reg(_) => None,
+            Operand::Imm(i) => Some(i),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(i: i64) -> Operand {
+        Operand::Imm(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_identities_hold() {
+        for op in AluOp::ALL {
+            if let Some(id) = op.right_identity() {
+                for a in [0u64, 1, 7, u64::MAX, 0xdead_beef] {
+                    assert_eq!(op.apply(a, id), a, "{op:?} identity");
+                }
+            }
+            if let Some((z, result)) = op.right_annihilator() {
+                for a in [0u64, 1, 7, u64::MAX] {
+                    assert_eq!(op.apply(a, z), result, "{op:?} annihilator");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cond_negation_is_involutive_and_opposite() {
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+            for (z, n) in [(false, false), (false, true), (true, false)] {
+                assert_eq!(c.eval(z, n), !c.negate().eval(z, n));
+            }
+        }
+    }
+
+    #[test]
+    fn mov_returns_rhs() {
+        assert_eq!(AluOp::Mov.apply(123, 456), 456);
+        assert_eq!(FpOp::Mov.apply(123, 456), 456);
+    }
+
+    #[test]
+    fn fp_div_by_zero_is_defined() {
+        assert_eq!(FpOp::Div.apply(10, 0), u64::MAX);
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let r = Operand::from(Reg::int(2));
+        assert_eq!(r.reg(), Some(Reg::int(2)));
+        assert_eq!(r.imm(), None);
+        let i = Operand::from(-5i64);
+        assert_eq!(i.imm(), Some(-5));
+        assert_eq!(i.reg(), None);
+    }
+}

@@ -1,0 +1,170 @@
+use std::fmt;
+
+/// An architectural or virtual register name.
+///
+/// The synthetic ISA exposes 16 integer registers (`R0..R15`), 16
+/// floating-point registers (`F0..F15`) and a flags register. The dynamic
+/// optimizer may additionally introduce *virtual* registers (trace-local
+/// temporaries produced by partial renaming); these are never architecturally
+/// visible and are excluded from live-out equivalence checks.
+///
+/// ```
+/// use parrot_isa::Reg;
+/// let r = Reg::int(3);
+/// assert!(r.is_int() && !r.is_fp() && !r.is_virtual());
+/// assert_eq!(r.to_string(), "r3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural integer registers.
+    pub const NUM_INT: u8 = 16;
+    /// Number of architectural floating-point registers.
+    pub const NUM_FP: u8 = 16;
+    /// Total number of architectural registers, including flags.
+    pub const NUM_ARCH: usize = 33;
+    /// First virtual (optimizer-introduced) register index.
+    pub const VIRT_BASE: u8 = 64;
+    /// Number of virtual registers available to the optimizer.
+    pub const NUM_VIRT: u8 = 128;
+
+    /// The flags register (written by `cmp`/`test`, read by branches).
+    pub const FLAGS: Reg = Reg(32);
+
+    /// The stack pointer (`r15` by convention): calls push and returns pop
+    /// through it. Workload generators never allocate it as a general
+    /// destination.
+    pub const SP: Reg = Reg(15);
+
+    /// Integer register `rN`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 16`.
+    pub fn int(n: u8) -> Reg {
+        assert!(n < Self::NUM_INT, "integer register out of range: {n}");
+        Reg(n)
+    }
+
+    /// Floating-point register `fN`.
+    ///
+    /// # Panics
+    /// Panics if `n >= 16`.
+    pub fn fp(n: u8) -> Reg {
+        assert!(n < Self::NUM_FP, "fp register out of range: {n}");
+        Reg(16 + n)
+    }
+
+    /// Virtual (trace-local) register `vN`, as introduced by partial renaming.
+    ///
+    /// # Panics
+    /// Panics if `n >= 128`.
+    pub fn virt(n: u8) -> Reg {
+        assert!(n < Self::NUM_VIRT, "virtual register out of range: {n}");
+        Reg(Self::VIRT_BASE + n)
+    }
+
+    /// Raw index, usable directly as a table index (`0..=191`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct from a raw index previously obtained via [`Reg::index`].
+    pub fn from_index(i: usize) -> Reg {
+        debug_assert!(i < 192, "register index out of range: {i}");
+        Reg(i as u8)
+    }
+
+    /// Is this an architectural integer register?
+    pub fn is_int(self) -> bool {
+        self.0 < Self::NUM_INT
+    }
+
+    /// Is this an architectural floating-point register?
+    pub fn is_fp(self) -> bool {
+        (16..32).contains(&self.0)
+    }
+
+    /// Is this the flags register?
+    pub fn is_flags(self) -> bool {
+        self == Self::FLAGS
+    }
+
+    /// Is this a virtual register introduced by the optimizer?
+    pub fn is_virtual(self) -> bool {
+        self.0 >= Self::VIRT_BASE
+    }
+
+    /// Is this register architecturally visible (int, fp or flags)?
+    pub fn is_architectural(self) -> bool {
+        !self.is_virtual()
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_int() {
+            write!(f, "r{}", self.0)
+        } else if self.is_fp() {
+            write!(f, "f{}", self.0 - 16)
+        } else if self.is_flags() {
+            write!(f, "flags")
+        } else {
+            write!(f, "v{}", self.0 - Self::VIRT_BASE)
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_disjoint() {
+        for i in 0..16 {
+            assert!(Reg::int(i).is_int());
+            assert!(!Reg::int(i).is_fp());
+            assert!(!Reg::int(i).is_virtual());
+            assert!(Reg::int(i).is_architectural());
+            assert!(Reg::fp(i).is_fp());
+            assert!(!Reg::fp(i).is_int());
+        }
+        assert!(Reg::FLAGS.is_flags());
+        assert!(Reg::FLAGS.is_architectural());
+        assert!(Reg::virt(5).is_virtual());
+        assert!(!Reg::virt(5).is_architectural());
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for r in [Reg::int(0), Reg::int(15), Reg::fp(0), Reg::fp(15), Reg::FLAGS, Reg::virt(0), Reg::virt(127)] {
+            assert_eq!(Reg::from_index(r.index()), r);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::int(0).to_string(), "r0");
+        assert_eq!(Reg::fp(15).to_string(), "f15");
+        assert_eq!(Reg::FLAGS.to_string(), "flags");
+        assert_eq!(Reg::virt(7).to_string(), "v7");
+    }
+
+    #[test]
+    #[should_panic]
+    fn int_out_of_range_panics() {
+        let _ = Reg::int(16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fp_out_of_range_panics() {
+        let _ = Reg::fp(16);
+    }
+}

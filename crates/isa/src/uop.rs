@@ -1,0 +1,402 @@
+use crate::{AluOp, Cond, FpOp, PackOp, Reg};
+use std::fmt;
+
+/// One lane of a SIMDified (packed) uop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimdLane {
+    pub dst: Reg,
+    pub a: Reg,
+    /// Register right-hand operand; `None` means the lane uses `imm`.
+    pub b: Option<Reg>,
+    /// Immediate right-hand operand when `b` is `None`.
+    pub imm: i64,
+}
+
+/// A packed uop produced by the optimizer's SIMDification pass: `lanes`
+/// isomorphic, independent scalar operations executed as one uop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimdPack {
+    pub op: PackOp,
+    pub lanes: Vec<SimdLane>,
+}
+
+/// A fused uop produced by the optimizer's fusion pass: two dependent
+/// operations occupying a single issue slot and scheduler entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FusedKind {
+    /// `cmp srcs[0], srcs[1]/imm` + conditional branch, macro-fused.
+    CmpBranch { cond: Cond },
+    /// `cmp` + trace assert, macro-fused (the dominant fusion inside traces).
+    CmpAssert { cond: Cond, expect: bool },
+    /// `dst = second(first(srcs[0], srcs[1]/imm), srcs[2])` — dependent
+    /// ALU pair collapsed into one uop.
+    AluAlu { first: AluOp, second: AluOp },
+}
+
+/// The operation performed by a micro-operation.
+///
+/// Plain variants come out of the decoder ([`crate::decode::decode`]);
+/// [`UopKind::Assert`], [`UopKind::Fused`] and [`UopKind::Simd`] are
+/// introduced only by trace construction and the dynamic optimizer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UopKind {
+    /// `dst = op(srcs[0], srcs[1] or imm)`.
+    Alu(AluOp),
+    /// `dst = imm`.
+    MovImm,
+    /// `dst = srcs[0] * srcs[1]`.
+    Mul,
+    /// `dst = srcs[0] / max(srcs[1],1)`.
+    Div,
+    /// `flags = compare(srcs[0], srcs[1] or imm)`.
+    Cmp,
+    /// FP operation `dst = op(srcs[0], srcs[1])`.
+    Fp(FpOp),
+    /// `dst = [mem]`.
+    Load,
+    /// `[mem] = srcs[0]`.
+    Store,
+    /// Conditional branch reading flags.
+    Branch(Cond),
+    /// Unconditional direct jump.
+    Jump,
+    /// Indirect jump through `srcs[0]`.
+    JumpInd,
+    /// Push of the return address on a call (store-class).
+    CallPush,
+    /// Pop of the return address on a return (load-class).
+    RetPop,
+    /// Trace assert: verifies an embedded branch went the recorded way.
+    /// Reads flags; fires a trace abort on mismatch instead of redirecting.
+    Assert { cond: Cond, expect: bool },
+    /// Fused pair (optimizer-generated).
+    Fused(FusedKind),
+    /// Packed lanes (optimizer-generated).
+    Simd(Box<SimdPack>),
+    /// No operation.
+    Nop,
+}
+
+/// Execution-resource class of a uop; determines port binding and latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecClass {
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAdd,
+    FpMul,
+    FpDiv,
+    Load,
+    Store,
+    Branch,
+    Simd,
+    Nop,
+}
+
+/// A micro-operation: the unit of renaming, scheduling, optimization and
+/// energy accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Uop {
+    pub kind: UopKind,
+    /// Destination register, if the uop produces a register value.
+    pub dst: Option<Reg>,
+    /// Source registers (compactly, up to three).
+    pub srcs: [Option<Reg>; 3],
+    /// Immediate operand, when the kind uses one.
+    pub imm: Option<i64>,
+    /// Ordinal of the originating macro-instruction within its container
+    /// (dynamic stream slice or trace frame).
+    pub inst_idx: u32,
+    /// For memory uops inside a trace frame: stable index into the frame's
+    /// recorded effective-address sequence. Survives optimizer reordering so
+    /// functional replay can resolve addresses. `None` outside traces.
+    pub mem_slot: Option<u16>,
+}
+
+impl Uop {
+    fn base(kind: UopKind) -> Uop {
+        Uop { kind, dst: None, srcs: [None; 3], imm: None, inst_idx: 0, mem_slot: None }
+    }
+
+    /// `dst = op(a, b)`.
+    pub fn alu(op: AluOp, dst: Reg, a: Reg, b: Reg) -> Uop {
+        Uop { dst: Some(dst), srcs: [Some(a), Some(b), None], ..Self::base(UopKind::Alu(op)) }
+    }
+
+    /// `dst = op(a, imm)`.
+    pub fn alu_imm(op: AluOp, dst: Reg, a: Reg, imm: i64) -> Uop {
+        Uop { dst: Some(dst), srcs: [Some(a), None, None], imm: Some(imm), ..Self::base(UopKind::Alu(op)) }
+    }
+
+    /// `dst = imm`.
+    pub fn mov_imm(dst: Reg, imm: i64) -> Uop {
+        Uop { dst: Some(dst), imm: Some(imm), ..Self::base(UopKind::MovImm) }
+    }
+
+    /// `flags = compare(a, b)`.
+    pub fn cmp(a: Reg, b: Option<Reg>, imm: Option<i64>) -> Uop {
+        Uop { srcs: [Some(a), b, None], imm, ..Self::base(UopKind::Cmp) }
+    }
+
+    /// `dst = [mem]` (the effective address is supplied dynamically).
+    pub fn load(dst: Reg, base: Reg) -> Uop {
+        Uop { dst: Some(dst), srcs: [Some(base), None, None], ..Self::base(UopKind::Load) }
+    }
+
+    /// `[mem] = src`.
+    pub fn store(src: Reg, base: Reg) -> Uop {
+        Uop { srcs: [Some(src), Some(base), None], ..Self::base(UopKind::Store) }
+    }
+
+    /// Conditional branch on `cond`.
+    pub fn branch(cond: Cond) -> Uop {
+        Self::base(UopKind::Branch(cond))
+    }
+
+    /// Trace assert that `cond` evaluates to `expect`.
+    pub fn assert(cond: Cond, expect: bool) -> Uop {
+        Self::base(UopKind::Assert { cond, expect })
+    }
+
+    /// Does this uop read the flags register?
+    pub fn reads_flags(&self) -> bool {
+        matches!(
+            self.kind,
+            UopKind::Branch(_) | UopKind::Assert { .. }
+        )
+    }
+
+    /// Does this uop write the flags register?
+    ///
+    /// Fused compare-and-branch forms still write flags (as the unfused
+    /// `cmp` would), so fusion is semantics-preserving without a liveness
+    /// side condition.
+    pub fn writes_flags(&self) -> bool {
+        matches!(
+            self.kind,
+            UopKind::Cmp
+                | UopKind::Fused(FusedKind::CmpBranch { .. })
+                | UopKind::Fused(FusedKind::CmpAssert { .. })
+        )
+    }
+
+    /// Is this uop a memory load (including return-address pops)?
+    pub fn is_load(&self) -> bool {
+        matches!(self.kind, UopKind::Load | UopKind::RetPop)
+    }
+
+    /// Is this uop a memory store (including return-address pushes)?
+    pub fn is_store(&self) -> bool {
+        matches!(self.kind, UopKind::Store | UopKind::CallPush)
+    }
+
+    /// Does this uop access memory at all?
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Is this uop control flow (branch, jump, assert)?
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self.kind,
+            UopKind::Branch(_)
+                | UopKind::Jump
+                | UopKind::JumpInd
+                | UopKind::Assert { .. }
+                | UopKind::Fused(FusedKind::CmpBranch { .. })
+                | UopKind::Fused(FusedKind::CmpAssert { .. })
+        )
+    }
+
+    /// Is this uop an assert (plain or fused)?
+    pub fn is_assert(&self) -> bool {
+        matches!(
+            self.kind,
+            UopKind::Assert { .. } | UopKind::Fused(FusedKind::CmpAssert { .. })
+        )
+    }
+
+    /// The execution-resource class, determining port binding and latency.
+    pub fn exec_class(&self) -> ExecClass {
+        match &self.kind {
+            UopKind::Alu(_) | UopKind::MovImm | UopKind::Cmp => ExecClass::IntAlu,
+            UopKind::Mul => ExecClass::IntMul,
+            UopKind::Div => ExecClass::IntDiv,
+            UopKind::Fp(FpOp::Add) | UopKind::Fp(FpOp::Sub) | UopKind::Fp(FpOp::Mov) => ExecClass::FpAdd,
+            UopKind::Fp(FpOp::Mul) => ExecClass::FpMul,
+            UopKind::Fp(FpOp::Div) => ExecClass::FpDiv,
+            UopKind::Load | UopKind::RetPop => ExecClass::Load,
+            UopKind::Store | UopKind::CallPush => ExecClass::Store,
+            UopKind::Branch(_) | UopKind::Jump | UopKind::JumpInd | UopKind::Assert { .. } => {
+                ExecClass::Branch
+            }
+            UopKind::Fused(FusedKind::CmpBranch { .. }) | UopKind::Fused(FusedKind::CmpAssert { .. }) => {
+                ExecClass::Branch
+            }
+            UopKind::Fused(FusedKind::AluAlu { .. }) => ExecClass::IntAlu,
+            UopKind::Simd(p) => match p.op {
+                PackOp::Int(_) => ExecClass::Simd,
+                PackOp::Fp(_) => ExecClass::Simd,
+            },
+            UopKind::Nop => ExecClass::Nop,
+        }
+    }
+
+    /// Visit every register this uop reads (including flags when applicable).
+    pub fn for_each_use(&self, mut f: impl FnMut(Reg)) {
+        if let UopKind::Simd(pack) = &self.kind {
+            for lane in &pack.lanes {
+                f(lane.a);
+                if let Some(b) = lane.b {
+                    f(b);
+                }
+            }
+            return;
+        }
+        for src in self.srcs.iter().flatten() {
+            f(*src);
+        }
+        if self.reads_flags() {
+            f(Reg::FLAGS);
+        }
+    }
+
+    /// Visit every register this uop writes (including flags when applicable).
+    pub fn for_each_def(&self, mut f: impl FnMut(Reg)) {
+        if let UopKind::Simd(pack) = &self.kind {
+            for lane in &pack.lanes {
+                f(lane.dst);
+            }
+            return;
+        }
+        if let Some(d) = self.dst {
+            f(d);
+        }
+        if self.writes_flags() {
+            f(Reg::FLAGS);
+        }
+    }
+
+    /// Collect the registers read, in order (allocating; for tests/tools).
+    pub fn uses(&self) -> Vec<Reg> {
+        let mut v = Vec::new();
+        self.for_each_use(|r| v.push(r));
+        v
+    }
+
+    /// Collect the registers written, in order (allocating; for tests/tools).
+    pub fn defs(&self) -> Vec<Reg> {
+        let mut v = Vec::new();
+        self.for_each_def(|r| v.push(r));
+        v
+    }
+}
+
+impl fmt::Display for Uop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.kind)?;
+        if let Some(d) = self.dst {
+            write!(f, " -> {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over the (up to three) plain source registers of a uop.
+#[derive(Debug)]
+pub struct SrcIter<'a> {
+    srcs: &'a [Option<Reg>; 3],
+    i: usize,
+}
+
+impl<'a> Iterator for SrcIter<'a> {
+    type Item = Reg;
+
+    fn next(&mut self) -> Option<Reg> {
+        while self.i < 3 {
+            let s = self.srcs[self.i];
+            self.i += 1;
+            if let Some(r) = s {
+                return Some(r);
+            }
+        }
+        None
+    }
+}
+
+impl Uop {
+    /// Iterate over the plain (non-flags, non-SIMD-lane) source registers.
+    pub fn src_iter(&self) -> SrcIter<'_> {
+        SrcIter { srcs: &self.srcs, i: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_dataflow_is_explicit() {
+        let c = Uop::cmp(Reg::int(0), None, Some(5));
+        assert!(c.writes_flags());
+        assert_eq!(c.defs(), vec![Reg::FLAGS]);
+        let b = Uop::branch(Cond::Eq);
+        assert!(b.reads_flags());
+        assert_eq!(b.uses(), vec![Reg::FLAGS]);
+    }
+
+    #[test]
+    fn exec_classes() {
+        assert_eq!(Uop::alu(AluOp::Add, Reg::int(0), Reg::int(1), Reg::int(2)).exec_class(), ExecClass::IntAlu);
+        assert_eq!(Uop::load(Reg::int(0), Reg::int(1)).exec_class(), ExecClass::Load);
+        assert_eq!(Uop::store(Reg::int(0), Reg::int(1)).exec_class(), ExecClass::Store);
+        assert_eq!(Uop::branch(Cond::Ne).exec_class(), ExecClass::Branch);
+        assert_eq!(Uop::assert(Cond::Ne, true).exec_class(), ExecClass::Branch);
+        let mut div = Uop::alu(AluOp::Add, Reg::int(0), Reg::int(1), Reg::int(2));
+        div.kind = UopKind::Div;
+        assert_eq!(div.exec_class(), ExecClass::IntDiv);
+    }
+
+    #[test]
+    fn simd_defs_and_uses_cover_all_lanes() {
+        let pack = SimdPack {
+            op: PackOp::Int(AluOp::Add),
+            lanes: vec![
+                SimdLane { dst: Reg::int(0), a: Reg::int(1), b: Some(Reg::int(2)), imm: 0 },
+                SimdLane { dst: Reg::int(3), a: Reg::int(4), b: None, imm: 7 },
+            ],
+        };
+        let uop = Uop { kind: UopKind::Simd(Box::new(pack)), ..Uop::mov_imm(Reg::int(0), 0) };
+        assert_eq!(uop.defs(), vec![Reg::int(0), Reg::int(3)]);
+        assert_eq!(uop.uses(), vec![Reg::int(1), Reg::int(2), Reg::int(4)]);
+    }
+
+    #[test]
+    fn src_iter_skips_holes() {
+        let mut u = Uop::alu(AluOp::Add, Reg::int(0), Reg::int(1), Reg::int(2));
+        u.srcs = [Some(Reg::int(1)), None, Some(Reg::int(3))];
+        let srcs: Vec<Reg> = u.src_iter().collect();
+        assert_eq!(srcs, vec![Reg::int(1), Reg::int(3)]);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Uop::branch(Cond::Eq).is_control());
+        assert!(Uop::assert(Cond::Eq, false).is_control());
+        assert!(Uop::assert(Cond::Eq, false).is_assert());
+        assert!(!Uop::load(Reg::int(0), Reg::int(1)).is_control());
+        let fused = Uop {
+            kind: UopKind::Fused(FusedKind::CmpAssert { cond: Cond::Lt, expect: true }),
+            ..Uop::cmp(Reg::int(0), None, Some(1))
+        };
+        assert!(fused.is_control() && fused.is_assert());
+    }
+
+    #[test]
+    fn mem_classification_includes_call_return() {
+        let push = Uop { kind: UopKind::CallPush, ..Uop::store(Reg::int(0), Reg::int(1)) };
+        let pop = Uop { kind: UopKind::RetPop, ..Uop::load(Reg::int(0), Reg::int(1)) };
+        assert!(push.is_store() && push.is_mem() && !push.is_load());
+        assert!(pop.is_load() && pop.is_mem() && !pop.is_store());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the ISA layer: decode totality and functional
+//! semantics determinism over arbitrary instructions and states.
+
+use parrot_isa::exec::{step, ArchState, DeterministicMem};
+use parrot_isa::{decode, AluOp, Cond, FpOp, Inst, InstKind, MemRef, Operand, Reg};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = InstKind> {
+    let reg = (0u8..15).prop_map(Reg::int);
+    let fpreg = (0u8..16).prop_map(Reg::fp);
+    let mem = (0u8..15, -512i32..512, 0u16..8)
+        .prop_map(|(b, o, s)| MemRef { base: Reg::int(b), offset: o, stream: s });
+    let operand = prop_oneof![
+        (0u8..15).prop_map(|r| Operand::Reg(Reg::int(r))),
+        (-1000i64..1000).prop_map(Operand::Imm),
+    ];
+    prop_oneof![
+        (0usize..8, reg.clone(), reg.clone(), operand.clone()).prop_map(|(op, dst, src, rhs)| {
+            InstKind::IntAlu { op: AluOp::ALL[op], dst, src, rhs }
+        }),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| InstKind::IntMul { dst: d, src1: a, src2: b }),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| InstKind::IntDiv { dst: d, src1: a, src2: b }),
+        (reg.clone(), mem.clone()).prop_map(|(dst, mem)| InstKind::Load { dst, mem }),
+        (reg.clone(), mem.clone()).prop_map(|(src, mem)| InstKind::Store { src, mem }),
+        (0usize..8, reg.clone(), reg.clone(), mem.clone())
+            .prop_map(|(op, dst, src, mem)| InstKind::LoadOp { op: AluOp::ALL[op], dst, src, mem }),
+        (0usize..8, reg.clone(), mem.clone())
+            .prop_map(|(op, src, mem)| InstKind::RmwStore { op: AluOp::ALL[op], src, mem }),
+        (reg.clone(), operand).prop_map(|(src, rhs)| InstKind::Cmp { src, rhs }),
+        (0usize..5, fpreg.clone(), fpreg.clone(), fpreg)
+            .prop_map(|(op, dst, a, b)| InstKind::FpAlu { op: FpOp::ALL[op], dst, src1: a, src2: b }),
+        (0usize..6).prop_map(|c| InstKind::CondBranch { cond: Cond::ALL[c] }),
+        Just(InstKind::Jump),
+        reg.prop_map(|sel| InstKind::IndirectJump { sel }),
+        Just(InstKind::Call),
+        Just(InstKind::Return),
+        Just(InstKind::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn decode_is_total_and_sized(kind in arb_kind(), idx in 0u32..10_000) {
+        let inst = Inst::new(kind);
+        prop_assert!((1..=15).contains(&inst.len));
+        let uops = decode::decode(&inst, idx);
+        prop_assert_eq!(uops.len(), kind.uop_count());
+        for u in &uops {
+            prop_assert_eq!(u.inst_idx, idx);
+            // Decode never produces optimizer-only forms.
+            let optimizer_only = matches!(
+                u.kind,
+                parrot_isa::UopKind::Fused(_)
+                    | parrot_isa::UopKind::Simd(_)
+                    | parrot_isa::UopKind::Assert { .. }
+            );
+            prop_assert!(!optimizer_only);
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic(kind in arb_kind(), seed in any::<u64>()) {
+        let inst = Inst::new(kind);
+        let uops = decode::decode(&inst, 0);
+        let run = || {
+            let mut st = ArchState::seeded(seed);
+            let mut mem = DeterministicMem::new(seed ^ 1);
+            let mut fx = Vec::new();
+            for u in &uops {
+                let addr = u.is_mem().then_some(0x2000);
+                fx.push(step(u, &mut st, &mut mem, addr));
+            }
+            (st.architectural(), mem.store_log, fx)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn defs_and_uses_stay_in_register_space(kind in arb_kind()) {
+        let inst = Inst::new(kind);
+        for u in decode::decode(&inst, 3) {
+            for r in u.defs().into_iter().chain(u.uses()) {
+                prop_assert!(r.index() < 192);
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Static dependency graph over a trace's uop sequence.
+//!
+//! The optimizer "maintains a static dependency graph, which is used across
+//! different optimization passes" (§3.1). Edges cover true (RAW), output
+//! (WAW) and anti (WAR) register dependencies, conservative memory ordering
+//! (no memory operation crosses a store), and the control chain between
+//! asserts. Longest latency-weighted paths give the critical-path metric of
+//! Fig 4.9.
+
+use parrot_isa::{ExecClass, Reg, Uop};
+
+/// Nominal execution latency used for critical-path weighting.
+pub fn class_latency(class: ExecClass) -> u32 {
+    match class {
+        ExecClass::IntAlu | ExecClass::Branch | ExecClass::Nop | ExecClass::Store => 1,
+        ExecClass::IntMul => 3,
+        ExecClass::IntDiv => 16,
+        ExecClass::FpAdd => 3,
+        ExecClass::FpMul => 4,
+        ExecClass::FpDiv => 18,
+        ExecClass::Simd => 2,
+        ExecClass::Load => 2, // L1 hit assumption for static analysis
+    }
+}
+
+/// Dependency graph: for each uop, the indices of earlier uops it must
+/// follow.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    /// `preds[i]` = indices of uops that uop `i` depends on.
+    pub preds: Vec<Vec<u32>>,
+}
+
+impl DepGraph {
+    /// Build the graph for a uop sequence.
+    pub fn build(uops: &[Uop]) -> DepGraph {
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); uops.len()];
+        // Last writer and readers-since-last-write, per register.
+        let mut last_writer = [u32::MAX; 192];
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); 192];
+        let mut last_store = u32::MAX;
+        // Every memory uop since the previous store: a store must follow all
+        // of them (memory anti/output dependences).
+        let mut mem_since_store: Vec<u32> = Vec::new();
+        let mut last_assert = u32::MAX;
+
+        for (i, u) in uops.iter().enumerate() {
+            let i32_ = i as u32;
+            let p = &mut preds[i];
+            // RAW.
+            u.for_each_use(|r| {
+                let w = last_writer[r.index()];
+                if w != u32::MAX {
+                    push_unique(p, w);
+                }
+            });
+            // WAW and WAR.
+            u.for_each_def(|r| {
+                let w = last_writer[r.index()];
+                if w != u32::MAX {
+                    push_unique(p, w);
+                }
+                for rd in &readers[r.index()] {
+                    if *rd != i32_ {
+                        push_unique(p, *rd);
+                    }
+                }
+            });
+            // Memory ordering: nothing crosses a store.
+            if u.is_mem() {
+                if last_store != u32::MAX {
+                    push_unique(p, last_store);
+                }
+                if u.is_store() {
+                    for m in &mem_since_store {
+                        push_unique(p, *m);
+                    }
+                }
+            }
+            // Control chain between asserts.
+            if u.is_assert() {
+                if last_assert != u32::MAX {
+                    push_unique(p, last_assert);
+                }
+                last_assert = i32_;
+            }
+            // Update trackers after computing deps.
+            u.for_each_use(|r| readers[r.index()].push(i32_));
+            u.for_each_def(|r| {
+                last_writer[r.index()] = i32_;
+                readers[r.index()].clear();
+            });
+            if u.is_mem() {
+                if u.is_store() {
+                    last_store = i32_;
+                    mem_since_store.clear();
+                } else {
+                    mem_since_store.push(i32_);
+                }
+            }
+        }
+        DepGraph { preds }
+    }
+
+    /// Latency-weighted critical path length of the sequence.
+    pub fn critical_path(&self, uops: &[Uop]) -> u32 {
+        let mut depth = vec![0u32; uops.len()];
+        let mut max = 0;
+        for i in 0..uops.len() {
+            let start = self.preds[i].iter().map(|p| depth[*p as usize]).max().unwrap_or(0);
+            depth[i] = start + class_latency(uops[i].exec_class());
+            max = max.max(depth[i]);
+        }
+        max
+    }
+
+    /// Height of each uop: longest latency-weighted path from this uop to
+    /// any sink (used as list-scheduling priority).
+    pub fn heights(&self, uops: &[Uop]) -> Vec<u32> {
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); uops.len()];
+        for (i, ps) in self.preds.iter().enumerate() {
+            for p in ps {
+                succs[*p as usize].push(i as u32);
+            }
+        }
+        let mut h = vec![0u32; uops.len()];
+        for i in (0..uops.len()).rev() {
+            let best = succs[i].iter().map(|s| h[*s as usize]).max().unwrap_or(0);
+            h[i] = best + class_latency(uops[i].exec_class());
+        }
+        h
+    }
+
+    /// Does uop `j` transitively depend on uop `i`? (`i < j`; O(edges).)
+    pub fn depends_on(&self, j: usize, i: usize) -> bool {
+        let mut stack = vec![j as u32];
+        let mut seen = vec![false; self.preds.len()];
+        while let Some(x) = stack.pop() {
+            if x as usize == i {
+                return true;
+            }
+            if seen[x as usize] || (x as usize) < i {
+                continue;
+            }
+            seen[x as usize] = true;
+            for p in &self.preds[x as usize] {
+                if *p as usize >= i {
+                    stack.push(*p);
+                }
+            }
+        }
+        false
+    }
+}
+
+fn push_unique(v: &mut Vec<u32>, x: u32) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+/// A register used for WAR/WAW analysis outside the graph (re-export point
+/// for passes that need the same reg-indexing convention).
+pub fn reg_index(r: Reg) -> usize {
+    r.index()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parrot_isa::{AluOp, Cond, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::int(i)
+    }
+
+    #[test]
+    fn raw_dependency_detected() {
+        let uops = vec![
+            Uop::alu_imm(AluOp::Add, r(1), r(0), 1),
+            Uop::alu_imm(AluOp::Add, r(2), r(1), 1), // reads r1
+        ];
+        let g = DepGraph::build(&uops);
+        assert_eq!(g.preds[1], vec![0]);
+        assert!(g.depends_on(1, 0));
+    }
+
+    #[test]
+    fn independent_uops_have_no_edges() {
+        let uops = vec![
+            Uop::alu_imm(AluOp::Add, r(1), r(0), 1),
+            Uop::alu_imm(AluOp::Add, r(2), r(3), 1),
+        ];
+        let g = DepGraph::build(&uops);
+        assert!(g.preds[1].is_empty());
+        assert!(!g.depends_on(1, 0));
+    }
+
+    #[test]
+    fn waw_and_war_are_edges() {
+        let uops = vec![
+            Uop::alu_imm(AluOp::Add, r(1), r(0), 1), // write r1
+            Uop::alu_imm(AluOp::Add, r(2), r(1), 1), // read r1
+            Uop::alu_imm(AluOp::Add, r(1), r(3), 1), // write r1 again: WAW on 0, WAR on 1
+        ];
+        let g = DepGraph::build(&uops);
+        assert!(g.preds[2].contains(&0), "WAW");
+        assert!(g.preds[2].contains(&1), "WAR");
+    }
+
+    #[test]
+    fn nothing_crosses_stores() {
+        let uops = vec![
+            Uop::load(r(1), r(0)),
+            Uop::store(r(2), r(0)),
+            Uop::load(r(3), r(0)),
+        ];
+        let g = DepGraph::build(&uops);
+        assert!(g.preds[1].contains(&0), "store after load");
+        assert!(g.preds[2].contains(&1), "load after store");
+    }
+
+    #[test]
+    fn loads_may_reorder_between_themselves() {
+        let uops = vec![Uop::load(r(1), r(0)), Uop::load(r(2), r(0))];
+        let g = DepGraph::build(&uops);
+        // Only the AGU base register is shared as a read — no ordering edge.
+        assert!(g.preds[1].is_empty());
+    }
+
+    #[test]
+    fn asserts_chain() {
+        let uops = vec![Uop::assert(Cond::Eq, true), Uop::assert(Cond::Ne, false)];
+        let g = DepGraph::build(&uops);
+        assert!(g.preds[1].contains(&0));
+    }
+
+    #[test]
+    fn critical_path_weighs_latency() {
+        // chain: load (2) -> alu (1) -> alu (1) = 4
+        let uops = vec![
+            Uop::load(r(1), r(0)),
+            Uop::alu_imm(AluOp::Add, r(2), r(1), 1),
+            Uop::alu_imm(AluOp::Add, r(3), r(2), 1),
+        ];
+        let g = DepGraph::build(&uops);
+        let expect = class_latency(parrot_isa::ExecClass::Load) + 2;
+        assert_eq!(g.critical_path(&uops), expect);
+        let h = g.heights(&uops);
+        assert_eq!(h[0], expect);
+        assert_eq!(h[2], 1);
+    }
+
+    #[test]
+    fn flags_create_dependencies() {
+        let uops = vec![Uop::cmp(r(0), None, Some(3)), Uop::assert(Cond::Lt, true)];
+        let g = DepGraph::build(&uops);
+        assert!(g.preds[1].contains(&0), "assert depends on cmp through flags");
+    }
+}

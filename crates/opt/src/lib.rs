@@ -1,0 +1,31 @@
+//! # parrot-opt
+//!
+//! The PARROT dynamic trace optimizer (§2.4, §3.1): a dependency-graph
+//! driven pass pipeline over decoded atomic traces, exploiting the
+//! atomicity assumption (assert uops) to transform across basic-block
+//! boundaries.
+//!
+//! General-purpose passes: constant propagation/folding, logic
+//! simplification, dead-code elimination. Core-specific passes: partial
+//! (virtual) renaming, uop fusion, SIMDification, and critical-path list
+//! scheduling — the class of optimizations the paper credits with doubling
+//! the benefit of generic ones.
+//!
+//! Every pass is verified against deterministic functional replay
+//! ([`verify`]): an optimized trace must preserve live-out architectural
+//! state, the store sequence, and the abort decision.
+//!
+//! ```
+//! use parrot_opt::{Optimizer, OptimizerConfig};
+//!
+//! let opt = Optimizer::new(OptimizerConfig::full());
+//! assert!(opt.is_idle(0));
+//! ```
+
+pub mod depgraph;
+mod optimizer;
+pub mod passes;
+pub mod verify;
+
+pub use optimizer::{OptOutcome, Optimizer, OptimizerConfig, OptimizerStats};
+pub use passes::PassStats;

@@ -1,0 +1,343 @@
+//! The trace optimizer: pass pipeline, occupancy model and statistics.
+//!
+//! Modeled as the paper describes (§3.1): a non-pipelined unit holding one
+//! trace in a ROB-like structure, analyzing uops over several passes with a
+//! total delay on the order of 100 cycles, amortized by the blazing
+//! filter's high reuse threshold.
+
+use crate::depgraph::DepGraph;
+use crate::passes::{self, PassStats};
+use parrot_trace::{OptLevel, TraceFrame};
+
+/// Which passes run, and the occupancy model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptimizerConfig {
+    /// Partial (virtual) renaming — core-specific.
+    pub rename: bool,
+    /// Constant propagation/folding — general-purpose.
+    pub const_prop: bool,
+    /// Logic simplification — general-purpose.
+    pub simplify: bool,
+    /// Dead-code elimination — general-purpose.
+    pub dce: bool,
+    /// Uop fusion — core-specific.
+    pub fuse: bool,
+    /// SIMDification — core-specific.
+    pub simdify: bool,
+    /// Critical-path list scheduling — core-specific.
+    pub schedule: bool,
+    /// Occupancy per optimized trace, in cycles.
+    pub latency_cycles: u32,
+}
+
+impl OptimizerConfig {
+    /// Everything on (the PARROT `TO*` models).
+    pub fn full() -> OptimizerConfig {
+        OptimizerConfig {
+            rename: true,
+            const_prop: true,
+            simplify: true,
+            dce: true,
+            fuse: true,
+            simdify: true,
+            schedule: true,
+            latency_cycles: 100,
+        }
+    }
+
+    /// Only the general-purpose optimizations (the ablation point the
+    /// companion-paper comparison calls "generic").
+    pub fn generic_only() -> OptimizerConfig {
+        OptimizerConfig {
+            rename: false,
+            fuse: false,
+            simdify: false,
+            schedule: false,
+            ..Self::full()
+        }
+    }
+
+    /// No optimization at all (the `TN`/`TW` models never construct one of
+    /// these, but it is useful for ablations).
+    pub fn none() -> OptimizerConfig {
+        OptimizerConfig {
+            rename: false,
+            const_prop: false,
+            simplify: false,
+            dce: false,
+            fuse: false,
+            simdify: false,
+            schedule: false,
+            latency_cycles: 0,
+        }
+    }
+}
+
+/// Result of optimizing one trace.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OptOutcome {
+    /// Uops before optimization.
+    pub uops_before: u32,
+    /// Uops after optimization.
+    pub uops_after: u32,
+    /// Latency-weighted critical path before.
+    pub dep_before: u32,
+    /// Latency-weighted critical path after.
+    pub dep_after: u32,
+    /// Per-pass counters.
+    pub passes: PassStats,
+    /// Total uop-analysis steps performed (drives optimizer energy).
+    pub work_uops: u64,
+}
+
+/// Cumulative optimizer statistics across a run (Fig 4.9 inputs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OptimizerStats {
+    /// Traces optimized.
+    pub traces: u64,
+    /// Total uops before / after.
+    pub uops_before: u64,
+    pub uops_after: u64,
+    /// Total critical path before / after.
+    pub dep_before: u64,
+    pub dep_after: u64,
+    /// Total analysis work (uop·pass).
+    pub work_uops: u64,
+    /// Aggregated pass counters.
+    pub passes: PassStats,
+}
+
+impl OptimizerStats {
+    /// Average relative uop reduction.
+    pub fn uop_reduction(&self) -> f64 {
+        if self.uops_before == 0 {
+            0.0
+        } else {
+            1.0 - self.uops_after as f64 / self.uops_before as f64
+        }
+    }
+
+    /// Average relative dependency-path reduction.
+    pub fn dep_reduction(&self) -> f64 {
+        if self.dep_before == 0 {
+            0.0
+        } else {
+            1.0 - self.dep_after as f64 / self.dep_before as f64
+        }
+    }
+
+    fn absorb(&mut self, o: &OptOutcome) {
+        self.traces += 1;
+        self.uops_before += u64::from(o.uops_before);
+        self.uops_after += u64::from(o.uops_after);
+        self.dep_before += u64::from(o.dep_before);
+        self.dep_after += u64::from(o.dep_after);
+        self.work_uops += o.work_uops;
+        let p = &o.passes;
+        let t = &mut self.passes;
+        t.renamed_defs += p.renamed_defs;
+        t.folded += p.folded;
+        t.copies_propagated += p.copies_propagated;
+        t.simplified += p.simplified;
+        t.removed_dead += p.removed_dead;
+        t.fused += p.fused;
+        t.simd_lanes += p.simd_lanes;
+    }
+}
+
+/// The dynamic optimizer unit.
+#[derive(Clone, Debug)]
+pub struct Optimizer {
+    cfg: OptimizerConfig,
+    stats: OptimizerStats,
+    /// The unit is non-pipelined: busy until this cycle.
+    busy_until: u64,
+}
+
+impl Optimizer {
+    /// An idle optimizer.
+    pub fn new(cfg: OptimizerConfig) -> Optimizer {
+        Optimizer { cfg, stats: OptimizerStats::default(), busy_until: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.cfg
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &OptimizerStats {
+        &self.stats
+    }
+
+    /// Is the unit free at `now`? (Non-pipelined: one trace at a time.)
+    pub fn is_idle(&self, now: u64) -> bool {
+        now >= self.busy_until
+    }
+
+    /// Optimize a frame in place: applies the configured pass pipeline,
+    /// marks the frame [`OptLevel::Optimized`], occupies the unit for
+    /// `latency_cycles`, and returns the outcome.
+    pub fn optimize(&mut self, frame: &mut TraceFrame, now: u64) -> OptOutcome {
+        let mut out = OptOutcome {
+            uops_before: frame.uops.len() as u32,
+            ..OptOutcome::default()
+        };
+        let g0 = DepGraph::build(&frame.uops);
+        out.dep_before = g0.critical_path(&frame.uops);
+
+        let mut work = 0u64;
+        let track = |uops: &Vec<parrot_isa::Uop>| uops.len() as u64;
+
+        if self.cfg.rename {
+            passes::partial_rename(&mut frame.uops, &mut out.passes);
+            work += track(&frame.uops);
+        }
+        // Two rounds of the general-purpose trio: simplification exposes new
+        // constants and dead code.
+        for _ in 0..2 {
+            if self.cfg.const_prop {
+                passes::const_propagate(&mut frame.uops, &mut out.passes);
+                work += track(&frame.uops);
+            }
+            if self.cfg.simplify {
+                passes::simplify(&mut frame.uops, &mut out.passes);
+                work += track(&frame.uops);
+            }
+            if self.cfg.dce {
+                passes::dce(&mut frame.uops, &mut out.passes);
+                work += track(&frame.uops);
+            }
+        }
+        if self.cfg.fuse {
+            passes::fuse(&mut frame.uops, &mut out.passes);
+            work += track(&frame.uops);
+        }
+        if self.cfg.simdify {
+            passes::simdify(&mut frame.uops, &mut out.passes);
+            work += track(&frame.uops);
+        }
+        if self.cfg.dce && (self.cfg.fuse || self.cfg.simdify) {
+            passes::dce(&mut frame.uops, &mut out.passes);
+            work += track(&frame.uops);
+        }
+        if self.cfg.schedule {
+            passes::schedule(&mut frame.uops);
+            work += track(&frame.uops);
+        }
+
+        let g1 = DepGraph::build(&frame.uops);
+        out.dep_after = g1.critical_path(&frame.uops);
+        out.uops_after = frame.uops.len() as u32;
+        out.work_uops = work;
+
+        frame.opt_level = OptLevel::Optimized;
+        frame.execs_since_opt = 0;
+        self.busy_until = now + u64::from(self.cfg.latency_cycles);
+        self.stats.absorb(&out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_equivalent_multi;
+    use parrot_trace::{construct_frame, SelectionConfig, TraceSelector};
+    use parrot_workloads::{all_apps, generate_program, AppProfile, ExecutionEngine, Suite};
+
+    fn frames_for(profile: &AppProfile, n: usize) -> Vec<TraceFrame> {
+        let prog = generate_program(profile);
+        let decoded = prog.decode_all();
+        let mut sel = TraceSelector::new(SelectionConfig::default());
+        let mut cands = Vec::new();
+        for (seq, d) in ExecutionEngine::new(&prog).take(n).enumerate() {
+            let kind = prog.inst(d.inst).kind;
+            sel.step(&d, &kind, seq as u64, &mut cands);
+        }
+        sel.flush(&mut cands);
+        cands.iter().map(|c| construct_frame(c, &decoded)).collect()
+    }
+
+    #[test]
+    fn full_pipeline_preserves_semantics_on_real_traces() {
+        let mut optz = Optimizer::new(OptimizerConfig::full());
+        let mut checked = 0;
+        for app in [
+            AppProfile::suite_base(Suite::SpecInt),
+            AppProfile::suite_base(Suite::SpecFp),
+            AppProfile::suite_base(Suite::Multimedia),
+        ] {
+            for mut frame in frames_for(&app, 15_000) {
+                let orig = frame.uops.clone();
+                optz.optimize(&mut frame, 0);
+                check_equivalent_multi(&orig, &frame.uops, &frame.mem_addrs, &[5, 17])
+                    .unwrap_or_else(|e| panic!("{}: {e}", frame.tid));
+                checked += 1;
+            }
+        }
+        assert!(checked > 200, "checked {checked} traces");
+    }
+
+    #[test]
+    fn optimizer_reduces_uops_and_dependencies_on_aggregate() {
+        let mut optz = Optimizer::new(OptimizerConfig::full());
+        for mut frame in frames_for(&AppProfile::suite_base(Suite::Multimedia), 30_000) {
+            optz.optimize(&mut frame, 0);
+        }
+        let s = optz.stats();
+        assert!(
+            s.uop_reduction() > 0.08,
+            "expected meaningful uop reduction, got {:.3}",
+            s.uop_reduction()
+        );
+        assert!(
+            s.dep_reduction() > 0.0,
+            "expected dependency reduction, got {:.3}",
+            s.dep_reduction()
+        );
+    }
+
+    #[test]
+    fn generic_only_does_less_than_full() {
+        let run = |cfg: OptimizerConfig| {
+            let mut optz = Optimizer::new(cfg);
+            for mut frame in frames_for(&AppProfile::suite_base(Suite::Multimedia), 20_000) {
+                optz.optimize(&mut frame, 0);
+            }
+            optz.stats().uop_reduction()
+        };
+        let generic = run(OptimizerConfig::generic_only());
+        let full = run(OptimizerConfig::full());
+        assert!(
+            full > generic,
+            "core-specific passes must add reduction: full={full:.3} generic={generic:.3}"
+        );
+    }
+
+    #[test]
+    fn occupancy_models_non_pipelined_unit() {
+        let mut optz = Optimizer::new(OptimizerConfig::full());
+        let mut frame = frames_for(&AppProfile::suite_base(Suite::SpecInt), 5_000)
+            .pop()
+            .expect("some trace");
+        assert!(optz.is_idle(0));
+        optz.optimize(&mut frame, 10);
+        assert!(!optz.is_idle(50));
+        assert!(optz.is_idle(110));
+    }
+
+    #[test]
+    fn every_app_optimizes_safely_smoke() {
+        // Broad smoke: a couple of traces per registered app.
+        let mut optz = Optimizer::new(OptimizerConfig::full());
+        for app in all_apps().into_iter().take(10) {
+            for mut frame in frames_for(&app, 3_000).into_iter().take(5) {
+                let orig = frame.uops.clone();
+                optz.optimize(&mut frame, 0);
+                check_equivalent_multi(&orig, &frame.uops, &frame.mem_addrs, &[9])
+                    .unwrap_or_else(|e| panic!("{} {}: {e}", app.name, frame.tid));
+            }
+        }
+    }
+}

@@ -1,0 +1,917 @@
+//! The optimization passes (§2.4).
+//!
+//! General-purpose passes: constant propagation/folding, logic
+//! simplification, dead-code elimination. Core-specific passes: partial
+//! (virtual) renaming, uop fusion, SIMDification and critical-path list
+//! scheduling. All passes work on the trace's uop vector under the
+//! atomic-trace assumption and are individually verified for functional
+//! equivalence by this crate's tests.
+
+use crate::depgraph::DepGraph;
+use parrot_isa::{AluOp, FpOp, FusedKind, PackOp, Reg, SimdLane, SimdPack, Uop, UopKind};
+
+/// Per-pass activity counters for one optimized trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Defs renamed to trace-local virtual registers.
+    pub renamed_defs: u32,
+    /// Uops folded to constants (includes provably-passing asserts removed).
+    pub folded: u32,
+    /// Copies propagated into consumers.
+    pub copies_propagated: u32,
+    /// Algebraic simplifications applied.
+    pub simplified: u32,
+    /// Dead uops removed.
+    pub removed_dead: u32,
+    /// Fused uop pairs created.
+    pub fused: u32,
+    /// Scalar lanes packed into SIMD uops.
+    pub simd_lanes: u32,
+}
+
+fn rewrite_uses(u: &mut Uop, f: &mut impl FnMut(Reg) -> Reg) {
+    if let UopKind::Simd(p) = &mut u.kind {
+        for lane in &mut p.lanes {
+            lane.a = f(lane.a);
+            if let Some(b) = &mut lane.b {
+                *b = f(*b);
+            }
+        }
+        return;
+    }
+    for s in u.srcs.iter_mut().flatten() {
+        *s = f(*s);
+    }
+}
+
+fn rewrite_defs(u: &mut Uop, f: &mut impl FnMut(Reg) -> Reg) {
+    if let UopKind::Simd(p) = &mut u.kind {
+        for lane in &mut p.lanes {
+            lane.dst = f(lane.dst);
+        }
+        return;
+    }
+    if let Some(d) = &mut u.dst {
+        *d = f(*d);
+    }
+}
+
+/// Partial renaming: rewrite intra-trace register versions onto fresh
+/// virtual registers, keeping only each architectural register's *final*
+/// def on its architectural name. Removes WAW/WAR hazards (untying unrolled
+/// loop iterations for SIMDification) and shrinks hot-pipeline rename work.
+pub fn partial_rename(uops: &mut [Uop], stats: &mut PassStats) {
+    // Last def position per register.
+    let mut last_def = [usize::MAX; 192];
+    for (i, u) in uops.iter().enumerate() {
+        u.for_each_def(|r| last_def[r.index()] = i);
+    }
+    let mut next_virt: u8 = 0;
+    let budget = parrot_isa::decode::DECODE_TEMP_BASE; // virtuals below the decode temps
+    let mut current: [Option<Reg>; 192] = [None; 192];
+    for (i, u) in uops.iter_mut().enumerate() {
+        rewrite_uses(u, &mut |r| current[r.index()].unwrap_or(r));
+        let mut defs: Vec<Reg> = Vec::new();
+        u.for_each_def(|r| defs.push(r));
+        for d in defs {
+            if d.is_flags() {
+                continue;
+            }
+            let keep_arch = d.is_architectural() && last_def[d.index()] == i;
+            if keep_arch {
+                current[d.index()] = None;
+                continue;
+            }
+            if next_virt >= budget {
+                continue; // renaming budget exhausted; stay safe
+            }
+            let fresh = Reg::virt(next_virt);
+            next_virt += 1;
+            let from = d;
+            rewrite_defs(u, &mut |r| if r == from { fresh } else { r });
+            current[from.index()] = Some(fresh);
+            stats.renamed_defs += 1;
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Val {
+    Unknown,
+    Const(u64),
+    Copy(Reg),
+}
+
+/// Constant propagation, constant folding, copy propagation, and removal of
+/// provably-passing asserts.
+pub fn const_propagate(uops: &mut Vec<Uop>, stats: &mut PassStats) {
+    let mut val = [Val::Unknown; 192];
+    let mut flags: Option<(bool, bool)> = None;
+    let mut removed = vec![false; uops.len()];
+
+    let resolve = |val: &[Val; 192], r: Reg| -> Val {
+        match val[r.index()] {
+            Val::Copy(x) => match val[x.index()] {
+                Val::Const(c) => Val::Const(c),
+                _ => Val::Copy(x),
+            },
+            v => v,
+        }
+    };
+
+    for (i, u) in uops.iter_mut().enumerate() {
+        // Copy-propagate register sources.
+        rewrite_uses(u, &mut |r| {
+            if let Val::Copy(x) = resolve(&val, r) {
+                stats.copies_propagated += 1;
+                x
+            } else {
+                r
+            }
+        });
+        // Turn a constant right-hand register into an immediate.
+        if matches!(u.kind, UopKind::Alu(_) | UopKind::Cmp) && u.imm.is_none() {
+            if let Some(b) = u.srcs[1] {
+                if let Val::Const(c) = resolve(&val, b) {
+                    u.srcs[1] = None;
+                    u.imm = Some(c as i64);
+                }
+            }
+        }
+
+        let rhs_val = |val: &[Val; 192], u: &Uop| -> Val {
+            match (u.srcs[1], u.imm) {
+                (Some(r), _) => resolve(val, r),
+                (None, Some(c)) => Val::Const(c as u64),
+                (None, None) => Val::Unknown,
+            }
+        };
+
+        // Evaluate and fold.
+        let mut new_flags = flags;
+        let mut def_val = Val::Unknown;
+        match &u.kind {
+            UopKind::MovImm => {
+                def_val = Val::Const(u.imm.unwrap_or(0) as u64);
+            }
+            UopKind::Alu(op) => {
+                let a = u.srcs[0].map(|r| resolve(&val, r)).unwrap_or(Val::Unknown);
+                let b = rhs_val(&val, u);
+                if *op == AluOp::Mov {
+                    def_val = match b {
+                        Val::Const(c) => Val::Const(c),
+                        _ => u.srcs[1].map(Val::Copy).unwrap_or(Val::Unknown),
+                    };
+                } else if let (Val::Const(ca), Val::Const(cb)) = (a, b) {
+                    let r = op.apply(ca, cb);
+                    let dst = u.dst.expect("alu dst");
+                    *u = Uop { inst_idx: u.inst_idx, ..Uop::mov_imm(dst, r as i64) };
+                    stats.folded += 1;
+                    def_val = Val::Const(r);
+                }
+            }
+            UopKind::Mul => {
+                if let (Some(Val::Const(a)), Some(Val::Const(b))) = (
+                    u.srcs[0].map(|r| resolve(&val, r)),
+                    u.srcs[1].map(|r| resolve(&val, r)),
+                ) {
+                    let r = a.wrapping_mul(b);
+                    let dst = u.dst.expect("mul dst");
+                    *u = Uop { inst_idx: u.inst_idx, ..Uop::mov_imm(dst, r as i64) };
+                    stats.folded += 1;
+                    def_val = Val::Const(r);
+                }
+            }
+            UopKind::Fp(op) => {
+                if let (Some(Val::Const(a)), Some(Val::Const(b))) = (
+                    u.srcs[0].map(|r| resolve(&val, r)),
+                    u.srcs[1].map(|r| resolve(&val, r)),
+                ) {
+                    let r = op.apply(a, b);
+                    let dst = u.dst.expect("fp dst");
+                    *u = Uop { inst_idx: u.inst_idx, ..Uop::mov_imm(dst, r as i64) };
+                    stats.folded += 1;
+                    def_val = Val::Const(r);
+                }
+            }
+            UopKind::Cmp => {
+                let a = u.srcs[0].map(|r| resolve(&val, r)).unwrap_or(Val::Unknown);
+                let b = rhs_val(&val, u);
+                new_flags = match (a, b) {
+                    (Val::Const(ca), Val::Const(cb)) => Some(parrot_isa::exec::compare_flags(ca, cb)),
+                    _ => None,
+                };
+            }
+            UopKind::Assert { cond, expect } => {
+                if let Some((z, n)) = flags {
+                    if cond.eval(z, n) == *expect {
+                        // Provably passes on this recorded path: remove.
+                        removed[i] = true;
+                        stats.folded += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        if removed[i] {
+            continue;
+        }
+        // Kill values invalidated by this uop's defs.
+        let mut defs: Vec<Reg> = Vec::new();
+        u.for_each_def(|r| defs.push(r));
+        for d in &defs {
+            if d.is_flags() {
+                flags = new_flags;
+                continue;
+            }
+            for v in val.iter_mut() {
+                if *v == Val::Copy(*d) {
+                    *v = Val::Unknown;
+                }
+            }
+            val[d.index()] = Val::Unknown;
+        }
+        // A single non-flags def receives the computed value.
+        if let Some(d) = u.dst {
+            if defs.len() == 1 || (defs.len() == 2 && u.writes_flags()) {
+                val[d.index()] = def_val;
+            }
+        }
+        if u.writes_flags() && !matches!(u.kind, UopKind::Cmp) {
+            flags = None; // fused forms: unknown statically here
+        } else if matches!(u.kind, UopKind::Cmp) {
+            flags = new_flags;
+        }
+    }
+
+    let mut keep = removed.iter().map(|r| !r);
+    uops.retain(|_| keep.next().unwrap());
+}
+
+/// Algebraic simplification: identity and annihilator operands, self-moves,
+/// `xor r,r`, and removal of the `mov` false dependency.
+pub fn simplify(uops: &mut Vec<Uop>, stats: &mut PassStats) {
+    let mut removed = vec![false; uops.len()];
+    for (i, u) in uops.iter_mut().enumerate() {
+        match u.kind.clone() {
+            UopKind::Alu(op) => {
+                // mov carries a false dependency in srcs[0]; drop it.
+                if op == AluOp::Mov {
+                    if u.srcs[0].is_some() {
+                        u.srcs[0] = None;
+                        stats.simplified += 1;
+                    }
+                    // Self-move is dead.
+                    if u.srcs[1].is_some() && u.srcs[1] == u.dst {
+                        removed[i] = true;
+                        stats.simplified += 1;
+                    }
+                    continue;
+                }
+                // xor/sub of a register with itself yields zero.
+                if matches!(op, AluOp::Xor | AluOp::Sub)
+                    && u.srcs[0].is_some()
+                    && u.srcs[0] == u.srcs[1]
+                {
+                    let dst = u.dst.expect("alu dst");
+                    *u = Uop { inst_idx: u.inst_idx, ..Uop::mov_imm(dst, 0) };
+                    stats.simplified += 1;
+                    continue;
+                }
+                if let Some(imm) = u.imm {
+                    if op.right_identity() == Some(imm as u64) {
+                        // dst = src: becomes a register move.
+                        let src = u.srcs[0].expect("alu src");
+                        let dst = u.dst.expect("alu dst");
+                        if src == dst {
+                            removed[i] = true;
+                        } else {
+                            u.kind = UopKind::Alu(AluOp::Mov);
+                            u.srcs = [None, Some(src), None];
+                            u.imm = None;
+                        }
+                        stats.simplified += 1;
+                        continue;
+                    }
+                    if let Some((z, result)) = op.right_annihilator() {
+                        if imm as u64 == z {
+                            let dst = u.dst.expect("alu dst");
+                            *u = Uop { inst_idx: u.inst_idx, ..Uop::mov_imm(dst, result as i64) };
+                            stats.simplified += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            UopKind::Nop => {
+                removed[i] = true;
+            }
+            _ => {}
+        }
+    }
+    let mut keep = removed.iter().map(|r| !r);
+    uops.retain(|_| keep.next().unwrap());
+}
+
+/// Dead-code elimination: backward liveness with all architectural
+/// registers (and flags) live at trace exit; virtual registers die at the
+/// trace boundary by construction.
+pub fn dce(uops: &mut Vec<Uop>, stats: &mut PassStats) {
+    let mut live = [false; 192];
+    for i in 0..Reg::NUM_ARCH - 1 {
+        live[i] = true; // ints + fps
+    }
+    let mut flags_live = true;
+    let mut keep = vec![true; uops.len()];
+    for (i, u) in uops.iter().enumerate().rev() {
+        let side_effect = u.is_store() || u.is_control();
+        let mut all_defs_dead = true;
+        let mut has_def = false;
+        u.for_each_def(|r| {
+            if r.is_flags() {
+                if flags_live {
+                    all_defs_dead = false;
+                }
+            } else {
+                has_def = true;
+                if live[r.index()] {
+                    all_defs_dead = false;
+                }
+            }
+        });
+        let is_pure_nop = matches!(u.kind, UopKind::Nop);
+        let dead = !side_effect && all_defs_dead && (has_def || u.writes_flags() || is_pure_nop);
+        if dead {
+            keep[i] = false;
+            stats.removed_dead += 1;
+            continue;
+        }
+        // live = (live \ defs) ∪ uses
+        u.for_each_def(|r| {
+            if r.is_flags() {
+                flags_live = false;
+            } else {
+                live[r.index()] = false;
+            }
+        });
+        u.for_each_use(|r| {
+            if r.is_flags() {
+                flags_live = true;
+            } else {
+                live[r.index()] = true;
+            }
+        });
+    }
+    let mut it = keep.iter();
+    uops.retain(|_| *it.next().unwrap());
+}
+
+/// Fuse `cmp` + `assert` pairs into single [`FusedKind::CmpAssert`] uops
+/// (macro-fusion inside traces), and dependent ALU pairs into
+/// [`FusedKind::AluAlu`].
+pub fn fuse(uops: &mut Vec<Uop>, stats: &mut PassStats) {
+    fuse_cmp_assert(uops, stats);
+    fuse_alu_pairs(uops, stats);
+}
+
+fn fuse_cmp_assert(uops: &mut Vec<Uop>, stats: &mut PassStats) {
+    let mut removed = vec![false; uops.len()];
+    let mut i = 0;
+    while i < uops.len() {
+        if let UopKind::Assert { cond, expect } = uops[i].kind {
+            // Find the nearest preceding live cmp with a clean flag window.
+            let mut j = i;
+            let mut found = None;
+            while j > 0 {
+                j -= 1;
+                if removed[j] {
+                    continue;
+                }
+                if matches!(uops[j].kind, UopKind::Cmp) {
+                    found = Some(j);
+                    break;
+                }
+                if uops[j].writes_flags() || uops[j].reads_flags() {
+                    break;
+                }
+            }
+            if let Some(j) = found {
+                // The cmp's operand registers must be unchanged in (j, i).
+                let srcs: Vec<Reg> = uops[j].src_iter().collect();
+                let window_clean = (j + 1..i).all(|k| {
+                    if removed[k] {
+                        return true;
+                    }
+                    let mut clean = true;
+                    uops[k].for_each_def(|r| {
+                        if srcs.contains(&r) {
+                            clean = false;
+                        }
+                    });
+                    clean
+                });
+                if window_clean {
+                    let cmp = uops[j].clone();
+                    let a = &mut uops[i];
+                    a.kind = UopKind::Fused(FusedKind::CmpAssert { cond, expect });
+                    a.srcs = cmp.srcs;
+                    a.imm = cmp.imm;
+                    removed[j] = true;
+                    stats.fused += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    let mut it = removed.iter().map(|r| !r);
+    uops.retain(|_| it.next().unwrap());
+}
+
+fn fuse_alu_pairs(uops: &mut Vec<Uop>, stats: &mut PassStats) {
+    let mut removed = vec![false; uops.len()];
+    for i in 0..uops.len() {
+        if removed[i] {
+            continue;
+        }
+        let UopKind::Alu(op1) = uops[i].kind else { continue };
+        if op1 == AluOp::Mov {
+            continue;
+        }
+        let Some(a_dst) = uops[i].dst else { continue };
+        // Search a short window for the unique consumer.
+        let window_end = (i + 7).min(uops.len());
+        let mut consumer = None;
+        for (jj, uj) in uops.iter().enumerate().take(window_end).skip(i + 1) {
+            if removed[jj] {
+                continue;
+            }
+            let mut uses_a = false;
+            uj.for_each_use(|r| uses_a |= r == a_dst);
+            if uses_a {
+                consumer = Some(jj);
+                break;
+            }
+            let mut redefines = false;
+            uj.for_each_def(|r| redefines |= r == a_dst);
+            if redefines {
+                break;
+            }
+        }
+        let Some(j) = consumer else { continue };
+        let UopKind::Alu(op2) = uops[j].kind else { continue };
+        if op2 == AluOp::Mov {
+            continue;
+        }
+        // b must read a_dst as exactly one operand; combined operand budget
+        // allows ≤3 registers and ≤1 immediate.
+        let b = &uops[j];
+        let b_other: Option<Reg> = match (b.srcs[0], b.srcs[1]) {
+            // b reading the intermediate twice cannot be expressed by the
+            // fused form (the second read would see a stale register).
+            (Some(x), Some(y)) if x == a_dst && y == a_dst => continue,
+            (Some(x), Some(y)) if x == a_dst => Some(y),
+            (Some(x), Some(y)) if y == a_dst => {
+                // a_dst must be the LEFT operand of op2 for our fused
+                // semantics; for commutative ops we can swap.
+                if matches!(op2, AluOp::Add | AluOp::And | AluOp::Or | AluOp::Xor) {
+                    Some(x)
+                } else {
+                    continue;
+                }
+            }
+            (Some(x), None) if x == a_dst => None, // imm form
+            _ => continue,
+        };
+        let a = &uops[i];
+        let imm_count = usize::from(a.imm.is_some()) + usize::from(b.imm.is_some());
+        if imm_count > 1 {
+            continue;
+        }
+        // a_dst must be dead after j: next touch must be a def (or trace end
+        // with a_dst virtual).
+        let mut dead_after = a_dst.is_virtual();
+        for (uk_idx, uk) in uops.iter().enumerate().skip(j + 1) {
+            if removed[uk_idx] {
+                continue;
+            }
+            let mut used = false;
+            uk.for_each_use(|r| used |= r == a_dst);
+            if used {
+                dead_after = false;
+                break;
+            }
+            let mut redef = false;
+            uk.for_each_def(|r| redef |= r == a_dst);
+            if redef {
+                dead_after = true;
+                break;
+            }
+        }
+        if !dead_after {
+            continue;
+        }
+        // a's sources must be unchanged in (i, j).
+        let a_srcs: Vec<Reg> = a.src_iter().collect();
+        let clean = (i + 1..j).all(|k| {
+            if removed[k] {
+                return true;
+            }
+            let mut ok = true;
+            uops[k].for_each_def(|r| ok &= !a_srcs.contains(&r));
+            ok
+        });
+        if !clean {
+            continue;
+        }
+        // Also: no other consumer of a_dst strictly between i and j (the
+        // window scan already guarantees j was the first user).
+        let fused_imm = a.imm.or(b.imm);
+        let new = Uop {
+            kind: UopKind::Fused(FusedKind::AluAlu { first: op1, second: op2 }),
+            dst: b.dst,
+            srcs: [a.srcs[0], a.srcs[1], b_other],
+            imm: fused_imm,
+            inst_idx: b.inst_idx,
+            mem_slot: None,
+        };
+        uops[j] = new;
+        removed[i] = true;
+        stats.fused += 1;
+    }
+    let mut it = removed.iter().map(|r| !r);
+    uops.retain(|_| it.next().unwrap());
+}
+
+/// SIMDification: pack 2–4 isomorphic, independent scalar ALU/FP operations
+/// (typically corresponding lanes of unrolled loop iterations) into single
+/// packed uops.
+pub fn simdify(uops: &mut Vec<Uop>, stats: &mut PassStats) {
+    const WINDOW: usize = 24;
+    const MAX_LANES: usize = 4;
+    let mut removed = vec![false; uops.len()];
+    let mut packed = vec![false; uops.len()];
+
+    let shape = |u: &Uop| -> Option<(PackOp, bool)> {
+        match u.kind {
+            UopKind::Alu(op) if op != AluOp::Mov => Some((PackOp::Int(op), u.imm.is_some())),
+            UopKind::Fp(op) if op != FpOp::Mov => Some((PackOp::Fp(op), u.imm.is_some())),
+            _ => None,
+        }
+    };
+
+    for i in 0..uops.len() {
+        if removed[i] || packed[i] {
+            continue;
+        }
+        let Some((op, imm_form)) = shape(&uops[i]) else { continue };
+        let mut lanes = vec![i];
+        let end = (i + WINDOW).min(uops.len());
+        for j in i + 1..end {
+            if lanes.len() == MAX_LANES {
+                break;
+            }
+            if removed[j] || packed[j] {
+                continue;
+            }
+            if shape(&uops[j]) != Some((op, imm_form)) {
+                continue;
+            }
+            lanes.push(j);
+        }
+        if lanes.len() < 2 {
+            continue;
+        }
+        // Validate safety of moving every lane down to the last position.
+        let last = *lanes.last().expect("nonempty");
+        let lane_ok = |p: usize| -> bool {
+            let dst = uops[p].dst.expect("alu dst");
+            let srcs: Vec<Reg> = uops[p].src_iter().collect();
+            for (k, uk) in uops.iter().enumerate().take(last + 1).skip(p + 1) {
+                if removed[k] {
+                    continue;
+                }
+                // Whether `uk` is another lane or an in-between uop, it must
+                // neither read nor write this lane's dst, nor write its
+                // sources, for the delayed lane write to be safe.
+                let mut bad = false;
+                uk.for_each_use(|r| bad |= r == dst);
+                uk.for_each_def(|r| bad |= r == dst || srcs.contains(&r));
+                if bad {
+                    return false;
+                }
+            }
+            true
+        };
+        while lanes.len() >= 2 {
+            // Drop unsafe lanes from the end of the candidate list (keeping
+            // the earliest as the anchor shape).
+            if let Some(badpos) = lanes.iter().position(|p| !lane_ok(*p)) {
+                lanes.remove(badpos);
+            } else {
+                break;
+            }
+        }
+        if lanes.len() < 2 {
+            continue;
+        }
+        let last = *lanes.last().expect("nonempty");
+        let pack = SimdPack {
+            op,
+            lanes: lanes
+                .iter()
+                .map(|p| {
+                    let u = &uops[*p];
+                    SimdLane {
+                        dst: u.dst.expect("lane dst"),
+                        a: u.srcs[0].expect("lane src"),
+                        b: u.srcs[1],
+                        imm: u.imm.unwrap_or(0),
+                    }
+                })
+                .collect(),
+        };
+        stats.simd_lanes += lanes.len() as u32;
+        let inst_idx = uops[last].inst_idx;
+        uops[last] = Uop {
+            kind: UopKind::Simd(Box::new(pack)),
+            dst: None,
+            srcs: [None; 3],
+            imm: None,
+            inst_idx,
+            mem_slot: None,
+        };
+        packed[last] = true;
+        for p in &lanes {
+            if *p != last {
+                removed[*p] = true;
+            }
+        }
+    }
+    let mut it = removed.iter().map(|r| !r);
+    uops.retain(|_| it.next().unwrap());
+}
+
+/// Critical-path list scheduling: reorder the trace so dispatch order
+/// follows dataflow height, respecting every dependence edge (the hot core
+/// issues oldest-first, so a dataflow-ordered trace extracts more ILP from
+/// a small window).
+pub fn schedule(uops: &mut Vec<Uop>) {
+    let g = DepGraph::build(uops);
+    let heights = g.heights(uops);
+    let n = uops.len();
+    let mut indeg = vec![0u32; n];
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, ps) in g.preds.iter().enumerate() {
+        indeg[i] = ps.len() as u32;
+        for p in ps {
+            succs[*p as usize].push(i as u32);
+        }
+    }
+    let mut ready: Vec<u32> = (0..n as u32).filter(|i| indeg[*i as usize] == 0).collect();
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    while let Some(pos) = ready
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, i)| (heights[**i as usize], std::cmp::Reverse(**i)))
+        .map(|(p, _)| p)
+    {
+        let next = ready.swap_remove(pos);
+        order.push(next);
+        for s in &succs[next as usize] {
+            indeg[*s as usize] -= 1;
+            if indeg[*s as usize] == 0 {
+                ready.push(*s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "schedule must be a permutation");
+    let mut new: Vec<Uop> = Vec::with_capacity(n);
+    for i in &order {
+        new.push(uops[*i as usize].clone());
+    }
+    *uops = new;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_equivalent_multi;
+    use parrot_isa::Cond;
+
+    fn r(i: u8) -> Reg {
+        Reg::int(i)
+    }
+
+    const SEEDS: [u64; 4] = [11, 22, 33, 44];
+
+    fn assert_equiv(orig: &[Uop], opt: &[Uop], addrs: &[u64]) {
+        check_equivalent_multi(orig, opt, addrs, &SEEDS).expect("pass broke semantics");
+    }
+
+    #[test]
+    fn rename_keeps_final_arch_defs() {
+        let orig = vec![
+            Uop::alu_imm(AluOp::Add, r(1), r(0), 1), // intermediate r1
+            Uop::alu_imm(AluOp::Add, r(2), r(1), 2),
+            Uop::alu_imm(AluOp::Add, r(1), r(2), 3), // final r1
+        ];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        partial_rename(&mut opt, &mut st);
+        assert_eq!(st.renamed_defs, 1, "only the intermediate def renames");
+        assert!(opt[0].dst.expect("dst").is_virtual());
+        assert_eq!(opt[2].dst, Some(r(1)));
+        assert_equiv(&orig, &opt, &[]);
+    }
+
+    #[test]
+    fn rename_unties_waw_chains() {
+        // Two independent iterations through the same temp register.
+        let orig = vec![
+            Uop::alu_imm(AluOp::Add, r(5), r(0), 1),
+            Uop::alu_imm(AluOp::Add, r(6), r(5), 1),
+            Uop::alu_imm(AluOp::Add, r(5), r(1), 2),
+            Uop::alu_imm(AluOp::Add, r(7), r(5), 2),
+        ];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        partial_rename(&mut opt, &mut st);
+        let g = DepGraph::build(&opt);
+        assert!(!g.depends_on(2, 1), "iterations untied after rename");
+        assert_equiv(&orig, &opt, &[]);
+    }
+
+    #[test]
+    fn const_prop_folds_chains() {
+        let orig = vec![
+            Uop::mov_imm(r(1), 10),
+            Uop::alu_imm(AluOp::Add, r(2), r(1), 5), // foldable -> 15
+            Uop::alu(AluOp::Add, r(3), r(2), r(1)),  // foldable -> 25
+        ];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        const_propagate(&mut opt, &mut st);
+        assert!(st.folded >= 2, "folded={}", st.folded);
+        assert!(matches!(opt[2].kind, UopKind::MovImm));
+        assert_equiv(&orig, &opt, &[]);
+    }
+
+    #[test]
+    fn const_prop_removes_provably_passing_asserts() {
+        let mut cmp = Uop::cmp(r(1), None, Some(10));
+        cmp.inst_idx = 1;
+        let orig = vec![Uop::mov_imm(r(1), 10), cmp, Uop::assert(Cond::Eq, true)];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        const_propagate(&mut opt, &mut st);
+        assert!(opt.iter().all(|u| !u.is_assert()), "assert provably passes and is removed");
+        assert_equiv(&orig, &opt, &[]);
+    }
+
+    #[test]
+    fn const_prop_keeps_contradicted_asserts() {
+        // Recorded direction contradicts the data: assert must stay (it
+        // will fire and abort the trace).
+        let orig = vec![
+            Uop::mov_imm(r(1), 10),
+            Uop::cmp(r(1), None, Some(10)),
+            Uop::assert(Cond::Eq, false),
+        ];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        const_propagate(&mut opt, &mut st);
+        assert!(opt.iter().any(|u| u.is_assert()), "contradicted assert must remain");
+        assert_equiv(&orig, &opt, &[]);
+    }
+
+    #[test]
+    fn simplify_identities() {
+        let orig = vec![
+            Uop::alu_imm(AluOp::Add, r(1), r(2), 0),  // r1 = r2
+            Uop::alu_imm(AluOp::And, r(3), r(4), 0),  // r3 = 0
+            Uop::alu(AluOp::Xor, r(5), r(6), r(6)),   // r5 = 0
+        ];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        simplify(&mut opt, &mut st);
+        assert!(st.simplified >= 3);
+        assert_equiv(&orig, &opt, &[]);
+    }
+
+    #[test]
+    fn dce_removes_overwritten_results() {
+        let orig = vec![
+            Uop::alu_imm(AluOp::Add, r(1), r(0), 7), // dead
+            Uop::mov_imm(r(1), 3),
+            Uop::cmp(r(1), None, Some(3)), // flags overwritten below: dead
+            Uop::cmp(r(1), None, Some(4)),
+        ];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        dce(&mut opt, &mut st);
+        assert_eq!(st.removed_dead, 2, "dead alu + dead cmp");
+        assert_eq!(opt.len(), 2);
+        assert_equiv(&orig, &opt, &[]);
+    }
+
+    #[test]
+    fn dce_keeps_stores_and_asserts() {
+        let mut st_u = Uop::store(r(1), r(2));
+        st_u.mem_slot = Some(0);
+        let orig = vec![st_u, Uop::cmp(r(0), None, Some(1)), Uop::assert(Cond::Lt, true)];
+        let mut opt = orig.clone();
+        let mut stats = PassStats::default();
+        dce(&mut opt, &mut stats);
+        assert_eq!(opt.len(), 3, "side effects are never dead");
+    }
+
+    #[test]
+    fn fuse_cmp_assert_pairs() {
+        let orig = vec![Uop::cmp(r(1), None, Some(4)), Uop::assert(Cond::Lt, true)];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        fuse(&mut opt, &mut st);
+        assert_eq!(st.fused, 1);
+        assert_eq!(opt.len(), 1);
+        assert!(matches!(opt[0].kind, UopKind::Fused(FusedKind::CmpAssert { .. })));
+        assert_equiv(&orig, &opt, &[]);
+    }
+
+    #[test]
+    fn fuse_alu_pairs_when_intermediate_dead() {
+        let orig = vec![
+            Uop::alu_imm(AluOp::Add, Reg::virt(0), r(1), 4),
+            Uop::alu(AluOp::Sub, r(2), Reg::virt(0), r(3)),
+        ];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        fuse(&mut opt, &mut st);
+        assert_eq!(st.fused, 1);
+        assert_eq!(opt.len(), 1);
+        assert_equiv(&orig, &opt, &[]);
+    }
+
+    #[test]
+    fn fuse_refuses_live_intermediate() {
+        // r5 is architectural and never redefined: live out, cannot fuse.
+        let orig = vec![
+            Uop::alu_imm(AluOp::Add, r(5), r(1), 4),
+            Uop::alu(AluOp::Sub, r(2), r(5), r(3)),
+        ];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        fuse(&mut opt, &mut st);
+        assert_eq!(st.fused, 0);
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn simdify_packs_isomorphic_lanes() {
+        let orig = vec![
+            Uop::alu_imm(AluOp::Add, r(1), r(5), 3),
+            Uop::alu_imm(AluOp::Add, r(2), r(6), 3),
+            Uop::alu_imm(AluOp::Add, r(3), r(7), 3),
+            Uop::alu_imm(AluOp::Add, r(4), r(8), 3),
+        ];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        simdify(&mut opt, &mut st);
+        assert_eq!(st.simd_lanes, 4);
+        assert_eq!(opt.len(), 1);
+        assert!(matches!(opt[0].kind, UopKind::Simd(_)));
+        assert_equiv(&orig, &opt, &[]);
+    }
+
+    #[test]
+    fn simdify_respects_dependencies() {
+        // Second "lane" depends on the first: must not pack.
+        let orig = vec![
+            Uop::alu_imm(AluOp::Add, r(1), r(5), 3),
+            Uop::alu_imm(AluOp::Add, r(2), r(1), 3),
+        ];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        simdify(&mut opt, &mut st);
+        assert_eq!(st.simd_lanes, 0);
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn schedule_is_a_dependence_respecting_permutation() {
+        let mut ld = Uop::load(r(1), r(0));
+        ld.mem_slot = Some(0);
+        let orig = vec![
+            ld,
+            Uop::alu_imm(AluOp::Add, r(2), r(1), 1),
+            Uop::alu_imm(AluOp::Add, r(3), r(9), 1),
+            Uop::alu_imm(AluOp::Add, r(4), r(3), 1),
+        ];
+        let mut opt = orig.clone();
+        schedule(&mut opt);
+        assert_eq!(opt.len(), orig.len());
+        assert_equiv(&orig, &opt, &[0x100]);
+        // The load (highest height) should come first.
+        assert!(opt[0].is_load());
+    }
+}

@@ -1,0 +1,172 @@
+//! Functional verification of trace optimizations.
+//!
+//! An optimized atomic trace must be indistinguishable from the original
+//! when it commits: identical architectural live-out state, identical store
+//! sequence, and an identical abort decision (the first failing assert, by
+//! originating instruction). This module replays uop sequences under the
+//! deterministic semantics of [`parrot_isa::exec`] and checks exactly that.
+//! The property tests in this crate hammer it over generated traces.
+
+use parrot_isa::exec::{step, ArchState, DeterministicMem};
+use parrot_isa::Uop;
+
+/// Result of fully replaying a uop sequence (the full-commit case: a real
+/// abort would roll everything back, so only the abort *decision* matters).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayResult {
+    /// Architectural registers (ints, fps, flags) after the trace.
+    pub final_state: Vec<u64>,
+    /// Stores in execution order: `(address, value)`.
+    pub store_log: Vec<(u64, u64)>,
+    /// Originating instruction ordinal of the first failing assert, if any.
+    pub first_abort: Option<u32>,
+}
+
+/// Replay `uops` from `entry` state; memory uops resolve their addresses
+/// through `mem_addrs[uop.mem_slot]`.
+///
+/// # Panics
+/// Panics if a memory uop lacks a `mem_slot` or the slot is out of range.
+pub fn replay(uops: &[Uop], mem_addrs: &[u64], entry: &ArchState, mem_seed: u64) -> ReplayResult {
+    let mut st = entry.clone();
+    let mut mem = DeterministicMem::new(mem_seed);
+    let mut first_abort = None;
+    for u in uops {
+        let addr = if u.is_mem() {
+            let slot = u.mem_slot.expect("memory uop without slot") as usize;
+            Some(mem_addrs[slot])
+        } else {
+            None
+        };
+        let fx = step(u, &mut st, &mut mem, addr);
+        if fx.assert_failed && first_abort.is_none() {
+            first_abort = Some(u.inst_idx);
+        }
+    }
+    ReplayResult { final_state: st.architectural(), store_log: mem.store_log, first_abort }
+}
+
+/// Check that `optimized` is observationally equivalent to `original`.
+///
+/// Both sequences are replayed from the same entry state and memory; the
+/// optimized trace must produce the same live-out registers, the same store
+/// log and the same first-abort decision.
+///
+/// # Errors
+/// Returns a human-readable description of the first divergence found.
+pub fn check_equivalent(
+    original: &[Uop],
+    optimized: &[Uop],
+    mem_addrs: &[u64],
+    entry: &ArchState,
+    mem_seed: u64,
+) -> Result<(), String> {
+    let a = replay(original, mem_addrs, entry, mem_seed);
+    let b = replay(optimized, mem_addrs, entry, mem_seed);
+    if a.first_abort != b.first_abort {
+        return Err(format!("abort decision differs: {:?} vs {:?}", a.first_abort, b.first_abort));
+    }
+    if a.store_log != b.store_log {
+        return Err(format!(
+            "store logs differ: {} vs {} entries (first diff {:?})",
+            a.store_log.len(),
+            b.store_log.len(),
+            a.store_log.iter().zip(&b.store_log).position(|(x, y)| x != y)
+        ));
+    }
+    for (i, (x, y)) in a.final_state.iter().zip(&b.final_state).enumerate() {
+        if x != y {
+            return Err(format!("register {i} differs: {x:#x} vs {y:#x}"));
+        }
+    }
+    Ok(())
+}
+
+/// Check equivalence across several seeded entry states and memories (the
+/// standard harness used by unit and property tests).
+///
+/// # Errors
+/// Propagates the first divergence, annotated with the failing seed.
+pub fn check_equivalent_multi(
+    original: &[Uop],
+    optimized: &[Uop],
+    mem_addrs: &[u64],
+    seeds: &[u64],
+) -> Result<(), String> {
+    for &s in seeds {
+        let entry = ArchState::seeded(s);
+        check_equivalent(original, optimized, mem_addrs, &entry, s ^ 0xabcd)
+            .map_err(|e| format!("seed {s}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parrot_isa::{AluOp, Cond, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::int(i)
+    }
+
+    #[test]
+    fn identical_sequences_are_equivalent() {
+        let uops = vec![
+            Uop::mov_imm(r(1), 5),
+            Uop::alu_imm(AluOp::Add, r(2), r(1), 3),
+        ];
+        check_equivalent_multi(&uops, &uops, &[], &[1, 2, 3]).unwrap();
+    }
+
+    #[test]
+    fn detects_register_divergence() {
+        let a = vec![Uop::mov_imm(r(1), 5)];
+        let b = vec![Uop::mov_imm(r(1), 6)];
+        assert!(check_equivalent_multi(&a, &b, &[], &[1]).is_err());
+    }
+
+    #[test]
+    fn detects_store_divergence() {
+        let mut st_a = Uop::store(r(1), r(0));
+        st_a.mem_slot = Some(0);
+        let a = vec![st_a.clone()];
+        let b: Vec<Uop> = vec![]; // dropped store: must be caught
+        assert!(check_equivalent_multi(&a, &b, &[0x100], &[1]).is_err());
+    }
+
+    #[test]
+    fn dead_write_removal_is_equivalent() {
+        let a = vec![
+            Uop::alu_imm(AluOp::Add, r(1), r(0), 7), // dead: overwritten below
+            Uop::mov_imm(r(1), 9),
+        ];
+        let b = vec![Uop::mov_imm(r(1), 9)];
+        check_equivalent_multi(&a, &b, &[], &[1, 2, 3, 4]).unwrap();
+    }
+
+    #[test]
+    fn abort_decision_tracked_by_inst() {
+        let mut cmp = Uop::cmp(r(0), None, Some(0));
+        cmp.inst_idx = 0;
+        let mut assert_u = Uop::assert(Cond::Eq, false); // fails when r0==0
+        assert_u.inst_idx = 1;
+        let uops = vec![cmp, assert_u];
+        let mut entry = ArchState::new(); // r0 = 0 -> Eq true -> expect false -> abort
+        entry.set(r(0), 0);
+        let res = replay(&uops, &[], &entry, 1);
+        assert_eq!(res.first_abort, Some(1));
+    }
+
+    #[test]
+    fn replay_uses_recorded_addresses() {
+        let mut ld = Uop::load(r(1), r(0));
+        ld.mem_slot = Some(0);
+        let mut st = Uop::store(r(1), r(0));
+        st.mem_slot = Some(1);
+        let uops = vec![ld, st];
+        let res = replay(&uops, &[0x40, 0x80], &ArchState::new(), 7);
+        assert_eq!(res.store_log.len(), 1);
+        assert_eq!(res.store_log[0].0, 0x80);
+    }
+}

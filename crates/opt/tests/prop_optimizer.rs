@@ -1,0 +1,138 @@
+//! Property-based verification: the full optimizer pipeline preserves
+//! semantics on *arbitrary* generated traces, not just ones our workload
+//! generator happens to produce.
+
+use parrot_isa::{AluOp, Cond, FpOp, Reg, Uop, UopKind};
+use parrot_opt::verify::check_equivalent_multi;
+use parrot_opt::{Optimizer, OptimizerConfig};
+use parrot_trace::{OptLevel, Tid, TraceFrame};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum GenOp {
+    MovImm { dst: u8, imm: i64 },
+    AluImm { op: u8, dst: u8, src: u8, imm: i64 },
+    AluReg { op: u8, dst: u8, a: u8, b: u8 },
+    Mul { dst: u8, a: u8, b: u8 },
+    Fp { op: u8, dst: u8, a: u8, b: u8 },
+    CmpImm { src: u8, imm: i64 },
+    Assert { cond: u8, expect: bool },
+    Load { dst: u8 },
+    Store { src: u8 },
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (0u8..15, -200i64..200).prop_map(|(dst, imm)| GenOp::MovImm { dst, imm }),
+        (0u8..8, 0u8..15, 0u8..15, -64i64..64)
+            .prop_map(|(op, dst, src, imm)| GenOp::AluImm { op, dst, src, imm }),
+        (0u8..8, 0u8..15, 0u8..15, 0u8..15)
+            .prop_map(|(op, dst, a, b)| GenOp::AluReg { op, dst, a, b }),
+        (0u8..15, 0u8..15, 0u8..15).prop_map(|(dst, a, b)| GenOp::Mul { dst, a, b }),
+        (0u8..5, 0u8..16, 0u8..16, 0u8..16).prop_map(|(op, dst, a, b)| GenOp::Fp { op, dst, a, b }),
+        (0u8..15, -64i64..64).prop_map(|(src, imm)| GenOp::CmpImm { src, imm }),
+        (0u8..6, any::<bool>()).prop_map(|(cond, expect)| GenOp::Assert { cond, expect }),
+        (0u8..15).prop_map(|dst| GenOp::Load { dst }),
+        (0u8..15).prop_map(|src| GenOp::Store { src }),
+    ]
+}
+
+fn build_trace(ops: &[GenOp], addr_seed: u64) -> (Vec<Uop>, Vec<u64>) {
+    let mut uops = Vec::new();
+    let mut addrs = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let alu = |k: u8| AluOp::ALL[k as usize % AluOp::ALL.len()];
+        let fp = |k: u8| FpOp::ALL[k as usize % FpOp::ALL.len()];
+        let cond = |k: u8| Cond::ALL[k as usize % Cond::ALL.len()];
+        let mut u = match *op {
+            GenOp::MovImm { dst, imm } => Uop::mov_imm(Reg::int(dst), imm),
+            GenOp::AluImm { op, dst, src, imm } => {
+                Uop::alu_imm(alu(op), Reg::int(dst), Reg::int(src), imm)
+            }
+            GenOp::AluReg { op, dst, a, b } => {
+                Uop::alu(alu(op), Reg::int(dst), Reg::int(a), Reg::int(b))
+            }
+            GenOp::Mul { dst, a, b } => {
+                let mut u = Uop::alu(AluOp::Add, Reg::int(dst), Reg::int(a), Reg::int(b));
+                u.kind = UopKind::Mul;
+                u
+            }
+            GenOp::Fp { op, dst, a, b } => {
+                let mut u = Uop::alu(AluOp::Add, Reg::fp(dst % 16), Reg::fp(a % 16), Reg::fp(b % 16));
+                u.kind = UopKind::Fp(fp(op));
+                u
+            }
+            GenOp::CmpImm { src, imm } => Uop::cmp(Reg::int(src), None, Some(imm)),
+            GenOp::Assert { cond: c, expect } => Uop::assert(cond(c), expect),
+            GenOp::Load { dst } => Uop::load(Reg::int(dst), Reg::int((dst + 1) % 15)),
+            GenOp::Store { src } => Uop::store(Reg::int(src), Reg::int((src + 2) % 15)),
+        };
+        u.inst_idx = i as u32;
+        if u.is_mem() {
+            u.mem_slot = Some(addrs.len() as u16);
+            // A few aliasing addresses on purpose: store-load forwarding
+            // through memory must be preserved.
+            let a = 0x1000 + ((addr_seed.wrapping_mul(31).wrapping_add(addrs.len() as u64)) % 8) * 8;
+            addrs.push(a);
+        }
+        uops.push(u);
+    }
+    (uops, addrs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn full_optimizer_preserves_semantics(
+        ops in prop::collection::vec(gen_op(), 1..64),
+        addr_seed in any::<u64>(),
+        state_seeds in prop::collection::vec(any::<u64>(), 1..4),
+    ) {
+        let (uops, addrs) = build_trace(&ops, addr_seed);
+        let mut frame = TraceFrame {
+            tid: Tid::new(0x4000),
+            uops: uops.clone(),
+            mem_addrs: addrs.clone(),
+            path: vec![],
+            num_insts: uops.len() as u32,
+            orig_uops: uops.len() as u32,
+            joins: 1,
+            opt_level: OptLevel::Constructed,
+            exec_count: 0,
+            execs_since_opt: 0,
+            live_conf: 2,
+        };
+        let mut optz = Optimizer::new(OptimizerConfig::full());
+        let outcome = optz.optimize(&mut frame, 0);
+        prop_assert!(outcome.uops_after <= outcome.uops_before,
+            "optimizer must never grow a trace");
+        check_equivalent_multi(&uops, &frame.uops, &addrs, &state_seeds)
+            .map_err(|e| TestCaseError::fail(format!("not equivalent: {e}")))?;
+    }
+
+    #[test]
+    fn generic_only_optimizer_preserves_semantics(
+        ops in prop::collection::vec(gen_op(), 1..48),
+        addr_seed in any::<u64>(),
+    ) {
+        let (uops, addrs) = build_trace(&ops, addr_seed);
+        let mut frame = TraceFrame {
+            tid: Tid::new(0x4000),
+            uops: uops.clone(),
+            mem_addrs: addrs.clone(),
+            path: vec![],
+            num_insts: uops.len() as u32,
+            orig_uops: uops.len() as u32,
+            joins: 1,
+            opt_level: OptLevel::Constructed,
+            exec_count: 0,
+            execs_since_opt: 0,
+            live_conf: 2,
+        };
+        let mut optz = Optimizer::new(OptimizerConfig::generic_only());
+        optz.optimize(&mut frame, 0);
+        check_equivalent_multi(&uops, &frame.uops, &addrs, &[7, 1234])
+            .map_err(|e| TestCaseError::fail(format!("not equivalent: {e}")))?;
+    }
+}

@@ -1,0 +1,453 @@
+//! The decoded, optimized trace cache (§2.1–2.3): set-associative storage
+//! of trace frames, each holding up to 64 decoded (possibly optimized)
+//! uops. Storing *decoded* traces is what lets the hot pipeline skip the
+//! expensive CISC decoders entirely; storing *optimized* traces multiplies
+//! the reuse of one optimization across many executions.
+
+use crate::tid::Tid;
+use parrot_isa::Uop;
+
+/// The optimization state of a stored frame (gradual promotion).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// As constructed from decoded uops (asserts embedded, no transforms).
+    Constructed,
+    /// Rewritten by the dynamic optimizer.
+    Optimized,
+}
+
+/// A stored trace: the unit of hot fetch and of atomic commit.
+#[derive(Clone, Debug)]
+pub struct TraceFrame {
+    /// The trace identifier.
+    pub tid: Tid,
+    /// The uop sequence (decoded; branches converted to asserts; optimized
+    /// forms after promotion).
+    pub uops: Vec<Uop>,
+    /// Recorded effective addresses, indexed by each memory uop's
+    /// `mem_slot` (used for functional replay of optimizations).
+    pub mem_addrs: Vec<u64>,
+    /// The recorded instruction path: `(pc, taken)` per constituent
+    /// instruction — the fetch selector compares this against the upcoming
+    /// committed path to detect trace mispredictions (assert failures).
+    pub path: Vec<(u64, bool)>,
+    /// Macro-instructions this trace represents (IPC accounting survives
+    /// uop elimination).
+    pub num_insts: u32,
+    /// Uop count at construction time (before optimization).
+    pub orig_uops: u32,
+    /// Identical units joined at selection (unroll factor).
+    pub joins: u32,
+    /// Optimization state.
+    pub opt_level: OptLevel,
+    /// Dynamic executions of this frame since insertion.
+    pub exec_count: u64,
+    /// Dynamic executions since the last optimization write-back
+    /// (optimizer-utilization statistic, Fig 4.10).
+    pub execs_since_opt: u64,
+    /// Fetch-confidence hysteresis (2-bit): incremented when the trace
+    /// fully matches the committed path, decremented on aborts. The fetch
+    /// selector only streams frames with confidence ≥ 2, so persistent
+    /// divergers stop being tried.
+    pub live_conf: u8,
+}
+
+/// Trace cache geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCacheConfig {
+    /// Total frames (power of two × ways).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl TraceCacheConfig {
+    /// 512 frames × 64 uops, 4-way (the study's configuration).
+    pub fn standard() -> TraceCacheConfig {
+        TraceCacheConfig { sets: 128, ways: 4 }
+    }
+
+    /// Total frame capacity.
+    pub fn frames(&self) -> u32 {
+        self.sets * self.ways
+    }
+}
+
+/// Cumulative trace-cache statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceCacheStats {
+    pub lookups: u64,
+    pub hits: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+    pub optimized_writebacks: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    frame: Option<TraceFrame>,
+    stamp: u64,
+}
+
+/// The set-associative trace cache.
+#[derive(Clone, Debug)]
+pub struct TraceCache {
+    cfg: TraceCacheConfig,
+    slots: Vec<Slot>,
+    tick: u64,
+    stats: TraceCacheStats,
+    /// Frames evicted after optimization, with their reuse counts — feeds
+    /// the optimizer-utilization statistic even for evicted traces.
+    pub retired_opt_reuse: Vec<u64>,
+}
+
+impl TraceCache {
+    /// An empty trace cache.
+    ///
+    /// # Panics
+    /// Panics unless `sets` is a power of two.
+    pub fn new(cfg: TraceCacheConfig) -> TraceCache {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        TraceCache {
+            cfg,
+            slots: (0..cfg.sets * cfg.ways).map(|_| Slot { frame: None, stamp: 0 }).collect(),
+            tick: 0,
+            stats: TraceCacheStats::default(),
+            retired_opt_reuse: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TraceCacheConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &TraceCacheStats {
+        &self.stats
+    }
+
+    fn set_range(&self, tid: &Tid) -> std::ops::Range<usize> {
+        self.set_range_pc(tid.start_pc)
+    }
+
+    /// Sets are indexed by the trace *start address* (like a conventional
+    /// trace cache): path variants of the same start compete within one set
+    /// and the fetch selector chooses among them.
+    fn set_range_pc(&self, start_pc: u64) -> std::ops::Range<usize> {
+        let mut x = start_pc.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 29;
+        let set = (x % u64::from(self.cfg.sets)) as usize;
+        let base = set * self.cfg.ways as usize;
+        base..base + self.cfg.ways as usize
+    }
+
+    /// All resident frames starting at `start_pc` (path variants), most
+    /// recently used first.
+    pub fn variants_at(&self, start_pc: u64) -> Vec<&TraceFrame> {
+        let mut v: Vec<(&TraceFrame, u64)> = self.slots[self.set_range_pc(start_pc)]
+            .iter()
+            .filter_map(|s| {
+                s.frame.as_ref().filter(|f| f.tid.start_pc == start_pc).map(|f| (f, s.stamp))
+            })
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.into_iter().map(|(f, _)| f).collect()
+    }
+
+    /// Look up a frame by TID, refreshing recency and bumping execution
+    /// counters on hit.
+    pub fn fetch(&mut self, tid: &Tid) -> Option<&TraceFrame> {
+        self.tick += 1;
+        self.stats.lookups += 1;
+        let range = self.set_range(tid);
+        let tick = self.tick;
+        let slot = self.slots[range]
+            .iter_mut()
+            .find(|s| s.frame.as_ref().is_some_and(|f| f.tid == *tid))?;
+        slot.stamp = tick;
+        let f = slot.frame.as_mut().expect("matched above");
+        f.exec_count += 1;
+        if f.opt_level == OptLevel::Optimized {
+            f.execs_since_opt += 1;
+        }
+        self.stats.hits += 1;
+        Some(slot.frame.as_ref().expect("present"))
+    }
+
+    /// Probe without updating counters (used by background phases).
+    pub fn contains(&self, tid: &Tid) -> bool {
+        self.slots[self.set_range(tid)]
+            .iter()
+            .any(|s| s.frame.as_ref().is_some_and(|f| f.tid == *tid))
+    }
+
+    /// Read-only access to a resident frame.
+    pub fn peek(&self, tid: &Tid) -> Option<&TraceFrame> {
+        self.slots[self.set_range(tid)]
+            .iter()
+            .find_map(|s| s.frame.as_ref().filter(|f| f.tid == *tid))
+    }
+
+    /// Insert a newly constructed frame, evicting the LRU way if needed.
+    pub fn insert(&mut self, frame: TraceFrame) {
+        self.tick += 1;
+        let range = self.set_range(&frame.tid);
+        let tick = self.tick;
+        let slots = &mut self.slots[range];
+        // Reuse an existing slot for the same TID, else an empty way, else LRU.
+        let idx = slots
+            .iter()
+            .position(|s| s.frame.as_ref().is_some_and(|f| f.tid == frame.tid))
+            .or_else(|| slots.iter().position(|s| s.frame.is_none()))
+            .unwrap_or_else(|| {
+                slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.stamp)
+                    .map(|(i, _)| i)
+                    .expect("nonzero associativity")
+            });
+        if let Some(old) = &slots[idx].frame {
+            if old.tid != frame.tid {
+                self.stats.evictions += 1;
+                if old.opt_level == OptLevel::Optimized {
+                    self.retired_opt_reuse.push(old.execs_since_opt);
+                }
+            }
+        }
+        slots[idx] = Slot { frame: Some(frame), stamp: tick };
+        self.stats.inserts += 1;
+    }
+
+    /// Replace a resident frame with its optimized form (write-back from the
+    /// optimizer). Returns false if the frame was evicted in the meantime.
+    pub fn replace_optimized(&mut self, frame: TraceFrame) -> bool {
+        debug_assert_eq!(frame.opt_level, OptLevel::Optimized);
+        let range = self.set_range(&frame.tid);
+        let tick = self.tick;
+        if let Some(slot) = self.slots[range]
+            .iter_mut()
+            .find(|s| s.frame.as_ref().is_some_and(|f| f.tid == frame.tid))
+        {
+            slot.frame = Some(frame);
+            slot.stamp = tick;
+            self.stats.optimized_writebacks += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record a full-path match for `tid` (raises fetch confidence).
+    pub fn on_full_match(&mut self, tid: &Tid) {
+        let range = self.set_range(tid);
+        if let Some(slot) =
+            self.slots[range].iter_mut().find(|s| s.frame.as_ref().is_some_and(|f| f.tid == *tid))
+        {
+            let f = slot.frame.as_mut().expect("present");
+            f.live_conf = (f.live_conf + 1).min(3);
+        }
+    }
+
+    /// The background phase observed this exact path executing (cold):
+    /// restore fetch confidence — the recorded path is live again.
+    pub fn revalidate(&mut self, tid: &Tid) {
+        let range = self.set_range(tid);
+        if let Some(slot) =
+            self.slots[range].iter_mut().find(|s| s.frame.as_ref().is_some_and(|f| f.tid == *tid))
+        {
+            let f = slot.frame.as_mut().expect("present");
+            f.live_conf = (f.live_conf + 1).min(3);
+        }
+    }
+
+    /// Record an abort for `tid` (lowers fetch confidence).
+    pub fn on_abort(&mut self, tid: &Tid) {
+        let range = self.set_range(tid);
+        if let Some(slot) =
+            self.slots[range].iter_mut().find(|s| s.frame.as_ref().is_some_and(|f| f.tid == *tid))
+        {
+            let f = slot.frame.as_mut().expect("present");
+            f.live_conf = f.live_conf.saturating_sub(1);
+        }
+    }
+
+    /// Iterate over every resident frame.
+    pub fn frames(&self) -> impl Iterator<Item = &TraceFrame> {
+        self.slots.iter().filter_map(|s| s.frame.as_ref())
+    }
+
+    /// Resident frame count.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.frame.is_some()).count()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(pc: u64) -> TraceFrame {
+        TraceFrame {
+            tid: Tid::new(pc),
+            uops: vec![],
+            mem_addrs: vec![],
+            path: vec![],
+            num_insts: 4,
+            orig_uops: 6,
+            joins: 1,
+            opt_level: OptLevel::Constructed,
+            exec_count: 0,
+            execs_since_opt: 0,
+            live_conf: 2,
+        }
+    }
+
+    #[test]
+    fn insert_then_fetch_hits_and_counts() {
+        let mut tc = TraceCache::new(TraceCacheConfig::standard());
+        tc.insert(frame(0x100));
+        assert!(tc.contains(&Tid::new(0x100)));
+        let f = tc.fetch(&Tid::new(0x100)).unwrap();
+        assert_eq!(f.exec_count, 1);
+        tc.fetch(&Tid::new(0x100));
+        assert_eq!(tc.peek(&Tid::new(0x100)).unwrap().exec_count, 2);
+        assert_eq!(tc.stats().hits, 2);
+    }
+
+    #[test]
+    fn miss_on_absent_tid() {
+        let mut tc = TraceCache::new(TraceCacheConfig::standard());
+        assert!(tc.fetch(&Tid::new(0x200)).is_none());
+        assert_eq!(tc.stats().lookups, 1);
+        assert_eq!(tc.stats().hits, 0);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let cfg = TraceCacheConfig { sets: 1, ways: 2 };
+        let mut tc = TraceCache::new(cfg);
+        tc.insert(frame(1));
+        tc.insert(frame(2));
+        tc.fetch(&Tid::new(1)); // 2 becomes LRU
+        tc.insert(frame(3)); // evicts 2
+        assert!(tc.contains(&Tid::new(1)));
+        assert!(!tc.contains(&Tid::new(2)));
+        assert_eq!(tc.stats().evictions, 1);
+        assert_eq!(tc.len(), 2);
+    }
+
+    #[test]
+    fn optimized_writeback_replaces_in_place() {
+        let mut tc = TraceCache::new(TraceCacheConfig::standard());
+        tc.insert(frame(0x300));
+        let mut opt = frame(0x300);
+        opt.opt_level = OptLevel::Optimized;
+        opt.uops = vec![];
+        assert!(tc.replace_optimized(opt));
+        assert_eq!(tc.peek(&Tid::new(0x300)).unwrap().opt_level, OptLevel::Optimized);
+        assert_eq!(tc.stats().optimized_writebacks, 1);
+        // Write-back to an evicted TID fails gracefully.
+        let mut gone = frame(0x999);
+        gone.opt_level = OptLevel::Optimized;
+        assert!(!tc.replace_optimized(gone));
+    }
+
+    #[test]
+    fn same_tid_reinsert_does_not_evict_neighbors() {
+        let cfg = TraceCacheConfig { sets: 1, ways: 2 };
+        let mut tc = TraceCache::new(cfg);
+        tc.insert(frame(1));
+        tc.insert(frame(2));
+        tc.insert(frame(1)); // refresh, not evict
+        assert!(tc.contains(&Tid::new(1)));
+        assert!(tc.contains(&Tid::new(2)));
+        assert_eq!(tc.stats().evictions, 0);
+    }
+
+    #[test]
+    fn evicted_optimized_frames_record_reuse() {
+        let cfg = TraceCacheConfig { sets: 1, ways: 1 };
+        let mut tc = TraceCache::new(cfg);
+        let mut f = frame(1);
+        f.opt_level = OptLevel::Optimized;
+        tc.insert(f);
+        for _ in 0..5 {
+            tc.fetch(&Tid::new(1));
+        }
+        tc.insert(frame(2)); // evicts the optimized frame
+        assert_eq!(tc.retired_opt_reuse, vec![5]);
+    }
+}
+
+#[cfg(test)]
+mod confidence_tests {
+    use super::*;
+
+    fn frame(pc: u64, dirs: &[bool]) -> TraceFrame {
+        let mut tid = Tid::new(pc);
+        for d in dirs {
+            tid.push_dir(*d);
+        }
+        TraceFrame {
+            tid,
+            uops: vec![],
+            mem_addrs: vec![],
+            path: vec![],
+            num_insts: 4,
+            orig_uops: 6,
+            joins: 1,
+            opt_level: OptLevel::Constructed,
+            exec_count: 0,
+            execs_since_opt: 0,
+            live_conf: 1,
+        }
+    }
+
+    #[test]
+    fn variants_share_a_set_and_sort_by_recency() {
+        let mut tc = TraceCache::new(TraceCacheConfig::standard());
+        tc.insert(frame(0x100, &[true]));
+        tc.insert(frame(0x100, &[false]));
+        tc.insert(frame(0x200, &[true]));
+        let v = tc.variants_at(0x100);
+        assert_eq!(v.len(), 2, "both path variants of 0x100");
+        assert!(v.iter().all(|f| f.tid.start_pc == 0x100));
+        // Touch the older variant: it becomes MRU.
+        let t1 = v[1].tid;
+        tc.fetch(&t1);
+        let v2 = tc.variants_at(0x100);
+        assert_eq!(v2[0].tid, t1, "MRU first");
+        assert!(tc.variants_at(0x300).is_empty());
+    }
+
+    #[test]
+    fn confidence_lifecycle() {
+        let mut tc = TraceCache::new(TraceCacheConfig::standard());
+        let f = frame(0x400, &[true]);
+        let tid = f.tid;
+        tc.insert(f);
+        assert_eq!(tc.peek(&tid).expect("resident").live_conf, 1);
+        tc.revalidate(&tid);
+        assert_eq!(tc.peek(&tid).expect("resident").live_conf, 2);
+        tc.on_full_match(&tid);
+        assert_eq!(tc.peek(&tid).expect("resident").live_conf, 3, "saturates at 3 next");
+        tc.on_full_match(&tid);
+        assert_eq!(tc.peek(&tid).expect("resident").live_conf, 3);
+        tc.on_abort(&tid);
+        assert_eq!(tc.peek(&tid).expect("resident").live_conf, 2);
+        tc.on_abort(&tid);
+        tc.on_abort(&tid);
+        tc.on_abort(&tid);
+        assert_eq!(tc.peek(&tid).expect("resident").live_conf, 0, "floors at 0");
+        // Operations on absent TIDs are no-ops.
+        tc.on_abort(&Tid::new(0x999));
+        tc.revalidate(&Tid::new(0x999));
+    }
+}

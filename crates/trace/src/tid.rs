@@ -1,0 +1,144 @@
+use std::fmt;
+
+/// A trace identifier (§2.2): the trace's start address plus the directions
+/// of its embedded conditional branches, compacted into a single word.
+///
+/// Two dynamic code sequences with equal TIDs followed identical paths, so
+/// the TID is the key for the filters, the trace cache and the trace
+/// predictor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Tid {
+    /// Address of the first instruction.
+    pub start_pc: u64,
+    /// Branch directions, bit `i` = direction of the i-th embedded
+    /// conditional branch.
+    pub dirs: u64,
+    /// Number of embedded conditional branches (≤ 64).
+    pub num_branches: u8,
+}
+
+impl Tid {
+    /// TID of a trace starting at `start_pc` with no branches recorded yet.
+    pub fn new(start_pc: u64) -> Tid {
+        Tid { start_pc, dirs: 0, num_branches: 0 }
+    }
+
+    /// Append one conditional-branch direction.
+    ///
+    /// # Panics
+    /// Panics if 64 directions were already recorded.
+    pub fn push_dir(&mut self, taken: bool) {
+        assert!(self.num_branches < 64, "TID direction overflow");
+        if taken {
+            self.dirs |= 1 << self.num_branches;
+        }
+        self.num_branches += 1;
+    }
+
+    /// Direction of the i-th embedded branch.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn dir(&self, i: u8) -> bool {
+        assert!(i < self.num_branches, "branch index out of range");
+        (self.dirs >> i) & 1 == 1
+    }
+
+    /// Concatenate another TID's directions after this one's (trace
+    /// joining / loop unrolling). Returns `false` (unchanged) on overflow.
+    #[must_use]
+    pub fn try_join(&mut self, other: &Tid) -> bool {
+        if u16::from(self.num_branches) + u16::from(other.num_branches) > 64 {
+            return false;
+        }
+        self.dirs |= other.dirs << self.num_branches;
+        self.num_branches += other.num_branches;
+        true
+    }
+
+    /// A well-mixed 64-bit key for set-indexing in filters and caches.
+    pub fn key(&self) -> u64 {
+        let mut x = self
+            .start_pc
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(self.dirs.wrapping_mul(0xc2b2_ae3d_27d4_eb4f))
+            .wrapping_add(u64::from(self.num_branches));
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}+", self.start_pc)?;
+        for i in 0..self.num_branches {
+            f.write_str(if self.dir(i) { "T" } else { "N" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirs_round_trip() {
+        let mut t = Tid::new(0x1000);
+        for d in [true, false, true, true] {
+            t.push_dir(d);
+        }
+        assert_eq!(t.num_branches, 4);
+        assert!(t.dir(0) && !t.dir(1) && t.dir(2) && t.dir(3));
+        assert_eq!(t.to_string(), "0x1000+TNTT");
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let mut a = Tid::new(0x1000);
+        a.push_dir(true);
+        a.push_dir(false);
+        let mut b = Tid::new(0x1000);
+        b.push_dir(true);
+        assert!(a.try_join(&b));
+        assert_eq!(a.num_branches, 3);
+        assert!(a.dir(0) && !a.dir(1) && a.dir(2));
+    }
+
+    #[test]
+    fn join_overflow_is_rejected_and_lossless() {
+        let mut a = Tid::new(0);
+        for _ in 0..60 {
+            a.push_dir(true);
+        }
+        let mut b = Tid::new(0);
+        for _ in 0..10 {
+            b.push_dir(false);
+        }
+        let before = a;
+        assert!(!a.try_join(&b));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn distinct_paths_have_distinct_keys() {
+        let mut a = Tid::new(0x4000);
+        a.push_dir(true);
+        let mut b = Tid::new(0x4000);
+        b.push_dir(false);
+        assert_ne!(a.key(), b.key());
+        assert_ne!(Tid::new(0x4000).key(), Tid::new(0x4008).key());
+    }
+
+    #[test]
+    fn equal_tids_have_equal_keys() {
+        let mut a = Tid::new(0x4000);
+        a.push_dir(true);
+        let mut b = Tid::new(0x4000);
+        b.push_dir(true);
+        assert_eq!(a, b);
+        assert_eq!(a.key(), b.key());
+    }
+}

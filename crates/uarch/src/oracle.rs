@@ -1,0 +1,152 @@
+//! A rewindable window over the committed instruction stream.
+//!
+//! Trace-driven simulation consumes the architectural (oracle) stream in
+//! order, but PARROT needs two extra capabilities: *peeking ahead* (to match
+//! a predicted trace against the upcoming path) and *rewinding* (an aborted
+//! atomic trace restores state to the trace start, so its instructions are
+//! re-fetched cold). [`OracleStream`] buffers a sliding window to support
+//! both.
+
+use parrot_workloads::{DynInst, ExecutionEngine};
+use std::collections::VecDeque;
+
+/// How many already-consumed instructions stay buffered for rewind (must
+/// exceed the largest trace: 64 uops ≥ 64 instructions).
+const RETAIN: u64 = 256;
+
+/// Sliding, rewindable window over an [`ExecutionEngine`]'s output, bounded
+/// by an instruction budget.
+#[derive(Clone, Debug)]
+pub struct OracleStream<'p> {
+    engine: ExecutionEngine<'p>,
+    buf: VecDeque<DynInst>,
+    /// Sequence number of `buf[0]`.
+    base: u64,
+    /// Next sequence number to be consumed.
+    cursor: u64,
+    /// Total instructions the stream will supply.
+    limit: u64,
+}
+
+impl<'p> OracleStream<'p> {
+    /// Wrap an engine, capping the stream at `limit` instructions.
+    pub fn new(engine: ExecutionEngine<'p>, limit: u64) -> OracleStream<'p> {
+        OracleStream { engine, buf: VecDeque::with_capacity(512), base: 0, cursor: 0, limit }
+    }
+
+    /// The next sequence number to be consumed.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Instructions remaining before the budget is exhausted.
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.cursor)
+    }
+
+    /// Has the budget been exhausted?
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.limit
+    }
+
+    /// The instruction at absolute sequence `seq`, if within budget.
+    ///
+    /// # Panics
+    /// Panics if `seq` has already been dropped from the rewind window.
+    pub fn get(&mut self, seq: u64) -> Option<DynInst> {
+        if seq >= self.limit {
+            return None;
+        }
+        assert!(seq >= self.base, "sequence {seq} dropped from rewind window (base {})", self.base);
+        while self.base + self.buf.len() as u64 <= seq {
+            let d = self.engine.next().expect("engine streams are infinite");
+            self.buf.push_back(d);
+        }
+        Some(self.buf[(seq - self.base) as usize])
+    }
+
+    /// Peek `ahead` instructions past the cursor (0 = next to consume).
+    pub fn peek(&mut self, ahead: u64) -> Option<DynInst> {
+        self.get(self.cursor + ahead)
+    }
+
+    /// Consume and return the instruction at the cursor.
+    pub fn pop(&mut self) -> Option<DynInst> {
+        let d = self.get(self.cursor)?;
+        self.cursor += 1;
+        // Trim the window, keeping RETAIN entries behind the cursor.
+        while self.cursor.saturating_sub(self.base) > RETAIN {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+        Some(d)
+    }
+
+    /// Rewind the cursor to `seq` (a trace abort re-fetching from the trace
+    /// start).
+    ///
+    /// # Panics
+    /// Panics if `seq` is ahead of the cursor or outside the rewind window.
+    pub fn rewind(&mut self, seq: u64) {
+        assert!(seq <= self.cursor, "rewind must move backwards");
+        assert!(seq >= self.base, "rewind target outside retained window");
+        self.cursor = seq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parrot_workloads::{generate_program, AppProfile, Suite};
+
+    #[test]
+    fn pop_peek_and_rewind() {
+        let prog = generate_program(&AppProfile::suite_base(Suite::SpecInt));
+        let mut o = OracleStream::new(ExecutionEngine::new(&prog), 10_000);
+        let first = o.peek(0).unwrap();
+        let tenth = o.peek(9).unwrap();
+        assert_eq!(o.pop().unwrap(), first);
+        for _ in 0..50 {
+            o.pop();
+        }
+        o.rewind(9);
+        assert_eq!(o.pop().unwrap(), tenth);
+        assert_eq!(o.cursor(), 10);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let prog = generate_program(&AppProfile::suite_base(Suite::SpecInt));
+        let mut o = OracleStream::new(ExecutionEngine::new(&prog), 100);
+        let mut n = 0;
+        while o.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+        assert!(o.exhausted());
+        assert_eq!(o.remaining(), 0);
+    }
+
+    #[test]
+    fn window_trims_but_keeps_retention() {
+        let prog = generate_program(&AppProfile::suite_base(Suite::SpecInt));
+        let mut o = OracleStream::new(ExecutionEngine::new(&prog), 100_000);
+        for _ in 0..10_000 {
+            o.pop();
+        }
+        // Recent history still available for rewind.
+        o.rewind(10_000 - 64);
+        assert!(o.pop().is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rewind_too_far_panics() {
+        let prog = generate_program(&AppProfile::suite_base(Suite::SpecInt));
+        let mut o = OracleStream::new(ExecutionEngine::new(&prog), 100_000);
+        for _ in 0..5000 {
+            o.pop();
+        }
+        o.rewind(0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property test: the rewindable oracle window behaves like a pure slice of
+//! the committed stream under arbitrary interleavings of peek, pop and
+//! (bounded) rewind.
+
+use parrot_uarch::oracle::OracleStream;
+use parrot_workloads::{generate_program, AppProfile, DynInst, ExecutionEngine, Suite};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Pop,
+    Peek(u8),
+    Rewind(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => Just(Op::Pop),
+        3 => (0u8..64).prop_map(Op::Peek),
+        1 => (0u8..64).prop_map(Op::Rewind),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn oracle_matches_reference_slice(ops in prop::collection::vec(op(), 1..300), limit in 50u64..400) {
+        let prog = generate_program(&AppProfile::suite_base(Suite::SpecInt));
+        let reference: Vec<DynInst> = ExecutionEngine::new(&prog).take(limit as usize).collect();
+        let mut oracle = OracleStream::new(ExecutionEngine::new(&prog), limit);
+        let mut cursor = 0u64;
+        let mut min_rewind = 0u64;
+        for o in &ops {
+            match o {
+                Op::Pop => {
+                    let got = oracle.pop();
+                    if cursor < limit {
+                        prop_assert_eq!(got.expect("within limit"), reference[cursor as usize]);
+                        cursor += 1;
+                        // The retained window guarantees 64-instruction rewinds.
+                        min_rewind = cursor.saturating_sub(64);
+                    } else {
+                        prop_assert!(got.is_none());
+                    }
+                }
+                Op::Peek(k) => {
+                    let got = oracle.peek(u64::from(*k));
+                    let want = reference.get((cursor + u64::from(*k)) as usize).copied();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Rewind(k) => {
+                    let target = cursor.saturating_sub(u64::from(*k)).max(min_rewind);
+                    oracle.rewind(target);
+                    cursor = target;
+                }
+            }
+            prop_assert_eq!(oracle.cursor(), cursor);
+            prop_assert_eq!(oracle.remaining(), limit - cursor);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Dynamic behaviour models attached to static branches and memory
+//! references. These are what make a synthetic program *behave* like its
+//! benchmark class: branch predictability, loop regularity and memory
+//! locality all derive from here.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Index into [`crate::Program::behaviors`].
+pub type BehaviorId = u32;
+
+/// How a static branch (or indirect jump) resolves dynamically.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BranchBehavior {
+    /// Independently random with probability `p_taken` (data-dependent
+    /// branch; captures weakly predictable control).
+    Bias { p_taken: f64 },
+    /// A loop back-edge: taken `trips - 1` times, then not-taken, where
+    /// `trips` is redrawn around `trip_mean` on each loop entry. Low
+    /// `trip_jitter` makes trip counts (and hence traces) highly regular.
+    Loop { trip_mean: f64, trip_jitter: f64 },
+    /// A deterministic repeating taken/not-taken pattern of `len` bits —
+    /// perfectly predictable by a history-based predictor.
+    Periodic { pattern: u64, len: u8 },
+    /// For indirect jumps: select among N targets with the given cumulative
+    /// distribution (typically Zipf-skewed).
+    Select { cdf: Vec<f64> },
+}
+
+/// Per-branch runtime state evolved by [`BranchBehavior::resolve`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BehaviorState {
+    /// Loop: remaining body executions. Periodic: current phase.
+    pub counter: u32,
+}
+
+/// Outcome of resolving one dynamic branch instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Conditional direction.
+    Dir(bool),
+    /// Indirect-jump target index.
+    Select(usize),
+}
+
+impl BranchBehavior {
+    /// Resolve one dynamic execution of this branch.
+    pub fn resolve(&self, state: &mut BehaviorState, rng: &mut SmallRng) -> Outcome {
+        match self {
+            BranchBehavior::Bias { p_taken } => Outcome::Dir(rng.gen_bool(p_taken.clamp(0.0, 1.0))),
+            BranchBehavior::Loop { trip_mean, trip_jitter } => {
+                if state.counter == 0 {
+                    let u: f64 = rng.gen_range(-1.0..1.0);
+                    let trips = (trip_mean * (1.0 + trip_jitter * u)).round().max(1.0);
+                    state.counter = trips as u32;
+                }
+                state.counter -= 1;
+                Outcome::Dir(state.counter > 0)
+            }
+            BranchBehavior::Periodic { pattern, len } => {
+                let len = (*len).max(1);
+                let bit = (pattern >> (state.counter % u32::from(len))) & 1;
+                state.counter = (state.counter + 1) % u32::from(len);
+                Outcome::Dir(bit == 1)
+            }
+            BranchBehavior::Select { cdf } => {
+                let u: f64 = rng.gen();
+                let idx = cdf.partition_point(|&c| c < u).min(cdf.len().saturating_sub(1));
+                Outcome::Select(idx)
+            }
+        }
+    }
+}
+
+/// Build a Zipf cumulative distribution over `n` ranks with exponent
+/// `theta` (higher = more skewed toward rank 0).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf over zero ranks");
+    let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+/// Index into [`crate::Program::addr_streams`].
+pub type StreamId = u16;
+
+/// How one static memory reference generates effective addresses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AddrStreamSpec {
+    /// Sequential walk: `base + (pos · stride) mod region`, 8-byte aligned.
+    Stride { base: u64, stride: u32, region: u32 },
+    /// Uniformly random within `region` bytes above `base` (pointer-chasing
+    /// style), 8-byte aligned.
+    Random { base: u64, region: u32 },
+}
+
+impl AddrStreamSpec {
+    /// Produce the address for dynamic occurrence number `pos`.
+    pub fn address(&self, pos: u64, rng: &mut SmallRng) -> u64 {
+        match self {
+            AddrStreamSpec::Stride { base, stride, region } => {
+                let off = (pos.wrapping_mul(u64::from(*stride))) % u64::from((*region).max(8));
+                base + (off & !7)
+            }
+            AddrStreamSpec::Random { base, region } => {
+                let off = rng.gen_range(0..u64::from((*region).max(8)));
+                base + (off & !7)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn bias_respects_probability() {
+        let mut r = rng();
+        let b = BranchBehavior::Bias { p_taken: 0.9 };
+        let mut st = BehaviorState::default();
+        let taken = (0..10_000)
+            .filter(|_| b.resolve(&mut st, &mut r) == Outcome::Dir(true))
+            .count();
+        assert!((8700..9300).contains(&taken), "taken={taken}");
+    }
+
+    #[test]
+    fn loop_behavior_runs_trips_then_exits() {
+        let mut r = rng();
+        let b = BranchBehavior::Loop { trip_mean: 5.0, trip_jitter: 0.0 };
+        let mut st = BehaviorState::default();
+        // 5 body executions: taken x4, then not taken.
+        let outcomes: Vec<Outcome> = (0..5).map(|_| b.resolve(&mut st, &mut r)).collect();
+        assert_eq!(
+            outcomes,
+            vec![
+                Outcome::Dir(true),
+                Outcome::Dir(true),
+                Outcome::Dir(true),
+                Outcome::Dir(true),
+                Outcome::Dir(false)
+            ]
+        );
+        // And the cycle repeats identically with zero jitter.
+        let again: Vec<Outcome> = (0..5).map(|_| b.resolve(&mut st, &mut r)).collect();
+        assert_eq!(outcomes, again);
+    }
+
+    #[test]
+    fn periodic_repeats_pattern() {
+        let mut r = rng();
+        let b = BranchBehavior::Periodic { pattern: 0b101, len: 3 };
+        let mut st = BehaviorState::default();
+        let dirs: Vec<Outcome> = (0..6).map(|_| b.resolve(&mut st, &mut r)).collect();
+        assert_eq!(
+            dirs,
+            vec![
+                Outcome::Dir(true),
+                Outcome::Dir(false),
+                Outcome::Dir(true),
+                Outcome::Dir(true),
+                Outcome::Dir(false),
+                Outcome::Dir(true)
+            ]
+        );
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized() {
+        let cdf = zipf_cdf(10, 1.2);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!((cdf[9] - 1.0).abs() < 1e-12);
+        // Skew: rank 0 clearly dominates.
+        assert!(cdf[0] > 0.25);
+    }
+
+    #[test]
+    fn select_uses_cdf_skew() {
+        let mut r = rng();
+        let b = BranchBehavior::Select { cdf: zipf_cdf(8, 1.5) };
+        let mut st = BehaviorState::default();
+        let mut counts = [0usize; 8];
+        for _ in 0..10_000 {
+            if let Outcome::Select(i) = b.resolve(&mut st, &mut r) {
+                counts[i] += 1;
+            }
+        }
+        assert!(counts[0] > counts[7] * 4, "{counts:?}");
+    }
+
+    #[test]
+    fn stride_stream_is_sequential_and_bounded() {
+        let mut r = rng();
+        let s = AddrStreamSpec::Stride { base: 0x1000, stride: 8, region: 64 };
+        let addrs: Vec<u64> = (0..10).map(|p| s.address(p, &mut r)).collect();
+        assert_eq!(addrs[0], 0x1000);
+        assert_eq!(addrs[1], 0x1008);
+        assert_eq!(addrs[8], 0x1000, "wraps at region");
+        for a in &addrs {
+            assert!(*a >= 0x1000 && *a < 0x1040);
+            assert_eq!(a % 8, 0);
+        }
+    }
+
+    #[test]
+    fn random_stream_is_bounded_and_aligned() {
+        let mut r = rng();
+        let s = AddrStreamSpec::Random { base: 0x4000, region: 1024 };
+        for p in 0..100 {
+            let a = s.address(p, &mut r);
+            assert!(a >= 0x4000 && a < 0x4400);
+            assert_eq!(a % 8, 0);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! The deterministic execution engine: walks a [`Program`]'s control-flow
+//! graph, resolving branches via their behaviour models and memory
+//! references via their address streams, and yields the committed
+//! instruction stream that drives every (trace-driven) timing model.
+
+use crate::behavior::{BehaviorState, Outcome};
+use crate::program::{BlockId, Program, Terminator};
+use parrot_isa::{InstId, InstKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One committed dynamic macro-instruction: everything a trace-driven
+/// pipeline model needs (identity, layout, resolved control flow, resolved
+/// effective address).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynInst {
+    /// Static instruction id (index into [`Program::insts`]).
+    pub inst: InstId,
+    /// Instruction address.
+    pub pc: u64,
+    /// Encoded length in bytes.
+    pub len: u8,
+    /// For CTIs: resolved direction (`true` for unconditional transfers).
+    pub taken: bool,
+    /// Address of the next committed instruction (fall-through or target).
+    pub next_pc: u64,
+    /// Effective data address for memory instructions (0 otherwise).
+    pub eff_addr: u64,
+    /// Does this instruction access data memory (incl. call push/ret pop)?
+    pub has_mem: bool,
+}
+
+/// Iterator over the committed instruction stream of a program.
+///
+/// The stream is infinite (the driver loops forever); callers bound it with
+/// an instruction budget. Two engines constructed over the same program
+/// yield identical streams.
+#[derive(Clone, Debug)]
+pub struct ExecutionEngine<'p> {
+    prog: &'p Program,
+    rng: SmallRng,
+    cur_block: BlockId,
+    idx: u32,
+    call_stack: Vec<BlockId>,
+    beh_state: Vec<BehaviorState>,
+    stream_pos: Vec<u64>,
+    emitted: u64,
+}
+
+impl<'p> ExecutionEngine<'p> {
+    /// Start execution at the driver function's entry.
+    pub fn new(prog: &'p Program) -> ExecutionEngine<'p> {
+        // The stream seed is distinct from the generation seed but fully
+        // determined by the program shape, keeping runs reproducible.
+        let seed = prog.code_bytes ^ 0x5eed_5eed_0000_0001;
+        ExecutionEngine {
+            prog,
+            rng: SmallRng::seed_from_u64(seed),
+            cur_block: prog.funcs[0].entry,
+            idx: 0,
+            call_stack: Vec::with_capacity(64),
+            beh_state: vec![BehaviorState::default(); prog.behaviors.len()],
+            stream_pos: vec![0; prog.addr_streams.len()],
+            emitted: 0,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.prog
+    }
+
+    /// Committed instructions so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Current call depth.
+    pub fn call_depth(&self) -> usize {
+        self.call_stack.len()
+    }
+
+    fn effective_address(&mut self, inst_kind: &InstKind) -> (u64, bool) {
+        if let Some(m) = inst_kind.mem_ref() {
+            let sid = m.stream as usize;
+            let pos = self.stream_pos[sid];
+            self.stream_pos[sid] = pos + 1;
+            let addr = self.prog.addr_streams[sid].address(pos, &mut self.rng);
+            (addr, true)
+        } else {
+            match inst_kind {
+                InstKind::Call => {
+                    let depth = self.call_stack.len() as u64;
+                    (self.prog.stack_base - 8 * (depth + 1), true)
+                }
+                InstKind::Return => {
+                    let depth = self.call_stack.len() as u64;
+                    (self.prog.stack_base - 8 * depth.max(1), true)
+                }
+                _ => (0, false),
+            }
+        }
+    }
+}
+
+impl Iterator for ExecutionEngine<'_> {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        let blk = &self.prog.blocks[self.cur_block as usize];
+        let inst_id = blk.first_inst + self.idx;
+        let inst = self.prog.inst(inst_id);
+        let is_last = self.idx + 1 == blk.num_insts;
+        let (eff_addr, has_mem) = self.effective_address(&inst.kind);
+
+        let (taken, next_pc) = if !is_last {
+            self.idx += 1;
+            (false, inst.next_pc())
+        } else {
+            // Resolve the block exit.
+            let (taken, next_block) = match &blk.term {
+                Terminator::FallThrough { next } => (false, *next),
+                Terminator::CondBranch { taken, fall, behavior } => {
+                    let beh = &self.prog.behaviors[*behavior as usize];
+                    match beh.resolve(&mut self.beh_state[*behavior as usize], &mut self.rng) {
+                        Outcome::Dir(true) => (true, *taken),
+                        Outcome::Dir(false) => (false, *fall),
+                        Outcome::Select(_) => unreachable!("select on a conditional"),
+                    }
+                }
+                Terminator::Jump { target } => (true, *target),
+                Terminator::IndirectJump { targets, behavior } => {
+                    let beh = &self.prog.behaviors[*behavior as usize];
+                    match beh.resolve(&mut self.beh_state[*behavior as usize], &mut self.rng) {
+                        Outcome::Select(i) => (true, targets[i.min(targets.len() - 1)]),
+                        Outcome::Dir(_) => unreachable!("direction on a select"),
+                    }
+                }
+                Terminator::Call { callee, ret_to } => {
+                    self.call_stack.push(*ret_to);
+                    (true, self.prog.funcs[*callee as usize].entry)
+                }
+                Terminator::Return => {
+                    let ret = self.call_stack.pop().unwrap_or(self.prog.funcs[0].entry);
+                    (true, ret)
+                }
+            };
+            self.cur_block = next_block;
+            self.idx = 0;
+            let np = if matches!(blk.term, Terminator::FallThrough { .. }) && !taken {
+                self.prog.block_pc(next_block)
+            } else if taken {
+                self.prog.block_pc(next_block)
+            } else {
+                // Not-taken conditional: fall through textually.
+                self.prog.block_pc(next_block)
+            };
+            (taken, np)
+        };
+
+        self.emitted += 1;
+        Some(DynInst {
+            inst: inst_id,
+            pc: inst.addr,
+            len: inst.len,
+            taken,
+            next_pc,
+            eff_addr,
+            has_mem,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genprog::generate_program;
+    use crate::profile::{AppProfile, Suite};
+    use std::collections::HashMap;
+
+    fn program() -> Program {
+        generate_program(&AppProfile::suite_base(Suite::SpecInt))
+    }
+
+    #[test]
+    fn stream_is_infinite_and_deterministic() {
+        let p = program();
+        let a: Vec<DynInst> = ExecutionEngine::new(&p).take(5_000).collect();
+        let b: Vec<DynInst> = ExecutionEngine::new(&p).take(5_000).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5_000);
+    }
+
+    #[test]
+    fn control_flow_is_consistent() {
+        let p = program();
+        let stream: Vec<DynInst> = ExecutionEngine::new(&p).take(20_000).collect();
+        for w in stream.windows(2) {
+            assert_eq!(
+                w[0].next_pc, w[1].pc,
+                "next_pc must chain to the following instruction"
+            );
+            if !w[0].taken {
+                // Untaken/non-CTI: must be textually sequential.
+                assert_eq!(w[0].pc + u64::from(w[0].len), w[1].pc);
+            }
+        }
+    }
+
+    #[test]
+    fn calls_and_returns_balance() {
+        let p = program();
+        let mut eng = ExecutionEngine::new(&p);
+        let mut calls = 0u64;
+        let mut rets = 0u64;
+        for d in (&mut eng).take(50_000) {
+            match p.inst(d.inst).kind {
+                InstKind::Call => calls += 1,
+                InstKind::Return => rets += 1,
+                _ => {}
+            }
+        }
+        assert!(calls > 100, "calls={calls}");
+        assert!(rets <= calls, "rets={rets} calls={calls}");
+        assert!(calls - rets <= 64, "unbounded call depth");
+        assert!(eng.call_depth() <= 64);
+    }
+
+    #[test]
+    fn memory_instructions_have_addresses() {
+        let p = program();
+        for d in ExecutionEngine::new(&p).take(10_000) {
+            let k = &p.inst(d.inst).kind;
+            if k.mem_ref().is_some() || matches!(k, InstKind::Call | InstKind::Return) {
+                assert!(d.has_mem);
+                assert_ne!(d.eff_addr, 0);
+            } else {
+                assert!(!d.has_mem);
+            }
+        }
+    }
+
+    #[test]
+    fn hot_code_dominates_execution() {
+        // The Zipf driver must induce strong execution skew: the hottest 25%
+        // of executed static instructions should cover well over half of the
+        // dynamic stream (the paper's 90/10 premise).
+        let p = generate_program(&AppProfile::suite_base(Suite::SpecFp));
+        let mut counts: HashMap<InstId, u64> = HashMap::new();
+        for d in ExecutionEngine::new(&p).take(200_000) {
+            *counts.entry(d.inst).or_insert(0) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = freqs.iter().sum();
+        let top_quarter: u64 = freqs.iter().take(freqs.len() / 4).sum();
+        assert!(
+            top_quarter as f64 > 0.75 * total as f64,
+            "hot 25% covers only {:.1}%",
+            100.0 * top_quarter as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn call_return_addresses_pair_up() {
+        let p = program();
+        let mut stack: Vec<u64> = Vec::new();
+        for d in ExecutionEngine::new(&p).take(50_000) {
+            match p.inst(d.inst).kind {
+                InstKind::Call => stack.push(d.eff_addr),
+                InstKind::Return => {
+                    if let Some(push_addr) = stack.pop() {
+                        assert_eq!(d.eff_addr, push_addr, "return pops where call pushed");
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,762 @@
+//! Synthetic program generation from an [`AppProfile`].
+//!
+//! A program is a dispatch **driver** (an infinite loop selecting workload
+//! functions through a Zipf-skewed indirect jump — this produces the paper's
+//! hot/cold 90/10 skew) plus `num_funcs` workload functions built from
+//! structured regions: straight-line code, forward branches (biased or
+//! periodic), loops (the trace unrolling/SIMDification substrate), call
+//! sites and switches.
+
+use crate::behavior::{zipf_cdf, AddrStreamSpec, BranchBehavior};
+use crate::profile::AppProfile;
+use crate::program::{BasicBlock, BlockId, FuncId, Function, Program, Terminator, DATA_BASE, STACK_BASE};
+use parrot_isa::{AluOp, Cond, FpOp, Inst, InstKind, MemRef, Operand, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate the synthetic program for an application profile.
+///
+/// The result is laid out (addresses and static targets resolved) and
+/// validated; generation is fully deterministic in `profile.seed`.
+pub fn generate_program(profile: &AppProfile) -> Program {
+    let mut g = Gen {
+        p: profile.clone(),
+        rng: SmallRng::seed_from_u64(profile.seed),
+        cur_hot: false,
+        insts: Vec::new(),
+        blocks: Vec::new(),
+        funcs: Vec::new(),
+        behaviors: Vec::new(),
+        streams: Vec::new(),
+        stream_pool: Vec::new(),
+        recent: Vec::new(),
+        recent_fp: Vec::new(),
+    };
+    g.build_stream_pool();
+    g.build();
+    let mut prog = Program {
+        insts: g.insts,
+        blocks: g.blocks,
+        funcs: g.funcs,
+        behaviors: g.behaviors,
+        addr_streams: g.streams,
+        stack_base: STACK_BASE,
+        code_bytes: 0,
+    };
+    prog.layout();
+    debug_assert_eq!(prog.validate(), Ok(()));
+    prog
+}
+
+/// Which field of a block's terminator should be patched to the next
+/// region's entry.
+enum ExitSlot {
+    Fall,
+    Taken,
+    JumpTarget,
+    CallRet,
+}
+
+struct Gen {
+    p: AppProfile,
+    rng: SmallRng,
+    /// Hotness of the function currently being generated (hot code is more
+    /// regular: stronger branch bias, steadier loops, streaming memory).
+    cur_hot: bool,
+    insts: Vec<Inst>,
+    blocks: Vec<BasicBlock>,
+    funcs: Vec<Function>,
+    behaviors: Vec<BranchBehavior>,
+    streams: Vec<AddrStreamSpec>,
+    /// Pooled stream ids: memory instructions share a bounded set of
+    /// streams so the data working set matches `profile.data_kb` (real
+    /// programs reuse the same arrays and heaps).
+    stream_pool: Vec<u16>,
+    /// Recently written integer registers (dependency locality).
+    recent: Vec<Reg>,
+    recent_fp: Vec<Reg>,
+}
+
+impl Gen {
+    /// Create the shared pool of address streams: total footprint equals the
+    /// profile's working set, split between striding and random streams.
+    fn build_stream_pool(&mut self) {
+        let pool_n = ((self.p.data_kb / 48).clamp(6, 24)) as usize;
+        let region = ((u64::from(self.p.data_kb) * 1024) / pool_n as u64).max(1024) as u32;
+        for i in 0..pool_n {
+            let base = DATA_BASE + i as u64 * (u64::from(region) + 4096);
+            let stride = self.rng.gen_bool(self.p.stride_frac);
+            let spec = if stride {
+                let stride_bytes = [8u32, 8, 8, 16, 64][self.rng.gen_range(0..5)];
+                AddrStreamSpec::Stride { base, stride: stride_bytes, region }
+            } else {
+                AddrStreamSpec::Random { base, region }
+            };
+            self.streams.push(spec);
+            self.stream_pool.push(i as u16);
+        }
+    }
+
+    fn build(&mut self) {
+        let n = self.p.num_funcs.max(1);
+        // Reserve function table: driver is func 0; bodies generated after
+        // so call sites can reference any function id.
+        self.funcs = vec![Function { entry: 0, num_blocks: 0 }; (n + 1) as usize];
+        self.gen_driver(n);
+        for f in 1..=n {
+            self.gen_function(f);
+        }
+    }
+
+    // --- driver: switch-dispatch loop over workload functions ---
+    fn gen_driver(&mut self, n: u32) {
+        let first_block = self.blocks.len() as u32;
+        // Block layout: [switch][case_1..case_n][tail].
+        let switch_b = first_block;
+        let case0 = first_block + 1;
+        let tail = first_block + 1 + n;
+
+        // Switch head: a little bookkeeping code, then the indirect jump.
+        let beh = self.behaviors.len() as u32;
+        self.behaviors.push(BranchBehavior::Select { cdf: zipf_cdf(n as usize, self.p.zipf_theta) });
+        let first = self.body(2, false);
+        let sel = self.push_inst(Inst::new(InstKind::IndirectJump { sel: Reg::int(11) }));
+        self.blocks.push(BasicBlock {
+            first_inst: first,
+            num_insts: sel - first + 1,
+            term: Terminator::IndirectJump {
+                targets: (case0..case0 + n).collect(),
+                behavior: beh,
+            },
+        });
+        // Case blocks: call function i, return to tail.
+        for f in 1..=n {
+            let first = self.push_inst(Inst::new(InstKind::Call));
+            self.blocks.push(BasicBlock {
+                first_inst: first,
+                num_insts: 1,
+                term: Terminator::Call { callee: f, ret_to: tail },
+            });
+        }
+        // Tail: loop back to the switch forever.
+        let first = self.body(1, false);
+        let j = self.push_inst(Inst::new(InstKind::Jump));
+        self.blocks.push(BasicBlock {
+            first_inst: first,
+            num_insts: j - first + 1,
+            term: Terminator::Jump { target: switch_b },
+        });
+        self.funcs[0] = Function { entry: switch_b, num_blocks: self.blocks.len() as u32 - first_block };
+    }
+
+    // --- workload function: a chain of regions ending in a return ---
+    fn gen_function(&mut self, f: FuncId) {
+        self.cur_hot = self.func_is_hot(f);
+        let first_block = self.blocks.len() as u32;
+        let regions = self.p.regions_per_func.max(2);
+        let mut pending: Vec<(BlockId, ExitSlot)> = Vec::new();
+        for _ in 0..regions {
+            let entry = self.blocks.len() as u32;
+            // Patch the previous region's exits to this region's entry.
+            self.patch(&mut pending, entry);
+            let mut exits = self.gen_region(f);
+            pending.append(&mut exits);
+        }
+        // Return block.
+        let ret_entry = self.blocks.len() as u32;
+        self.patch(&mut pending, ret_entry);
+        let first = self.body(1, false);
+        let r = self.push_inst(Inst::new(InstKind::Return));
+        self.blocks.push(BasicBlock {
+            first_inst: first,
+            num_insts: r - first + 1,
+            term: Terminator::Return,
+        });
+        self.funcs[f as usize] =
+            Function { entry: first_block, num_blocks: self.blocks.len() as u32 - first_block };
+    }
+
+    fn patch(&mut self, pending: &mut Vec<(BlockId, ExitSlot)>, entry: BlockId) {
+        for (b, slot) in pending.drain(..) {
+            let term = &mut self.blocks[b as usize].term;
+            match (slot, term) {
+                (ExitSlot::Fall, Terminator::FallThrough { next }) => *next = entry,
+                (ExitSlot::Fall, Terminator::CondBranch { fall, .. }) => *fall = entry,
+                (ExitSlot::Taken, Terminator::CondBranch { taken, .. }) => *taken = entry,
+                (ExitSlot::JumpTarget, Terminator::Jump { target }) => *target = entry,
+                (ExitSlot::CallRet, Terminator::Call { ret_to, .. }) => *ret_to = entry,
+                _ => unreachable!("exit slot does not match terminator shape"),
+            }
+        }
+    }
+
+    /// Is function `f` in the hot (frequently dispatched) portion of the
+    /// Zipf callee distribution? Hot code is more regular and predictable —
+    /// the paper's core premise (§2.1) — so its branches get stronger bias.
+    fn func_is_hot(&self, f: FuncId) -> bool {
+        f >= 1 && f <= (self.p.num_funcs / 4).max(2)
+    }
+
+    fn gen_region(&mut self, f: FuncId) -> Vec<(BlockId, ExitSlot)> {
+        let r: f64 = self.rng.gen();
+        let p = &self.p;
+        let hot = self.func_is_hot(f);
+        if r < p.loop_frac {
+            self.region_loop(hot)
+        } else if r < p.loop_frac + p.call_frac && (f + 1) < self.funcs.len() as u32 {
+            self.region_call(f)
+        } else if r < p.loop_frac + p.call_frac + p.indirect_frac {
+            self.region_switch()
+        } else if r < p.loop_frac + p.call_frac + p.indirect_frac + 0.35 {
+            self.region_if(hot)
+        } else {
+            self.region_plain()
+        }
+    }
+
+    fn region_plain(&mut self) -> Vec<(BlockId, ExitSlot)> {
+        let n = self.block_len();
+        let first = self.body(n, false);
+        let b = self.push_block(first, Terminator::FallThrough { next: u32::MAX });
+        vec![(b, ExitSlot::Fall)]
+    }
+
+    /// A forward conditional: `cond ? skip : then-block`, both meeting at
+    /// the next region.
+    fn region_if(&mut self, hot: bool) -> Vec<(BlockId, ExitSlot)> {
+        let beh = self.cond_behavior(hot);
+        let n = self.block_len();
+        let first = self.cond_body(n);
+        let then_b_id = self.blocks.len() as u32 + 1;
+        let cond_b = self.push_block(
+            first,
+            Terminator::CondBranch { taken: u32::MAX, fall: then_b_id, behavior: beh },
+        );
+        let n2 = self.block_len();
+        let first2 = self.body(n2, false);
+        let then_b = self.push_block(first2, Terminator::FallThrough { next: u32::MAX });
+        vec![(cond_b, ExitSlot::Taken), (then_b, ExitSlot::Fall)]
+    }
+
+    /// A counted loop: one or two body blocks with a backward conditional
+    /// latch. Vectorizable loops get isomorphic bodies (SIMD fodder).
+    fn region_loop(&mut self, hot: bool) -> Vec<(BlockId, ExitSlot)> {
+        let vectorizable = self.rng.gen_bool(self.p.simd_frac);
+        let trip = (self.p.trip_mean * self.rng.gen_range(0.5..1.6)).max(2.0);
+        // Hot loops are steadier; in already-regular code (low profile
+        // jitter — FP/multimedia kernels iterating over fixed-size data)
+        // hot trip counts are *constant*, which is what lets a next-trace
+        // predictor learn loop exits exactly.
+        let jitter = if hot {
+            if self.p.trip_jitter < 0.12 {
+                0.0
+            } else {
+                self.p.trip_jitter * 0.4
+            }
+        } else {
+            self.p.trip_jitter
+        };
+        let beh = self.behaviors.len() as u32;
+        self.behaviors.push(BranchBehavior::Loop { trip_mean: trip, trip_jitter: jitter });
+        let head = self.blocks.len() as u32;
+        let two_blocks = !vectorizable && self.rng.gen_bool(0.3);
+        if two_blocks {
+            let n = self.block_len();
+            let first = self.body(n, false);
+            self.push_block(first, Terminator::FallThrough { next: head + 1 });
+        }
+        let n = self.block_len();
+        let first = self.cond_body_vec(n, vectorizable);
+        let latch = self.push_block(
+            first,
+            Terminator::CondBranch { taken: head, fall: u32::MAX, behavior: beh },
+        );
+        vec![(latch, ExitSlot::Fall)]
+    }
+
+    fn region_call(&mut self, f: FuncId) -> Vec<(BlockId, ExitSlot)> {
+        // Callee strictly deeper to keep the call graph acyclic.
+        let lo = f + 1;
+        let hi = self.funcs.len() as u32 - 1;
+        let callee = if lo >= hi { hi } else { self.rng.gen_range(lo..=hi) };
+        let n = self.block_len().min(4);
+        let first = self.body(n, false);
+        let c = self.push_inst(Inst::new(InstKind::Call));
+        let b = self.blocks.len() as u32;
+        self.blocks.push(BasicBlock {
+            first_inst: first,
+            num_insts: c - first + 1,
+            term: Terminator::Call { callee, ret_to: u32::MAX },
+        });
+        vec![(b, ExitSlot::CallRet)]
+    }
+
+    fn region_switch(&mut self) -> Vec<(BlockId, ExitSlot)> {
+        let k = self.rng.gen_range(3..=6u32);
+        let beh = self.behaviors.len() as u32;
+        let theta = self.p.zipf_theta * 0.8;
+        self.behaviors.push(BranchBehavior::Select { cdf: zipf_cdf(k as usize, theta) });
+        let n = self.block_len().min(5);
+        let first = self.body(n, false);
+        let sel = self.push_inst(Inst::new(InstKind::IndirectJump { sel: Reg::int(10) }));
+        let head = self.blocks.len() as u32;
+        self.blocks.push(BasicBlock {
+            first_inst: first,
+            num_insts: sel - first + 1,
+            term: Terminator::IndirectJump {
+                targets: (head + 1..head + 1 + k).collect(),
+                behavior: beh,
+            },
+        });
+        let mut exits = Vec::with_capacity(k as usize);
+        for _ in 0..k {
+            let n = self.block_len();
+            let first = self.body(n, false);
+            let j = self.push_inst(Inst::new(InstKind::Jump));
+            let b = self.blocks.len() as u32;
+            self.blocks.push(BasicBlock {
+                first_inst: first,
+                num_insts: j - first + 1,
+                term: Terminator::Jump { target: u32::MAX },
+            });
+            exits.push((b, ExitSlot::JumpTarget));
+        }
+        exits
+    }
+
+    // --- instruction filling ---
+
+    fn block_len(&mut self) -> u32 {
+        let (lo, hi) = self.p.block_len;
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Body of `n` instructions; returns the first instruction id.
+    fn body(&mut self, n: u32, vectorizable: bool) -> u32 {
+        let first = self.insts.len() as u32;
+        if vectorizable {
+            self.fill_vector_body(n);
+        } else {
+            for _ in 0..n {
+                self.fill_one();
+            }
+        }
+        if self.insts.len() as u32 == first {
+            self.fill_one(); // never produce an empty body
+        }
+        first
+    }
+
+    /// Body ending with the `cmp` that feeds the region's conditional
+    /// branch, then the branch itself.
+    fn cond_body(&mut self, n: u32) -> u32 {
+        self.cond_body_vec(n, false)
+    }
+
+    fn cond_body_vec(&mut self, n: u32, vectorizable: bool) -> u32 {
+        let first = self.body(n.saturating_sub(2).max(1), vectorizable);
+        let src = self.pick_src_int();
+        let cmp_imm = self.rng.gen_range(0..64);
+        self.push_inst(Inst::new(InstKind::Cmp { src, rhs: Operand::Imm(cmp_imm) }));
+        let cond = Cond::ALL[self.rng.gen_range(0..Cond::ALL.len())];
+        self.push_inst(Inst::new(InstKind::CondBranch { cond }));
+        first
+    }
+
+    /// Isomorphic, independent groups: the SIMDification substrate. Four
+    /// lanes of `load; op(coef); store` on distinct registers.
+    fn fill_vector_body(&mut self, n: u32) {
+        let fp = self.rng.gen_bool((self.p.fp_frac * 2.5).min(1.0));
+        let groups = (n / 3).clamp(2, 4);
+        let coef = self.rng.gen_range(1..16i64);
+        for lane in 0..groups {
+            let (dst, src) = if fp {
+                (Reg::fp((2 * lane % 16) as u8), Reg::fp((2 * lane % 16 + 1) as u8))
+            } else {
+                (Reg::int((lane % 7) as u8), Reg::int((lane % 7 + 7) as u8))
+            };
+            let load_mem = self.new_stream(true);
+            let store_mem = self.new_stream(true);
+            if fp {
+                self.push_inst(Inst::new(InstKind::FpLoad { dst: src, mem: load_mem }));
+                self.push_inst(Inst::new(InstKind::FpAlu {
+                    op: FpOp::Mul,
+                    dst,
+                    src1: src,
+                    src2: src,
+                }));
+                self.push_inst(Inst::new(InstKind::FpStore { src: dst, mem: store_mem }));
+            } else {
+                self.push_inst(Inst::new(InstKind::Load { dst: src, mem: load_mem }));
+                self.push_inst(Inst::new(InstKind::IntAlu {
+                    op: AluOp::Add,
+                    dst,
+                    src: src,
+                    rhs: Operand::Imm(coef),
+                }));
+                self.push_inst(Inst::new(InstKind::Store { src: dst, mem: store_mem }));
+            }
+            self.note_write(dst);
+        }
+    }
+
+    /// One instruction drawn from the profile's mix.
+    fn fill_one(&mut self) {
+        let r: f64 = self.rng.gen();
+        let p = self.p.clone();
+        if r < p.const_frac {
+            // Constant fodder: mov-imm followed (often) by a dependent op.
+            let dst = self.pick_dst_int();
+            let c = self.rng.gen_range(0..256i64);
+            self.push_inst(Inst::new(InstKind::IntAlu {
+                op: AluOp::Mov,
+                dst,
+                src: dst,
+                rhs: Operand::Imm(c),
+            }));
+            self.note_write(dst);
+            if self.rng.gen_bool(0.8) {
+                let dst2 = self.pick_dst_int();
+                let op = [AluOp::Add, AluOp::And, AluOp::Xor, AluOp::Shl][self.rng.gen_range(0..4)];
+                let imm = self.rng.gen_range(0..16);
+                self.push_inst(Inst::new(InstKind::IntAlu { op, dst: dst2, src: dst, rhs: Operand::Imm(imm) }));
+                self.note_write(dst2);
+            }
+            return;
+        }
+        if r < p.const_frac + p.dead_frac {
+            // Dead fodder: a result overwritten before any use.
+            let dst = self.pick_dst_int();
+            let src = self.pick_src_int();
+            let imm1 = self.rng.gen_range(1..32);
+            self.push_inst(Inst::new(InstKind::IntAlu { op: AluOp::Add, dst, src, rhs: Operand::Imm(imm1) }));
+            let src2 = self.pick_src_int();
+            let imm2 = self.rng.gen_range(1..32);
+            self.push_inst(Inst::new(InstKind::IntAlu { op: AluOp::Sub, dst, src: src2, rhs: Operand::Imm(imm2) }));
+            self.note_write(dst);
+            return;
+        }
+        let r2: f64 = self.rng.gen();
+        if r2 < p.mem_frac {
+            self.fill_mem();
+        } else if r2 < p.mem_frac + p.fp_frac {
+            self.fill_fp();
+        } else {
+            self.fill_int_alu();
+        }
+    }
+
+    fn fill_mem(&mut self) {
+        let p_stride =
+            if self.cur_hot { (self.p.stride_frac + 0.35).min(0.95) } else { self.p.stride_frac };
+        let stride = self.rng.gen_bool(p_stride);
+        let mem = self.new_stream(stride);
+        let cisc = self.rng.gen_bool(self.p.cisc_frac);
+        let choice: f64 = self.rng.gen();
+        if cisc {
+            if choice < 0.6 {
+                let dst = self.pick_dst_int();
+                let src = self.pick_src_int();
+                let op = [AluOp::Add, AluOp::And, AluOp::Or, AluOp::Xor][self.rng.gen_range(0..4)];
+                self.push_inst(Inst::new(InstKind::LoadOp { op, dst, src, mem }));
+                self.note_write(dst);
+            } else {
+                let src = self.pick_src_int();
+                let op = [AluOp::Add, AluOp::Or, AluOp::Xor][self.rng.gen_range(0..3)];
+                self.push_inst(Inst::new(InstKind::RmwStore { op, src, mem }));
+            }
+        } else if choice < 0.65 {
+            let dst = self.pick_dst_int();
+            self.push_inst(Inst::new(InstKind::Load { dst, mem }));
+            self.note_write(dst);
+        } else {
+            let src = self.pick_src_int();
+            self.push_inst(Inst::new(InstKind::Store { src, mem }));
+        }
+    }
+
+    fn fill_fp(&mut self) {
+        let r: f64 = self.rng.gen();
+        if r < 0.25 {
+            let stride = self.rng.gen_bool(self.p.stride_frac);
+            let mem = self.new_stream(stride);
+            let dst = self.pick_dst_fp();
+            self.push_inst(Inst::new(InstKind::FpLoad { dst, mem }));
+            self.note_write_fp(dst);
+        } else {
+            let dst = self.pick_dst_fp();
+            let s1 = self.pick_src_fp();
+            let s2 = self.pick_src_fp();
+            let op = if r < 0.55 {
+                FpOp::Add
+            } else if r < 0.75 {
+                FpOp::Sub
+            } else if r < 0.93 {
+                FpOp::Mul
+            } else {
+                FpOp::Div
+            };
+            self.push_inst(Inst::new(InstKind::FpAlu { op, dst, src1: s1, src2: s2 }));
+            self.note_write_fp(dst);
+        }
+    }
+
+    fn fill_int_alu(&mut self) {
+        let dst = self.pick_dst_int();
+        let src = self.pick_src_int();
+        let r: f64 = self.rng.gen();
+        if r < self.p.mul_frac {
+            let src2 = self.pick_src_int();
+            if self.rng.gen_bool(0.04) {
+                self.push_inst(Inst::new(InstKind::IntDiv { dst, src1: src, src2 }));
+            } else {
+                self.push_inst(Inst::new(InstKind::IntMul { dst, src1: src, src2 }));
+            }
+        } else {
+            let op = [
+                AluOp::Add,
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::And,
+                AluOp::Or,
+                AluOp::Xor,
+                AluOp::Shl,
+                AluOp::Shr,
+                AluOp::Mov,
+            ][self.rng.gen_range(0..9)];
+            let rhs = if self.rng.gen_bool(0.45) {
+                Operand::Imm(self.rng.gen_range(-64..256))
+            } else {
+                Operand::Reg(self.pick_src_int())
+            };
+            self.push_inst(Inst::new(InstKind::IntAlu { op, dst, src, rhs }));
+        }
+        self.note_write(dst);
+    }
+
+    // --- helpers ---
+
+    fn push_inst(&mut self, inst: Inst) -> u32 {
+        self.insts.push(inst);
+        self.insts.len() as u32 - 1
+    }
+
+    fn push_block(&mut self, first_inst: u32, term: Terminator) -> BlockId {
+        let num_insts = self.insts.len() as u32 - first_inst;
+        debug_assert!(num_insts > 0);
+        self.blocks.push(BasicBlock { first_inst, num_insts, term });
+        self.blocks.len() as u32 - 1
+    }
+
+    fn cond_behavior(&mut self, hot: bool) -> u32 {
+        let id = self.behaviors.len() as u32;
+        let periodic_p = if hot {
+            (self.p.periodic_frac + 0.2).min(0.95)
+        } else {
+            self.p.periodic_frac
+        };
+        if self.rng.gen_bool(periodic_p) {
+            let len = self.rng.gen_range(2..=8u8);
+            let pattern: u64 = self.rng.gen_range(1..(1u64 << len));
+            self.behaviors.push(BranchBehavior::Periodic { pattern, len });
+        } else {
+            let jitter: f64 = self.rng.gen_range(-0.12..0.12);
+            let base = if hot {
+                // Hot-path branches strongly favour the common case.
+                self.p.branch_bias.max(0.96)
+            } else {
+                self.p.branch_bias
+            };
+            let mut p = (base + jitter).clamp(0.55, 0.99);
+            if self.rng.gen_bool(0.5) {
+                p = 1.0 - p; // some branches are mostly not-taken
+            }
+            self.behaviors.push(BranchBehavior::Bias { p_taken: p });
+        }
+        id
+    }
+
+    /// Reference one of the pooled streams. `prefer_stride` biases the pick
+    /// toward striding streams (vectorizable bodies walk arrays).
+    fn new_stream(&mut self, prefer_stride: bool) -> MemRef {
+        let mut id = self.stream_pool[self.rng.gen_range(0..self.stream_pool.len())];
+        if prefer_stride {
+            for _ in 0..3 {
+                if matches!(self.streams[id as usize], AddrStreamSpec::Stride { .. }) {
+                    break;
+                }
+                id = self.stream_pool[self.rng.gen_range(0..self.stream_pool.len())];
+            }
+        }
+        MemRef {
+            base: self.pick_mem_base(),
+            offset: self.rng.gen_range(-64..512),
+            stream: id,
+        }
+    }
+
+    /// Address bases are mostly stable pointer registers (r12–r14), which
+    /// the generator never writes — address generation must not serialize
+    /// behind ALU chains, as in real compiled code.
+    fn pick_mem_base(&mut self) -> Reg {
+        if self.rng.gen_bool(0.85) {
+            Reg::int(12 + self.rng.gen_range(0..3))
+        } else {
+            self.pick_src_int()
+        }
+    }
+
+    fn pick_dst_int(&mut self) -> Reg {
+        // r12-r14 are pointer registers and r15 the stack pointer; general
+        // results go to r0-r11 so address bases stay stable.
+        Reg::int(self.rng.gen_range(0..12))
+    }
+
+    fn pick_src_int(&mut self) -> Reg {
+        if !self.recent.is_empty() && self.rng.gen_bool(0.25) {
+            let i = self.rng.gen_range(0..self.recent.len());
+            self.recent[i]
+        } else {
+            Reg::int(self.rng.gen_range(0..15))
+        }
+    }
+
+    fn pick_dst_fp(&mut self) -> Reg {
+        Reg::fp(self.rng.gen_range(0..16))
+    }
+
+    fn pick_src_fp(&mut self) -> Reg {
+        if !self.recent_fp.is_empty() && self.rng.gen_bool(0.25) {
+            let i = self.rng.gen_range(0..self.recent_fp.len());
+            self.recent_fp[i]
+        } else {
+            Reg::fp(self.rng.gen_range(0..16))
+        }
+    }
+
+    fn note_write(&mut self, r: Reg) {
+        self.recent.push(r);
+        if self.recent.len() > 8 {
+            self.recent.remove(0);
+        }
+    }
+
+    fn note_write_fp(&mut self, r: Reg) {
+        self.recent_fp.push(r);
+        if self.recent_fp.len() > 8 {
+            self.recent_fp.remove(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{all_apps, AppProfile, Suite};
+
+    #[test]
+    fn every_app_generates_a_valid_program() {
+        for app in all_apps() {
+            let p = generate_program(&app);
+            assert_eq!(p.validate(), Ok(()), "{}", app.name);
+            assert!(p.num_insts() > 200, "{}: too small", app.name);
+            assert!(p.funcs.len() as u32 == app.num_funcs + 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let app = AppProfile::suite_base(Suite::SpecInt);
+        let a = generate_program(&app);
+        let b = generate_program(&app);
+        assert_eq!(a.insts, b.insts);
+        assert_eq!(a.blocks, b.blocks);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = AppProfile::suite_base(Suite::SpecInt);
+        a.seed = 1;
+        let mut b = AppProfile::suite_base(Suite::SpecInt);
+        b.seed = 2;
+        assert_ne!(generate_program(&a).insts, generate_program(&b).insts);
+    }
+
+    #[test]
+    fn loops_produce_backward_branches() {
+        let app = AppProfile::suite_base(Suite::SpecFp);
+        let p = generate_program(&app);
+        let backward = p
+            .insts
+            .iter()
+            .filter(|i| i.kind.is_cond_branch() && i.target != 0 && i.target < i.addr)
+            .count();
+        assert!(backward > 5, "expected loop back-edges, found {backward}");
+    }
+
+    #[test]
+    fn driver_dispatches_to_every_function() {
+        let app = AppProfile::suite_base(Suite::Office);
+        let p = generate_program(&app);
+        let driver = &p.funcs[0];
+        let switch = &p.blocks[driver.entry as usize];
+        match &switch.term {
+            Terminator::IndirectJump { targets, .. } => {
+                assert_eq!(targets.len(), app.num_funcs as usize);
+            }
+            t => panic!("driver entry should be a switch, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn no_general_writes_to_stack_pointer() {
+        for app in all_apps() {
+            let p = generate_program(&app);
+            for inst in &p.insts {
+                let dst = match inst.kind {
+                    InstKind::IntAlu { dst, .. }
+                    | InstKind::IntMul { dst, .. }
+                    | InstKind::IntDiv { dst, .. }
+                    | InstKind::Load { dst, .. }
+                    | InstKind::LoadOp { dst, .. } => Some(dst),
+                    _ => None,
+                };
+                assert_ne!(dst, Some(Reg::SP), "{}: writes SP", app.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cond_branches_are_preceded_by_cmp() {
+        let app = AppProfile::suite_base(Suite::SpecInt);
+        let p = generate_program(&app);
+        for b in &p.blocks {
+            if let Terminator::CondBranch { .. } = b.term {
+                let last = b.last_inst() as usize;
+                assert!(matches!(p.insts[last].kind, InstKind::CondBranch { .. }));
+                assert!(
+                    matches!(p.insts[last - 1].kind, InstKind::Cmp { .. }),
+                    "branch not fed by cmp"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn call_graph_is_acyclic() {
+        for app in all_apps() {
+            let p = generate_program(&app);
+            for (fi, f) in p.funcs.iter().enumerate().skip(1) {
+                for b in f.entry..f.entry + f.num_blocks {
+                    if let Terminator::Call { callee, .. } = &p.blocks[b as usize].term {
+                        assert!(
+                            *callee as usize > fi,
+                            "{}: func {fi} calls {callee} (possible recursion)",
+                            app.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

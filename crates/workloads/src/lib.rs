@@ -1,0 +1,91 @@
+//! # parrot-workloads
+//!
+//! The workload substrate of the PARROT reproduction.
+//!
+//! The paper drives its simulators with captured IA32 execution traces of 44
+//! applications (SPEC 2000, SysMark 2000, multimedia and .NET workloads —
+//! §3.4). Those traces are proprietary; this crate replaces them with
+//! *synthetic applications*: statistically described programs
+//! ([`AppProfile`]) compiled into real control-flow graphs of real
+//! macro-instructions ([`Program`]) and executed deterministically
+//! ([`ExecutionEngine`]) to produce the committed instruction stream
+//! ([`DynInst`]) that trace-driven timing models consume.
+//!
+//! What is preserved from the originals is exactly what PARROT exploits:
+//! hot/cold execution skew, per-suite branch predictability and loop
+//! regularity, instruction mix, working-set behaviour, and the density of
+//! optimizer-harvestable patterns (constants, dead results, vectorizable
+//! loops).
+//!
+//! ```
+//! use parrot_workloads::{app_by_name, Workload};
+//!
+//! let profile = app_by_name("gcc").expect("registered app");
+//! let wl = Workload::build(&profile);
+//! let first_1000: Vec<_> = wl.engine().take(1000).collect();
+//! assert_eq!(first_1000.len(), 1000);
+//! ```
+
+mod behavior;
+mod engine;
+mod genprog;
+mod profile;
+mod program;
+
+pub use behavior::{zipf_cdf, AddrStreamSpec, BehaviorId, BehaviorState, BranchBehavior, Outcome, StreamId};
+pub use engine::{DynInst, ExecutionEngine};
+pub use genprog::generate_program;
+pub use profile::{all_apps, app_by_name, killer_apps, AppProfile, Suite};
+pub use program::{
+    BasicBlock, BlockId, DecodedProgram, FuncId, Function, Program, Terminator, CODE_BASE, DATA_BASE,
+    STACK_BASE,
+};
+
+/// A ready-to-simulate application: profile, generated program and
+/// pre-decoded uops.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The statistical profile the program was generated from.
+    pub profile: AppProfile,
+    /// The generated static program.
+    pub program: Program,
+    /// Pre-decoded uops for every static instruction.
+    pub decoded: DecodedProgram,
+}
+
+impl Workload {
+    /// Generate program and decode table for `profile`.
+    pub fn build(profile: &AppProfile) -> Workload {
+        let program = generate_program(profile);
+        let decoded = program.decode_all();
+        Workload { profile: profile.clone(), program, decoded }
+    }
+
+    /// A fresh execution engine positioned at the program entry. Engines
+    /// over the same workload yield identical streams.
+    pub fn engine(&self) -> ExecutionEngine<'_> {
+        ExecutionEngine::new(&self.program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builds_and_runs() {
+        let profile = AppProfile::suite_base(Suite::Multimedia);
+        let wl = Workload::build(&profile);
+        assert!(wl.decoded.total_uops() >= wl.program.num_insts());
+        let n: usize = wl.engine().take(100).count();
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn engines_restart_identically() {
+        let wl = Workload::build(&app_by_name("swim").unwrap());
+        let a: Vec<_> = wl.engine().take(1000).collect();
+        let b: Vec<_> = wl.engine().take(1000).collect();
+        assert_eq!(a, b);
+    }
+}

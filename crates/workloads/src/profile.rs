@@ -1,0 +1,462 @@
+use std::fmt;
+
+/// Benchmark suite classification, matching the paper's §3.4 grouping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Suite {
+    SpecInt,
+    SpecFp,
+    Office,
+    Multimedia,
+    DotNet,
+}
+
+impl Suite {
+    /// All suites in the paper's reporting order.
+    pub const ALL: [Suite; 5] = [
+        Suite::SpecInt,
+        Suite::SpecFp,
+        Suite::Office,
+        Suite::Multimedia,
+        Suite::DotNet,
+    ];
+
+    /// Display label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::SpecInt => "SpecInt",
+            Suite::SpecFp => "SpecFP",
+            Suite::Office => "Office",
+            Suite::Multimedia => "Multimedia",
+            Suite::DotNet => "DotNet",
+        }
+    }
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Statistical description of one application, from which a synthetic
+/// program and its dynamic behaviour are generated.
+///
+/// These parameters capture what the paper's IA32 traces supply: hot/cold
+/// skew, control-flow regularity, instruction mix, memory behaviour, and the
+/// density of optimizer-harvestable patterns. See DESIGN.md §2 for the
+/// substitution argument.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppProfile {
+    /// Application name (paper benchmark it stands in for).
+    pub name: &'static str,
+    /// Suite the application belongs to.
+    pub suite: Suite,
+    /// Master seed: program shape and dynamic behaviour are functions of it.
+    pub seed: u64,
+
+    // --- static code shape ---
+    /// Number of workload functions (besides the dispatch driver).
+    pub num_funcs: u32,
+    /// Regions (straight-line / branchy / loop structures) per function.
+    pub regions_per_func: u32,
+    /// Basic-block length bounds, in macro-instructions.
+    pub block_len: (u32, u32),
+
+    // --- instruction mix ---
+    /// Fraction of body instructions that are floating point.
+    pub fp_frac: f64,
+    /// Fraction of body instructions that reference memory.
+    pub mem_frac: f64,
+    /// Fraction of ALU operations that are multiplies (a tenth divide).
+    pub mul_frac: f64,
+    /// Fraction of memory operations using CISC load-op / RMW forms.
+    pub cisc_frac: f64,
+
+    // --- control flow ---
+    /// Fraction of regions that are loops.
+    pub loop_frac: f64,
+    /// Mean loop trip count.
+    pub trip_mean: f64,
+    /// Trip count jitter (0 = perfectly regular loops).
+    pub trip_jitter: f64,
+    /// Mean taken-bias magnitude of data-dependent branches (0.5–1.0).
+    pub branch_bias: f64,
+    /// Fraction of conditional branches with periodic (history-predictable)
+    /// patterns rather than random bias.
+    pub periodic_frac: f64,
+    /// Fraction of regions ending in an indirect jump (switch).
+    pub indirect_frac: f64,
+    /// Fraction of regions that are call sites.
+    pub call_frac: f64,
+    /// Zipf exponent for dynamic callee selection: higher = more skewed
+    /// (hotter hot code, higher trace-cache coverage).
+    pub zipf_theta: f64,
+
+    // --- memory behaviour ---
+    /// Fraction of address streams that stride sequentially (vs. random
+    /// within the working set).
+    pub stride_frac: f64,
+    /// Data working-set size in KiB.
+    pub data_kb: u32,
+
+    // --- optimizer-harvestable structure ---
+    /// Density of constant-feeding instruction patterns (const-prop fodder).
+    pub const_frac: f64,
+    /// Density of soon-overwritten results (dead-code fodder).
+    pub dead_frac: f64,
+    /// Fraction of loops whose bodies are isomorphic/independent enough to
+    /// SIMDify once unrolled.
+    pub simd_frac: f64,
+}
+
+impl AppProfile {
+    /// Per-suite base profile; named applications perturb these.
+    pub fn suite_base(suite: Suite) -> AppProfile {
+        match suite {
+            // Irregular, control-intensive integer code: short blocks, short
+            // loops, weakly biased branches, flat call distribution.
+            Suite::SpecInt => AppProfile {
+                name: "specint-base",
+                suite,
+                seed: 0,
+                num_funcs: 24,
+                regions_per_func: 10,
+                block_len: (3, 9),
+                fp_frac: 0.01,
+                mem_frac: 0.32,
+                mul_frac: 0.04,
+                cisc_frac: 0.30,
+                loop_frac: 0.30,
+                trip_mean: 9.0,
+                trip_jitter: 0.45,
+                branch_bias: 0.93,
+                periodic_frac: 0.40,
+                indirect_frac: 0.08,
+                call_frac: 0.18,
+                zipf_theta: 1.0,
+                stride_frac: 0.35,
+                data_kb: 320,
+                const_frac: 0.075,
+                dead_frac: 0.075,
+                simd_frac: 0.08,
+            },
+            // Regular scientific loops: long, predictable trip counts,
+            // strongly skewed hot code, striding arrays, SIMD-friendly.
+            Suite::SpecFp => AppProfile {
+                name: "specfp-base",
+                suite,
+                seed: 0,
+                num_funcs: 14,
+                regions_per_func: 8,
+                block_len: (6, 14),
+                fp_frac: 0.34,
+                mem_frac: 0.34,
+                mul_frac: 0.05,
+                cisc_frac: 0.22,
+                loop_frac: 0.52,
+                trip_mean: 64.0,
+                trip_jitter: 0.08,
+                branch_bias: 0.975,
+                periodic_frac: 0.55,
+                indirect_frac: 0.015,
+                call_frac: 0.10,
+                zipf_theta: 1.45,
+                stride_frac: 0.85,
+                data_kb: 1024,
+                const_frac: 0.090,
+                dead_frac: 0.068,
+                simd_frac: 0.45,
+            },
+            // Interactive productivity code: large flat footprint, moderate
+            // predictability, pointer-heavy data.
+            Suite::Office => AppProfile {
+                name: "office-base",
+                suite,
+                seed: 0,
+                num_funcs: 32,
+                regions_per_func: 11,
+                block_len: (4, 10),
+                fp_frac: 0.02,
+                mem_frac: 0.36,
+                mul_frac: 0.03,
+                cisc_frac: 0.34,
+                loop_frac: 0.34,
+                trip_mean: 14.0,
+                trip_jitter: 0.45,
+                branch_bias: 0.945,
+                periodic_frac: 0.40,
+                indirect_frac: 0.06,
+                call_frac: 0.20,
+                zipf_theta: 1.10,
+                stride_frac: 0.45,
+                data_kb: 768,
+                const_frac: 0.083,
+                dead_frac: 0.083,
+                simd_frac: 0.12,
+            },
+            // Kernels over media data: execution-bound unrollable loops,
+            // dense SIMDifiable patterns, small streaming working sets.
+            Suite::Multimedia => AppProfile {
+                name: "multimedia-base",
+                suite,
+                seed: 0,
+                num_funcs: 12,
+                regions_per_func: 8,
+                block_len: (6, 16),
+                fp_frac: 0.12,
+                mem_frac: 0.30,
+                mul_frac: 0.10,
+                cisc_frac: 0.26,
+                loop_frac: 0.48,
+                trip_mean: 32.0,
+                trip_jitter: 0.15,
+                branch_bias: 0.95,
+                periodic_frac: 0.50,
+                indirect_frac: 0.03,
+                call_frac: 0.12,
+                zipf_theta: 1.30,
+                stride_frac: 0.75,
+                data_kb: 256,
+                const_frac: 0.105,
+                dead_frac: 0.075,
+                simd_frac: 0.55,
+            },
+            // JIT-style managed code: call-dense, moderate loops, many
+            // constant-feeding and dead-store patterns (unoptimized codegen).
+            Suite::DotNet => AppProfile {
+                name: "dotnet-base",
+                suite,
+                seed: 0,
+                num_funcs: 28,
+                regions_per_func: 9,
+                block_len: (4, 11),
+                fp_frac: 0.08,
+                mem_frac: 0.33,
+                mul_frac: 0.05,
+                cisc_frac: 0.28,
+                loop_frac: 0.36,
+                trip_mean: 24.0,
+                trip_jitter: 0.30,
+                branch_bias: 0.95,
+                periodic_frac: 0.42,
+                indirect_frac: 0.07,
+                call_frac: 0.26,
+                zipf_theta: 1.20,
+                stride_frac: 0.55,
+                data_kb: 512,
+                const_frac: 0.135,
+                dead_frac: 0.120,
+                simd_frac: 0.20,
+            },
+        }
+    }
+
+    fn named(mut self, name: &'static str, seed: u64) -> AppProfile {
+        self.name = name;
+        self.seed = seed;
+        self
+    }
+}
+
+fn fnv(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+macro_rules! app {
+    ($vec:ident, $suite:expr, $name:literal) => {
+        $vec.push(AppProfile::suite_base($suite).named($name, fnv($name)));
+    };
+    ($vec:ident, $suite:expr, $name:literal, |$p:ident| $tweaks:block) => {{
+        let mut $p = AppProfile::suite_base($suite).named($name, fnv($name));
+        $tweaks
+        $vec.push($p);
+    }};
+}
+
+/// The full application registry: stand-ins for the paper's 44 traces,
+/// grouped into the same five suites (§3.4).
+pub fn all_apps() -> Vec<AppProfile> {
+    let mut v = Vec::new();
+
+    // --- SpecInt 2000 ---
+    app!(v, Suite::SpecInt, "bzip", |p| { p.stride_frac = 0.55; p.loop_frac = 0.38; });
+    app!(v, Suite::SpecInt, "crafty", |p| { p.branch_bias = 0.86; p.mul_frac = 0.06; });
+    app!(v, Suite::SpecInt, "eon", |p| { p.fp_frac = 0.10; p.call_frac = 0.24; });
+    app!(v, Suite::SpecInt, "gap", |p| { p.indirect_frac = 0.12; });
+    app!(v, Suite::SpecInt, "gcc", |p| {
+        p.num_funcs = 40;
+        p.zipf_theta = 0.8;
+        p.branch_bias = 0.87;
+        p.indirect_frac = 0.11;
+    });
+    app!(v, Suite::SpecInt, "gzip", |p| { p.stride_frac = 0.5; p.trip_mean = 10.0; });
+    app!(v, Suite::SpecInt, "parser", |p| { p.call_frac = 0.26; p.branch_bias = 0.87; });
+    app!(v, Suite::SpecInt, "perlbench", |p| {
+        // A "killer app": very call/dispatch-heavy with a skewed interpreter
+        // loop that traces capture extremely well.
+        p.call_frac = 0.30;
+        p.indirect_frac = 0.14;
+        p.zipf_theta = 1.6;
+        p.trip_mean = 18.0;
+        p.const_frac = 0.10;
+        p.dead_frac = 0.09;
+    });
+    app!(v, Suite::SpecInt, "twolf", |p| { p.mem_frac = 0.38; p.stride_frac = 0.25; });
+    app!(v, Suite::SpecInt, "vortex", |p| { p.call_frac = 0.28; p.data_kb = 640; });
+    app!(v, Suite::SpecInt, "vpr", |p| { p.fp_frac = 0.06; p.branch_bias = 0.91; });
+
+    // --- SpecFP 2000 ---
+    app!(v, Suite::SpecFp, "ammp", |p| { p.mem_frac = 0.38; p.stride_frac = 0.7; });
+    app!(v, Suite::SpecFp, "apsi", |p| { p.trip_mean = 48.0; });
+    app!(v, Suite::SpecFp, "art", |p| { p.data_kb = 2048; p.stride_frac = 0.9; p.simd_frac = 0.5; });
+    app!(v, Suite::SpecFp, "equake", |p| { p.mem_frac = 0.40; p.trip_mean = 40.0; });
+    app!(v, Suite::SpecFp, "facerec", |p| { p.simd_frac = 0.5; p.trip_mean = 56.0; });
+    app!(v, Suite::SpecFp, "fma3d", |p| { p.call_frac = 0.14; p.trip_jitter = 0.15; });
+    app!(v, Suite::SpecFp, "lucas", |p| { p.fp_frac = 0.42; p.trip_mean = 96.0; });
+    app!(v, Suite::SpecFp, "mesa", |p| { p.fp_frac = 0.22; p.simd_frac = 0.4; p.branch_bias = 0.94; });
+    app!(v, Suite::SpecFp, "sixtrack", |p| { p.trip_mean = 72.0; p.mul_frac = 0.08; });
+    app!(v, Suite::SpecFp, "swim", |p| {
+        // The paper's P_MAX application: maximally regular streaming FP.
+        p.fp_frac = 0.40;
+        p.trip_mean = 128.0;
+        p.trip_jitter = 0.04;
+        p.zipf_theta = 1.7;
+        p.stride_frac = 0.95;
+        p.simd_frac = 0.6;
+        p.data_kb = 4096;
+    });
+    app!(v, Suite::SpecFp, "wupwise", |p| {
+        // A "killer app": unrollable FP kernels with dense SIMD patterns.
+        p.fp_frac = 0.38;
+        p.trip_mean = 80.0;
+        p.simd_frac = 0.65;
+        p.const_frac = 0.10;
+        p.zipf_theta = 1.6;
+    });
+
+    // --- Office / Windows (SysMark 2000) ---
+    app!(v, Suite::Office, "excel", |p| { p.loop_frac = 0.4; p.fp_frac = 0.05; });
+    app!(v, Suite::Office, "office", |p| { p.num_funcs = 40; });
+    app!(v, Suite::Office, "powerpoint", |p| { p.mem_frac = 0.38; });
+    app!(v, Suite::Office, "virusscan", |p| { p.stride_frac = 0.65; p.trip_mean = 24.0; });
+    app!(v, Suite::Office, "winzip", |p| { p.stride_frac = 0.6; p.loop_frac = 0.42; });
+    app!(v, Suite::Office, "word", |p| { p.call_frac = 0.24; });
+
+    // --- Multimedia ---
+    app!(v, Suite::Multimedia, "flash", |p| {
+        // The third "killer app": dispatch loop over media kernels; heavy
+        // unrolling + SIMDification payoff.
+        p.simd_frac = 0.7;
+        p.zipf_theta = 1.7;
+        p.trip_mean = 48.0;
+        p.const_frac = 0.11;
+        p.dead_frac = 0.08;
+    });
+    app!(v, Suite::Multimedia, "photoshop", |p| { p.data_kb = 1024; p.stride_frac = 0.85; });
+    app!(v, Suite::Multimedia, "dragon", |p| { p.fp_frac = 0.18; });
+    app!(v, Suite::Multimedia, "lightwave", |p| { p.fp_frac = 0.24; p.mul_frac = 0.12; });
+    app!(v, Suite::Multimedia, "quake3", |p| { p.fp_frac = 0.20; p.call_frac = 0.16; });
+    app!(v, Suite::Multimedia, "3dsmax-light", |p| { p.fp_frac = 0.22; });
+    app!(v, Suite::Multimedia, "3dsmax-wheel", |p| { p.mul_frac = 0.14; });
+    app!(v, Suite::Multimedia, "3dsmax-raster", |p| { p.stride_frac = 0.85; });
+    app!(v, Suite::Multimedia, "3dsmax-geom", |p| { p.fp_frac = 0.26; });
+    app!(v, Suite::Multimedia, "flask-mpeg4-a", |p| { p.simd_frac = 0.65; p.trip_mean = 40.0; });
+    app!(v, Suite::Multimedia, "flask-mpeg4-b", |p| { p.simd_frac = 0.6; p.data_kb = 384; });
+
+    // --- DotNet ---
+    app!(v, Suite::DotNet, "dotnet-image", |p| { p.stride_frac = 0.7; p.simd_frac = 0.3; });
+    app!(v, Suite::DotNet, "dotnet-num1", |p| { p.fp_frac = 0.18; p.loop_frac = 0.44; });
+    app!(v, Suite::DotNet, "dotnet-num2", |p| { p.fp_frac = 0.14; p.trip_mean = 36.0; });
+    app!(v, Suite::DotNet, "dotnet-phong1", |p| { p.fp_frac = 0.22; p.mul_frac = 0.10; });
+    app!(v, Suite::DotNet, "dotnet-phong2", |p| { p.fp_frac = 0.20; p.simd_frac = 0.3; });
+
+    v
+}
+
+/// Look up an application profile by name.
+pub fn app_by_name(name: &str) -> Option<AppProfile> {
+    all_apps().into_iter().find(|a| a.name == name)
+}
+
+/// The three applications the paper singles out as highest-improvement
+/// "killer applications" (flash, wupwise, perlbench).
+pub fn killer_apps() -> [&'static str; 3] {
+    ["flash", "wupwise", "perlbench"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_suites() {
+        let apps = all_apps();
+        for suite in Suite::ALL {
+            assert!(apps.iter().any(|a| a.suite == suite), "{suite} missing");
+        }
+        assert!(apps.len() >= 35, "expected a broad registry, got {}", apps.len());
+    }
+
+    #[test]
+    fn names_and_seeds_are_unique() {
+        let apps = all_apps();
+        let mut names: Vec<_> = apps.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), apps.len());
+        let mut seeds: Vec<_> = apps.iter().map(|a| a.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), apps.len());
+    }
+
+    #[test]
+    fn killer_apps_exist() {
+        for k in killer_apps() {
+            assert!(app_by_name(k).is_some(), "{k}");
+        }
+    }
+
+    #[test]
+    fn suite_contrast_matches_paper() {
+        let int = AppProfile::suite_base(Suite::SpecInt);
+        let fp = AppProfile::suite_base(Suite::SpecFp);
+        // SpecFP must be more regular/skewed than SpecInt in every dimension
+        // the paper's coverage and predictability results depend on.
+        assert!(fp.zipf_theta > int.zipf_theta);
+        assert!(fp.branch_bias > int.branch_bias);
+        assert!(fp.trip_mean > int.trip_mean);
+        assert!(fp.trip_jitter < int.trip_jitter);
+        assert!(fp.stride_frac > int.stride_frac);
+    }
+
+    #[test]
+    fn probabilities_are_sane() {
+        for a in all_apps() {
+            for (label, p) in [
+                ("fp", a.fp_frac),
+                ("mem", a.mem_frac),
+                ("mul", a.mul_frac),
+                ("cisc", a.cisc_frac),
+                ("loop", a.loop_frac),
+                ("periodic", a.periodic_frac),
+                ("indirect", a.indirect_frac),
+                ("call", a.call_frac),
+                ("stride", a.stride_frac),
+                ("const", a.const_frac),
+                ("dead", a.dead_frac),
+                ("simd", a.simd_frac),
+            ] {
+                assert!((0.0..=1.0).contains(&p), "{}: {label}={p}", a.name);
+            }
+            assert!((0.5..=1.0).contains(&a.branch_bias), "{}", a.name);
+            assert!(a.block_len.0 >= 1 && a.block_len.1 >= a.block_len.0);
+            assert!(a.fp_frac + a.mem_frac < 0.95, "{}: mix overflow", a.name);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Static program representation: functions of basic blocks of
+//! macro-instructions, plus the behaviour tables that drive dynamic
+//! execution.
+
+use crate::behavior::{AddrStreamSpec, BehaviorId, BranchBehavior};
+use parrot_isa::{decode, Inst, InstId, Uop};
+
+/// Index into [`Program::blocks`].
+pub type BlockId = u32;
+/// Index into [`Program::funcs`].
+pub type FuncId = u32;
+
+/// How control leaves a basic block. For every variant except
+/// [`Terminator::FallThrough`], the block's final instruction is the
+/// corresponding control-transfer instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminator {
+    /// No CTI; control continues at `next`.
+    FallThrough { next: BlockId },
+    /// Conditional branch: `taken` vs. `fall`, resolved by `behavior`.
+    CondBranch { taken: BlockId, fall: BlockId, behavior: BehaviorId },
+    /// Unconditional direct jump.
+    Jump { target: BlockId },
+    /// Indirect jump among `targets`, selected by `behavior`.
+    IndirectJump { targets: Vec<BlockId>, behavior: BehaviorId },
+    /// Call `callee`; execution resumes at `ret_to` after the callee
+    /// returns.
+    Call { callee: FuncId, ret_to: BlockId },
+    /// Return to the caller.
+    Return,
+}
+
+/// A basic block: a contiguous run of instructions in [`Program::insts`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BasicBlock {
+    /// First instruction index.
+    pub first_inst: u32,
+    /// Number of instructions (≥ 1).
+    pub num_insts: u32,
+    /// Control-flow exit.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// Instruction ids of this block, in order.
+    pub fn inst_ids(&self) -> std::ops::Range<u32> {
+        self.first_inst..self.first_inst + self.num_insts
+    }
+
+    /// Id of the final (terminator) instruction.
+    pub fn last_inst(&self) -> InstId {
+        self.first_inst + self.num_insts - 1
+    }
+}
+
+/// A function: an entry block plus bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Entry basic block.
+    pub entry: BlockId,
+    /// Number of blocks belonging to this function (contiguous from entry).
+    pub num_blocks: u32,
+}
+
+/// A complete synthetic program: code, control structure and behaviour
+/// tables. Produced by [`crate::generate_program`]; executed by
+/// [`crate::ExecutionEngine`].
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Flat instruction table.
+    pub insts: Vec<Inst>,
+    /// Flat basic-block table (function blocks are contiguous).
+    pub blocks: Vec<BasicBlock>,
+    /// Function table; `funcs[0]` is the dispatch driver.
+    pub funcs: Vec<Function>,
+    /// Branch behaviour table referenced by terminators.
+    pub behaviors: Vec<BranchBehavior>,
+    /// Address stream table referenced by memory instructions.
+    pub addr_streams: Vec<AddrStreamSpec>,
+    /// Base virtual address of the stack region (grows down).
+    pub stack_base: u64,
+    /// Total laid-out code bytes.
+    pub code_bytes: u64,
+}
+
+/// Base virtual address of the code segment.
+pub const CODE_BASE: u64 = 0x0040_0000;
+/// Base virtual address of the data segment (address streams live above).
+pub const DATA_BASE: u64 = 0x1000_0000;
+/// Base virtual address of the stack (grows down from here).
+pub const STACK_BASE: u64 = 0x7fff_0000;
+
+impl Program {
+    /// Assign code addresses to every instruction and resolve static branch
+    /// targets. Must be called once after construction (the generator does).
+    pub fn layout(&mut self) {
+        let mut pc = CODE_BASE;
+        // Addresses: blocks in table order (functions contiguous).
+        for b in &self.blocks {
+            for id in b.inst_ids() {
+                let inst = &mut self.insts[id as usize];
+                inst.addr = pc;
+                pc += u64::from(inst.len);
+            }
+        }
+        self.code_bytes = pc - CODE_BASE;
+        // Static targets on terminator CTIs.
+        for bi in 0..self.blocks.len() {
+            let term = self.blocks[bi].term.clone();
+            let last = self.blocks[bi].last_inst() as usize;
+            match term {
+                Terminator::CondBranch { taken, .. } => {
+                    self.insts[last].target = self.block_pc(taken);
+                }
+                Terminator::Jump { target } => {
+                    self.insts[last].target = self.block_pc(target);
+                }
+                Terminator::Call { callee, .. } => {
+                    let entry = self.funcs[callee as usize].entry;
+                    self.insts[last].target = self.block_pc(entry);
+                }
+                // Indirect jumps and returns have dynamic targets.
+                Terminator::IndirectJump { .. } | Terminator::Return | Terminator::FallThrough { .. } => {}
+            }
+        }
+    }
+
+    /// Entry PC of a block.
+    pub fn block_pc(&self, b: BlockId) -> u64 {
+        let blk = &self.blocks[b as usize];
+        self.insts[blk.first_inst as usize].addr
+    }
+
+    /// The instruction with the given id.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id as usize]
+    }
+
+    /// Total static macro-instruction count.
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Pre-decode every instruction once (uops are reused by all pipeline
+    /// models instead of re-decoding on every fetch).
+    pub fn decode_all(&self) -> DecodedProgram {
+        let uops = self
+            .insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| decode::decode(inst, i as u32).into_boxed_slice())
+            .collect();
+        DecodedProgram { uops }
+    }
+
+    /// Internal consistency checks (used by tests and `debug_assert`s).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.funcs.is_empty() {
+            return Err("no functions".into());
+        }
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.num_insts == 0 {
+                return Err(format!("block {i} empty"));
+            }
+            if b.last_inst() as usize >= self.insts.len() {
+                return Err(format!("block {i} out of inst range"));
+            }
+            let check_block = |t: BlockId| -> Result<(), String> {
+                if t as usize >= self.blocks.len() {
+                    Err(format!("block {i} target {t} out of range"))
+                } else {
+                    Ok(())
+                }
+            };
+            match &b.term {
+                Terminator::FallThrough { next } => check_block(*next)?,
+                Terminator::CondBranch { taken, fall, behavior } => {
+                    check_block(*taken)?;
+                    check_block(*fall)?;
+                    if *behavior as usize >= self.behaviors.len() {
+                        return Err(format!("block {i} behavior out of range"));
+                    }
+                }
+                Terminator::Jump { target } => check_block(*target)?,
+                Terminator::IndirectJump { targets, behavior } => {
+                    if targets.is_empty() {
+                        return Err(format!("block {i} indirect with no targets"));
+                    }
+                    for t in targets {
+                        check_block(*t)?;
+                    }
+                    if *behavior as usize >= self.behaviors.len() {
+                        return Err(format!("block {i} behavior out of range"));
+                    }
+                }
+                Terminator::Call { callee, ret_to } => {
+                    if *callee as usize >= self.funcs.len() {
+                        return Err(format!("block {i} callee out of range"));
+                    }
+                    check_block(*ret_to)?;
+                }
+                Terminator::Return => {}
+            }
+        }
+        for inst in &self.insts {
+            if let Some(m) = inst.kind.mem_ref() {
+                if m.stream as usize >= self.addr_streams.len() {
+                    return Err("mem stream out of range".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Pre-decoded uops for every instruction of a [`Program`].
+#[derive(Clone, Debug)]
+pub struct DecodedProgram {
+    uops: Vec<Box<[Uop]>>,
+}
+
+impl DecodedProgram {
+    /// The uops of instruction `id`.
+    pub fn uops(&self, id: InstId) -> &[Uop] {
+        &self.uops[id as usize]
+    }
+
+    /// Total uop count across the program.
+    pub fn total_uops(&self) -> usize {
+        self.uops.iter().map(|u| u.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parrot_isa::{AluOp, InstKind, Operand, Reg};
+
+    /// Tiny two-block, one-function program used across module tests.
+    pub(crate) fn tiny_program() -> Program {
+        let insts = vec![
+            Inst::new(InstKind::IntAlu {
+                op: AluOp::Add,
+                dst: Reg::int(0),
+                src: Reg::int(1),
+                rhs: Operand::Imm(1),
+            }),
+            Inst::new(InstKind::Cmp { src: Reg::int(0), rhs: Operand::Imm(10) }),
+            Inst::new(InstKind::CondBranch { cond: parrot_isa::Cond::Lt }),
+            Inst::new(InstKind::Nop),
+            Inst::new(InstKind::Jump),
+        ];
+        let blocks = vec![
+            BasicBlock {
+                first_inst: 0,
+                num_insts: 3,
+                term: Terminator::CondBranch { taken: 0, fall: 1, behavior: 0 },
+            },
+            BasicBlock { first_inst: 3, num_insts: 2, term: Terminator::Jump { target: 0 } },
+        ];
+        let mut p = Program {
+            insts,
+            blocks,
+            funcs: vec![Function { entry: 0, num_blocks: 2 }],
+            behaviors: vec![BranchBehavior::Loop { trip_mean: 4.0, trip_jitter: 0.0 }],
+            addr_streams: vec![],
+            stack_base: STACK_BASE,
+            code_bytes: 0,
+        };
+        p.layout();
+        p
+    }
+
+    #[test]
+    fn layout_assigns_monotone_addresses() {
+        let p = tiny_program();
+        let mut prev = 0;
+        for inst in &p.insts {
+            assert!(inst.addr > prev);
+            prev = inst.addr;
+        }
+        assert_eq!(p.insts[0].addr, CODE_BASE);
+        assert!(p.code_bytes > 0);
+    }
+
+    #[test]
+    fn layout_resolves_targets() {
+        let p = tiny_program();
+        // Block 0's branch targets block 0 (its own head: backward branch).
+        assert_eq!(p.insts[2].target, p.block_pc(0));
+        assert!(p.insts[2].target < p.insts[2].addr, "loop back-edge is backward");
+        // Block 1's jump targets block 0.
+        assert_eq!(p.insts[4].target, p.block_pc(0));
+    }
+
+    #[test]
+    fn validate_accepts_tiny_and_rejects_empty_block() {
+        let mut p = tiny_program();
+        assert!(p.validate().is_ok());
+        p.blocks[0].num_insts = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn decode_all_counts_uops() {
+        let p = tiny_program();
+        let d = p.decode_all();
+        let expect: usize = p.insts.iter().map(|i| i.kind.uop_count()).sum();
+        assert_eq!(d.total_uops(), expect);
+        assert_eq!(d.uops(2).len(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Build a *custom* synthetic application from scratch and measure how its
+//! character steers the PARROT machine: the same knobs the 39 registered
+//! stand-ins use are public API.
+//!
+//! We construct two custom apps — a regular streaming kernel and an
+//! irregular pointer-chaser — and watch coverage, misprediction and the
+//! PARROT payoff move exactly as the paper's hot/cold premise predicts.
+//!
+//! Run with: `cargo run --release -p parrot-examples --bin custom_workload`
+
+use parrot_core::{simulate, Model};
+use parrot_workloads::{AppProfile, Suite, Workload};
+
+fn measure(label: &str, profile: &AppProfile) {
+    let wl = Workload::build(profile);
+    let n = simulate(Model::N, &wl, 150_000);
+    let ton = simulate(Model::TON, &wl, 150_000);
+    let t = ton.trace.as_ref().expect("trace report");
+    println!("== {label} ==");
+    println!("  N IPC {:.3}   TON IPC {:.3}  ({:+.1}%)", n.ipc(), ton.ipc(), (ton.ipc() / n.ipc() - 1.0) * 100.0);
+    println!("  coverage {:.1}%   trace mispredict {:.2}%   branch mispredict (N) {:.2}%",
+        t.coverage * 100.0, t.trace_mispredict_rate() * 100.0, n.branch_mispredict_rate() * 100.0);
+    println!("  energy vs N {:+.1}%\n", (ton.energy / n.energy - 1.0) * 100.0);
+}
+
+fn main() {
+    // A regular streaming kernel: long predictable loops over arrays,
+    // SIMD-friendly bodies, a tightly skewed hot set.
+    let mut streaming = AppProfile::suite_base(Suite::SpecFp);
+    streaming.name = "my-streaming-kernel";
+    streaming.seed = 0xfeed_0001;
+    streaming.num_funcs = 6;
+    streaming.loop_frac = 0.6;
+    streaming.trip_mean = 96.0;
+    streaming.trip_jitter = 0.05;
+    streaming.branch_bias = 0.985;
+    streaming.stride_frac = 0.95;
+    streaming.simd_frac = 0.7;
+    streaming.zipf_theta = 1.8;
+    streaming.data_kb = 96; // cache-resident: compute-bound, not memory-bound
+
+    // An irregular pointer-chaser: flat call distribution, weakly biased
+    // branches, random accesses over a large working set.
+    let mut chaser = AppProfile::suite_base(Suite::SpecInt);
+    chaser.name = "my-pointer-chaser";
+    chaser.seed = 0xfeed_0002;
+    chaser.num_funcs = 40;
+    chaser.loop_frac = 0.15;
+    chaser.trip_mean = 4.0;
+    chaser.trip_jitter = 0.7;
+    chaser.branch_bias = 0.8;
+    chaser.periodic_frac = 0.1;
+    chaser.stride_frac = 0.1;
+    chaser.data_kb = 2048;
+    chaser.zipf_theta = 0.5;
+
+    measure("streaming kernel (regular, hot)", &streaming);
+    measure("pointer chaser (irregular, flat)", &chaser);
+
+    println!("the hot/cold premise in action: the regular kernel is nearly fully");
+    println!("covered by optimized traces and gains substantially, while the");
+    println!("irregular chaser stays mostly cold — PARROT spends nothing on it.");
+}

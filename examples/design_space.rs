@@ -1,0 +1,55 @@
+//! Design-space exploration under a power budget — the study's motivating
+//! scenario (§1): given an energy envelope, which microarchitecture
+//! delivers the most performance?
+//!
+//! Sweeps all seven machine models over a mixed application set, prints
+//! the IPC/energy landscape, and answers the paper's two design questions:
+//! the best machine for a constrained budget, and the best machine when
+//! power is plentiful.
+//!
+//! Run with: `cargo run --release -p parrot-examples --bin design_space`
+
+use parrot_core::{simulate, Model};
+use parrot_energy::metrics::geo_mean;
+use parrot_workloads::{app_by_name, Workload};
+
+fn main() {
+    let apps = ["gzip", "swim", "flash", "word", "dotnet-num1"];
+    let insts = 120_000;
+    let workloads: Vec<Workload> =
+        apps.iter().map(|a| Workload::build(&app_by_name(a).expect("app"))).collect();
+
+    println!("sweeping {} models x {} applications ({} insts each)...\n", Model::ALL.len(), apps.len(), insts);
+    let mut rows = Vec::new();
+    for m in Model::ALL {
+        let runs: Vec<_> = workloads.iter().map(|wl| simulate(m, wl, insts)).collect();
+        let ipc = geo_mean(&runs.iter().map(|r| r.ipc()).collect::<Vec<_>>());
+        let energy = geo_mean(&runs.iter().map(|r| r.energy).collect::<Vec<_>>());
+        rows.push((m, ipc, energy));
+    }
+
+    let base_energy = rows.iter().find(|(m, _, _)| *m == Model::N).expect("N").2;
+    println!("{:<8}{:>10}{:>14}{:>16}", "model", "IPC", "rel. energy", "IPC per energy");
+    for (m, ipc, energy) in &rows {
+        println!(
+            "{:<8}{:>10.3}{:>13.2}x{:>16.3}",
+            m.name(),
+            ipc,
+            energy / base_energy,
+            ipc / (energy / base_energy)
+        );
+    }
+
+    // Question 1: power-limited design (≤ 1.15x the narrow machine budget).
+    let budget = 1.15 * base_energy;
+    let constrained = rows
+        .iter()
+        .filter(|(_, _, e)| *e <= budget)
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("some model fits");
+    println!("\nbest under a constrained budget (<=1.15x N): {} ({:.3} IPC)", constrained.0, constrained.1);
+
+    // Question 2: performance-first design.
+    let fastest = rows.iter().max_by(|a, b| a.1.total_cmp(&b.1)).expect("nonempty");
+    println!("fastest regardless of budget:               {} ({:.3} IPC)", fastest.0, fastest.1);
+}

@@ -1,0 +1,18 @@
+//! # parrot-examples
+//!
+//! Runnable demonstrations of the PARROT reproduction's public API. Each
+//! binary is a self-contained scenario:
+//!
+//! * `quickstart` — one application, baseline vs PARROT, the three §3.5
+//!   metrics;
+//! * `design_space` — the paper's motivating question: best machine under
+//!   a power budget vs best machine outright;
+//! * `hot_cold` — anatomy of the promotion pipeline on one application
+//!   (pass an app name as the first argument);
+//! * `optimizer_lab` — capture a real trace, optimize it, print the uop
+//!   listing before/after and verify functional equivalence;
+//! * `custom_workload` — build applications from scratch with
+//!   [`parrot_workloads::AppProfile`] and watch the hot/cold premise act.
+//!
+//! Run any of them with
+//! `cargo run --release -p parrot-examples --bin <name>`.

@@ -1,0 +1,51 @@
+//! Quickstart: build a synthetic application, simulate it on the baseline
+//! 4-wide machine and on the PARROT machine of the same width, and compare
+//! performance, energy and power awareness.
+//!
+//! Run with: `cargo run --release -p parrot-examples --bin quickstart`
+
+use parrot_core::{simulate, Model};
+use parrot_energy::metrics::cmpw_relative;
+use parrot_workloads::{app_by_name, Workload};
+
+fn main() {
+    // Pick any of the 44 registered stand-in applications.
+    let profile = app_by_name("perlbench").expect("registered application");
+    println!("application: {} ({})", profile.name, profile.suite);
+
+    // Generate its synthetic program once; every model replays the same
+    // committed instruction stream.
+    let workload = Workload::build(&profile);
+    println!(
+        "program: {} static instructions, {} functions\n",
+        workload.program.num_insts(),
+        workload.program.funcs.len()
+    );
+
+    let insts = 200_000;
+    let baseline = simulate(Model::N, &workload, insts);
+    let parrot = simulate(Model::TON, &workload, insts);
+
+    println!("{:<28}{:>12}{:>12}", "", "N (base)", "TON (PARROT)");
+    println!("{:<28}{:>12.3}{:>12.3}", "IPC", baseline.ipc(), parrot.ipc());
+    println!("{:<28}{:>12.0}{:>12.0}", "energy (units)", baseline.energy, parrot.energy);
+    println!(
+        "{:<28}{:>12}{:>12.1}%",
+        "trace-cache coverage",
+        "-",
+        parrot.trace.as_ref().map(|t| t.coverage * 100.0).unwrap_or(0.0)
+    );
+    if let Some(opt) = parrot.trace.as_ref().and_then(|t| t.opt.as_ref()) {
+        println!(
+            "{:<28}{:>12}{:>12.1}%",
+            "dynamic uop reduction", "-", opt.uop_reduction * 100.0
+        );
+    }
+    let speedup = parrot.ipc() / baseline.ipc();
+    let energy = parrot.energy / baseline.energy;
+    let cmpw = cmpw_relative(&baseline.summary(), &parrot.summary());
+    println!();
+    println!("speedup            {:+.1}%", (speedup - 1.0) * 100.0);
+    println!("energy             {:+.1}%", (energy - 1.0) * 100.0);
+    println!("power awareness    {:+.1}% (cubic-MIPS-per-WATT)", (cmpw - 1.0) * 100.0);
+}
