@@ -1,24 +1,18 @@
-//! Criterion end-to-end machine benchmarks: whole-model simulation
-//! throughput for the reference machine and the PARROT machine, plus the
-//! raw OOO core cycle loop.
+//! End-to-end machine benchmarks: whole-model simulation throughput for
+//! the reference machine and the PARROT machine variants.
+//!
+//! Run with: `cargo bench -p parrot-bench --bench bench_machine`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use parrot_bench::microbench::bench;
 use parrot_core::{simulate, Model};
 use parrot_workloads::{app_by_name, Workload};
 
-fn bench_models(c: &mut Criterion) {
+fn main() {
     let wl = Workload::build(&app_by_name("gzip").expect("app"));
     let insts = 30_000u64;
-    let mut g = c.benchmark_group("machine");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(insts));
     for m in [Model::N, Model::W, Model::TON, Model::TOW, Model::TOS] {
-        g.bench_function(format!("simulate_{}_30k", m.name()), |b| {
-            b.iter_batched(|| &wl, |wl| simulate(m, wl, insts).cycles, BatchSize::SmallInput)
+        bench("machine", &format!("simulate_{}_30k", m.name()), || {
+            simulate(m, &wl, insts).cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

@@ -1,14 +1,16 @@
-//! Criterion microbenchmarks for the substrate crates: decode, functional
+//! Microbenchmarks for the substrate crates: decode, functional
 //! execution, caches, branch prediction and workload stream generation.
+//!
+//! Run with: `cargo bench -p parrot-bench --bench bench_substrates`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use parrot_bench::microbench::{bench, bench_with_setup};
 use parrot_isa::exec::{step, ArchState, DeterministicMem};
 use parrot_isa::{decode, AluOp, Inst, InstKind, Operand, Reg};
 use parrot_uarch::bpred::{BpredConfig, HybridPredictor};
 use parrot_uarch::cache::MemHierarchy;
 use parrot_workloads::{app_by_name, ExecutionEngine, Workload};
 
-fn bench_decode(c: &mut Criterion) {
+fn bench_decode() {
     let insts: Vec<Inst> = vec![
         Inst::new(InstKind::IntAlu {
             op: AluOp::Add,
@@ -20,88 +22,81 @@ fn bench_decode(c: &mut Criterion) {
             op: AluOp::Xor,
             dst: Reg::int(2),
             src: Reg::int(3),
-            mem: parrot_isa::MemRef { base: Reg::int(4), offset: 8, stream: 0 },
+            mem: parrot_isa::MemRef {
+                base: Reg::int(4),
+                offset: 8,
+                stream: 0,
+            },
         }),
         Inst::new(InstKind::RmwStore {
             op: AluOp::Or,
             src: Reg::int(5),
-            mem: parrot_isa::MemRef { base: Reg::int(6), offset: 0, stream: 1 },
+            mem: parrot_isa::MemRef {
+                base: Reg::int(6),
+                offset: 0,
+                stream: 1,
+            },
         }),
         Inst::new(InstKind::Call),
     ];
-    let mut g = c.benchmark_group("isa");
-    g.throughput(Throughput::Elements(insts.len() as u64));
-    g.bench_function("decode_mixed_insts", |b| {
-        let mut buf = Vec::with_capacity(16);
-        b.iter(|| {
-            buf.clear();
-            for (i, inst) in insts.iter().enumerate() {
-                decode::decode_into(inst, i as u32, &mut buf);
-            }
-            buf.len()
-        })
+    let mut buf = Vec::with_capacity(16);
+    bench("isa", "decode_mixed_insts", || {
+        buf.clear();
+        for (i, inst) in insts.iter().enumerate() {
+            decode::decode_into(inst, i as u32, &mut buf);
+        }
+        buf.len()
     });
-    g.bench_function("functional_step_alu", |b| {
-        let uop = parrot_isa::Uop::alu_imm(AluOp::Add, Reg::int(1), Reg::int(0), 3);
-        let mut st = ArchState::seeded(1);
-        let mut mem = DeterministicMem::new(2);
-        b.iter(|| step(&uop, &mut st, &mut mem, None))
+    let uop = parrot_isa::Uop::alu_imm(AluOp::Add, Reg::int(1), Reg::int(0), 3);
+    let mut st = ArchState::seeded(1);
+    let mut mem = DeterministicMem::new(2);
+    bench("isa", "functional_step_alu", || {
+        step(&uop, &mut st, &mut mem, None)
     });
-    g.finish();
 }
 
-fn bench_memory(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.bench_function("hierarchy_hit_path", |b| {
-        let mut mem = MemHierarchy::standard();
-        mem.access_data(0x1000);
-        b.iter(|| mem.access_data(0x1000))
+fn bench_memory() {
+    let mut mem = MemHierarchy::standard();
+    mem.access_data(0x1000);
+    bench("cache", "hierarchy_hit_path", || mem.access_data(0x1000));
+    let mut mem = MemHierarchy::standard();
+    let mut addr = 0x1_0000u64;
+    bench("cache", "hierarchy_streaming", || {
+        addr = addr.wrapping_add(64) & 0xf_ffff;
+        mem.access_data(0x1_0000 + addr)
     });
-    g.bench_function("hierarchy_streaming", |b| {
-        let mut mem = MemHierarchy::standard();
-        let mut addr = 0x1_0000u64;
-        b.iter(|| {
-            addr = addr.wrapping_add(64) & 0xf_ffff;
-            mem.access_data(0x1_0000 + addr)
-        })
-    });
-    g.finish();
 }
 
-fn bench_bpred(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bpred");
-    g.bench_function("predict_update", |b| {
-        let mut p = HybridPredictor::new(BpredConfig::baseline_4k());
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let pc = 0x4000 + (i % 64) * 8;
-            let t = i % 3 != 0;
-            let pred = p.predict(pc);
-            p.update(pc, t);
-            pred
-        })
+fn bench_bpred() {
+    let mut p = HybridPredictor::new(BpredConfig::baseline_4k());
+    let mut i = 0u64;
+    bench("bpred", "predict_update", || {
+        i += 1;
+        let pc = 0x4000 + (i % 64) * 8;
+        let t = !i.is_multiple_of(3);
+        let pred = p.predict(pc);
+        p.update(pc, t);
+        pred
     });
-    g.finish();
 }
 
-fn bench_workload(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload");
-    g.bench_function("generate_program_gcc", |b| {
-        let profile = app_by_name("gcc").expect("app");
-        b.iter(|| parrot_workloads::generate_program(&profile))
+fn bench_workload() {
+    let profile = app_by_name("gcc").expect("app");
+    bench("workload", "generate_program_gcc", || {
+        parrot_workloads::generate_program(&profile)
     });
     let wl = Workload::build(&app_by_name("gcc").expect("app"));
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("engine_stream_10k", |b| {
-        b.iter_batched(
-            || ExecutionEngine::new(&wl.program),
-            |eng| eng.take(10_000).count(),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    bench_with_setup(
+        "workload",
+        "engine_stream_10k",
+        || ExecutionEngine::new(&wl.program),
+        |eng| eng.take(10_000).count(),
+    );
 }
 
-criterion_group!(benches, bench_decode, bench_memory, bench_bpred, bench_workload);
-criterion_main!(benches);
+fn main() {
+    bench_decode();
+    bench_memory();
+    bench_bpred();
+    bench_workload();
+}

@@ -1,7 +1,9 @@
-//! Criterion microbenchmarks for the PARROT trace pipeline: selection,
+//! Microbenchmarks for the PARROT trace pipeline: selection,
 //! construction, filtering, prediction and the dynamic optimizer.
+//!
+//! Run with: `cargo bench -p parrot-bench --bench bench_trace_pipeline`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use parrot_bench::microbench::{bench, bench_with_setup};
 use parrot_opt::{Optimizer, OptimizerConfig};
 use parrot_trace::{
     construct_frame, CounterFilter, FilterConfig, SelectionConfig, Tid, TraceCandidate,
@@ -24,74 +26,74 @@ fn candidates(wl: &Workload, n: usize) -> Vec<TraceCandidate> {
     out
 }
 
-fn bench_selection(c: &mut Criterion) {
+fn bench_selection() {
     let wl = Workload::build(&app_by_name("gcc").expect("app"));
     let insts = stream(&wl, 20_000);
-    let mut g = c.benchmark_group("trace");
-    g.throughput(Throughput::Elements(insts.len() as u64));
-    g.bench_function("selection_20k_insts", |b| {
-        b.iter_batched(
-            || TraceSelector::new(SelectionConfig::default()),
-            |mut sel| {
-                let mut out = Vec::new();
-                for (seq, d) in insts.iter().enumerate() {
-                    let kind = wl.program.inst(d.inst).kind;
-                    sel.step(d, &kind, seq as u64, &mut out);
-                    out.clear();
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    bench_with_setup(
+        "trace",
+        "selection_20k_insts",
+        || TraceSelector::new(SelectionConfig::default()),
+        |mut sel| {
+            let mut out = Vec::new();
+            for (seq, d) in insts.iter().enumerate() {
+                let kind = wl.program.inst(d.inst).kind;
+                sel.step(d, &kind, seq as u64, &mut out);
+                out.clear();
+            }
+        },
+    );
 }
 
-fn bench_construction_and_optimizer(c: &mut Criterion) {
+fn bench_construction_and_optimizer() {
     let wl = Workload::build(&app_by_name("wupwise").expect("app"));
     let cands = candidates(&wl, 30_000);
-    let biggest = cands.iter().max_by_key(|c| c.num_uops).expect("candidates").clone();
-    let mut g = c.benchmark_group("optimizer");
-    g.bench_function("construct_frame", |b| b.iter(|| construct_frame(&biggest, &wl.decoded)));
+    let biggest = cands
+        .iter()
+        .max_by_key(|c| c.num_uops)
+        .expect("candidates")
+        .clone();
+    bench("optimizer", "construct_frame", || {
+        construct_frame(&biggest, &wl.decoded)
+    });
     let frame = construct_frame(&biggest, &wl.decoded);
-    g.bench_function("optimize_full_pipeline", |b| {
-        b.iter_batched(
-            || (Optimizer::new(OptimizerConfig::full()), frame.clone()),
-            |(mut o, mut f)| o.optimize(&mut f, 0).uops_after,
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("optimize_generic_only", |b| {
-        b.iter_batched(
-            || (Optimizer::new(OptimizerConfig::generic_only()), frame.clone()),
-            |(mut o, mut f)| o.optimize(&mut f, 0).uops_after,
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    bench_with_setup(
+        "optimizer",
+        "optimize_full_pipeline",
+        || (Optimizer::new(OptimizerConfig::full()), frame.clone()),
+        |(mut o, mut f)| o.optimize(&mut f, 0).uops_after,
+    );
+    bench_with_setup(
+        "optimizer",
+        "optimize_generic_only",
+        || {
+            (
+                Optimizer::new(OptimizerConfig::generic_only()),
+                frame.clone(),
+            )
+        },
+        |(mut o, mut f)| o.optimize(&mut f, 0).uops_after,
+    );
 }
 
-fn bench_filters_and_predictor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("filters");
-    g.bench_function("hot_filter_bump", |b| {
-        let mut f = CounterFilter::new(FilterConfig::hot());
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            f.bump(i % 512)
-        })
+fn bench_filters_and_predictor() {
+    let mut f = CounterFilter::new(FilterConfig::hot());
+    let mut i = 0u64;
+    bench("filters", "hot_filter_bump", || {
+        i += 1;
+        f.bump(i % 512)
     });
-    g.bench_function("trace_predictor_observe_predict", |b| {
-        let mut p = TracePredictor::new(TracePredConfig::parrot_2k());
-        let tids: Vec<Tid> = (0..16).map(|i| Tid::new(0x1000 + i * 64)).collect();
-        let mut i = 0usize;
-        b.iter(|| {
-            i += 1;
-            p.observe(&tids[i % tids.len()]);
-            p.predict()
-        })
+    let mut p = TracePredictor::new(TracePredConfig::parrot_2k());
+    let tids: Vec<Tid> = (0..16).map(|i| Tid::new(0x1000 + i * 64)).collect();
+    let mut i = 0usize;
+    bench("filters", "trace_predictor_observe_predict", || {
+        i += 1;
+        p.observe(&tids[i % tids.len()]);
+        p.predict()
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_selection, bench_construction_and_optimizer, bench_filters_and_predictor);
-criterion_main!(benches);
+fn main() {
+    bench_selection();
+    bench_construction_and_optimizer();
+    bench_filters_and_predictor();
+}

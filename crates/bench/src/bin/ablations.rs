@@ -30,14 +30,23 @@ struct Bench {
 
 impl Bench {
     fn run(&self, cfg: parrot_core::MachineConfig) -> (f64, f64, f64) {
-        let runs: Vec<SimReport> =
-            self.workloads.iter().map(|wl| simulate_config(cfg.clone(), wl, self.insts)).collect();
+        let runs: Vec<SimReport> = self
+            .workloads
+            .iter()
+            .map(|wl| simulate_config(cfg.clone(), wl, self.insts))
+            .collect();
         let ipc = geo_mean(&runs.iter().map(|r| r.ipc()).collect::<Vec<_>>());
         let energy = geo_mean(&runs.iter().map(|r| r.energy).collect::<Vec<_>>());
         let cov = geo_mean(
             &runs
                 .iter()
-                .map(|r| r.trace.as_ref().map(|t| t.coverage).unwrap_or(0.0).max(1e-6))
+                .map(|r| {
+                    r.trace
+                        .as_ref()
+                        .map(|t| t.coverage)
+                        .unwrap_or(0.0)
+                        .max(1e-6)
+                })
                 .collect::<Vec<_>>(),
         );
         (ipc, energy, cov)
@@ -45,19 +54,32 @@ impl Bench {
 }
 
 fn main() {
-    let insts: u64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120_000);
+    let insts: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120_000);
     let bench = Bench {
-        workloads: APPS.iter().map(|a| Workload::build(&app_by_name(a).expect("app"))).collect(),
+        workloads: APPS
+            .iter()
+            .map(|a| Workload::build(&app_by_name(a).expect("app")))
+            .collect(),
         insts,
     };
     let base = bench.run(Model::N.config());
     let ton = bench.run(Model::TON.config());
-    println!("baselines: N ipc={:.3}  TON ipc={:.3} (+{:.1}%)\n", base.0, ton.0, (ton.0 / base.0 - 1.0) * 100.0);
+    println!(
+        "baselines: N ipc={:.3}  TON ipc={:.3} (+{:.1}%)\n",
+        base.0,
+        ton.0,
+        (ton.0 / base.0 - 1.0) * 100.0
+    );
 
     // 1. Optimization classes.
     println!("## optimization classes (TON; paper: core-specific ≈ 2x generic)");
-    println!("{:<16}{:>8}{:>12}{:>14}", "passes", "IPC", "vs N", "energy vs N");
+    println!(
+        "{:<16}{:>8}{:>12}{:>14}",
+        "passes", "IPC", "vs N", "energy vs N"
+    );
     for (label, opt) in [
         ("none (TN-like)", None),
         ("generic only", Some(OptimizerConfig::generic_only())),
@@ -78,7 +100,10 @@ fn main() {
 
     // 2. Blazing threshold.
     println!("\n## blazing threshold (TON; optimizer amortization)");
-    println!("{:<10}{:>8}{:>12}{:>14}", "threshold", "IPC", "vs N", "energy vs N");
+    println!(
+        "{:<10}{:>8}{:>12}{:>14}",
+        "threshold", "IPC", "vs N", "energy vs N"
+    );
     for th in [4u32, 16, 48, 128, 512] {
         let mut cfg = Model::TON.config();
         cfg.name = format!("TON[blaze={th}]");
@@ -95,7 +120,10 @@ fn main() {
 
     // 3. Hot threshold.
     println!("\n## hot threshold (TON; construction selectivity)");
-    println!("{:<10}{:>8}{:>10}{:>14}", "threshold", "IPC", "coverage", "energy vs N");
+    println!(
+        "{:<10}{:>8}{:>10}{:>14}",
+        "threshold", "IPC", "coverage", "energy vs N"
+    );
     for th in [2u32, 6, 12, 32, 96] {
         let mut cfg = Model::TON.config();
         cfg.name = format!("TON[hot={th}]");
@@ -139,10 +167,16 @@ fn main() {
     //    recurrence (and thus coverage) collapses — the paper's redundancy
     //    argument, amplified.
     println!("\n## selection strategy (TON; PARROT static vs rePlay-style dynamic)");
-    println!("{:<24}{:>8}{:>10}{:>14}", "strategy", "IPC", "coverage", "energy vs N");
+    println!(
+        "{:<24}{:>8}{:>10}{:>14}",
+        "strategy", "IPC", "coverage", "energy vs N"
+    );
     for (label, sel) in [
         ("PARROT static", parrot_trace::SelectionConfig::default()),
-        ("rePlay dynamic", parrot_trace::SelectionConfig::replay_style()),
+        (
+            "rePlay dynamic",
+            parrot_trace::SelectionConfig::replay_style(),
+        ),
     ] {
         let mut cfg = Model::TON.config();
         cfg.name = format!("TON[{label}]");
@@ -159,7 +193,10 @@ fn main() {
 
     // 7. Split-core design space (§5 future work).
     println!("\n## split-core design space (TOS variants; §5 future work)");
-    println!("{:<24}{:>8}{:>12}{:>14}", "hot core", "IPC", "vs N", "energy vs N");
+    println!(
+        "{:<24}{:>8}{:>12}{:>14}",
+        "hot core", "IPC", "vs N", "energy vs N"
+    );
     for (label, hot, area) in [
         ("narrow (4-wide)", CoreConfig::narrow(), 2.3),
         ("wide (8-wide)", CoreConfig::wide(), 2.8),

@@ -32,14 +32,31 @@ impl Checker {
 
 fn main() {
     let set = ResultSet::load_or_run();
-    let mut c = Checker { failures: Vec::new() };
+    let mut c = Checker {
+        failures: Vec::new(),
+    };
     let ipc = |r: &parrot_core::SimReport| r.ipc();
     let energy = |r: &parrot_core::SimReport| r.energy;
 
     // §1/§4.1 headline bands (paper value ± generous tolerance).
-    c.check("W vs N IPC (paper ~1.15)", set.suite_ratio(None, Model::W, Model::N, ipc), 1.08, 1.25);
-    c.check("W vs N energy (paper ~1.70)", set.suite_ratio(None, Model::W, Model::N, energy), 1.45, 1.95);
-    c.check("TON vs N IPC (paper ~1.17)", set.suite_ratio(None, Model::TON, Model::N, ipc), 1.10, 1.25);
+    c.check(
+        "W vs N IPC (paper ~1.15)",
+        set.suite_ratio(None, Model::W, Model::N, ipc),
+        1.08,
+        1.25,
+    );
+    c.check(
+        "W vs N energy (paper ~1.70)",
+        set.suite_ratio(None, Model::W, Model::N, energy),
+        1.45,
+        1.95,
+    );
+    c.check(
+        "TON vs N IPC (paper ~1.17)",
+        set.suite_ratio(None, Model::TON, Model::N, ipc),
+        1.10,
+        1.25,
+    );
     c.check(
         "TON vs N energy (paper ~1.03)",
         set.suite_ratio(None, Model::TON, Model::N, energy),
@@ -58,18 +75,48 @@ fn main() {
         0.45,
         0.72,
     );
-    c.check("TOW vs W IPC (paper ~1.25)", set.suite_ratio(None, Model::TOW, Model::W, ipc), 1.10, 1.35);
+    c.check(
+        "TOW vs W IPC (paper ~1.25)",
+        set.suite_ratio(None, Model::TOW, Model::W, ipc),
+        1.10,
+        1.35,
+    );
     c.check(
         "TOW vs W energy (paper ~0.82)",
         set.suite_ratio(None, Model::TOW, Model::W, energy),
         0.65,
         0.95,
     );
-    c.check("TOW vs N IPC (paper ~1.45)", set.suite_ratio(None, Model::TOW, Model::N, ipc), 1.25, 1.55);
-    c.check("TON vs N CMPW (paper ~1.32)", set.suite_cmpw(None, Model::TON, Model::N), 1.15, 1.60);
-    c.check("TOW vs N CMPW (paper ~1.51)", set.suite_cmpw(None, Model::TOW, Model::N), 1.25, 1.75);
-    c.check("TON vs W CMPW (paper ~1.67)", set.suite_cmpw(None, Model::TON, Model::W), 1.40, 2.10);
-    c.check("TOW vs W CMPW (paper ~1.92)", set.suite_cmpw(None, Model::TOW, Model::W), 1.55, 2.30);
+    c.check(
+        "TOW vs N IPC (paper ~1.45)",
+        set.suite_ratio(None, Model::TOW, Model::N, ipc),
+        1.25,
+        1.55,
+    );
+    c.check(
+        "TON vs N CMPW (paper ~1.32)",
+        set.suite_cmpw(None, Model::TON, Model::N),
+        1.15,
+        1.60,
+    );
+    c.check(
+        "TOW vs N CMPW (paper ~1.51)",
+        set.suite_cmpw(None, Model::TOW, Model::N),
+        1.25,
+        1.75,
+    );
+    c.check(
+        "TON vs W CMPW (paper ~1.67)",
+        set.suite_cmpw(None, Model::TON, Model::W),
+        1.40,
+        2.10,
+    );
+    c.check(
+        "TOW vs W CMPW (paper ~1.92)",
+        set.suite_cmpw(None, Model::TOW, Model::W),
+        1.55,
+        2.30,
+    );
 
     // Fig 4.1: trace cache alone is worth little; optimization is the win.
     let tn = set.suite_ratio(None, Model::TN, Model::N, ipc);
@@ -80,20 +127,48 @@ fn main() {
     // Fig 4.7 shape: trace mispredict < N branch mispredict < TON cold.
     let cov = |suite, model: Model| {
         set.suite_metric(suite, model, |r| {
-            r.trace.as_ref().map(|t| t.coverage).unwrap_or(0.0).max(1e-6)
+            r.trace
+                .as_ref()
+                .map(|t| t.coverage)
+                .unwrap_or(0.0)
+                .max(1e-6)
         })
     };
     let n_bmr = set.suite_metric(None, Model::N, |r| r.branch_mispredict_rate().max(1e-6));
     let cold_bmr = set.suite_metric(None, Model::TON, |r| r.branch_mispredict_rate().max(1e-6));
     let tmr = set.suite_metric(None, Model::TON, |r| {
-        r.trace.as_ref().map(|t| t.trace_mispredict_rate()).unwrap_or(0.0).max(1e-6)
+        r.trace
+            .as_ref()
+            .map(|t| t.trace_mispredict_rate())
+            .unwrap_or(0.0)
+            .max(1e-6)
     });
-    c.check("Fig4.7: trace mispredict below N branch", tmr / n_bmr, 0.0, 1.0);
-    c.check("Fig4.7: TON cold branch above N branch", cold_bmr / n_bmr, 1.0, 10.0);
+    c.check(
+        "Fig4.7: trace mispredict below N branch",
+        tmr / n_bmr,
+        0.0,
+        1.0,
+    );
+    c.check(
+        "Fig4.7: TON cold branch above N branch",
+        cold_bmr / n_bmr,
+        1.0,
+        10.0,
+    );
 
     // Fig 4.8: coverage levels and ordering.
-    c.check("coverage SpecFP (paper ~0.90)", cov(Some(Suite::SpecFp), Model::TON), 0.75, 0.98);
-    c.check("coverage SpecInt (paper 0.60–0.70)", cov(Some(Suite::SpecInt), Model::TON), 0.45, 0.80);
+    c.check(
+        "coverage SpecFP (paper ~0.90)",
+        cov(Some(Suite::SpecFp), Model::TON),
+        0.75,
+        0.98,
+    );
+    c.check(
+        "coverage SpecInt (paper 0.60–0.70)",
+        cov(Some(Suite::SpecInt), Model::TON),
+        0.45,
+        0.80,
+    );
     c.check(
         "coverage: SpecFP above SpecInt",
         cov(Some(Suite::SpecFp), Model::TON) / cov(Some(Suite::SpecInt), Model::TON),
@@ -103,27 +178,48 @@ fn main() {
 
     // Fig 4.9: optimizer impact bands.
     let uop_red = set.suite_metric(None, Model::TOW, |r| {
-        r.trace.as_ref().and_then(|t| t.opt.as_ref()).map(|o| o.uop_reduction).unwrap_or(0.0).max(1e-6)
+        r.trace
+            .as_ref()
+            .and_then(|t| t.opt.as_ref())
+            .map(|o| o.uop_reduction)
+            .unwrap_or(0.0)
+            .max(1e-6)
     });
     let dep_red = set.suite_metric(None, Model::TOW, |r| {
-        r.trace.as_ref().and_then(|t| t.opt.as_ref()).map(|o| o.dep_reduction).unwrap_or(0.0).max(1e-6)
+        r.trace
+            .as_ref()
+            .and_then(|t| t.opt.as_ref())
+            .map(|o| o.dep_reduction)
+            .unwrap_or(0.0)
+            .max(1e-6)
     });
     c.check("uop reduction (paper ~0.19)", uop_red, 0.10, 0.40);
     c.check("dep reduction (paper ~0.08)", dep_red, 0.04, 0.30);
 
     // Fig 4.10: reuse amortizes the optimizer (≫ blazing threshold 48).
     let reuse = set.suite_metric(None, Model::TOW, |r| {
-        r.trace.as_ref().map(|t| t.mean_opt_reuse).unwrap_or(0.0).max(1e-6)
+        r.trace
+            .as_ref()
+            .map(|t| t.mean_opt_reuse)
+            .unwrap_or(0.0)
+            .max(1e-6)
     });
     c.check("mean optimized-trace reuse", reuse, 50.0, 1e9);
 
     // Fig 4.11: trace manipulation around 10% of TON energy.
     let tm = set.suite_metric(None, Model::TON, |r| {
-        (r.unit_share("tcache") + r.unit_share("filters") + r.unit_share("optimizer")
+        (r.unit_share("tcache")
+            + r.unit_share("filters")
+            + r.unit_share("optimizer")
             + r.unit_share("tpred"))
         .max(1e-6)
     });
-    c.check("trace-manipulation energy share (paper ~0.10)", tm, 0.04, 0.18);
+    c.check(
+        "trace-manipulation energy share (paper ~0.10)",
+        tm,
+        0.04,
+        0.18,
+    );
 
     println!();
     if c.failures.is_empty() {

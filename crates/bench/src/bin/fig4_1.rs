@@ -9,9 +9,12 @@ use parrot_core::Model;
 fn main() {
     let set = ResultSet::load_or_run();
     let models = [Model::TN, Model::TON, Model::TW, Model::TOW];
-    print_table("Fig 4.1 — IPC improvement over baseline of same width", &models, &set, |suite, m| {
-        pct(set.suite_ratio(suite, m, m.same_width_baseline(), |r| r.ipc()))
-    });
+    print_table(
+        "Fig 4.1 — IPC improvement over baseline of same width",
+        &models,
+        &set,
+        |suite, m| pct(set.suite_ratio(suite, m, m.same_width_baseline(), |r| r.ipc())),
+    );
     parrot_bench::print_killers(&set, &models, |r, b| pct(r.ipc() / b.ipc()));
     println!("paper reference (means): TN +2%, TW +7%, TON +17%, TOW +25%");
 }

@@ -11,7 +11,11 @@ fn main() {
     println!("{:<12}{:>12}", "group", "mean reuse");
     for (label, suite) in groups() {
         let reuse = set.suite_metric(suite, Model::TOW, |r| {
-            r.trace.as_ref().map(|t| t.mean_opt_reuse).unwrap_or(0.0).max(1e-6)
+            r.trace
+                .as_ref()
+                .map(|t| t.mean_opt_reuse)
+                .unwrap_or(0.0)
+                .max(1e-6)
         });
         println!("{label:<12}{reuse:>12.0}");
     }

@@ -34,7 +34,9 @@ fn main() {
             (r.unit_share("fetch") + r.unit_share("decode") + r.unit_share("bpred")) * 100.0
         };
         let tm = |r: &parrot_core::SimReport| {
-            (r.unit_share("tcache") + r.unit_share("filters") + r.unit_share("optimizer")
+            (r.unit_share("tcache")
+                + r.unit_share("filters")
+                + r.unit_share("optimizer")
                 + r.unit_share("tpred"))
                 * 100.0
         };

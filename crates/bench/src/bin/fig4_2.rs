@@ -8,8 +8,11 @@ use parrot_core::Model;
 fn main() {
     let set = ResultSet::load_or_run();
     let models = [Model::TN, Model::TON, Model::TW, Model::TOW];
-    print_table("Fig 4.2 — energy increase over baseline of same width", &models, &set, |suite, m| {
-        pct(set.suite_ratio(suite, m, m.same_width_baseline(), |r| r.energy))
-    });
+    print_table(
+        "Fig 4.2 — energy increase over baseline of same width",
+        &models,
+        &set,
+        |suite, m| pct(set.suite_ratio(suite, m, m.same_width_baseline(), |r| r.energy)),
+    );
     println!("paper reference (means): TON +3% over N; TOW −18% over W");
 }

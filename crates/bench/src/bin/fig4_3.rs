@@ -7,8 +7,11 @@ use parrot_core::Model;
 fn main() {
     let set = ResultSet::load_or_run();
     let models = [Model::TN, Model::TON, Model::TW, Model::TOW];
-    print_table("Fig 4.3 — CMPW improvement over baseline of same width", &models, &set, |suite, m| {
-        pct(set.suite_cmpw(suite, m, m.same_width_baseline()))
-    });
+    print_table(
+        "Fig 4.3 — CMPW improvement over baseline of same width",
+        &models,
+        &set,
+        |suite, m| pct(set.suite_cmpw(suite, m, m.same_width_baseline())),
+    );
     println!("paper reference (means): TON +32% over N, TOW +92% over W");
 }

@@ -6,9 +6,19 @@ use parrot_core::Model;
 
 fn main() {
     let set = ResultSet::load_or_run();
-    let models = [Model::W, Model::TN, Model::TW, Model::TON, Model::TOW, Model::TOS];
-    print_table("Fig 4.4 — IPC relative to N", &models, &set, |suite, m| {
-        pct(set.suite_ratio(suite, m, Model::N, |r| r.ipc()))
-    });
+    let models = [
+        Model::W,
+        Model::TN,
+        Model::TW,
+        Model::TON,
+        Model::TOW,
+        Model::TOS,
+    ];
+    print_table(
+        "Fig 4.4 — IPC relative to N",
+        &models,
+        &set,
+        |suite, m| pct(set.suite_ratio(suite, m, Model::N, |r| r.ipc())),
+    );
     println!("paper reference (means): TON ≳ W; TOW ≈ +45% over N");
 }

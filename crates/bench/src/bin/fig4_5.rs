@@ -6,11 +6,24 @@ use parrot_core::Model;
 
 fn main() {
     let set = ResultSet::load_or_run();
-    let models = [Model::W, Model::TN, Model::TW, Model::TON, Model::TOW, Model::TOS];
-    print_table("Fig 4.5 — energy relative to N", &models, &set, |suite, m| {
-        pct(set.suite_ratio(suite, m, Model::N, |r| r.energy))
-    });
+    let models = [
+        Model::W,
+        Model::TN,
+        Model::TW,
+        Model::TON,
+        Model::TOW,
+        Model::TOS,
+    ];
+    print_table(
+        "Fig 4.5 — energy relative to N",
+        &models,
+        &set,
+        |suite, m| pct(set.suite_ratio(suite, m, Model::N, |r| r.energy)),
+    );
     let ton_vs_w = set.suite_ratio(None, Model::TON, Model::W, |r| r.energy);
-    println!("TON vs W energy: {} (paper: −39%)", parrot_bench::pct(ton_vs_w));
+    println!(
+        "TON vs W energy: {} (paper: −39%)",
+        parrot_bench::pct(ton_vs_w)
+    );
     println!("paper reference (means): W +70%, TON +3%, TOW +39% over N");
 }

@@ -6,10 +6,23 @@ use parrot_core::Model;
 
 fn main() {
     let set = ResultSet::load_or_run();
-    let models = [Model::W, Model::TN, Model::TW, Model::TON, Model::TOW, Model::TOS];
-    print_table("Fig 4.6 — CMPW relative to N", &models, &set, |suite, m| {
-        pct(set.suite_cmpw(suite, m, Model::N))
-    });
-    println!("TON vs W CMPW: {} (paper: +67%)", pct(set.suite_cmpw(None, Model::TON, Model::W)));
+    let models = [
+        Model::W,
+        Model::TN,
+        Model::TW,
+        Model::TON,
+        Model::TOW,
+        Model::TOS,
+    ];
+    print_table(
+        "Fig 4.6 — CMPW relative to N",
+        &models,
+        &set,
+        |suite, m| pct(set.suite_cmpw(suite, m, Model::N)),
+    );
+    println!(
+        "TON vs W CMPW: {} (paper: +67%)",
+        pct(set.suite_cmpw(None, Model::TON, Model::W))
+    );
     println!("paper reference: TOW +51% over N");
 }

@@ -17,9 +17,18 @@ fn main() {
         let n_bmr = set.suite_metric(suite, Model::N, |r| r.branch_mispredict_rate().max(1e-6));
         let cold = set.suite_metric(suite, Model::TON, |r| r.branch_mispredict_rate().max(1e-6));
         let tmr = set.suite_metric(suite, Model::TON, |r| {
-            r.trace.as_ref().map(|t| t.trace_mispredict_rate()).unwrap_or(0.0).max(1e-6)
+            r.trace
+                .as_ref()
+                .map(|t| t.trace_mispredict_rate())
+                .unwrap_or(0.0)
+                .max(1e-6)
         });
-        println!("{label:<12}{:>15.2}%{:>17.2}%{:>15.2}%", n_bmr * 100.0, cold * 100.0, tmr * 100.0);
+        println!(
+            "{label:<12}{:>15.2}%{:>17.2}%{:>15.2}%",
+            n_bmr * 100.0,
+            cold * 100.0,
+            tmr * 100.0
+        );
     }
     println!("\npaper shape: trace < N branch < TON cold branch");
 }

@@ -11,7 +11,11 @@ fn main() {
     println!("{:<12}{:>12}", "group", "coverage");
     for (label, suite) in groups() {
         let cov = set.suite_metric(suite, Model::TON, |r| {
-            r.trace.as_ref().map(|t| t.coverage).unwrap_or(0.0).max(1e-6)
+            r.trace
+                .as_ref()
+                .map(|t| t.coverage)
+                .unwrap_or(0.0)
+                .max(1e-6)
         });
         println!("{label:<12}{:>11.1}%", cov * 100.0);
     }

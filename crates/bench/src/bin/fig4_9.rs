@@ -8,13 +8,26 @@ use parrot_core::Model;
 fn main() {
     let set = ResultSet::load_or_run();
     println!("## Fig 4.9 — optimizer impact (TOW)");
-    println!("{:<12}{:>16}{:>16}", "group", "uop reduction", "dep reduction");
+    println!(
+        "{:<12}{:>16}{:>16}",
+        "group", "uop reduction", "dep reduction"
+    );
     for (label, suite) in groups() {
         let uop = set.suite_metric(suite, Model::TOW, |r| {
-            r.trace.as_ref().and_then(|t| t.opt.as_ref()).map(|o| o.uop_reduction).unwrap_or(0.0).max(1e-6)
+            r.trace
+                .as_ref()
+                .and_then(|t| t.opt.as_ref())
+                .map(|o| o.uop_reduction)
+                .unwrap_or(0.0)
+                .max(1e-6)
         });
         let dep = set.suite_metric(suite, Model::TOW, |r| {
-            r.trace.as_ref().and_then(|t| t.opt.as_ref()).map(|o| o.dep_reduction).unwrap_or(0.0).max(1e-6)
+            r.trace
+                .as_ref()
+                .and_then(|t| t.opt.as_ref())
+                .map(|o| o.dep_reduction)
+                .unwrap_or(0.0)
+                .max(1e-6)
         });
         println!("{label:<12}{:>15.1}%{:>15.1}%", uop * 100.0, dep * 100.0);
     }

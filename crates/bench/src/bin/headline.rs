@@ -8,6 +8,8 @@ use parrot_bench::{pct, ResultSet};
 use parrot_core::Model;
 
 fn main() {
+    let (telemetry, _args) =
+        parrot_bench::cli::Telemetry::from_args(std::env::args().skip(1).collect());
     let set = ResultSet::load_or_run();
     let r = |m: Model, b: Model, f: &dyn Fn(&parrot_core::SimReport) -> f64| {
         set.suite_ratio(None, m, b, f)
@@ -15,21 +17,86 @@ fn main() {
     let ipc = |r: &parrot_core::SimReport| r.ipc();
     let energy = |r: &parrot_core::SimReport| r.energy;
 
-    println!("## Headline results (overall geometric means){}", "");
+    println!("## Headline results (overall geometric means)");
     println!("{:<44}{:>10}{:>12}", "comparison", "ours", "paper");
-    println!("{:<44}{:>10}{:>12}", "W vs N: IPC", pct(r(Model::W, Model::N, &ipc)), "~+15%");
-    println!("{:<44}{:>10}{:>12}", "W vs N: energy", pct(r(Model::W, Model::N, &energy)), "+70%");
-    println!("{:<44}{:>10}{:>12}", "TON vs N: IPC", pct(r(Model::TON, Model::N, &ipc)), "+17%");
-    println!("{:<44}{:>10}{:>12}", "TON vs N: energy", pct(r(Model::TON, Model::N, &energy)), "+3%");
-    println!("{:<44}{:>10}{:>12}", "TON vs W: IPC", pct(r(Model::TON, Model::W, &ipc)), "≥0%");
-    println!("{:<44}{:>10}{:>12}", "TON vs W: energy", pct(r(Model::TON, Model::W, &energy)), "-39%");
-    println!("{:<44}{:>10}{:>12}", "TON vs W: CMPW", pct(set.suite_cmpw(None, Model::TON, Model::W)), "+67%");
-    println!("{:<44}{:>10}{:>12}", "TOW vs W: IPC", pct(r(Model::TOW, Model::W, &ipc)), "+25%");
-    println!("{:<44}{:>10}{:>12}", "TOW vs W: energy", pct(r(Model::TOW, Model::W, &energy)), "-18%");
-    println!("{:<44}{:>10}{:>12}", "TOW vs N: IPC", pct(r(Model::TOW, Model::N, &ipc)), "+45%");
-    println!("{:<44}{:>10}{:>12}", "TOW vs N: CMPW", pct(set.suite_cmpw(None, Model::TOW, Model::N)), "+51%");
-    println!("{:<44}{:>10}{:>12}", "TON vs N: CMPW", pct(set.suite_cmpw(None, Model::TON, Model::N)), "+32%");
-    println!("{:<44}{:>10}{:>12}", "TOW vs W: CMPW", pct(set.suite_cmpw(None, Model::TOW, Model::W)), "+92%");
+    println!(
+        "{:<44}{:>10}{:>12}",
+        "W vs N: IPC",
+        pct(r(Model::W, Model::N, &ipc)),
+        "~+15%"
+    );
+    println!(
+        "{:<44}{:>10}{:>12}",
+        "W vs N: energy",
+        pct(r(Model::W, Model::N, &energy)),
+        "+70%"
+    );
+    println!(
+        "{:<44}{:>10}{:>12}",
+        "TON vs N: IPC",
+        pct(r(Model::TON, Model::N, &ipc)),
+        "+17%"
+    );
+    println!(
+        "{:<44}{:>10}{:>12}",
+        "TON vs N: energy",
+        pct(r(Model::TON, Model::N, &energy)),
+        "+3%"
+    );
+    println!(
+        "{:<44}{:>10}{:>12}",
+        "TON vs W: IPC",
+        pct(r(Model::TON, Model::W, &ipc)),
+        "≥0%"
+    );
+    println!(
+        "{:<44}{:>10}{:>12}",
+        "TON vs W: energy",
+        pct(r(Model::TON, Model::W, &energy)),
+        "-39%"
+    );
+    println!(
+        "{:<44}{:>10}{:>12}",
+        "TON vs W: CMPW",
+        pct(set.suite_cmpw(None, Model::TON, Model::W)),
+        "+67%"
+    );
+    println!(
+        "{:<44}{:>10}{:>12}",
+        "TOW vs W: IPC",
+        pct(r(Model::TOW, Model::W, &ipc)),
+        "+25%"
+    );
+    println!(
+        "{:<44}{:>10}{:>12}",
+        "TOW vs W: energy",
+        pct(r(Model::TOW, Model::W, &energy)),
+        "-18%"
+    );
+    println!(
+        "{:<44}{:>10}{:>12}",
+        "TOW vs N: IPC",
+        pct(r(Model::TOW, Model::N, &ipc)),
+        "+45%"
+    );
+    println!(
+        "{:<44}{:>10}{:>12}",
+        "TOW vs N: CMPW",
+        pct(set.suite_cmpw(None, Model::TOW, Model::N)),
+        "+51%"
+    );
+    println!(
+        "{:<44}{:>10}{:>12}",
+        "TON vs N: CMPW",
+        pct(set.suite_cmpw(None, Model::TON, Model::N)),
+        "+32%"
+    );
+    println!(
+        "{:<44}{:>10}{:>12}",
+        "TOW vs W: CMPW",
+        pct(set.suite_cmpw(None, Model::TOW, Model::W)),
+        "+92%"
+    );
 
     // Voltage/frequency-scaling projections (the reasoning behind CMPW):
     // scale TOW down to N's performance and report the projected energy.
@@ -60,4 +127,5 @@ fn main() {
         "V/F projection: TON scaled to W-level performance would consume {} energy vs W",
         pct(geo_mean(&iso_ton))
     );
+    telemetry.finish();
 }

@@ -22,7 +22,10 @@ fn frames_for(app: &str, n: usize) -> Vec<TraceFrame> {
         sel.step(&d, &kind, seq as u64, &mut cands);
     }
     sel.flush(&mut cands);
-    cands.iter().map(|c| construct_frame(c, &wl.decoded)).collect()
+    cands
+        .iter()
+        .map(|c| construct_frame(c, &wl.decoded))
+        .collect()
 }
 
 fn measure(frames: &[TraceFrame], cfg: OptimizerConfig) -> (f64, f64) {
@@ -44,11 +47,32 @@ fn main() {
 
     let none = OptimizerConfig::none();
     let stages: Vec<(&str, OptimizerConfig)> = vec![
-        ("renaming only", OptimizerConfig { rename: true, latency_cycles: 100, ..none }),
-        ("+ const prop", OptimizerConfig { rename: true, const_prop: true, latency_cycles: 100, ..none }),
+        (
+            "renaming only",
+            OptimizerConfig {
+                rename: true,
+                latency_cycles: 100,
+                ..none
+            },
+        ),
+        (
+            "+ const prop",
+            OptimizerConfig {
+                rename: true,
+                const_prop: true,
+                latency_cycles: 100,
+                ..none
+            },
+        ),
         (
             "+ simplify",
-            OptimizerConfig { rename: true, const_prop: true, simplify: true, latency_cycles: 100, ..none },
+            OptimizerConfig {
+                rename: true,
+                const_prop: true,
+                simplify: true,
+                latency_cycles: 100,
+                ..none
+            },
         ),
         (
             "+ DCE  (= generic)",
@@ -89,7 +113,10 @@ fn main() {
         ("+ schedule (= full)", OptimizerConfig::full()),
     ];
 
-    println!("{:<22}{:>16}{:>16}", "cumulative passes", "uop reduction", "dep reduction");
+    println!(
+        "{:<22}{:>16}{:>16}",
+        "cumulative passes", "uop reduction", "dep reduction"
+    );
     let mut generic = (0.0, 0.0);
     let mut full = (0.0, 0.0);
     for (label, cfg) in stages {

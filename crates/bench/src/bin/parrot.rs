@@ -16,7 +16,8 @@ use parrot_energy::metrics::cmpw_relative;
 use parrot_workloads::{all_apps, app_by_name, Workload};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (telemetry, args) =
+        parrot_bench::cli::Telemetry::from_args(std::env::args().skip(1).collect());
     match args.first().map(String::as_str) {
         Some("list-apps") => list_apps(),
         Some("list-models") => list_models(),
@@ -25,6 +26,7 @@ fn main() {
         Some("sweep") => sweep(&args[1..]),
         _ => usage(),
     }
+    telemetry.finish();
 }
 
 fn usage() {
@@ -72,8 +74,16 @@ fn list_models() {
             "{:<5} {}-wide{}{}",
             m.name(),
             c.core.issue_width,
-            if m.has_trace_cache() { ", trace cache" } else { "" },
-            if m.has_optimizer() { ", dynamic optimizer" } else { "" },
+            if m.has_trace_cache() {
+                ", trace cache"
+            } else {
+                ""
+            },
+            if m.has_optimizer() {
+                ", dynamic optimizer"
+            } else {
+                ""
+            },
         );
     }
 }
@@ -85,10 +95,16 @@ fn print_human(r: &SimReport) {
     println!("  cycles           {}", r.cycles);
     println!("  IPC              {:.3}", r.ipc());
     println!("  energy           {:.0}", r.energy);
-    println!("  branch mispred   {:.2}%", r.branch_mispredict_rate() * 100.0);
+    println!(
+        "  branch mispred   {:.2}%",
+        r.branch_mispredict_rate() * 100.0
+    );
     if let Some(t) = &r.trace {
         println!("  coverage         {:.1}%", t.coverage * 100.0);
-        println!("  trace mispred    {:.2}%", t.trace_mispredict_rate() * 100.0);
+        println!(
+            "  trace mispred    {:.2}%",
+            t.trace_mispredict_rate() * 100.0
+        );
         if let Some(o) = &t.opt {
             println!("  uop reduction    {:.1}%", o.uop_reduction * 100.0);
         }
@@ -96,18 +112,22 @@ fn print_human(r: &SimReport) {
 }
 
 fn run(args: &[String]) {
-    let [model, app, ..] = args else { return usage() };
+    let [model, app, ..] = args else {
+        return usage();
+    };
     let wl = parse_app(app);
     let r = simulate(parse_model(model), &wl, flag_insts(args));
     if args.iter().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&r).expect("serializable report"));
+        println!("{}", r.to_json().to_json_pretty());
     } else {
         print_human(&r);
     }
 }
 
 fn compare(args: &[String]) {
-    let [a, b, app, ..] = args else { return usage() };
+    let [a, b, app, ..] = args else {
+        return usage();
+    };
     let wl = parse_app(app);
     let insts = flag_insts(args);
     let ra = simulate(parse_model(a), &wl, insts);
@@ -123,16 +143,29 @@ fn compare(args: &[String]) {
     };
     row("IPC", ra.ipc(), rb.ipc(), false);
     row("energy", ra.energy, rb.energy, false);
-    row("branch mispredict", ra.branch_mispredict_rate() * 100.0, rb.branch_mispredict_rate() * 100.0, true);
+    row(
+        "branch mispredict",
+        ra.branch_mispredict_rate() * 100.0,
+        rb.branch_mispredict_rate() * 100.0,
+        true,
+    );
     let cmpw = cmpw_relative(&ra.summary(), &rb.summary());
-    println!("{:<20}{:>34}{:>+9.1}%", "CMPW (b vs a)", "", (cmpw - 1.0) * 100.0);
+    println!(
+        "{:<20}{:>34}{:>+9.1}%",
+        "CMPW (b vs a)",
+        "",
+        (cmpw - 1.0) * 100.0
+    );
 }
 
 fn sweep(args: &[String]) {
     let [app, ..] = args else { return usage() };
     let wl = parse_app(app);
     let insts = flag_insts(args);
-    println!("{:<6}{:>9}{:>12}{:>10}{:>10}", "model", "IPC", "energy", "cov", "tmr");
+    println!(
+        "{:<6}{:>9}{:>12}{:>10}{:>10}",
+        "model", "IPC", "energy", "cov", "tmr"
+    );
     for m in Model::ALL {
         let r = simulate(m, &wl, insts);
         let (cov, tmr) = r
@@ -140,6 +173,13 @@ fn sweep(args: &[String]) {
             .as_ref()
             .map(|t| (t.coverage * 100.0, t.trace_mispredict_rate() * 100.0))
             .unwrap_or((0.0, 0.0));
-        println!("{:<6}{:>9.3}{:>12.0}{:>9.1}%{:>9.2}%", m.name(), r.ipc(), r.energy, cov, tmr);
+        println!(
+            "{:<6}{:>9.3}{:>12.0}{:>9.1}%{:>9.2}%",
+            m.name(),
+            r.ipc(),
+            r.energy,
+            cov,
+            tmr
+        );
     }
 }

@@ -9,6 +9,8 @@ use parrot_core::Model;
 use std::fmt::Write as _;
 
 fn main() {
+    let (telemetry, _args) =
+        parrot_bench::cli::Telemetry::from_args(std::env::args().skip(1).collect());
     let set = ResultSet::load_or_run();
     let mut md = String::new();
     let insts = insts_budget();
@@ -26,7 +28,19 @@ fn main() {
         insts
     )
     .unwrap();
-    writeln!(md, "Regenerate with `cargo run --release -p parrot-bench --bin reproduce`.\n").unwrap();
+    writeln!(
+        md,
+        "Regenerate with `cargo run --release -p parrot-bench --bin reproduce`.\n"
+    )
+    .unwrap();
+    writeln!(
+        md,
+        "To profile or inspect a run, the bench binaries take `--profile` (wall-clock\n\
+         self/total table for the simulator itself), `--trace-out FILE` (Perfetto\n\
+         timeline in simulated cycles) and `--metrics-out FILE` (JSONL counter/histogram\n\
+         snapshots); see README.md \u{201c}Observability\u{201d}.\n"
+    )
+    .unwrap();
 
     // ---- headline table ----
     writeln!(md, "## Headline comparisons (§1, §4.1)\n").unwrap();
@@ -35,19 +49,71 @@ fn main() {
     let ipc = |r: &parrot_core::SimReport| r.ipc();
     let energy = |r: &parrot_core::SimReport| r.energy;
     let rows: Vec<(&str, &str, String)> = vec![
-        ("W vs N — IPC", "~ +15%", pct(set.suite_ratio(None, Model::W, Model::N, ipc))),
-        ("W vs N — energy", "+70%", pct(set.suite_ratio(None, Model::W, Model::N, energy))),
-        ("TON vs N — IPC", "+17%", pct(set.suite_ratio(None, Model::TON, Model::N, ipc))),
-        ("TON vs N — energy", "+3%", pct(set.suite_ratio(None, Model::TON, Model::N, energy))),
-        ("TON vs N — CMPW", "+32%", pct(set.suite_cmpw(None, Model::TON, Model::N))),
-        ("TON vs W — IPC", "slightly better", pct(set.suite_ratio(None, Model::TON, Model::W, ipc))),
-        ("TON vs W — energy", "−39%", pct(set.suite_ratio(None, Model::TON, Model::W, energy))),
-        ("TON vs W — CMPW", "+67%", pct(set.suite_cmpw(None, Model::TON, Model::W))),
-        ("TOW vs W — IPC", "+25%", pct(set.suite_ratio(None, Model::TOW, Model::W, ipc))),
-        ("TOW vs W — energy", "−18%", pct(set.suite_ratio(None, Model::TOW, Model::W, energy))),
-        ("TOW vs W — CMPW", "+92%", pct(set.suite_cmpw(None, Model::TOW, Model::W))),
-        ("TOW vs N — IPC", "+45%", pct(set.suite_ratio(None, Model::TOW, Model::N, ipc))),
-        ("TOW vs N — CMPW", "+51%", pct(set.suite_cmpw(None, Model::TOW, Model::N))),
+        (
+            "W vs N — IPC",
+            "~ +15%",
+            pct(set.suite_ratio(None, Model::W, Model::N, ipc)),
+        ),
+        (
+            "W vs N — energy",
+            "+70%",
+            pct(set.suite_ratio(None, Model::W, Model::N, energy)),
+        ),
+        (
+            "TON vs N — IPC",
+            "+17%",
+            pct(set.suite_ratio(None, Model::TON, Model::N, ipc)),
+        ),
+        (
+            "TON vs N — energy",
+            "+3%",
+            pct(set.suite_ratio(None, Model::TON, Model::N, energy)),
+        ),
+        (
+            "TON vs N — CMPW",
+            "+32%",
+            pct(set.suite_cmpw(None, Model::TON, Model::N)),
+        ),
+        (
+            "TON vs W — IPC",
+            "slightly better",
+            pct(set.suite_ratio(None, Model::TON, Model::W, ipc)),
+        ),
+        (
+            "TON vs W — energy",
+            "−39%",
+            pct(set.suite_ratio(None, Model::TON, Model::W, energy)),
+        ),
+        (
+            "TON vs W — CMPW",
+            "+67%",
+            pct(set.suite_cmpw(None, Model::TON, Model::W)),
+        ),
+        (
+            "TOW vs W — IPC",
+            "+25%",
+            pct(set.suite_ratio(None, Model::TOW, Model::W, ipc)),
+        ),
+        (
+            "TOW vs W — energy",
+            "−18%",
+            pct(set.suite_ratio(None, Model::TOW, Model::W, energy)),
+        ),
+        (
+            "TOW vs W — CMPW",
+            "+92%",
+            pct(set.suite_cmpw(None, Model::TOW, Model::W)),
+        ),
+        (
+            "TOW vs N — IPC",
+            "+45%",
+            pct(set.suite_ratio(None, Model::TOW, Model::N, ipc)),
+        ),
+        (
+            "TOW vs N — CMPW",
+            "+51%",
+            pct(set.suite_cmpw(None, Model::TOW, Model::N)),
+        ),
     ];
     for (label, paper, ours) in rows {
         writeln!(md, "| {label} | {paper} | {ours} |").unwrap();
@@ -55,33 +121,41 @@ fn main() {
     writeln!(md).unwrap();
 
     // ---- per-suite figures with a shared helper ----
-    let suite_table = |md: &mut String, title: &str, models: &[Model], f: &dyn Fn(Option<parrot_workloads::Suite>, Model) -> String| {
-        writeln!(md, "## {title}\n").unwrap();
-        write!(md, "| model |").unwrap();
-        for (label, _) in groups() {
-            write!(md, " {label} |").unwrap();
-        }
-        writeln!(md).unwrap();
-        write!(md, "|---|").unwrap();
-        for _ in groups() {
-            write!(md, "---|").unwrap();
-        }
-        writeln!(md).unwrap();
-        for m in models {
-            write!(md, "| {} |", m.name()).unwrap();
-            for (_, suite) in groups() {
-                write!(md, " {} |", f(suite, *m)).unwrap();
+    let suite_table =
+        |md: &mut String,
+         title: &str,
+         models: &[Model],
+         f: &dyn Fn(Option<parrot_workloads::Suite>, Model) -> String| {
+            writeln!(md, "## {title}\n").unwrap();
+            write!(md, "| model |").unwrap();
+            for (label, _) in groups() {
+                write!(md, " {label} |").unwrap();
             }
             writeln!(md).unwrap();
-        }
-        writeln!(md).unwrap();
-    };
+            write!(md, "|---|").unwrap();
+            for _ in groups() {
+                write!(md, "---|").unwrap();
+            }
+            writeln!(md).unwrap();
+            for m in models {
+                write!(md, "| {} |", m.name()).unwrap();
+                for (_, suite) in groups() {
+                    write!(md, " {} |", f(suite, *m)).unwrap();
+                }
+                writeln!(md).unwrap();
+            }
+            writeln!(md).unwrap();
+        };
 
     let tmods = [Model::TN, Model::TON, Model::TW, Model::TOW];
     suite_table(&mut md, "Fig 4.1 — IPC improvement over same-width baseline (paper: TN +2%, TW +7%, TON +17%, TOW +25%)", &tmods, &|s, m| {
         pct(set.suite_ratio(s, m, m.same_width_baseline(), |r| r.ipc()))
     });
-    writeln!(md, "Killer applications (paper: flash, wupwise, perlbench show the largest gains):\n").unwrap();
+    writeln!(
+        md,
+        "Killer applications (paper: flash, wupwise, perlbench show the largest gains):\n"
+    )
+    .unwrap();
     writeln!(md, "| app | TON vs N | TOW vs W |").unwrap();
     writeln!(md, "|---|---|---|").unwrap();
     for k in parrot_workloads::killer_apps() {
@@ -94,42 +168,83 @@ fn main() {
     suite_table(&mut md, "Fig 4.2 — energy increase over same-width baseline (paper: TON +3% over N; all W extensions save energy, TOW −18%)", &tmods, &|s, m| {
         pct(set.suite_ratio(s, m, m.same_width_baseline(), |r| r.energy))
     });
-    suite_table(&mut md, "Fig 4.3 — CMPW improvement over same-width baseline (paper: TON +32%, TOW +92%)", &tmods, &|s, m| {
-        pct(set.suite_cmpw(s, m, m.same_width_baseline()))
-    });
-    let all6 = [Model::W, Model::TN, Model::TW, Model::TON, Model::TOW, Model::TOS];
-    suite_table(&mut md, "Fig 4.4 — IPC relative to N (paper: W ≈ +15%, TON ≳ W, TOW ≈ +45%)", &all6, &|s, m| {
-        pct(set.suite_ratio(s, m, Model::N, |r| r.ipc()))
-    });
-    suite_table(&mut md, "Fig 4.5 — energy relative to N (paper: W +70%, TON +3%, TOW +39%)", &all6, &|s, m| {
-        pct(set.suite_ratio(s, m, Model::N, |r| r.energy))
-    });
-    suite_table(&mut md, "Fig 4.6 — CMPW relative to N (paper: TOW +51%)", &all6, &|s, m| {
-        pct(set.suite_cmpw(s, m, Model::N))
-    });
+    suite_table(
+        &mut md,
+        "Fig 4.3 — CMPW improvement over same-width baseline (paper: TON +32%, TOW +92%)",
+        &tmods,
+        &|s, m| pct(set.suite_cmpw(s, m, m.same_width_baseline())),
+    );
+    let all6 = [
+        Model::W,
+        Model::TN,
+        Model::TW,
+        Model::TON,
+        Model::TOW,
+        Model::TOS,
+    ];
+    suite_table(
+        &mut md,
+        "Fig 4.4 — IPC relative to N (paper: W ≈ +15%, TON ≳ W, TOW ≈ +45%)",
+        &all6,
+        &|s, m| pct(set.suite_ratio(s, m, Model::N, |r| r.ipc())),
+    );
+    suite_table(
+        &mut md,
+        "Fig 4.5 — energy relative to N (paper: W +70%, TON +3%, TOW +39%)",
+        &all6,
+        &|s, m| pct(set.suite_ratio(s, m, Model::N, |r| r.energy)),
+    );
+    suite_table(
+        &mut md,
+        "Fig 4.6 — CMPW relative to N (paper: TOW +51%)",
+        &all6,
+        &|s, m| pct(set.suite_cmpw(s, m, Model::N)),
+    );
 
     // Fig 4.7
-    writeln!(md, "## Fig 4.7 — misprediction rates (paper shape: trace < N branch < TON cold branch)\n").unwrap();
+    writeln!(
+        md,
+        "## Fig 4.7 — misprediction rates (paper shape: trace < N branch < TON cold branch)\n"
+    )
+    .unwrap();
     writeln!(md, "| group | N branch | TON cold branch | TON trace |").unwrap();
     writeln!(md, "|---|---|---|---|").unwrap();
     for (label, suite) in groups() {
         let n = set.suite_metric(suite, Model::N, |r| r.branch_mispredict_rate().max(1e-6));
         let cold = set.suite_metric(suite, Model::TON, |r| r.branch_mispredict_rate().max(1e-6));
         let tmr = set.suite_metric(suite, Model::TON, |r| {
-            r.trace.as_ref().map(|t| t.trace_mispredict_rate()).unwrap_or(0.0).max(1e-6)
+            r.trace
+                .as_ref()
+                .map(|t| t.trace_mispredict_rate())
+                .unwrap_or(0.0)
+                .max(1e-6)
         });
-        writeln!(md, "| {label} | {:.2}% | {:.2}% | {:.2}% |", n * 100.0, cold * 100.0, tmr * 100.0)
-            .unwrap();
+        writeln!(
+            md,
+            "| {label} | {:.2}% | {:.2}% | {:.2}% |",
+            n * 100.0,
+            cold * 100.0,
+            tmr * 100.0
+        )
+        .unwrap();
     }
     writeln!(md).unwrap();
 
     // Fig 4.8
-    writeln!(md, "## Fig 4.8 — coverage (paper: SpecFP ≈ 90%, SpecInt 60–70%)\n").unwrap();
+    writeln!(
+        md,
+        "## Fig 4.8 — coverage (paper: SpecFP ≈ 90%, SpecInt 60–70%)\n"
+    )
+    .unwrap();
     writeln!(md, "| group | coverage |").unwrap();
     writeln!(md, "|---|---|").unwrap();
     for (label, suite) in groups() {
         let cov = set.suite_metric(suite, Model::TON, |r| {
-            r.trace.as_ref().map(|t| t.coverage).unwrap_or(0.0).max(1e-6)
+            r.trace
+                .as_ref()
+                .map(|t| t.coverage)
+                .unwrap_or(0.0)
+                .max(1e-6)
         });
         writeln!(md, "| {label} | {:.1}% |", cov * 100.0).unwrap();
     }
@@ -141,10 +256,20 @@ fn main() {
     writeln!(md, "|---|---|---|").unwrap();
     for (label, suite) in groups() {
         let u = set.suite_metric(suite, Model::TOW, |r| {
-            r.trace.as_ref().and_then(|t| t.opt.as_ref()).map(|o| o.uop_reduction).unwrap_or(0.0).max(1e-6)
+            r.trace
+                .as_ref()
+                .and_then(|t| t.opt.as_ref())
+                .map(|o| o.uop_reduction)
+                .unwrap_or(0.0)
+                .max(1e-6)
         });
         let d = set.suite_metric(suite, Model::TOW, |r| {
-            r.trace.as_ref().and_then(|t| t.opt.as_ref()).map(|o| o.dep_reduction).unwrap_or(0.0).max(1e-6)
+            r.trace
+                .as_ref()
+                .and_then(|t| t.opt.as_ref())
+                .map(|o| o.dep_reduction)
+                .unwrap_or(0.0)
+                .max(1e-6)
         });
         writeln!(md, "| {label} | {:.1}% | {:.1}% |", u * 100.0, d * 100.0).unwrap();
     }
@@ -156,7 +281,11 @@ fn main() {
     writeln!(md, "|---|---|").unwrap();
     for (label, suite) in groups() {
         let reuse = set.suite_metric(suite, Model::TOW, |r| {
-            r.trace.as_ref().map(|t| t.mean_opt_reuse).unwrap_or(0.0).max(1e-6)
+            r.trace
+                .as_ref()
+                .map(|t| t.mean_opt_reuse)
+                .unwrap_or(0.0)
+                .max(1e-6)
         });
         writeln!(md, "| {label} | {reuse:.0} |").unwrap();
     }
@@ -168,17 +297,27 @@ fn main() {
         writeln!(md, "### {app}\n").unwrap();
         writeln!(md, "| unit | N | TON | TOS |").unwrap();
         writeln!(md, "|---|---|---|---|").unwrap();
-        let runs = [set.get(Model::N, app), set.get(Model::TON, app), set.get(Model::TOS, app)];
+        let runs = [
+            set.get(Model::N, app),
+            set.get(Model::TON, app),
+            set.get(Model::TOS, app),
+        ];
         for (label, _) in &runs[0].energy_by_unit {
             let shares: Vec<f64> = runs.iter().map(|r| r.unit_share(label) * 100.0).collect();
             if shares.iter().any(|s| *s >= 0.5) {
-                writeln!(md, "| {label} | {:.1}% | {:.1}% | {:.1}% |", shares[0], shares[1], shares[2])
-                    .unwrap();
+                writeln!(
+                    md,
+                    "| {label} | {:.1}% | {:.1}% | {:.1}% |",
+                    shares[0], shares[1], shares[2]
+                )
+                .unwrap();
             }
         }
         let fe: Vec<f64> = runs
             .iter()
-            .map(|r| (r.unit_share("fetch") + r.unit_share("decode") + r.unit_share("bpred")) * 100.0)
+            .map(|r| {
+                (r.unit_share("fetch") + r.unit_share("decode") + r.unit_share("bpred")) * 100.0
+            })
             .collect();
         let tm: Vec<f64> = runs
             .iter()
@@ -190,8 +329,18 @@ fn main() {
                     * 100.0
             })
             .collect();
-        writeln!(md, "| **front-end total** | {:.1}% | {:.1}% | {:.1}% |", fe[0], fe[1], fe[2]).unwrap();
-        writeln!(md, "| **trace manipulation** | {:.1}% | {:.1}% | {:.1}% |", tm[0], tm[1], tm[2]).unwrap();
+        writeln!(
+            md,
+            "| **front-end total** | {:.1}% | {:.1}% | {:.1}% |",
+            fe[0], fe[1], fe[2]
+        )
+        .unwrap();
+        writeln!(
+            md,
+            "| **trace manipulation** | {:.1}% | {:.1}% | {:.1}% |",
+            tm[0], tm[1], tm[2]
+        )
+        .unwrap();
         writeln!(md).unwrap();
     }
 
@@ -212,5 +361,6 @@ fn main() {
 
     std::fs::write("EXPERIMENTS.md", &md).expect("write EXPERIMENTS.md");
     println!("{md}");
-    println!("(written to EXPERIMENTS.md)");
+    parrot_telemetry::status!("(written to EXPERIMENTS.md)");
+    telemetry.finish();
 }

@@ -4,19 +4,32 @@
 //!
 //! Run with: `cargo run --release -p parrot-bench --bin smoke`
 
+use parrot_bench::cli::Telemetry;
 use parrot_core::{simulate, Model};
+use parrot_telemetry::verbose;
 use parrot_workloads::{app_by_name, Workload};
 
 fn main() {
+    let (telemetry, _args) = Telemetry::from_args(std::env::args().skip(1).collect());
     let apps = ["gcc", "swim", "flash", "perlbench"];
     for app in apps {
+        verbose!("building workload {app}");
         let wl = Workload::build(&app_by_name(app).unwrap());
         for m in Model::ALL {
             let t0 = std::time::Instant::now();
             let r = simulate(m, &wl, 150_000);
             let cov = r.trace.as_ref().map(|t| t.coverage).unwrap_or(0.0);
-            let tmr = r.trace.as_ref().map(|t| t.trace_mispredict_rate()).unwrap_or(0.0);
-            let ur = r.trace.as_ref().and_then(|t| t.opt.as_ref()).map(|o| o.uop_reduction).unwrap_or(0.0);
+            let tmr = r
+                .trace
+                .as_ref()
+                .map(|t| t.trace_mispredict_rate())
+                .unwrap_or(0.0);
+            let ur = r
+                .trace
+                .as_ref()
+                .and_then(|t| t.opt.as_ref())
+                .map(|o| o.uop_reduction)
+                .unwrap_or(0.0);
             println!(
                 "{:10} {:4} ipc={:.3} E={:>10.0} cov={:.2} bmr={:.3} tmr={:.3} uopred={:.3} starve={:.2} blocked={:.2} cyc={} ({:.1}s)",
                 app, m.name(), r.ipc(), r.energy, cov, r.branch_mispredict_rate(), tmr, ur,
@@ -27,4 +40,5 @@ fn main() {
         }
         println!();
     }
+    telemetry.finish();
 }

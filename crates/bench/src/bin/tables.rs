@@ -15,7 +15,17 @@ fn main() {
     println!("## Table 3.2 — microarchitectural settings");
     println!(
         "{:<7}{:>7}{:>7}{:>7}{:>6}{:>6}{:>8}{:>9}{:>8}{:>9}{:>7}",
-        "model", "fetch", "issue", "commit", "rob", "iq", "bpred", "tcache", "tpred", "optimize", "area"
+        "model",
+        "fetch",
+        "issue",
+        "commit",
+        "rob",
+        "iq",
+        "bpred",
+        "tcache",
+        "tpred",
+        "optimize",
+        "area"
     );
     for m in Model::ALL {
         let c = m.config();
@@ -29,9 +39,13 @@ fn main() {
             c.core.rob_size,
             c.core.iq_size,
             c.bpred.entries,
-            t.map(|t| t.tcache.frames().to_string()).unwrap_or_else(|| "-".into()),
-            t.map(|t| t.tpred.entries.to_string()).unwrap_or_else(|| "-".into()),
-            t.and_then(|t| t.optimizer).map(|_| "full".to_string()).unwrap_or_else(|| "-".into()),
+            t.map(|t| t.tcache.frames().to_string())
+                .unwrap_or_else(|| "-".into()),
+            t.map(|t| t.tpred.entries.to_string())
+                .unwrap_or_else(|| "-".into()),
+            t.and_then(|t| t.optimizer)
+                .map(|_| "full".to_string())
+                .unwrap_or_else(|| "-".into()),
             c.energy.core_area,
         );
         if let Some(hc) = c.hot_core {

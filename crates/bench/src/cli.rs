@@ -1,0 +1,166 @@
+//! Shared telemetry plumbing for the bench binaries.
+//!
+//! Every binary accepts the same observability flags:
+//!
+//! - `--trace-out FILE`   — write a Chrome/Perfetto trace-event JSON file
+//!   of the run (fetch phases, trace lifecycle, optimizer jobs).
+//! - `--metrics-out FILE` — write JSONL metric snapshots taken every
+//!   `--metrics-interval N` committed instructions (default 10000).
+//! - `--profile`          — print a wall-clock self/total profile of the
+//!   simulator itself to stderr on exit.
+//! - `-v` / `-q`          — verbose / quiet logging (stderr only; stdout
+//!   stays reserved for figure and table data).
+//!
+//! Usage pattern: call [`Telemetry::from_args`] first thing in `main`,
+//! run the experiment with the returned (flag-stripped) arguments, then
+//! call [`Telemetry::finish`] last.
+
+use parrot_telemetry::log::{self, Level};
+use parrot_telemetry::{metrics, profile, status, trace};
+use std::path::PathBuf;
+
+/// Default ring capacity of the event tracer (events, not bytes). Oldest
+/// events are dropped past this; the drop count is recorded in the file.
+const TRACE_CAP: usize = 1 << 18;
+
+/// Default metric-snapshot interval in committed instructions.
+const METRICS_INTERVAL: u64 = 10_000;
+
+/// Telemetry sinks requested on the command line. Created by
+/// [`Telemetry::from_args`]; flushed by [`Telemetry::finish`].
+pub struct Telemetry {
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    profile: bool,
+}
+
+impl Telemetry {
+    /// Strip the telemetry flags out of `args`, install the matching
+    /// thread-local sinks, and return the handle plus the remaining
+    /// (telemetry-free) arguments for the binary's own parser.
+    ///
+    /// Exits with a usage error on a flag missing its value. The sinks
+    /// are thread-local; the sweep harness (`ResultSet::run_sweep`)
+    /// detects installed sinks and runs serially on the installing
+    /// thread so sweep runs are captured too.
+    pub fn from_args(args: Vec<String>) -> (Telemetry, Vec<String>) {
+        let mut t = Telemetry {
+            trace_out: None,
+            metrics_out: None,
+            profile: false,
+        };
+        let mut interval = METRICS_INTERVAL;
+        let mut rest = Vec::with_capacity(args.len());
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            let mut path_value = |flag: &str| -> PathBuf {
+                it.next().map(PathBuf::from).unwrap_or_else(|| {
+                    eprintln!("{flag} requires a file argument");
+                    std::process::exit(2);
+                })
+            };
+            match a.as_str() {
+                "--trace-out" => t.trace_out = Some(path_value("--trace-out")),
+                "--metrics-out" => t.metrics_out = Some(path_value("--metrics-out")),
+                "--metrics-interval" => {
+                    let v = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--metrics-interval requires a positive integer");
+                        std::process::exit(2);
+                    });
+                    interval = v;
+                }
+                "--profile" => t.profile = true,
+                "-v" | "--verbose" => log::set_level(Level::Verbose),
+                "-q" | "--quiet" => log::set_level(Level::Quiet),
+                _ => rest.push(a),
+            }
+        }
+        if t.trace_out.is_some() {
+            trace::install(trace::Tracer::new(TRACE_CAP));
+        }
+        if t.metrics_out.is_some() {
+            metrics::install(metrics::MetricsHub::new(interval));
+        }
+        if t.profile {
+            profile::install(profile::Profiler::new());
+        }
+        (t, rest)
+    }
+
+    /// Flush every installed sink: write the trace-event JSON and metrics
+    /// JSONL files, print the profile table to stderr.
+    pub fn finish(self) {
+        if let Some(path) = &self.trace_out {
+            if let Some(tr) = trace::take() {
+                match std::fs::write(path, tr.to_chrome_json()) {
+                    Ok(()) => status!("telemetry: wrote trace events to {}", path.display()),
+                    Err(e) => eprintln!("telemetry: cannot write {}: {e}", path.display()),
+                }
+            }
+        }
+        if let Some(path) = &self.metrics_out {
+            if let Some(hub) = metrics::take() {
+                match std::fs::write(path, hub.to_jsonl()) {
+                    Ok(()) => status!(
+                        "telemetry: wrote {} metric snapshots to {}",
+                        hub.rows(),
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("telemetry: cannot write {}: {e}", path.display()),
+                }
+            }
+        }
+        if self.profile {
+            if let Some(p) = profile::take() {
+                eprint!("{}", p.report());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_telemetry_flags_and_keeps_the_rest() {
+        let args: Vec<String> = ["run", "TON", "gcc", "--profile", "--insts", "5000", "-q"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (t, rest) = Telemetry::from_args(args);
+        assert!(t.profile);
+        assert!(t.trace_out.is_none());
+        assert_eq!(rest, ["run", "TON", "gcc", "--insts", "5000"]);
+        // Undo side effects on the shared process state.
+        log::set_level(Level::Status);
+        let _ = profile::take();
+        t.finish();
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_take_values() {
+        let args: Vec<String> = [
+            "--trace-out",
+            "/tmp/t.json",
+            "--metrics-out",
+            "/tmp/m.jsonl",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (t, rest) = Telemetry::from_args(args);
+        assert!(rest.is_empty());
+        assert_eq!(
+            t.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.json"))
+        );
+        assert_eq!(
+            t.metrics_out.as_deref(),
+            Some(std::path::Path::new("/tmp/m.jsonl"))
+        );
+        // Installed sinks exist; drop them without writing.
+        assert!(parrot_telemetry::trace::take().is_some());
+        assert!(parrot_telemetry::metrics::take().is_some());
+    }
+}

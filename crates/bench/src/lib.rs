@@ -10,10 +10,14 @@
 
 use parrot_core::{simulate, Model, SimReport};
 use parrot_energy::metrics::{cmpw_relative, geo_mean};
+use parrot_telemetry::json::Value;
 use parrot_workloads::{all_apps, AppProfile, Suite, Workload};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Mutex;
+
+pub mod cli;
+pub mod microbench;
 
 /// Default committed-instruction budget per (model, app) run. Override with
 /// `PARROT_INSTS`.
@@ -21,7 +25,10 @@ pub const DEFAULT_INSTS: u64 = 200_000;
 
 /// The instruction budget in effect.
 pub fn insts_budget() -> u64 {
-    std::env::var("PARROT_INSTS").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTS)
+    std::env::var("PARROT_INSTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_INSTS)
 }
 
 /// All results of a full sweep, keyed by (model, app).
@@ -36,8 +43,8 @@ impl ResultSet {
     pub fn load_or_run() -> ResultSet {
         let insts = insts_budget();
         let path = cache_path(insts);
-        if let Ok(bytes) = std::fs::read(&path) {
-            if let Ok(runs) = serde_json::from_slice::<Vec<SimReport>>(&bytes) {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Some(runs) = parse_report_cache(&text) {
                 let map = runs
                     .into_iter()
                     .map(|r| ((r.model.clone(), r.app.clone()), r))
@@ -45,23 +52,52 @@ impl ResultSet {
                 return ResultSet { insts, runs: map };
             }
         }
+        parrot_telemetry::status!(
+            "no cached sweep at {} — running {} simulations",
+            path.display(),
+            all_apps().len() * Model::ALL.len()
+        );
         let set = Self::run_sweep(insts);
-        let all: Vec<&SimReport> = set.runs.values().collect();
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
-        if let Ok(json) = serde_json::to_vec_pretty(&all) {
-            let _ = std::fs::write(&path, json);
-        }
+        let all = Value::Arr(set.runs.values().map(SimReport::to_json).collect());
+        let _ = std::fs::write(&path, all.to_json_pretty());
         set
     }
 
     /// Run the full (model × app) sweep with a simple thread pool.
+    ///
+    /// Telemetry sinks are thread-local, so when any are installed on the
+    /// calling thread the sweep runs serially on that thread instead —
+    /// otherwise every event would land in the workers' uninstalled sinks
+    /// and `--trace-out`/`--metrics-out` would emit empty artifacts.
     pub fn run_sweep(insts: u64) -> ResultSet {
         let apps = all_apps();
+        if parrot_telemetry::trace::active()
+            || parrot_telemetry::metrics::active()
+            || parrot_telemetry::profile::active()
+        {
+            parrot_telemetry::status!(
+                "telemetry sinks installed — running the sweep serially so it is captured"
+            );
+            let mut runs = BTreeMap::new();
+            for a in &apps {
+                let wl = Workload::build(a);
+                for m in Model::ALL {
+                    let r = simulate(m, &wl, insts);
+                    runs.insert((r.model.clone(), r.app.clone()), r);
+                }
+                parrot_telemetry::verbose!("swept {} ({} models)", a.name, Model::ALL.len());
+            }
+            return ResultSet { insts, runs };
+        }
         let results: Mutex<BTreeMap<(String, String), SimReport>> = Mutex::new(BTreeMap::new());
         let next: Mutex<usize> = Mutex::new(0);
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16);
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
@@ -82,10 +118,18 @@ impl ResultSet {
                             .expect("results lock")
                             .insert((r.model.clone(), r.app.clone()), r);
                     }
+                    parrot_telemetry::verbose!(
+                        "swept {} ({} models)",
+                        apps[i].name,
+                        Model::ALL.len()
+                    );
                 });
             }
         });
-        ResultSet { insts, runs: results.into_inner().expect("results") }
+        ResultSet {
+            insts,
+            runs: results.into_inner().expect("results"),
+        }
     }
 
     /// The report for (model, app).
@@ -112,7 +156,7 @@ impl ResultSet {
         let vals: Vec<f64> = self
             .apps()
             .iter()
-            .filter(|a| suite.map_or(true, |s| a.suite == s))
+            .filter(|a| suite.is_none_or(|s| a.suite == s))
             .map(|a| {
                 let num = f(self.get(model, a.name));
                 let den = f(self.get(base, a.name));
@@ -127,11 +171,16 @@ impl ResultSet {
     }
 
     /// Geometric mean of a per-run metric over a suite (or all apps).
-    pub fn suite_metric(&self, suite: Option<Suite>, model: Model, f: impl Fn(&SimReport) -> f64) -> f64 {
+    pub fn suite_metric(
+        &self,
+        suite: Option<Suite>,
+        model: Model,
+        f: impl Fn(&SimReport) -> f64,
+    ) -> f64 {
         let vals: Vec<f64> = self
             .apps()
             .iter()
-            .filter(|a| suite.map_or(true, |s| a.suite == s))
+            .filter(|a| suite.is_none_or(|s| a.suite == s))
             .map(|a| f(self.get(model, a.name)))
             .collect();
         geo_mean(&vals)
@@ -142,13 +191,24 @@ impl ResultSet {
         let vals: Vec<f64> = self
             .apps()
             .iter()
-            .filter(|a| suite.map_or(true, |s| a.suite == s))
+            .filter(|a| suite.is_none_or(|s| a.suite == s))
             .map(|a| {
-                cmpw_relative(&self.get(base, a.name).summary(), &self.get(model, a.name).summary())
+                cmpw_relative(
+                    &self.get(base, a.name).summary(),
+                    &self.get(model, a.name).summary(),
+                )
             })
             .collect();
         geo_mean(&vals)
     }
+}
+
+/// Parse a cached sweep file (a JSON array of [`SimReport`] objects).
+/// `None` if the file is malformed or from an incompatible schema — the
+/// caller then re-runs the sweep and overwrites the cache.
+fn parse_report_cache(text: &str) -> Option<Vec<SimReport>> {
+    let v = parrot_telemetry::json::parse(text).ok()?;
+    v.as_arr()?.iter().map(SimReport::from_json).collect()
 }
 
 fn cache_path(insts: u64) -> PathBuf {
@@ -164,8 +224,10 @@ fn env_root() -> String {
 /// Column groups used by the per-suite figures: each suite plus the
 /// overall mean, plus the paper's three "killer applications".
 pub fn groups() -> Vec<(String, Option<Suite>)> {
-    let mut g: Vec<(String, Option<Suite>)> =
-        Suite::ALL.iter().map(|s| (s.label().to_string(), Some(*s))).collect();
+    let mut g: Vec<(String, Option<Suite>)> = Suite::ALL
+        .iter()
+        .map(|s| (s.label().to_string(), Some(*s)))
+        .collect();
     g.push(("Mean".to_string(), None));
     g
 }
@@ -201,7 +263,11 @@ pub fn print_table(
 }
 
 /// Per-killer-app detail line used by Figs 4.1–4.3.
-pub fn print_killers(set: &ResultSet, models: &[Model], f: impl Fn(&SimReport, &SimReport) -> String) {
+pub fn print_killers(
+    set: &ResultSet,
+    models: &[Model],
+    f: impl Fn(&SimReport, &SimReport) -> String,
+) {
     println!("killer applications:");
     for k in parrot_workloads::killer_apps() {
         print!("{k:<12}");
@@ -240,6 +306,15 @@ mod tests {
         // that parsing falls back sanely).
         let b = insts_budget();
         assert!(b > 0);
+    }
+
+    #[test]
+    fn sweep_with_sinks_installed_is_captured() {
+        parrot_telemetry::metrics::install(parrot_telemetry::metrics::MetricsHub::new(1_000));
+        let set = ResultSet::run_sweep(2_000);
+        let hub = parrot_telemetry::metrics::take().expect("hub still installed");
+        assert!(hub.rows() > 0, "serial sweep recorded metric snapshots");
+        assert!(!set.runs.is_empty());
     }
 
     #[test]

@@ -13,8 +13,10 @@ use crate::report::{OptReport, SimReport, TraceReport};
 use parrot_energy::{EnergyAccount, EnergyModel, Event};
 use parrot_isa::{Uop, UopKind};
 use parrot_opt::Optimizer;
+use parrot_telemetry::{metrics, profile, trace as tev};
 use parrot_trace::{
-    construct_frame, CounterFilter, OptLevel, TraceCache, TraceCandidate, TracePredictor, TraceSelector,
+    construct_frame, CounterFilter, OptLevel, TraceCache, TraceCandidate, TracePredictor,
+    TraceSelector,
 };
 use parrot_uarch::core::{DispatchUop, OooCore};
 use parrot_uarch::frontend::ColdFrontEnd;
@@ -148,6 +150,10 @@ pub struct Machine<'w> {
     /// After a trace abort, hot entry is suppressed until the oracle cursor
     /// passes this point (guarantees cold forward progress).
     hot_block_cursor: u64,
+    /// Start cycle of the current fetch-phase telemetry span and whether it
+    /// is a hot (trace-cache) segment.
+    phase_start: u64,
+    phase_hot: bool,
 }
 
 impl<'w> Machine<'w> {
@@ -190,6 +196,8 @@ impl<'w> Machine<'w> {
             switches: 0,
             queue_cap,
             hot_block_cursor: 0,
+            phase_start: 0,
+            phase_hot: false,
             wl,
         }
     }
@@ -198,11 +206,17 @@ impl<'w> Machine<'w> {
         self.oracle.exhausted()
             && self.queue.is_empty()
             && self.cores.iter().all(|c| c.is_empty())
-            && self.trace.as_ref().map_or(true, |t| t.hot_run.is_none())
+            && self.trace.as_ref().is_none_or(|t| t.hot_run.is_none())
     }
 
     /// Run to completion and produce the report.
     pub fn run(mut self) -> SimReport {
+        if tev::active() || metrics::active() {
+            let label = format!("{}/{}", self.label, self.wl.profile.name);
+            tev::begin_run(&label);
+            metrics::begin_run(&label);
+        }
+        let _prof = profile::scope("machine.run");
         let cycle_cap = self.oracle.remaining() * 400 + 5_000_000;
         while !self.done() && self.now < cycle_cap {
             self.tick();
@@ -212,9 +226,14 @@ impl<'w> Machine<'w> {
     }
 
     fn tick(&mut self) {
+        tev::set_clock(self.now);
         // Writeback → commit → issue on every core, then dispatch and fetch.
         for i in 0..self.cores.len() {
-            let model = if i == 0 { self.cold_model.clone() } else { self.hot_model.clone() };
+            let model = if i == 0 {
+                self.cold_model.clone()
+            } else {
+                self.hot_model.clone()
+            };
             if let Some(c) = self.cores[i].writeback(self.now, &model, &mut self.acct) {
                 self.frontend.branch_resolved(c);
             }
@@ -224,6 +243,32 @@ impl<'w> Machine<'w> {
         self.dispatch();
         self.fetch();
         self.now += 1;
+        if metrics::active() {
+            let insts: u64 = self.cores.iter().map(|c| c.stats().committed_insts).sum();
+            if metrics::due(insts) {
+                self.publish_metrics(insts);
+            }
+        }
+    }
+
+    /// Publish the authoritative cumulative counters and record one metric
+    /// snapshot row. Counters are *set*, not incremented, so the final row
+    /// of a run reconciles exactly with the [`SimReport`]/[`TraceReport`].
+    fn publish_metrics(&self, insts: u64) {
+        if let Some(ts) = &self.trace {
+            metrics::counter_set("trace_entries", ts.entries);
+            metrics::counter_set("trace_aborts", ts.aborts);
+            metrics::counter_set("trace_constructed", ts.constructed);
+            metrics::counter_set("hot_insts", ts.hot_insts);
+            metrics::counter_set("cold_insts", ts.cold_insts);
+            let tc = ts.tc.stats();
+            metrics::counter_set("tc_lookups", tc.lookups);
+            metrics::counter_set("tc_hits", tc.hits);
+            metrics::counter_set("tc_evictions", tc.evictions);
+        }
+        metrics::counter_set("state_switches", self.switches);
+        metrics::gauge_set("energy", self.acct.total());
+        metrics::snapshot(insts, self.now);
     }
 
     fn dispatch(&mut self) {
@@ -232,25 +277,46 @@ impl<'w> Machine<'w> {
         }
         let split = self.cores.len() > 1;
         let mut dispatched = [0u32; 2];
-        loop {
-            let Some((side, d)) = self.queue.front().copied() else { break };
-            let phys_side = if side == Side::Cold { Side::Cold } else { Side::Hot };
+        while let Some((side, d)) = self.queue.front().copied() {
+            let phys_side = if side == Side::Cold {
+                Side::Cold
+            } else {
+                Side::Hot
+            };
             // Split machines drain and switch between cores.
             if split && phys_side != self.active_side {
-                if self.cores.iter().any(|c| c.occupancy() > SWITCH_DRAIN_THRESHOLD) {
+                if self
+                    .cores
+                    .iter()
+                    .any(|c| c.occupancy() > SWITCH_DRAIN_THRESHOLD)
+                {
                     break; // wait for near-drain
                 }
                 self.active_side = phys_side;
                 self.switches += 1;
-                self.acct.emit_n(&self.cold_model, Event::StateSwitchReg, SWITCH_REGS);
+                tev::instant(
+                    "core.switch",
+                    "machine",
+                    tev::track::MACHINE,
+                    tev::arg1("to_hot", if phys_side == Side::Hot { 1.0 } else { 0.0 }),
+                );
+                self.acct
+                    .emit_n(&self.cold_model, Event::StateSwitchReg, SWITCH_REGS);
                 self.dispatch_blocked_until = self.now + SWITCH_PENALTY;
                 break;
             }
-            let idx = if split && phys_side == Side::Hot { 1 } else { 0 };
+            let idx = if split && phys_side == Side::Hot {
+                1
+            } else {
+                0
+            };
             // Optimized traces were pre-renamed by the optimizer: they
             // dispatch at trace-fetch width rather than rename width.
             let width = if side == Side::HotOpt {
-                self.trace.as_ref().map(|t| t.cfg.hot_fetch_uops).unwrap_or(self.cores[idx].config().rename_width)
+                self.trace
+                    .as_ref()
+                    .map(|t| t.cfg.hot_fetch_uops)
+                    .unwrap_or(self.cores[idx].config().rename_width)
             } else {
                 self.cores[idx].config().rename_width
             };
@@ -260,7 +326,11 @@ impl<'w> Machine<'w> {
             if !self.cores[idx].can_dispatch(&d) {
                 break;
             }
-            let model = if idx == 0 { self.cold_model.clone() } else { self.hot_model.clone() };
+            let model = if idx == 0 {
+                self.cold_model.clone()
+            } else {
+                self.hot_model.clone()
+            };
             self.cores[idx].dispatch(&d, &model, &mut self.acct);
             self.queue.pop_front();
             dispatched[idx] += 1;
@@ -282,8 +352,10 @@ impl<'w> Machine<'w> {
         // At a trace boundary (including an imminent capacity cut), the
         // fetch selector tries the hot pipeline.
         let at_boundary = self.trace.is_some() && {
-            let next_uops =
-                self.oracle.peek(0).map(|d| self.wl.program.inst(d.inst).kind.uop_count() as u32);
+            let next_uops = self
+                .oracle
+                .peek(0)
+                .map(|d| self.wl.program.inst(d.inst).kind.uop_count() as u32);
             match next_uops {
                 Some(n) => self
                     .trace
@@ -292,7 +364,8 @@ impl<'w> Machine<'w> {
                 None => false,
             }
         };
-        if self.oracle.cursor() >= self.hot_block_cursor && at_boundary && self.attempt_hot_entry() {
+        if self.oracle.cursor() >= self.hot_block_cursor && at_boundary && self.attempt_hot_entry()
+        {
             return;
         }
         // Cold pipeline fetch.
@@ -330,7 +403,9 @@ impl<'w> Machine<'w> {
     /// path aborts the atomic trace.
     fn attempt_hot_entry(&mut self) -> bool {
         let now = self.now;
-        let Some(next) = self.oracle.peek(0) else { return false };
+        let Some(next) = self.oracle.peek(0) else {
+            return false;
+        };
         let start_pc = next.pc;
         let ts = self.trace.as_mut().expect("trace state");
         ts.attempts += 1;
@@ -416,11 +491,29 @@ impl<'w> Machine<'w> {
             }
             let flushed = {
                 let frame = ts.tc.peek(&chosen).expect("still resident");
-                frame.uops.iter().filter(|u| (u.inst_idx as usize) <= k).count() as u64
+                frame
+                    .uops
+                    .iter()
+                    .filter(|u| (u.inst_idx as usize) <= k)
+                    .count() as u64
             };
+            tev::instant(
+                "trace.abort",
+                "trace",
+                tev::track::TRACE,
+                tev::arg2("diverge_at", k as f64, "flushed_uops", flushed as f64),
+            );
+            // Abort cost: flushed uops plus the rollback stall, the
+            // "abort latency" distribution of the metrics file.
+            metrics::hist_record("abort_flush_uops", flushed);
+            metrics::hist_record(
+                "abort_latency_cycles",
+                u64::from(ts.cfg.abort_penalty) + flushed,
+            );
             self.acct.emit_n(&self.cold_model, Event::TcRead, frame_len);
             self.acct.emit_n(&self.cold_model, Event::FlushUop, flushed);
-            self.frontend.block_until(now + u64::from(ts.cfg.abort_penalty));
+            self.frontend
+                .block_until(now + u64::from(ts.cfg.abort_penalty));
             // Require cold progress before the next hot attempt.
             self.hot_block_cursor = self.oracle.cursor() + 1;
             return true;
@@ -433,6 +526,12 @@ impl<'w> Machine<'w> {
             ts.tpred_correct += 1;
         }
         ts.entries += 1;
+        tev::instant(
+            "trace.entry",
+            "trace",
+            tev::track::TRACE,
+            tev::arg2("insts", f64::from(num_insts), "uops", frame_len as f64),
+        );
 
         // Blazing filter: promote the most frequent traces to the optimizer.
         self.acct.emit(&self.cold_model, Event::BlazingFilterAccess);
@@ -444,8 +543,10 @@ impl<'w> Machine<'w> {
             if qualifies && constructed_level && optz.is_idle(now) {
                 let mut f = ts.tc.peek(&chosen).expect("resident").clone();
                 let outcome = optz.optimize(&mut f, now);
-                self.acct.emit_n(&self.cold_model, Event::OptimizerUop, outcome.work_uops);
-                self.acct.emit_n(&self.cold_model, Event::TcWrite, f.uops.len() as u64);
+                self.acct
+                    .emit_n(&self.cold_model, Event::OptimizerUop, outcome.work_uops);
+                self.acct
+                    .emit_n(&self.cold_model, Event::TcWrite, f.uops.len() as u64);
                 ts.tc.replace_optimized(f);
             }
         }
@@ -491,7 +592,24 @@ impl<'w> Machine<'w> {
             }
         }
         let optimized = ts.tc.peek(&chosen).map(|f| f.opt_level) == Some(OptLevel::Optimized);
-        ts.hot_run = Some(HotRun { dus, pos: 0, optimized });
+        ts.hot_run = Some(HotRun {
+            dus,
+            pos: 0,
+            optimized,
+        });
+        if tev::active() {
+            // Close the cold fetch segment and open the hot one.
+            tev::complete(
+                "cold",
+                "phase",
+                tev::track::PHASE,
+                self.phase_start,
+                now,
+                tev::NO_ARGS,
+            );
+            self.phase_start = now;
+            self.phase_hot = true;
+        }
         self.deliver_hot();
         true
     }
@@ -500,7 +618,11 @@ impl<'w> Machine<'w> {
         let Some(ts) = &mut self.trace else { return };
         let Some(run) = &mut ts.hot_run else { return };
         let width = ts.cfg.hot_fetch_uops as usize;
-        let side = if run.optimized { Side::HotOpt } else { Side::Hot };
+        let side = if run.optimized {
+            Side::HotOpt
+        } else {
+            Side::Hot
+        };
         let mut n = 0;
         while n < width && run.pos < run.dus.len() && self.queue.len() < self.queue_cap {
             self.queue.push_back((side, run.dus[run.pos]));
@@ -510,12 +632,42 @@ impl<'w> Machine<'w> {
         }
         if run.pos == run.dus.len() {
             ts.hot_run = None;
+            if self.phase_hot && tev::active() {
+                // The trace has fully streamed: close the hot segment.
+                tev::complete(
+                    "hot",
+                    "phase",
+                    tev::track::PHASE,
+                    self.phase_start,
+                    self.now,
+                    tev::NO_ARGS,
+                );
+                self.phase_start = self.now;
+                self.phase_hot = false;
+            }
         }
     }
 
     fn finish(mut self) -> SimReport {
         self.acct.finish_static(&self.cold_model, self.now);
         let insts: u64 = self.cores.iter().map(|c| c.stats().committed_insts).sum();
+        if tev::active() {
+            // Close the open fetch-phase span at end of simulation.
+            let name = if self.phase_hot { "hot" } else { "cold" };
+            tev::complete(
+                name,
+                "phase",
+                tev::track::PHASE,
+                self.phase_start,
+                self.now,
+                tev::NO_ARGS,
+            );
+        }
+        if metrics::active() {
+            // Forced final snapshot: the last JSONL row carries the run's
+            // final cumulative counters, equal to the report below.
+            self.publish_metrics(insts);
+        }
         let uops: u64 = self.cores.iter().map(|c| c.stats().committed_uops).sum();
         let fe = self.frontend.stats();
         let trace = self.trace.as_ref().map(|ts| {
@@ -534,7 +686,11 @@ impl<'w> Machine<'w> {
             };
             let tc_stats = ts.tc.stats();
             TraceReport {
-                coverage: if total == 0 { 0.0 } else { ts.hot_insts as f64 / total as f64 },
+                coverage: if total == 0 {
+                    0.0
+                } else {
+                    ts.hot_insts as f64 / total as f64
+                },
                 hot_insts: ts.hot_insts,
                 cold_insts: ts.cold_insts,
                 tpred_predictions: ts.tpred_issued,
@@ -576,7 +732,11 @@ impl<'w> Machine<'w> {
             cond_branches: fe.cond_branches,
             cond_mispredicts: fe.cond_mispredicts,
             iq_empty_cycles: self.cores.iter().map(|c| c.stats().iq_empty_cycles).sum(),
-            issue_blocked_cycles: self.cores.iter().map(|c| c.stats().issue_blocked_cycles).sum(),
+            issue_blocked_cycles: self
+                .cores
+                .iter()
+                .map(|c| c.stats().issue_blocked_cycles)
+                .sum(),
             state_switches: self.switches,
             trace,
         }

@@ -97,8 +97,15 @@ pub enum Model {
 
 impl Model {
     /// All models, in the paper's presentation order.
-    pub const ALL: [Model; 7] =
-        [Model::N, Model::W, Model::TN, Model::TW, Model::TON, Model::TOW, Model::TOS];
+    pub const ALL: [Model; 7] = [
+        Model::N,
+        Model::W,
+        Model::TN,
+        Model::TW,
+        Model::TON,
+        Model::TOW,
+        Model::TOS,
+    ];
 
     /// The model's display name.
     pub fn name(self) -> &'static str {
@@ -115,7 +122,9 @@ impl Model {
 
     /// Parse a model name.
     pub fn from_name(s: &str) -> Option<Model> {
-        Model::ALL.into_iter().find(|m| m.name().eq_ignore_ascii_case(s))
+        Model::ALL
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(s))
     }
 
     /// The baseline of the same width (Figs 4.1–4.3 compare against this).
@@ -300,7 +309,10 @@ mod tests {
     fn wider_models_have_larger_core_area() {
         let area = |m: Model| m.config().energy.core_area;
         assert!(area(Model::W) > area(Model::N));
-        assert!(area(Model::TON) > area(Model::N), "trace machinery adds area");
+        assert!(
+            area(Model::TON) > area(Model::N),
+            "trace machinery adds area"
+        );
         assert!(area(Model::TOS) > area(Model::TOW), "split core is biggest");
     }
 }

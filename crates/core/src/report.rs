@@ -3,10 +3,10 @@
 
 use parrot_energy::metrics::RunSummary;
 use parrot_energy::{EnergyAccount, Unit};
-use serde::{Deserialize, Serialize};
+use parrot_telemetry::json::Value;
 
 /// PARROT trace-subsystem results for one run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TraceReport {
     /// Fraction of committed instructions fetched from the trace cache
     /// (Fig 4.8).
@@ -65,10 +65,63 @@ impl TraceReport {
             self.aborts as f64 / resolved as f64
         }
     }
+
+    /// Serialize through the telemetry JSON writer (no serde).
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("coverage", Value::Num(self.coverage)),
+            ("hot_insts", Value::int(self.hot_insts)),
+            ("cold_insts", Value::int(self.cold_insts)),
+            ("tpred_predictions", Value::int(self.tpred_predictions)),
+            ("tpred_correct", Value::int(self.tpred_correct)),
+            ("pred_aborts", Value::int(self.pred_aborts)),
+            ("aborts", Value::int(self.aborts)),
+            ("entries", Value::int(self.entries)),
+            ("hot_attempts", Value::int(self.hot_attempts)),
+            ("no_variant", Value::int(self.no_variant)),
+            ("constructed", Value::int(self.constructed)),
+            ("tc_lookups", Value::int(self.tc_lookups)),
+            ("tc_hits", Value::int(self.tc_hits)),
+            ("tc_evictions", Value::int(self.tc_evictions)),
+            ("mean_opt_reuse", Value::Num(self.mean_opt_reuse)),
+            (
+                "opt",
+                self.opt
+                    .as_ref()
+                    .map(OptReport::to_json)
+                    .unwrap_or(Value::Null),
+            ),
+        ])
+    }
+
+    /// Inverse of [`TraceReport::to_json`]; `None` on a malformed value.
+    pub fn from_json(v: &Value) -> Option<TraceReport> {
+        Some(TraceReport {
+            coverage: v.get("coverage").as_f64()?,
+            hot_insts: v.get("hot_insts").as_u64()?,
+            cold_insts: v.get("cold_insts").as_u64()?,
+            tpred_predictions: v.get("tpred_predictions").as_u64()?,
+            tpred_correct: v.get("tpred_correct").as_u64()?,
+            pred_aborts: v.get("pred_aborts").as_u64()?,
+            aborts: v.get("aborts").as_u64()?,
+            entries: v.get("entries").as_u64()?,
+            hot_attempts: v.get("hot_attempts").as_u64()?,
+            no_variant: v.get("no_variant").as_u64()?,
+            constructed: v.get("constructed").as_u64()?,
+            tc_lookups: v.get("tc_lookups").as_u64()?,
+            tc_hits: v.get("tc_hits").as_u64()?,
+            tc_evictions: v.get("tc_evictions").as_u64()?,
+            mean_opt_reuse: v.get("mean_opt_reuse").as_f64()?,
+            opt: match v.get("opt") {
+                Value::Null => None,
+                o => Some(OptReport::from_json(o)?),
+            },
+        })
+    }
 }
 
 /// Optimizer results for one run (Fig 4.9).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct OptReport {
     /// Traces optimized.
     pub traces: u64,
@@ -85,8 +138,38 @@ pub struct OptReport {
     pub folded: u64,
 }
 
+impl OptReport {
+    /// Serialize through the telemetry JSON writer (no serde).
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("traces", Value::int(self.traces)),
+            ("uop_reduction", Value::Num(self.uop_reduction)),
+            ("dep_reduction", Value::Num(self.dep_reduction)),
+            ("work_uops", Value::int(self.work_uops)),
+            ("fused", Value::int(self.fused)),
+            ("simd_lanes", Value::int(self.simd_lanes)),
+            ("removed_dead", Value::int(self.removed_dead)),
+            ("folded", Value::int(self.folded)),
+        ])
+    }
+
+    /// Inverse of [`OptReport::to_json`]; `None` on a malformed value.
+    pub fn from_json(v: &Value) -> Option<OptReport> {
+        Some(OptReport {
+            traces: v.get("traces").as_u64()?,
+            uop_reduction: v.get("uop_reduction").as_f64()?,
+            dep_reduction: v.get("dep_reduction").as_f64()?,
+            work_uops: v.get("work_uops").as_u64()?,
+            fused: v.get("fused").as_u64()?,
+            simd_lanes: v.get("simd_lanes").as_u64()?,
+            removed_dead: v.get("removed_dead").as_u64()?,
+            folded: v.get("folded").as_u64()?,
+        })
+    }
+}
+
 /// Full report of one (model, application) simulation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SimReport {
     /// Model name (`N`, `TON`, ...).
     pub model: String,
@@ -139,7 +222,11 @@ impl SimReport {
 
     /// The metrics triple used by CMPW comparisons.
     pub fn summary(&self) -> RunSummary {
-        RunSummary { insts: self.insts, cycles: self.cycles, energy: self.energy }
+        RunSummary {
+            insts: self.insts,
+            cycles: self.cycles,
+            energy: self.energy,
+        }
     }
 
     /// Fraction of total energy attributed to `unit_label`.
@@ -156,7 +243,78 @@ impl SimReport {
 
     /// Build the per-unit breakdown from an account.
     pub fn breakdown_from(acct: &EnergyAccount) -> Vec<(String, f64)> {
-        Unit::ALL.iter().map(|u| (u.label().to_string(), acct.unit_energy(*u))).collect()
+        Unit::ALL
+            .iter()
+            .map(|u| (u.label().to_string(), acct.unit_energy(*u)))
+            .collect()
+    }
+
+    /// Serialize through the telemetry JSON writer (no serde).
+    pub fn to_json(&self) -> Value {
+        let units: Vec<Value> = self
+            .energy_by_unit
+            .iter()
+            .map(|(l, e)| Value::obj([("unit", Value::Str(l.clone())), ("energy", Value::Num(*e))]))
+            .collect();
+        Value::obj([
+            ("model", Value::Str(self.model.clone())),
+            ("app", Value::Str(self.app.clone())),
+            ("suite", Value::Str(self.suite.clone())),
+            ("insts", Value::int(self.insts)),
+            ("uops", Value::int(self.uops)),
+            ("cycles", Value::int(self.cycles)),
+            ("energy", Value::Num(self.energy)),
+            ("energy_by_unit", Value::Arr(units)),
+            ("cond_branches", Value::int(self.cond_branches)),
+            ("cond_mispredicts", Value::int(self.cond_mispredicts)),
+            ("iq_empty_cycles", Value::int(self.iq_empty_cycles)),
+            (
+                "issue_blocked_cycles",
+                Value::int(self.issue_blocked_cycles),
+            ),
+            ("state_switches", Value::int(self.state_switches)),
+            (
+                "trace",
+                self.trace
+                    .as_ref()
+                    .map(TraceReport::to_json)
+                    .unwrap_or(Value::Null),
+            ),
+        ])
+    }
+
+    /// Inverse of [`SimReport::to_json`]; `None` on a malformed value.
+    pub fn from_json(v: &Value) -> Option<SimReport> {
+        let units = v
+            .get("energy_by_unit")
+            .as_arr()?
+            .iter()
+            .map(|u| {
+                Some((
+                    u.get("unit").as_str()?.to_string(),
+                    u.get("energy").as_f64()?,
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(SimReport {
+            model: v.get("model").as_str()?.to_string(),
+            app: v.get("app").as_str()?.to_string(),
+            suite: v.get("suite").as_str()?.to_string(),
+            insts: v.get("insts").as_u64()?,
+            uops: v.get("uops").as_u64()?,
+            cycles: v.get("cycles").as_u64()?,
+            energy: v.get("energy").as_f64()?,
+            energy_by_unit: units,
+            cond_branches: v.get("cond_branches").as_u64()?,
+            cond_mispredicts: v.get("cond_mispredicts").as_u64()?,
+            iq_empty_cycles: v.get("iq_empty_cycles").as_u64()?,
+            issue_blocked_cycles: v.get("issue_blocked_cycles").as_u64()?,
+            state_switches: v.get("state_switches").as_u64()?,
+            trace: match v.get("trace") {
+                Value::Null => None,
+                t => Some(TraceReport::from_json(t)?),
+            },
+        })
     }
 }
 
@@ -211,10 +369,34 @@ mod tests {
 
     #[test]
     fn serializes_to_json() {
-        let r = report();
-        let j = serde_json::to_string(&r).expect("serialize");
-        let back: SimReport = serde_json::from_str(&j).expect("deserialize");
+        let mut r = report();
+        r.trace = Some(TraceReport {
+            entries: 42,
+            aborts: 3,
+            opt: Some(OptReport {
+                traces: 9,
+                uop_reduction: 0.25,
+                ..OptReport::default()
+            }),
+            ..TraceReport::default()
+        });
+        let j = r.to_json().to_json_pretty();
+        let v = parrot_telemetry::json::parse(&j).expect("parse back");
+        let back = SimReport::from_json(&v).expect("deserialize");
         assert_eq!(back.insts, r.insts);
         assert_eq!(back.model, "N");
+        assert_eq!(back.energy_by_unit, r.energy_by_unit);
+        let t = back.trace.expect("trace present");
+        assert_eq!(t.entries, 42);
+        assert_eq!(t.opt.expect("opt present").traces, 9);
+    }
+
+    #[test]
+    fn json_none_trace_roundtrip() {
+        let r = report();
+        let v = parrot_telemetry::json::parse(&r.to_json().to_json()).expect("parse back");
+        let back = SimReport::from_json(&v).expect("deserialize");
+        assert!(back.trace.is_none());
+        assert!(SimReport::from_json(&Value::Null).is_none());
     }
 }

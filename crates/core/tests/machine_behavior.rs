@@ -16,7 +16,10 @@ fn promotion_pipeline_reaches_every_stage() {
     assert!(t.constructed > 10, "hot filter must construct traces");
     assert!(t.entries > 100, "traces must be streamed");
     let o = t.opt.expect("optimizer report");
-    assert!(o.traces > 0, "blazing filter must promote traces to the optimizer");
+    assert!(
+        o.traces > 0,
+        "blazing filter must promote traces to the optimizer"
+    );
     assert!(o.work_uops > 0);
 }
 
@@ -24,8 +27,14 @@ fn promotion_pipeline_reaches_every_stage() {
 fn irregular_code_aborts_but_completes() {
     let r = simulate(Model::TON, &wl("gcc"), 80_000);
     let t = r.trace.as_ref().expect("trace report");
-    assert!(t.aborts > 0, "irregular SpecInt code must produce some trace aborts");
-    assert_eq!(r.insts, 80_000, "aborts roll back and re-execute cold: no lost instructions");
+    assert!(
+        t.aborts > 0,
+        "irregular SpecInt code must produce some trace aborts"
+    );
+    assert_eq!(
+        r.insts, 80_000,
+        "aborts roll back and re-execute cold: no lost instructions"
+    );
     // Aborts are bounded: the confidence mechanism keeps them a small
     // fraction of entries.
     assert!(
@@ -39,17 +48,26 @@ fn irregular_code_aborts_but_completes() {
 #[test]
 fn split_machine_switches_sides() {
     let r = simulate(Model::TOS, &wl("swim"), 60_000);
-    assert!(r.state_switches > 10, "TOS must alternate between its cores");
+    assert!(
+        r.state_switches > 10,
+        "TOS must alternate between its cores"
+    );
     assert_eq!(r.insts, 60_000);
     let unified = simulate(Model::TON, &wl("swim"), 60_000);
-    assert_eq!(unified.state_switches, 0, "unified machines never state-switch");
+    assert_eq!(
+        unified.state_switches, 0,
+        "unified machines never state-switch"
+    );
 }
 
 #[test]
 fn trace_models_commit_fewer_uops_with_optimizer() {
     let a = simulate(Model::TN, &wl("wupwise"), 60_000);
     let b = simulate(Model::TON, &wl("wupwise"), 60_000);
-    assert!(b.uops < a.uops, "optimization must eliminate committed uops");
+    assert!(
+        b.uops < a.uops,
+        "optimization must eliminate committed uops"
+    );
 }
 
 #[test]
@@ -84,7 +102,10 @@ fn disabling_the_optimizer_matches_tn_shape() {
     let mut cfg = Model::TON.config();
     cfg.trace.as_mut().expect("trace").optimizer = None;
     let r = simulate_config(cfg, &wl("flash"), 40_000);
-    assert!(r.trace.as_ref().expect("trace").opt.is_none(), "no optimizer => no opt report");
+    assert!(
+        r.trace.as_ref().expect("trace").opt.is_none(),
+        "no optimizer => no opt report"
+    );
 }
 
 #[test]

@@ -1,12 +1,11 @@
-use crate::{Event, EnergyModel, Unit};
-use serde::{Deserialize, Serialize};
+use crate::{EnergyModel, Event, Unit};
 
 /// Accumulated energy and event counts for one simulation run.
 ///
 /// The timing models call [`EnergyAccount::emit`] for every activity; at the
 /// end of simulation [`EnergyAccount::finish_static`] adds the per-cycle
 /// clock and leakage energy. Breakdown by [`Unit`] reproduces Fig 4.11.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct EnergyAccount {
     by_unit: Vec<f64>,
     counts: Vec<u64>,
@@ -81,7 +80,10 @@ impl EnergyAccount {
 
     /// Breakdown over all units, in [`Unit::ALL`] order: `(unit, energy)`.
     pub fn breakdown(&self) -> Vec<(Unit, f64)> {
-        Unit::ALL.iter().map(|u| (*u, self.by_unit[u.index()])).collect()
+        Unit::ALL
+            .iter()
+            .map(|u| (*u, self.by_unit[u.index()]))
+            .collect()
     }
 
     /// Merge another account into this one (e.g. per-core accounts of a

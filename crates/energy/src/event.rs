@@ -1,7 +1,5 @@
-use serde::{Deserialize, Serialize};
-
 /// A microarchitectural unit, for energy breakdown reporting (paper Fig 4.11).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Unit {
     /// Instruction cache + fetch datapath.
     Fetch,
@@ -63,7 +61,10 @@ impl Unit {
 
     /// Dense index for table storage.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|u| *u == self).expect("unit in ALL")
+        Self::ALL
+            .iter()
+            .position(|u| *u == self)
+            .expect("unit in ALL")
     }
 
     /// Short display label.
@@ -256,9 +257,8 @@ impl Event {
             RenameUop => Unit::Rename,
             RobWrite | RobRead | IqInsert | IqWakeup | IqSelect => Unit::Window,
             RegRead | RegWrite => Unit::RegFile,
-            ExecAlu | ExecMul | ExecDiv | ExecFpAdd | ExecFpMul | ExecFpDiv | ExecSimdLane | AguCalc => {
-                Unit::Exec
-            }
+            ExecAlu | ExecMul | ExecDiv | ExecFpAdd | ExecFpMul | ExecFpDiv | ExecSimdLane
+            | AguCalc => Unit::Exec,
             L1dAccess | L1dMiss => Unit::Lsu,
             L2Access | MemAccess => Unit::L2,
             CommitUop | CommitInst | FlushUop => Unit::Commit,

@@ -8,11 +8,11 @@
 //! simplifies to `speedup² · (E_base / E)` — exactly the identity used by
 //! Figures 4.3 and 4.6.
 
-use serde::{Deserialize, Serialize};
+use parrot_telemetry::json::Value;
 
 /// Headline quantities of one simulation run, sufficient for every §3.5
 /// metric.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunSummary {
     /// Macro-instructions architecturally retired.
     pub insts: u64,
@@ -56,6 +56,24 @@ impl RunSummary {
         let watt = self.energy / time;
         mips.powi(3) / watt
     }
+
+    /// Serialize through the telemetry JSON writer (no serde).
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("insts", Value::int(self.insts)),
+            ("cycles", Value::int(self.cycles)),
+            ("energy", Value::Num(self.energy)),
+        ])
+    }
+
+    /// Inverse of [`RunSummary::to_json`]; `None` on a malformed value.
+    pub fn from_json(v: &Value) -> Option<RunSummary> {
+        Some(RunSummary {
+            insts: v.get("insts").as_u64()?,
+            cycles: v.get("cycles").as_u64()?,
+            energy: v.get("energy").as_f64()?,
+        })
+    }
 }
 
 /// CMPW of `run` relative to `base`, at equal frequency.
@@ -67,7 +85,8 @@ pub fn cmpw_relative(base: &RunSummary, run: &RunSummary) -> f64 {
     if base.cycles == 0 || run.cycles == 0 || base.energy <= 0.0 || run.energy <= 0.0 {
         return 0.0;
     }
-    let mips_ratio = (run.insts as f64 / run.cycles as f64) / (base.insts as f64 / base.cycles as f64);
+    let mips_ratio =
+        (run.insts as f64 / run.cycles as f64) / (base.insts as f64 / base.cycles as f64);
     let watt_ratio = (base.energy / base.cycles as f64) / (run.energy / run.cycles as f64);
     mips_ratio.powi(3) * watt_ratio
 }
@@ -87,7 +106,11 @@ mod tests {
     use super::*;
 
     fn summary(insts: u64, cycles: u64, energy: f64) -> RunSummary {
-        RunSummary { insts, cycles, energy }
+        RunSummary {
+            insts,
+            cycles,
+            energy,
+        }
     }
 
     #[test]
@@ -132,6 +155,14 @@ mod tests {
         assert_eq!(geo_mean(&[]), 0.0);
         let single = geo_mean(&[3.7]);
         assert!((single - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = summary(12345, 6789, 0.125);
+        let v = parrot_telemetry::json::parse(&s.to_json().to_json()).unwrap();
+        assert_eq!(RunSummary::from_json(&v), Some(s));
+        assert_eq!(RunSummary::from_json(&Value::Null), None);
     }
 
     #[test]
@@ -185,7 +216,11 @@ mod vf_tests {
     use super::RunSummary;
 
     fn s(cycles: u64, energy: f64) -> RunSummary {
-        RunSummary { insts: 1_000_000, cycles, energy }
+        RunSummary {
+            insts: 1_000_000,
+            cycles,
+            energy,
+        }
     }
 
     #[test]
@@ -220,7 +255,11 @@ mod vf_tests {
 
     #[test]
     fn degenerate_runs_yield_none() {
-        let z = RunSummary { insts: 0, cycles: 0, energy: 0.0 };
+        let z = RunSummary {
+            insts: 0,
+            cycles: 0,
+            energy: 0.0,
+        };
         let ok = s(10, 1.0);
         assert!(iso_performance_energy(&z, &ok).is_none());
         assert!(iso_power_speed_ratio(&ok, &z).is_none());

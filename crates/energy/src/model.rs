@@ -1,5 +1,4 @@
 use crate::Event;
-use serde::{Deserialize, Serialize};
 
 /// Machine description from which per-event energy costs are derived.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// width, and dynamic-scheduling energy grows with both window size and
 /// issue bandwidth. Constants are internal units calibrated so the baseline
 /// relations of §4 hold (see DESIGN.md §2).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EnergyConfig {
     /// Decode width in macro-instructions per cycle.
     pub decode_width: u32,
@@ -142,7 +141,11 @@ impl EnergyModel {
         // Paper formula: LE = P_MAX * (0.05*M + 0.4*K) * CYC.
         let leakage_per_cycle = P_MAX * (0.05 * cfg.l2_mbytes + 0.4 * cfg.core_area);
 
-        EnergyModel { cost, static_per_cycle, leakage_per_cycle }
+        EnergyModel {
+            cost,
+            static_per_cycle,
+            leakage_per_cycle,
+        }
     }
 
     /// Energy cost of one occurrence of `event`.
@@ -170,7 +173,10 @@ mod tests {
         let n = EnergyModel::new(&EnergyConfig::narrow());
         let w = EnergyModel::new(&EnergyConfig::wide());
         let ratio = w.cost(Event::DecodeSimple) / n.cost(Event::DecodeSimple);
-        assert!(ratio > 2.0, "8-wide decode must cost >2x per inst, got {ratio}");
+        assert!(
+            ratio > 2.0,
+            "8-wide decode must cost >2x per inst, got {ratio}"
+        );
         // Execution units are width-independent per op.
         assert_eq!(n.cost(Event::ExecAlu), w.cost(Event::ExecAlu));
     }
@@ -184,7 +190,11 @@ mod tests {
 
     #[test]
     fn leakage_follows_paper_formula() {
-        let cfg = EnergyConfig { core_area: 2.0, l2_mbytes: 4.0, ..EnergyConfig::narrow() };
+        let cfg = EnergyConfig {
+            core_area: 2.0,
+            l2_mbytes: 4.0,
+            ..EnergyConfig::narrow()
+        };
         let m = EnergyModel::new(&cfg);
         let expect = P_MAX * (0.05 * 4.0 + 0.4 * 2.0);
         assert!((m.leakage_per_cycle() - expect).abs() < 1e-12);

@@ -84,7 +84,12 @@ pub fn decode_into(inst: &Inst, inst_idx: u32, out: &mut Vec<Uop>) {
             Operand::Reg(b) => out.push(Uop::cmp(src, Some(b), None)),
             Operand::Imm(i) => out.push(Uop::cmp(src, None, Some(i))),
         },
-        InstKind::FpAlu { op, dst, src1, src2 } => {
+        InstKind::FpAlu {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             let mut u = Uop::alu(AluOp::Add, dst, src1, src2);
             u.kind = UopKind::Fp(op);
             out.push(u);
@@ -92,7 +97,12 @@ pub fn decode_into(inst: &Inst, inst_idx: u32, out: &mut Vec<Uop>) {
         InstKind::FpLoad { dst, mem } => out.push(Uop::load(dst, mem.base)),
         InstKind::FpStore { src, mem } => out.push(Uop::store(src, mem.base)),
         InstKind::CondBranch { cond } => out.push(Uop::branch(cond)),
-        InstKind::Jump => out.push(Uop { ..Uop::branch(crate::Cond::Eq) }.into_jump()),
+        InstKind::Jump => out.push(
+            Uop {
+                ..Uop::branch(crate::Cond::Eq)
+            }
+            .into_jump(),
+        ),
         InstKind::IndirectJump { sel } => {
             let mut u = Uop::branch(crate::Cond::Eq);
             u.kind = UopKind::JumpInd;
@@ -147,16 +157,37 @@ mod tests {
     use crate::{Cond, MemRef};
 
     fn mem() -> MemRef {
-        MemRef { base: Reg::int(2), offset: 8, stream: 1 }
+        MemRef {
+            base: Reg::int(2),
+            offset: 8,
+            stream: 1,
+        }
     }
 
     #[test]
     fn uop_counts_match_declared() {
         let kinds = [
-            InstKind::IntAlu { op: AluOp::Add, dst: Reg::int(0), src: Reg::int(1), rhs: Operand::Imm(1) },
-            InstKind::Load { dst: Reg::int(0), mem: mem() },
-            InstKind::LoadOp { op: AluOp::Xor, dst: Reg::int(0), src: Reg::int(1), mem: mem() },
-            InstKind::RmwStore { op: AluOp::Add, src: Reg::int(3), mem: mem() },
+            InstKind::IntAlu {
+                op: AluOp::Add,
+                dst: Reg::int(0),
+                src: Reg::int(1),
+                rhs: Operand::Imm(1),
+            },
+            InstKind::Load {
+                dst: Reg::int(0),
+                mem: mem(),
+            },
+            InstKind::LoadOp {
+                op: AluOp::Xor,
+                dst: Reg::int(0),
+                src: Reg::int(1),
+                mem: mem(),
+            },
+            InstKind::RmwStore {
+                op: AluOp::Add,
+                src: Reg::int(3),
+                mem: mem(),
+            },
             InstKind::Call,
             InstKind::Return,
             InstKind::CondBranch { cond: Cond::Lt },
@@ -185,7 +216,11 @@ mod tests {
 
     #[test]
     fn rmw_is_load_alu_store() {
-        let inst = Inst::new(InstKind::RmwStore { op: AluOp::Or, src: Reg::int(3), mem: mem() });
+        let inst = Inst::new(InstKind::RmwStore {
+            op: AluOp::Or,
+            src: Reg::int(3),
+            mem: mem(),
+        });
         let uops = decode(&inst, 0);
         assert!(uops[0].is_load());
         assert_eq!(uops[1].exec_class(), crate::ExecClass::IntAlu);
@@ -222,7 +257,11 @@ mod tests {
 
     #[test]
     fn inst_idx_recorded_on_all_uops() {
-        let inst = Inst::new(InstKind::RmwStore { op: AluOp::Add, src: Reg::int(3), mem: mem() });
+        let inst = Inst::new(InstKind::RmwStore {
+            op: AluOp::Add,
+            src: Reg::int(3),
+            mem: mem(),
+        });
         for u in decode(&inst, 42) {
             assert_eq!(u.inst_idx, 42);
         }
@@ -238,6 +277,9 @@ mod tests {
         });
         let uops = decode(&inst, 0);
         assert_eq!(uops[0].kind, UopKind::MovImm);
-        assert!(uops[0].uses().is_empty(), "mov-imm must have no register sources");
+        assert!(
+            uops[0].uses().is_empty(),
+            "mov-imm must have no register sources"
+        );
     }
 }

@@ -31,7 +31,11 @@ pub struct ArchState {
 
 impl Default for ArchState {
     fn default() -> Self {
-        ArchState { regs: [0; 192], zero: false, neg: false }
+        ArchState {
+            regs: [0; 192],
+            zero: false,
+            neg: false,
+        }
     }
 }
 
@@ -101,7 +105,11 @@ pub struct DeterministicMem {
 impl DeterministicMem {
     /// Memory backed by hash-of-address values derived from `seed`.
     pub fn new(seed: u64) -> DeterministicMem {
-        DeterministicMem { seed, overlay: HashMap::new(), store_log: Vec::new() }
+        DeterministicMem {
+            seed,
+            overlay: HashMap::new(),
+            store_log: Vec::new(),
+        }
     }
 }
 
@@ -138,7 +146,12 @@ pub struct StepEffect {
 ///
 /// # Panics
 /// Panics (debug assertion) if a memory uop is executed without an address.
-pub fn step(uop: &Uop, state: &mut ArchState, mem: &mut dyn MemModel, addr: Option<u64>) -> StepEffect {
+pub fn step(
+    uop: &Uop,
+    state: &mut ArchState,
+    mem: &mut dyn MemModel,
+    addr: Option<u64>,
+) -> StepEffect {
     let mut fx = StepEffect::default();
     let rhs = |state: &ArchState| -> u64 {
         match uop.srcs[1] {
@@ -174,7 +187,9 @@ pub fn step(uop: &Uop, state: &mut ArchState, mem: &mut dyn MemModel, addr: Opti
         }
         UopKind::Fp(op) => {
             let a = state.get(uop.srcs[0].expect("fp src"));
-            let b = uop.srcs[1].map(|r| state.get(r)).unwrap_or(uop.imm.unwrap_or(0) as u64);
+            let b = uop.srcs[1]
+                .map(|r| state.get(r))
+                .unwrap_or(uop.imm.unwrap_or(0) as u64);
             state.set(uop.dst.expect("fp dst"), op.apply(a, b));
         }
         UopKind::Load | UopKind::RetPop => {
@@ -277,7 +292,12 @@ mod tests {
         let mut st = ArchState::new();
         let mut mem = DeterministicMem::new(1);
         step(&Uop::mov_imm(Reg::int(1), 10), &mut st, &mut mem, None);
-        step(&Uop::alu_imm(AluOp::Add, Reg::int(2), Reg::int(1), 5), &mut st, &mut mem, None);
+        step(
+            &Uop::alu_imm(AluOp::Add, Reg::int(2), Reg::int(1), 5),
+            &mut st,
+            &mut mem,
+            None,
+        );
         assert_eq!(st.get(Reg::int(2)), 15);
     }
 
@@ -286,7 +306,12 @@ mod tests {
         let mut st = ArchState::new();
         let mut mem = DeterministicMem::new(1);
         step(&Uop::mov_imm(Reg::int(0), 3), &mut st, &mut mem, None);
-        step(&Uop::cmp(Reg::int(0), None, Some(3)), &mut st, &mut mem, None);
+        step(
+            &Uop::cmp(Reg::int(0), None, Some(3)),
+            &mut st,
+            &mut mem,
+            None,
+        );
         let fx = step(&Uop::branch(Cond::Eq), &mut st, &mut mem, None);
         assert_eq!(fx.branch, Some(true));
         let fx = step(&Uop::branch(Cond::Lt), &mut st, &mut mem, None);
@@ -305,7 +330,12 @@ mod tests {
     fn assert_fails_on_mismatch() {
         let mut st = ArchState::new();
         let mut mem = DeterministicMem::new(1);
-        step(&Uop::cmp(Reg::int(0), None, Some(0)), &mut st, &mut mem, None); // equal
+        step(
+            &Uop::cmp(Reg::int(0), None, Some(0)),
+            &mut st,
+            &mut mem,
+            None,
+        ); // equal
         let ok = step(&Uop::assert(Cond::Eq, true), &mut st, &mut mem, None);
         assert!(!ok.assert_failed);
         let bad = step(&Uop::assert(Cond::Eq, false), &mut st, &mut mem, None);
@@ -317,8 +347,18 @@ mod tests {
         let mut st = ArchState::new();
         let mut mem = DeterministicMem::new(7);
         step(&Uop::mov_imm(Reg::int(3), 99), &mut st, &mut mem, None);
-        step(&Uop::store(Reg::int(3), Reg::int(4)), &mut st, &mut mem, Some(0x100));
-        step(&Uop::load(Reg::int(5), Reg::int(4)), &mut st, &mut mem, Some(0x100));
+        step(
+            &Uop::store(Reg::int(3), Reg::int(4)),
+            &mut st,
+            &mut mem,
+            Some(0x100),
+        );
+        step(
+            &Uop::load(Reg::int(5), Reg::int(4)),
+            &mut st,
+            &mut mem,
+            Some(0x100),
+        );
         assert_eq!(st.get(Reg::int(5)), 99);
         assert_eq!(mem.store_log, vec![(0x100, 99)]);
     }
@@ -341,11 +381,19 @@ mod tests {
                 st.set(Reg::int(0), v);
                 if fused {
                     let mut u = Uop::cmp(Reg::int(0), None, Some(5));
-                    u.kind = UopKind::Fused(FusedKind::CmpAssert { cond: Cond::Lt, expect: true });
+                    u.kind = UopKind::Fused(FusedKind::CmpAssert {
+                        cond: Cond::Lt,
+                        expect: true,
+                    });
                     let fx = step(&u, &mut st, &mut mem, None);
                     (st.architectural(), fx)
                 } else {
-                    step(&Uop::cmp(Reg::int(0), None, Some(5)), &mut st, &mut mem, None);
+                    step(
+                        &Uop::cmp(Reg::int(0), None, Some(5)),
+                        &mut st,
+                        &mut mem,
+                        None,
+                    );
                     let fx = step(&Uop::assert(Cond::Lt, true), &mut st, &mut mem, None);
                     (st.architectural(), fx)
                 }
@@ -363,7 +411,10 @@ mod tests {
         st.set(Reg::int(3), 3);
         // dst = (r1 - r2) + r3 = 7
         let mut u = Uop::alu(AluOp::Sub, Reg::int(0), Reg::int(1), Reg::int(2));
-        u.kind = UopKind::Fused(FusedKind::AluAlu { first: AluOp::Sub, second: AluOp::Add });
+        u.kind = UopKind::Fused(FusedKind::AluAlu {
+            first: AluOp::Sub,
+            second: AluOp::Add,
+        });
         u.srcs = [Some(Reg::int(1)), Some(Reg::int(2)), Some(Reg::int(3))];
         step(&u, &mut st, &mut mem, None);
         assert_eq!(st.get(Reg::int(0)), 7);
@@ -379,11 +430,24 @@ mod tests {
         let pack = SimdPack {
             op: PackOp::Int(AluOp::Add),
             lanes: vec![
-                SimdLane { dst: Reg::int(3), a: Reg::int(1), b: None, imm: 1 },
-                SimdLane { dst: Reg::int(4), a: Reg::int(2), b: None, imm: 2 },
+                SimdLane {
+                    dst: Reg::int(3),
+                    a: Reg::int(1),
+                    b: None,
+                    imm: 1,
+                },
+                SimdLane {
+                    dst: Reg::int(4),
+                    a: Reg::int(2),
+                    b: None,
+                    imm: 2,
+                },
             ],
         };
-        let u = Uop { kind: UopKind::Simd(Box::new(pack)), ..Uop::mov_imm(Reg::int(0), 0) };
+        let u = Uop {
+            kind: UopKind::Simd(Box::new(pack)),
+            ..Uop::mov_imm(Reg::int(0), 0)
+        };
         step(&u, &mut st, &mut mem, None);
         assert_eq!(st.get(Reg::int(3)), 11);
         assert_eq!(st.get(Reg::int(4)), 22);

@@ -27,7 +27,12 @@ pub struct MemRef {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum InstKind {
     /// `dst = op(src, rhs)` — 1 uop.
-    IntAlu { op: AluOp, dst: Reg, src: Reg, rhs: Operand },
+    IntAlu {
+        op: AluOp,
+        dst: Reg,
+        src: Reg,
+        rhs: Operand,
+    },
     /// `dst = src1 * src2` — 1 uop, long latency.
     IntMul { dst: Reg, src1: Reg, src2: Reg },
     /// `dst = src1 / max(src2,1)` — 1 uop, very long latency, unpipelined.
@@ -37,13 +42,23 @@ pub enum InstKind {
     /// `[mem] = src` — 1 uop (store-address and store-data fused).
     Store { src: Reg, mem: MemRef },
     /// `dst = op(src, [mem])` — CISC load-op, 2 uops.
-    LoadOp { op: AluOp, dst: Reg, src: Reg, mem: MemRef },
+    LoadOp {
+        op: AluOp,
+        dst: Reg,
+        src: Reg,
+        mem: MemRef,
+    },
     /// `[mem] = op([mem], src)` — CISC read-modify-write, 3 uops.
     RmwStore { op: AluOp, src: Reg, mem: MemRef },
     /// `flags = compare(src, rhs)` — 1 uop.
     Cmp { src: Reg, rhs: Operand },
     /// `dst = op(src1, src2)` over FP registers — 1 uop.
-    FpAlu { op: FpOp, dst: Reg, src1: Reg, src2: Reg },
+    FpAlu {
+        op: FpOp,
+        dst: Reg,
+        src1: Reg,
+        src2: Reg,
+    },
     /// `dst = [mem]` into an FP register — 1 uop.
     FpLoad { dst: Reg, mem: MemRef },
     /// `[mem] = src` from an FP register — 1 uop.
@@ -122,7 +137,12 @@ impl Inst {
     /// Create an instruction with its encoded length derived from the kind.
     /// `addr` and `target` start at zero and are filled in by program layout.
     pub fn new(kind: InstKind) -> Inst {
-        Inst { kind, len: Self::encoded_len(&kind), addr: 0, target: 0 }
+        Inst {
+            kind,
+            len: Self::encoded_len(&kind),
+            addr: 0,
+            target: 0,
+        }
     }
 
     /// The variable encoded length (bytes) of a macro-instruction.
@@ -180,21 +200,44 @@ mod tests {
     use super::*;
 
     fn mem(offset: i32) -> MemRef {
-        MemRef { base: Reg::int(1), offset, stream: 0 }
+        MemRef {
+            base: Reg::int(1),
+            offset,
+            stream: 0,
+        }
     }
 
     #[test]
     fn uop_counts_match_cisc_shape() {
         assert_eq!(
-            InstKind::IntAlu { op: AluOp::Add, dst: Reg::int(0), src: Reg::int(1), rhs: Operand::Imm(1) }
-                .uop_count(),
+            InstKind::IntAlu {
+                op: AluOp::Add,
+                dst: Reg::int(0),
+                src: Reg::int(1),
+                rhs: Operand::Imm(1)
+            }
+            .uop_count(),
             1
         );
         assert_eq!(
-            InstKind::LoadOp { op: AluOp::Add, dst: Reg::int(0), src: Reg::int(1), mem: mem(0) }.uop_count(),
+            InstKind::LoadOp {
+                op: AluOp::Add,
+                dst: Reg::int(0),
+                src: Reg::int(1),
+                mem: mem(0)
+            }
+            .uop_count(),
             2
         );
-        assert_eq!(InstKind::RmwStore { op: AluOp::Add, src: Reg::int(0), mem: mem(0) }.uop_count(), 3);
+        assert_eq!(
+            InstKind::RmwStore {
+                op: AluOp::Add,
+                src: Reg::int(0),
+                mem: mem(0)
+            }
+            .uop_count(),
+            3
+        );
         assert_eq!(InstKind::Call.uop_count(), 2);
         assert_eq!(InstKind::Return.uop_count(), 2);
     }
@@ -204,8 +247,17 @@ mod tests {
         let kinds = [
             InstKind::Nop,
             InstKind::Return,
-            InstKind::IntAlu { op: AluOp::Add, dst: Reg::int(0), src: Reg::int(1), rhs: Operand::Imm(1 << 20) },
-            InstKind::RmwStore { op: AluOp::Add, src: Reg::int(0), mem: mem(100_000) },
+            InstKind::IntAlu {
+                op: AluOp::Add,
+                dst: Reg::int(0),
+                src: Reg::int(1),
+                rhs: Operand::Imm(1 << 20),
+            },
+            InstKind::RmwStore {
+                op: AluOp::Add,
+                src: Reg::int(0),
+                mem: mem(100_000),
+            },
             InstKind::Call,
         ];
         let lens: Vec<u8> = kinds.iter().map(Inst::encoded_len).collect();
@@ -238,7 +290,10 @@ mod tests {
 
     #[test]
     fn mem_ref_extraction() {
-        let k = InstKind::Load { dst: Reg::int(0), mem: mem(4) };
+        let k = InstKind::Load {
+            dst: Reg::int(0),
+            mem: mem(4),
+        };
         assert_eq!(k.mem_ref(), Some(mem(4)));
         assert_eq!(InstKind::Nop.mem_ref(), None);
     }

@@ -143,7 +143,15 @@ mod tests {
 
     #[test]
     fn index_round_trips() {
-        for r in [Reg::int(0), Reg::int(15), Reg::fp(0), Reg::fp(15), Reg::FLAGS, Reg::virt(0), Reg::virt(127)] {
+        for r in [
+            Reg::int(0),
+            Reg::int(15),
+            Reg::fp(0),
+            Reg::fp(15),
+            Reg::FLAGS,
+            Reg::virt(0),
+            Reg::virt(127),
+        ] {
             assert_eq!(Reg::from_index(r.index()), r);
         }
     }

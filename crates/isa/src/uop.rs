@@ -115,37 +115,68 @@ pub struct Uop {
 
 impl Uop {
     fn base(kind: UopKind) -> Uop {
-        Uop { kind, dst: None, srcs: [None; 3], imm: None, inst_idx: 0, mem_slot: None }
+        Uop {
+            kind,
+            dst: None,
+            srcs: [None; 3],
+            imm: None,
+            inst_idx: 0,
+            mem_slot: None,
+        }
     }
 
     /// `dst = op(a, b)`.
     pub fn alu(op: AluOp, dst: Reg, a: Reg, b: Reg) -> Uop {
-        Uop { dst: Some(dst), srcs: [Some(a), Some(b), None], ..Self::base(UopKind::Alu(op)) }
+        Uop {
+            dst: Some(dst),
+            srcs: [Some(a), Some(b), None],
+            ..Self::base(UopKind::Alu(op))
+        }
     }
 
     /// `dst = op(a, imm)`.
     pub fn alu_imm(op: AluOp, dst: Reg, a: Reg, imm: i64) -> Uop {
-        Uop { dst: Some(dst), srcs: [Some(a), None, None], imm: Some(imm), ..Self::base(UopKind::Alu(op)) }
+        Uop {
+            dst: Some(dst),
+            srcs: [Some(a), None, None],
+            imm: Some(imm),
+            ..Self::base(UopKind::Alu(op))
+        }
     }
 
     /// `dst = imm`.
     pub fn mov_imm(dst: Reg, imm: i64) -> Uop {
-        Uop { dst: Some(dst), imm: Some(imm), ..Self::base(UopKind::MovImm) }
+        Uop {
+            dst: Some(dst),
+            imm: Some(imm),
+            ..Self::base(UopKind::MovImm)
+        }
     }
 
     /// `flags = compare(a, b)`.
     pub fn cmp(a: Reg, b: Option<Reg>, imm: Option<i64>) -> Uop {
-        Uop { srcs: [Some(a), b, None], imm, ..Self::base(UopKind::Cmp) }
+        Uop {
+            srcs: [Some(a), b, None],
+            imm,
+            ..Self::base(UopKind::Cmp)
+        }
     }
 
     /// `dst = [mem]` (the effective address is supplied dynamically).
     pub fn load(dst: Reg, base: Reg) -> Uop {
-        Uop { dst: Some(dst), srcs: [Some(base), None, None], ..Self::base(UopKind::Load) }
+        Uop {
+            dst: Some(dst),
+            srcs: [Some(base), None, None],
+            ..Self::base(UopKind::Load)
+        }
     }
 
     /// `[mem] = src`.
     pub fn store(src: Reg, base: Reg) -> Uop {
-        Uop { srcs: [Some(src), Some(base), None], ..Self::base(UopKind::Store) }
+        Uop {
+            srcs: [Some(src), Some(base), None],
+            ..Self::base(UopKind::Store)
+        }
     }
 
     /// Conditional branch on `cond`.
@@ -160,10 +191,7 @@ impl Uop {
 
     /// Does this uop read the flags register?
     pub fn reads_flags(&self) -> bool {
-        matches!(
-            self.kind,
-            UopKind::Branch(_) | UopKind::Assert { .. }
-        )
+        matches!(self.kind, UopKind::Branch(_) | UopKind::Assert { .. })
     }
 
     /// Does this uop write the flags register?
@@ -222,7 +250,9 @@ impl Uop {
             UopKind::Alu(_) | UopKind::MovImm | UopKind::Cmp => ExecClass::IntAlu,
             UopKind::Mul => ExecClass::IntMul,
             UopKind::Div => ExecClass::IntDiv,
-            UopKind::Fp(FpOp::Add) | UopKind::Fp(FpOp::Sub) | UopKind::Fp(FpOp::Mov) => ExecClass::FpAdd,
+            UopKind::Fp(FpOp::Add) | UopKind::Fp(FpOp::Sub) | UopKind::Fp(FpOp::Mov) => {
+                ExecClass::FpAdd
+            }
             UopKind::Fp(FpOp::Mul) => ExecClass::FpMul,
             UopKind::Fp(FpOp::Div) => ExecClass::FpDiv,
             UopKind::Load | UopKind::RetPop => ExecClass::Load,
@@ -230,9 +260,8 @@ impl Uop {
             UopKind::Branch(_) | UopKind::Jump | UopKind::JumpInd | UopKind::Assert { .. } => {
                 ExecClass::Branch
             }
-            UopKind::Fused(FusedKind::CmpBranch { .. }) | UopKind::Fused(FusedKind::CmpAssert { .. }) => {
-                ExecClass::Branch
-            }
+            UopKind::Fused(FusedKind::CmpBranch { .. })
+            | UopKind::Fused(FusedKind::CmpAssert { .. }) => ExecClass::Branch,
             UopKind::Fused(FusedKind::AluAlu { .. }) => ExecClass::IntAlu,
             UopKind::Simd(p) => match p.op {
                 PackOp::Int(_) => ExecClass::Simd,
@@ -327,7 +356,10 @@ impl<'a> Iterator for SrcIter<'a> {
 impl Uop {
     /// Iterate over the plain (non-flags, non-SIMD-lane) source registers.
     pub fn src_iter(&self) -> SrcIter<'_> {
-        SrcIter { srcs: &self.srcs, i: 0 }
+        SrcIter {
+            srcs: &self.srcs,
+            i: 0,
+        }
     }
 }
 
@@ -347,9 +379,18 @@ mod tests {
 
     #[test]
     fn exec_classes() {
-        assert_eq!(Uop::alu(AluOp::Add, Reg::int(0), Reg::int(1), Reg::int(2)).exec_class(), ExecClass::IntAlu);
-        assert_eq!(Uop::load(Reg::int(0), Reg::int(1)).exec_class(), ExecClass::Load);
-        assert_eq!(Uop::store(Reg::int(0), Reg::int(1)).exec_class(), ExecClass::Store);
+        assert_eq!(
+            Uop::alu(AluOp::Add, Reg::int(0), Reg::int(1), Reg::int(2)).exec_class(),
+            ExecClass::IntAlu
+        );
+        assert_eq!(
+            Uop::load(Reg::int(0), Reg::int(1)).exec_class(),
+            ExecClass::Load
+        );
+        assert_eq!(
+            Uop::store(Reg::int(0), Reg::int(1)).exec_class(),
+            ExecClass::Store
+        );
         assert_eq!(Uop::branch(Cond::Ne).exec_class(), ExecClass::Branch);
         assert_eq!(Uop::assert(Cond::Ne, true).exec_class(), ExecClass::Branch);
         let mut div = Uop::alu(AluOp::Add, Reg::int(0), Reg::int(1), Reg::int(2));
@@ -362,11 +403,24 @@ mod tests {
         let pack = SimdPack {
             op: PackOp::Int(AluOp::Add),
             lanes: vec![
-                SimdLane { dst: Reg::int(0), a: Reg::int(1), b: Some(Reg::int(2)), imm: 0 },
-                SimdLane { dst: Reg::int(3), a: Reg::int(4), b: None, imm: 7 },
+                SimdLane {
+                    dst: Reg::int(0),
+                    a: Reg::int(1),
+                    b: Some(Reg::int(2)),
+                    imm: 0,
+                },
+                SimdLane {
+                    dst: Reg::int(3),
+                    a: Reg::int(4),
+                    b: None,
+                    imm: 7,
+                },
             ],
         };
-        let uop = Uop { kind: UopKind::Simd(Box::new(pack)), ..Uop::mov_imm(Reg::int(0), 0) };
+        let uop = Uop {
+            kind: UopKind::Simd(Box::new(pack)),
+            ..Uop::mov_imm(Reg::int(0), 0)
+        };
         assert_eq!(uop.defs(), vec![Reg::int(0), Reg::int(3)]);
         assert_eq!(uop.uses(), vec![Reg::int(1), Reg::int(2), Reg::int(4)]);
     }
@@ -386,7 +440,10 @@ mod tests {
         assert!(Uop::assert(Cond::Eq, false).is_assert());
         assert!(!Uop::load(Reg::int(0), Reg::int(1)).is_control());
         let fused = Uop {
-            kind: UopKind::Fused(FusedKind::CmpAssert { cond: Cond::Lt, expect: true }),
+            kind: UopKind::Fused(FusedKind::CmpAssert {
+                cond: Cond::Lt,
+                expect: true,
+            }),
             ..Uop::cmp(Reg::int(0), None, Some(1))
         };
         assert!(fused.is_control() && fused.is_assert());
@@ -394,8 +451,14 @@ mod tests {
 
     #[test]
     fn mem_classification_includes_call_return() {
-        let push = Uop { kind: UopKind::CallPush, ..Uop::store(Reg::int(0), Reg::int(1)) };
-        let pop = Uop { kind: UopKind::RetPop, ..Uop::load(Reg::int(0), Reg::int(1)) };
+        let push = Uop {
+            kind: UopKind::CallPush,
+            ..Uop::store(Reg::int(0), Reg::int(1))
+        };
+        let pop = Uop {
+            kind: UopKind::RetPop,
+            ..Uop::load(Reg::int(0), Reg::int(1))
+        };
         assert!(push.is_store() && push.is_mem() && !push.is_load());
         assert!(pop.is_load() && pop.is_mem() && !pop.is_store());
     }

@@ -1,54 +1,101 @@
-//! Property tests for the ISA layer: decode totality and functional
-//! semantics determinism over arbitrary instructions and states.
+//! Randomized-property tests for the ISA layer (seeded in-tree PRNG;
+//! formerly proptest): decode totality and functional semantics determinism
+//! over arbitrary instructions and states.
 
 use parrot_isa::exec::{step, ArchState, DeterministicMem};
 use parrot_isa::{decode, AluOp, Cond, FpOp, Inst, InstKind, MemRef, Operand, Reg};
-use proptest::prelude::*;
+use parrot_telemetry::rng::Xorshift64Star;
 
-fn arb_kind() -> impl Strategy<Value = InstKind> {
-    let reg = (0u8..15).prop_map(Reg::int);
-    let fpreg = (0u8..16).prop_map(Reg::fp);
-    let mem = (0u8..15, -512i32..512, 0u16..8)
-        .prop_map(|(b, o, s)| MemRef { base: Reg::int(b), offset: o, stream: s });
-    let operand = prop_oneof![
-        (0u8..15).prop_map(|r| Operand::Reg(Reg::int(r))),
-        (-1000i64..1000).prop_map(Operand::Imm),
-    ];
-    prop_oneof![
-        (0usize..8, reg.clone(), reg.clone(), operand.clone()).prop_map(|(op, dst, src, rhs)| {
-            InstKind::IntAlu { op: AluOp::ALL[op], dst, src, rhs }
-        }),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| InstKind::IntMul { dst: d, src1: a, src2: b }),
-        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| InstKind::IntDiv { dst: d, src1: a, src2: b }),
-        (reg.clone(), mem.clone()).prop_map(|(dst, mem)| InstKind::Load { dst, mem }),
-        (reg.clone(), mem.clone()).prop_map(|(src, mem)| InstKind::Store { src, mem }),
-        (0usize..8, reg.clone(), reg.clone(), mem.clone())
-            .prop_map(|(op, dst, src, mem)| InstKind::LoadOp { op: AluOp::ALL[op], dst, src, mem }),
-        (0usize..8, reg.clone(), mem.clone())
-            .prop_map(|(op, src, mem)| InstKind::RmwStore { op: AluOp::ALL[op], src, mem }),
-        (reg.clone(), operand).prop_map(|(src, rhs)| InstKind::Cmp { src, rhs }),
-        (0usize..5, fpreg.clone(), fpreg.clone(), fpreg)
-            .prop_map(|(op, dst, a, b)| InstKind::FpAlu { op: FpOp::ALL[op], dst, src1: a, src2: b }),
-        (0usize..6).prop_map(|c| InstKind::CondBranch { cond: Cond::ALL[c] }),
-        Just(InstKind::Jump),
-        reg.prop_map(|sel| InstKind::IndirectJump { sel }),
-        Just(InstKind::Call),
-        Just(InstKind::Return),
-        Just(InstKind::Nop),
-    ]
+const CASES: u64 = 512;
+
+fn arb_mem(r: &mut Xorshift64Star) -> MemRef {
+    MemRef {
+        base: Reg::int(r.u8_in(0, 15)),
+        offset: r.i32_in(-512, 512),
+        stream: r.u64_in(0, 8) as u16,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn arb_operand(r: &mut Xorshift64Star) -> Operand {
+    if r.chance(0.5) {
+        Operand::Reg(Reg::int(r.u8_in(0, 15)))
+    } else {
+        Operand::Imm(r.i64_in(-1000, 1000))
+    }
+}
 
-    #[test]
-    fn decode_is_total_and_sized(kind in arb_kind(), idx in 0u32..10_000) {
+fn arb_kind(r: &mut Xorshift64Star) -> InstKind {
+    let reg = |r: &mut Xorshift64Star| Reg::int(r.u8_in(0, 15));
+    let fpreg = |r: &mut Xorshift64Star| Reg::fp(r.u8_in(0, 16));
+    match r.u32_in(0, 15) {
+        0 => InstKind::IntAlu {
+            op: AluOp::ALL[r.usize_in(0, 8)],
+            dst: reg(r),
+            src: reg(r),
+            rhs: arb_operand(r),
+        },
+        1 => InstKind::IntMul {
+            dst: reg(r),
+            src1: reg(r),
+            src2: reg(r),
+        },
+        2 => InstKind::IntDiv {
+            dst: reg(r),
+            src1: reg(r),
+            src2: reg(r),
+        },
+        3 => InstKind::Load {
+            dst: reg(r),
+            mem: arb_mem(r),
+        },
+        4 => InstKind::Store {
+            src: reg(r),
+            mem: arb_mem(r),
+        },
+        5 => InstKind::LoadOp {
+            op: AluOp::ALL[r.usize_in(0, 8)],
+            dst: reg(r),
+            src: reg(r),
+            mem: arb_mem(r),
+        },
+        6 => InstKind::RmwStore {
+            op: AluOp::ALL[r.usize_in(0, 8)],
+            src: reg(r),
+            mem: arb_mem(r),
+        },
+        7 => InstKind::Cmp {
+            src: reg(r),
+            rhs: arb_operand(r),
+        },
+        8 => InstKind::FpAlu {
+            op: FpOp::ALL[r.usize_in(0, 5)],
+            dst: fpreg(r),
+            src1: fpreg(r),
+            src2: fpreg(r),
+        },
+        9 => InstKind::CondBranch {
+            cond: Cond::ALL[r.usize_in(0, 6)],
+        },
+        10 => InstKind::Jump,
+        11 => InstKind::IndirectJump { sel: reg(r) },
+        12 => InstKind::Call,
+        13 => InstKind::Return,
+        _ => InstKind::Nop,
+    }
+}
+
+#[test]
+fn decode_is_total_and_sized() {
+    let mut r = Xorshift64Star::seed_from_u64(0x15a_0001);
+    for case in 0..CASES {
+        let kind = arb_kind(&mut r);
+        let idx = r.u64_in(0, 10_000) as u32;
         let inst = Inst::new(kind);
-        prop_assert!((1..=15).contains(&inst.len));
+        assert!((1..=15).contains(&inst.len), "case {case}: {kind:?}");
         let uops = decode::decode(&inst, idx);
-        prop_assert_eq!(uops.len(), kind.uop_count());
+        assert_eq!(uops.len(), kind.uop_count(), "case {case}: {kind:?}");
         for u in &uops {
-            prop_assert_eq!(u.inst_idx, idx);
+            assert_eq!(u.inst_idx, idx);
             // Decode never produces optimizer-only forms.
             let optimizer_only = matches!(
                 u.kind,
@@ -56,12 +103,17 @@ proptest! {
                     | parrot_isa::UopKind::Simd(_)
                     | parrot_isa::UopKind::Assert { .. }
             );
-            prop_assert!(!optimizer_only);
+            assert!(!optimizer_only, "case {case}: {kind:?}");
         }
     }
+}
 
-    #[test]
-    fn execution_is_deterministic(kind in arb_kind(), seed in any::<u64>()) {
+#[test]
+fn execution_is_deterministic() {
+    let mut r = Xorshift64Star::seed_from_u64(0x15a_0002);
+    for case in 0..CASES {
+        let kind = arb_kind(&mut r);
+        let seed = r.next_u64();
         let inst = Inst::new(kind);
         let uops = decode::decode(&inst, 0);
         let run = || {
@@ -74,15 +126,19 @@ proptest! {
             }
             (st.architectural(), mem.store_log, fx)
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}: {kind:?}");
     }
+}
 
-    #[test]
-    fn defs_and_uses_stay_in_register_space(kind in arb_kind()) {
+#[test]
+fn defs_and_uses_stay_in_register_space() {
+    let mut r = Xorshift64Star::seed_from_u64(0x15a_0003);
+    for case in 0..CASES {
+        let kind = arb_kind(&mut r);
         let inst = Inst::new(kind);
         for u in decode::decode(&inst, 3) {
-            for r in u.defs().into_iter().chain(u.uses()) {
-                prop_assert!(r.index() < 192);
+            for reg in u.defs().into_iter().chain(u.uses()) {
+                assert!(reg.index() < 192, "case {case}: {kind:?}");
             }
         }
     }

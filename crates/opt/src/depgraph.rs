@@ -107,7 +107,11 @@ impl DepGraph {
         let mut depth = vec![0u32; uops.len()];
         let mut max = 0;
         for i in 0..uops.len() {
-            let start = self.preds[i].iter().map(|p| depth[*p as usize]).max().unwrap_or(0);
+            let start = self.preds[i]
+                .iter()
+                .map(|p| depth[*p as usize])
+                .max()
+                .unwrap_or(0);
             depth[i] = start + class_latency(uops[i].exec_class());
             max = max.max(depth[i]);
         }
@@ -255,6 +259,9 @@ mod tests {
     fn flags_create_dependencies() {
         let uops = vec![Uop::cmp(r(0), None, Some(3)), Uop::assert(Cond::Lt, true)];
         let g = DepGraph::build(&uops);
-        assert!(g.preds[1].contains(&0), "assert depends on cmp through flags");
+        assert!(
+            g.preds[1].contains(&0),
+            "assert depends on cmp through flags"
+        );
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::depgraph::DepGraph;
 use crate::passes::{self, PassStats};
+use parrot_telemetry::{profile, trace as tev};
 use parrot_trace::{OptLevel, TraceFrame};
 
 /// Which passes run, and the occupancy model.
@@ -157,7 +158,11 @@ pub struct Optimizer {
 impl Optimizer {
     /// An idle optimizer.
     pub fn new(cfg: OptimizerConfig) -> Optimizer {
-        Optimizer { cfg, stats: OptimizerStats::default(), busy_until: 0 }
+        Optimizer {
+            cfg,
+            stats: OptimizerStats::default(),
+            busy_until: 0,
+        }
     }
 
     /// The configuration.
@@ -179,6 +184,7 @@ impl Optimizer {
     /// marks the frame [`OptLevel::Optimized`], occupies the unit for
     /// `latency_cycles`, and returns the outcome.
     pub fn optimize(&mut self, frame: &mut TraceFrame, now: u64) -> OptOutcome {
+        let _prof = profile::scope("opt.optimize");
         let mut out = OptOutcome {
             uops_before: frame.uops.len() as u32,
             ..OptOutcome::default()
@@ -187,44 +193,56 @@ impl Optimizer {
         out.dep_before = g0.critical_path(&frame.uops);
 
         let mut work = 0u64;
+        // Analysis work per executed pass, in pipeline order; doubles as the
+        // weighting for the per-pass telemetry spans below.
+        let mut pass_work: Vec<(&'static str, u64)> = Vec::new();
         let track = |uops: &Vec<parrot_isa::Uop>| uops.len() as u64;
 
         if self.cfg.rename {
+            let _p = profile::scope("opt.rename");
             passes::partial_rename(&mut frame.uops, &mut out.passes);
-            work += track(&frame.uops);
+            pass_work.push(("opt.rename", track(&frame.uops)));
         }
         // Two rounds of the general-purpose trio: simplification exposes new
         // constants and dead code.
         for _ in 0..2 {
             if self.cfg.const_prop {
+                let _p = profile::scope("opt.const_prop");
                 passes::const_propagate(&mut frame.uops, &mut out.passes);
-                work += track(&frame.uops);
+                pass_work.push(("opt.const_prop", track(&frame.uops)));
             }
             if self.cfg.simplify {
+                let _p = profile::scope("opt.simplify");
                 passes::simplify(&mut frame.uops, &mut out.passes);
-                work += track(&frame.uops);
+                pass_work.push(("opt.simplify", track(&frame.uops)));
             }
             if self.cfg.dce {
+                let _p = profile::scope("opt.dce");
                 passes::dce(&mut frame.uops, &mut out.passes);
-                work += track(&frame.uops);
+                pass_work.push(("opt.dce", track(&frame.uops)));
             }
         }
         if self.cfg.fuse {
+            let _p = profile::scope("opt.fuse");
             passes::fuse(&mut frame.uops, &mut out.passes);
-            work += track(&frame.uops);
+            pass_work.push(("opt.fuse", track(&frame.uops)));
         }
         if self.cfg.simdify {
+            let _p = profile::scope("opt.simdify");
             passes::simdify(&mut frame.uops, &mut out.passes);
-            work += track(&frame.uops);
+            pass_work.push(("opt.simdify", track(&frame.uops)));
         }
         if self.cfg.dce && (self.cfg.fuse || self.cfg.simdify) {
+            let _p = profile::scope("opt.dce");
             passes::dce(&mut frame.uops, &mut out.passes);
-            work += track(&frame.uops);
+            pass_work.push(("opt.dce", track(&frame.uops)));
         }
         if self.cfg.schedule {
+            let _p = profile::scope("opt.schedule");
             passes::schedule(&mut frame.uops);
-            work += track(&frame.uops);
+            pass_work.push(("opt.schedule", track(&frame.uops)));
         }
+        work += pass_work.iter().map(|(_, w)| w).sum::<u64>();
 
         let g1 = DepGraph::build(&frame.uops);
         out.dep_after = g1.critical_path(&frame.uops);
@@ -234,8 +252,50 @@ impl Optimizer {
         frame.opt_level = OptLevel::Optimized;
         frame.execs_since_opt = 0;
         self.busy_until = now + u64::from(self.cfg.latency_cycles);
+        self.emit_job_spans(now, &pass_work, &out);
         self.stats.absorb(&out);
         out
+    }
+
+    /// Emit the optimizer-job span and its per-pass sub-spans onto the
+    /// telemetry timeline. The unit occupies `[now, busy_until)` in
+    /// simulated cycles; each executed pass gets a slice of that window
+    /// proportional to its analysis work (uops examined).
+    fn emit_job_spans(&self, now: u64, pass_work: &[(&'static str, u64)], out: &OptOutcome) {
+        if !tev::active() {
+            return;
+        }
+        tev::complete(
+            "opt.job",
+            "opt",
+            tev::track::OPT,
+            now,
+            self.busy_until,
+            tev::arg2(
+                "uops_before",
+                f64::from(out.uops_before),
+                "uops_after",
+                f64::from(out.uops_after),
+            ),
+        );
+        let total: u64 = pass_work.iter().map(|(_, w)| w).sum();
+        let window = self.busy_until.saturating_sub(now);
+        if total == 0 || window == 0 {
+            return;
+        }
+        let mut t = now;
+        for (name, w) in pass_work {
+            let dur = window * w / total;
+            tev::complete(
+                name,
+                "opt.pass",
+                tev::track::OPT,
+                t,
+                t + dur,
+                tev::arg1("work_uops", *w as f64),
+            );
+            t += dur;
+        }
     }
 }
 

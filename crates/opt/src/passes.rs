@@ -165,7 +165,10 @@ pub fn const_propagate(uops: &mut Vec<Uop>, stats: &mut PassStats) {
                 } else if let (Val::Const(ca), Val::Const(cb)) = (a, b) {
                     let r = op.apply(ca, cb);
                     let dst = u.dst.expect("alu dst");
-                    *u = Uop { inst_idx: u.inst_idx, ..Uop::mov_imm(dst, r as i64) };
+                    *u = Uop {
+                        inst_idx: u.inst_idx,
+                        ..Uop::mov_imm(dst, r as i64)
+                    };
                     stats.folded += 1;
                     def_val = Val::Const(r);
                 }
@@ -177,7 +180,10 @@ pub fn const_propagate(uops: &mut Vec<Uop>, stats: &mut PassStats) {
                 ) {
                     let r = a.wrapping_mul(b);
                     let dst = u.dst.expect("mul dst");
-                    *u = Uop { inst_idx: u.inst_idx, ..Uop::mov_imm(dst, r as i64) };
+                    *u = Uop {
+                        inst_idx: u.inst_idx,
+                        ..Uop::mov_imm(dst, r as i64)
+                    };
                     stats.folded += 1;
                     def_val = Val::Const(r);
                 }
@@ -189,7 +195,10 @@ pub fn const_propagate(uops: &mut Vec<Uop>, stats: &mut PassStats) {
                 ) {
                     let r = op.apply(a, b);
                     let dst = u.dst.expect("fp dst");
-                    *u = Uop { inst_idx: u.inst_idx, ..Uop::mov_imm(dst, r as i64) };
+                    *u = Uop {
+                        inst_idx: u.inst_idx,
+                        ..Uop::mov_imm(dst, r as i64)
+                    };
                     stats.folded += 1;
                     def_val = Val::Const(r);
                 }
@@ -198,7 +207,9 @@ pub fn const_propagate(uops: &mut Vec<Uop>, stats: &mut PassStats) {
                 let a = u.srcs[0].map(|r| resolve(&val, r)).unwrap_or(Val::Unknown);
                 let b = rhs_val(&val, u);
                 new_flags = match (a, b) {
-                    (Val::Const(ca), Val::Const(cb)) => Some(parrot_isa::exec::compare_flags(ca, cb)),
+                    (Val::Const(ca), Val::Const(cb)) => {
+                        Some(parrot_isa::exec::compare_flags(ca, cb))
+                    }
                     _ => None,
                 };
             }
@@ -275,7 +286,10 @@ pub fn simplify(uops: &mut Vec<Uop>, stats: &mut PassStats) {
                     && u.srcs[0] == u.srcs[1]
                 {
                     let dst = u.dst.expect("alu dst");
-                    *u = Uop { inst_idx: u.inst_idx, ..Uop::mov_imm(dst, 0) };
+                    *u = Uop {
+                        inst_idx: u.inst_idx,
+                        ..Uop::mov_imm(dst, 0)
+                    };
                     stats.simplified += 1;
                     continue;
                 }
@@ -297,7 +311,10 @@ pub fn simplify(uops: &mut Vec<Uop>, stats: &mut PassStats) {
                     if let Some((z, result)) = op.right_annihilator() {
                         if imm as u64 == z {
                             let dst = u.dst.expect("alu dst");
-                            *u = Uop { inst_idx: u.inst_idx, ..Uop::mov_imm(dst, result as i64) };
+                            *u = Uop {
+                                inst_idx: u.inst_idx,
+                                ..Uop::mov_imm(dst, result as i64)
+                            };
                             stats.simplified += 1;
                             continue;
                         }
@@ -319,8 +336,8 @@ pub fn simplify(uops: &mut Vec<Uop>, stats: &mut PassStats) {
 /// trace boundary by construction.
 pub fn dce(uops: &mut Vec<Uop>, stats: &mut PassStats) {
     let mut live = [false; 192];
-    for i in 0..Reg::NUM_ARCH - 1 {
-        live[i] = true; // ints + fps
+    for l in live.iter_mut().take(Reg::NUM_ARCH - 1) {
+        *l = true; // ints + fps
     }
     let mut flags_live = true;
     let mut keep = vec![true; uops.len()];
@@ -434,7 +451,9 @@ fn fuse_alu_pairs(uops: &mut Vec<Uop>, stats: &mut PassStats) {
         if removed[i] {
             continue;
         }
-        let UopKind::Alu(op1) = uops[i].kind else { continue };
+        let UopKind::Alu(op1) = uops[i].kind else {
+            continue;
+        };
         if op1 == AluOp::Mov {
             continue;
         }
@@ -459,7 +478,9 @@ fn fuse_alu_pairs(uops: &mut Vec<Uop>, stats: &mut PassStats) {
             }
         }
         let Some(j) = consumer else { continue };
-        let UopKind::Alu(op2) = uops[j].kind else { continue };
+        let UopKind::Alu(op2) = uops[j].kind else {
+            continue;
+        };
         if op2 == AluOp::Mov {
             continue;
         }
@@ -528,7 +549,10 @@ fn fuse_alu_pairs(uops: &mut Vec<Uop>, stats: &mut PassStats) {
         // window scan already guarantees j was the first user).
         let fused_imm = a.imm.or(b.imm);
         let new = Uop {
-            kind: UopKind::Fused(FusedKind::AluAlu { first: op1, second: op2 }),
+            kind: UopKind::Fused(FusedKind::AluAlu {
+                first: op1,
+                second: op2,
+            }),
             dst: b.dst,
             srcs: [a.srcs[0], a.srcs[1], b_other],
             imm: fused_imm,
@@ -564,7 +588,9 @@ pub fn simdify(uops: &mut Vec<Uop>, stats: &mut PassStats) {
         if removed[i] || packed[i] {
             continue;
         }
-        let Some((op, imm_form)) = shape(&uops[i]) else { continue };
+        let Some((op, imm_form)) = shape(&uops[i]) else {
+            continue;
+        };
         let mut lanes = vec![i];
         let end = (i + WINDOW).min(uops.len());
         for j in i + 1..end {
@@ -765,7 +791,10 @@ mod tests {
         let mut opt = orig.clone();
         let mut st = PassStats::default();
         const_propagate(&mut opt, &mut st);
-        assert!(opt.iter().all(|u| !u.is_assert()), "assert provably passes and is removed");
+        assert!(
+            opt.iter().all(|u| !u.is_assert()),
+            "assert provably passes and is removed"
+        );
         assert_equiv(&orig, &opt, &[]);
     }
 
@@ -781,16 +810,19 @@ mod tests {
         let mut opt = orig.clone();
         let mut st = PassStats::default();
         const_propagate(&mut opt, &mut st);
-        assert!(opt.iter().any(|u| u.is_assert()), "contradicted assert must remain");
+        assert!(
+            opt.iter().any(|u| u.is_assert()),
+            "contradicted assert must remain"
+        );
         assert_equiv(&orig, &opt, &[]);
     }
 
     #[test]
     fn simplify_identities() {
         let orig = vec![
-            Uop::alu_imm(AluOp::Add, r(1), r(2), 0),  // r1 = r2
-            Uop::alu_imm(AluOp::And, r(3), r(4), 0),  // r3 = 0
-            Uop::alu(AluOp::Xor, r(5), r(6), r(6)),   // r5 = 0
+            Uop::alu_imm(AluOp::Add, r(1), r(2), 0), // r1 = r2
+            Uop::alu_imm(AluOp::And, r(3), r(4), 0), // r3 = 0
+            Uop::alu(AluOp::Xor, r(5), r(6), r(6)),  // r5 = 0
         ];
         let mut opt = orig.clone();
         let mut st = PassStats::default();
@@ -819,7 +851,11 @@ mod tests {
     fn dce_keeps_stores_and_asserts() {
         let mut st_u = Uop::store(r(1), r(2));
         st_u.mem_slot = Some(0);
-        let orig = vec![st_u, Uop::cmp(r(0), None, Some(1)), Uop::assert(Cond::Lt, true)];
+        let orig = vec![
+            st_u,
+            Uop::cmp(r(0), None, Some(1)),
+            Uop::assert(Cond::Lt, true),
+        ];
         let mut opt = orig.clone();
         let mut stats = PassStats::default();
         dce(&mut opt, &mut stats);
@@ -834,7 +870,10 @@ mod tests {
         fuse(&mut opt, &mut st);
         assert_eq!(st.fused, 1);
         assert_eq!(opt.len(), 1);
-        assert!(matches!(opt[0].kind, UopKind::Fused(FusedKind::CmpAssert { .. })));
+        assert!(matches!(
+            opt[0].kind,
+            UopKind::Fused(FusedKind::CmpAssert { .. })
+        ));
         assert_equiv(&orig, &opt, &[]);
     }
 

@@ -43,7 +43,11 @@ pub fn replay(uops: &[Uop], mem_addrs: &[u64], entry: &ArchState, mem_seed: u64)
             first_abort = Some(u.inst_idx);
         }
     }
-    ReplayResult { final_state: st.architectural(), store_log: mem.store_log, first_abort }
+    ReplayResult {
+        final_state: st.architectural(),
+        store_log: mem.store_log,
+        first_abort,
+    }
 }
 
 /// Check that `optimized` is observationally equivalent to `original`.
@@ -64,14 +68,20 @@ pub fn check_equivalent(
     let a = replay(original, mem_addrs, entry, mem_seed);
     let b = replay(optimized, mem_addrs, entry, mem_seed);
     if a.first_abort != b.first_abort {
-        return Err(format!("abort decision differs: {:?} vs {:?}", a.first_abort, b.first_abort));
+        return Err(format!(
+            "abort decision differs: {:?} vs {:?}",
+            a.first_abort, b.first_abort
+        ));
     }
     if a.store_log != b.store_log {
         return Err(format!(
             "store logs differ: {} vs {} entries (first diff {:?})",
             a.store_log.len(),
             b.store_log.len(),
-            a.store_log.iter().zip(&b.store_log).position(|(x, y)| x != y)
+            a.store_log
+                .iter()
+                .zip(&b.store_log)
+                .position(|(x, y)| x != y)
         ));
     }
     for (i, (x, y)) in a.final_state.iter().zip(&b.final_state).enumerate() {

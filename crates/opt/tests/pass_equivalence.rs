@@ -10,13 +10,19 @@ type PassFn = fn(&mut Vec<parrot_isa::Uop>, &mut PassStats);
 
 fn passes_list() -> Vec<(&'static str, PassFn)> {
     vec![
-        ("rename", |u: &mut Vec<parrot_isa::Uop>, s: &mut PassStats| passes::partial_rename(u, s)),
+        (
+            "rename",
+            |u: &mut Vec<parrot_isa::Uop>, s: &mut PassStats| passes::partial_rename(u, s),
+        ),
         ("const_prop", passes::const_propagate),
         ("simplify", passes::simplify),
         ("dce", passes::dce),
         ("fuse", passes::fuse),
         ("simdify", passes::simdify),
-        ("schedule", |u: &mut Vec<parrot_isa::Uop>, _s: &mut PassStats| passes::schedule(u)),
+        (
+            "schedule",
+            |u: &mut Vec<parrot_isa::Uop>, _s: &mut PassStats| passes::schedule(u),
+        ),
     ]
 }
 
@@ -40,15 +46,14 @@ fn check_suite(suite: Suite, insts: usize) {
             for (_, f) in &all[..upto] {
                 f(&mut uops, &mut st);
             }
-            check_equivalent_multi(&frame.uops, &uops, &frame.mem_addrs, &[5, 17, 91]).unwrap_or_else(
-                |e| {
+            check_equivalent_multi(&frame.uops, &uops, &frame.mem_addrs, &[5, 17, 91])
+                .unwrap_or_else(|e| {
                     panic!(
                         "{suite:?} trace {} broken by pass prefix ending '{}': {e}",
                         frame.tid,
                         all[upto - 1].0
                     )
-                },
-            );
+                });
         }
         checked += 1;
     }

@@ -1,12 +1,13 @@
-//! Property-based verification: the full optimizer pipeline preserves
-//! semantics on *arbitrary* generated traces, not just ones our workload
-//! generator happens to produce.
+//! Randomized-property verification (seeded in-tree PRNG; formerly
+//! proptest): the full optimizer pipeline preserves semantics on
+//! *arbitrary* generated traces, not just ones our workload generator
+//! happens to produce.
 
 use parrot_isa::{AluOp, Cond, FpOp, Reg, Uop, UopKind};
 use parrot_opt::verify::check_equivalent_multi;
 use parrot_opt::{Optimizer, OptimizerConfig};
 use parrot_trace::{OptLevel, Tid, TraceFrame};
-use proptest::prelude::*;
+use parrot_workloads::rng::Xorshift64Star;
 
 #[derive(Clone, Debug)]
 enum GenOp {
@@ -21,20 +22,50 @@ enum GenOp {
     Store { src: u8 },
 }
 
-fn gen_op() -> impl Strategy<Value = GenOp> {
-    prop_oneof![
-        (0u8..15, -200i64..200).prop_map(|(dst, imm)| GenOp::MovImm { dst, imm }),
-        (0u8..8, 0u8..15, 0u8..15, -64i64..64)
-            .prop_map(|(op, dst, src, imm)| GenOp::AluImm { op, dst, src, imm }),
-        (0u8..8, 0u8..15, 0u8..15, 0u8..15)
-            .prop_map(|(op, dst, a, b)| GenOp::AluReg { op, dst, a, b }),
-        (0u8..15, 0u8..15, 0u8..15).prop_map(|(dst, a, b)| GenOp::Mul { dst, a, b }),
-        (0u8..5, 0u8..16, 0u8..16, 0u8..16).prop_map(|(op, dst, a, b)| GenOp::Fp { op, dst, a, b }),
-        (0u8..15, -64i64..64).prop_map(|(src, imm)| GenOp::CmpImm { src, imm }),
-        (0u8..6, any::<bool>()).prop_map(|(cond, expect)| GenOp::Assert { cond, expect }),
-        (0u8..15).prop_map(|dst| GenOp::Load { dst }),
-        (0u8..15).prop_map(|src| GenOp::Store { src }),
-    ]
+fn arb_op(r: &mut Xorshift64Star) -> GenOp {
+    match r.u32_in(0, 9) {
+        0 => GenOp::MovImm {
+            dst: r.u8_in(0, 15),
+            imm: r.i64_in(-200, 200),
+        },
+        1 => GenOp::AluImm {
+            op: r.u8_in(0, 8),
+            dst: r.u8_in(0, 15),
+            src: r.u8_in(0, 15),
+            imm: r.i64_in(-64, 64),
+        },
+        2 => GenOp::AluReg {
+            op: r.u8_in(0, 8),
+            dst: r.u8_in(0, 15),
+            a: r.u8_in(0, 15),
+            b: r.u8_in(0, 15),
+        },
+        3 => GenOp::Mul {
+            dst: r.u8_in(0, 15),
+            a: r.u8_in(0, 15),
+            b: r.u8_in(0, 15),
+        },
+        4 => GenOp::Fp {
+            op: r.u8_in(0, 5),
+            dst: r.u8_in(0, 16),
+            a: r.u8_in(0, 16),
+            b: r.u8_in(0, 16),
+        },
+        5 => GenOp::CmpImm {
+            src: r.u8_in(0, 15),
+            imm: r.i64_in(-64, 64),
+        },
+        6 => GenOp::Assert {
+            cond: r.u8_in(0, 6),
+            expect: r.chance(0.5),
+        },
+        7 => GenOp::Load {
+            dst: r.u8_in(0, 15),
+        },
+        _ => GenOp::Store {
+            src: r.u8_in(0, 15),
+        },
+    }
 }
 
 fn build_trace(ops: &[GenOp], addr_seed: u64) -> (Vec<Uop>, Vec<u64>) {
@@ -58,7 +89,12 @@ fn build_trace(ops: &[GenOp], addr_seed: u64) -> (Vec<Uop>, Vec<u64>) {
                 u
             }
             GenOp::Fp { op, dst, a, b } => {
-                let mut u = Uop::alu(AluOp::Add, Reg::fp(dst % 16), Reg::fp(a % 16), Reg::fp(b % 16));
+                let mut u = Uop::alu(
+                    AluOp::Add,
+                    Reg::fp(dst % 16),
+                    Reg::fp(a % 16),
+                    Reg::fp(b % 16),
+                );
                 u.kind = UopKind::Fp(fp(op));
                 u
             }
@@ -72,7 +108,8 @@ fn build_trace(ops: &[GenOp], addr_seed: u64) -> (Vec<Uop>, Vec<u64>) {
             u.mem_slot = Some(addrs.len() as u16);
             // A few aliasing addresses on purpose: store-load forwarding
             // through memory must be preserved.
-            let a = 0x1000 + ((addr_seed.wrapping_mul(31).wrapping_add(addrs.len() as u64)) % 8) * 8;
+            let a =
+                0x1000 + ((addr_seed.wrapping_mul(31).wrapping_add(addrs.len() as u64)) % 8) * 8;
             addrs.push(a);
         }
         uops.push(u);
@@ -80,59 +117,79 @@ fn build_trace(ops: &[GenOp], addr_seed: u64) -> (Vec<Uop>, Vec<u64>) {
     (uops, addrs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn frame_of(uops: &[Uop], addrs: &[u64]) -> TraceFrame {
+    TraceFrame {
+        tid: Tid::new(0x4000),
+        uops: uops.to_vec(),
+        mem_addrs: addrs.to_vec(),
+        path: vec![],
+        num_insts: uops.len() as u32,
+        orig_uops: uops.len() as u32,
+        joins: 1,
+        opt_level: OptLevel::Constructed,
+        exec_count: 0,
+        execs_since_opt: 0,
+        live_conf: 2,
+    }
+}
 
-    #[test]
-    fn full_optimizer_preserves_semantics(
-        ops in prop::collection::vec(gen_op(), 1..64),
-        addr_seed in any::<u64>(),
-        state_seeds in prop::collection::vec(any::<u64>(), 1..4),
-    ) {
+#[test]
+fn full_optimizer_preserves_semantics() {
+    let mut r = Xorshift64Star::seed_from_u64(0x0b7_0001);
+    for case in 0..256 {
+        let ops: Vec<GenOp> = (0..r.usize_in(1, 64)).map(|_| arb_op(&mut r)).collect();
+        let addr_seed = r.next_u64();
+        let state_seeds: Vec<u64> = (0..r.usize_in(1, 4)).map(|_| r.next_u64()).collect();
         let (uops, addrs) = build_trace(&ops, addr_seed);
-        let mut frame = TraceFrame {
-            tid: Tid::new(0x4000),
-            uops: uops.clone(),
-            mem_addrs: addrs.clone(),
-            path: vec![],
-            num_insts: uops.len() as u32,
-            orig_uops: uops.len() as u32,
-            joins: 1,
-            opt_level: OptLevel::Constructed,
-            exec_count: 0,
-            execs_since_opt: 0,
-            live_conf: 2,
-        };
+        let mut frame = frame_of(&uops, &addrs);
         let mut optz = Optimizer::new(OptimizerConfig::full());
         let outcome = optz.optimize(&mut frame, 0);
-        prop_assert!(outcome.uops_after <= outcome.uops_before,
-            "optimizer must never grow a trace");
-        check_equivalent_multi(&uops, &frame.uops, &addrs, &state_seeds)
-            .map_err(|e| TestCaseError::fail(format!("not equivalent: {e}")))?;
+        assert!(
+            outcome.uops_after <= outcome.uops_before,
+            "case {case}: optimizer must never grow a trace"
+        );
+        if let Err(e) = check_equivalent_multi(&uops, &frame.uops, &addrs, &state_seeds) {
+            panic!("case {case}: not equivalent: {e}\nops: {ops:?}");
+        }
     }
+}
 
-    #[test]
-    fn generic_only_optimizer_preserves_semantics(
-        ops in prop::collection::vec(gen_op(), 1..48),
-        addr_seed in any::<u64>(),
-    ) {
+#[test]
+fn generic_only_optimizer_preserves_semantics() {
+    let mut r = Xorshift64Star::seed_from_u64(0x0b7_0002);
+    for case in 0..256 {
+        let ops: Vec<GenOp> = (0..r.usize_in(1, 48)).map(|_| arb_op(&mut r)).collect();
+        let addr_seed = r.next_u64();
         let (uops, addrs) = build_trace(&ops, addr_seed);
-        let mut frame = TraceFrame {
-            tid: Tid::new(0x4000),
-            uops: uops.clone(),
-            mem_addrs: addrs.clone(),
-            path: vec![],
-            num_insts: uops.len() as u32,
-            orig_uops: uops.len() as u32,
-            joins: 1,
-            opt_level: OptLevel::Constructed,
-            exec_count: 0,
-            execs_since_opt: 0,
-            live_conf: 2,
-        };
+        let mut frame = frame_of(&uops, &addrs);
         let mut optz = Optimizer::new(OptimizerConfig::generic_only());
         optz.optimize(&mut frame, 0);
-        check_equivalent_multi(&uops, &frame.uops, &addrs, &[7, 1234])
-            .map_err(|e| TestCaseError::fail(format!("not equivalent: {e}")))?;
+        if let Err(e) = check_equivalent_multi(&uops, &frame.uops, &addrs, &[7, 1234]) {
+            panic!("case {case}: not equivalent: {e}\nops: {ops:?}");
+        }
     }
+}
+
+#[test]
+fn historical_regression_aliasing_load_store_chain() {
+    // Shrunk failure case preserved from the former proptest suite:
+    // aliasing loads/stores with addr_seed 0 exercised store-load
+    // forwarding through the same address.
+    let ops = [
+        GenOp::Load { dst: 8 },
+        GenOp::Load { dst: 0 },
+        GenOp::Load { dst: 0 },
+        GenOp::Load { dst: 1 },
+        GenOp::Store { src: 0 },
+        GenOp::Load { dst: 0 },
+        GenOp::Load { dst: 0 },
+        GenOp::Load { dst: 0 },
+        GenOp::Store { src: 0 },
+        GenOp::Load { dst: 0 },
+    ];
+    let (uops, addrs) = build_trace(&ops, 0);
+    let mut frame = frame_of(&uops, &addrs);
+    let mut optz = Optimizer::new(OptimizerConfig::full());
+    optz.optimize(&mut frame, 0);
+    check_equivalent_multi(&uops, &frame.uops, &addrs, &[0]).expect("regression case equivalent");
 }

@@ -1,0 +1,32 @@
+//! Observability substrate for the PARROT reproduction.
+//!
+//! Zero external dependencies by design: this crate is the offline-build
+//! keystone. It provides five small pillars used across the workspace:
+//!
+//! - [`json`] — a hand-rolled JSON value type with a writer (correct string
+//!   escaping) and a recursive-descent parser. Replaces serde/serde_json for
+//!   report serialization and the bench result cache.
+//! - [`trace`] — a bounded ring-buffer event tracer emitting Chrome
+//!   trace-event / Perfetto JSON. Timestamps are *simulated cycles* (reported
+//!   in the file's microsecond field), so Perfetto renders simulated time.
+//! - [`metrics`] — a registry of counters, gauges and log-bucketed histograms
+//!   (p50/p90/p99), snapshotted every N committed instructions to JSONL.
+//! - [`profile`] — scoped wall-clock timers around simulator hot paths,
+//!   reporting self/total time per section.
+//! - [`log`] — a leveled stderr logger (`-q`/`-v`) for bench binaries, so
+//!   stdout stays reserved for figure/table data.
+//!
+//! The tracer, metrics hub and profiler follow the `log`-crate idiom: a
+//! thread-local installable sink plus free functions that are near-free
+//! no-ops when nothing is installed, so instrumented crates
+//! (`parrot-core`, `parrot-trace`, `parrot-opt`) need no signature changes.
+//!
+//! [`rng`] additionally hosts the in-tree xorshift64* PRNG that replaced
+//! `rand::SmallRng` (same seeds, different stream — documented in DESIGN.md).
+
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod profile;
+pub mod rng;
+pub mod trace;

@@ -1,0 +1,98 @@
+//! Leveled stderr logger for the bench binaries.
+//!
+//! Progress/status output goes to **stderr** so stdout stays reserved for
+//! figure/table data (which must stay byte-identical under `-q`/`-v`).
+//! The level is process-global — bench sweeps log from worker threads.
+//!
+//! - `Quiet` (`-q`): nothing.
+//! - `Status` (default): one-line progress.
+//! - `Verbose` (`-v`): adds per-app/interval detail.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Logger verbosity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Quiet = 0,
+    Status = 1,
+    Verbose = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Status as u8);
+
+/// Set the process-global level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        1 => Level::Status,
+        _ => Level::Verbose,
+    }
+}
+
+/// Would a message at `at` be printed?
+#[inline]
+pub fn enabled(at: Level) -> bool {
+    at != Level::Quiet && level() >= at
+}
+
+#[doc(hidden)]
+pub fn log_at(at: Level, args: std::fmt::Arguments<'_>) {
+    if enabled(at) {
+        eprintln!("{args}");
+    }
+}
+
+/// Status-level message (suppressed by `-q`).
+#[macro_export]
+macro_rules! status {
+    ($($arg:tt)*) => {
+        $crate::log::log_at($crate::log::Level::Status, format_args!($($arg)*))
+    };
+}
+
+/// Verbose-level message (needs `-v`).
+#[macro_export]
+macro_rules! verbose {
+    ($($arg:tt)*) => {
+        $crate::log::log_at($crate::log::Level::Verbose, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The level is process-global; serialize tests that touch it.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn level_gating() {
+        let _guard = LOCK.lock().unwrap();
+        let prev = level();
+        set_level(Level::Quiet);
+        assert!(!enabled(Level::Status));
+        assert!(!enabled(Level::Verbose));
+        set_level(Level::Status);
+        assert!(enabled(Level::Status));
+        assert!(!enabled(Level::Verbose));
+        set_level(Level::Verbose);
+        assert!(enabled(Level::Status));
+        assert!(enabled(Level::Verbose));
+        set_level(prev);
+    }
+
+    #[test]
+    fn macros_compile() {
+        let _guard = LOCK.lock().unwrap();
+        let prev = level();
+        set_level(Level::Quiet);
+        status!("status {} message", 1);
+        verbose!("verbose {} message", 2);
+        set_level(prev);
+    }
+}

@@ -1,0 +1,482 @@
+//! Typed metrics registry: counters, gauges, and histograms with
+//! p50/p90/p99, snapshotted every N committed instructions to JSONL.
+//!
+//! Counters are set *absolutely* from the simulator's authoritative
+//! statistics (e.g. `TraceReport` fields under construction), so the final
+//! snapshot of a run reconciles exactly with the end-of-run report. Each
+//! snapshot row also carries committed instructions and cycles, plus the
+//! interval IPC derived from the previous row.
+//!
+//! Same install/take idiom as [`crate::trace`]: a thread-local hub, free
+//! functions that no-op when nothing is installed.
+//!
+//! Metric names share the flat snapshot-row namespace with the built-in
+//! keys (`run`, `seq`, `insts`, `cycles`, `ipc_interval`); registering a
+//! metric under a reserved name panics rather than emitting duplicate
+//! JSON keys.
+
+use crate::json::{write_escaped, Value};
+use std::cell::{Cell, RefCell};
+
+/// Exact-sample histogram (bounded; see [`Histogram::CAP`]) reporting
+/// count/min/max/mean and interpolation-free nearest-rank percentiles.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Sample retention bound; beyond it only count/sum/min/max update.
+    /// 2^20 samples comfortably covers every per-run distribution the
+    /// simulator records.
+    pub const CAP: usize = 1 << 20;
+
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        if self.samples.len() < Self::CAP {
+            self.samples.push(v);
+            self.sorted = false;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Nearest-rank percentile over retained samples (`p` in 0..=100).
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples[rank.clamp(1, n) - 1]
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Named<T> {
+    name: &'static str,
+    v: T,
+}
+
+/// Snapshot-row keys the hub writes itself. User metrics must not reuse
+/// them: snapshot rows are flat JSON objects, so a collision would emit
+/// duplicate keys and silently shadow the built-in on parse.
+const RESERVED_KEYS: [&str; 5] = ["run", "seq", "insts", "cycles", "ipc_interval"];
+
+fn check_metric_name(name: &str) {
+    assert!(
+        !RESERVED_KEYS.contains(&name),
+        "metric name {name:?} collides with a built-in snapshot key"
+    );
+}
+
+/// The metrics hub: registered counters/gauges/histograms plus accumulated
+/// JSONL snapshot rows.
+#[derive(Debug)]
+pub struct MetricsHub {
+    interval: u64,
+    next_mark: u64,
+    run: String,
+    seq: u64,
+    prev_insts: u64,
+    prev_cycles: u64,
+    counters: Vec<Named<u64>>,
+    gauges: Vec<Named<f64>>,
+    hists: Vec<Named<Histogram>>,
+    rows: Vec<String>,
+}
+
+impl MetricsHub {
+    /// A hub snapshotting every `interval` committed instructions.
+    pub fn new(interval: u64) -> MetricsHub {
+        MetricsHub {
+            interval: interval.max(1),
+            next_mark: interval.max(1),
+            run: String::new(),
+            seq: 0,
+            prev_insts: 0,
+            prev_cycles: 0,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Label subsequent rows and reset per-run state (counters, gauges,
+    /// histograms, interval bookkeeping).
+    pub fn begin_run(&mut self, label: &str) {
+        self.run = label.to_string();
+        self.seq = 0;
+        self.prev_insts = 0;
+        self.prev_cycles = 0;
+        self.next_mark = self.interval;
+        self.counters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+    }
+
+    fn counter_slot(&mut self, name: &'static str) -> &mut u64 {
+        check_metric_name(name);
+        if let Some(i) = self.counters.iter().position(|c| c.name == name) {
+            &mut self.counters[i].v
+        } else {
+            self.counters.push(Named { name, v: 0 });
+            &mut self.counters.last_mut().unwrap().v
+        }
+    }
+
+    /// Set a cumulative counter to its authoritative value.
+    pub fn counter_set(&mut self, name: &'static str, v: u64) {
+        *self.counter_slot(name) = v;
+    }
+
+    /// Increment a cumulative counter.
+    pub fn counter_add(&mut self, name: &'static str, by: u64) {
+        *self.counter_slot(name) += by;
+    }
+
+    /// Current counter value (0 when never set).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.v)
+            .unwrap_or(0)
+    }
+
+    /// Set a point-in-time gauge.
+    pub fn gauge_set(&mut self, name: &'static str, v: f64) {
+        check_metric_name(name);
+        if let Some(i) = self.gauges.iter().position(|g| g.name == name) {
+            self.gauges[i].v = v;
+        } else {
+            self.gauges.push(Named { name, v });
+        }
+    }
+
+    /// Record one histogram observation.
+    pub fn hist_record(&mut self, name: &'static str, v: u64) {
+        check_metric_name(name);
+        if let Some(i) = self.hists.iter().position(|h| h.name == name) {
+            self.hists[i].v.record(v);
+        } else {
+            let mut h = Histogram::default();
+            h.record(v);
+            self.hists.push(Named { name, v: h });
+        }
+    }
+
+    /// Is the next snapshot due at `insts` committed instructions?
+    pub fn due(&self, insts: u64) -> bool {
+        insts >= self.next_mark
+    }
+
+    /// Record a snapshot row at (`insts`, `cycles`). Call sites gate on
+    /// [`MetricsHub::due`] for periodic snapshots and call unconditionally
+    /// at end of run so the final row equals the run's report.
+    pub fn snapshot(&mut self, insts: u64, cycles: u64) {
+        let d_insts = insts.saturating_sub(self.prev_insts);
+        let d_cycles = cycles.saturating_sub(self.prev_cycles);
+        let ipc_interval = if d_cycles > 0 {
+            d_insts as f64 / d_cycles as f64
+        } else {
+            0.0
+        };
+        let mut row = String::with_capacity(256);
+        row.push_str("{\"run\":");
+        write_escaped(&self.run, &mut row);
+        row.push_str(&format!(
+            ",\"seq\":{},\"insts\":{insts},\"cycles\":{cycles},\"ipc_interval\":{}",
+            self.seq,
+            Value::Num(ipc_interval).to_json()
+        ));
+        for c in &self.counters {
+            row.push(',');
+            write_escaped(c.name, &mut row);
+            row.push_str(&format!(":{}", c.v));
+        }
+        for g in &self.gauges {
+            row.push(',');
+            write_escaped(g.name, &mut row);
+            row.push(':');
+            row.push_str(&Value::Num(g.v).to_json());
+        }
+        let mut hists = std::mem::take(&mut self.hists);
+        for h in &mut hists {
+            let (p50, p90, p99) = (
+                h.v.percentile(50.0),
+                h.v.percentile(90.0),
+                h.v.percentile(99.0),
+            );
+            row.push(',');
+            write_escaped(h.name, &mut row);
+            row.push_str(&format!(
+                ":{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{p50},\"p90\":{p90},\"p99\":{p99}}}",
+                h.v.count(),
+                Value::Num(h.v.mean()).to_json(),
+                h.v.min(),
+                h.v.max()
+            ));
+        }
+        self.hists = hists;
+        row.push('}');
+        self.rows.push(row);
+        self.seq += 1;
+        self.prev_insts = insts;
+        self.prev_cycles = cycles;
+        while self.next_mark <= insts {
+            self.next_mark += self.interval;
+        }
+    }
+
+    /// The JSONL document: one snapshot row per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            out.push_str(r);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of snapshot rows recorded.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static HUB: RefCell<Option<MetricsHub>> = const { RefCell::new(None) };
+}
+
+/// Install a hub as this thread's sink (returning any previous one).
+pub fn install(h: MetricsHub) -> Option<MetricsHub> {
+    ACTIVE.with(|a| a.set(true));
+    HUB.with(|cell| cell.borrow_mut().replace(h))
+}
+
+/// Remove and return the installed hub.
+pub fn take() -> Option<MetricsHub> {
+    ACTIVE.with(|a| a.set(false));
+    HUB.with(|cell| cell.borrow_mut().take())
+}
+
+/// Is a hub installed on this thread?
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+fn with<F: FnOnce(&mut MetricsHub)>(f: F) {
+    HUB.with(|cell| {
+        if let Some(h) = cell.borrow_mut().as_mut() {
+            f(h);
+        }
+    });
+}
+
+/// Label subsequent rows with `label` and reset per-run state.
+pub fn begin_run(label: &str) {
+    if active() {
+        with(|h| h.begin_run(label));
+    }
+}
+
+/// Set a cumulative counter to its authoritative value.
+#[inline]
+pub fn counter_set(name: &'static str, v: u64) {
+    if active() {
+        with(|h| h.counter_set(name, v));
+    }
+}
+
+/// Set a point-in-time gauge.
+#[inline]
+pub fn gauge_set(name: &'static str, v: f64) {
+    if active() {
+        with(|h| h.gauge_set(name, v));
+    }
+}
+
+/// Record one histogram observation.
+#[inline]
+pub fn hist_record(name: &'static str, v: u64) {
+    if active() {
+        with(|h| h.hist_record(name, v));
+    }
+}
+
+/// True when a hub is installed and a snapshot is due at `insts`.
+#[inline]
+pub fn due(insts: u64) -> bool {
+    if !active() {
+        return false;
+    }
+    let mut d = false;
+    with(|h| d = h.due(insts));
+    d
+}
+
+/// Record a snapshot row at (`insts`, `cycles`).
+pub fn snapshot(insts: u64, cycles: u64) {
+    if active() {
+        with(|h| h.snapshot(insts, cycles));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), 50);
+        assert_eq!(h.percentile(90.0), 90);
+        assert_eq!(h.percentile(99.0), 99);
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_of_skewed_distribution() {
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1000);
+        assert_eq!(h.percentile(50.0), 1);
+        assert_eq!(h.percentile(99.0), 1);
+        assert_eq!(h.percentile(100.0), 1000);
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let mut h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = Histogram::default();
+        h.record(7);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 7);
+        }
+    }
+
+    #[test]
+    fn snapshot_rows_parse_and_reconcile() {
+        let mut hub = MetricsHub::new(1000);
+        hub.begin_run("TON/gzip");
+        hub.counter_set("trace.entries", 5);
+        hub.hist_record("trace.len_insts", 10);
+        hub.hist_record("trace.len_insts", 20);
+        hub.gauge_set("tc.occupancy", 0.25);
+        assert!(hub.due(1000));
+        assert!(!hub.due(999));
+        hub.snapshot(1000, 800);
+        hub.counter_set("trace.entries", 9);
+        hub.snapshot(2000, 1800);
+        let jsonl = hub.to_jsonl();
+        let rows: Vec<_> = jsonl.lines().map(|l| json::parse(l).unwrap()).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("run").as_str(), Some("TON/gzip"));
+        assert_eq!(rows[0].get("trace.entries").as_u64(), Some(5));
+        assert_eq!(
+            rows[0].get("trace.len_insts").get("count").as_u64(),
+            Some(2)
+        );
+        assert_eq!(rows[0].get("trace.len_insts").get("p50").as_u64(), Some(10));
+        assert_eq!(rows[0].get("tc.occupancy").as_f64(), Some(0.25));
+        // Interval IPC: first row 1000/800, second (2000-1000)/(1800-800).
+        assert!((rows[0].get("ipc_interval").as_f64().unwrap() - 1.25).abs() < 1e-9);
+        assert!((rows[1].get("ipc_interval").as_f64().unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(rows[1].get("trace.entries").as_u64(), Some(9));
+        assert_eq!(rows[1].get("seq").as_u64(), Some(1));
+    }
+
+    #[test]
+    fn begin_run_resets_state() {
+        let mut hub = MetricsHub::new(100);
+        hub.begin_run("a");
+        hub.counter_set("x", 7);
+        hub.snapshot(100, 100);
+        hub.begin_run("b");
+        assert_eq!(hub.counter("x"), 0);
+        hub.snapshot(50, 50);
+        let rows: Vec<_> = hub
+            .to_jsonl()
+            .lines()
+            .map(|l| json::parse(l).unwrap())
+            .collect();
+        assert_eq!(rows[1].get("run").as_str(), Some("b"));
+        assert_eq!(rows[1].get("seq").as_u64(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with a built-in snapshot key")]
+    fn reserved_metric_names_are_rejected() {
+        let mut hub = MetricsHub::new(100);
+        hub.counter_set("insts", 1);
+    }
+
+    #[test]
+    fn free_functions_noop_when_uninstalled() {
+        assert!(!active());
+        counter_set("x", 1);
+        hist_record("h", 1);
+        gauge_set("g", 1.0);
+        assert!(!due(u64::MAX));
+        snapshot(1, 1);
+        assert!(take().is_none());
+    }
+}

@@ -1,0 +1,218 @@
+//! Scoped wall-clock timers around simulator hot paths.
+//!
+//! Sections nest: a scope's elapsed time counts toward its own *total* and
+//! is subtracted from the enclosing scope's *self* time, so the report
+//! attributes every nanosecond exactly once. Install with [`install`],
+//! guard hot paths with [`scope`], and print [`Profiler::report`] at exit.
+//!
+//! When no profiler is installed, [`scope`] is a single thread-local `Cell`
+//! read and the guard's `Drop` does nothing — cheap enough to leave in the
+//! machine tick loop.
+
+use std::cell::{Cell, RefCell};
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug, Default)]
+struct Section {
+    name: &'static str,
+    calls: u64,
+    total: Duration,
+    own: Duration,
+}
+
+#[derive(Debug)]
+struct Frame {
+    section: usize,
+    started: Instant,
+    child: Duration,
+}
+
+/// Wall-clock section profiler.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    sections: Vec<Section>,
+    stack: Vec<Frame>,
+    epoch: Option<Instant>,
+}
+
+impl Profiler {
+    pub fn new() -> Profiler {
+        Profiler {
+            sections: Vec::new(),
+            stack: Vec::new(),
+            epoch: Some(Instant::now()),
+        }
+    }
+
+    fn section_index(&mut self, name: &'static str) -> usize {
+        if let Some(i) = self.sections.iter().position(|s| s.name == name) {
+            i
+        } else {
+            self.sections.push(Section {
+                name,
+                ..Section::default()
+            });
+            self.sections.len() - 1
+        }
+    }
+
+    fn begin(&mut self, name: &'static str) {
+        let section = self.section_index(name);
+        self.stack.push(Frame {
+            section,
+            started: Instant::now(),
+            child: Duration::ZERO,
+        });
+    }
+
+    fn end(&mut self) {
+        let Some(frame) = self.stack.pop() else {
+            return;
+        };
+        let elapsed = frame.started.elapsed();
+        let s = &mut self.sections[frame.section];
+        s.calls += 1;
+        s.total += elapsed;
+        s.own += elapsed.saturating_sub(frame.child);
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child += elapsed;
+        }
+    }
+
+    /// Render the per-section table (sorted by self time, descending).
+    pub fn report(&self) -> String {
+        let wall = self.epoch.map(|e| e.elapsed()).unwrap_or_default();
+        let mut rows = self.sections.clone();
+        rows.sort_by_key(|s| std::cmp::Reverse(s.own));
+        let mut out = String::new();
+        out.push_str("profile (wall-clock)\n");
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>12} {:>12} {:>7}\n",
+            "section", "calls", "total ms", "self ms", "self %"
+        ));
+        let wall_s = wall.as_secs_f64().max(1e-12);
+        for s in &rows {
+            out.push_str(&format!(
+                "{:<28} {:>10} {:>12.3} {:>12.3} {:>6.1}%\n",
+                s.name,
+                s.calls,
+                s.total.as_secs_f64() * 1e3,
+                s.own.as_secs_f64() * 1e3,
+                100.0 * s.own.as_secs_f64() / wall_s
+            ));
+        }
+        out.push_str(&format!("wall total: {:.3} ms\n", wall.as_secs_f64() * 1e3));
+        out
+    }
+
+    /// (calls, total, self) for `name`, if the section was entered.
+    pub fn section(&self, name: &str) -> Option<(u64, Duration, Duration)> {
+        self.sections
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| (s.calls, s.total, s.own))
+    }
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static PROFILER: RefCell<Option<Profiler>> = const { RefCell::new(None) };
+}
+
+/// Install a profiler as this thread's sink (returning any previous one).
+pub fn install(p: Profiler) -> Option<Profiler> {
+    ACTIVE.with(|a| a.set(true));
+    PROFILER.with(|cell| cell.borrow_mut().replace(p))
+}
+
+/// Remove and return the installed profiler.
+pub fn take() -> Option<Profiler> {
+    ACTIVE.with(|a| a.set(false));
+    PROFILER.with(|cell| cell.borrow_mut().take())
+}
+
+/// Is a profiler installed on this thread?
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// RAII guard closing its section on drop. Obtain via [`scope`].
+#[must_use = "the scope ends when the guard is dropped"]
+pub struct Scope {
+    live: bool,
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        if self.live {
+            PROFILER.with(|cell| {
+                if let Some(p) = cell.borrow_mut().as_mut() {
+                    p.end();
+                }
+            });
+        }
+    }
+}
+
+/// Open a named timing scope; it closes when the returned guard drops.
+#[inline]
+pub fn scope(name: &'static str) -> Scope {
+    if !active() {
+        return Scope { live: false };
+    }
+    PROFILER.with(|cell| {
+        if let Some(p) = cell.borrow_mut().as_mut() {
+            p.begin(name);
+        }
+    });
+    Scope { live: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_attributes_self_and_total() {
+        install(Profiler::new());
+        {
+            let _outer = scope("outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = scope("inner");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let p = take().unwrap();
+        let (ocalls, ototal, oself) = p.section("outer").unwrap();
+        let (icalls, itotal, iself) = p.section("inner").unwrap();
+        assert_eq!(ocalls, 1);
+        assert_eq!(icalls, 1);
+        // Outer total covers inner; outer self excludes it.
+        assert!(ototal >= itotal);
+        assert!(oself <= ototal - itotal + Duration::from_millis(1));
+        assert!(iself <= itotal);
+        let report = p.report();
+        assert!(report.contains("outer"));
+        assert!(report.contains("inner"));
+        assert!(report.contains("self %"));
+    }
+
+    #[test]
+    fn repeated_scopes_accumulate_calls() {
+        install(Profiler::new());
+        for _ in 0..10 {
+            let _s = scope("tick");
+        }
+        let p = take().unwrap();
+        assert_eq!(p.section("tick").unwrap().0, 10);
+    }
+
+    #[test]
+    fn scope_without_profiler_is_noop() {
+        assert!(!active());
+        let _s = scope("nothing");
+        assert!(take().is_none());
+    }
+}

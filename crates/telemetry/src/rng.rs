@@ -1,0 +1,198 @@
+//! In-tree xorshift64* PRNG replacing `rand::SmallRng` for offline builds.
+//!
+//! Seeds pass through one round of splitmix64 (so seed 0 and near-equal
+//! seeds produce uncorrelated streams), then the xorshift64* step generates
+//! 64-bit outputs. The *stream for a given seed differs* from the old
+//! `SmallRng` stream — generated programs keep the same statistical shape
+//! but not the same instruction sequences; see DESIGN.md ("Determinism").
+//!
+//! Range methods use simple modulo reduction: the bias is < width/2^64,
+//! irrelevant for workload synthesis, and the code stays obviously correct.
+
+/// xorshift64* generator (Vigna, "An experimental exploration of
+/// Marsaglia's xorshift generators, scrambled").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xorshift64Star {
+    s: u64,
+}
+
+impl Xorshift64Star {
+    /// Seed via one splitmix64 round; any seed (including 0) is valid.
+    pub fn seed_from_u64(seed: u64) -> Xorshift64Star {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Xorshift64Star { s: z | 1 } // state must be nonzero
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.s;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.s = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw; `p` is clamped to `[0, 1]`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform in `[lo, hi)`. Panics on an empty range.
+    #[inline]
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "f64_in: empty range [{lo}, {hi})");
+        lo + self.unit_f64() * (hi - lo)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`. Panics on an empty range.
+    #[inline]
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "u64_in: empty range [{lo}, {hi})");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    #[inline]
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform `u8` in `[lo, hi)`.
+    #[inline]
+    pub fn u8_in(&mut self, lo: u8, hi: u8) -> u8 {
+        self.u64_in(u64::from(lo), u64::from(hi)) as u8
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[inline]
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `i64` in `[lo, hi)`. Panics on an empty range.
+    #[inline]
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "i64_in: empty range [{lo}, {hi})");
+        let width = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add((self.next_u64() % width) as i64)
+    }
+
+    /// Uniform `i32` in `[lo, hi)`.
+    #[inline]
+    pub fn i32_in(&mut self, lo: i32, hi: i32) -> i32 {
+        self.i64_in(i64::from(lo), i64::from(hi)) as i32
+    }
+
+    /// Pick a uniformly random element of a nonempty slice.
+    #[inline]
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize_in(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Xorshift64Star::seed_from_u64(42);
+        let mut b = Xorshift64Star::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xorshift64Star::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut r = Xorshift64Star::seed_from_u64(0);
+        let xs: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(xs.iter().any(|&x| x != 0));
+        assert_ne!(xs[0], xs[1]);
+    }
+
+    #[test]
+    fn unit_f64_in_range_and_uniformish() {
+        let mut r = Xorshift64Star::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut r = Xorshift64Star::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits {hits}");
+        // Degenerate probabilities never panic (rand::gen_bool would).
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut r = Xorshift64Star::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = r.usize_in(0, 5);
+            seen[v] = true;
+            let i = r.i64_in(-64, 256);
+            assert!((-64..256).contains(&i));
+            let f = r.f64_in(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = r.u32_in(3, 7);
+            assert!((3..7).contains(&u));
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit");
+    }
+
+    #[test]
+    fn negative_range_spanning_zero() {
+        let mut r = Xorshift64Star::seed_from_u64(13);
+        let mut neg = 0;
+        for _ in 0..1000 {
+            if r.i64_in(-10, 10) < 0 {
+                neg += 1;
+            }
+        }
+        assert!((300..700).contains(&neg), "negatives {neg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "u64_in: empty range")]
+    fn empty_range_panics_with_message() {
+        let mut r = Xorshift64Star::seed_from_u64(1);
+        r.u64_in(5, 5);
+    }
+
+    #[test]
+    fn pick_covers_slice() {
+        let mut r = Xorshift64Star::seed_from_u64(17);
+        let items = ["a", "b", "c"];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(*r.pick(&items));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

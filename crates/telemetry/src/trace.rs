@@ -1,0 +1,366 @@
+//! Bounded ring-buffer event tracer emitting Chrome trace-event JSON
+//! (loadable in Perfetto / `about://tracing`).
+//!
+//! Timestamps are **simulated cycles**, written into the format's
+//! microsecond `ts`/`dur` fields, so the timeline renders simulated time.
+//! The machine publishes the current cycle via [`set_clock`]; instrumented
+//! crates that do not know the cycle (`parrot-trace`, `parrot-opt`) emit
+//! events against that ambient clock.
+//!
+//! Like the `log` crate, the tracer is an installable thread-local sink:
+//! [`install`] one before a run, call the free functions from anywhere, and
+//! [`take`] it back to write the file. When no tracer is installed every
+//! hook is a single thread-local `Cell` read.
+
+use crate::json::write_escaped;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+
+/// Track ("thread") ids used to group events into Perfetto rows.
+pub mod track {
+    /// Fetch-phase spans: cold segments, hot-trace runs.
+    pub const PHASE: u32 = 1;
+    /// Trace lifecycle: promotion, construction, cache insert/evict,
+    /// entries, aborts.
+    pub const TRACE: u32 = 2;
+    /// Optimizer jobs and passes.
+    pub const OPT: u32 = 3;
+    /// Machine-level instants (core switches, snapshots).
+    pub const MACHINE: u32 = 4;
+}
+
+/// Up to two numeric args per event, kept allocation-free.
+pub type Args = [Option<(&'static str, f64)>; 2];
+
+/// One numeric arg.
+pub fn arg1(k: &'static str, v: f64) -> Args {
+    [Some((k, v)), None]
+}
+
+/// Two numeric args.
+pub fn arg2(k1: &'static str, v1: f64, k2: &'static str, v2: f64) -> Args {
+    [Some((k1, v1)), Some((k2, v2))]
+}
+
+/// No args.
+pub const NO_ARGS: Args = [None, None];
+
+#[derive(Clone, Debug)]
+struct Event {
+    name: &'static str,
+    cat: &'static str,
+    /// 'X' = complete (has dur), 'i' = instant.
+    ph: u8,
+    ts: u64,
+    dur: u64,
+    pid: u32,
+    tid: u32,
+    args: Args,
+}
+
+/// Bounded recorder of trace events. Oldest events are dropped once `cap`
+/// is reached (the drop count is reported in the emitted file's metadata).
+#[derive(Debug)]
+pub struct Tracer {
+    cap: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+    /// Current run ("process") id; one per simulated run.
+    pid: u32,
+    /// Process-name metadata: (pid, label).
+    runs: Vec<(u32, String)>,
+}
+
+impl Tracer {
+    /// A tracer retaining at most `cap` events.
+    pub fn new(cap: usize) -> Tracer {
+        Tracer {
+            cap: cap.max(16),
+            events: VecDeque::new(),
+            dropped: 0,
+            pid: 0,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Start a new run: a fresh Perfetto "process" labeled `label`.
+    pub fn begin_run(&mut self, label: &str) {
+        self.pid += 1;
+        self.runs.push((self.pid, label.to_string()));
+    }
+
+    fn push(&mut self, ev: Event) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events dropped to the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the Chrome trace-event JSON document.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock\":\"simulated-cycles\"");
+        if self.dropped > 0 {
+            out.push_str(&format!(",\"droppedEvents\":{}", self.dropped));
+        }
+        out.push_str("},\"traceEvents\":[");
+        let mut first = true;
+        for (pid, label) in &self.runs {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":"
+            ));
+            write_escaped(label, &mut out);
+            out.push_str("}}");
+            for (tid, tname) in [
+                (track::PHASE, "fetch phase"),
+                (track::TRACE, "trace lifecycle"),
+                (track::OPT, "optimizer"),
+                (track::MACHINE, "machine"),
+            ] {
+                out.push_str(&format!(
+                    ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":"
+                ));
+                write_escaped(tname, &mut out);
+                out.push_str("}}");
+            }
+        }
+        for ev in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            write_escaped(ev.name, &mut out);
+            out.push_str(",\"cat\":");
+            write_escaped(ev.cat, &mut out);
+            out.push_str(&format!(
+                ",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+                ev.ph as char, ev.ts, ev.pid, ev.tid
+            ));
+            if ev.ph == b'X' {
+                out.push_str(&format!(",\"dur\":{}", ev.dur));
+            }
+            if ev.ph == b'i' {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push_str(",\"args\":{");
+            let mut firsta = true;
+            for (k, v) in ev.args.iter().flatten() {
+                if !firsta {
+                    out.push(',');
+                }
+                firsta = false;
+                write_escaped(k, &mut out);
+                out.push(':');
+                if !v.is_finite() {
+                    out.push_str("null");
+                } else if v.fract() == 0.0 && v.abs() < 2f64.powi(53) {
+                    out.push_str(&format!("{}", *v as i64));
+                } else {
+                    out.push_str(&format!("{v:?}"));
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static CLOCK: Cell<u64> = const { Cell::new(0) };
+    static TRACER: RefCell<Option<Tracer>> = const { RefCell::new(None) };
+}
+
+/// Install a tracer as this thread's sink (replacing any previous one,
+/// which is returned).
+pub fn install(t: Tracer) -> Option<Tracer> {
+    ACTIVE.with(|a| a.set(true));
+    TRACER.with(|cell| cell.borrow_mut().replace(t))
+}
+
+/// Remove and return the installed tracer.
+pub fn take() -> Option<Tracer> {
+    ACTIVE.with(|a| a.set(false));
+    TRACER.with(|cell| cell.borrow_mut().take())
+}
+
+/// Is a tracer installed on this thread? (single `Cell` read)
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Publish the current simulated cycle; events recorded without an explicit
+/// timestamp use this clock.
+#[inline]
+pub fn set_clock(now: u64) {
+    if active() {
+        CLOCK.with(|c| c.set(now));
+    }
+}
+
+/// The most recently published simulated cycle.
+#[inline]
+pub fn clock() -> u64 {
+    CLOCK.with(|c| c.get())
+}
+
+fn with<F: FnOnce(&mut Tracer)>(f: F) {
+    TRACER.with(|cell| {
+        if let Some(t) = cell.borrow_mut().as_mut() {
+            f(t);
+        }
+    });
+}
+
+/// Begin a new run (fresh Perfetto process) labeled `label`.
+pub fn begin_run(label: &str) {
+    if active() {
+        with(|t| t.begin_run(label));
+    }
+}
+
+/// Record an instant event at the ambient clock.
+#[inline]
+pub fn instant(name: &'static str, cat: &'static str, tid: u32, args: Args) {
+    if active() {
+        let ts = clock();
+        with(|t| {
+            let pid = t.pid.max(1);
+            t.push(Event {
+                name,
+                cat,
+                ph: b'i',
+                ts,
+                dur: 0,
+                pid,
+                tid,
+                args,
+            });
+        });
+    }
+}
+
+/// Record a complete span `[start, end)` in simulated cycles.
+#[inline]
+pub fn complete(name: &'static str, cat: &'static str, tid: u32, start: u64, end: u64, args: Args) {
+    if active() {
+        with(|t| {
+            let pid = t.pid.max(1);
+            t.push(Event {
+                name,
+                cat,
+                ph: b'X',
+                ts: start,
+                dur: end.saturating_sub(start),
+                pid,
+                tid,
+                args,
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn emitted_file_parses_and_has_required_fields() {
+        let mut t = Tracer::new(128);
+        t.begin_run("TON/gzip");
+        install(t);
+        set_clock(100);
+        instant(
+            "trace.abort",
+            "trace",
+            track::TRACE,
+            arg1("flushed_uops", 12.0),
+        );
+        complete(
+            "hot",
+            "phase",
+            track::PHASE,
+            40,
+            90,
+            arg2("insts", 24.0, "tid", 7.0),
+        );
+        let t = take().unwrap();
+        let doc = json::parse(&t.to_chrome_json()).unwrap();
+        let events = doc.get("traceEvents").as_arr().unwrap();
+        // 5 metadata events (process + 4 threads) + 2 recorded.
+        assert_eq!(events.len(), 7);
+        let abort = events
+            .iter()
+            .find(|e| e.get("name").as_str() == Some("trace.abort"))
+            .unwrap();
+        assert_eq!(abort.get("ph").as_str(), Some("i"));
+        assert_eq!(abort.get("ts").as_u64(), Some(100));
+        assert_eq!(abort.get("args").get("flushed_uops").as_u64(), Some(12));
+        let hot = events
+            .iter()
+            .find(|e| e.get("name").as_str() == Some("hot"))
+            .unwrap();
+        assert_eq!(hot.get("ph").as_str(), Some("X"));
+        assert_eq!(hot.get("ts").as_u64(), Some(40));
+        assert_eq!(hot.get("dur").as_u64(), Some(50));
+        assert_eq!(hot.get("pid").as_u64(), Some(1));
+    }
+
+    #[test]
+    fn ring_bound_drops_oldest() {
+        let mut t = Tracer::new(16);
+        t.begin_run("r");
+        install(t);
+        for i in 0..40u64 {
+            set_clock(i);
+            instant("e", "c", track::MACHINE, NO_ARGS);
+        }
+        let t = take().unwrap();
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.dropped(), 24);
+        let doc = json::parse(&t.to_chrome_json()).unwrap();
+        assert_eq!(doc.get("otherData").get("droppedEvents").as_u64(), Some(24));
+        // The oldest surviving event is ts=24.
+        let evs = doc.get("traceEvents").as_arr().unwrap();
+        let min_ts = evs
+            .iter()
+            .filter(|e| e.get("ph").as_str() == Some("i"))
+            .filter_map(|e| e.get("ts").as_u64())
+            .min();
+        assert_eq!(min_ts, Some(24));
+    }
+
+    #[test]
+    fn hooks_are_noops_when_uninstalled() {
+        assert!(!active());
+        set_clock(5);
+        instant("x", "c", 1, NO_ARGS);
+        complete("y", "c", 1, 0, 10, NO_ARGS);
+        begin_run("nothing");
+        assert!(take().is_none());
+    }
+}

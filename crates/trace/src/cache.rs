@@ -6,6 +6,7 @@
 
 use crate::tid::Tid;
 use parrot_isa::Uop;
+use parrot_telemetry::{metrics, trace as tev};
 
 /// The optimization state of a stored frame (gradual promotion).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -110,7 +111,12 @@ impl TraceCache {
         assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
         TraceCache {
             cfg,
-            slots: (0..cfg.sets * cfg.ways).map(|_| Slot { frame: None, stamp: 0 }).collect(),
+            slots: (0..cfg.sets * cfg.ways)
+                .map(|_| Slot {
+                    frame: None,
+                    stamp: 0,
+                })
+                .collect(),
             tick: 0,
             stats: TraceCacheStats::default(),
             retired_opt_reuse: Vec::new(),
@@ -148,10 +154,13 @@ impl TraceCache {
         let mut v: Vec<(&TraceFrame, u64)> = self.slots[self.set_range_pc(start_pc)]
             .iter()
             .filter_map(|s| {
-                s.frame.as_ref().filter(|f| f.tid.start_pc == start_pc).map(|f| (f, s.stamp))
+                s.frame
+                    .as_ref()
+                    .filter(|f| f.tid.start_pc == start_pc)
+                    .map(|f| (f, s.stamp))
             })
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|(_, stamp)| std::cmp::Reverse(*stamp));
         v.into_iter().map(|(f, _)| f).collect()
     }
 
@@ -192,6 +201,7 @@ impl TraceCache {
     /// Insert a newly constructed frame, evicting the LRU way if needed.
     pub fn insert(&mut self, frame: TraceFrame) {
         self.tick += 1;
+        let new_uops = frame.uops.len();
         let range = self.set_range(&frame.tid);
         let tick = self.tick;
         let slots = &mut self.slots[range];
@@ -211,13 +221,37 @@ impl TraceCache {
         if let Some(old) = &slots[idx].frame {
             if old.tid != frame.tid {
                 self.stats.evictions += 1;
+                tev::instant(
+                    "tc.evict",
+                    "trace",
+                    tev::track::TRACE,
+                    tev::arg2(
+                        "uops",
+                        old.uops.len() as f64,
+                        "exec_count",
+                        old.exec_count as f64,
+                    ),
+                );
                 if old.opt_level == OptLevel::Optimized {
                     self.retired_opt_reuse.push(old.execs_since_opt);
                 }
             }
         }
-        slots[idx] = Slot { frame: Some(frame), stamp: tick };
+        slots[idx] = Slot {
+            frame: Some(frame),
+            stamp: tick,
+        };
         self.stats.inserts += 1;
+        if tev::active() || metrics::active() {
+            let resident = self.len();
+            tev::instant(
+                "tc.insert",
+                "trace",
+                tev::track::TRACE,
+                tev::arg2("uops", new_uops as f64, "resident", resident as f64),
+            );
+            metrics::gauge_set("tc_occupancy", resident as f64);
+        }
     }
 
     /// Replace a resident frame with its optimized form (write-back from the
@@ -242,8 +276,9 @@ impl TraceCache {
     /// Record a full-path match for `tid` (raises fetch confidence).
     pub fn on_full_match(&mut self, tid: &Tid) {
         let range = self.set_range(tid);
-        if let Some(slot) =
-            self.slots[range].iter_mut().find(|s| s.frame.as_ref().is_some_and(|f| f.tid == *tid))
+        if let Some(slot) = self.slots[range]
+            .iter_mut()
+            .find(|s| s.frame.as_ref().is_some_and(|f| f.tid == *tid))
         {
             let f = slot.frame.as_mut().expect("present");
             f.live_conf = (f.live_conf + 1).min(3);
@@ -254,8 +289,9 @@ impl TraceCache {
     /// restore fetch confidence — the recorded path is live again.
     pub fn revalidate(&mut self, tid: &Tid) {
         let range = self.set_range(tid);
-        if let Some(slot) =
-            self.slots[range].iter_mut().find(|s| s.frame.as_ref().is_some_and(|f| f.tid == *tid))
+        if let Some(slot) = self.slots[range]
+            .iter_mut()
+            .find(|s| s.frame.as_ref().is_some_and(|f| f.tid == *tid))
         {
             let f = slot.frame.as_mut().expect("present");
             f.live_conf = (f.live_conf + 1).min(3);
@@ -265,8 +301,9 @@ impl TraceCache {
     /// Record an abort for `tid` (lowers fetch confidence).
     pub fn on_abort(&mut self, tid: &Tid) {
         let range = self.set_range(tid);
-        if let Some(slot) =
-            self.slots[range].iter_mut().find(|s| s.frame.as_ref().is_some_and(|f| f.tid == *tid))
+        if let Some(slot) = self.slots[range]
+            .iter_mut()
+            .find(|s| s.frame.as_ref().is_some_and(|f| f.tid == *tid))
         {
             let f = slot.frame.as_mut().expect("present");
             f.live_conf = f.live_conf.saturating_sub(1);
@@ -351,7 +388,10 @@ mod tests {
         opt.opt_level = OptLevel::Optimized;
         opt.uops = vec![];
         assert!(tc.replace_optimized(opt));
-        assert_eq!(tc.peek(&Tid::new(0x300)).unwrap().opt_level, OptLevel::Optimized);
+        assert_eq!(
+            tc.peek(&Tid::new(0x300)).unwrap().opt_level,
+            OptLevel::Optimized
+        );
         assert_eq!(tc.stats().optimized_writebacks, 1);
         // Write-back to an evicted TID fails gracefully.
         let mut gone = frame(0x999);
@@ -437,7 +477,11 @@ mod confidence_tests {
         tc.revalidate(&tid);
         assert_eq!(tc.peek(&tid).expect("resident").live_conf, 2);
         tc.on_full_match(&tid);
-        assert_eq!(tc.peek(&tid).expect("resident").live_conf, 3, "saturates at 3 next");
+        assert_eq!(
+            tc.peek(&tid).expect("resident").live_conf,
+            3,
+            "saturates at 3 next"
+        );
         tc.on_full_match(&tid);
         assert_eq!(tc.peek(&tid).expect("resident").live_conf, 3);
         tc.on_abort(&tid);

@@ -8,6 +8,7 @@
 use crate::cache::{OptLevel, TraceFrame};
 use crate::selection::TraceCandidate;
 use parrot_isa::{Uop, UopKind};
+use parrot_telemetry::{metrics, profile, trace as tev};
 use parrot_workloads::DecodedProgram;
 
 /// Build an executable frame from a candidate.
@@ -22,6 +23,7 @@ use parrot_workloads::DecodedProgram;
 ///   address sequence (used by functional replay and by optimization
 ///   verification).
 pub fn construct_frame(cand: &TraceCandidate, decoded: &DecodedProgram) -> TraceFrame {
+    let _prof = profile::scope("trace.construct");
     let mut uops: Vec<Uop> = Vec::with_capacity(cand.num_uops as usize);
     let mut mem_addrs: Vec<u64> = Vec::new();
     for (ordinal, ci) in cand.insts.iter().enumerate() {
@@ -30,7 +32,10 @@ pub fn construct_frame(cand: &TraceCandidate, decoded: &DecodedProgram) -> Trace
             u.inst_idx = ordinal as u32;
             match u.kind {
                 UopKind::Branch(cond) => {
-                    u.kind = UopKind::Assert { cond, expect: ci.taken };
+                    u.kind = UopKind::Assert {
+                        cond,
+                        expect: ci.taken,
+                    };
                 }
                 UopKind::Jump | UopKind::JumpInd => continue,
                 _ => {}
@@ -43,12 +48,21 @@ pub fn construct_frame(cand: &TraceCandidate, decoded: &DecodedProgram) -> Trace
         }
     }
     let orig_uops = uops.len() as u32;
+    let num_insts = cand.insts.len() as u32;
+    tev::instant(
+        "trace.construct",
+        "trace",
+        tev::track::TRACE,
+        tev::arg2("insts", f64::from(num_insts), "uops", f64::from(orig_uops)),
+    );
+    metrics::hist_record("trace_len_insts", u64::from(num_insts));
+    metrics::hist_record("trace_len_uops", u64::from(orig_uops));
     TraceFrame {
         tid: cand.tid,
         uops,
         mem_addrs,
         path: cand.insts.iter().map(|ci| (ci.pc, ci.taken)).collect(),
-        num_insts: cand.insts.len() as u32,
+        num_insts,
         orig_uops,
         joins: cand.joins,
         opt_level: OptLevel::Constructed,
@@ -86,14 +100,20 @@ mod tests {
             let mut asserts = 0u8;
             for u in &f.uops {
                 assert!(
-                    !matches!(u.kind, UopKind::Branch(_) | UopKind::Jump | UopKind::JumpInd),
+                    !matches!(
+                        u.kind,
+                        UopKind::Branch(_) | UopKind::Jump | UopKind::JumpInd
+                    ),
                     "raw control uop left in frame"
                 );
                 if matches!(u.kind, UopKind::Assert { .. }) {
                     asserts += 1;
                 }
             }
-            assert_eq!(asserts, f.tid.num_branches, "one assert per recorded direction");
+            assert_eq!(
+                asserts, f.tid.num_branches,
+                "one assert per recorded direction"
+            );
         }
     }
 

@@ -4,6 +4,8 @@
 //! traces are handed to the optimizer. This selectivity is PARROT's key
 //! power-awareness lever.
 
+use parrot_telemetry::trace as tev;
+
 /// Counter-filter geometry and threshold.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FilterConfig {
@@ -18,14 +20,22 @@ pub struct FilterConfig {
 impl FilterConfig {
     /// The hot filter: TID must complete 12 times before construction.
     pub fn hot() -> FilterConfig {
-        FilterConfig { sets: 256, ways: 4, threshold: 12 }
+        FilterConfig {
+            sets: 256,
+            ways: 4,
+            threshold: 12,
+        }
     }
 
     /// The blazing filter: trace must execute 48 times before optimization
     /// (the paper notes a "relatively high blazing threshold" amortizes the
     /// optimizer).
     pub fn blazing() -> FilterConfig {
-        FilterConfig { sets: 128, ways: 4, threshold: 48 }
+        FilterConfig {
+            sets: 128,
+            ways: 4,
+            threshold: 48,
+        }
     }
 }
 
@@ -56,7 +66,14 @@ impl CounterFilter {
         assert!(cfg.threshold > 0, "threshold must be positive");
         CounterFilter {
             cfg,
-            entries: vec![Entry { key: u64::MAX, count: 0, stamp: 0 }; (cfg.sets * cfg.ways) as usize],
+            entries: vec![
+                Entry {
+                    key: u64::MAX,
+                    count: 0,
+                    stamp: 0
+                };
+                (cfg.sets * cfg.ways) as usize
+            ],
             tick: 0,
             evictions: 0,
         }
@@ -77,19 +94,40 @@ impl CounterFilter {
         if let Some(e) = ways.iter_mut().find(|e| e.key == key) {
             e.count = e.count.saturating_add(1);
             e.stamp = self.tick;
+            if e.count == self.cfg.threshold {
+                // Exactly crossing the threshold: this occurrence promotes
+                // the TID (to construction or, for the blazing filter, to
+                // the optimizer).
+                tev::instant(
+                    "filter.promote",
+                    "trace",
+                    tev::track::TRACE,
+                    tev::arg1("threshold", f64::from(self.cfg.threshold)),
+                );
+            }
             return e.count;
         }
         // Victim: prefer an invalid way, else the LRU.
         let victim = ways
             .iter()
             .enumerate()
-            .min_by_key(|(_, e)| if e.key == u64::MAX { (0, 0) } else { (1, e.stamp) })
+            .min_by_key(|(_, e)| {
+                if e.key == u64::MAX {
+                    (0, 0)
+                } else {
+                    (1, e.stamp)
+                }
+            })
             .map(|(i, _)| i)
             .expect("nonzero associativity");
         if ways[victim].key != u64::MAX {
             self.evictions += 1;
         }
-        ways[victim] = Entry { key, count: 1, stamp: self.tick };
+        ways[victim] = Entry {
+            key,
+            count: 1,
+            stamp: self.tick,
+        };
         1
     }
 
@@ -113,8 +151,9 @@ impl CounterFilter {
     pub fn reset(&mut self, key: u64) {
         let set = (key % u64::from(self.cfg.sets)) as usize;
         let base = set * self.cfg.ways as usize;
-        if let Some(e) =
-            self.entries[base..base + self.cfg.ways as usize].iter_mut().find(|e| e.key == key)
+        if let Some(e) = self.entries[base..base + self.cfg.ways as usize]
+            .iter_mut()
+            .find(|e| e.key == key)
         {
             e.count = 0;
         }
@@ -126,7 +165,11 @@ mod tests {
     use super::*;
 
     fn filter(threshold: u32) -> CounterFilter {
-        CounterFilter::new(FilterConfig { sets: 16, ways: 2, threshold })
+        CounterFilter::new(FilterConfig {
+            sets: 16,
+            ways: 2,
+            threshold,
+        })
     }
 
     #[test]
@@ -142,7 +185,11 @@ mod tests {
 
     #[test]
     fn cold_keys_evict_lru_but_hot_key_survives_by_recency() {
-        let mut f = CounterFilter::new(FilterConfig { sets: 1, ways: 2, threshold: 10 });
+        let mut f = CounterFilter::new(FilterConfig {
+            sets: 1,
+            ways: 2,
+            threshold: 10,
+        });
         for _ in 0..5 {
             f.bump(1); // hot key, most recent
         }
@@ -157,7 +204,11 @@ mod tests {
 
     #[test]
     fn eviction_restarts_counting() {
-        let mut f = CounterFilter::new(FilterConfig { sets: 1, ways: 1, threshold: 5 });
+        let mut f = CounterFilter::new(FilterConfig {
+            sets: 1,
+            ways: 1,
+            threshold: 5,
+        });
         for _ in 0..4 {
             f.bump(7);
         }

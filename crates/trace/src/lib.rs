@@ -32,5 +32,7 @@ pub use cache::{OptLevel, TraceCache, TraceCacheConfig, TraceCacheStats, TraceFr
 pub use constructor::construct_frame;
 pub use filter::{CounterFilter, FilterConfig};
 pub use predictor::{TracePredConfig, TracePredStats, TracePredictor};
-pub use selection::{CandInst, SelectionConfig, SelectionStrategy, SelectorStats, TraceCandidate, TraceSelector};
+pub use selection::{
+    CandInst, SelectionConfig, SelectionStrategy, SelectorStats, TraceCandidate, TraceSelector,
+};
 pub use tid::Tid;

@@ -16,7 +16,10 @@ pub struct TracePredConfig {
 impl TracePredConfig {
     /// The 2K-entry configuration of the PARROT models.
     pub fn parrot_2k() -> TracePredConfig {
-        TracePredConfig { entries: 2048, confidence: 2 }
+        TracePredConfig {
+            entries: 2048,
+            confidence: 2,
+        }
     }
 }
 
@@ -70,7 +73,10 @@ impl TracePredictor {
     /// # Panics
     /// Panics unless `entries` is a power of two.
     pub fn new(cfg: TracePredConfig) -> TracePredictor {
-        assert!(cfg.entries.is_power_of_two(), "entries must be a power of two");
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "entries must be a power of two"
+        );
         TracePredictor {
             cfg,
             table: vec![None; cfg.entries as usize],
@@ -182,7 +188,11 @@ impl TracePredictor {
                 }
             }
             slot => {
-                *slot = Some(PredEntry { tag: hist, pred: *actual, conf: 1 });
+                *slot = Some(PredEntry {
+                    tag: hist,
+                    pred: *actual,
+                    conf: 1,
+                });
             }
         }
         let key = actual.key();
@@ -232,7 +242,10 @@ mod tests {
                 p.observe(t);
             }
         }
-        assert_eq!(correct, 12, "repeating trace sequence must be fully predicted");
+        assert_eq!(
+            correct, 12,
+            "repeating trace sequence must be fully predicted"
+        );
     }
 
     #[test]
@@ -290,6 +303,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn non_power_of_two_rejected() {
-        let _ = TracePredictor::new(TracePredConfig { entries: 1000, confidence: 2 });
+        let _ = TracePredictor::new(TracePredConfig {
+            entries: 1000,
+            confidence: 2,
+        });
     }
 }

@@ -171,9 +171,7 @@ impl TraceSelector {
     pub fn boundary_before(&self, uop_count: u32) -> bool {
         match &self.cur {
             None => true,
-            Some(cur) => {
-                cur.num_uops + uop_count > self.cfg.max_uops || cur.tid.num_branches == 64
-            }
+            Some(cur) => cur.num_uops + uop_count > self.cfg.max_uops || cur.tid.num_branches == 64,
         }
     }
 
@@ -313,7 +311,11 @@ impl TraceSelector {
         }
         if self.cfg.join_identical {
             // Adaptive unroll: short-repeat units are not worth joining.
-            let ewma = self.repeat_ewma.get(&raw.tid.key()).copied().unwrap_or(24.0);
+            let ewma = self
+                .repeat_ewma
+                .get(&raw.tid.key())
+                .copied()
+                .unwrap_or(24.0);
             let join_limit = ((ewma / 12.0) as u32).clamp(1, self.cfg.max_joins);
             if let Some(p) = &mut self.pending {
                 let same_unit = p.unit_tid == raw.tid;
@@ -348,7 +350,15 @@ mod tests {
     use parrot_workloads::{generate_program, AppProfile, DynInst, ExecutionEngine, Suite};
 
     fn dyninst(pc: u64, taken: bool, next_pc: u64) -> DynInst {
-        DynInst { inst: 0, pc, len: 2, taken, next_pc, eff_addr: 0, has_mem: false }
+        DynInst {
+            inst: 0,
+            pc,
+            len: 2,
+            taken,
+            next_pc,
+            eff_addr: 0,
+            has_mem: false,
+        }
     }
 
     fn run_selector(cfg: SelectionConfig, steps: &[(DynInst, InstKind)]) -> Vec<TraceCandidate> {
@@ -374,13 +384,22 @@ mod tests {
     fn backward_taken_branch_terminates() {
         let steps = vec![
             (dyninst(100, false, 102), alu_kind()),
-            (dyninst(102, true, 100), InstKind::CondBranch { cond: Cond::Eq }),
+            (
+                dyninst(102, true, 100),
+                InstKind::CondBranch { cond: Cond::Eq },
+            ),
         ];
         // Repeat the loop body 3 times: identical iteration traces join.
         let mut all = steps.clone();
         all.extend(steps.clone());
         all.extend(steps);
-        let out = run_selector(SelectionConfig { join_identical: false, ..Default::default() }, &all);
+        let out = run_selector(
+            SelectionConfig {
+                join_identical: false,
+                ..Default::default()
+            },
+            &all,
+        );
         assert_eq!(out.len(), 3, "each iteration is a trace without joining");
         assert_eq!(out[0].tid.num_branches, 1);
         assert!(out[0].tid.dir(0));
@@ -390,7 +409,10 @@ mod tests {
     fn identical_consecutive_traces_join() {
         let steps = vec![
             (dyninst(100, false, 102), alu_kind()),
-            (dyninst(102, true, 100), InstKind::CondBranch { cond: Cond::Eq }),
+            (
+                dyninst(102, true, 100),
+                InstKind::CondBranch { cond: Cond::Eq },
+            ),
         ];
         let mut all = Vec::new();
         for _ in 0..4 {
@@ -413,7 +435,10 @@ mod tests {
         // reach the configured maximum.
         let steps = vec![
             (dyninst(100, false, 102), alu_kind()),
-            (dyninst(102, true, 100), InstKind::CondBranch { cond: Cond::Eq }),
+            (
+                dyninst(102, true, 100),
+                InstKind::CondBranch { cond: Cond::Eq },
+            ),
         ];
         let mut all = Vec::new();
         for _ in 0..200 {
@@ -432,8 +457,16 @@ mod tests {
     #[test]
     fn capacity_limits_frame_to_max_uops() {
         // 70 single-uop instructions, no CTIs: must split at 64.
-        let steps: Vec<_> = (0..70).map(|i| (dyninst(100 + i * 2, false, 102 + i * 2), alu_kind())).collect();
-        let out = run_selector(SelectionConfig { join_identical: false, ..Default::default() }, &steps);
+        let steps: Vec<_> = (0..70)
+            .map(|i| (dyninst(100 + i * 2, false, 102 + i * 2), alu_kind()))
+            .collect();
+        let out = run_selector(
+            SelectionConfig {
+                join_identical: false,
+                ..Default::default()
+            },
+            &steps,
+        );
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].num_uops, 64);
         assert_eq!(out[1].num_uops, 6);
@@ -443,10 +476,21 @@ mod tests {
     fn indirect_jump_terminates() {
         let steps = vec![
             (dyninst(100, false, 103), alu_kind()),
-            (dyninst(103, true, 500), InstKind::IndirectJump { sel: parrot_isa::Reg::int(3) }),
+            (
+                dyninst(103, true, 500),
+                InstKind::IndirectJump {
+                    sel: parrot_isa::Reg::int(3),
+                },
+            ),
             (dyninst(500, false, 503), alu_kind()),
         ];
-        let out = run_selector(SelectionConfig { join_identical: false, ..Default::default() }, &steps);
+        let out = run_selector(
+            SelectionConfig {
+                join_identical: false,
+                ..Default::default()
+            },
+            &steps,
+        );
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].insts.len(), 2);
         assert_eq!(out[1].insts[0].pc, 500);
@@ -464,20 +508,39 @@ mod tests {
             (dyninst(108, true, 50), InstKind::Return),
             (dyninst(50, false, 53), alu_kind()),
         ];
-        let out = run_selector(SelectionConfig { join_identical: false, ..Default::default() }, &steps);
-        assert_eq!(out.len(), 2, "matched call/return must be inlined into one trace");
+        let out = run_selector(
+            SelectionConfig {
+                join_identical: false,
+                ..Default::default()
+            },
+            &steps,
+        );
+        assert_eq!(
+            out.len(),
+            2,
+            "matched call/return must be inlined into one trace"
+        );
         assert_eq!(out[0].insts.len(), 5);
     }
 
     #[test]
     fn forward_branches_and_jumps_extend_traces() {
         let steps = vec![
-            (dyninst(100, true, 200), InstKind::CondBranch { cond: Cond::Ne }), // forward taken
+            (
+                dyninst(100, true, 200),
+                InstKind::CondBranch { cond: Cond::Ne },
+            ), // forward taken
             (dyninst(200, false, 202), alu_kind()),
             (dyninst(202, true, 300), InstKind::Jump),
             (dyninst(300, false, 303), alu_kind()),
         ];
-        let out = run_selector(SelectionConfig { join_identical: false, ..Default::default() }, &steps);
+        let out = run_selector(
+            SelectionConfig {
+                join_identical: false,
+                ..Default::default()
+            },
+            &steps,
+        );
         assert_eq!(out.len(), 1, "forward CTIs must not terminate");
         assert_eq!(out[0].tid.num_branches, 1);
     }
@@ -499,8 +562,11 @@ mod tests {
             assert!(c.num_uops <= 64, "capacity violated: {}", c.num_uops);
             assert!(!c.insts.is_empty());
             assert_eq!(c.tid.start_pc, c.insts[0].pc);
-            let branches =
-                c.insts.iter().filter(|i| matches!(prog.inst(i.inst).kind, InstKind::CondBranch { .. })).count();
+            let branches = c
+                .insts
+                .iter()
+                .filter(|i| matches!(prog.inst(i.inst).kind, InstKind::CondBranch { .. }))
+                .count();
             assert_eq!(branches, c.tid.num_branches as usize);
             let uops: u32 = c.insts.iter().map(|i| u32::from(i.uop_count)).sum();
             assert_eq!(uops, c.num_uops);
@@ -508,7 +574,6 @@ mod tests {
         let joined = out.iter().filter(|c| c.joins > 1).count();
         assert!(joined > 0, "loops should produce joined (unrolled) traces");
     }
-
 }
 
 #[cfg(test)]
@@ -518,7 +583,15 @@ mod replay_tests {
     use parrot_workloads::{generate_program, AppProfile, ExecutionEngine, Suite};
 
     fn dyninst(pc: u64, taken: bool, next_pc: u64) -> parrot_workloads::DynInst {
-        parrot_workloads::DynInst { inst: 0, pc, len: 2, taken, next_pc, eff_addr: 0, has_mem: false }
+        parrot_workloads::DynInst {
+            inst: 0,
+            pc,
+            len: 2,
+            taken,
+            next_pc,
+            eff_addr: 0,
+            has_mem: false,
+        }
     }
 
     #[test]
@@ -542,7 +615,10 @@ mod replay_tests {
             seq += 1;
         }
         sel.flush(&mut out);
-        assert!(sel.stats().term_lowbias > 10, "alternating branch must cut frames");
+        assert!(
+            sel.stats().term_lowbias > 10,
+            "alternating branch must cut frames"
+        );
         // A strongly biased branch extends frames instead.
         let mut sel2 = TraceSelector::new(SelectionConfig::replay_style());
         let mut out2 = Vec::new();

@@ -20,7 +20,11 @@ pub struct Tid {
 impl Tid {
     /// TID of a trace starting at `start_pc` with no branches recorded yet.
     pub fn new(start_pc: u64) -> Tid {
-        Tid { start_pc, dirs: 0, num_branches: 0 }
+        Tid {
+            start_pc,
+            dirs: 0,
+            num_branches: 0,
+        }
     }
 
     /// Append one conditional-branch direction.

@@ -1,11 +1,12 @@
-//! Property tests for the trace-selection invariants of §2.2: frame
-//! capacity, TID/branch-direction consistency, join bounds, and complete
-//! stream coverage — over arbitrary generated instruction streams.
+//! Randomized-property tests (seeded in-tree PRNG; formerly proptest) for
+//! the trace-selection invariants of §2.2: frame capacity, TID/branch-
+//! direction consistency, join bounds, and complete stream coverage — over
+//! arbitrary generated instruction streams.
 
 use parrot_isa::{AluOp, Cond, InstKind, Operand, Reg};
 use parrot_trace::{SelectionConfig, TraceSelector};
+use parrot_workloads::rng::Xorshift64Star;
 use parrot_workloads::DynInst;
-use proptest::prelude::*;
 
 /// A compact instruction-stream generator: each element picks an
 /// instruction shape and (for CTIs) a direction/offset.
@@ -20,16 +21,22 @@ enum Step {
     Return,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        4 => Just(Step::Alu),
-        2 => any::<bool>().prop_map(|store| Step::Mem { store }),
-        3 => (any::<bool>(), any::<bool>()).prop_map(|(taken, backward)| Step::CondBr { taken, backward }),
-        1 => Just(Step::Jump),
-        1 => Just(Step::IndJump),
-        1 => Just(Step::Call),
-        1 => Just(Step::Return),
-    ]
+fn arb_step(r: &mut Xorshift64Star) -> Step {
+    // Weighted 4:2:3:1:1:1:1 like the original proptest strategy.
+    match r.u32_in(0, 13) {
+        0..=3 => Step::Alu,
+        4..=5 => Step::Mem {
+            store: r.chance(0.5),
+        },
+        6..=8 => Step::CondBr {
+            taken: r.chance(0.5),
+            backward: r.chance(0.5),
+        },
+        9 => Step::Jump,
+        10 => Step::IndJump,
+        11 => Step::Call,
+        _ => Step::Return,
+    }
 }
 
 /// Materialize a consistent dynamic stream: PCs chain, `taken` matches the
@@ -51,19 +58,53 @@ fn materialize(steps: &[Step]) -> Vec<(DynInst, InstKind)> {
                 None,
             ),
             Step::Mem { store } => {
-                let mem = parrot_isa::MemRef { base: Reg::int(2), offset: 0, stream: 0 };
+                let mem = parrot_isa::MemRef {
+                    base: Reg::int(2),
+                    offset: 0,
+                    stream: 0,
+                };
                 if *store {
-                    (InstKind::Store { src: Reg::int(1), mem }, 3, false, None)
+                    (
+                        InstKind::Store {
+                            src: Reg::int(1),
+                            mem,
+                        },
+                        3,
+                        false,
+                        None,
+                    )
                 } else {
-                    (InstKind::Load { dst: Reg::int(1), mem }, 3, false, None)
+                    (
+                        InstKind::Load {
+                            dst: Reg::int(1),
+                            mem,
+                        },
+                        3,
+                        false,
+                        None,
+                    )
                 }
             }
             Step::CondBr { taken, backward } => {
-                let t = if *backward { pc.saturating_sub(64).max(0x40_0000) } else { pc + 64 };
-                (InstKind::CondBranch { cond: Cond::Eq }, 2, *taken, taken.then_some(t))
+                let t = if *backward {
+                    pc.saturating_sub(64).max(0x40_0000)
+                } else {
+                    pc + 64
+                };
+                (
+                    InstKind::CondBranch { cond: Cond::Eq },
+                    2,
+                    *taken,
+                    taken.then_some(t),
+                )
             }
             Step::Jump => (InstKind::Jump, 2, true, Some(pc + 32)),
-            Step::IndJump => (InstKind::IndirectJump { sel: Reg::int(3) }, 3, true, Some(pc + 48)),
+            Step::IndJump => (
+                InstKind::IndirectJump { sel: Reg::int(3) },
+                3,
+                true,
+                Some(pc + 48),
+            ),
             Step::Call => (InstKind::Call, 5, true, Some(pc + 512)),
             Step::Return => (InstKind::Return, 1, true, Some(pc + 16)),
         };
@@ -86,86 +127,134 @@ fn materialize(steps: &[Step]) -> Vec<(DynInst, InstKind)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn selection_invariants_hold(steps in prop::collection::vec(step_strategy(), 1..400)) {
-        let stream = materialize(&steps);
-        let cfg = SelectionConfig::default();
-        let mut sel = TraceSelector::new(cfg);
-        let mut cands = Vec::new();
-        for (seq, (d, kind)) in stream.iter().enumerate() {
-            sel.step(d, kind, seq as u64, &mut cands);
-        }
-        sel.flush(&mut cands);
-
-        // Every instruction lands in exactly one candidate, in order.
-        let total: usize = cands.iter().map(|c| c.insts.len()).sum();
-        prop_assert_eq!(total, stream.len(), "no instruction lost or duplicated");
-        let mut seq_expect = 0u64;
-        for c in &cands {
-            prop_assert!(c.num_uops <= cfg.max_uops, "capacity respected");
-            prop_assert!(c.joins <= cfg.max_joins, "join bound respected");
-            prop_assert_eq!(c.tid.start_pc, c.insts[0].pc, "TID starts at first pc");
-            prop_assert_eq!(c.start_seq, seq_expect, "candidates partition the stream");
-            seq_expect += c.insts.len() as u64;
-            // Branch-direction bits mirror the embedded conditional branches.
-            let mut bi = 0u8;
-            let dirs: Vec<bool> = c
-                .insts
-                .iter()
-                .zip(c.start_seq..)
-                .filter(|(_, seq)| matches!(stream[*seq as usize].1, InstKind::CondBranch { .. }))
-                .map(|(ci, _)| ci.taken)
-                .collect();
-            prop_assert_eq!(dirs.len(), c.tid.num_branches as usize);
-            for d in dirs {
-                prop_assert_eq!(c.tid.dir(bi), d);
-                bi += 1;
-            }
-            // Uop accounting is exact.
-            let uops: u32 = c
-                .insts
-                .iter()
-                .zip(c.start_seq..)
-                .map(|(_, seq)| stream[seq as usize].1.uop_count() as u32)
-                .sum();
-            prop_assert_eq!(uops, c.num_uops);
-        }
+fn check_selection_invariants(steps: &[Step], case: usize) {
+    let stream = materialize(steps);
+    let cfg = SelectionConfig::default();
+    let mut sel = TraceSelector::new(cfg);
+    let mut cands = Vec::new();
+    for (seq, (d, kind)) in stream.iter().enumerate() {
+        sel.step(d, kind, seq as u64, &mut cands);
     }
+    sel.flush(&mut cands);
 
-    #[test]
-    fn termination_rules_hold(steps in prop::collection::vec(step_strategy(), 1..300)) {
-        let stream = materialize(&steps);
-        let mut sel = TraceSelector::new(SelectionConfig::default());
-        let mut cands = Vec::new();
-        for (seq, (d, kind)) in stream.iter().enumerate() {
-            sel.step(d, kind, seq as u64, &mut cands);
+    // Every instruction lands in exactly one candidate, in order.
+    let total: usize = cands.iter().map(|c| c.insts.len()).sum();
+    assert_eq!(
+        total,
+        stream.len(),
+        "case {case}: no instruction lost or duplicated"
+    );
+    let mut seq_expect = 0u64;
+    for c in &cands {
+        assert!(
+            c.num_uops <= cfg.max_uops,
+            "case {case}: capacity respected"
+        );
+        assert!(
+            c.joins <= cfg.max_joins,
+            "case {case}: join bound respected"
+        );
+        assert_eq!(
+            c.tid.start_pc, c.insts[0].pc,
+            "case {case}: TID starts at first pc"
+        );
+        assert_eq!(
+            c.start_seq, seq_expect,
+            "case {case}: candidates partition the stream"
+        );
+        seq_expect += c.insts.len() as u64;
+        // Branch-direction bits mirror the embedded conditional branches.
+
+        let dirs: Vec<bool> = c
+            .insts
+            .iter()
+            .zip(c.start_seq..)
+            .filter(|(_, seq)| matches!(stream[*seq as usize].1, InstKind::CondBranch { .. }))
+            .map(|(ci, _)| ci.taken)
+            .collect();
+        assert_eq!(dirs.len(), c.tid.num_branches as usize, "case {case}");
+        for (bi, d) in dirs.into_iter().enumerate() {
+            assert_eq!(c.tid.dir(bi as u8), d, "case {case}");
         }
-        sel.flush(&mut cands);
-        for c in &cands {
-            // No instruction in the *interior* of a trace may be an indirect
-            // jump or a backward-taken conditional branch (they terminate a
-            // unit). Joined candidates legitimately contain backward taken
-            // branches at unit boundaries (loop unrolling), so only unjoined
-            // candidates are checked for the backward rule.
-            for (k, (ci, seq)) in c.insts.iter().zip(c.start_seq..).enumerate() {
-                if k + 1 == c.insts.len() {
-                    continue;
-                }
-                let kind = &stream[seq as usize].1;
-                prop_assert!(
-                    !matches!(kind, InstKind::IndirectJump { .. }),
-                    "indirect jump inside a trace"
+        // Uop accounting is exact.
+        let uops: u32 = c
+            .insts
+            .iter()
+            .zip(c.start_seq..)
+            .map(|(_, seq)| stream[seq as usize].1.uop_count() as u32)
+            .sum();
+        assert_eq!(uops, c.num_uops, "case {case}");
+    }
+}
+
+fn check_termination_rules(steps: &[Step], case: usize) {
+    let stream = materialize(steps);
+    let mut sel = TraceSelector::new(SelectionConfig::default());
+    let mut cands = Vec::new();
+    for (seq, (d, kind)) in stream.iter().enumerate() {
+        sel.step(d, kind, seq as u64, &mut cands);
+    }
+    sel.flush(&mut cands);
+    for c in &cands {
+        // No instruction in the *interior* of a trace may be an indirect
+        // jump or a backward-taken conditional branch (they terminate a
+        // unit). Joined candidates legitimately contain backward taken
+        // branches at unit boundaries (loop unrolling), so only unjoined
+        // candidates are checked for the backward rule.
+        for (k, (ci, seq)) in c.insts.iter().zip(c.start_seq..).enumerate() {
+            if k + 1 == c.insts.len() {
+                continue;
+            }
+            let kind = &stream[seq as usize].1;
+            assert!(
+                !matches!(kind, InstKind::IndirectJump { .. }),
+                "case {case}: indirect jump inside a trace"
+            );
+            if c.joins == 1 && matches!(kind, InstKind::CondBranch { .. }) && ci.taken {
+                assert!(
+                    stream[seq as usize].0.next_pc >= ci.pc,
+                    "case {case}: backward taken branch inside an unjoined trace"
                 );
-                if c.joins == 1 && matches!(kind, InstKind::CondBranch { .. }) && ci.taken {
-                    prop_assert!(
-                        stream[seq as usize].0.next_pc >= ci.pc,
-                        "backward taken branch inside an unjoined trace"
-                    );
-                }
             }
         }
     }
+}
+
+#[test]
+fn selection_invariants_hold() {
+    let mut r = Xorshift64Star::seed_from_u64(0x5e1_0001);
+    for case in 0..192 {
+        let steps: Vec<Step> = (0..r.usize_in(1, 400)).map(|_| arb_step(&mut r)).collect();
+        check_selection_invariants(&steps, case);
+    }
+}
+
+#[test]
+fn termination_rules_hold() {
+    let mut r = Xorshift64Star::seed_from_u64(0x5e1_0002);
+    for case in 0..192 {
+        let steps: Vec<Step> = (0..r.usize_in(1, 300)).map(|_| arb_step(&mut r)).collect();
+        check_termination_rules(&steps, case);
+    }
+}
+
+#[test]
+fn historical_regression_back_to_back_backward_loops() {
+    // Shrunk failure case preserved from the former proptest suite.
+    let steps = [
+        Step::Alu,
+        Step::CondBr {
+            taken: true,
+            backward: true,
+        },
+        Step::Alu,
+        Step::CondBr {
+            taken: true,
+            backward: true,
+        },
+        Step::Alu,
+        Step::Alu,
+    ];
+    check_selection_invariants(&steps, usize::MAX);
+    check_termination_rules(&steps, usize::MAX);
 }

@@ -21,13 +21,23 @@ pub struct BpredConfig {
 impl BpredConfig {
     /// The baseline 4K-entry configuration (model `N`/`W`).
     pub fn baseline_4k() -> BpredConfig {
-        BpredConfig { entries: 4096, history_bits: 12, btb_entries: 2048, ras_entries: 16 }
+        BpredConfig {
+            entries: 4096,
+            history_bits: 12,
+            btb_entries: 2048,
+            ras_entries: 16,
+        }
     }
 
     /// The 2K-entry configuration used alongside a trace predictor in
     /// PARROT models.
     pub fn parrot_2k() -> BpredConfig {
-        BpredConfig { entries: 2048, history_bits: 11, btb_entries: 2048, ras_entries: 16 }
+        BpredConfig {
+            entries: 2048,
+            history_bits: 11,
+            btb_entries: 2048,
+            ras_entries: 16,
+        }
     }
 }
 
@@ -57,8 +67,14 @@ pub struct HybridPredictor {
 impl HybridPredictor {
     /// Create a predictor with all counters weakly taken.
     pub fn new(cfg: BpredConfig) -> HybridPredictor {
-        assert!(cfg.entries.is_power_of_two(), "table entries must be a power of two");
-        assert!(cfg.btb_entries.is_power_of_two(), "btb entries must be a power of two");
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "table entries must be a power of two"
+        );
+        assert!(
+            cfg.btb_entries.is_power_of_two(),
+            "btb entries must be a power of two"
+        );
         HybridPredictor {
             cfg,
             bimodal: vec![2; cfg.entries as usize],
@@ -142,8 +158,7 @@ impl HybridPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use parrot_workloads::rng::Xorshift64Star;
 
     fn pred() -> HybridPredictor {
         HybridPredictor::new(BpredConfig::baseline_4k())
@@ -186,10 +201,10 @@ mod tests {
     #[test]
     fn random_branches_are_hard() {
         let mut p = pred();
-        let mut rng = SmallRng::seed_from_u64(9);
+        let mut rng = Xorshift64Star::seed_from_u64(9);
         let mut correct = 0;
         for _ in 0..4000 {
-            let t = rng.gen_bool(0.5);
+            let t = rng.chance(0.5);
             if p.predict(0x77) == t {
                 correct += 1;
             }
@@ -228,6 +243,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn non_power_of_two_rejected() {
-        let _ = HybridPredictor::new(BpredConfig { entries: 1000, ..BpredConfig::baseline_4k() });
+        let _ = HybridPredictor::new(BpredConfig {
+            entries: 1000,
+            ..BpredConfig::baseline_4k()
+        });
     }
 }

@@ -22,17 +22,32 @@ impl CacheConfig {
 
     /// 32 KiB, 4-way, 64 B lines, 2-cycle L1 instruction cache.
     pub fn l1i() -> CacheConfig {
-        CacheConfig { sets: 128, ways: 4, line_bytes: 64, latency: 2 }
+        CacheConfig {
+            sets: 128,
+            ways: 4,
+            line_bytes: 64,
+            latency: 2,
+        }
     }
 
     /// 32 KiB, 8-way, 64 B lines, 3-cycle L1 data cache.
     pub fn l1d() -> CacheConfig {
-        CacheConfig { sets: 64, ways: 8, line_bytes: 64, latency: 2 }
+        CacheConfig {
+            sets: 64,
+            ways: 8,
+            line_bytes: 64,
+            latency: 2,
+        }
     }
 
     /// 1 MiB, 8-way, 64 B lines, 12-cycle unified L2.
     pub fn l2() -> CacheConfig {
-        CacheConfig { sets: 2048, ways: 8, line_bytes: 64, latency: 10 }
+        CacheConfig {
+            sets: 2048,
+            ways: 8,
+            line_bytes: 64,
+            latency: 10,
+        }
     }
 }
 
@@ -57,9 +72,19 @@ impl Cache {
     /// Panics unless `sets` and `line_bytes` are powers of two.
     pub fn new(cfg: CacheConfig) -> Cache {
         assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let n = (cfg.sets * cfg.ways) as usize;
-        Cache { cfg, tags: vec![u64::MAX; n], stamps: vec![0; n], tick: 0, hits: 0, misses: 0 }
+        Cache {
+            cfg,
+            tags: vec![u64::MAX; n],
+            stamps: vec![0; n],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The configuration.
@@ -165,7 +190,10 @@ impl MemHierarchy {
 
     fn walk(l1: &mut Cache, l2: &mut Cache, mem_latency: u32, addr: u64) -> AccessResult {
         if l1.access(addr) {
-            return AccessResult { latency: l1.config().latency, serviced_by: ServicedBy::L1 };
+            return AccessResult {
+                latency: l1.config().latency,
+                serviced_by: ServicedBy::L1,
+            };
         }
         if l2.access(addr) {
             return AccessResult {
@@ -196,7 +224,12 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         // 2-way cache, 1 set: third distinct line evicts the least recent.
-        let mut c = Cache::new(CacheConfig { sets: 1, ways: 2, line_bytes: 64, latency: 1 });
+        let mut c = Cache::new(CacheConfig {
+            sets: 1,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        });
         c.access(0x0); // A miss
         c.access(0x40); // B miss
         c.access(0x0); // A hit (B becomes LRU)
@@ -207,7 +240,12 @@ mod tests {
 
     #[test]
     fn working_set_larger_than_capacity_thrashes() {
-        let mut c = Cache::new(CacheConfig { sets: 4, ways: 2, line_bytes: 64, latency: 1 });
+        let mut c = Cache::new(CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        });
         // Capacity 512B; stream over 4KiB repeatedly.
         for _ in 0..4 {
             for a in (0..4096u64).step_by(64) {

@@ -72,7 +72,13 @@ impl CoreConfig {
             rob_size: 128,
             iq_size: 32,
             lsq_size: 48,
-            ports: PortCounts { int_alu: 3, mem: 2, fp: 2, branch: 1, simd: 1 },
+            ports: PortCounts {
+                int_alu: 3,
+                mem: 2,
+                fp: 2,
+                branch: 1,
+                simd: 1,
+            },
             mispredict_penalty: 10,
             in_order: false,
         }
@@ -90,7 +96,13 @@ impl CoreConfig {
             rob_size: 144,
             iq_size: 36,
             lsq_size: 64,
-            ports: PortCounts { int_alu: 4, mem: 3, fp: 3, branch: 2, simd: 2 },
+            ports: PortCounts {
+                int_alu: 4,
+                mem: 3,
+                fp: 3,
+                branch: 2,
+                simd: 2,
+            },
             mispredict_penalty: 10,
             in_order: false,
         }
@@ -294,7 +306,12 @@ impl OooCore {
     /// Mark completions due at `now`; returns the resolution cycle of a
     /// completing mispredicted branch, if any (the front end resumes at
     /// `resolution + mispredict_penalty`).
-    pub fn writeback(&mut self, now: u64, model: &EnergyModel, acct: &mut EnergyAccount) -> Option<u64> {
+    pub fn writeback(
+        &mut self,
+        now: u64,
+        model: &EnergyModel,
+        acct: &mut EnergyAccount,
+    ) -> Option<u64> {
         let bucket = (now as usize) % BUCKETS;
         let mut resolved = None;
         // Take the bucket to appease the borrow checker; it is re-filled empty.
@@ -342,7 +359,10 @@ impl OooCore {
             let e = self.rob[h];
             // Free the RAT mapping if this entry still owns it.
             for w in e.writes {
-                if w != 255 && self.rat[w as usize] == self.head && self.rat_seq[w as usize] == e.seq {
+                if w != 255
+                    && self.rat[w as usize] == self.head
+                    && self.rat_seq[w as usize] == e.seq
+                {
                     self.rat[w as usize] = NONE;
                 }
             }
@@ -374,7 +394,13 @@ impl OooCore {
 
     /// Select and begin execution of ready uops, oldest first, bounded by
     /// issue width and port counts.
-    pub fn issue(&mut self, now: u64, mem: &mut MemHierarchy, model: &EnergyModel, acct: &mut EnergyAccount) {
+    pub fn issue(
+        &mut self,
+        now: u64,
+        mem: &mut MemHierarchy,
+        model: &EnergyModel,
+        acct: &mut EnergyAccount,
+    ) {
         self.stats.issue_cycles += 1;
         if self.iq.is_empty() {
             self.stats.iq_empty_cycles += 1;
@@ -469,9 +495,11 @@ impl OooCore {
                 ExecClass::FpMul => acct.emit(model, Event::ExecFpMul),
                 ExecClass::FpDiv => acct.emit(model, Event::ExecFpDiv),
                 ExecClass::Branch => acct.emit(model, Event::ExecAlu),
-                ExecClass::Simd => {
-                    acct.emit_n(model, Event::ExecSimdLane, u64::from(self.rob[idx].simd_lanes.max(1)))
-                }
+                ExecClass::Simd => acct.emit_n(
+                    model,
+                    Event::ExecSimdLane,
+                    u64::from(self.rob[idx].simd_lanes.max(1)),
+                ),
                 ExecClass::Load | ExecClass::Store => acct.emit(model, Event::AguCalc),
             }
 
@@ -506,7 +534,9 @@ impl OooCore {
         if self.iq.len() >= self.cfg.iq_size as usize {
             return false;
         }
-        if matches!(d.class, ExecClass::Load | ExecClass::Store) && self.lsq_count >= self.cfg.lsq_size {
+        if matches!(d.class, ExecClass::Load | ExecClass::Store)
+            && self.lsq_count >= self.cfg.lsq_size
+        {
             return false;
         }
         true
@@ -609,8 +639,11 @@ mod tests {
 
         fn cycle(&mut self) -> (u32, u32) {
             self.core.writeback(self.now, &self.model, &mut self.acct);
-            let c = self.core.commit(self.now, &mut self.mem, &self.model, &mut self.acct);
-            self.core.issue(self.now, &mut self.mem, &self.model, &mut self.acct);
+            let c = self
+                .core
+                .commit(self.now, &mut self.mem, &self.model, &mut self.acct);
+            self.core
+                .issue(self.now, &mut self.mem, &self.model, &mut self.acct);
             self.now += 1;
             c
         }
@@ -669,13 +702,17 @@ mod tests {
     fn load_miss_takes_memory_latency() {
         let mut rig = Rig::new();
         let u = Uop::load(Reg::int(1), Reg::int(2));
-        rig.dispatch(DispatchUop::from_uop(&u, 0xdead_000, 1));
+        rig.dispatch(DispatchUop::from_uop(&u, 0x0dea_d000, 1));
         rig.run_until_empty(400);
-        assert!(rig.now >= 150, "cold load must reach memory, took {}", rig.now);
+        assert!(
+            rig.now >= 150,
+            "cold load must reach memory, took {}",
+            rig.now
+        );
         // Same line again: hits L1.
         let mut cycles_before = rig.now;
         let u2 = Uop::load(Reg::int(3), Reg::int(2));
-        rig.dispatch(DispatchUop::from_uop(&u2, 0xdead_000, 1));
+        rig.dispatch(DispatchUop::from_uop(&u2, 0x0dea_d000, 1));
         rig.run_until_empty(400);
         cycles_before = rig.now - cycles_before;
         assert!(cycles_before < 10, "warm load took {cycles_before}");
@@ -690,8 +727,10 @@ mod tests {
         let mut resolved = None;
         for _ in 0..20 {
             resolved = resolved.or(rig.core.writeback(rig.now, &rig.model, &mut rig.acct));
-            rig.core.commit(rig.now, &mut rig.mem, &rig.model, &mut rig.acct);
-            rig.core.issue(rig.now, &mut rig.mem, &rig.model, &mut rig.acct);
+            rig.core
+                .commit(rig.now, &mut rig.mem, &rig.model, &mut rig.acct);
+            rig.core
+                .issue(rig.now, &mut rig.mem, &rig.model, &mut rig.acct);
             rig.now += 1;
         }
         assert!(resolved.is_some(), "mispredict resolution must surface");
@@ -729,7 +768,10 @@ mod tests {
                 committed_any_before_div = true;
             }
         }
-        assert!(!committed_any_before_div, "nothing may commit before the div at head");
+        assert!(
+            !committed_any_before_div,
+            "nothing may commit before the div at head"
+        );
         let (uops, _) = rig.run_until_empty(100);
         assert_eq!(uops, 4);
     }
@@ -744,8 +786,10 @@ mod tests {
             let width = cfg.rename_width;
             while rig.core.stats().committed_uops < 2000 && cycles < 10_000 {
                 rig.core.writeback(rig.now, &rig.model, &mut rig.acct);
-                rig.core.commit(rig.now, &mut rig.mem, &rig.model, &mut rig.acct);
-                rig.core.issue(rig.now, &mut rig.mem, &rig.model, &mut rig.acct);
+                rig.core
+                    .commit(rig.now, &mut rig.mem, &rig.model, &mut rig.acct);
+                rig.core
+                    .issue(rig.now, &mut rig.mem, &rig.model, &mut rig.acct);
                 for i in 0..width {
                     let d = alu(((dispatched + i) % 14) as u8 + 1, 0, 0, true);
                     if rig.core.can_dispatch(&d) {

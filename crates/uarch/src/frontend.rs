@@ -81,7 +81,9 @@ impl ColdFrontEnd {
     pub fn branch_resolved(&mut self, cycle: u64) {
         if self.waiting_on_branch {
             self.waiting_on_branch = false;
-            self.resume_at = self.resume_at.max(cycle + u64::from(self.cfg.mispredict_penalty));
+            self.resume_at = self
+                .resume_at
+                .max(cycle + u64::from(self.cfg.mispredict_penalty));
         }
     }
 
@@ -97,6 +99,7 @@ impl ColdFrontEnd {
     /// Stops early at: fetch/decode width, a complex-decode limit, a
     /// predicted-taken branch (one per cycle), an I-cache miss, a BTB miss
     /// bubble, or a misprediction (which stalls until resolved).
+    #[allow(clippy::too_many_arguments)]
     pub fn fetch_cycle(
         &mut self,
         now: u64,
@@ -281,7 +284,15 @@ mod tests {
         let mut now = 0u64;
         let mut insts = 0u64;
         while !oracle.exhausted() && now < 100_000 {
-            r.fe.fetch_cycle(now, &mut oracle, &r.wl, &mut r.mem, &r.model, &mut r.acct, &mut r.out);
+            r.fe.fetch_cycle(
+                now,
+                &mut oracle,
+                &r.wl,
+                &mut r.mem,
+                &r.model,
+                &mut r.acct,
+                &mut r.out,
+            );
             // Drain the queue, counting macro boundaries; unstick mispredicts
             // by pretending instant resolution.
             while let Some(d) = r.out.pop_front() {
@@ -304,15 +315,39 @@ mod tests {
         let mut stall_seen = false;
         let mut now = 0;
         while !oracle.exhausted() && now < 50_000 {
-            r.fe.fetch_cycle(now, &mut oracle, &r.wl, &mut r.mem, &r.model, &mut r.acct, &mut r.out);
+            r.fe.fetch_cycle(
+                now,
+                &mut oracle,
+                &r.wl,
+                &mut r.mem,
+                &r.model,
+                &mut r.acct,
+                &mut r.out,
+            );
             if r.fe.waiting_on_branch() {
                 stall_seen = true;
                 let before = oracle.cursor();
-                r.fe.fetch_cycle(now + 1, &mut oracle, &r.wl, &mut r.mem, &r.model, &mut r.acct, &mut r.out);
+                r.fe.fetch_cycle(
+                    now + 1,
+                    &mut oracle,
+                    &r.wl,
+                    &mut r.mem,
+                    &r.model,
+                    &mut r.acct,
+                    &mut r.out,
+                );
                 assert_eq!(oracle.cursor(), before, "no fetch while waiting on branch");
                 r.fe.branch_resolved(now + 1);
                 let penalty = u64::from(CoreConfig::narrow().mispredict_penalty);
-                r.fe.fetch_cycle(now + 2, &mut oracle, &r.wl, &mut r.mem, &r.model, &mut r.acct, &mut r.out);
+                r.fe.fetch_cycle(
+                    now + 2,
+                    &mut oracle,
+                    &r.wl,
+                    &mut r.mem,
+                    &r.model,
+                    &mut r.acct,
+                    &mut r.out,
+                );
                 assert_eq!(oracle.cursor(), before, "redirect penalty must elapse");
                 now += 2 + penalty;
                 r.out.clear();
@@ -331,7 +366,15 @@ mod tests {
             let mut oracle = OracleStream::new(r.wl.engine(), 60_000);
             let mut now = 0;
             while !oracle.exhausted() && now < 2_000_000 {
-                r.fe.fetch_cycle(now, &mut oracle, &r.wl, &mut r.mem, &r.model, &mut r.acct, &mut r.out);
+                r.fe.fetch_cycle(
+                    now,
+                    &mut oracle,
+                    &r.wl,
+                    &mut r.mem,
+                    &r.model,
+                    &mut r.acct,
+                    &mut r.out,
+                );
                 if r.fe.waiting_on_branch() {
                     r.fe.branch_resolved(now);
                 }
@@ -347,8 +390,14 @@ mod tests {
             fp_rate < int_rate,
             "SpecFP ({fp_rate:.3}) must predict better than SpecInt ({int_rate:.3})"
         );
-        assert!(int_rate > 0.02, "SpecInt should be nontrivially mispredicted: {int_rate:.4}");
-        assert!(fp_rate < 0.08, "swim should be highly predictable: {fp_rate:.4}");
+        assert!(
+            int_rate > 0.02,
+            "SpecInt should be nontrivially mispredicted: {int_rate:.4}"
+        );
+        assert!(
+            fp_rate < 0.08,
+            "swim should be highly predictable: {fp_rate:.4}"
+        );
     }
 
     #[test]
@@ -357,7 +406,15 @@ mod tests {
         let mut oracle = OracleStream::new(r.wl.engine(), 10_000);
         for now in 0..2_000u64 {
             let before = oracle.cursor();
-            r.fe.fetch_cycle(now, &mut oracle, &r.wl, &mut r.mem, &r.model, &mut r.acct, &mut r.out);
+            r.fe.fetch_cycle(
+                now,
+                &mut oracle,
+                &r.wl,
+                &mut r.mem,
+                &r.model,
+                &mut r.acct,
+                &mut r.out,
+            );
             let fetched = oracle.cursor() - before;
             assert!(fetched <= u64::from(CoreConfig::narrow().fetch_width));
             if r.fe.waiting_on_branch() {

@@ -31,7 +31,13 @@ pub struct OracleStream<'p> {
 impl<'p> OracleStream<'p> {
     /// Wrap an engine, capping the stream at `limit` instructions.
     pub fn new(engine: ExecutionEngine<'p>, limit: u64) -> OracleStream<'p> {
-        OracleStream { engine, buf: VecDeque::with_capacity(512), base: 0, cursor: 0, limit }
+        OracleStream {
+            engine,
+            buf: VecDeque::with_capacity(512),
+            base: 0,
+            cursor: 0,
+            limit,
+        }
     }
 
     /// The next sequence number to be consumed.
@@ -57,7 +63,11 @@ impl<'p> OracleStream<'p> {
         if seq >= self.limit {
             return None;
         }
-        assert!(seq >= self.base, "sequence {seq} dropped from rewind window (base {})", self.base);
+        assert!(
+            seq >= self.base,
+            "sequence {seq} dropped from rewind window (base {})",
+            self.base
+        );
         while self.base + self.buf.len() as u64 <= seq {
             let d = self.engine.next().expect("engine streams are infinite");
             self.buf.push_back(d);

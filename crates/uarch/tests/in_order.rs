@@ -28,8 +28,11 @@ impl Rig {
 
     fn cycle(&mut self) -> u32 {
         self.core.writeback(self.now, &self.model, &mut self.acct);
-        let (u, _) = self.core.commit(self.now, &mut self.mem, &self.model, &mut self.acct);
-        self.core.issue(self.now, &mut self.mem, &self.model, &mut self.acct);
+        let (u, _) = self
+            .core
+            .commit(self.now, &mut self.mem, &self.model, &mut self.acct);
+        self.core
+            .issue(self.now, &mut self.mem, &self.model, &mut self.acct);
         self.now += 1;
         u
     }
@@ -47,7 +50,11 @@ impl Rig {
 }
 
 fn alu(dst: u8, src: u8) -> DispatchUop {
-    DispatchUop::from_uop(&Uop::alu_imm(AluOp::Add, Reg::int(dst), Reg::int(src), 1), 0, 1)
+    DispatchUop::from_uop(
+        &Uop::alu_imm(AluOp::Add, Reg::int(dst), Reg::int(src), 1),
+        0,
+        1,
+    )
 }
 
 fn load(dst: u8) -> DispatchUop {
@@ -58,7 +65,11 @@ fn load(dst: u8) -> DispatchUop {
 fn in_order_commits_everything() {
     let mut rig = Rig::new(CoreConfig::narrow().into_in_order());
     for i in 0..8 {
-        rig.core.dispatch(&alu(i % 10, (i + 1) % 10), &rig.model.clone(), &mut rig.acct);
+        rig.core.dispatch(
+            &alu(i % 10, (i + 1) % 10),
+            &rig.model.clone(),
+            &mut rig.acct,
+        );
     }
     assert_eq!(rig.drain(200), 8);
 }
@@ -71,7 +82,7 @@ fn in_order_stalls_behind_a_long_latency_head() {
         let mut rig = Rig::new(cfg);
         let model = rig.model.clone();
         rig.core.dispatch(&load(1), &model, &mut rig.acct); // cold miss
-        // Dependent consumer right behind the load.
+                                                            // Dependent consumer right behind the load.
         rig.core.dispatch(&alu(2, 1), &model, &mut rig.acct);
         // Independent work that OOO can overlap with the miss.
         for i in 3..10 {
@@ -82,7 +93,10 @@ fn in_order_stalls_behind_a_long_latency_head() {
     };
     let ooo = run(CoreConfig::narrow());
     let ino = run(CoreConfig::narrow().into_in_order());
-    assert!(ino >= ooo, "in-order ({ino}) can never beat OOO ({ooo}) here");
+    assert!(
+        ino >= ooo,
+        "in-order ({ino}) can never beat OOO ({ooo}) here"
+    );
 }
 
 #[test]
@@ -93,7 +107,7 @@ fn in_order_issue_respects_age_order() {
     rig.core.dispatch(&load(1), &model, &mut rig.acct); // old, slow (cold miss)
     rig.core.dispatch(&alu(2, 1), &model, &mut rig.acct); // depends on load
     rig.core.dispatch(&alu(3, 13), &model, &mut rig.acct); // independent, younger
-    // After a handful of cycles, nothing besides the load may have issued.
+                                                           // After a handful of cycles, nothing besides the load may have issued.
     for _ in 0..5 {
         rig.cycle();
     }

@@ -1,10 +1,10 @@
-//! Property test: the rewindable oracle window behaves like a pure slice of
-//! the committed stream under arbitrary interleavings of peek, pop and
-//! (bounded) rewind.
+//! Randomized-property test (seeded in-tree PRNG; formerly proptest): the
+//! rewindable oracle window behaves like a pure slice of the committed
+//! stream under arbitrary interleavings of peek, pop and (bounded) rewind.
 
 use parrot_uarch::oracle::OracleStream;
+use parrot_workloads::rng::Xorshift64Star;
 use parrot_workloads::{generate_program, AppProfile, DynInst, ExecutionEngine, Suite};
-use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -13,20 +13,22 @@ enum Op {
     Rewind(u8),
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        6 => Just(Op::Pop),
-        3 => (0u8..64).prop_map(Op::Peek),
-        1 => (0u8..64).prop_map(Op::Rewind),
-    ]
+fn arb_op(r: &mut Xorshift64Star) -> Op {
+    // Weighted 6:3:1 like the original proptest strategy.
+    match r.u32_in(0, 10) {
+        0..=5 => Op::Pop,
+        6..=8 => Op::Peek(r.u8_in(0, 64)),
+        _ => Op::Rewind(r.u8_in(0, 64)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn oracle_matches_reference_slice(ops in prop::collection::vec(op(), 1..300), limit in 50u64..400) {
-        let prog = generate_program(&AppProfile::suite_base(Suite::SpecInt));
+#[test]
+fn oracle_matches_reference_slice() {
+    let mut r = Xorshift64Star::seed_from_u64(0x0_07ac1e);
+    let prog = generate_program(&AppProfile::suite_base(Suite::SpecInt));
+    for case in 0..64 {
+        let ops: Vec<Op> = (0..r.usize_in(1, 300)).map(|_| arb_op(&mut r)).collect();
+        let limit = r.u64_in(50, 400);
         let reference: Vec<DynInst> = ExecutionEngine::new(&prog).take(limit as usize).collect();
         let mut oracle = OracleStream::new(ExecutionEngine::new(&prog), limit);
         let mut cursor = 0u64;
@@ -36,18 +38,22 @@ proptest! {
                 Op::Pop => {
                     let got = oracle.pop();
                     if cursor < limit {
-                        prop_assert_eq!(got.expect("within limit"), reference[cursor as usize]);
+                        assert_eq!(
+                            got.expect("within limit"),
+                            reference[cursor as usize],
+                            "case {case}"
+                        );
                         cursor += 1;
                         // The retained window guarantees 64-instruction rewinds.
                         min_rewind = cursor.saturating_sub(64);
                     } else {
-                        prop_assert!(got.is_none());
+                        assert!(got.is_none(), "case {case}");
                     }
                 }
                 Op::Peek(k) => {
                     let got = oracle.peek(u64::from(*k));
                     let want = reference.get((cursor + u64::from(*k)) as usize).copied();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "case {case}");
                 }
                 Op::Rewind(k) => {
                     let target = cursor.saturating_sub(u64::from(*k)).max(min_rewind);
@@ -55,8 +61,8 @@ proptest! {
                     cursor = target;
                 }
             }
-            prop_assert_eq!(oracle.cursor(), cursor);
-            prop_assert_eq!(oracle.remaining(), limit - cursor);
+            assert_eq!(oracle.cursor(), cursor, "case {case}");
+            assert_eq!(oracle.remaining(), limit - cursor, "case {case}");
         }
     }
 }

@@ -3,8 +3,7 @@
 //! benchmark class: branch predictability, loop regularity and memory
 //! locality all derive from here.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use crate::rng::Xorshift64Star;
 
 /// Index into [`crate::Program::behaviors`].
 pub type BehaviorId = u32;
@@ -45,12 +44,15 @@ pub enum Outcome {
 
 impl BranchBehavior {
     /// Resolve one dynamic execution of this branch.
-    pub fn resolve(&self, state: &mut BehaviorState, rng: &mut SmallRng) -> Outcome {
+    pub fn resolve(&self, state: &mut BehaviorState, rng: &mut Xorshift64Star) -> Outcome {
         match self {
-            BranchBehavior::Bias { p_taken } => Outcome::Dir(rng.gen_bool(p_taken.clamp(0.0, 1.0))),
-            BranchBehavior::Loop { trip_mean, trip_jitter } => {
+            BranchBehavior::Bias { p_taken } => Outcome::Dir(rng.chance(*p_taken)),
+            BranchBehavior::Loop {
+                trip_mean,
+                trip_jitter,
+            } => {
                 if state.counter == 0 {
-                    let u: f64 = rng.gen_range(-1.0..1.0);
+                    let u: f64 = rng.f64_in(-1.0, 1.0);
                     let trips = (trip_mean * (1.0 + trip_jitter * u)).round().max(1.0);
                     state.counter = trips as u32;
                 }
@@ -64,8 +66,10 @@ impl BranchBehavior {
                 Outcome::Dir(bit == 1)
             }
             BranchBehavior::Select { cdf } => {
-                let u: f64 = rng.gen();
-                let idx = cdf.partition_point(|&c| c < u).min(cdf.len().saturating_sub(1));
+                let u: f64 = rng.unit_f64();
+                let idx = cdf
+                    .partition_point(|&c| c < u)
+                    .min(cdf.len().saturating_sub(1));
                 Outcome::Select(idx)
             }
         }
@@ -106,14 +110,18 @@ pub enum AddrStreamSpec {
 
 impl AddrStreamSpec {
     /// Produce the address for dynamic occurrence number `pos`.
-    pub fn address(&self, pos: u64, rng: &mut SmallRng) -> u64 {
+    pub fn address(&self, pos: u64, rng: &mut Xorshift64Star) -> u64 {
         match self {
-            AddrStreamSpec::Stride { base, stride, region } => {
+            AddrStreamSpec::Stride {
+                base,
+                stride,
+                region,
+            } => {
                 let off = (pos.wrapping_mul(u64::from(*stride))) % u64::from((*region).max(8));
                 base + (off & !7)
             }
             AddrStreamSpec::Random { base, region } => {
-                let off = rng.gen_range(0..u64::from((*region).max(8)));
+                let off = rng.u64_in(0, u64::from((*region).max(8)));
                 base + (off & !7)
             }
         }
@@ -123,10 +131,9 @@ impl AddrStreamSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(42)
+    fn rng() -> Xorshift64Star {
+        Xorshift64Star::seed_from_u64(42)
     }
 
     #[test]
@@ -143,7 +150,10 @@ mod tests {
     #[test]
     fn loop_behavior_runs_trips_then_exits() {
         let mut r = rng();
-        let b = BranchBehavior::Loop { trip_mean: 5.0, trip_jitter: 0.0 };
+        let b = BranchBehavior::Loop {
+            trip_mean: 5.0,
+            trip_jitter: 0.0,
+        };
         let mut st = BehaviorState::default();
         // 5 body executions: taken x4, then not taken.
         let outcomes: Vec<Outcome> = (0..5).map(|_| b.resolve(&mut st, &mut r)).collect();
@@ -165,7 +175,10 @@ mod tests {
     #[test]
     fn periodic_repeats_pattern() {
         let mut r = rng();
-        let b = BranchBehavior::Periodic { pattern: 0b101, len: 3 };
+        let b = BranchBehavior::Periodic {
+            pattern: 0b101,
+            len: 3,
+        };
         let mut st = BehaviorState::default();
         let dirs: Vec<Outcome> = (0..6).map(|_| b.resolve(&mut st, &mut r)).collect();
         assert_eq!(
@@ -196,7 +209,9 @@ mod tests {
     #[test]
     fn select_uses_cdf_skew() {
         let mut r = rng();
-        let b = BranchBehavior::Select { cdf: zipf_cdf(8, 1.5) };
+        let b = BranchBehavior::Select {
+            cdf: zipf_cdf(8, 1.5),
+        };
         let mut st = BehaviorState::default();
         let mut counts = [0usize; 8];
         for _ in 0..10_000 {
@@ -210,7 +225,11 @@ mod tests {
     #[test]
     fn stride_stream_is_sequential_and_bounded() {
         let mut r = rng();
-        let s = AddrStreamSpec::Stride { base: 0x1000, stride: 8, region: 64 };
+        let s = AddrStreamSpec::Stride {
+            base: 0x1000,
+            stride: 8,
+            region: 64,
+        };
         let addrs: Vec<u64> = (0..10).map(|p| s.address(p, &mut r)).collect();
         assert_eq!(addrs[0], 0x1000);
         assert_eq!(addrs[1], 0x1008);
@@ -224,10 +243,13 @@ mod tests {
     #[test]
     fn random_stream_is_bounded_and_aligned() {
         let mut r = rng();
-        let s = AddrStreamSpec::Random { base: 0x4000, region: 1024 };
+        let s = AddrStreamSpec::Random {
+            base: 0x4000,
+            region: 1024,
+        };
         for p in 0..100 {
             let a = s.address(p, &mut r);
-            assert!(a >= 0x4000 && a < 0x4400);
+            assert!((0x4000..0x4400).contains(&a));
             assert_eq!(a % 8, 0);
         }
     }

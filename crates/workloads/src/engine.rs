@@ -5,9 +5,8 @@
 
 use crate::behavior::{BehaviorState, Outcome};
 use crate::program::{BlockId, Program, Terminator};
+use crate::rng::Xorshift64Star;
 use parrot_isa::{InstId, InstKind};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// One committed dynamic macro-instruction: everything a trace-driven
 /// pipeline model needs (identity, layout, resolved control flow, resolved
@@ -38,7 +37,7 @@ pub struct DynInst {
 #[derive(Clone, Debug)]
 pub struct ExecutionEngine<'p> {
     prog: &'p Program,
-    rng: SmallRng,
+    rng: Xorshift64Star,
     cur_block: BlockId,
     idx: u32,
     call_stack: Vec<BlockId>,
@@ -55,7 +54,7 @@ impl<'p> ExecutionEngine<'p> {
         let seed = prog.code_bytes ^ 0x5eed_5eed_0000_0001;
         ExecutionEngine {
             prog,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Xorshift64Star::seed_from_u64(seed),
             cur_block: prog.funcs[0].entry,
             idx: 0,
             call_stack: Vec::with_capacity(64),
@@ -120,7 +119,11 @@ impl Iterator for ExecutionEngine<'_> {
             // Resolve the block exit.
             let (taken, next_block) = match &blk.term {
                 Terminator::FallThrough { next } => (false, *next),
-                Terminator::CondBranch { taken, fall, behavior } => {
+                Terminator::CondBranch {
+                    taken,
+                    fall,
+                    behavior,
+                } => {
                     let beh = &self.prog.behaviors[*behavior as usize];
                     match beh.resolve(&mut self.beh_state[*behavior as usize], &mut self.rng) {
                         Outcome::Dir(true) => (true, *taken),
@@ -147,15 +150,9 @@ impl Iterator for ExecutionEngine<'_> {
             };
             self.cur_block = next_block;
             self.idx = 0;
-            let np = if matches!(blk.term, Terminator::FallThrough { .. }) && !taken {
-                self.prog.block_pc(next_block)
-            } else if taken {
-                self.prog.block_pc(next_block)
-            } else {
-                // Not-taken conditional: fall through textually.
-                self.prog.block_pc(next_block)
-            };
-            (taken, np)
+            // Taken or not, the next instruction is next_block's first pc
+            // (a not-taken conditional falls through textually).
+            (taken, self.prog.block_pc(next_block))
         };
 
         self.emitted += 1;

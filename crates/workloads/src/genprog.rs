@@ -9,10 +9,11 @@
 
 use crate::behavior::{zipf_cdf, AddrStreamSpec, BranchBehavior};
 use crate::profile::AppProfile;
-use crate::program::{BasicBlock, BlockId, FuncId, Function, Program, Terminator, DATA_BASE, STACK_BASE};
+use crate::program::{
+    BasicBlock, BlockId, FuncId, Function, Program, Terminator, DATA_BASE, STACK_BASE,
+};
+use crate::rng::Xorshift64Star;
 use parrot_isa::{AluOp, Cond, FpOp, Inst, InstKind, MemRef, Operand, Reg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Generate the synthetic program for an application profile.
 ///
@@ -21,7 +22,7 @@ use rand::{Rng, SeedableRng};
 pub fn generate_program(profile: &AppProfile) -> Program {
     let mut g = Gen {
         p: profile.clone(),
-        rng: SmallRng::seed_from_u64(profile.seed),
+        rng: Xorshift64Star::seed_from_u64(profile.seed),
         cur_hot: false,
         insts: Vec::new(),
         blocks: Vec::new(),
@@ -59,7 +60,7 @@ enum ExitSlot {
 
 struct Gen {
     p: AppProfile,
-    rng: SmallRng,
+    rng: Xorshift64Star,
     /// Hotness of the function currently being generated (hot code is more
     /// regular: stronger branch bias, steadier loops, streaming memory).
     cur_hot: bool,
@@ -85,10 +86,14 @@ impl Gen {
         let region = ((u64::from(self.p.data_kb) * 1024) / pool_n as u64).max(1024) as u32;
         for i in 0..pool_n {
             let base = DATA_BASE + i as u64 * (u64::from(region) + 4096);
-            let stride = self.rng.gen_bool(self.p.stride_frac);
+            let stride = self.rng.chance(self.p.stride_frac);
             let spec = if stride {
-                let stride_bytes = [8u32, 8, 8, 16, 64][self.rng.gen_range(0..5)];
-                AddrStreamSpec::Stride { base, stride: stride_bytes, region }
+                let stride_bytes = *self.rng.pick(&[8u32, 8, 8, 16, 64]);
+                AddrStreamSpec::Stride {
+                    base,
+                    stride: stride_bytes,
+                    region,
+                }
             } else {
                 AddrStreamSpec::Random { base, region }
             };
@@ -101,7 +106,13 @@ impl Gen {
         let n = self.p.num_funcs.max(1);
         // Reserve function table: driver is func 0; bodies generated after
         // so call sites can reference any function id.
-        self.funcs = vec![Function { entry: 0, num_blocks: 0 }; (n + 1) as usize];
+        self.funcs = vec![
+            Function {
+                entry: 0,
+                num_blocks: 0
+            };
+            (n + 1) as usize
+        ];
         self.gen_driver(n);
         for f in 1..=n {
             self.gen_function(f);
@@ -118,7 +129,9 @@ impl Gen {
 
         // Switch head: a little bookkeeping code, then the indirect jump.
         let beh = self.behaviors.len() as u32;
-        self.behaviors.push(BranchBehavior::Select { cdf: zipf_cdf(n as usize, self.p.zipf_theta) });
+        self.behaviors.push(BranchBehavior::Select {
+            cdf: zipf_cdf(n as usize, self.p.zipf_theta),
+        });
         let first = self.body(2, false);
         let sel = self.push_inst(Inst::new(InstKind::IndirectJump { sel: Reg::int(11) }));
         self.blocks.push(BasicBlock {
@@ -135,7 +148,10 @@ impl Gen {
             self.blocks.push(BasicBlock {
                 first_inst: first,
                 num_insts: 1,
-                term: Terminator::Call { callee: f, ret_to: tail },
+                term: Terminator::Call {
+                    callee: f,
+                    ret_to: tail,
+                },
             });
         }
         // Tail: loop back to the switch forever.
@@ -146,7 +162,10 @@ impl Gen {
             num_insts: j - first + 1,
             term: Terminator::Jump { target: switch_b },
         });
-        self.funcs[0] = Function { entry: switch_b, num_blocks: self.blocks.len() as u32 - first_block };
+        self.funcs[0] = Function {
+            entry: switch_b,
+            num_blocks: self.blocks.len() as u32 - first_block,
+        };
     }
 
     // --- workload function: a chain of regions ending in a return ---
@@ -172,8 +191,10 @@ impl Gen {
             num_insts: r - first + 1,
             term: Terminator::Return,
         });
-        self.funcs[f as usize] =
-            Function { entry: first_block, num_blocks: self.blocks.len() as u32 - first_block };
+        self.funcs[f as usize] = Function {
+            entry: first_block,
+            num_blocks: self.blocks.len() as u32 - first_block,
+        };
     }
 
     fn patch(&mut self, pending: &mut Vec<(BlockId, ExitSlot)>, entry: BlockId) {
@@ -198,7 +219,7 @@ impl Gen {
     }
 
     fn gen_region(&mut self, f: FuncId) -> Vec<(BlockId, ExitSlot)> {
-        let r: f64 = self.rng.gen();
+        let r: f64 = self.rng.unit_f64();
         let p = &self.p;
         let hot = self.func_is_hot(f);
         if r < p.loop_frac {
@@ -230,7 +251,11 @@ impl Gen {
         let then_b_id = self.blocks.len() as u32 + 1;
         let cond_b = self.push_block(
             first,
-            Terminator::CondBranch { taken: u32::MAX, fall: then_b_id, behavior: beh },
+            Terminator::CondBranch {
+                taken: u32::MAX,
+                fall: then_b_id,
+                behavior: beh,
+            },
         );
         let n2 = self.block_len();
         let first2 = self.body(n2, false);
@@ -241,8 +266,8 @@ impl Gen {
     /// A counted loop: one or two body blocks with a backward conditional
     /// latch. Vectorizable loops get isomorphic bodies (SIMD fodder).
     fn region_loop(&mut self, hot: bool) -> Vec<(BlockId, ExitSlot)> {
-        let vectorizable = self.rng.gen_bool(self.p.simd_frac);
-        let trip = (self.p.trip_mean * self.rng.gen_range(0.5..1.6)).max(2.0);
+        let vectorizable = self.rng.chance(self.p.simd_frac);
+        let trip = (self.p.trip_mean * self.rng.f64_in(0.5, 1.6)).max(2.0);
         // Hot loops are steadier; in already-regular code (low profile
         // jitter — FP/multimedia kernels iterating over fixed-size data)
         // hot trip counts are *constant*, which is what lets a next-trace
@@ -257,9 +282,12 @@ impl Gen {
             self.p.trip_jitter
         };
         let beh = self.behaviors.len() as u32;
-        self.behaviors.push(BranchBehavior::Loop { trip_mean: trip, trip_jitter: jitter });
+        self.behaviors.push(BranchBehavior::Loop {
+            trip_mean: trip,
+            trip_jitter: jitter,
+        });
         let head = self.blocks.len() as u32;
-        let two_blocks = !vectorizable && self.rng.gen_bool(0.3);
+        let two_blocks = !vectorizable && self.rng.chance(0.3);
         if two_blocks {
             let n = self.block_len();
             let first = self.body(n, false);
@@ -269,7 +297,11 @@ impl Gen {
         let first = self.cond_body_vec(n, vectorizable);
         let latch = self.push_block(
             first,
-            Terminator::CondBranch { taken: head, fall: u32::MAX, behavior: beh },
+            Terminator::CondBranch {
+                taken: head,
+                fall: u32::MAX,
+                behavior: beh,
+            },
         );
         vec![(latch, ExitSlot::Fall)]
     }
@@ -278,7 +310,11 @@ impl Gen {
         // Callee strictly deeper to keep the call graph acyclic.
         let lo = f + 1;
         let hi = self.funcs.len() as u32 - 1;
-        let callee = if lo >= hi { hi } else { self.rng.gen_range(lo..=hi) };
+        let callee = if lo >= hi {
+            hi
+        } else {
+            self.rng.u32_in(lo, hi + 1)
+        };
         let n = self.block_len().min(4);
         let first = self.body(n, false);
         let c = self.push_inst(Inst::new(InstKind::Call));
@@ -286,16 +322,21 @@ impl Gen {
         self.blocks.push(BasicBlock {
             first_inst: first,
             num_insts: c - first + 1,
-            term: Terminator::Call { callee, ret_to: u32::MAX },
+            term: Terminator::Call {
+                callee,
+                ret_to: u32::MAX,
+            },
         });
         vec![(b, ExitSlot::CallRet)]
     }
 
     fn region_switch(&mut self) -> Vec<(BlockId, ExitSlot)> {
-        let k = self.rng.gen_range(3..=6u32);
+        let k = self.rng.u32_in(3, 7);
         let beh = self.behaviors.len() as u32;
         let theta = self.p.zipf_theta * 0.8;
-        self.behaviors.push(BranchBehavior::Select { cdf: zipf_cdf(k as usize, theta) });
+        self.behaviors.push(BranchBehavior::Select {
+            cdf: zipf_cdf(k as usize, theta),
+        });
         let n = self.block_len().min(5);
         let first = self.body(n, false);
         let sel = self.push_inst(Inst::new(InstKind::IndirectJump { sel: Reg::int(10) }));
@@ -328,7 +369,7 @@ impl Gen {
 
     fn block_len(&mut self) -> u32 {
         let (lo, hi) = self.p.block_len;
-        self.rng.gen_range(lo..=hi)
+        self.rng.u32_in(lo, hi + 1)
     }
 
     /// Body of `n` instructions; returns the first instruction id.
@@ -356,9 +397,12 @@ impl Gen {
     fn cond_body_vec(&mut self, n: u32, vectorizable: bool) -> u32 {
         let first = self.body(n.saturating_sub(2).max(1), vectorizable);
         let src = self.pick_src_int();
-        let cmp_imm = self.rng.gen_range(0..64);
-        self.push_inst(Inst::new(InstKind::Cmp { src, rhs: Operand::Imm(cmp_imm) }));
-        let cond = Cond::ALL[self.rng.gen_range(0..Cond::ALL.len())];
+        let cmp_imm = self.rng.i64_in(0, 64);
+        self.push_inst(Inst::new(InstKind::Cmp {
+            src,
+            rhs: Operand::Imm(cmp_imm),
+        }));
+        let cond = *self.rng.pick(&Cond::ALL);
         self.push_inst(Inst::new(InstKind::CondBranch { cond }));
         first
     }
@@ -366,35 +410,50 @@ impl Gen {
     /// Isomorphic, independent groups: the SIMDification substrate. Four
     /// lanes of `load; op(coef); store` on distinct registers.
     fn fill_vector_body(&mut self, n: u32) {
-        let fp = self.rng.gen_bool((self.p.fp_frac * 2.5).min(1.0));
+        let fp = self.rng.chance((self.p.fp_frac * 2.5).min(1.0));
         let groups = (n / 3).clamp(2, 4);
-        let coef = self.rng.gen_range(1..16i64);
+        let coef = self.rng.i64_in(1, 16);
         for lane in 0..groups {
             let (dst, src) = if fp {
-                (Reg::fp((2 * lane % 16) as u8), Reg::fp((2 * lane % 16 + 1) as u8))
+                (
+                    Reg::fp((2 * lane % 16) as u8),
+                    Reg::fp((2 * lane % 16 + 1) as u8),
+                )
             } else {
                 (Reg::int((lane % 7) as u8), Reg::int((lane % 7 + 7) as u8))
             };
             let load_mem = self.new_stream(true);
             let store_mem = self.new_stream(true);
             if fp {
-                self.push_inst(Inst::new(InstKind::FpLoad { dst: src, mem: load_mem }));
+                self.push_inst(Inst::new(InstKind::FpLoad {
+                    dst: src,
+                    mem: load_mem,
+                }));
                 self.push_inst(Inst::new(InstKind::FpAlu {
                     op: FpOp::Mul,
                     dst,
                     src1: src,
                     src2: src,
                 }));
-                self.push_inst(Inst::new(InstKind::FpStore { src: dst, mem: store_mem }));
+                self.push_inst(Inst::new(InstKind::FpStore {
+                    src: dst,
+                    mem: store_mem,
+                }));
             } else {
-                self.push_inst(Inst::new(InstKind::Load { dst: src, mem: load_mem }));
+                self.push_inst(Inst::new(InstKind::Load {
+                    dst: src,
+                    mem: load_mem,
+                }));
                 self.push_inst(Inst::new(InstKind::IntAlu {
                     op: AluOp::Add,
                     dst,
-                    src: src,
+                    src,
                     rhs: Operand::Imm(coef),
                 }));
-                self.push_inst(Inst::new(InstKind::Store { src: dst, mem: store_mem }));
+                self.push_inst(Inst::new(InstKind::Store {
+                    src: dst,
+                    mem: store_mem,
+                }));
             }
             self.note_write(dst);
         }
@@ -402,12 +461,12 @@ impl Gen {
 
     /// One instruction drawn from the profile's mix.
     fn fill_one(&mut self) {
-        let r: f64 = self.rng.gen();
+        let r: f64 = self.rng.unit_f64();
         let p = self.p.clone();
         if r < p.const_frac {
             // Constant fodder: mov-imm followed (often) by a dependent op.
             let dst = self.pick_dst_int();
-            let c = self.rng.gen_range(0..256i64);
+            let c = self.rng.i64_in(0, 256);
             self.push_inst(Inst::new(InstKind::IntAlu {
                 op: AluOp::Mov,
                 dst,
@@ -415,11 +474,18 @@ impl Gen {
                 rhs: Operand::Imm(c),
             }));
             self.note_write(dst);
-            if self.rng.gen_bool(0.8) {
+            if self.rng.chance(0.8) {
                 let dst2 = self.pick_dst_int();
-                let op = [AluOp::Add, AluOp::And, AluOp::Xor, AluOp::Shl][self.rng.gen_range(0..4)];
-                let imm = self.rng.gen_range(0..16);
-                self.push_inst(Inst::new(InstKind::IntAlu { op, dst: dst2, src: dst, rhs: Operand::Imm(imm) }));
+                let op = *self
+                    .rng
+                    .pick(&[AluOp::Add, AluOp::And, AluOp::Xor, AluOp::Shl]);
+                let imm = self.rng.i64_in(0, 16);
+                self.push_inst(Inst::new(InstKind::IntAlu {
+                    op,
+                    dst: dst2,
+                    src: dst,
+                    rhs: Operand::Imm(imm),
+                }));
                 self.note_write(dst2);
             }
             return;
@@ -428,15 +494,25 @@ impl Gen {
             // Dead fodder: a result overwritten before any use.
             let dst = self.pick_dst_int();
             let src = self.pick_src_int();
-            let imm1 = self.rng.gen_range(1..32);
-            self.push_inst(Inst::new(InstKind::IntAlu { op: AluOp::Add, dst, src, rhs: Operand::Imm(imm1) }));
+            let imm1 = self.rng.i64_in(1, 32);
+            self.push_inst(Inst::new(InstKind::IntAlu {
+                op: AluOp::Add,
+                dst,
+                src,
+                rhs: Operand::Imm(imm1),
+            }));
             let src2 = self.pick_src_int();
-            let imm2 = self.rng.gen_range(1..32);
-            self.push_inst(Inst::new(InstKind::IntAlu { op: AluOp::Sub, dst, src: src2, rhs: Operand::Imm(imm2) }));
+            let imm2 = self.rng.i64_in(1, 32);
+            self.push_inst(Inst::new(InstKind::IntAlu {
+                op: AluOp::Sub,
+                dst,
+                src: src2,
+                rhs: Operand::Imm(imm2),
+            }));
             self.note_write(dst);
             return;
         }
-        let r2: f64 = self.rng.gen();
+        let r2: f64 = self.rng.unit_f64();
         if r2 < p.mem_frac {
             self.fill_mem();
         } else if r2 < p.mem_frac + p.fp_frac {
@@ -447,22 +523,27 @@ impl Gen {
     }
 
     fn fill_mem(&mut self) {
-        let p_stride =
-            if self.cur_hot { (self.p.stride_frac + 0.35).min(0.95) } else { self.p.stride_frac };
-        let stride = self.rng.gen_bool(p_stride);
+        let p_stride = if self.cur_hot {
+            (self.p.stride_frac + 0.35).min(0.95)
+        } else {
+            self.p.stride_frac
+        };
+        let stride = self.rng.chance(p_stride);
         let mem = self.new_stream(stride);
-        let cisc = self.rng.gen_bool(self.p.cisc_frac);
-        let choice: f64 = self.rng.gen();
+        let cisc = self.rng.chance(self.p.cisc_frac);
+        let choice: f64 = self.rng.unit_f64();
         if cisc {
             if choice < 0.6 {
                 let dst = self.pick_dst_int();
                 let src = self.pick_src_int();
-                let op = [AluOp::Add, AluOp::And, AluOp::Or, AluOp::Xor][self.rng.gen_range(0..4)];
+                let op = *self
+                    .rng
+                    .pick(&[AluOp::Add, AluOp::And, AluOp::Or, AluOp::Xor]);
                 self.push_inst(Inst::new(InstKind::LoadOp { op, dst, src, mem }));
                 self.note_write(dst);
             } else {
                 let src = self.pick_src_int();
-                let op = [AluOp::Add, AluOp::Or, AluOp::Xor][self.rng.gen_range(0..3)];
+                let op = *self.rng.pick(&[AluOp::Add, AluOp::Or, AluOp::Xor]);
                 self.push_inst(Inst::new(InstKind::RmwStore { op, src, mem }));
             }
         } else if choice < 0.65 {
@@ -476,9 +557,9 @@ impl Gen {
     }
 
     fn fill_fp(&mut self) {
-        let r: f64 = self.rng.gen();
+        let r: f64 = self.rng.unit_f64();
         if r < 0.25 {
-            let stride = self.rng.gen_bool(self.p.stride_frac);
+            let stride = self.rng.chance(self.p.stride_frac);
             let mem = self.new_stream(stride);
             let dst = self.pick_dst_fp();
             self.push_inst(Inst::new(InstKind::FpLoad { dst, mem }));
@@ -496,7 +577,12 @@ impl Gen {
             } else {
                 FpOp::Div
             };
-            self.push_inst(Inst::new(InstKind::FpAlu { op, dst, src1: s1, src2: s2 }));
+            self.push_inst(Inst::new(InstKind::FpAlu {
+                op,
+                dst,
+                src1: s1,
+                src2: s2,
+            }));
             self.note_write_fp(dst);
         }
     }
@@ -504,13 +590,21 @@ impl Gen {
     fn fill_int_alu(&mut self) {
         let dst = self.pick_dst_int();
         let src = self.pick_src_int();
-        let r: f64 = self.rng.gen();
+        let r: f64 = self.rng.unit_f64();
         if r < self.p.mul_frac {
             let src2 = self.pick_src_int();
-            if self.rng.gen_bool(0.04) {
-                self.push_inst(Inst::new(InstKind::IntDiv { dst, src1: src, src2 }));
+            if self.rng.chance(0.04) {
+                self.push_inst(Inst::new(InstKind::IntDiv {
+                    dst,
+                    src1: src,
+                    src2,
+                }));
             } else {
-                self.push_inst(Inst::new(InstKind::IntMul { dst, src1: src, src2 }));
+                self.push_inst(Inst::new(InstKind::IntMul {
+                    dst,
+                    src1: src,
+                    src2,
+                }));
             }
         } else {
             let op = [
@@ -523,9 +617,9 @@ impl Gen {
                 AluOp::Shl,
                 AluOp::Shr,
                 AluOp::Mov,
-            ][self.rng.gen_range(0..9)];
-            let rhs = if self.rng.gen_bool(0.45) {
-                Operand::Imm(self.rng.gen_range(-64..256))
+            ][self.rng.usize_in(0, 9)];
+            let rhs = if self.rng.chance(0.45) {
+                Operand::Imm(self.rng.i64_in(-64, 256))
             } else {
                 Operand::Reg(self.pick_src_int())
             };
@@ -544,7 +638,11 @@ impl Gen {
     fn push_block(&mut self, first_inst: u32, term: Terminator) -> BlockId {
         let num_insts = self.insts.len() as u32 - first_inst;
         debug_assert!(num_insts > 0);
-        self.blocks.push(BasicBlock { first_inst, num_insts, term });
+        self.blocks.push(BasicBlock {
+            first_inst,
+            num_insts,
+            term,
+        });
         self.blocks.len() as u32 - 1
     }
 
@@ -555,12 +653,13 @@ impl Gen {
         } else {
             self.p.periodic_frac
         };
-        if self.rng.gen_bool(periodic_p) {
-            let len = self.rng.gen_range(2..=8u8);
-            let pattern: u64 = self.rng.gen_range(1..(1u64 << len));
-            self.behaviors.push(BranchBehavior::Periodic { pattern, len });
+        if self.rng.chance(periodic_p) {
+            let len = self.rng.u8_in(2, 9);
+            let pattern: u64 = self.rng.u64_in(1, 1u64 << len);
+            self.behaviors
+                .push(BranchBehavior::Periodic { pattern, len });
         } else {
-            let jitter: f64 = self.rng.gen_range(-0.12..0.12);
+            let jitter: f64 = self.rng.f64_in(-0.12, 0.12);
             let base = if hot {
                 // Hot-path branches strongly favour the common case.
                 self.p.branch_bias.max(0.96)
@@ -568,7 +667,7 @@ impl Gen {
                 self.p.branch_bias
             };
             let mut p = (base + jitter).clamp(0.55, 0.99);
-            if self.rng.gen_bool(0.5) {
+            if self.rng.chance(0.5) {
                 p = 1.0 - p; // some branches are mostly not-taken
             }
             self.behaviors.push(BranchBehavior::Bias { p_taken: p });
@@ -579,18 +678,18 @@ impl Gen {
     /// Reference one of the pooled streams. `prefer_stride` biases the pick
     /// toward striding streams (vectorizable bodies walk arrays).
     fn new_stream(&mut self, prefer_stride: bool) -> MemRef {
-        let mut id = self.stream_pool[self.rng.gen_range(0..self.stream_pool.len())];
+        let mut id = *self.rng.pick(&self.stream_pool);
         if prefer_stride {
             for _ in 0..3 {
                 if matches!(self.streams[id as usize], AddrStreamSpec::Stride { .. }) {
                     break;
                 }
-                id = self.stream_pool[self.rng.gen_range(0..self.stream_pool.len())];
+                id = *self.rng.pick(&self.stream_pool);
             }
         }
         MemRef {
             base: self.pick_mem_base(),
-            offset: self.rng.gen_range(-64..512),
+            offset: self.rng.i32_in(-64, 512),
             stream: id,
         }
     }
@@ -599,8 +698,8 @@ impl Gen {
     /// the generator never writes — address generation must not serialize
     /// behind ALU chains, as in real compiled code.
     fn pick_mem_base(&mut self) -> Reg {
-        if self.rng.gen_bool(0.85) {
-            Reg::int(12 + self.rng.gen_range(0..3))
+        if self.rng.chance(0.85) {
+            Reg::int(12 + self.rng.u8_in(0, 3))
         } else {
             self.pick_src_int()
         }
@@ -609,28 +708,26 @@ impl Gen {
     fn pick_dst_int(&mut self) -> Reg {
         // r12-r14 are pointer registers and r15 the stack pointer; general
         // results go to r0-r11 so address bases stay stable.
-        Reg::int(self.rng.gen_range(0..12))
+        Reg::int(self.rng.u8_in(0, 12))
     }
 
     fn pick_src_int(&mut self) -> Reg {
-        if !self.recent.is_empty() && self.rng.gen_bool(0.25) {
-            let i = self.rng.gen_range(0..self.recent.len());
-            self.recent[i]
+        if !self.recent.is_empty() && self.rng.chance(0.25) {
+            *self.rng.pick(&self.recent)
         } else {
-            Reg::int(self.rng.gen_range(0..15))
+            Reg::int(self.rng.u8_in(0, 15))
         }
     }
 
     fn pick_dst_fp(&mut self) -> Reg {
-        Reg::fp(self.rng.gen_range(0..16))
+        Reg::fp(self.rng.u8_in(0, 16))
     }
 
     fn pick_src_fp(&mut self) -> Reg {
-        if !self.recent_fp.is_empty() && self.rng.gen_bool(0.25) {
-            let i = self.rng.gen_range(0..self.recent_fp.len());
-            self.recent_fp[i]
+        if !self.recent_fp.is_empty() && self.rng.chance(0.25) {
+            *self.rng.pick(&self.recent_fp)
         } else {
-            Reg::fp(self.rng.gen_range(0..16))
+            Reg::fp(self.rng.u8_in(0, 16))
         }
     }
 

@@ -32,13 +32,22 @@ mod genprog;
 mod profile;
 mod program;
 
-pub use behavior::{zipf_cdf, AddrStreamSpec, BehaviorId, BehaviorState, BranchBehavior, Outcome, StreamId};
+/// The in-tree deterministic PRNG (xorshift64*) used for program
+/// generation and branch/address behavior. Re-exported from
+/// `parrot-telemetry` so every crate draws from one implementation.
+pub mod rng {
+    pub use parrot_telemetry::rng::Xorshift64Star;
+}
+
+pub use behavior::{
+    zipf_cdf, AddrStreamSpec, BehaviorId, BehaviorState, BranchBehavior, Outcome, StreamId,
+};
 pub use engine::{DynInst, ExecutionEngine};
 pub use genprog::generate_program;
 pub use profile::{all_apps, app_by_name, killer_apps, AppProfile, Suite};
 pub use program::{
-    BasicBlock, BlockId, DecodedProgram, FuncId, Function, Program, Terminator, CODE_BASE, DATA_BASE,
-    STACK_BASE,
+    BasicBlock, BlockId, DecodedProgram, FuncId, Function, Program, Terminator, CODE_BASE,
+    DATA_BASE, STACK_BASE,
 };
 
 /// A ready-to-simulate application: profile, generated program and
@@ -58,7 +67,11 @@ impl Workload {
     pub fn build(profile: &AppProfile) -> Workload {
         let program = generate_program(profile);
         let decoded = program.decode_all();
-        Workload { profile: profile.clone(), program, decoded }
+        Workload {
+            profile: profile.clone(),
+            program,
+            decoded,
+        }
     }
 
     /// A fresh execution engine positioned at the program entry. Engines

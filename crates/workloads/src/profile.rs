@@ -284,18 +284,35 @@ pub fn all_apps() -> Vec<AppProfile> {
     let mut v = Vec::new();
 
     // --- SpecInt 2000 ---
-    app!(v, Suite::SpecInt, "bzip", |p| { p.stride_frac = 0.55; p.loop_frac = 0.38; });
-    app!(v, Suite::SpecInt, "crafty", |p| { p.branch_bias = 0.86; p.mul_frac = 0.06; });
-    app!(v, Suite::SpecInt, "eon", |p| { p.fp_frac = 0.10; p.call_frac = 0.24; });
-    app!(v, Suite::SpecInt, "gap", |p| { p.indirect_frac = 0.12; });
+    app!(v, Suite::SpecInt, "bzip", |p| {
+        p.stride_frac = 0.55;
+        p.loop_frac = 0.38;
+    });
+    app!(v, Suite::SpecInt, "crafty", |p| {
+        p.branch_bias = 0.86;
+        p.mul_frac = 0.06;
+    });
+    app!(v, Suite::SpecInt, "eon", |p| {
+        p.fp_frac = 0.10;
+        p.call_frac = 0.24;
+    });
+    app!(v, Suite::SpecInt, "gap", |p| {
+        p.indirect_frac = 0.12;
+    });
     app!(v, Suite::SpecInt, "gcc", |p| {
         p.num_funcs = 40;
         p.zipf_theta = 0.8;
         p.branch_bias = 0.87;
         p.indirect_frac = 0.11;
     });
-    app!(v, Suite::SpecInt, "gzip", |p| { p.stride_frac = 0.5; p.trip_mean = 10.0; });
-    app!(v, Suite::SpecInt, "parser", |p| { p.call_frac = 0.26; p.branch_bias = 0.87; });
+    app!(v, Suite::SpecInt, "gzip", |p| {
+        p.stride_frac = 0.5;
+        p.trip_mean = 10.0;
+    });
+    app!(v, Suite::SpecInt, "parser", |p| {
+        p.call_frac = 0.26;
+        p.branch_bias = 0.87;
+    });
     app!(v, Suite::SpecInt, "perlbench", |p| {
         // A "killer app": very call/dispatch-heavy with a skewed interpreter
         // loop that traces capture extremely well.
@@ -306,20 +323,57 @@ pub fn all_apps() -> Vec<AppProfile> {
         p.const_frac = 0.10;
         p.dead_frac = 0.09;
     });
-    app!(v, Suite::SpecInt, "twolf", |p| { p.mem_frac = 0.38; p.stride_frac = 0.25; });
-    app!(v, Suite::SpecInt, "vortex", |p| { p.call_frac = 0.28; p.data_kb = 640; });
-    app!(v, Suite::SpecInt, "vpr", |p| { p.fp_frac = 0.06; p.branch_bias = 0.91; });
+    app!(v, Suite::SpecInt, "twolf", |p| {
+        p.mem_frac = 0.38;
+        p.stride_frac = 0.25;
+    });
+    app!(v, Suite::SpecInt, "vortex", |p| {
+        p.call_frac = 0.28;
+        p.data_kb = 640;
+    });
+    app!(v, Suite::SpecInt, "vpr", |p| {
+        p.fp_frac = 0.06;
+        p.branch_bias = 0.91;
+    });
 
     // --- SpecFP 2000 ---
-    app!(v, Suite::SpecFp, "ammp", |p| { p.mem_frac = 0.38; p.stride_frac = 0.7; });
-    app!(v, Suite::SpecFp, "apsi", |p| { p.trip_mean = 48.0; });
-    app!(v, Suite::SpecFp, "art", |p| { p.data_kb = 2048; p.stride_frac = 0.9; p.simd_frac = 0.5; });
-    app!(v, Suite::SpecFp, "equake", |p| { p.mem_frac = 0.40; p.trip_mean = 40.0; });
-    app!(v, Suite::SpecFp, "facerec", |p| { p.simd_frac = 0.5; p.trip_mean = 56.0; });
-    app!(v, Suite::SpecFp, "fma3d", |p| { p.call_frac = 0.14; p.trip_jitter = 0.15; });
-    app!(v, Suite::SpecFp, "lucas", |p| { p.fp_frac = 0.42; p.trip_mean = 96.0; });
-    app!(v, Suite::SpecFp, "mesa", |p| { p.fp_frac = 0.22; p.simd_frac = 0.4; p.branch_bias = 0.94; });
-    app!(v, Suite::SpecFp, "sixtrack", |p| { p.trip_mean = 72.0; p.mul_frac = 0.08; });
+    app!(v, Suite::SpecFp, "ammp", |p| {
+        p.mem_frac = 0.38;
+        p.stride_frac = 0.7;
+    });
+    app!(v, Suite::SpecFp, "apsi", |p| {
+        p.trip_mean = 48.0;
+    });
+    app!(v, Suite::SpecFp, "art", |p| {
+        p.data_kb = 2048;
+        p.stride_frac = 0.9;
+        p.simd_frac = 0.5;
+    });
+    app!(v, Suite::SpecFp, "equake", |p| {
+        p.mem_frac = 0.40;
+        p.trip_mean = 40.0;
+    });
+    app!(v, Suite::SpecFp, "facerec", |p| {
+        p.simd_frac = 0.5;
+        p.trip_mean = 56.0;
+    });
+    app!(v, Suite::SpecFp, "fma3d", |p| {
+        p.call_frac = 0.14;
+        p.trip_jitter = 0.15;
+    });
+    app!(v, Suite::SpecFp, "lucas", |p| {
+        p.fp_frac = 0.42;
+        p.trip_mean = 96.0;
+    });
+    app!(v, Suite::SpecFp, "mesa", |p| {
+        p.fp_frac = 0.22;
+        p.simd_frac = 0.4;
+        p.branch_bias = 0.94;
+    });
+    app!(v, Suite::SpecFp, "sixtrack", |p| {
+        p.trip_mean = 72.0;
+        p.mul_frac = 0.08;
+    });
     app!(v, Suite::SpecFp, "swim", |p| {
         // The paper's P_MAX application: maximally regular streaming FP.
         p.fp_frac = 0.40;
@@ -340,12 +394,27 @@ pub fn all_apps() -> Vec<AppProfile> {
     });
 
     // --- Office / Windows (SysMark 2000) ---
-    app!(v, Suite::Office, "excel", |p| { p.loop_frac = 0.4; p.fp_frac = 0.05; });
-    app!(v, Suite::Office, "office", |p| { p.num_funcs = 40; });
-    app!(v, Suite::Office, "powerpoint", |p| { p.mem_frac = 0.38; });
-    app!(v, Suite::Office, "virusscan", |p| { p.stride_frac = 0.65; p.trip_mean = 24.0; });
-    app!(v, Suite::Office, "winzip", |p| { p.stride_frac = 0.6; p.loop_frac = 0.42; });
-    app!(v, Suite::Office, "word", |p| { p.call_frac = 0.24; });
+    app!(v, Suite::Office, "excel", |p| {
+        p.loop_frac = 0.4;
+        p.fp_frac = 0.05;
+    });
+    app!(v, Suite::Office, "office", |p| {
+        p.num_funcs = 40;
+    });
+    app!(v, Suite::Office, "powerpoint", |p| {
+        p.mem_frac = 0.38;
+    });
+    app!(v, Suite::Office, "virusscan", |p| {
+        p.stride_frac = 0.65;
+        p.trip_mean = 24.0;
+    });
+    app!(v, Suite::Office, "winzip", |p| {
+        p.stride_frac = 0.6;
+        p.loop_frac = 0.42;
+    });
+    app!(v, Suite::Office, "word", |p| {
+        p.call_frac = 0.24;
+    });
 
     // --- Multimedia ---
     app!(v, Suite::Multimedia, "flash", |p| {
@@ -357,23 +426,63 @@ pub fn all_apps() -> Vec<AppProfile> {
         p.const_frac = 0.11;
         p.dead_frac = 0.08;
     });
-    app!(v, Suite::Multimedia, "photoshop", |p| { p.data_kb = 1024; p.stride_frac = 0.85; });
-    app!(v, Suite::Multimedia, "dragon", |p| { p.fp_frac = 0.18; });
-    app!(v, Suite::Multimedia, "lightwave", |p| { p.fp_frac = 0.24; p.mul_frac = 0.12; });
-    app!(v, Suite::Multimedia, "quake3", |p| { p.fp_frac = 0.20; p.call_frac = 0.16; });
-    app!(v, Suite::Multimedia, "3dsmax-light", |p| { p.fp_frac = 0.22; });
-    app!(v, Suite::Multimedia, "3dsmax-wheel", |p| { p.mul_frac = 0.14; });
-    app!(v, Suite::Multimedia, "3dsmax-raster", |p| { p.stride_frac = 0.85; });
-    app!(v, Suite::Multimedia, "3dsmax-geom", |p| { p.fp_frac = 0.26; });
-    app!(v, Suite::Multimedia, "flask-mpeg4-a", |p| { p.simd_frac = 0.65; p.trip_mean = 40.0; });
-    app!(v, Suite::Multimedia, "flask-mpeg4-b", |p| { p.simd_frac = 0.6; p.data_kb = 384; });
+    app!(v, Suite::Multimedia, "photoshop", |p| {
+        p.data_kb = 1024;
+        p.stride_frac = 0.85;
+    });
+    app!(v, Suite::Multimedia, "dragon", |p| {
+        p.fp_frac = 0.18;
+    });
+    app!(v, Suite::Multimedia, "lightwave", |p| {
+        p.fp_frac = 0.24;
+        p.mul_frac = 0.12;
+    });
+    app!(v, Suite::Multimedia, "quake3", |p| {
+        p.fp_frac = 0.20;
+        p.call_frac = 0.16;
+    });
+    app!(v, Suite::Multimedia, "3dsmax-light", |p| {
+        p.fp_frac = 0.22;
+    });
+    app!(v, Suite::Multimedia, "3dsmax-wheel", |p| {
+        p.mul_frac = 0.14;
+    });
+    app!(v, Suite::Multimedia, "3dsmax-raster", |p| {
+        p.stride_frac = 0.85;
+    });
+    app!(v, Suite::Multimedia, "3dsmax-geom", |p| {
+        p.fp_frac = 0.26;
+    });
+    app!(v, Suite::Multimedia, "flask-mpeg4-a", |p| {
+        p.simd_frac = 0.65;
+        p.trip_mean = 40.0;
+    });
+    app!(v, Suite::Multimedia, "flask-mpeg4-b", |p| {
+        p.simd_frac = 0.6;
+        p.data_kb = 384;
+    });
 
     // --- DotNet ---
-    app!(v, Suite::DotNet, "dotnet-image", |p| { p.stride_frac = 0.7; p.simd_frac = 0.3; });
-    app!(v, Suite::DotNet, "dotnet-num1", |p| { p.fp_frac = 0.18; p.loop_frac = 0.44; });
-    app!(v, Suite::DotNet, "dotnet-num2", |p| { p.fp_frac = 0.14; p.trip_mean = 36.0; });
-    app!(v, Suite::DotNet, "dotnet-phong1", |p| { p.fp_frac = 0.22; p.mul_frac = 0.10; });
-    app!(v, Suite::DotNet, "dotnet-phong2", |p| { p.fp_frac = 0.20; p.simd_frac = 0.3; });
+    app!(v, Suite::DotNet, "dotnet-image", |p| {
+        p.stride_frac = 0.7;
+        p.simd_frac = 0.3;
+    });
+    app!(v, Suite::DotNet, "dotnet-num1", |p| {
+        p.fp_frac = 0.18;
+        p.loop_frac = 0.44;
+    });
+    app!(v, Suite::DotNet, "dotnet-num2", |p| {
+        p.fp_frac = 0.14;
+        p.trip_mean = 36.0;
+    });
+    app!(v, Suite::DotNet, "dotnet-phong1", |p| {
+        p.fp_frac = 0.22;
+        p.mul_frac = 0.10;
+    });
+    app!(v, Suite::DotNet, "dotnet-phong2", |p| {
+        p.fp_frac = 0.20;
+        p.simd_frac = 0.3;
+    });
 
     v
 }
@@ -399,7 +508,11 @@ mod tests {
         for suite in Suite::ALL {
             assert!(apps.iter().any(|a| a.suite == suite), "{suite} missing");
         }
-        assert!(apps.len() >= 35, "expected a broad registry, got {}", apps.len());
+        assert!(
+            apps.len() >= 35,
+            "expected a broad registry, got {}",
+            apps.len()
+        );
     }
 
     #[test]

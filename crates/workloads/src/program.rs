@@ -18,11 +18,18 @@ pub enum Terminator {
     /// No CTI; control continues at `next`.
     FallThrough { next: BlockId },
     /// Conditional branch: `taken` vs. `fall`, resolved by `behavior`.
-    CondBranch { taken: BlockId, fall: BlockId, behavior: BehaviorId },
+    CondBranch {
+        taken: BlockId,
+        fall: BlockId,
+        behavior: BehaviorId,
+    },
     /// Unconditional direct jump.
     Jump { target: BlockId },
     /// Indirect jump among `targets`, selected by `behavior`.
-    IndirectJump { targets: Vec<BlockId>, behavior: BehaviorId },
+    IndirectJump {
+        targets: Vec<BlockId>,
+        behavior: BehaviorId,
+    },
     /// Call `callee`; execution resumes at `ret_to` after the callee
     /// returns.
     Call { callee: FuncId, ret_to: BlockId },
@@ -120,7 +127,9 @@ impl Program {
                     self.insts[last].target = self.block_pc(entry);
                 }
                 // Indirect jumps and returns have dynamic targets.
-                Terminator::IndirectJump { .. } | Terminator::Return | Terminator::FallThrough { .. } => {}
+                Terminator::IndirectJump { .. }
+                | Terminator::Return
+                | Terminator::FallThrough { .. } => {}
             }
         }
     }
@@ -174,7 +183,11 @@ impl Program {
             };
             match &b.term {
                 Terminator::FallThrough { next } => check_block(*next)?,
-                Terminator::CondBranch { taken, fall, behavior } => {
+                Terminator::CondBranch {
+                    taken,
+                    fall,
+                    behavior,
+                } => {
                     check_block(*taken)?;
                     check_block(*fall)?;
                     if *behavior as usize >= self.behaviors.len() {
@@ -245,8 +258,13 @@ mod tests {
                 src: Reg::int(1),
                 rhs: Operand::Imm(1),
             }),
-            Inst::new(InstKind::Cmp { src: Reg::int(0), rhs: Operand::Imm(10) }),
-            Inst::new(InstKind::CondBranch { cond: parrot_isa::Cond::Lt }),
+            Inst::new(InstKind::Cmp {
+                src: Reg::int(0),
+                rhs: Operand::Imm(10),
+            }),
+            Inst::new(InstKind::CondBranch {
+                cond: parrot_isa::Cond::Lt,
+            }),
             Inst::new(InstKind::Nop),
             Inst::new(InstKind::Jump),
         ];
@@ -254,15 +272,29 @@ mod tests {
             BasicBlock {
                 first_inst: 0,
                 num_insts: 3,
-                term: Terminator::CondBranch { taken: 0, fall: 1, behavior: 0 },
+                term: Terminator::CondBranch {
+                    taken: 0,
+                    fall: 1,
+                    behavior: 0,
+                },
             },
-            BasicBlock { first_inst: 3, num_insts: 2, term: Terminator::Jump { target: 0 } },
+            BasicBlock {
+                first_inst: 3,
+                num_insts: 2,
+                term: Terminator::Jump { target: 0 },
+            },
         ];
         let mut p = Program {
             insts,
             blocks,
-            funcs: vec![Function { entry: 0, num_blocks: 2 }],
-            behaviors: vec![BranchBehavior::Loop { trip_mean: 4.0, trip_jitter: 0.0 }],
+            funcs: vec![Function {
+                entry: 0,
+                num_blocks: 2,
+            }],
+            behaviors: vec![BranchBehavior::Loop {
+                trip_mean: 4.0,
+                trip_jitter: 0.0,
+            }],
             addr_streams: vec![],
             stack_base: STACK_BASE,
             code_bytes: 0,
@@ -288,7 +320,10 @@ mod tests {
         let p = tiny_program();
         // Block 0's branch targets block 0 (its own head: backward branch).
         assert_eq!(p.insts[2].target, p.block_pc(0));
-        assert!(p.insts[2].target < p.insts[2].addr, "loop back-edge is backward");
+        assert!(
+            p.insts[2].target < p.insts[2].addr,
+            "loop back-edge is backward"
+        );
         // Block 1's jump targets block 0.
         assert_eq!(p.insts[4].target, p.block_pc(0));
     }

@@ -1,82 +1,78 @@
-//! Property tests over the workload substrate: arbitrary (bounded) profiles
-//! must generate valid programs whose execution streams obey the chaining
-//! and memory invariants every downstream consumer relies on.
+//! Randomized-property tests over the workload substrate (seeded in-tree
+//! PRNG; formerly proptest): arbitrary (bounded) profiles must generate
+//! valid programs whose execution streams obey the chaining and memory
+//! invariants every downstream consumer relies on.
 
+use parrot_workloads::rng::Xorshift64Star;
 use parrot_workloads::{generate_program, AppProfile, ExecutionEngine, Suite};
-use proptest::prelude::*;
 
-fn arb_profile() -> impl Strategy<Value = AppProfile> {
-    (
-        0u64..1_000_000,          // seed
-        2u32..20,                 // num_funcs
-        3u32..12,                 // regions_per_func
-        (2u32..6, 6u32..16),      // block_len
-        0.0f64..0.3,              // fp_frac
-        0.1f64..0.4,              // mem_frac
-        0.0f64..0.5,              // loop_frac
-        2.0f64..80.0,             // trip_mean
-        0.55f64..0.99,            // branch_bias
-        0.0f64..0.25,             // call_frac
-        0.5f64..1.8,              // zipf_theta
-        64u32..2048,              // data_kb
-    )
-        .prop_map(
-            |(seed, num_funcs, regions, block_len, fp, mem, loopf, trip, bias, call, zipf, data)| {
-                let mut p = AppProfile::suite_base(Suite::SpecInt);
-                p.seed = seed;
-                p.num_funcs = num_funcs;
-                p.regions_per_func = regions;
-                p.block_len = block_len;
-                p.fp_frac = fp;
-                p.mem_frac = mem;
-                p.loop_frac = loopf;
-                p.trip_mean = trip;
-                p.branch_bias = bias;
-                p.call_frac = call;
-                p.zipf_theta = zipf;
-                p.data_kb = data;
-                p
-            },
-        )
+const CASES: u64 = 48;
+
+fn arb_profile(r: &mut Xorshift64Star) -> AppProfile {
+    let mut p = AppProfile::suite_base(Suite::SpecInt);
+    p.seed = r.u64_in(0, 1_000_000);
+    p.num_funcs = r.u32_in(2, 20);
+    p.regions_per_func = r.u32_in(3, 12);
+    p.block_len = (r.u32_in(2, 6), r.u32_in(6, 16));
+    p.fp_frac = r.f64_in(0.0, 0.3);
+    p.mem_frac = r.f64_in(0.1, 0.4);
+    p.loop_frac = r.f64_in(0.0, 0.5);
+    p.trip_mean = r.f64_in(2.0, 80.0);
+    p.branch_bias = r.f64_in(0.55, 0.99);
+    p.call_frac = r.f64_in(0.0, 0.25);
+    p.zipf_theta = r.f64_in(0.5, 1.8);
+    p.data_kb = r.u32_in(64, 2048);
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn arbitrary_profiles_generate_valid_programs(profile in arb_profile()) {
+#[test]
+fn arbitrary_profiles_generate_valid_programs() {
+    let mut r = Xorshift64Star::seed_from_u64(0x5757_0001);
+    for case in 0..CASES {
+        let profile = arb_profile(&mut r);
         let prog = generate_program(&profile);
-        prop_assert_eq!(prog.validate(), Ok(()));
-        prop_assert!(prog.num_insts() > 50);
-        prop_assert!(prog.code_bytes > 0);
+        assert_eq!(prog.validate(), Ok(()), "case {case}: {profile:?}");
+        assert!(prog.num_insts() > 50, "case {case}");
+        assert!(prog.code_bytes > 0, "case {case}");
     }
+}
 
-    #[test]
-    fn streams_chain_and_stay_in_bounds(profile in arb_profile()) {
+#[test]
+fn streams_chain_and_stay_in_bounds() {
+    let mut r = Xorshift64Star::seed_from_u64(0x5757_0002);
+    for case in 0..CASES {
+        let profile = arb_profile(&mut r);
         let prog = generate_program(&profile);
         let stream: Vec<_> = ExecutionEngine::new(&prog).take(3_000).collect();
-        prop_assert_eq!(stream.len(), 3_000, "streams are infinite");
+        assert_eq!(stream.len(), 3_000, "case {case}: streams are infinite");
         for w in stream.windows(2) {
-            prop_assert_eq!(w[0].next_pc, w[1].pc, "next_pc chains");
+            assert_eq!(w[0].next_pc, w[1].pc, "case {case}: next_pc chains");
         }
         for d in &stream {
             let inst = prog.inst(d.inst);
-            prop_assert_eq!(inst.addr, d.pc, "pc matches the static instruction");
+            assert_eq!(
+                inst.addr, d.pc,
+                "case {case}: pc matches the static instruction"
+            );
             if d.has_mem {
-                prop_assert!(d.eff_addr > 0, "memory ops carry addresses");
+                assert!(d.eff_addr > 0, "case {case}: memory ops carry addresses");
             }
             if !d.taken && !inst.kind.is_cti() {
-                prop_assert_eq!(d.next_pc, inst.next_pc(), "sequential flow");
+                assert_eq!(d.next_pc, inst.next_pc(), "case {case}: sequential flow");
             }
         }
     }
+}
 
-    #[test]
-    fn identical_seeds_reproduce_identical_streams(profile in arb_profile()) {
+#[test]
+fn identical_seeds_reproduce_identical_streams() {
+    let mut r = Xorshift64Star::seed_from_u64(0x5757_0003);
+    for _ in 0..CASES {
+        let profile = arb_profile(&mut r);
         let a = generate_program(&profile);
         let b = generate_program(&profile);
         let sa: Vec<_> = ExecutionEngine::new(&a).take(500).collect();
         let sb: Vec<_> = ExecutionEngine::new(&b).take(500).collect();
-        prop_assert_eq!(sa, sb);
+        assert_eq!(sa, sb);
     }
 }

@@ -117,5 +117,8 @@ fn hot_cold_skew_holds_everywhere() {
 fn specint_branches_densest() {
     let int = characterize(Suite::SpecInt).branch_density;
     let fp = characterize(Suite::SpecFp).branch_density;
-    assert!(int > fp, "SpecInt ({int:.3}) must branch more than SpecFP ({fp:.3})");
+    assert!(
+        int > fp,
+        "SpecInt ({int:.3}) must branch more than SpecFP ({fp:.3})"
+    );
 }

@@ -17,10 +17,22 @@ fn measure(label: &str, profile: &AppProfile) {
     let ton = simulate(Model::TON, &wl, 150_000);
     let t = ton.trace.as_ref().expect("trace report");
     println!("== {label} ==");
-    println!("  N IPC {:.3}   TON IPC {:.3}  ({:+.1}%)", n.ipc(), ton.ipc(), (ton.ipc() / n.ipc() - 1.0) * 100.0);
-    println!("  coverage {:.1}%   trace mispredict {:.2}%   branch mispredict (N) {:.2}%",
-        t.coverage * 100.0, t.trace_mispredict_rate() * 100.0, n.branch_mispredict_rate() * 100.0);
-    println!("  energy vs N {:+.1}%\n", (ton.energy / n.energy - 1.0) * 100.0);
+    println!(
+        "  N IPC {:.3}   TON IPC {:.3}  ({:+.1}%)",
+        n.ipc(),
+        ton.ipc(),
+        (ton.ipc() / n.ipc() - 1.0) * 100.0
+    );
+    println!(
+        "  coverage {:.1}%   trace mispredict {:.2}%   branch mispredict (N) {:.2}%",
+        t.coverage * 100.0,
+        t.trace_mispredict_rate() * 100.0,
+        n.branch_mispredict_rate() * 100.0
+    );
+    println!(
+        "  energy vs N {:+.1}%\n",
+        (ton.energy / n.energy - 1.0) * 100.0
+    );
 }
 
 fn main() {

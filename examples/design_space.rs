@@ -16,10 +16,17 @@ use parrot_workloads::{app_by_name, Workload};
 fn main() {
     let apps = ["gzip", "swim", "flash", "word", "dotnet-num1"];
     let insts = 120_000;
-    let workloads: Vec<Workload> =
-        apps.iter().map(|a| Workload::build(&app_by_name(a).expect("app"))).collect();
+    let workloads: Vec<Workload> = apps
+        .iter()
+        .map(|a| Workload::build(&app_by_name(a).expect("app")))
+        .collect();
 
-    println!("sweeping {} models x {} applications ({} insts each)...\n", Model::ALL.len(), apps.len(), insts);
+    println!(
+        "sweeping {} models x {} applications ({} insts each)...\n",
+        Model::ALL.len(),
+        apps.len(),
+        insts
+    );
     let mut rows = Vec::new();
     for m in Model::ALL {
         let runs: Vec<_> = workloads.iter().map(|wl| simulate(m, wl, insts)).collect();
@@ -29,7 +36,10 @@ fn main() {
     }
 
     let base_energy = rows.iter().find(|(m, _, _)| *m == Model::N).expect("N").2;
-    println!("{:<8}{:>10}{:>14}{:>16}", "model", "IPC", "rel. energy", "IPC per energy");
+    println!(
+        "{:<8}{:>10}{:>14}{:>16}",
+        "model", "IPC", "rel. energy", "IPC per energy"
+    );
     for (m, ipc, energy) in &rows {
         println!(
             "{:<8}{:>10.3}{:>13.2}x{:>16.3}",
@@ -47,9 +57,18 @@ fn main() {
         .filter(|(_, _, e)| *e <= budget)
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .expect("some model fits");
-    println!("\nbest under a constrained budget (<=1.15x N): {} ({:.3} IPC)", constrained.0, constrained.1);
+    println!(
+        "\nbest under a constrained budget (<=1.15x N): {} ({:.3} IPC)",
+        constrained.0, constrained.1
+    );
 
     // Question 2: performance-first design.
-    let fastest = rows.iter().max_by(|a, b| a.1.total_cmp(&b.1)).expect("nonempty");
-    println!("fastest regardless of budget:               {} ({:.3} IPC)", fastest.0, fastest.1);
+    let fastest = rows
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("nonempty");
+    println!(
+        "fastest regardless of budget:               {} ({:.3} IPC)",
+        fastest.0, fastest.1
+    );
 }

@@ -23,13 +23,21 @@ fn main() {
 
     println!("== {} ({}) on TON ==\n", profile.name, profile.suite);
     println!("committed instructions   {}", r.insts);
-    println!("  executed hot           {} ({:.1}% coverage)", t.hot_insts, t.coverage * 100.0);
+    println!(
+        "  executed hot           {} ({:.1}% coverage)",
+        t.hot_insts,
+        t.coverage * 100.0
+    );
     println!("  executed cold          {}", t.cold_insts);
     println!();
     println!("trace promotion pipeline:");
     println!("  frames constructed     {}", t.constructed);
     println!("  hot entries            {}", t.entries);
-    println!("  aborts (divergence)    {} ({:.2}% of resolved)", t.aborts, t.trace_mispredict_rate() * 100.0);
+    println!(
+        "  aborts (divergence)    {} ({:.2}% of resolved)",
+        t.aborts,
+        t.trace_mispredict_rate() * 100.0
+    );
     println!("  trace-cache evictions  {}", t.tc_evictions);
     if let Some(o) = &t.opt {
         println!();
@@ -41,12 +49,21 @@ fn main() {
         println!("  SIMD lanes packed      {}", o.simd_lanes);
         println!("  dead uops removed      {}", o.removed_dead);
         println!("  constants folded       {}", o.folded);
-        println!("  mean reuse per trace   {:.0} executions", t.mean_opt_reuse);
+        println!(
+            "  mean reuse per trace   {:.0} executions",
+            t.mean_opt_reuse
+        );
     }
     println!();
     println!("predictability (Fig 4.7 anatomy):");
-    println!("  residual cold-branch mispredict  {:.2}%", r.branch_mispredict_rate() * 100.0);
-    println!("  hot-trace mispredict             {:.2}%", t.trace_mispredict_rate() * 100.0);
+    println!(
+        "  residual cold-branch mispredict  {:.2}%",
+        r.branch_mispredict_rate() * 100.0
+    );
+    println!(
+        "  hot-trace mispredict             {:.2}%",
+        t.trace_mispredict_rate() * 100.0
+    );
     println!();
     println!("the hot subsystem covers the regular majority; the cold residue");
     println!("is the irregular part — its branch mispredict rate is naturally");

@@ -31,7 +31,10 @@ fn main() {
     let mut frame = construct_frame(cand, &wl.decoded);
     let original = frame.uops.clone();
 
-    println!("trace {} ({} insts, {} units joined)\n", frame.tid, frame.num_insts, frame.joins);
+    println!(
+        "trace {} ({} insts, {} units joined)\n",
+        frame.tid, frame.num_insts, frame.joins
+    );
     println!("-- before optimization: {} uops --", original.len());
     for (i, u) in original.iter().enumerate() {
         println!("  {i:>2}: {u}");
@@ -66,7 +69,10 @@ fn main() {
     // Prove it: replay both versions from many random entry states.
     let seeds: Vec<u64> = (0..32).map(|i| 0x5eed + i * 7919).collect();
     match check_equivalent_multi(&original, &frame.uops, &frame.mem_addrs, &seeds) {
-        Ok(()) => println!("\nfunctional equivalence verified over {} random entry states ✓", seeds.len()),
+        Ok(()) => println!(
+            "\nfunctional equivalence verified over {} random entry states ✓",
+            seeds.len()
+        ),
         Err(e) => panic!("optimizer broke the trace: {e}"),
     }
 }

@@ -27,18 +27,32 @@ fn main() {
     let parrot = simulate(Model::TON, &workload, insts);
 
     println!("{:<28}{:>12}{:>12}", "", "N (base)", "TON (PARROT)");
-    println!("{:<28}{:>12.3}{:>12.3}", "IPC", baseline.ipc(), parrot.ipc());
-    println!("{:<28}{:>12.0}{:>12.0}", "energy (units)", baseline.energy, parrot.energy);
+    println!(
+        "{:<28}{:>12.3}{:>12.3}",
+        "IPC",
+        baseline.ipc(),
+        parrot.ipc()
+    );
+    println!(
+        "{:<28}{:>12.0}{:>12.0}",
+        "energy (units)", baseline.energy, parrot.energy
+    );
     println!(
         "{:<28}{:>12}{:>12.1}%",
         "trace-cache coverage",
         "-",
-        parrot.trace.as_ref().map(|t| t.coverage * 100.0).unwrap_or(0.0)
+        parrot
+            .trace
+            .as_ref()
+            .map(|t| t.coverage * 100.0)
+            .unwrap_or(0.0)
     );
     if let Some(opt) = parrot.trace.as_ref().and_then(|t| t.opt.as_ref()) {
         println!(
             "{:<28}{:>12}{:>12.1}%",
-            "dynamic uop reduction", "-", opt.uop_reduction * 100.0
+            "dynamic uop reduction",
+            "-",
+            opt.uop_reduction * 100.0
         );
     }
     let speedup = parrot.ipc() / baseline.ipc();
@@ -47,5 +61,8 @@ fn main() {
     println!();
     println!("speedup            {:+.1}%", (speedup - 1.0) * 100.0);
     println!("energy             {:+.1}%", (energy - 1.0) * 100.0);
-    println!("power awareness    {:+.1}% (cubic-MIPS-per-WATT)", (cmpw - 1.0) * 100.0);
+    println!(
+        "power awareness    {:+.1}% (cubic-MIPS-per-WATT)",
+        (cmpw - 1.0) * 100.0
+    );
 }

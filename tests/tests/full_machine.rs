@@ -39,7 +39,10 @@ fn wide_machine_is_faster_but_hungrier() {
         let n = run(Model::N, app);
         let w = run(Model::W, app);
         assert!(w.ipc() > n.ipc(), "{app}: W must outrun N");
-        assert!(w.energy > 1.3 * n.energy, "{app}: W must cost much more energy");
+        assert!(
+            w.energy > 1.3 * n.energy,
+            "{app}: W must cost much more energy"
+        );
     }
 }
 
@@ -73,7 +76,10 @@ fn ton_is_drastically_more_power_aware_than_widening() {
     for app in ["swim", "flash", "wupwise"] {
         let w = run(Model::W, app);
         let ton = run(Model::TON, app);
-        assert!(ton.energy < 0.8 * w.energy, "{app}: TON energy must undercut W");
+        assert!(
+            ton.energy < 0.8 * w.energy,
+            "{app}: TON energy must undercut W"
+        );
         let rel = cmpw_relative(&w.summary(), &ton.summary());
         assert!(rel > 1.08, "{app}: TON CMPW vs W = {rel:.2}");
     }
@@ -81,7 +87,10 @@ fn ton_is_drastically_more_power_aware_than_widening() {
 
 #[test]
 fn coverage_tracks_regularity() {
-    let fp = run(Model::TON, "swim").trace.expect("trace report").coverage;
+    let fp = run(Model::TON, "swim")
+        .trace
+        .expect("trace report")
+        .coverage;
     let int = run(Model::TON, "gcc").trace.expect("trace report").coverage;
     assert!(fp > 0.7, "swim coverage {fp:.2}");
     assert!(int > 0.25, "gcc coverage {int:.2}");
@@ -113,7 +122,11 @@ fn optimizer_reduces_uops_dynamically() {
         ton.uops,
         tn.uops
     );
-    let opt = ton.trace.as_ref().and_then(|t| t.opt.as_ref()).expect("opt report");
+    let opt = ton
+        .trace
+        .as_ref()
+        .and_then(|t| t.opt.as_ref())
+        .expect("opt report");
     assert!(opt.traces > 0, "blazing traces must be optimized");
     assert!(opt.uop_reduction > 0.05);
 }
@@ -149,7 +162,10 @@ fn reference_models_have_no_trace_report() {
 fn energy_breakdown_is_complete() {
     let r = run(Model::TON, "art");
     let sum: f64 = r.energy_by_unit.iter().map(|(_, e)| e).sum();
-    assert!((sum - r.energy).abs() < 1e-6 * r.energy, "unit energies must sum to total");
+    assert!(
+        (sum - r.energy).abs() < 1e-6 * r.energy,
+        "unit energies must sum to total"
+    );
     assert!(r.unit_share("leakage") > 0.05);
     assert!(r.unit_share("decode") > 0.01);
 }

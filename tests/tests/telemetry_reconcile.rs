@@ -1,0 +1,132 @@
+//! End-to-end telemetry reconciliation: install the thread-local sinks, run
+//! a fixed-seed simulation on this thread, and check that (a) the final
+//! metrics JSONL row equals the run's `TraceReport` counters exactly, (b)
+//! the Chrome trace parses back and contains the expected span/instant
+//! families, and (c) the profiler saw the instrumented sections.
+
+use parrot_core::{simulate, Model, SimReport};
+use parrot_telemetry::json::parse;
+use parrot_telemetry::{metrics, profile, trace};
+use parrot_workloads::{app_by_name, Workload};
+
+const BUDGET: u64 = 60_000;
+
+fn run_instrumented(app: &str) -> SimReport {
+    let wl = Workload::build(&app_by_name(app).expect("registered app"));
+    simulate(Model::TON, &wl, BUDGET)
+}
+
+#[test]
+fn final_metrics_row_reconciles_with_trace_report() {
+    let _ = metrics::take();
+    metrics::install(metrics::MetricsHub::new(10_000));
+    let r = run_instrumented("gzip");
+    let hub = metrics::take().expect("hub survives the run");
+    assert!(hub.rows() >= 2, "periodic snapshots plus the final one");
+
+    let jsonl = hub.to_jsonl();
+    let last = jsonl.lines().last().expect("at least one row");
+    let row = parse(last).expect("final row is valid JSON");
+    let t = r.trace.as_ref().expect("TON produces a trace report");
+    let counter = |name: &str| row.get(name).as_u64().unwrap_or_else(|| panic!("{name}"));
+
+    assert_eq!(counter("trace_entries"), t.entries);
+    assert_eq!(counter("trace_aborts"), t.aborts);
+    assert_eq!(counter("tc_hits"), t.tc_hits);
+    assert_eq!(counter("tc_lookups"), t.tc_lookups);
+    assert_eq!(counter("tc_evictions"), t.tc_evictions);
+    assert_eq!(counter("trace_constructed"), t.constructed);
+    assert_eq!(counter("hot_insts"), t.hot_insts);
+    assert_eq!(counter("cold_insts"), t.cold_insts);
+    assert_eq!(counter("insts"), r.insts);
+    assert_eq!(counter("cycles"), r.cycles);
+
+    // Every row must be independently parseable (the JSONL contract).
+    for line in jsonl.lines() {
+        assert!(parse(line).is_ok(), "unparseable JSONL row: {line}");
+    }
+}
+
+#[test]
+fn chrome_trace_has_expected_event_families() {
+    let _ = trace::take();
+    trace::install(trace::Tracer::new(1 << 18));
+    let r = run_instrumented("swim");
+    let tr = trace::take().expect("tracer survives the run");
+    let t = r.trace.as_ref().expect("trace report");
+    assert!(
+        t.entries > 0 && t.aborts > 0,
+        "workload must exercise entry and abort paths"
+    );
+
+    let doc = parse(&tr.to_chrome_json()).expect("valid Chrome trace JSON");
+    let events = doc.get("traceEvents").as_arr().expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let names: std::collections::BTreeSet<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").as_str())
+        .collect();
+    for expected in [
+        "cold",
+        "hot",
+        "trace.entry",
+        "trace.abort",
+        "trace.construct",
+        "filter.promote",
+        "tc.insert",
+        "opt.job",
+    ] {
+        assert!(
+            names.contains(expected),
+            "missing event family {expected:?}; have {names:?}"
+        );
+    }
+
+    // Phase spans are complete events with a duration; instants are "i".
+    for e in events {
+        let ph = e.get("ph").as_str().expect("ph field");
+        match ph {
+            "X" => assert!(e.get("dur").as_u64().is_some(), "X needs dur"),
+            "i" | "M" | "C" => {}
+            other => panic!("unexpected phase letter {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn split_core_model_emits_core_switch_instants() {
+    let _ = trace::take();
+    trace::install(trace::Tracer::new(1 << 16));
+    let wl = Workload::build(&app_by_name("gzip").expect("registered app"));
+    let _ = simulate(Model::TOS, &wl, BUDGET);
+    let tr = trace::take().expect("tracer survives the run");
+    let doc = parse(&tr.to_chrome_json()).expect("valid Chrome trace JSON");
+    let events = doc.get("traceEvents").as_arr().expect("traceEvents array");
+    let switches = events
+        .iter()
+        .filter(|e| e.get("name").as_str() == Some("core.switch"))
+        .count();
+    assert!(
+        switches > 0,
+        "TOS drain-based switching must surface as core.switch instants"
+    );
+}
+
+#[test]
+fn profiler_records_instrumented_sections() {
+    let _ = profile::take();
+    profile::install(profile::Profiler::new());
+    let _ = run_instrumented("swim");
+    let p = profile::take().expect("profiler survives the run");
+    for section in ["machine.run", "trace.construct", "opt.optimize"] {
+        let (calls, total, _self_t) = p.section(section).unwrap_or_else(|| panic!("{section}"));
+        assert!(calls > 0, "{section} never entered");
+        assert!(total.as_nanos() > 0, "{section} accumulated no time");
+    }
+    let report = p.report();
+    assert!(
+        report.contains("machine.run"),
+        "report lists sections:\n{report}"
+    );
+}
