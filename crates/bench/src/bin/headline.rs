@@ -3,6 +3,9 @@
 //!   while the conventional path (widening) costs ~70% more energy;
 //! * power-tolerant: TOW delivers ≈+45% IPC over N while *improving* CMPW
 //!   by ≈+51%.
+//!
+//! Accepts the shared telemetry flags (`--trace-out`, `--metrics-out`,
+//! `--profile`, `--jobs`, `-v`/`-q`); see [`parrot_bench::cli`].
 
 use parrot_bench::{pct, ResultSet};
 use parrot_core::Model;

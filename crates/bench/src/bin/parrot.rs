@@ -10,6 +10,9 @@
 //! ```
 //!
 //! Run via `cargo run --release -p parrot-bench --bin parrot -- <args>`.
+//! Every subcommand also accepts the shared telemetry flags
+//! (`--trace-out`, `--metrics-out`, `--profile`, `--jobs`, `-v`/`-q`);
+//! see [`parrot_bench::cli`].
 
 use parrot_core::{simulate, Model, SimReport};
 use parrot_energy::metrics::cmpw_relative;

@@ -2,7 +2,9 @@
 //! write the paper-vs-measured record to `EXPERIMENTS.md`.
 //!
 //! Run with: `cargo run --release -p parrot-bench --bin reproduce`
-//! (set `PARROT_INSTS` to change the per-run instruction budget).
+//! (set `PARROT_INSTS` to change the per-run instruction budget; pass
+//! `--jobs N` to set the sweep worker count — telemetry sinks, if any,
+//! are sharded across the workers and merged after the join).
 
 use parrot_bench::{groups, insts_budget, pct, ResultSet};
 use parrot_core::Model;
@@ -38,9 +40,24 @@ fn main() {
         "To profile or inspect a run, the bench binaries take `--profile` (wall-clock\n\
          self/total table for the simulator itself), `--trace-out FILE` (Perfetto\n\
          timeline in simulated cycles) and `--metrics-out FILE` (JSONL counter/histogram\n\
-         snapshots); see README.md \u{201c}Observability\u{201d}.\n"
+         snapshots); see README.md \u{201c}Observability\u{201d}. Sweeps run on `--jobs N` worker\n\
+         threads (default: all cores) with telemetry sharded per work item and merged\n\
+         deterministically after the join.\n"
     )
     .unwrap();
+
+    writeln!(md, "## Sweep wall-clock — serial vs parallel\n").unwrap();
+    match parrot_bench::sweep_timing_markdown() {
+        Some(table) => md.push_str(&table),
+        None => writeln!(
+            md,
+            "No timing record yet: run `cargo run --release -p parrot-bench --bin\n\
+             sweepbench` to measure serial vs `--jobs N` sweeps with and without\n\
+             telemetry sinks."
+        )
+        .unwrap(),
+    }
+    writeln!(md).unwrap();
 
     // ---- headline table ----
     writeln!(md, "## Headline comparisons (§1, §4.1)\n").unwrap();

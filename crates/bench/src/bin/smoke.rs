@@ -3,6 +3,7 @@
 //! coverage, mispredict rates, uop reduction, pipeline-balance counters).
 //!
 //! Run with: `cargo run --release -p parrot-bench --bin smoke`
+//! (accepts the shared telemetry flags; see [`parrot_bench::cli`]).
 
 use parrot_bench::cli::Telemetry;
 use parrot_core::{simulate, Model};

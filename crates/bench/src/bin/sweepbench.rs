@@ -1,0 +1,83 @@
+//! Measure full-sweep wall clock: serial vs `--jobs N`, with and without
+//! telemetry sinks installed. Records the numbers to
+//! `results/sweep_timings.json` (embedded into EXPERIMENTS.md by
+//! `reproduce`) and prints the same table as markdown.
+//!
+//! Run with: `cargo run --release -p parrot-bench --bin sweepbench`
+//! (set `PARROT_INSTS` to change the per-run instruction budget, `--jobs`
+//! to change the parallel worker count).
+
+use parrot_bench::{cli::Telemetry, insts_budget, jobs, ResultSet};
+use parrot_telemetry::json::Value;
+use parrot_telemetry::{metrics, profile, status, trace};
+
+/// Mirrors the bench CLI defaults (`cli::TRACE_CAP`, `cli::METRICS_INTERVAL`).
+const TRACE_CAP: usize = 1 << 18;
+const METRICS_INTERVAL: u64 = 10_000;
+
+fn timed_sweep(insts: u64, jobs: usize, sinks: bool) -> f64 {
+    if sinks {
+        trace::install(trace::Tracer::new(TRACE_CAP));
+        metrics::install(metrics::MetricsHub::new(METRICS_INTERVAL));
+        profile::install(profile::Profiler::new());
+    }
+    let t0 = std::time::Instant::now();
+    let set = ResultSet::run_sweep_with(insts, jobs);
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(!set.apps().is_empty());
+    if sinks {
+        // Artifacts are timed, not written: drop the merged sinks.
+        let tr = trace::take().expect("merged tracer");
+        let hub = metrics::take().expect("merged hub");
+        let _ = profile::take().expect("merged profiler");
+        status!(
+            "  captured {} trace events, {} metric rows",
+            tr.len(),
+            hub.rows()
+        );
+    }
+    secs
+}
+
+fn main() {
+    let (telemetry, _args) = Telemetry::from_args(std::env::args().skip(1).collect());
+    let insts = insts_budget();
+    let par = jobs().max(2);
+    let configs = [
+        ("serial, no telemetry", 1usize, false),
+        ("parallel, no telemetry", par, false),
+        ("serial, all sinks", 1, true),
+        ("parallel, all sinks", par, true),
+    ];
+    let mut timings = Vec::new();
+    for (label, n, sinks) in configs {
+        status!("sweep: {label} (jobs={n}, insts={insts})");
+        let secs = timed_sweep(insts, n, sinks);
+        status!("  {secs:.2} s");
+        timings.push(Value::obj([
+            ("label", Value::Str(label.to_string())),
+            ("jobs", Value::int(n as u64)),
+            ("sinks", Value::Bool(sinks)),
+            ("secs", Value::Num(secs)),
+        ]));
+    }
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    let doc = Value::obj([
+        ("insts", Value::int(insts)),
+        ("host_parallelism", Value::int(host)),
+        ("timings", Value::Arr(timings)),
+    ]);
+    let path = parrot_bench::timings_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, doc.to_json_pretty()).expect("write sweep timings");
+    status!("wrote {}", path.display());
+    print!(
+        "{}",
+        parrot_bench::sweep_timing_markdown().expect("timings just recorded")
+    );
+    telemetry.finish();
+}

@@ -7,13 +7,25 @@
 //! - `--metrics-out FILE` — write JSONL metric snapshots taken every
 //!   `--metrics-interval N` committed instructions (default 10000).
 //! - `--profile`          — print a wall-clock self/total profile of the
-//!   simulator itself to stderr on exit.
+//!   simulator itself to stderr on exit (parallel sweeps add per-worker
+//!   attribution).
+//! - `--jobs N`           — sweep worker threads (default
+//!   `available_parallelism`, env `PARROT_JOBS`).
 //! - `-v` / `-q`          — verbose / quiet logging (stderr only; stdout
 //!   stays reserved for figure and table data).
 //!
 //! Usage pattern: call [`Telemetry::from_args`] first thing in `main`,
 //! run the experiment with the returned (flag-stripped) arguments, then
-//! call [`Telemetry::finish`] last.
+//! call [`Telemetry::finish`] last:
+//!
+//! ```no_run
+//! use parrot_bench::cli::Telemetry;
+//!
+//! let (telemetry, args) = Telemetry::from_args(std::env::args().skip(1).collect());
+//! // ... run the experiment with the flag-stripped `args` ...
+//! # let _ = args;
+//! telemetry.finish(); // writes --trace-out/--metrics-out, prints --profile
+//! ```
 
 use parrot_telemetry::log::{self, Level};
 use parrot_telemetry::{metrics, profile, status, trace};
@@ -41,8 +53,9 @@ impl Telemetry {
     ///
     /// Exits with a usage error on a flag missing its value. The sinks
     /// are thread-local; the sweep harness (`ResultSet::run_sweep`)
-    /// detects installed sinks and runs serially on the installing
-    /// thread so sweep runs are captured too.
+    /// shards them per work item across its workers and merges the shards
+    /// deterministically after the join, so sweeps stay parallel while
+    /// being captured (see `parrot_telemetry::shard`).
     pub fn from_args(args: Vec<String>) -> (Telemetry, Vec<String>) {
         let mut t = Telemetry {
             trace_out: None,
@@ -70,6 +83,17 @@ impl Telemetry {
                     interval = v;
                 }
                 "--profile" => t.profile = true,
+                "--jobs" => {
+                    let n = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--jobs requires a positive integer");
+                            std::process::exit(2);
+                        });
+                    crate::set_jobs(n);
+                }
                 "-v" | "--verbose" => log::set_level(Level::Verbose),
                 "-q" | "--quiet" => log::set_level(Level::Quiet),
                 _ => rest.push(a),
@@ -135,6 +159,19 @@ mod tests {
         // Undo side effects on the shared process state.
         log::set_level(Level::Status);
         let _ = profile::take();
+        t.finish();
+    }
+
+    #[test]
+    fn jobs_flag_sets_worker_count() {
+        let args: Vec<String> = ["--jobs", "3", "run"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (t, rest) = Telemetry::from_args(args);
+        assert_eq!(rest, ["run"]);
+        assert_eq!(crate::jobs(), 3);
+        crate::set_jobs(0);
         t.finish();
     }
 

@@ -7,13 +7,26 @@
 //! Figure binaries (`fig4_1` … `fig4_11`, `tables`, `headline`) read the
 //! shared result cache; `reproduce` runs everything and emits an
 //! EXPERIMENTS.md-ready report.
+//!
+//! ```no_run
+//! use parrot_bench::ResultSet;
+//! use parrot_core::Model;
+//!
+//! let set = ResultSet::load_or_run(); // cached, or a parallel sweep
+//! let gcc = set.get(Model::TON, "gcc");
+//! println!("TON on gcc: IPC {:.2}", gcc.ipc());
+//! ```
+
+#![warn(missing_docs)]
 
 use parrot_core::{simulate, Model, SimReport};
 use parrot_energy::metrics::{cmpw_relative, geo_mean};
 use parrot_telemetry::json::Value;
+use parrot_telemetry::shard::SweepSession;
 use parrot_workloads::{all_apps, AppProfile, Suite, Workload};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod cli;
@@ -23,6 +36,10 @@ pub mod microbench;
 /// `PARROT_INSTS`.
 pub const DEFAULT_INSTS: u64 = 200_000;
 
+/// Schema version of the sweep result-cache file. Bump on any change to the
+/// cache layout or to what the fingerprint covers.
+pub const CACHE_VERSION: u64 = 2;
+
 /// The instruction budget in effect.
 pub fn insts_budget() -> u64 {
     std::env::var("PARROT_INSTS")
@@ -31,20 +48,51 @@ pub fn insts_budget() -> u64 {
         .unwrap_or(DEFAULT_INSTS)
 }
 
+/// `--jobs` override; 0 means "not set".
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the sweep worker count (the `--jobs N` flag). 0 restores the
+/// default.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// Sweep worker threads in effect: `--jobs N` if given, else `PARROT_JOBS`,
+/// else [`std::thread::available_parallelism`] (capped at 16).
+pub fn jobs() -> usize {
+    let j = JOBS.load(Ordering::Relaxed);
+    if j > 0 {
+        return j;
+    }
+    if let Some(n) = std::env::var("PARROT_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
 /// All results of a full sweep, keyed by (model, app).
 pub struct ResultSet {
+    /// Committed-instruction budget every run was simulated with.
     pub insts: u64,
     runs: BTreeMap<(String, String), SimReport>,
 }
 
 impl ResultSet {
-    /// Load the cached sweep for the current budget, or run it (in
-    /// parallel) and cache it under `results/`.
+    /// Load the cached sweep for the current budget and configuration
+    /// fingerprint, or run it (in parallel) and cache it under `results/`.
     pub fn load_or_run() -> ResultSet {
         let insts = insts_budget();
-        let path = cache_path(insts);
+        let fp = config_fingerprint(insts);
+        let path = cache_path(insts, fp);
         if let Ok(text) = std::fs::read_to_string(&path) {
-            if let Some(runs) = parse_report_cache(&text) {
+            if let Some(runs) = parse_report_cache(&text, fp) {
                 let map = runs
                     .into_iter()
                     .map(|r| ((r.model.clone(), r.app.clone()), r))
@@ -53,71 +101,77 @@ impl ResultSet {
             }
         }
         parrot_telemetry::status!(
-            "no cached sweep at {} — running {} simulations",
+            "no cached sweep at {} — running {} simulations on {} workers",
             path.display(),
-            all_apps().len() * Model::ALL.len()
+            all_apps().len() * Model::ALL.len(),
+            jobs()
         );
         let set = Self::run_sweep(insts);
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
-        let all = Value::Arr(set.runs.values().map(SimReport::to_json).collect());
-        let _ = std::fs::write(&path, all.to_json_pretty());
+        let doc = Value::obj([
+            ("version", Value::int(CACHE_VERSION)),
+            ("fingerprint", Value::Str(format!("{fp:016x}"))),
+            ("insts", Value::int(insts)),
+            (
+                "runs",
+                Value::Arr(set.runs.values().map(SimReport::to_json).collect()),
+            ),
+        ]);
+        let _ = std::fs::write(&path, doc.to_json_pretty());
         set
     }
 
-    /// Run the full (model × app) sweep with a simple thread pool.
-    ///
-    /// Telemetry sinks are thread-local, so when any are installed on the
-    /// calling thread the sweep runs serially on that thread instead —
-    /// otherwise every event would land in the workers' uninstalled sinks
-    /// and `--trace-out`/`--metrics-out` would emit empty artifacts.
+    /// Run the full (model × app) sweep on [`jobs`] worker threads.
     pub fn run_sweep(insts: u64) -> ResultSet {
+        Self::run_sweep_with(insts, jobs())
+    }
+
+    /// Run the full (model × app) sweep on exactly `jobs` worker threads.
+    ///
+    /// The scheduler is a small work-stealing pool: applications form one
+    /// shared queue and every idle worker steals the next unclaimed one, so
+    /// a slow app never serializes the tail. Results land in a `BTreeMap`
+    /// keyed by (model, app), making the result order deterministic
+    /// regardless of completion order.
+    ///
+    /// Telemetry sinks are thread-local; when any are installed on the
+    /// calling thread, they are sharded per work item across the workers
+    /// via [`SweepSession`] and deterministically merged (and reinstalled
+    /// on the calling thread) after the join — so
+    /// `--trace-out`/`--metrics-out`/`--profile` capture parallel sweeps
+    /// without a serial tax.
+    pub fn run_sweep_with(insts: u64, jobs: usize) -> ResultSet {
         let apps = all_apps();
-        if parrot_telemetry::trace::active()
-            || parrot_telemetry::metrics::active()
-            || parrot_telemetry::profile::active()
-        {
-            parrot_telemetry::status!(
-                "telemetry sinks installed — running the sweep serially so it is captured"
-            );
-            let mut runs = BTreeMap::new();
-            for a in &apps {
-                let wl = Workload::build(a);
-                for m in Model::ALL {
-                    let r = simulate(m, &wl, insts);
-                    runs.insert((r.model.clone(), r.app.clone()), r);
-                }
-                parrot_telemetry::verbose!("swept {} ({} models)", a.name, Model::ALL.len());
-            }
-            return ResultSet { insts, runs };
-        }
+        let session = SweepSession::begin();
+        let workers = jobs.clamp(1, apps.len());
+        let next = AtomicUsize::new(0);
         let results: Mutex<BTreeMap<(String, String), SimReport>> = Mutex::new(BTreeMap::new());
-        let next: Mutex<usize> = Mutex::new(0);
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(16);
         std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| loop {
-                    let i = {
-                        let mut n = next.lock().expect("queue lock");
-                        let i = *n;
-                        *n += 1;
-                        i
-                    };
+            for w in 0..workers as u32 {
+                let (session, next, results, apps) = (session.as_ref(), &next, &results, &apps);
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
                     if i >= apps.len() {
                         break;
                     }
-                    let wl = Workload::build(&apps[i]);
-                    for m in Model::ALL {
-                        let r = simulate(m, &wl, insts);
-                        results
-                            .lock()
-                            .expect("results lock")
-                            .insert((r.model.clone(), r.app.clone()), r);
+                    if let Some(sess) = session {
+                        sess.install_item();
                     }
+                    let wl = Workload::build(&apps[i]);
+                    let mut local = Vec::with_capacity(Model::ALL.len());
+                    for m in Model::ALL {
+                        local.push(simulate(m, &wl, insts));
+                    }
+                    if let Some(sess) = session {
+                        sess.collect_item(i, w);
+                    }
+                    let mut map = results.lock().expect("results lock");
+                    for r in local {
+                        map.insert((r.model.clone(), r.app.clone()), r);
+                    }
+                    drop(map);
                     parrot_telemetry::verbose!(
                         "swept {} ({} models)",
                         apps[i].name,
@@ -126,6 +180,9 @@ impl ResultSet {
                 });
             }
         });
+        if let Some(sess) = session {
+            sess.finish();
+        }
         ResultSet {
             insts,
             runs: results.into_inner().expect("results"),
@@ -203,22 +260,112 @@ impl ResultSet {
     }
 }
 
-/// Parse a cached sweep file (a JSON array of [`SimReport`] objects).
-/// `None` if the file is malformed or from an incompatible schema — the
-/// caller then re-runs the sweep and overwrites the cache.
-fn parse_report_cache(text: &str) -> Option<Vec<SimReport>> {
-    let v = parrot_telemetry::json::parse(text).ok()?;
-    v.as_arr()?.iter().map(SimReport::from_json).collect()
+/// 64-bit FNV-1a fingerprint of everything a sweep result depends on: the
+/// cache schema version, the instruction budget, every machine-model
+/// configuration, and every workload profile. Editing any of those changes
+/// the fingerprint, so stale caches can never be served silently.
+pub fn config_fingerprint(insts: u64) -> u64 {
+    fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+        bytes.iter().fold(h, |h, b| {
+            (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3)
+        })
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fnv1a(h, format!("v{CACHE_VERSION};insts={insts}").as_bytes());
+    for m in Model::ALL {
+        h = fnv1a(h, format!("{:?}", m.config()).as_bytes());
+    }
+    for a in all_apps() {
+        h = fnv1a(h, format!("{a:?}").as_bytes());
+    }
+    h
 }
 
-fn cache_path(insts: u64) -> PathBuf {
-    PathBuf::from(env_root()).join(format!("results/sweep_{insts}.json"))
+/// Parse a cached sweep file: a versioned object whose `runs` member is the
+/// JSON array of [`SimReport`]s. `None` if the file is malformed, from an
+/// incompatible schema version, or carries a different configuration
+/// fingerprint — the caller then re-runs the sweep and overwrites the
+/// cache.
+fn parse_report_cache(text: &str, fp: u64) -> Option<Vec<SimReport>> {
+    let v = parrot_telemetry::json::parse(text).ok()?;
+    if v.get("version").as_u64()? != CACHE_VERSION {
+        return None;
+    }
+    if v.get("fingerprint").as_str()? != format!("{fp:016x}") {
+        return None;
+    }
+    v.get("runs")
+        .as_arr()?
+        .iter()
+        .map(SimReport::from_json)
+        .collect()
+}
+
+fn cache_path(insts: u64, fp: u64) -> PathBuf {
+    PathBuf::from(env_root()).join(format!("results/sweep_{insts}_{fp:016x}.json"))
 }
 
 fn env_root() -> String {
     std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| format!("{d}/../.."))
         .unwrap_or_else(|_| ".".to_string())
+}
+
+/// Where the `sweepbench` binary records measured sweep wall-clock numbers.
+pub fn timings_path() -> PathBuf {
+    PathBuf::from(env_root()).join("results/sweep_timings.json")
+}
+
+/// Markdown table of the sweep wall-clock timings recorded by the
+/// `sweepbench` binary (serial vs parallel, telemetry sinks off/on), or
+/// `None` when no record exists yet. Embedded into EXPERIMENTS.md by
+/// `reproduce` so the parallel-speedup claim stays re-checkable.
+pub fn sweep_timing_markdown() -> Option<String> {
+    let text = std::fs::read_to_string(timings_path()).ok()?;
+    let v = parrot_telemetry::json::parse(&text).ok()?;
+    let insts = v.get("insts").as_u64()?;
+    let rows = v.get("timings").as_arr()?;
+    let mut md = String::new();
+    use std::fmt::Write as _;
+    let host = v
+        .get("host_parallelism")
+        .as_u64()
+        .map(|n| format!(" on a host with {n} available core(s)"))
+        .unwrap_or_default();
+    writeln!(
+        md,
+        "Measured with `cargo run --release -p parrot-bench --bin sweepbench`\n\
+         ({} runs at {insts} committed instructions each{host}; re-run it to\n\
+         refresh):\n",
+        all_apps().len() * Model::ALL.len()
+    )
+    .ok()?;
+    writeln!(md, "| configuration | jobs | wall-clock | vs serial |").ok()?;
+    writeln!(md, "|---|---|---|---|").ok()?;
+    let serial_no_sinks = rows
+        .iter()
+        .find(|r| r.get("jobs").as_u64() == Some(1) && r.get("sinks").as_bool() == Some(false))
+        .and_then(|r| r.get("secs").as_f64());
+    let serial_sinks = rows
+        .iter()
+        .find(|r| r.get("jobs").as_u64() == Some(1) && r.get("sinks").as_bool() == Some(true))
+        .and_then(|r| r.get("secs").as_f64());
+    for r in rows {
+        let label = r.get("label").as_str()?;
+        let jobs = r.get("jobs").as_u64()?;
+        let secs = r.get("secs").as_f64()?;
+        let base = if r.get("sinks").as_bool() == Some(true) {
+            serial_sinks
+        } else {
+            serial_no_sinks
+        };
+        let speedup = base
+            .filter(|b| secs > 0.0 && *b > 0.0)
+            .map(|b| format!("{:.2}×", b / secs))
+            .unwrap_or_else(|| "—".to_string());
+        writeln!(md, "| {label} | {jobs} | {secs:.2} s | {speedup} |").ok()?;
+    }
+    Some(md)
 }
 
 /// Column groups used by the per-suite figures: each suite plus the
@@ -311,10 +458,50 @@ mod tests {
     #[test]
     fn sweep_with_sinks_installed_is_captured() {
         parrot_telemetry::metrics::install(parrot_telemetry::metrics::MetricsHub::new(1_000));
-        let set = ResultSet::run_sweep(2_000);
-        let hub = parrot_telemetry::metrics::take().expect("hub still installed");
-        assert!(hub.rows() > 0, "serial sweep recorded metric snapshots");
+        let set = ResultSet::run_sweep_with(2_000, 4);
+        let hub = parrot_telemetry::metrics::take().expect("merged hub reinstalled");
+        assert!(hub.rows() > 0, "parallel sweep recorded metric snapshots");
+        let jsonl = hub.to_jsonl();
+        let last = jsonl.lines().last().expect("rows present");
+        let row = parrot_telemetry::json::parse(last).expect("final row parses");
+        assert_eq!(
+            row.get("run").as_str(),
+            Some(parrot_telemetry::shard::MERGED_RUN_LABEL),
+            "final row is the merged sweep total"
+        );
         assert!(!set.runs.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_covers_budget_and_version() {
+        assert_eq!(config_fingerprint(2_000), config_fingerprint(2_000));
+        assert_ne!(config_fingerprint(2_000), config_fingerprint(3_000));
+    }
+
+    #[test]
+    fn cache_rejects_wrong_version_or_fingerprint() {
+        let fp = config_fingerprint(1_000);
+        let doc = Value::obj([
+            ("version", Value::int(CACHE_VERSION)),
+            ("fingerprint", Value::Str(format!("{fp:016x}"))),
+            ("insts", Value::int(1_000)),
+            ("runs", Value::Arr(vec![])),
+        ])
+        .to_json();
+        assert!(parse_report_cache(&doc, fp).is_some());
+        assert!(
+            parse_report_cache(&doc, fp ^ 1).is_none(),
+            "fingerprint mismatch must invalidate the cache"
+        );
+        let old = Value::obj([
+            ("version", Value::int(CACHE_VERSION - 1)),
+            ("fingerprint", Value::Str(format!("{fp:016x}"))),
+            ("runs", Value::Arr(vec![])),
+        ])
+        .to_json();
+        assert!(parse_report_cache(&old, fp).is_none(), "old schema version");
+        // The pre-versioning format (a bare JSON array) is also stale.
+        assert!(parse_report_cache("[]", fp).is_none());
     }
 
     #[test]

@@ -4,6 +4,14 @@
 //! measurement rounds, and prints one `group/name  time/iter` line —
 //! enough to catch order-of-magnitude regressions by eye or by diffing
 //! runs, with zero external dependencies.
+//!
+//! ```no_run
+//! use parrot_bench::microbench::bench;
+//!
+//! bench("json", "parse_report", || {
+//!     parrot_telemetry::json::parse("{\"cycles\":800}").unwrap()
+//! });
+//! ```
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -41,7 +49,7 @@ pub fn bench<T>(group: &str, name: &str, mut f: impl FnMut() -> T) {
     }
 }
 
-/// Like [`bench`], but each iteration consumes a fresh value from `setup`,
+/// Like [`bench()`], but each iteration consumes a fresh value from `setup`,
 /// whose cost is excluded from the measurement. Per-iteration timing adds
 /// ~tens of ns of `Instant` overhead, so reserve this for bodies that take
 /// microseconds or more (simulation, optimization, stream generation).

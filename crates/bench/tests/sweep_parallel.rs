@@ -1,0 +1,146 @@
+//! Parallel-sweep equivalence and telemetry-merge reconciliation.
+//!
+//! The sweep scheduler must be invisible to results: a parallel sweep with
+//! every telemetry sink installed produces byte-identical `ResultSet` data
+//! to the serial (`jobs = 1`) path, and the merged metrics stream's final
+//! row reconciles *exactly* with the aggregated per-run `SimReport`s.
+
+use parrot_bench::ResultSet;
+use parrot_core::SimReport;
+use parrot_telemetry::json::parse;
+use parrot_telemetry::shard::MERGED_RUN_LABEL;
+use parrot_telemetry::{metrics, profile, trace};
+use std::collections::BTreeMap;
+
+const BUDGET: u64 = 2_000;
+
+fn install_all_sinks() {
+    trace::install(trace::Tracer::new(1 << 14));
+    metrics::install(metrics::MetricsHub::new(500));
+    profile::install(profile::Profiler::new());
+}
+
+fn take_all_sinks() -> (trace::Tracer, metrics::MetricsHub, profile::Profiler) {
+    (
+        trace::take().expect("tracer reinstalled after sweep"),
+        metrics::take().expect("metrics hub reinstalled after sweep"),
+        profile::take().expect("profiler reinstalled after sweep"),
+    )
+}
+
+/// Serialize every report deterministically (keyed by model/app).
+fn report_bytes(set: &ResultSet) -> BTreeMap<(String, String), String> {
+    set.apps()
+        .iter()
+        .flat_map(|a| {
+            parrot_core::Model::ALL.iter().map(|m| {
+                let r = set.get(*m, a.name);
+                (
+                    (r.model.clone(), r.app.clone()),
+                    r.to_json().to_json_pretty(),
+                )
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_sweep_with_sinks_matches_serial_and_reconciles() {
+    install_all_sinks();
+    let serial = ResultSet::run_sweep_with(BUDGET, 1);
+    let (_t1, serial_hub, _p1) = take_all_sinks();
+
+    install_all_sinks();
+    let parallel = ResultSet::run_sweep_with(BUDGET, 4);
+    let (tracer, hub, profiler) = take_all_sinks();
+
+    // (a) Byte-identical simulation results, serial vs parallel.
+    assert_eq!(
+        report_bytes(&serial),
+        report_bytes(&parallel),
+        "parallel scheduling must not change any report"
+    );
+
+    // (b) The merged final metrics row reconciles exactly with the
+    // aggregated SimReports.
+    let jsonl = hub.to_jsonl();
+    let last = jsonl.lines().last().expect("rows recorded");
+    let total = parse(last).expect("final row parses");
+    assert_eq!(total.get("run").as_str(), Some(MERGED_RUN_LABEL));
+
+    let mut want: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut runs = 0u64;
+    for a in parallel.apps() {
+        for m in parrot_core::Model::ALL {
+            let r: &SimReport = parallel.get(m, a.name);
+            runs += 1;
+            *want.entry("insts").or_default() += r.insts;
+            *want.entry("cycles").or_default() += r.cycles;
+            *want.entry("state_switches").or_default() += r.state_switches;
+            if let Some(t) = &r.trace {
+                *want.entry("trace_entries").or_default() += t.entries;
+                *want.entry("trace_aborts").or_default() += t.aborts;
+                *want.entry("trace_constructed").or_default() += t.constructed;
+                *want.entry("hot_insts").or_default() += t.hot_insts;
+                *want.entry("cold_insts").or_default() += t.cold_insts;
+                *want.entry("tc_lookups").or_default() += t.tc_lookups;
+                *want.entry("tc_hits").or_default() += t.tc_hits;
+                *want.entry("tc_evictions").or_default() += t.tc_evictions;
+            }
+        }
+    }
+    for (name, expected) in &want {
+        assert_eq!(
+            total.get(name).as_u64(),
+            Some(*expected),
+            "merged counter {name} must equal the SimReport aggregate"
+        );
+    }
+    assert_eq!(total.get("runs_merged").as_u64(), Some(runs));
+
+    // The serial path's merged total carries the same counters.
+    let serial_jsonl = serial_hub.to_jsonl();
+    let serial_total = parse(serial_jsonl.lines().last().unwrap()).unwrap();
+    for (name, expected) in &want {
+        assert_eq!(serial_total.get(name).as_u64(), Some(*expected));
+    }
+
+    // Every row of the merged stream is independently parseable and the
+    // stream is ordered by committed-instruction interval.
+    let mut prev = 0u64;
+    for line in jsonl.lines() {
+        let row = parse(line).unwrap_or_else(|e| panic!("unparseable row {line}: {e}"));
+        let insts = row.get("insts").as_u64().expect("insts on every row");
+        assert!(insts >= prev, "rows sorted by insts");
+        prev = insts;
+    }
+
+    // (c) Merged Chrome trace parses, covers every run as its own pid, and
+    // names the workers.
+    let doc = parse(&tracer.to_chrome_json()).expect("merged trace parses");
+    let events = doc.get("traceEvents").as_arr().expect("traceEvents");
+    let processes = events
+        .iter()
+        .filter(|e| e.get("name").as_str() == Some("process_name"))
+        .count() as u64;
+    assert_eq!(processes, runs, "one Perfetto process per run");
+    assert!(
+        events.iter().any(|e| {
+            e.get("name").as_str() == Some("thread_name")
+                && e.get("args")
+                    .get("name")
+                    .as_str()
+                    .is_some_and(|n| n.starts_with("worker "))
+        }),
+        "workers appear as named tids"
+    );
+
+    // (d) Per-worker profiler attribution sums to the aggregate.
+    let (calls, _total, _own) = profiler.section("machine.run").expect("profiled section");
+    assert_eq!(calls, runs, "machine.run entered once per run");
+    let per_worker: u64 = (0..4)
+        .filter_map(|w| profiler.worker_section(w, "machine.run"))
+        .map(|(c, _, _)| c)
+        .sum();
+    assert_eq!(per_worker, calls, "worker attribution covers every call");
+}

@@ -13,6 +13,8 @@
 //! println!("IPC {:.2}, energy {:.0}", report.ipc(), report.energy);
 //! ```
 
+#![warn(missing_docs)]
+
 mod machine;
 mod models;
 mod report;

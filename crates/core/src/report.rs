@@ -11,8 +11,9 @@ pub struct TraceReport {
     /// Fraction of committed instructions fetched from the trace cache
     /// (Fig 4.8).
     pub coverage: f64,
-    /// Instructions executed hot / cold.
+    /// Instructions executed hot (streamed from the trace cache).
     pub hot_insts: u64,
+    /// Instructions executed cold (conventional fetch path).
     pub cold_insts: u64,
     /// Confident next-trace predictions acted on at fetch (the paper's
     /// "trace-predictor successful" path; variant-vote entries excluded).
@@ -25,15 +26,17 @@ pub struct TraceReport {
     pub aborts: u64,
     /// Hot entries (frames streamed).
     pub entries: u64,
-    /// Hot-entry attempts at trace boundaries / attempts finding no
-    /// resident variant (fetch-selector diagnostics).
+    /// Hot-entry attempts at trace boundaries (fetch-selector diagnostics).
     pub hot_attempts: u64,
+    /// Hot-entry attempts that found no resident trace variant.
     pub no_variant: u64,
     /// Frames constructed and inserted.
     pub constructed: u64,
-    /// Trace-cache statistics.
+    /// Trace-cache lookups.
     pub tc_lookups: u64,
+    /// Trace-cache lookups that hit.
     pub tc_hits: u64,
+    /// Trace-cache frames evicted to make room.
     pub tc_evictions: u64,
     /// Mean dynamic executions per optimized trace (Fig 4.10).
     pub mean_opt_reuse: f64,
@@ -131,10 +134,13 @@ pub struct OptReport {
     pub dep_reduction: f64,
     /// Total optimizer analysis work (uop·pass).
     pub work_uops: u64,
-    /// Pass activity: fused pairs, packed lanes, dead uops removed, folds.
+    /// Dependent uop pairs fused by the combining pass.
     pub fused: u64,
+    /// Lanes packed by the SIMD-combining pass.
     pub simd_lanes: u64,
+    /// Dead uops removed.
     pub removed_dead: u64,
+    /// Constants folded.
     pub folded: u64,
 }
 
@@ -187,13 +193,15 @@ pub struct SimReport {
     pub energy: f64,
     /// Energy by unit, in [`Unit::ALL`] order: `(label, energy)`.
     pub energy_by_unit: Vec<(String, f64)>,
-    /// Conditional branches and mispredicts seen by the cold front end.
+    /// Conditional branches seen by the cold front end.
     pub cond_branches: u64,
+    /// Conditional-branch mispredicts seen by the cold front end.
     pub cond_mispredicts: u64,
-    /// Pipeline-balance counters: cycles the issue window was empty
-    /// (front-end starvation) vs. non-empty with nothing issued
-    /// (dependency/port bound).
+    /// Pipeline-balance counter: cycles the issue window was empty
+    /// (front-end starvation).
     pub iq_empty_cycles: u64,
+    /// Pipeline-balance counter: cycles the window was non-empty but
+    /// nothing issued (dependency/port bound).
     pub issue_blocked_cycles: u64,
     /// Split-core state switches (0 on unified machines).
     pub state_switches: u64,

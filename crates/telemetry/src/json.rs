@@ -5,6 +5,16 @@
 //! Numbers are stored as `f64`. Integers up to 2^53 round-trip exactly and
 //! are written without a decimal point; that covers every counter the
 //! simulator produces.
+//!
+//! ```
+//! use parrot_telemetry::json::{parse, Value};
+//!
+//! let doc = Value::obj([("ipc", Value::Num(1.25)), ("cycles", Value::int(800))]);
+//! let text = doc.to_json();
+//! let back = parse(&text).unwrap();
+//! assert_eq!(back.get("cycles").as_u64(), Some(800));
+//! assert_eq!(back.get("ipc").as_f64(), Some(1.25));
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -12,10 +22,15 @@ use std::fmt;
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Value {
+    /// JSON `null`.
     Null,
+    /// JSON boolean.
     Bool(bool),
+    /// JSON number (see the module docs for integer precision).
     Num(f64),
+    /// JSON string.
     Str(String),
+    /// JSON array.
     Arr(Vec<Value>),
     /// Object with insertion-stable key order not required; keys are sorted
     /// (BTreeMap) so output is deterministic.
@@ -50,6 +65,7 @@ impl Value {
         }
     }
 
+    /// The value as `f64`, if numeric.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
@@ -67,6 +83,7 @@ impl Value {
         }
     }
 
+    /// The value as a string slice, if a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -74,6 +91,7 @@ impl Value {
         }
     }
 
+    /// The value as `bool`, if a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
@@ -81,6 +99,7 @@ impl Value {
         }
     }
 
+    /// The value as an array slice, if an array.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {
             Value::Arr(a) => Some(a),
@@ -88,6 +107,7 @@ impl Value {
         }
     }
 
+    /// Is this `Value::Null`?
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
@@ -224,7 +244,9 @@ pub fn write_escaped(s: &str, out: &mut String) {
 /// Parse error with a byte offset into the input.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
+    /// Byte offset of the error in the input.
     pub offset: usize,
+    /// What went wrong.
     pub message: &'static str,
 }
 

@@ -15,18 +15,26 @@
 //!   reporting self/total time per section.
 //! - [`log`] — a leveled stderr logger (`-q`/`-v`) for bench binaries, so
 //!   stdout stays reserved for figure/table data.
+//! - [`shard`] — sharded telemetry for parallel sweeps: per-work-item sink
+//!   shards on worker threads, deterministically merged back into the
+//!   calling thread's sinks after the join.
 //!
 //! The tracer, metrics hub and profiler follow the `log`-crate idiom: a
 //! thread-local installable sink plus free functions that are near-free
 //! no-ops when nothing is installed, so instrumented crates
 //! (`parrot-core`, `parrot-trace`, `parrot-opt`) need no signature changes.
+//! Because the sinks are thread-local, multi-threaded drivers shard them
+//! per worker via [`shard::SweepSession`] instead of serializing the work.
 //!
 //! [`rng`] additionally hosts the in-tree xorshift64* PRNG that replaced
 //! `rand::SmallRng` (same seeds, different stream — documented in DESIGN.md).
+
+#![warn(missing_docs)]
 
 pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod rng;
+pub mod shard;
 pub mod trace;

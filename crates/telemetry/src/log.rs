@@ -7,14 +7,26 @@
 //! - `Quiet` (`-q`): nothing.
 //! - `Status` (default): one-line progress.
 //! - `Verbose` (`-v`): adds per-app/interval detail.
+//!
+//! ```
+//! use parrot_telemetry::log::{set_level, Level};
+//! use parrot_telemetry::{status, verbose};
+//!
+//! set_level(Level::Status);
+//! status!("sweeping {} apps", 44);   // printed to stderr
+//! verbose!("per-app detail");        // suppressed below Verbose
+//! ```
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Logger verbosity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Level {
+    /// Nothing (`-q`).
     Quiet = 0,
+    /// One-line progress (the default).
     Status = 1,
+    /// Per-app/interval detail (`-v`).
     Verbose = 2,
 }
 

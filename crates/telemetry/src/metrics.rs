@@ -14,6 +14,29 @@
 //! keys (`run`, `seq`, `insts`, `cycles`, `ipc_interval`); registering a
 //! metric under a reserved name panics rather than emitting duplicate
 //! JSON keys.
+//!
+//! Hubs are also *mergeable*: a parallel sweep gives every worker its own
+//! hub, [`MetricsHub::absorb`]s them after the join, and
+//! [`MetricsHub::seal_merged`] orders the combined rows deterministically
+//! and appends one reconciled sweep-total row.
+//!
+//! # Example
+//!
+//! ```
+//! use parrot_telemetry::metrics::MetricsHub;
+//!
+//! let mut hub = MetricsHub::new(1_000);
+//! hub.begin_run("TON/gzip");
+//! hub.counter_set("trace_entries", 5);
+//! hub.hist_record("abort_flush_uops", 12);
+//! assert!(hub.due(1_000));
+//! hub.snapshot(1_000, 800);
+//!
+//! let row = parrot_telemetry::json::parse(hub.to_jsonl().lines().next().unwrap()).unwrap();
+//! assert_eq!(row.get("run").as_str(), Some("TON/gzip"));
+//! assert_eq!(row.get("trace_entries").as_u64(), Some(5));
+//! assert_eq!(row.get("abort_flush_uops").get("count").as_u64(), Some(1));
+//! ```
 
 use crate::json::{write_escaped, Value};
 use std::cell::{Cell, RefCell};
@@ -36,6 +59,7 @@ impl Histogram {
     /// simulator records.
     pub const CAP: usize = 1 << 20;
 
+    /// Record one observation.
     pub fn record(&mut self, v: u64) {
         if self.count == 0 {
             self.min = v;
@@ -52,10 +76,36 @@ impl Histogram {
         }
     }
 
+    /// Fold another histogram into this one: counts and sums add, min/max
+    /// widen, and the other's retained samples are appended up to
+    /// [`Histogram::CAP`] (beyond which percentiles are computed over the
+    /// retained prefix, as with [`Histogram::record`]).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        let room = Self::CAP.saturating_sub(self.samples.len());
+        if room > 0 && !other.samples.is_empty() {
+            self.samples.extend(other.samples.iter().take(room));
+            self.sorted = false;
+        }
+    }
+
+    /// Number of observations recorded (including ones past the sample cap).
     pub fn count(&self) -> u64 {
         self.count
     }
 
+    /// Mean of all observations (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -64,10 +114,12 @@ impl Histogram {
         }
     }
 
+    /// Smallest observation (0 when empty).
     pub fn min(&self) -> u64 {
         self.min
     }
 
+    /// Largest observation (0 when empty).
     pub fn max(&self) -> u64 {
         self.max
     }
@@ -106,6 +158,28 @@ fn check_metric_name(name: &str) {
     );
 }
 
+/// One formatted snapshot row plus the keys a deterministic sweep merge
+/// sorts by (committed-instruction interval, then run label, then sequence
+/// number within the run).
+#[derive(Clone, Debug)]
+struct Row {
+    run: String,
+    seq: u64,
+    insts: u64,
+    json: String,
+}
+
+/// Final cumulative state of one completed run, retained so a sweep merge
+/// can sum counters absolutely and fold histograms across runs.
+#[derive(Clone, Debug)]
+struct RunTotals {
+    run: String,
+    insts: u64,
+    cycles: u64,
+    counters: Vec<Named<u64>>,
+    hists: Vec<Named<Histogram>>,
+}
+
 /// The metrics hub: registered counters/gauges/histograms plus accumulated
 /// JSONL snapshot rows.
 #[derive(Debug)]
@@ -119,7 +193,8 @@ pub struct MetricsHub {
     counters: Vec<Named<u64>>,
     gauges: Vec<Named<f64>>,
     hists: Vec<Named<Histogram>>,
-    rows: Vec<String>,
+    rows: Vec<Row>,
+    finished: Vec<RunTotals>,
 }
 
 impl MetricsHub {
@@ -136,13 +211,36 @@ impl MetricsHub {
             gauges: Vec::new(),
             hists: Vec::new(),
             rows: Vec::new(),
+            finished: Vec::new(),
         }
     }
 
+    /// Snapshot interval in committed instructions.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
     /// Label subsequent rows and reset per-run state (counters, gauges,
-    /// histograms, interval bookkeeping).
+    /// histograms, interval bookkeeping). The finished run's final counter
+    /// and histogram state is retained for [`MetricsHub::seal_merged`].
     pub fn begin_run(&mut self, label: &str) {
+        self.seal_current();
         self.run = label.to_string();
+    }
+
+    /// Retire the in-progress run (if it recorded anything) into the
+    /// finished-run totals and reset per-run state.
+    fn seal_current(&mut self) {
+        if self.seq > 0 || !self.counters.is_empty() || !self.hists.is_empty() {
+            self.finished.push(RunTotals {
+                run: std::mem::take(&mut self.run),
+                insts: self.prev_insts,
+                cycles: self.prev_cycles,
+                counters: std::mem::take(&mut self.counters),
+                hists: std::mem::take(&mut self.hists),
+            });
+        }
+        self.run.clear();
         self.seq = 0;
         self.prev_insts = 0;
         self.prev_cycles = 0;
@@ -150,6 +248,54 @@ impl MetricsHub {
         self.counters.clear();
         self.gauges.clear();
         self.hists.clear();
+    }
+
+    /// Fold a sweep shard into this hub: its snapshot rows and finished-run
+    /// totals are appended verbatim (ordering is deferred to
+    /// [`MetricsHub::seal_merged`], which sorts deterministically).
+    pub fn absorb(&mut self, mut shard: MetricsHub) {
+        self.seal_current();
+        shard.seal_current();
+        self.rows.append(&mut shard.rows);
+        self.finished.append(&mut shard.finished);
+    }
+
+    /// Finalize a sweep merge: order all snapshot rows by
+    /// (committed-instruction interval, run label, sequence number) —
+    /// deterministic regardless of worker completion order — then append
+    /// one final row labeled `label` whose counters are the absolute sums
+    /// over every finished run, whose histograms are the cross-run merge,
+    /// and whose `insts`/`cycles` are the sweep totals (so `ipc_interval`
+    /// on that row is the aggregate IPC). That final row reconciles exactly
+    /// with the sum of the runs' end-of-run reports.
+    pub fn seal_merged(&mut self, label: &str) {
+        self.seal_current();
+        self.rows
+            .sort_by(|a, b| (a.insts, &a.run, a.seq).cmp(&(b.insts, &b.run, b.seq)));
+        self.finished.sort_by(|a, b| a.run.cmp(&b.run));
+        let mut insts = 0u64;
+        let mut cycles = 0u64;
+        let runs = self.finished.len() as u64;
+        let finished = std::mem::take(&mut self.finished);
+        for rt in &finished {
+            insts += rt.insts;
+            cycles += rt.cycles;
+            for c in &rt.counters {
+                *self.counter_slot(c.name) += c.v;
+            }
+            for h in &rt.hists {
+                check_metric_name(h.name);
+                if let Some(i) = self.hists.iter().position(|x| x.name == h.name) {
+                    self.hists[i].v.merge(&h.v);
+                } else {
+                    self.hists.push(h.clone());
+                }
+            }
+        }
+        self.finished = finished;
+        self.run = label.to_string();
+        self.counter_set("runs_merged", runs);
+        self.snapshot(insts, cycles);
     }
 
     fn counter_slot(&mut self, name: &'static str) -> &mut u64 {
@@ -257,7 +403,12 @@ impl MetricsHub {
         }
         self.hists = hists;
         row.push('}');
-        self.rows.push(row);
+        self.rows.push(Row {
+            run: self.run.clone(),
+            seq: self.seq,
+            insts,
+            json: row,
+        });
         self.seq += 1;
         self.prev_insts = insts;
         self.prev_cycles = cycles;
@@ -270,7 +421,7 @@ impl MetricsHub {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for r in &self.rows {
-            out.push_str(r);
+            out.push_str(&r.json);
             out.push('\n');
         }
         out
@@ -478,5 +629,103 @@ mod tests {
         assert!(!due(u64::MAX));
         snapshot(1, 1);
         assert!(take().is_none());
+    }
+
+    #[test]
+    fn histogram_merge_empty_other_is_noop() {
+        let mut h = Histogram::default();
+        h.record(5);
+        h.record(9);
+        h.merge(&Histogram::default());
+        assert_eq!(h.count(), 2);
+        assert_eq!((h.min(), h.max()), (5, 9));
+        assert_eq!(h.mean(), 7.0);
+    }
+
+    #[test]
+    fn histogram_merge_into_empty_copies_bounds() {
+        let mut from = Histogram::default();
+        from.record(3);
+        from.record(11);
+        let mut into = Histogram::default();
+        into.merge(&from);
+        assert_eq!(into.count(), 2);
+        assert_eq!((into.min(), into.max()), (3, 11));
+        assert_eq!(into.percentile(100.0), 11);
+    }
+
+    #[test]
+    fn histogram_merge_widens_and_sums() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [10, 20, 30] {
+            a.record(v);
+        }
+        for v in [1, 100] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!((a.min(), a.max()), (1, 100));
+        assert_eq!(a.mean(), (10 + 20 + 30 + 1 + 100) as f64 / 5.0);
+        // Percentiles see the merged sample set.
+        assert_eq!(a.percentile(0.0), 1);
+        assert_eq!(a.percentile(100.0), 100);
+    }
+
+    #[test]
+    fn absorb_empty_shard_changes_nothing() {
+        let mut base = MetricsHub::new(100);
+        base.begin_run("a");
+        base.counter_set("x", 3);
+        base.snapshot(100, 100);
+        let before_rows = base.rows();
+        base.absorb(MetricsHub::new(100));
+        base.seal_merged("total");
+        let jsonl = base.to_jsonl();
+        let rows: Vec<_> = jsonl.lines().map(|l| json::parse(l).unwrap()).collect();
+        assert_eq!(rows.len(), before_rows + 1, "only the total row is added");
+        let total = rows.last().unwrap();
+        assert_eq!(total.get("run").as_str(), Some("total"));
+        assert_eq!(total.get("x").as_u64(), Some(3));
+        assert_eq!(total.get("runs_merged").as_u64(), Some(1));
+    }
+
+    #[test]
+    fn merged_rows_with_duplicate_intervals_keep_run_then_seq_order() {
+        // Two shards snapshot at the *same* committed-instruction interval;
+        // the merged stream must order them deterministically by
+        // (insts, run, seq), not by absorb order.
+        let mut base = MetricsHub::new(100);
+        let mut s1 = MetricsHub::new(100);
+        s1.begin_run("zeta");
+        s1.counter_set("x", 1);
+        s1.snapshot(100, 100);
+        s1.snapshot(100, 110); // duplicate interval within one run
+        let mut s2 = MetricsHub::new(100);
+        s2.begin_run("alpha");
+        s2.counter_set("x", 2);
+        s2.snapshot(100, 100);
+        base.absorb(s1);
+        base.absorb(s2);
+        base.seal_merged("total");
+        let jsonl = base.to_jsonl();
+        let rows: Vec<_> = jsonl.lines().map(|l| json::parse(l).unwrap()).collect();
+        let order: Vec<(Option<&str>, Option<u64>)> = rows
+            .iter()
+            .map(|r| (r.get("run").as_str(), r.get("seq").as_u64()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (Some("alpha"), Some(0)),
+                (Some("zeta"), Some(0)),
+                (Some("zeta"), Some(1)),
+                (Some("total"), Some(0)),
+            ]
+        );
+        let total = rows.last().unwrap();
+        assert_eq!(total.get("x").as_u64(), Some(3));
+        assert_eq!(total.get("runs_merged").as_u64(), Some(2));
     }
 }

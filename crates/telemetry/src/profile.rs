@@ -8,6 +8,20 @@
 //! When no profiler is installed, [`scope`] is a single thread-local `Cell`
 //! read and the guard's `Drop` does nothing — cheap enough to leave in the
 //! machine tick loop.
+//!
+//! ```
+//! use parrot_telemetry::profile;
+//!
+//! profile::install(profile::Profiler::new());
+//! {
+//!     let _outer = profile::scope("machine.run");
+//!     let _inner = profile::scope("opt.pass"); // nests: counted once
+//! }
+//! let p = profile::take().unwrap();
+//! let (calls, _total, _own) = p.section("machine.run").unwrap();
+//! assert_eq!(calls, 1);
+//! assert!(p.report().contains("machine.run"));
+//! ```
 
 use std::cell::{Cell, RefCell};
 use std::time::{Duration, Instant};
@@ -33,14 +47,53 @@ pub struct Profiler {
     sections: Vec<Section>,
     stack: Vec<Frame>,
     epoch: Option<Instant>,
+    /// Per-sweep-worker section totals, accumulated by
+    /// [`Profiler::absorb_worker`] and reported as attribution sub-tables.
+    workers: Vec<(u32, Vec<Section>)>,
+}
+
+fn merge_sections(into: &mut Vec<Section>, from: &[Section]) {
+    for s in from {
+        if let Some(t) = into.iter_mut().find(|t| t.name == s.name) {
+            t.calls += s.calls;
+            t.total += s.total;
+            t.own += s.own;
+        } else {
+            into.push(s.clone());
+        }
+    }
 }
 
 impl Profiler {
+    /// A profiler whose wall-clock epoch starts now.
     pub fn new() -> Profiler {
         Profiler {
             sections: Vec::new(),
             stack: Vec::new(),
             epoch: Some(Instant::now()),
+            workers: Vec::new(),
+        }
+    }
+
+    /// Fold a sweep shard's profiler into this one: its section totals add
+    /// into the aggregate table and into the per-worker attribution bucket
+    /// for `worker` (self/total time stays exactly attributed — shard
+    /// scopes closed before collection, so no time is double-counted).
+    pub fn absorb_worker(&mut self, worker: u32, other: Profiler) {
+        merge_sections(&mut self.sections, &other.sections);
+        if let Some((_, bucket)) = self.workers.iter_mut().find(|(w, _)| *w == worker) {
+            merge_sections(bucket, &other.sections);
+        } else {
+            let mut bucket = Vec::new();
+            merge_sections(&mut bucket, &other.sections);
+            self.workers.push((worker, bucket));
+        }
+        for (w, shard_bucket) in other.workers {
+            if let Some((_, bucket)) = self.workers.iter_mut().find(|(sw, _)| *sw == w) {
+                merge_sections(bucket, &shard_bucket);
+            } else {
+                self.workers.push((w, shard_bucket));
+            }
         }
     }
 
@@ -102,6 +155,29 @@ impl Profiler {
             ));
         }
         out.push_str(&format!("wall total: {:.3} ms\n", wall.as_secs_f64() * 1e3));
+        if !self.workers.is_empty() {
+            let mut workers = self.workers.clone();
+            workers.sort_by_key(|(w, _)| *w);
+            out.push_str("\nper-worker attribution\n");
+            for (w, sections) in &workers {
+                let busy: Duration = sections.iter().map(|s| s.own).sum();
+                out.push_str(&format!(
+                    "worker {w} — busy {:.3} ms\n",
+                    busy.as_secs_f64() * 1e3
+                ));
+                let mut rows = sections.clone();
+                rows.sort_by_key(|s| std::cmp::Reverse(s.own));
+                for s in &rows {
+                    out.push_str(&format!(
+                        "  {:<26} {:>10} {:>12.3} {:>12.3}\n",
+                        s.name,
+                        s.calls,
+                        s.total.as_secs_f64() * 1e3,
+                        s.own.as_secs_f64() * 1e3
+                    ));
+                }
+            }
+        }
         out
     }
 
@@ -110,6 +186,16 @@ impl Profiler {
         self.sections
             .iter()
             .find(|s| s.name == name)
+            .map(|s| (s.calls, s.total, s.own))
+    }
+
+    /// (calls, total, self) for `name` as attributed to sweep `worker`, if
+    /// that worker entered the section.
+    pub fn worker_section(&self, worker: u32, name: &str) -> Option<(u64, Duration, Duration)> {
+        self.workers
+            .iter()
+            .find(|(w, _)| *w == worker)
+            .and_then(|(_, ss)| ss.iter().find(|s| s.name == name))
             .map(|s| (s.calls, s.total, s.own))
     }
 }

@@ -1,0 +1,267 @@
+//! Sharded telemetry for parallel sweeps.
+//!
+//! The [`trace`], [`metrics`] and [`profile`] sinks are thread-local, so a
+//! multi-threaded sweep would otherwise record nothing: every event would
+//! land in the workers' uninstalled sinks. A [`SweepSession`] solves this
+//! without any hot-path synchronization:
+//!
+//! 1. [`SweepSession::begin`] captures the sinks installed on the calling
+//!    thread (remembering their configuration) — or returns `None` when no
+//!    sink is installed, in which case the sweep runs with zero telemetry
+//!    overhead.
+//! 2. Each worker brackets every work item with
+//!    [`SweepSession::install_item`] / [`SweepSession::collect_item`]:
+//!    fresh, identically-configured sinks are installed thread-locally for
+//!    the item, then collected into a *shard* tagged with the item index
+//!    and worker id.
+//! 3. After the join, [`SweepSession::finish`] sorts the shards by work
+//!    item — making the merge deterministic regardless of which worker ran
+//!    what, or in what order items completed — merges them into the
+//!    original sinks, and reinstalls those on the calling thread so the
+//!    caller's normal flush path (e.g. `Telemetry::finish` in the bench
+//!    CLI) works unchanged.
+//!
+//! Sharding per *item* rather than per worker keeps the merged artifacts
+//! bit-stable: the trace ring bound and metric rows of an item depend only
+//! on that item's (deterministic) simulation, never on which other items
+//! happened to share a worker's sink.
+//!
+//! Merge invariants (see DESIGN.md "Sweep engine & sharded telemetry"):
+//!
+//! - **Trace**: one Chrome trace; each run keeps its event order and
+//!   simulated-cycle timestamps, gets a fresh deterministic pid, and is
+//!   tagged with its worker as a named tid ([`trace::Tracer::absorb`]).
+//! - **Metrics**: one JSONL stream; rows ordered by committed-instruction
+//!   interval, then run label, then sequence number; a final
+//!   `sweep:total` row sums every counter absolutely and merges the
+//!   histograms, reconciling exactly with the aggregated end-of-run
+//!   reports ([`metrics::MetricsHub::seal_merged`]).
+//! - **Profile**: one report with aggregate section totals plus per-worker
+//!   self/total attribution ([`profile::Profiler::absorb_worker`]).
+//!
+//! ```
+//! use parrot_telemetry::shard::SweepSession;
+//! use parrot_telemetry::metrics;
+//!
+//! metrics::install(metrics::MetricsHub::new(1_000));
+//! let sess = SweepSession::begin().expect("a sink is installed");
+//! for item in 0..2 {
+//!     // On a worker thread in a real sweep:
+//!     sess.install_item();
+//!     metrics::begin_run(&format!("run{item}"));
+//!     metrics::counter_set("work", 7);
+//!     metrics::snapshot(500, 250);
+//!     sess.collect_item(item, 0);
+//! }
+//! sess.finish(); // merged hub is reinstalled on this thread
+//! let hub = metrics::take().unwrap();
+//! let total = hub.to_jsonl().lines().last().unwrap().to_string();
+//! assert!(total.contains("\"sweep:total\""));
+//! assert!(total.contains("\"work\":14")); // counters summed absolutely
+//! assert!(total.contains("\"insts\":1000")); // run intervals aggregated
+//! ```
+
+use crate::{metrics, profile, trace};
+use std::sync::Mutex;
+
+/// Run label of the final merged metrics row appended by
+/// [`SweepSession::finish`].
+pub const MERGED_RUN_LABEL: &str = "sweep:total";
+
+/// Sinks collected from one completed work item.
+struct Shard {
+    item: usize,
+    worker: u32,
+    tracer: Option<trace::Tracer>,
+    metrics: Option<metrics::MetricsHub>,
+    profiler: Option<profile::Profiler>,
+}
+
+/// A sweep-wide telemetry session: the calling thread's sinks, the
+/// configuration to replicate on workers, and the collected shards.
+///
+/// See the [module docs](self) for the lifecycle.
+pub struct SweepSession {
+    trace_cap: Option<usize>,
+    metrics_interval: Option<u64>,
+    profile: bool,
+    base_trace: Mutex<Option<trace::Tracer>>,
+    base_metrics: Mutex<Option<metrics::MetricsHub>>,
+    base_profile: Mutex<Option<profile::Profiler>>,
+    shards: Mutex<Vec<Shard>>,
+}
+
+impl SweepSession {
+    /// Capture the calling thread's installed sinks into a session, or
+    /// `None` when no sink is installed (the sweep then needs no telemetry
+    /// bookkeeping at all).
+    pub fn begin() -> Option<SweepSession> {
+        if !trace::active() && !metrics::active() && !profile::active() {
+            return None;
+        }
+        let t = trace::take();
+        let m = metrics::take();
+        let p = profile::take();
+        Some(SweepSession {
+            trace_cap: t.as_ref().map(trace::Tracer::cap),
+            metrics_interval: m.as_ref().map(metrics::MetricsHub::interval),
+            profile: p.is_some(),
+            base_trace: Mutex::new(t),
+            base_metrics: Mutex::new(m),
+            base_profile: Mutex::new(p),
+            shards: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Install fresh sinks, configured like the captured ones, on the
+    /// current worker thread. Call immediately before running a work item.
+    pub fn install_item(&self) {
+        if let Some(cap) = self.trace_cap {
+            trace::install(trace::Tracer::new(cap));
+        }
+        if let Some(interval) = self.metrics_interval {
+            metrics::install(metrics::MetricsHub::new(interval));
+        }
+        if self.profile {
+            profile::install(profile::Profiler::new());
+        }
+    }
+
+    /// Collect the current worker thread's sinks into the shard for work
+    /// item `item`, executed by `worker`. Call immediately after the item
+    /// completes.
+    pub fn collect_item(&self, item: usize, worker: u32) {
+        let shard = Shard {
+            item,
+            worker,
+            tracer: if self.trace_cap.is_some() {
+                trace::take()
+            } else {
+                None
+            },
+            metrics: if self.metrics_interval.is_some() {
+                metrics::take()
+            } else {
+                None
+            },
+            profiler: if self.profile { profile::take() } else { None },
+        };
+        self.shards.lock().expect("shard list lock").push(shard);
+    }
+
+    /// Merge every collected shard (in work-item order) into the captured
+    /// sinks and reinstall them on the calling thread, so the caller
+    /// flushes one merged trace file, one reconciled metrics stream ending
+    /// in a [`MERGED_RUN_LABEL`] total row, and one profiler report with
+    /// per-worker attribution.
+    pub fn finish(self) {
+        let mut shards = self.shards.into_inner().expect("shard list");
+        shards.sort_by_key(|s| s.item);
+        let mut tracer = self.base_trace.into_inner().expect("base tracer");
+        let mut hub = self.base_metrics.into_inner().expect("base metrics");
+        let mut profiler = self.base_profile.into_inner().expect("base profiler");
+        for shard in shards {
+            if let (Some(base), Some(t)) = (tracer.as_mut(), shard.tracer) {
+                base.absorb(shard.worker, t);
+            }
+            if let (Some(base), Some(m)) = (hub.as_mut(), shard.metrics) {
+                base.absorb(m);
+            }
+            if let (Some(base), Some(p)) = (profiler.as_mut(), shard.profiler) {
+                base.absorb_worker(shard.worker, p);
+            }
+        }
+        if let Some(t) = tracer {
+            trace::install(t);
+        }
+        if let Some(mut m) = hub {
+            m.seal_merged(MERGED_RUN_LABEL);
+            metrics::install(m);
+        }
+        if let Some(p) = profiler {
+            profile::install(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn begin_is_none_without_sinks() {
+        assert!(!trace::active() && !metrics::active() && !profile::active());
+        assert!(SweepSession::begin().is_none());
+    }
+
+    #[test]
+    fn session_replicates_configs_and_merges_back() {
+        metrics::install(metrics::MetricsHub::new(500));
+        trace::install(trace::Tracer::new(64));
+        profile::install(profile::Profiler::new());
+        let session = SweepSession::begin().expect("sinks installed");
+        // Sinks moved into the session: the thread has none until finish.
+        assert!(!metrics::active() && !trace::active() && !profile::active());
+
+        // Simulate two items completing on two workers, out of item order.
+        for (item, worker) in [(1usize, 0u32), (0, 1)] {
+            session.install_item();
+            assert!(metrics::active() && trace::active() && profile::active());
+            metrics::begin_run(&format!("run{item}"));
+            metrics::counter_set("trace_entries", 10 * (item as u64 + 1));
+            metrics::snapshot(1_000, 500);
+            trace::begin_run(&format!("run{item}"));
+            trace::set_clock(7);
+            trace::instant("e", "c", trace::track::MACHINE, trace::NO_ARGS);
+            {
+                let _s = profile::scope("machine.run");
+            }
+            session.collect_item(item, worker);
+        }
+        session.finish();
+
+        let hub = metrics::take().expect("merged hub reinstalled");
+        let jsonl = hub.to_jsonl();
+        let rows: Vec<_> = jsonl.lines().map(|l| json::parse(l).unwrap()).collect();
+        // Two per-run rows (sorted by insts then run label) + the total.
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get("run").as_str(), Some("run0"));
+        assert_eq!(rows[1].get("run").as_str(), Some("run1"));
+        let total = &rows[2];
+        assert_eq!(total.get("run").as_str(), Some(MERGED_RUN_LABEL));
+        assert_eq!(total.get("trace_entries").as_u64(), Some(30));
+        assert_eq!(total.get("insts").as_u64(), Some(2_000));
+        assert_eq!(total.get("cycles").as_u64(), Some(1_000));
+        assert_eq!(total.get("runs_merged").as_u64(), Some(2));
+
+        let tracer = trace::take().expect("merged tracer reinstalled");
+        let doc = json::parse(&tracer.to_chrome_json()).unwrap();
+        let events = doc.get("traceEvents").as_arr().unwrap();
+        // Shards sorted by item: run0 gets the lower pid despite finishing
+        // second.
+        let pid_of = |label: &str| {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("name").as_str() == Some("process_name")
+                        && e.get("args").get("name").as_str() == Some(label)
+                })
+                .and_then(|e| e.get("pid").as_u64())
+                .unwrap()
+        };
+        assert!(pid_of("run0") < pid_of("run1"));
+        // Worker attribution rendered as a named tid 0.
+        assert!(events.iter().any(|e| {
+            e.get("name").as_str() == Some("thread_name")
+                && e.get("args").get("name").as_str() == Some("worker 1")
+        }));
+
+        let p = profile::take().expect("merged profiler reinstalled");
+        assert_eq!(p.section("machine.run").unwrap().0, 2);
+        assert_eq!(p.worker_section(0, "machine.run").unwrap().0, 1);
+        assert_eq!(p.worker_section(1, "machine.run").unwrap().0, 1);
+        let report = p.report();
+        assert!(report.contains("per-worker attribution"));
+    }
+}

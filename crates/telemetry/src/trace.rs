@@ -11,6 +11,28 @@
 //! [`install`] one before a run, call the free functions from anywhere, and
 //! [`take`] it back to write the file. When no tracer is installed every
 //! hook is a single thread-local `Cell` read.
+//!
+//! Tracers from parallel sweep workers merge into one document with
+//! [`Tracer::absorb`]: run pids are renumbered deterministically, cycle
+//! timestamps are preserved, and each absorbed run is tagged with the
+//! worker that executed it.
+//!
+//! # Example
+//!
+//! ```
+//! use parrot_telemetry::trace::{self, Tracer, track, arg1};
+//!
+//! let mut t = Tracer::new(1024);
+//! t.begin_run("TON/gzip");
+//! trace::install(t);
+//! trace::set_clock(100);
+//! trace::instant("trace.abort", "trace", track::TRACE, arg1("flushed_uops", 12.0));
+//! trace::complete("hot", "phase", track::PHASE, 40, 90, trace::NO_ARGS);
+//!
+//! let t = trace::take().unwrap();
+//! let doc = parrot_telemetry::json::parse(&t.to_chrome_json()).unwrap();
+//! assert!(!doc.get("traceEvents").as_arr().unwrap().is_empty());
+//! ```
 
 use crate::json::write_escaped;
 use std::cell::{Cell, RefCell};
@@ -58,6 +80,16 @@ struct Event {
     args: Args,
 }
 
+/// One run's process metadata: pid, display label, and — for runs absorbed
+/// from a sweep shard — the worker that executed it (emitted as a named
+/// tid-0 row so Perfetto shows worker attribution).
+#[derive(Clone, Debug)]
+struct Run {
+    pid: u32,
+    label: String,
+    worker: Option<u32>,
+}
+
 /// Bounded recorder of trace events. Oldest events are dropped once `cap`
 /// is reached (the drop count is reported in the emitted file's metadata).
 #[derive(Debug)]
@@ -67,8 +99,8 @@ pub struct Tracer {
     dropped: u64,
     /// Current run ("process") id; one per simulated run.
     pid: u32,
-    /// Process-name metadata: (pid, label).
-    runs: Vec<(u32, String)>,
+    /// Process-name metadata, one entry per run.
+    runs: Vec<Run>,
 }
 
 impl Tracer {
@@ -83,10 +115,56 @@ impl Tracer {
         }
     }
 
+    /// The ring capacity this tracer was created with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
     /// Start a new run: a fresh Perfetto "process" labeled `label`.
     pub fn begin_run(&mut self, label: &str) {
         self.pid += 1;
-        self.runs.push((self.pid, label.to_string()));
+        self.runs.push(Run {
+            pid: self.pid,
+            label: label.to_string(),
+            worker: None,
+        });
+    }
+
+    /// Fold a sweep shard's tracer into this one. The shard's runs keep
+    /// their event order and simulated-cycle timestamps but are renumbered
+    /// onto fresh pids after this tracer's own, and are tagged with the
+    /// sweep `worker` that executed them (rendered as a named tid). Call in
+    /// a deterministic shard order (the sweep session sorts by work item)
+    /// so the merged document is identical regardless of which worker
+    /// finished first. Ring-drop counts add; the merged tracer's capacity
+    /// grows to hold every absorbed event (no merge-time drops).
+    pub fn absorb(&mut self, worker: u32, other: Tracer) {
+        let base = self.pid;
+        self.dropped += other.dropped;
+        let mut absorbed_pids = other.pid;
+        if other.runs.is_empty() && !other.events.is_empty() {
+            // Events recorded without begin_run land on pid 1; synthesize a
+            // process entry so they stay attributed in the merged file.
+            self.runs.push(Run {
+                pid: base + 1,
+                label: format!("worker {worker}"),
+                worker: Some(worker),
+            });
+            absorbed_pids = absorbed_pids.max(1);
+        }
+        for r in other.runs {
+            self.runs.push(Run {
+                pid: base + r.pid,
+                label: r.label,
+                worker: r.worker.or(Some(worker)),
+            });
+        }
+        for mut ev in other.events {
+            ev.pid = base + ev.pid.max(1);
+            self.events.push_back(ev);
+        }
+        self.pid = base + absorbed_pids;
+        self.cap = self.cap.max(self.events.len());
     }
 
     fn push(&mut self, ev: Event) {
@@ -121,7 +199,8 @@ impl Tracer {
         }
         out.push_str("},\"traceEvents\":[");
         let mut first = true;
-        for (pid, label) in &self.runs {
+        for run in &self.runs {
+            let pid = run.pid;
             if !first {
                 out.push(',');
             }
@@ -129,8 +208,13 @@ impl Tracer {
             out.push_str(&format!(
                 "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":"
             ));
-            write_escaped(label, &mut out);
+            write_escaped(&run.label, &mut out);
             out.push_str("}}");
+            if let Some(w) = run.worker {
+                out.push_str(&format!(
+                    ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"worker {w}\"}}}}"
+                ));
+            }
             for (tid, tname) in [
                 (track::PHASE, "fetch phase"),
                 (track::TRACE, "trace lifecycle"),
@@ -362,5 +446,101 @@ mod tests {
         complete("y", "c", 1, 0, 10, NO_ARGS);
         begin_run("nothing");
         assert!(take().is_none());
+    }
+
+    #[test]
+    fn absorb_empty_shard_is_inert() {
+        let mut base = Tracer::new(64);
+        base.begin_run("r");
+        install(base);
+        set_clock(1);
+        instant("e", "c", track::MACHINE, NO_ARGS);
+        let mut base = take().unwrap();
+        base.absorb(0, Tracer::new(64));
+        assert_eq!(base.len(), 1);
+        assert_eq!(base.dropped(), 0);
+        let doc = json::parse(&base.to_chrome_json()).unwrap();
+        // One process, four track threads, one event; no worker tid rows.
+        assert_eq!(doc.get("traceEvents").as_arr().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn absorb_wrapped_shard_sums_drops_and_grows_cap() {
+        // Shard ring wrapped (16-deep, 40 events): its drop count must
+        // survive the merge and the merged ring must not re-drop.
+        let mut shard = Tracer::new(16);
+        shard.begin_run("wrapped");
+        install(shard);
+        for i in 0..40u64 {
+            set_clock(i);
+            instant("e", "c", track::MACHINE, NO_ARGS);
+        }
+        let shard = take().unwrap();
+
+        let mut base = Tracer::new(16);
+        base.begin_run("main");
+        install(base);
+        for i in 0..16u64 {
+            set_clock(i);
+            instant("m", "c", track::MACHINE, NO_ARGS);
+        }
+        let mut base = take().unwrap();
+        base.absorb(3, shard);
+        assert_eq!(base.len(), 32, "all surviving events retained");
+        assert_eq!(base.dropped(), 24, "shard's ring drops carried over");
+        assert!(base.cap() >= 32, "cap grows to fit the merged stream");
+
+        let doc = json::parse(&base.to_chrome_json()).unwrap();
+        assert_eq!(doc.get("otherData").get("droppedEvents").as_u64(), Some(24));
+        let evs = doc.get("traceEvents").as_arr().unwrap();
+        // Absorbed events are repinned onto a fresh pid after base's runs.
+        let wrapped_pid = evs
+            .iter()
+            .find(|e| {
+                e.get("name").as_str() == Some("process_name")
+                    && e.get("args").get("name").as_str() == Some("wrapped")
+            })
+            .and_then(|e| e.get("pid").as_u64())
+            .unwrap();
+        assert_eq!(wrapped_pid, 2);
+        assert!(evs
+            .iter()
+            .filter(|e| e.get("name").as_str() == Some("e"))
+            .all(|e| e.get("pid").as_u64() == Some(wrapped_pid)));
+        // The absorbing worker shows up as a named tid on the shard's pid.
+        assert!(evs.iter().any(|e| {
+            e.get("name").as_str() == Some("thread_name")
+                && e.get("pid").as_u64() == Some(wrapped_pid)
+                && e.get("args").get("name").as_str() == Some("worker 3")
+        }));
+    }
+
+    #[test]
+    fn absorb_shard_without_runs_synthesizes_worker_process() {
+        install(Tracer::new(32));
+        set_clock(7);
+        instant("stray", "c", track::MACHINE, NO_ARGS);
+        let shard = take().unwrap();
+
+        let mut base = Tracer::new(32);
+        base.begin_run("main");
+        base.absorb(5, shard);
+        let doc = json::parse(&base.to_chrome_json()).unwrap();
+        let evs = doc.get("traceEvents").as_arr().unwrap();
+        let synth = evs
+            .iter()
+            .find(|e| {
+                e.get("name").as_str() == Some("process_name")
+                    && e.get("args").get("name").as_str() == Some("worker 5")
+            })
+            .expect("synthesized process for run-less shard");
+        let pid = synth.get("pid").as_u64().unwrap();
+        assert_eq!(pid, 2);
+        let stray = evs
+            .iter()
+            .find(|e| e.get("name").as_str() == Some("stray"))
+            .unwrap();
+        assert_eq!(stray.get("pid").as_u64(), Some(pid));
+        assert_eq!(stray.get("ts").as_u64(), Some(7));
     }
 }
