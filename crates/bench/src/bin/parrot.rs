@@ -7,6 +7,7 @@
 //! $ parrot run TON gcc --json             # machine-readable report
 //! $ parrot compare N TON gcc              # side-by-side with deltas
 //! $ parrot sweep gcc                      # all models on one application
+//! $ parrot lint-traces --all              # uop-IR lint + validation gate
 //! ```
 //!
 //! Run via `cargo run --release -p parrot-bench --bin parrot -- <args>`.
@@ -27,6 +28,11 @@ fn main() {
         Some("run") => run(&args[1..]),
         Some("compare") => compare(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("lint-traces") => {
+            let code = lint_traces(&args[1..]);
+            telemetry.finish();
+            std::process::exit(code);
+        }
         _ => usage(),
     }
     telemetry.finish();
@@ -34,7 +40,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]"
+        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]\n  parrot lint-traces [<APP> | --all] [--insts N]"
     );
     std::process::exit(2);
 }
@@ -110,6 +116,8 @@ fn print_human(r: &SimReport) {
         );
         if let Some(o) = &t.opt {
             println!("  uop reduction    {:.1}%", o.uop_reduction * 100.0);
+            println!("  validated        {}", o.validated);
+            println!("  demoted          {}", o.demoted);
         }
     }
 }
@@ -159,6 +167,94 @@ fn compare(args: &[String]) {
         "",
         (cmpw - 1.0) * 100.0
     );
+}
+
+/// Lint constructed and optimized traces for one app (or all 44) without
+/// running a full simulation: select and construct frames from the cold
+/// execution stream, run the uop-IR lint suite before and after the full
+/// pass pipeline, and tally the validation-gate verdicts. Nonzero exit on
+/// any lint error.
+fn lint_traces(args: &[String]) -> i32 {
+    use parrot_opt::{validate, GateDecision, Optimizer, OptimizerConfig};
+    use parrot_telemetry::metrics;
+    use parrot_trace::{construct_frame, SelectionConfig, TraceSelector};
+    use parrot_workloads::{generate_program, ExecutionEngine};
+
+    let insts: usize = args
+        .windows(2)
+        .find(|w| w[0] == "--insts")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(30_000);
+    let profiles = if args.iter().any(|a| a == "--all") {
+        all_apps()
+    } else {
+        match args.first().filter(|a| !a.starts_with("--")) {
+            Some(name) => vec![app_by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown app '{name}'; run `parrot list-apps`");
+                std::process::exit(2);
+            })],
+            None => {
+                usage();
+                return 2;
+            }
+        }
+    };
+    println!(
+        "{:<16}{:>8}{:>9}{:>11}{:>9}{:>7}",
+        "app", "frames", "uops", "validated", "demoted", "errs"
+    );
+    let (mut total_frames, mut total_errors) = (0u64, 0u64);
+    for p in &profiles {
+        let prog = generate_program(p);
+        let decoded = prog.decode_all();
+        let mut sel = TraceSelector::new(SelectionConfig::default());
+        let mut cands = Vec::new();
+        for (seq, d) in ExecutionEngine::new(&prog).take(insts).enumerate() {
+            let kind = prog.inst(d.inst).kind;
+            sel.step(&d, &kind, seq as u64, &mut cands);
+        }
+        sel.flush(&mut cands);
+        let mut optz = Optimizer::new(OptimizerConfig::full());
+        let (mut validated, mut demoted, mut errors, mut uops) = (0u64, 0u64, 0u64, 0u64);
+        let report =
+            |stage: &str, app: &str, tid: &dyn std::fmt::Display, f: &validate::lint::Finding| {
+                if f.severity == validate::lint::Severity::Error {
+                    eprintln!("{app}/{tid} ({stage}): {f}");
+                    1
+                } else {
+                    0
+                }
+            };
+        for c in &cands {
+            let mut frame = construct_frame(c, &decoded);
+            uops += frame.uops.len() as u64;
+            for f in &validate::lint::lint_frame(&frame) {
+                errors += report("constructed", p.name, &frame.tid, f);
+            }
+            match optz.optimize(&mut frame, 0).gate {
+                GateDecision::Validated => validated += 1,
+                _ => demoted += 1,
+            }
+            for f in &validate::lint::lint_frame(&frame) {
+                errors += report("post-opt", p.name, &frame.tid, f);
+            }
+        }
+        metrics::counter_add("lint:frames", cands.len() as u64);
+        metrics::counter_add("lint:errors", errors);
+        total_frames += cands.len() as u64;
+        total_errors += errors;
+        println!(
+            "{:<16}{:>8}{:>9}{:>11}{:>9}{:>7}",
+            p.name,
+            cands.len(),
+            uops,
+            validated,
+            demoted,
+            errors
+        );
+    }
+    println!("{total_frames} frames linted, {total_errors} lint errors");
+    i32::from(total_errors > 0)
 }
 
 fn sweep(args: &[String]) {

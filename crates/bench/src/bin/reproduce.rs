@@ -8,6 +8,7 @@
 
 use parrot_bench::{groups, insts_budget, pct, ResultSet};
 use parrot_core::Model;
+use parrot_workloads::all_apps;
 use std::fmt::Write as _;
 
 fn main() {
@@ -289,6 +290,47 @@ fn main() {
                 .max(1e-6)
         });
         writeln!(md, "| {label} | {:.1}% | {:.1}% |", u * 100.0, d * 100.0).unwrap();
+    }
+    writeln!(md).unwrap();
+
+    // Translation-validation gate (companion to Fig 4.9): every optimized
+    // trace carries a static verdict; demotions mean the gate refused a
+    // rewrite it could not prove equivalent.
+    writeln!(
+        md,
+        "## Translation validation on TOW (every optimized trace statically verified; demotions kept unoptimized)\n"
+    )
+    .unwrap();
+    writeln!(
+        md,
+        "| group | traces | validated | demoted | lint | equiv |"
+    )
+    .unwrap();
+    writeln!(md, "|---|---|---|---|---|---|").unwrap();
+    for (label, suite) in groups() {
+        let (mut traces, mut validated, mut demoted, mut lint, mut equiv) = (0, 0, 0, 0, 0);
+        for a in all_apps()
+            .iter()
+            .filter(|a| suite.is_none_or(|s| a.suite == s))
+        {
+            if let Some(o) = set
+                .get(Model::TOW, a.name)
+                .trace
+                .as_ref()
+                .and_then(|t| t.opt.as_ref())
+            {
+                traces += o.traces;
+                validated += o.validated;
+                demoted += o.demoted;
+                lint += o.inconclusive_lint;
+                equiv += o.inconclusive_equiv;
+            }
+        }
+        writeln!(
+            md,
+            "| {label} | {traces} | {validated} | {demoted} | {lint} | {equiv} |"
+        )
+        .unwrap();
     }
     writeln!(md).unwrap();
 

@@ -38,7 +38,7 @@ pub const DEFAULT_INSTS: u64 = 200_000;
 
 /// Schema version of the sweep result-cache file. Bump on any change to the
 /// cache layout or to what the fingerprint covers.
-pub const CACHE_VERSION: u64 = 2;
+pub const CACHE_VERSION: u64 = 3;
 
 /// The instruction budget in effect.
 pub fn insts_budget() -> u64 {

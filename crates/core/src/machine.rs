@@ -265,6 +265,15 @@ impl<'w> Machine<'w> {
             metrics::counter_set("tc_lookups", tc.lookups);
             metrics::counter_set("tc_hits", tc.hits);
             metrics::counter_set("tc_evictions", tc.evictions);
+            if let Some(o) = &ts.optimizer {
+                let s = o.stats();
+                metrics::counter_set("opt:validated", s.validated);
+                metrics::counter_set("opt:demoted", s.demoted);
+                metrics::counter_set(
+                    "opt:inconclusive",
+                    s.inconclusive_lint + s.inconclusive_equiv,
+                );
+            }
         }
         metrics::counter_set("state_switches", self.switches);
         metrics::gauge_set("energy", self.acct.total());
@@ -716,6 +725,10 @@ impl<'w> Machine<'w> {
                         simd_lanes: u64::from(s.passes.simd_lanes),
                         removed_dead: u64::from(s.passes.removed_dead),
                         folded: u64::from(s.passes.folded),
+                        validated: s.validated,
+                        demoted: s.demoted,
+                        inconclusive_lint: s.inconclusive_lint,
+                        inconclusive_equiv: s.inconclusive_equiv,
                     }
                 }),
             }

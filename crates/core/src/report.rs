@@ -142,6 +142,14 @@ pub struct OptReport {
     pub removed_dead: u64,
     /// Constants folded.
     pub folded: u64,
+    /// Traces the static translation validator proved equivalent.
+    pub validated: u64,
+    /// Traces demoted to unoptimized form by the validation gate.
+    pub demoted: u64,
+    /// Demotions caused by a uop-IR lint error.
+    pub inconclusive_lint: u64,
+    /// Demotions where abstract interpretation could not prove equivalence.
+    pub inconclusive_equiv: u64,
 }
 
 impl OptReport {
@@ -156,6 +164,10 @@ impl OptReport {
             ("simd_lanes", Value::int(self.simd_lanes)),
             ("removed_dead", Value::int(self.removed_dead)),
             ("folded", Value::int(self.folded)),
+            ("validated", Value::int(self.validated)),
+            ("demoted", Value::int(self.demoted)),
+            ("inconclusive_lint", Value::int(self.inconclusive_lint)),
+            ("inconclusive_equiv", Value::int(self.inconclusive_equiv)),
         ])
     }
 
@@ -170,6 +182,10 @@ impl OptReport {
             simd_lanes: v.get("simd_lanes").as_u64()?,
             removed_dead: v.get("removed_dead").as_u64()?,
             folded: v.get("folded").as_u64()?,
+            validated: v.get("validated").as_u64()?,
+            demoted: v.get("demoted").as_u64()?,
+            inconclusive_lint: v.get("inconclusive_lint").as_u64()?,
+            inconclusive_equiv: v.get("inconclusive_equiv").as_u64()?,
         })
     }
 }
@@ -384,6 +400,9 @@ mod tests {
             opt: Some(OptReport {
                 traces: 9,
                 uop_reduction: 0.25,
+                validated: 8,
+                demoted: 1,
+                inconclusive_lint: 1,
                 ..OptReport::default()
             }),
             ..TraceReport::default()
@@ -396,7 +415,12 @@ mod tests {
         assert_eq!(back.energy_by_unit, r.energy_by_unit);
         let t = back.trace.expect("trace present");
         assert_eq!(t.entries, 42);
-        assert_eq!(t.opt.expect("opt present").traces, 9);
+        let o = t.opt.expect("opt present");
+        assert_eq!(o.traces, 9);
+        assert_eq!(o.validated, 8);
+        assert_eq!(o.demoted, 1);
+        assert_eq!(o.inconclusive_lint, 1);
+        assert_eq!(o.inconclusive_equiv, 0);
     }
 
     #[test]

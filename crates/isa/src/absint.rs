@@ -1,0 +1,614 @@
+//! Abstract interpretation of uop sequences, for static translation
+//! validation of the dynamic trace optimizer.
+//!
+//! The concrete semantics in [`crate::exec`] replay a trace for *one* entry
+//! state. This module interprets the same uops over an abstract domain —
+//! constants joined with hash-consed symbolic value numbers — so a single
+//! abstract run summarizes the trace's behaviour for **all** entry states.
+//! `parrot-opt`'s `validate` module runs the original and the optimized uop
+//! sequence through one shared [`ExprTable`] and compares the resulting
+//! [value numbers](AbsVal): equal numbers mean provably equal concrete
+//! values under every entry state.
+//!
+//! The transfer functions live here, next to [`crate::exec::step`], and are
+//! written case-by-case against it, reusing the same concrete helpers
+//! ([`AluOp::apply`], [`compare_flags`], [`Cond::eval`]) wherever both
+//! operands are constant — so the abstract and concrete semantics cannot
+//! drift apart silently.
+//!
+//! Design choices that make validation complete on the optimizer's output
+//! (see DESIGN.md §13):
+//!
+//! * commutative ALU operands are canonically ordered, so fusion's operand
+//!   swaps do not change value numbers;
+//! * right identities/annihilators and same-operand identities fold, so the
+//!   simplification pass's rewrites are invisible to the domain;
+//! * flags are tracked structurally ([`AbsFlags`]) so `cmp`/`assert` pairs
+//!   and their fused forms summarize identically.
+
+use crate::exec::compare_flags;
+use crate::{AluOp, Cond, FpOp, PackOp, Reg, Uop, UopKind};
+use crate::{FusedKind, SimdLane};
+use std::collections::HashMap;
+
+/// An abstract value: either a known constant or a symbolic value number
+/// referring to an [`Expr`] in an [`ExprTable`].
+///
+/// Because expressions are hash-consed, two `Sym` values with the same id
+/// denote the same concrete value under every entry state. The derived
+/// ordering (constants before symbols, then by payload) is used to
+/// canonicalize commutative operand pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbsVal {
+    /// A compile-time-known 64-bit constant.
+    Const(u64),
+    /// A symbolic value number: index into the interning [`ExprTable`].
+    Sym(u32),
+}
+
+/// A symbolic expression over entry state and other abstract values.
+///
+/// Expressions are interned ([`ExprTable::intern`]) so structural equality
+/// collapses to id equality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// The entry value of register `index` (0..192; index 32 is the packed
+    /// entry flags, which is always `< 4` concretely).
+    InitReg(u8),
+    /// The entry contents of memory at a concrete address (reads-before-
+    /// writes of the trace's recorded address sequence).
+    InitMem(u64),
+    /// `op(a, b)` with at least one non-constant operand.
+    Alu(AluOp, AbsVal, AbsVal),
+    /// `a.wrapping_mul(b)`.
+    Mul(AbsVal, AbsVal),
+    /// `a / max(b, 1)`.
+    Div(AbsVal, AbsVal),
+    /// FP bit-pattern operation `op(a, b)`.
+    Fp(FpOp, AbsVal, AbsVal),
+    /// The packed (bits 0–1) flags of `compare_flags(a, b)`.
+    PackFlags(AbsVal, AbsVal),
+    /// `v & 3`: flags register written with an arbitrary value `v`.
+    MaskFlags(AbsVal),
+    /// `cond` evaluated over `compare_flags(a, b)`, as 0 or 1.
+    CondFlags(Cond, AbsVal, AbsVal),
+    /// `cond` evaluated over packed flag bits `v`, as 0 or 1.
+    CondBits(Cond, AbsVal),
+}
+
+/// Hash-consing table assigning each distinct [`Expr`] a stable value
+/// number. Share one table across the two sequences being compared.
+#[derive(Clone, Debug, Default)]
+pub struct ExprTable {
+    exprs: Vec<Expr>,
+    ids: HashMap<Expr, u32>,
+}
+
+impl ExprTable {
+    /// An empty table.
+    pub fn new() -> ExprTable {
+        ExprTable::default()
+    }
+
+    /// Intern `e`, returning its (new or existing) value number.
+    pub fn intern(&mut self, e: Expr) -> AbsVal {
+        if let Some(&id) = self.ids.get(&e) {
+            return AbsVal::Sym(id);
+        }
+        let id = self.exprs.len() as u32;
+        self.exprs.push(e);
+        self.ids.insert(e, id);
+        AbsVal::Sym(id)
+    }
+
+    /// The expression behind value number `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this table.
+    pub fn expr(&self, id: u32) -> Expr {
+        self.exprs[id as usize]
+    }
+
+    /// Number of distinct expressions interned so far.
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+}
+
+/// Abstract flags state: either the structural result of a compare (both
+/// operands tracked) or raw packed bits (entry flags, or a direct write to
+/// the flags register).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbsFlags {
+    /// Flags produced by `compare_flags(a, b)`.
+    Cmp(AbsVal, AbsVal),
+    /// Flags whose packed bits 0–1 equal `v & 3`.
+    Bits(AbsVal),
+}
+
+/// Read the flags register as a packed abstract value (bits 0–1).
+pub fn flags_value(tab: &mut ExprTable, f: AbsFlags) -> AbsVal {
+    match f {
+        AbsFlags::Cmp(AbsVal::Const(a), AbsVal::Const(b)) => {
+            let (z, n) = compare_flags(a, b);
+            AbsVal::Const(u64::from(z) | (u64::from(n) << 1))
+        }
+        AbsFlags::Cmp(a, b) => tab.intern(Expr::PackFlags(a, b)),
+        AbsFlags::Bits(AbsVal::Const(c)) => AbsVal::Const(c & 3),
+        AbsFlags::Bits(v) => {
+            if let AbsVal::Sym(id) = v {
+                // Masking is a no-op on values already known to be packed
+                // flag bits (< 4): compare results, prior masks, and the
+                // entry flags themselves.
+                if matches!(
+                    tab.expr(id),
+                    Expr::PackFlags(..)
+                        | Expr::MaskFlags(_)
+                        | Expr::CondFlags(..)
+                        | Expr::CondBits(..)
+                ) || tab.expr(id) == Expr::InitReg(Reg::FLAGS.index() as u8)
+                {
+                    return v;
+                }
+            }
+            tab.intern(Expr::MaskFlags(v))
+        }
+    }
+}
+
+/// Evaluate `cond` over abstract flags, yielding an abstract 0-or-1 value.
+pub fn cond_value(tab: &mut ExprTable, cond: Cond, f: AbsFlags) -> AbsVal {
+    match f {
+        AbsFlags::Cmp(AbsVal::Const(a), AbsVal::Const(b)) => {
+            let (z, n) = compare_flags(a, b);
+            AbsVal::Const(u64::from(cond.eval(z, n)))
+        }
+        AbsFlags::Cmp(a, b) => tab.intern(Expr::CondFlags(cond, a, b)),
+        AbsFlags::Bits(AbsVal::Const(c)) => {
+            AbsVal::Const(u64::from(cond.eval(c & 1 != 0, c & 2 != 0)))
+        }
+        AbsFlags::Bits(v) => tab.intern(Expr::CondBits(cond, v)),
+    }
+}
+
+/// Abstract transfer of an ALU operation, mirroring [`AluOp::apply`].
+///
+/// Folds constant operands through the concrete `apply`, canonicalizes
+/// commutative operand order, and applies the same right-identity /
+/// right-annihilator / same-operand rewrites the simplification pass uses —
+/// so simplified and unsimplified forms get the same value number.
+pub fn alu_value(tab: &mut ExprTable, op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    if let (AbsVal::Const(x), AbsVal::Const(y)) = (a, b) {
+        return AbsVal::Const(op.apply(x, y));
+    }
+    if op == AluOp::Mov {
+        return b;
+    }
+    let commutative = matches!(op, AluOp::Add | AluOp::And | AluOp::Or | AluOp::Xor);
+    // Canonical order for commutative ops: the constant (if any) goes
+    // second, where the identity/annihilator checks look; symbol pairs are
+    // ordered by value number.
+    let (a, b) = match (commutative, a, b) {
+        (true, AbsVal::Const(_), AbsVal::Sym(_)) => (b, a),
+        (true, AbsVal::Sym(x), AbsVal::Sym(y)) if y < x => (b, a),
+        _ => (a, b),
+    };
+    if let AbsVal::Const(c) = b {
+        if op.right_identity() == Some(c) {
+            return a;
+        }
+        if let Some((z, result)) = op.right_annihilator() {
+            if c == z {
+                return AbsVal::Const(result);
+            }
+        }
+    }
+    if a == b {
+        match op {
+            AluOp::Xor | AluOp::Sub => return AbsVal::Const(0),
+            AluOp::And | AluOp::Or => return a,
+            _ => {}
+        }
+    }
+    tab.intern(Expr::Alu(op, a, b))
+}
+
+/// Abstract transfer of `Mul`, mirroring the concrete `wrapping_mul`.
+pub fn mul_value(tab: &mut ExprTable, a: AbsVal, b: AbsVal) -> AbsVal {
+    if let (AbsVal::Const(x), AbsVal::Const(y)) = (a, b) {
+        return AbsVal::Const(x.wrapping_mul(y));
+    }
+    let (a, b) = if b < a { (b, a) } else { (a, b) };
+    tab.intern(Expr::Mul(a, b))
+}
+
+/// Abstract transfer of `Div`, mirroring the concrete `a / max(b, 1)`.
+pub fn div_value(tab: &mut ExprTable, a: AbsVal, b: AbsVal) -> AbsVal {
+    if let (AbsVal::Const(x), AbsVal::Const(y)) = (a, b) {
+        return AbsVal::Const(x / y.max(1));
+    }
+    tab.intern(Expr::Div(a, b))
+}
+
+/// Abstract transfer of an FP operation, mirroring [`FpOp::apply`].
+pub fn fp_value(tab: &mut ExprTable, op: FpOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    if let (AbsVal::Const(x), AbsVal::Const(y)) = (a, b) {
+        return AbsVal::Const(op.apply(x, y));
+    }
+    if op == FpOp::Mov {
+        return b;
+    }
+    tab.intern(Expr::Fp(op, a, b))
+}
+
+/// Abstract transfer of a packed lane, dispatching on [`PackOp`].
+fn pack_value(tab: &mut ExprTable, op: PackOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    match op {
+        PackOp::Int(op) => alu_value(tab, op, a, b),
+        PackOp::Fp(op) => fp_value(tab, op, a, b),
+    }
+}
+
+/// Abstract machine state: registers, flags, a concrete-addressed memory
+/// overlay, and the ordered store log (part of the equivalence criterion).
+///
+/// Memory is *exact*, not abstract: inside a trace frame every memory uop's
+/// effective address comes from the recorded address sequence, so addresses
+/// are concrete even though values are symbolic.
+#[derive(Clone, Debug)]
+pub struct AbsState {
+    regs: [AbsVal; 192],
+    /// Current abstract flags.
+    pub flags: AbsFlags,
+    mem: HashMap<u64, AbsVal>,
+    /// Every store in program order: `(address, abstract value)`.
+    pub store_log: Vec<(u64, AbsVal)>,
+}
+
+impl AbsState {
+    /// The fully symbolic entry state: register `i` holds `InitReg(i)`.
+    pub fn entry(tab: &mut ExprTable) -> AbsState {
+        let mut regs = [AbsVal::Const(0); 192];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = tab.intern(Expr::InitReg(i as u8));
+        }
+        let flags = AbsFlags::Bits(tab.intern(Expr::InitReg(Reg::FLAGS.index() as u8)));
+        AbsState {
+            regs,
+            flags,
+            mem: HashMap::new(),
+            store_log: Vec::new(),
+        }
+    }
+
+    /// Read a register. Reading [`Reg::FLAGS`] packs the abstract flags.
+    pub fn get(&self, r: Reg, tab: &mut ExprTable) -> AbsVal {
+        if r.is_flags() {
+            flags_value(tab, self.flags)
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Write a register. Writing [`Reg::FLAGS`] switches the flags to raw
+    /// bits (the mask-to-2-bits happens on the next read).
+    pub fn set(&mut self, r: Reg, v: AbsVal) {
+        if r.is_flags() {
+            self.flags = AbsFlags::Bits(v);
+        } else {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Read memory at a concrete address; unwritten locations yield the
+    /// symbolic entry contents `InitMem(addr)`.
+    pub fn load(&mut self, addr: u64, tab: &mut ExprTable) -> AbsVal {
+        match self.mem.get(&addr) {
+            Some(&v) => v,
+            None => {
+                let v = tab.intern(Expr::InitMem(addr));
+                self.mem.insert(addr, v);
+                v
+            }
+        }
+    }
+
+    /// Write memory at a concrete address and append to the store log.
+    pub fn store(&mut self, addr: u64, v: AbsVal) {
+        self.mem.insert(addr, v);
+        self.store_log.push((addr, v));
+    }
+
+    /// The architecturally visible portion (32 registers + packed flags) as
+    /// 33 abstract values, mirroring [`crate::exec::ArchState::architectural`].
+    pub fn architectural(&self, tab: &mut ExprTable) -> Vec<AbsVal> {
+        let mut v: Vec<AbsVal> = self.regs[..32].to_vec();
+        v.push(flags_value(tab, self.flags));
+        v
+    }
+}
+
+/// Observable abstract effect of one uop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AbsEffect {
+    /// For asserts: the abstract abort condition (1 = trace aborts).
+    /// `Const(0)` means the assert provably passes for every entry state.
+    pub abort: Option<AbsVal>,
+}
+
+/// Abstractly execute one uop, mirroring [`crate::exec::step`] case by case.
+///
+/// `addr` supplies the concrete effective address for memory uops, exactly
+/// as in the concrete semantics.
+///
+/// # Panics
+/// Panics if a memory uop is executed without an address, like the concrete
+/// `step`. Callers should lint `mem_slot`s first (see `parrot-opt`'s
+/// `validate::lint`).
+pub fn abs_step(uop: &Uop, st: &mut AbsState, tab: &mut ExprTable, addr: Option<u64>) -> AbsEffect {
+    let mut fx = AbsEffect::default();
+    let imm_const = AbsVal::Const(uop.imm.unwrap_or(0) as u64);
+    let rhs = |st: &AbsState, tab: &mut ExprTable| -> AbsVal {
+        match uop.srcs[1] {
+            Some(r) => st.get(r, tab),
+            None => imm_const,
+        }
+    };
+    match &uop.kind {
+        UopKind::Alu(op) => {
+            // `mov` ignores its left operand; the optimizer may drop it.
+            let a = uop.srcs[0]
+                .map(|r| st.get(r, tab))
+                .unwrap_or(AbsVal::Const(0));
+            let b = rhs(st, tab);
+            let v = alu_value(tab, *op, a, b);
+            st.set(uop.dst.expect("alu dst"), v);
+        }
+        UopKind::MovImm => {
+            st.set(uop.dst.expect("movimm dst"), imm_const);
+        }
+        UopKind::Mul => {
+            let a = st.get(uop.srcs[0].expect("mul src"), tab);
+            let b = st.get(uop.srcs[1].expect("mul src"), tab);
+            let v = mul_value(tab, a, b);
+            st.set(uop.dst.expect("mul dst"), v);
+        }
+        UopKind::Div => {
+            let a = st.get(uop.srcs[0].expect("div src"), tab);
+            let b = st.get(uop.srcs[1].expect("div src"), tab);
+            let v = div_value(tab, a, b);
+            st.set(uop.dst.expect("div dst"), v);
+        }
+        UopKind::Cmp => {
+            let a = st.get(uop.srcs[0].expect("cmp src"), tab);
+            let b = rhs(st, tab);
+            st.flags = AbsFlags::Cmp(a, b);
+        }
+        UopKind::Fp(op) => {
+            let a = st.get(uop.srcs[0].expect("fp src"), tab);
+            let b = match uop.srcs[1] {
+                Some(r) => st.get(r, tab),
+                None => imm_const,
+            };
+            let v = fp_value(tab, *op, a, b);
+            st.set(uop.dst.expect("fp dst"), v);
+        }
+        UopKind::Load | UopKind::RetPop => {
+            let a = addr.expect("load requires an effective address");
+            let v = st.load(a, tab);
+            st.set(uop.dst.expect("load dst"), v);
+        }
+        UopKind::Store => {
+            let a = addr.expect("store requires an effective address");
+            let v = st.get(uop.srcs[0].expect("store data"), tab);
+            st.store(a, v);
+        }
+        UopKind::CallPush => {
+            let a = addr.expect("push requires an effective address");
+            st.store(a, imm_const);
+        }
+        UopKind::Branch(_) | UopKind::Jump | UopKind::JumpInd => {
+            // Branch direction is not part of the trace equivalence
+            // criterion (traces embed asserts instead); no state effect.
+        }
+        UopKind::Assert { cond, expect } => {
+            let fail = if *expect { cond.negate() } else { *cond };
+            fx.abort = Some(cond_value(tab, fail, st.flags));
+        }
+        UopKind::Fused(FusedKind::CmpBranch { cond: _ }) => {
+            let a = st.get(uop.srcs[0].expect("fused cmp src"), tab);
+            let b = rhs(st, tab);
+            st.flags = AbsFlags::Cmp(a, b);
+        }
+        UopKind::Fused(FusedKind::CmpAssert { cond, expect }) => {
+            let a = st.get(uop.srcs[0].expect("fused cmp src"), tab);
+            let b = rhs(st, tab);
+            st.flags = AbsFlags::Cmp(a, b);
+            let fail = if *expect { cond.negate() } else { *cond };
+            fx.abort = Some(cond_value(tab, fail, st.flags));
+        }
+        UopKind::Fused(FusedKind::AluAlu { first, second }) => {
+            let a = st.get(uop.srcs[0].expect("fused alu src"), tab);
+            let b = match uop.srcs[1] {
+                Some(r) => st.get(r, tab),
+                None => imm_const,
+            };
+            let mid = alu_value(tab, *first, a, b);
+            let c = match uop.srcs[2] {
+                Some(r) => st.get(r, tab),
+                None => imm_const,
+            };
+            let v = alu_value(tab, *second, mid, c);
+            st.set(uop.dst.expect("fused alu dst"), v);
+        }
+        UopKind::Simd(pack) => {
+            // Read all lane inputs before writing any lane output, exactly
+            // like the concrete semantics.
+            let inputs: Vec<(AbsVal, AbsVal)> = pack
+                .lanes
+                .iter()
+                .map(|l: &SimdLane| {
+                    let a = st.get(l.a, tab);
+                    let b = match l.b {
+                        Some(r) => st.get(r, tab),
+                        None => AbsVal::Const(l.imm as u64),
+                    };
+                    (a, b)
+                })
+                .collect();
+            for (lane, (a, b)) in pack.lanes.iter().zip(inputs) {
+                let v = pack_value(tab, pack.op, a, b);
+                st.set(lane.dst, v);
+            }
+        }
+        UopKind::Nop => {}
+    }
+    fx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{self, ArchState, DeterministicMem};
+
+    #[test]
+    fn constant_chains_fold_to_concrete_results() {
+        let mut tab = ExprTable::new();
+        let mut st = AbsState::entry(&mut tab);
+        let uops = [
+            Uop::mov_imm(Reg::int(1), 10),
+            Uop::alu_imm(AluOp::Add, Reg::int(2), Reg::int(1), 5),
+            Uop::alu_imm(AluOp::Shl, Reg::int(3), Reg::int(2), 2),
+        ];
+        for u in &uops {
+            abs_step(u, &mut st, &mut tab, None);
+        }
+        assert_eq!(st.get(Reg::int(3), &mut tab), AbsVal::Const(60));
+
+        // The concrete semantics agree.
+        let mut cst = ArchState::seeded(3);
+        let mut mem = DeterministicMem::new(0);
+        for u in &uops {
+            exec::step(u, &mut cst, &mut mem, None);
+        }
+        assert_eq!(cst.get(Reg::int(3)), 60);
+    }
+
+    #[test]
+    fn commutative_operands_canonicalize() {
+        let mut tab = ExprTable::new();
+        let st = AbsState::entry(&mut tab);
+        let (a, b) = (st.regs[1], st.regs[2]);
+        let x = alu_value(&mut tab, AluOp::Add, a, b);
+        let y = alu_value(&mut tab, AluOp::Add, b, a);
+        assert_eq!(x, y);
+        let s = alu_value(&mut tab, AluOp::Sub, a, b);
+        let t = alu_value(&mut tab, AluOp::Sub, b, a);
+        assert_ne!(s, t, "sub must not commute");
+    }
+
+    #[test]
+    fn identity_and_annihilator_rules_match_simplify() {
+        let mut tab = ExprTable::new();
+        let st = AbsState::entry(&mut tab);
+        let a = st.regs[1];
+        assert_eq!(alu_value(&mut tab, AluOp::Add, a, AbsVal::Const(0)), a);
+        assert_eq!(
+            alu_value(&mut tab, AluOp::And, a, AbsVal::Const(0)),
+            AbsVal::Const(0)
+        );
+        assert_eq!(alu_value(&mut tab, AluOp::Xor, a, a), AbsVal::Const(0));
+        assert_eq!(alu_value(&mut tab, AluOp::Or, a, a), a);
+        assert_eq!(alu_value(&mut tab, AluOp::Mov, AbsVal::Const(7), a), a);
+    }
+
+    #[test]
+    fn flags_fold_when_compare_operands_are_constant() {
+        let mut tab = ExprTable::new();
+        let mut st = AbsState::entry(&mut tab);
+        let mut u = Uop::cmp(Reg::int(0), None, Some(3));
+        abs_step(&Uop::mov_imm(Reg::int(0), 3), &mut st, &mut tab, None);
+        abs_step(&u, &mut st, &mut tab, None);
+        // zero=1, neg=0 → packed 1.
+        assert_eq!(flags_value(&mut tab, st.flags), AbsVal::Const(1));
+        // A provably passing assert has abort condition Const(0).
+        u = Uop::assert(Cond::Eq, true);
+        let fx = abs_step(&u, &mut st, &mut tab, None);
+        assert_eq!(fx.abort, Some(AbsVal::Const(0)));
+        // And a provably failing one has Const(1).
+        let fx = abs_step(&Uop::assert(Cond::Ne, true), &mut st, &mut tab, None);
+        assert_eq!(fx.abort, Some(AbsVal::Const(1)));
+    }
+
+    #[test]
+    fn memory_overlay_round_trips_and_unwritten_reads_are_symbolic() {
+        let mut tab = ExprTable::new();
+        let mut st = AbsState::entry(&mut tab);
+        let fresh = st.load(0x40, &mut tab);
+        assert!(matches!(fresh, AbsVal::Sym(_)));
+        assert_eq!(st.load(0x40, &mut tab), fresh, "stable across reads");
+        st.store(0x40, AbsVal::Const(9));
+        assert_eq!(st.load(0x40, &mut tab), AbsVal::Const(9));
+        assert_eq!(st.store_log, vec![(0x40, AbsVal::Const(9))]);
+    }
+
+    #[test]
+    fn entry_registers_are_distinct_and_flags_read_masks_writes() {
+        let mut tab = ExprTable::new();
+        let mut st = AbsState::entry(&mut tab);
+        let vals: Vec<AbsVal> = st.architectural(&mut tab);
+        assert_eq!(vals.len(), 33);
+        for (i, a) in vals.iter().enumerate() {
+            for b in &vals[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Entry flags read back without a redundant mask.
+        let f0 = flags_value(&mut tab, st.flags);
+        assert!(matches!(f0, AbsVal::Sym(_)));
+        // Writing a constant to FLAGS masks to 2 bits on read.
+        st.set(Reg::FLAGS, AbsVal::Const(0xff));
+        assert_eq!(st.get(Reg::FLAGS, &mut tab), AbsVal::Const(3));
+        // Re-reading a compare result through FLAGS is stable.
+        st.flags = AbsFlags::Cmp(vals[0], vals[1]);
+        let packed = st.get(Reg::FLAGS, &mut tab);
+        st.set(Reg::FLAGS, packed);
+        assert_eq!(st.get(Reg::FLAGS, &mut tab), packed);
+    }
+
+    #[test]
+    fn fused_cmp_assert_summarizes_like_the_unfused_pair() {
+        let mut tab = ExprTable::new();
+
+        let mut a = AbsState::entry(&mut tab);
+        abs_step(
+            &Uop::cmp(Reg::int(0), None, Some(5)),
+            &mut a,
+            &mut tab,
+            None,
+        );
+        let fx_a = abs_step(&Uop::assert(Cond::Lt, true), &mut a, &mut tab, None);
+
+        let mut b = AbsState::entry(&mut tab);
+        let fused = Uop {
+            kind: UopKind::Fused(FusedKind::CmpAssert {
+                cond: Cond::Lt,
+                expect: true,
+            }),
+            ..Uop::cmp(Reg::int(0), None, Some(5))
+        };
+        let fx_b = abs_step(&fused, &mut b, &mut tab, None);
+
+        assert_eq!(fx_a.abort, fx_b.abort);
+        assert_eq!(
+            a.architectural(&mut tab),
+            b.architectural(&mut tab),
+            "live-out (incl. flags) must agree"
+        );
+    }
+}

@@ -31,6 +31,7 @@
 //! assert_eq!(uops.len(), 1);
 //! ```
 
+pub mod absint;
 pub mod decode;
 pub mod exec;
 mod inst;

@@ -25,7 +25,8 @@
 pub mod depgraph;
 mod optimizer;
 pub mod passes;
+pub mod validate;
 pub mod verify;
 
-pub use optimizer::{OptOutcome, Optimizer, OptimizerConfig, OptimizerStats};
+pub use optimizer::{GateDecision, OptOutcome, Optimizer, OptimizerConfig, OptimizerStats};
 pub use passes::PassStats;

@@ -7,8 +7,9 @@
 
 use crate::depgraph::DepGraph;
 use crate::passes::{self, PassStats};
+use crate::validate::{self, InconclusiveKind, Verdict};
 use parrot_telemetry::{profile, trace as tev};
-use parrot_trace::{OptLevel, TraceFrame};
+use parrot_trace::{OptLevel, OptVerdict, TraceFrame};
 
 /// Which passes run, and the occupancy model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,12 +75,27 @@ impl OptimizerConfig {
     }
 }
 
+/// What the translation-validation gate decided about one optimized trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GateDecision {
+    /// The rewrite was statically proven equivalent; the optimized uops
+    /// were kept.
+    #[default]
+    Validated,
+    /// A structural lint error demoted the trace to its unoptimized form
+    /// (a pass produced malformed IR — should never happen).
+    DemotedLint,
+    /// Equivalence could not be proven; the trace was demoted to its
+    /// unoptimized form.
+    DemotedEquiv,
+}
+
 /// Result of optimizing one trace.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct OptOutcome {
     /// Uops before optimization.
     pub uops_before: u32,
-    /// Uops after optimization.
+    /// Uops after optimization (equals `uops_before` when demoted).
     pub uops_after: u32,
     /// Latency-weighted critical path before.
     pub dep_before: u32,
@@ -89,6 +105,8 @@ pub struct OptOutcome {
     pub passes: PassStats,
     /// Total uop-analysis steps performed (drives optimizer energy).
     pub work_uops: u64,
+    /// Verdict of the mandatory translation-validation gate.
+    pub gate: GateDecision,
 }
 
 /// Cumulative optimizer statistics across a run (Fig 4.9 inputs).
@@ -106,6 +124,14 @@ pub struct OptimizerStats {
     pub work_uops: u64,
     /// Aggregated pass counters.
     pub passes: PassStats,
+    /// Traces whose optimization was statically validated.
+    pub validated: u64,
+    /// Traces demoted to their unoptimized form by the validation gate.
+    pub demoted: u64,
+    /// Demotions caused by structural lint errors (should stay zero).
+    pub inconclusive_lint: u64,
+    /// Demotions where equivalence could not be proven.
+    pub inconclusive_equiv: u64,
 }
 
 impl OptimizerStats {
@@ -134,6 +160,17 @@ impl OptimizerStats {
         self.dep_before += u64::from(o.dep_before);
         self.dep_after += u64::from(o.dep_after);
         self.work_uops += o.work_uops;
+        match o.gate {
+            GateDecision::Validated => self.validated += 1,
+            GateDecision::DemotedLint => {
+                self.demoted += 1;
+                self.inconclusive_lint += 1;
+            }
+            GateDecision::DemotedEquiv => {
+                self.demoted += 1;
+                self.inconclusive_equiv += 1;
+            }
+        }
         let p = &o.passes;
         let t = &mut self.passes;
         t.renamed_defs += p.renamed_defs;
@@ -180,9 +217,12 @@ impl Optimizer {
         now >= self.busy_until
     }
 
-    /// Optimize a frame in place: applies the configured pass pipeline,
-    /// marks the frame [`OptLevel::Optimized`], occupies the unit for
-    /// `latency_cycles`, and returns the outcome.
+    /// Optimize a frame in place: applies the configured pass pipeline, then
+    /// runs the mandatory static translation-validation gate. A validated
+    /// frame becomes [`OptLevel::Optimized`]; an unvalidatable one is
+    /// restored to its original uops and becomes [`OptLevel::Demoted`].
+    /// Either way the unit is occupied for `latency_cycles` and the frame
+    /// carries a [`OptVerdict`].
     pub fn optimize(&mut self, frame: &mut TraceFrame, now: u64) -> OptOutcome {
         let _prof = profile::scope("opt.optimize");
         let mut out = OptOutcome {
@@ -191,6 +231,32 @@ impl Optimizer {
         };
         let g0 = DepGraph::build(&frame.uops);
         out.dep_before = g0.critical_path(&frame.uops);
+        let original = frame.uops.clone();
+
+        // Debug builds lint the IR between passes so a broken invariant is
+        // pinned on the pass that introduced it. Skipped when the *input*
+        // already lints dirty (then no pass is at fault; the gate below
+        // still demotes).
+        let mem_slots = frame.mem_addrs.len();
+        let num_insts = frame.num_insts;
+        let input_clean = !cfg!(debug_assertions)
+            || !validate::lint::has_errors(&validate::lint::lint_uops(
+                &original, mem_slots, num_insts,
+            ));
+        let debug_lint = |uops: &[parrot_isa::Uop], pass: &'static str| {
+            if cfg!(debug_assertions) && input_clean {
+                let errs: Vec<String> = validate::lint::lint_uops(uops, mem_slots, num_insts)
+                    .into_iter()
+                    .filter(|f| f.severity == validate::lint::Severity::Error)
+                    .map(|f| f.to_string())
+                    .collect();
+                assert!(
+                    errs.is_empty(),
+                    "pass {pass} broke a uop-IR invariant: {}",
+                    errs.join("; ")
+                );
+            }
+        };
 
         let mut work = 0u64;
         // Analysis work per executed pass, in pipeline order; doubles as the
@@ -202,6 +268,7 @@ impl Optimizer {
             let _p = profile::scope("opt.rename");
             passes::partial_rename(&mut frame.uops, &mut out.passes);
             pass_work.push(("opt.rename", track(&frame.uops)));
+            debug_lint(&frame.uops, "rename");
         }
         // Two rounds of the general-purpose trio: simplification exposes new
         // constants and dead code.
@@ -210,47 +277,82 @@ impl Optimizer {
                 let _p = profile::scope("opt.const_prop");
                 passes::const_propagate(&mut frame.uops, &mut out.passes);
                 pass_work.push(("opt.const_prop", track(&frame.uops)));
+                debug_lint(&frame.uops, "const_prop");
             }
             if self.cfg.simplify {
                 let _p = profile::scope("opt.simplify");
                 passes::simplify(&mut frame.uops, &mut out.passes);
                 pass_work.push(("opt.simplify", track(&frame.uops)));
+                debug_lint(&frame.uops, "simplify");
             }
             if self.cfg.dce {
                 let _p = profile::scope("opt.dce");
                 passes::dce(&mut frame.uops, &mut out.passes);
                 pass_work.push(("opt.dce", track(&frame.uops)));
+                debug_lint(&frame.uops, "dce");
             }
         }
         if self.cfg.fuse {
             let _p = profile::scope("opt.fuse");
             passes::fuse(&mut frame.uops, &mut out.passes);
             pass_work.push(("opt.fuse", track(&frame.uops)));
+            debug_lint(&frame.uops, "fuse");
         }
         if self.cfg.simdify {
             let _p = profile::scope("opt.simdify");
             passes::simdify(&mut frame.uops, &mut out.passes);
             pass_work.push(("opt.simdify", track(&frame.uops)));
+            debug_lint(&frame.uops, "simdify");
         }
         if self.cfg.dce && (self.cfg.fuse || self.cfg.simdify) {
             let _p = profile::scope("opt.dce");
             passes::dce(&mut frame.uops, &mut out.passes);
             pass_work.push(("opt.dce", track(&frame.uops)));
+            debug_lint(&frame.uops, "dce");
         }
         if self.cfg.schedule {
             let _p = profile::scope("opt.schedule");
             passes::schedule(&mut frame.uops);
             pass_work.push(("opt.schedule", track(&frame.uops)));
+            debug_lint(&frame.uops, "schedule");
         }
+
+        // Mandatory gate: every rewrite must lint clean and be statically
+        // proven equivalent before the trace cache may serve it.
+        out.gate = {
+            let _p = profile::scope("opt.validate");
+            let findings = validate::lint::lint_uops(&frame.uops, mem_slots, num_insts);
+            if validate::lint::has_errors(&findings) {
+                GateDecision::DemotedLint
+            } else {
+                match validate::validate_uops(&original, &frame.uops, &frame.mem_addrs) {
+                    Verdict::Validated => GateDecision::Validated,
+                    Verdict::Inconclusive {
+                        kind: InconclusiveKind::Lint,
+                        ..
+                    } => GateDecision::DemotedLint,
+                    Verdict::Inconclusive { .. } => GateDecision::DemotedEquiv,
+                }
+            }
+        };
+        pass_work.push(("opt.validate", (original.len() + frame.uops.len()) as u64));
         work += pass_work.iter().map(|(_, w)| w).sum::<u64>();
+
+        if out.gate == GateDecision::Validated {
+            frame.opt_level = OptLevel::Optimized;
+            frame.verdict = Some(OptVerdict::Validated);
+            frame.execs_since_opt = 0;
+        } else {
+            frame.uops = original;
+            frame.opt_level = OptLevel::Demoted;
+            frame.verdict = Some(OptVerdict::Demoted);
+        }
 
         let g1 = DepGraph::build(&frame.uops);
         out.dep_after = g1.critical_path(&frame.uops);
         out.uops_after = frame.uops.len() as u32;
         out.work_uops = work;
 
-        frame.opt_level = OptLevel::Optimized;
-        frame.execs_since_opt = 0;
         self.busy_until = now + u64::from(self.cfg.latency_cycles);
         self.emit_job_spans(now, &pass_work, &out);
         self.stats.absorb(&out);
@@ -385,6 +487,54 @@ mod tests {
         optz.optimize(&mut frame, 10);
         assert!(!optz.is_idle(50));
         assert!(optz.is_idle(110));
+    }
+
+    #[test]
+    fn gate_validates_every_real_trace() {
+        // Completeness pin: the abstract domain must be strong enough to
+        // validate everything the real pass pipeline produces on real
+        // traces — a demotion here means a normalization is missing.
+        let mut optz = Optimizer::new(OptimizerConfig::full());
+        let mut n = 0;
+        for app in [
+            AppProfile::suite_base(Suite::SpecInt),
+            AppProfile::suite_base(Suite::SpecFp),
+            AppProfile::suite_base(Suite::Multimedia),
+        ] {
+            for mut frame in frames_for(&app, 10_000) {
+                let out = optz.optimize(&mut frame, 0);
+                assert_eq!(out.gate, GateDecision::Validated, "{}", frame.tid);
+                assert_eq!(frame.opt_level, OptLevel::Optimized);
+                assert_eq!(frame.verdict, Some(OptVerdict::Validated));
+                n += 1;
+            }
+        }
+        assert!(n > 100, "validated {n} traces");
+        assert_eq!(optz.stats().demoted, 0);
+        assert_eq!(optz.stats().validated, optz.stats().traces);
+    }
+
+    #[test]
+    fn gate_demotes_malformed_traces_instead_of_shipping_them() {
+        let mut optz = Optimizer::new(OptimizerConfig::full());
+        let mut frame = frames_for(&AppProfile::suite_base(Suite::SpecInt), 5_000)
+            .pop()
+            .expect("some trace");
+        // A memory uop with no resolvable address: un-replayable, so the
+        // gate must refuse to mark any rewrite of it validated.
+        let mut bad = parrot_isa::Uop::load(parrot_isa::Reg::int(2), parrot_isa::Reg::int(0));
+        bad.inst_idx = frame.num_insts.saturating_sub(1);
+        frame.uops.push(bad);
+        let orig = frame.uops.clone();
+        let out = optz.optimize(&mut frame, 0);
+        assert_eq!(out.gate, GateDecision::DemotedLint);
+        assert_eq!(frame.opt_level, OptLevel::Demoted);
+        assert_eq!(frame.verdict, Some(OptVerdict::Demoted));
+        assert_eq!(frame.uops, orig, "demotion restores the original uops");
+        assert_eq!(out.uops_before, out.uops_after);
+        assert_eq!(optz.stats().demoted, 1);
+        assert_eq!(optz.stats().inconclusive_lint, 1);
+        assert_eq!(optz.stats().inconclusive_equiv, 0);
     }
 
     #[test]

@@ -953,4 +953,85 @@ mod tests {
         // The load (highest height) should come first.
         assert!(opt[0].is_load());
     }
+
+    #[test]
+    fn fuse_stops_at_an_assert_boundary() {
+        // Two asserts consuming one cmp: the first fuses with the cmp; the
+        // second must NOT reach past the (flags-writing) fused assert for a
+        // partner — it keeps reading the recomputed flags.
+        let mut a1 = Uop::assert(Cond::Lt, true);
+        a1.inst_idx = 1;
+        let mut a2 = Uop::assert(Cond::Ge, false);
+        a2.inst_idx = 2;
+        let orig = vec![Uop::cmp(r(1), None, Some(4)), a1, a2];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        fuse(&mut opt, &mut st);
+        assert_eq!(st.fused, 1, "only the first assert fuses");
+        assert_eq!(opt.len(), 2);
+        assert!(matches!(
+            opt[0].kind,
+            UopKind::Fused(FusedKind::CmpAssert { .. })
+        ));
+        assert!(
+            matches!(opt[1].kind, UopKind::Assert { .. }),
+            "second assert stays plain"
+        );
+        assert_equiv(&orig, &opt, &[]);
+    }
+
+    #[test]
+    fn dce_keeps_flag_write_consumed_by_later_assert() {
+        // cmp #1 feeds the assert; cmp #2 only feeds the trace exit. Both
+        // flag writes are live — DCE must remove neither.
+        let mut a1 = Uop::assert(Cond::Eq, true);
+        a1.inst_idx = 1;
+        let orig = vec![
+            Uop::cmp(r(1), None, Some(5)),
+            a1,
+            Uop::cmp(r(2), None, Some(7)),
+        ];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        dce(&mut opt, &mut st);
+        assert_eq!(st.removed_dead, 0);
+        assert_eq!(opt, orig);
+
+        // Flip the order: the first cmp is overwritten before the assert
+        // reads flags, so it IS dead and must go.
+        let mut a2 = Uop::assert(Cond::Eq, true);
+        a2.inst_idx = 2;
+        let orig2 = vec![
+            Uop::cmp(r(1), None, Some(5)),
+            Uop::cmp(r(2), None, Some(7)),
+            a2,
+        ];
+        let mut opt2 = orig2.clone();
+        let mut st2 = PassStats::default();
+        dce(&mut opt2, &mut st2);
+        assert_eq!(st2.removed_dead, 1);
+        assert_eq!(opt2.len(), 2);
+        assert!(matches!(opt2[0].kind, UopKind::Cmp));
+        assert_eq!(opt2[0].srcs[0], Some(r(2)));
+        assert_equiv(&orig2, &opt2, &[]);
+    }
+
+    #[test]
+    fn simdify_does_not_pack_across_a_store_consuming_a_lane() {
+        // Two isomorphic adds, but a store between them consumes the first
+        // add's result: packing would move that def past its use.
+        let mut st_u = Uop::store(r(1), r(0));
+        st_u.mem_slot = Some(0);
+        let orig = vec![
+            Uop::alu_imm(AluOp::Add, r(1), r(5), 3),
+            st_u,
+            Uop::alu_imm(AluOp::Add, r(2), r(6), 3),
+        ];
+        let mut opt = orig.clone();
+        let mut st = PassStats::default();
+        simdify(&mut opt, &mut st);
+        assert_eq!(st.simd_lanes, 0, "must not pack across the store's use");
+        assert_eq!(opt.len(), 3);
+        assert_equiv(&orig, &opt, &[0x100]);
+    }
 }

@@ -1,0 +1,392 @@
+//! Static translation validation of trace optimizations.
+//!
+//! [`verify`](crate::verify) replays a trace for a handful of *sampled*
+//! entry states; this module proves equivalence for **all** entry states by
+//! abstractly interpreting the original and the optimized uop sequence over
+//! the symbolic value-number domain of [`parrot_isa::absint`] and comparing
+//! the resulting summaries:
+//!
+//! * the 33 architectural live-out values (int + fp registers + flags),
+//! * the ordered store log `(address, value)`, and
+//! * the first-abort decision (which assert fires first, attributed to its
+//!   originating instruction).
+//!
+//! Both sequences share one [`ExprTable`], so equal value numbers mean
+//! provably equal concrete values under every entry state. The check is
+//! *sound but incomplete*: a [`Verdict::Validated`] rewrite is genuinely
+//! equivalent, while an equivalent-but-unprovable rewrite yields
+//! [`Verdict::Inconclusive`] and the optimizer demotes the trace to its
+//! unoptimized form (see `Optimizer::optimize`). The differential fuzz
+//! harness (`tests/fuzz_validate.rs`) cross-checks verdicts against
+//! multi-seed dynamic replay.
+//!
+//! The companion [`lint`] module checks the structural uop-IR invariants
+//! every optimizer pass must preserve; its errors also demote.
+
+use parrot_isa::absint::{self, AbsState, AbsVal, ExprTable};
+use parrot_isa::Uop;
+
+pub mod lint;
+
+/// Outcome of statically validating one optimized trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The optimized sequence is provably equivalent to the original for
+    /// every entry state.
+    Validated,
+    /// Equivalence could not be proven; the trace must be demoted.
+    Inconclusive {
+        /// Why validation gave up.
+        kind: InconclusiveKind,
+        /// Human-readable description of the first obstruction.
+        detail: String,
+    },
+}
+
+/// Why a validation attempt was inconclusive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InconclusiveKind {
+    /// A structural lint error (malformed uop IR); should never happen on
+    /// optimizer output and is tracked separately in reports.
+    Lint,
+    /// The abstract summaries differ: either the rewrite is wrong, or it is
+    /// beyond the domain's reasoning power.
+    Equivalence,
+}
+
+/// Abstract summary of one uop sequence: everything the trace equivalence
+/// criterion observes, as value numbers in a shared [`ExprTable`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbsSummary {
+    /// The 33 architectural live-out values.
+    pub live_out: Vec<AbsVal>,
+    /// Stores in program order: `(address, abstract value)`.
+    pub store_log: Vec<(u64, AbsVal)>,
+    /// Abort conditions of the asserts that can fire, in program order as
+    /// `(inst_idx, condition)`. Provably passing asserts (`Const(0)`) are
+    /// omitted; recording stops after a provably failing one (`Const(1)`),
+    /// since no later assert can be the *first* abort.
+    pub aborts: Vec<(u32, AbsVal)>,
+}
+
+/// Abstractly interpret `uops` from a fully symbolic entry state.
+///
+/// # Errors
+/// Returns a description of the first structurally unusable memory uop
+/// (missing or out-of-range `mem_slot`) — the same conditions
+/// [`crate::verify::ReplayError`] reports dynamically.
+pub fn summarize(
+    uops: &[Uop],
+    mem_addrs: &[u64],
+    tab: &mut ExprTable,
+) -> Result<AbsSummary, String> {
+    let mut st = AbsState::entry(tab);
+    let mut aborts = Vec::new();
+    let mut definite_abort = false;
+    for (i, u) in uops.iter().enumerate() {
+        let addr = if u.is_mem() {
+            let Some(slot) = u.mem_slot else {
+                return Err(format!(
+                    "uop {i} (inst {}): memory uop without a mem_slot",
+                    u.inst_idx
+                ));
+            };
+            let Some(addr) = mem_addrs.get(slot as usize) else {
+                return Err(format!(
+                    "uop {i} (inst {}): mem_slot {slot} out of range ({} recorded addresses)",
+                    u.inst_idx,
+                    mem_addrs.len()
+                ));
+            };
+            Some(*addr)
+        } else {
+            None
+        };
+        let fx = absint::abs_step(u, &mut st, tab, addr);
+        if let Some(cond) = fx.abort {
+            // The equivalence criterion is the *first* abort: conditions
+            // after a provably firing assert cannot matter, and provably
+            // passing asserts never abort. Live-out state still accumulates
+            // past the abort (full-commit semantics; a real abort rolls the
+            // whole trace back, so only the decision is compared).
+            if !definite_abort && cond != AbsVal::Const(0) {
+                aborts.push((u.inst_idx, cond));
+                if cond == AbsVal::Const(1) {
+                    definite_abort = true;
+                }
+            }
+        }
+    }
+    let live_out = st.architectural(tab);
+    Ok(AbsSummary {
+        live_out,
+        store_log: st.store_log,
+        aborts,
+    })
+}
+
+/// Prove `optimized` observationally equivalent to `original` for every
+/// entry state, or report why the proof failed.
+///
+/// Both sequences resolve memory uops through the same recorded
+/// `mem_addrs`; their abstract summaries are computed in one shared
+/// [`ExprTable`] and compared component-wise.
+pub fn validate_uops(original: &[Uop], optimized: &[Uop], mem_addrs: &[u64]) -> Verdict {
+    let mut tab = ExprTable::new();
+    let a = match summarize(original, mem_addrs, &mut tab) {
+        Ok(s) => s,
+        Err(e) => {
+            return Verdict::Inconclusive {
+                kind: InconclusiveKind::Lint,
+                detail: format!("original trace: {e}"),
+            }
+        }
+    };
+    let b = match summarize(optimized, mem_addrs, &mut tab) {
+        Ok(s) => s,
+        Err(e) => {
+            return Verdict::Inconclusive {
+                kind: InconclusiveKind::Lint,
+                detail: format!("optimized trace: {e}"),
+            }
+        }
+    };
+    match first_difference(&a, &b) {
+        None => Verdict::Validated,
+        Some(detail) => Verdict::Inconclusive {
+            kind: InconclusiveKind::Equivalence,
+            detail,
+        },
+    }
+}
+
+/// The first component where two summaries differ, if any.
+fn first_difference(a: &AbsSummary, b: &AbsSummary) -> Option<String> {
+    if a.aborts != b.aborts {
+        let i = a
+            .aborts
+            .iter()
+            .zip(&b.aborts)
+            .position(|(x, y)| x != y)
+            .unwrap_or_else(|| a.aborts.len().min(b.aborts.len()));
+        return Some(format!(
+            "abort chains differ at live assert {i}: {:?} vs {:?}",
+            a.aborts.get(i),
+            b.aborts.get(i)
+        ));
+    }
+    if a.store_log != b.store_log {
+        let i = a
+            .store_log
+            .iter()
+            .zip(&b.store_log)
+            .position(|(x, y)| x != y)
+            .unwrap_or_else(|| a.store_log.len().min(b.store_log.len()));
+        return Some(format!(
+            "store logs differ at store {i}: {:?} vs {:?}",
+            a.store_log.get(i),
+            b.store_log.get(i)
+        ));
+    }
+    for (i, (x, y)) in a.live_out.iter().zip(&b.live_out).enumerate() {
+        if x != y {
+            return Some(format!("live-out register {i} differs: {x:?} vs {y:?}"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_equivalent_multi;
+    use parrot_isa::{AluOp, Cond, FusedKind, Reg, UopKind};
+
+    fn r(i: u8) -> Reg {
+        Reg::int(i)
+    }
+
+    fn validated(original: &[Uop], optimized: &[Uop], mem_addrs: &[u64]) -> bool {
+        // Sanity: whatever we claim statically must hold dynamically.
+        let v = validate_uops(original, optimized, mem_addrs);
+        if v == Verdict::Validated {
+            check_equivalent_multi(original, optimized, mem_addrs, &[1, 2, 7])
+                .expect("validated sequences must replay equivalently");
+        }
+        v == Verdict::Validated
+    }
+
+    #[test]
+    fn identical_sequences_validate() {
+        let uops = vec![
+            Uop::mov_imm(r(1), 5),
+            Uop::alu_imm(AluOp::Add, r(2), r(1), 3),
+        ];
+        assert!(validated(&uops, &uops, &[]));
+    }
+
+    #[test]
+    fn constant_folding_validates() {
+        let orig = vec![
+            Uop::mov_imm(r(1), 5),
+            Uop::alu_imm(AluOp::Add, r(2), r(1), 3),
+        ];
+        let opt = vec![Uop::mov_imm(r(1), 5), Uop::mov_imm(r(2), 8)];
+        assert!(validated(&orig, &opt, &[]));
+    }
+
+    #[test]
+    fn commuted_operands_validate() {
+        let orig = vec![Uop::alu(AluOp::Add, r(3), r(1), r(2))];
+        let opt = vec![Uop::alu(AluOp::Add, r(3), r(2), r(1))];
+        assert!(validated(&orig, &opt, &[]));
+        let bad = vec![Uop::alu(AluOp::Sub, r(3), r(2), r(1))];
+        let swapped_sub = vec![Uop::alu(AluOp::Sub, r(3), r(1), r(2))];
+        assert!(!validated(&swapped_sub, &bad, &[]));
+    }
+
+    #[test]
+    fn wrong_immediate_is_inconclusive() {
+        let orig = vec![Uop::mov_imm(r(1), 5)];
+        let opt = vec![Uop::mov_imm(r(1), 6)];
+        let v = validate_uops(&orig, &opt, &[]);
+        assert!(matches!(
+            v,
+            Verdict::Inconclusive {
+                kind: InconclusiveKind::Equivalence,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn dropped_store_is_inconclusive() {
+        let mut st = Uop::store(r(1), r(0));
+        st.mem_slot = Some(0);
+        let orig = vec![st];
+        let v = validate_uops(&orig, &[], &[0x100]);
+        assert!(matches!(v, Verdict::Inconclusive { .. }));
+    }
+
+    #[test]
+    fn reordered_stores_are_inconclusive() {
+        let mk = |slot: u16, src: u8| {
+            let mut u = Uop::store(r(src), r(0));
+            u.mem_slot = Some(slot);
+            u
+        };
+        let orig = vec![mk(0, 1), mk(1, 2)];
+        let opt = vec![mk(1, 2), mk(0, 1)];
+        let v = validate_uops(&orig, &opt, &[0x100, 0x108]);
+        assert!(matches!(
+            v,
+            Verdict::Inconclusive {
+                kind: InconclusiveKind::Equivalence,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn load_load_reordering_validates() {
+        let mk = |slot: u16, dst: u8| {
+            let mut u = Uop::load(r(dst), r(0));
+            u.mem_slot = Some(slot);
+            u
+        };
+        let orig = vec![mk(0, 1), mk(1, 2)];
+        let opt = vec![mk(1, 2), mk(0, 1)];
+        assert!(validated(&orig, &opt, &[0x40, 0x48]));
+    }
+
+    #[test]
+    fn fused_cmp_assert_validates_against_unfused_pair() {
+        let mut a1 = Uop::assert(Cond::Lt, true);
+        a1.inst_idx = 2;
+        let orig = vec![Uop::cmp(r(0), None, Some(5)), a1];
+        let mut fused = Uop::cmp(r(0), None, Some(5));
+        fused.kind = UopKind::Fused(FusedKind::CmpAssert {
+            cond: Cond::Lt,
+            expect: true,
+        });
+        fused.inst_idx = 2;
+        let opt = vec![fused];
+        assert!(validated(&orig, &opt, &[]));
+    }
+
+    #[test]
+    fn provably_passing_assert_removal_validates() {
+        let mut a1 = Uop::assert(Cond::Eq, true);
+        a1.inst_idx = 1;
+        let orig = vec![Uop::mov_imm(r(1), 10), Uop::cmp(r(1), None, Some(10)), a1];
+        // const-prop removes the provably passing assert but keeps the cmp
+        // (flags are architecturally live at trace exit).
+        let opt = vec![Uop::mov_imm(r(1), 10), Uop::cmp(r(1), None, Some(10))];
+        assert!(validated(&orig, &opt, &[]));
+    }
+
+    #[test]
+    fn removing_an_unprovable_assert_is_inconclusive() {
+        let mut a1 = Uop::assert(Cond::Eq, true);
+        a1.inst_idx = 1;
+        let orig = vec![Uop::cmp(r(1), None, Some(10)), a1];
+        let opt = vec![Uop::cmp(r(1), None, Some(10))];
+        let v = validate_uops(&orig, &opt, &[]);
+        assert!(matches!(
+            v,
+            Verdict::Inconclusive {
+                kind: InconclusiveKind::Equivalence,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn abort_attribution_is_part_of_the_criterion() {
+        // Same assert, different originating instruction: not equivalent
+        // (the abort would be attributed to the wrong instruction).
+        let mut a1 = Uop::assert(Cond::Eq, true);
+        a1.inst_idx = 1;
+        let mut a2 = a1.clone();
+        a2.inst_idx = 2;
+        let orig = vec![Uop::cmp(r(1), None, Some(10)), a1];
+        let opt = vec![Uop::cmp(r(1), None, Some(10)), a2];
+        assert!(matches!(
+            validate_uops(&orig, &opt, &[]),
+            Verdict::Inconclusive { .. }
+        ));
+    }
+
+    #[test]
+    fn aborts_after_a_definite_abort_do_not_matter() {
+        // First assert provably fails; a second, unprovable assert after it
+        // can never be the first abort, so dropping it validates.
+        let mut a1 = Uop::assert(Cond::Eq, false);
+        a1.inst_idx = 1;
+        let mut a2 = Uop::assert(Cond::Lt, true);
+        a2.inst_idx = 2;
+        let head = vec![
+            Uop::mov_imm(r(1), 4),
+            Uop::cmp(r(1), None, Some(4)),
+            a1,
+            Uop::cmp(r(2), None, Some(9)),
+        ];
+        let mut orig = head.clone();
+        orig.push(a2);
+        let opt = head;
+        assert!(validated(&orig, &opt, &[]));
+    }
+
+    #[test]
+    fn bad_mem_slot_is_lint_kind() {
+        let seq = [Uop::load(r(1), r(0))]; // mem_slot: None
+        let v = validate_uops(&seq, &seq, &[]);
+        assert!(matches!(
+            v,
+            Verdict::Inconclusive {
+                kind: InconclusiveKind::Lint,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,347 @@
+//! Structural lint for trace uop IR.
+//!
+//! Every optimizer pass must preserve a set of structural invariants that
+//! the rest of the machine (functional replay, abort attribution, the
+//! store-ordering contract of the dependency graph) relies on. This module
+//! checks them statically:
+//!
+//! * memory uops carry an in-bounds, unduplicated `mem_slot`; non-memory
+//!   uops carry none;
+//! * stores execute in recorded-slot order and loads never cross a store
+//!   (exactly the ordering [`crate::depgraph`] enforces with edges);
+//! * asserts keep non-decreasing, in-range `inst_idx` so abort attribution
+//!   stays monotone;
+//! * fused uops have the operands their semantics require, and an `AluAlu`
+//!   immediate is unambiguous (the concrete semantics would bind a single
+//!   `imm` to *both* missing operand slots);
+//! * SIMD packs have 2–4 lanes with distinct destinations;
+//! * raw branches/jumps never appear inside a trace (construction converts
+//!   them to asserts or elides them);
+//! * dead flag writes (a `cmp` overwritten before any read) are reported as
+//!   warnings — legal, but missed DCE.
+//!
+//! Errors demote a trace at the optimizer's validation gate; warnings do
+//! not. The suite runs as a library pass ([`lint_uops`] / [`lint_frame`]),
+//! as the `parrot lint-traces` CLI subcommand, and as a debug-build
+//! assertion between optimizer passes pinpointing which pass broke an
+//! invariant.
+
+use parrot_isa::{FusedKind, Uop, UopKind};
+use parrot_trace::TraceFrame;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Suspicious but legal (e.g. a dead flag write).
+    Warn,
+    /// A broken structural invariant; the trace must not be used optimized.
+    Error,
+}
+
+/// One lint finding, anchored to a uop.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Position of the offending uop in the linted sequence.
+    pub uop_index: usize,
+    /// Error or warning.
+    pub severity: Severity,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev}: uop {}: {}", self.uop_index, self.message)
+    }
+}
+
+/// Do any of `findings` have [`Severity::Error`]?
+pub fn has_errors(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Error)
+}
+
+/// Lint a frame's uops against its recorded addresses and instruction count.
+pub fn lint_frame(frame: &TraceFrame) -> Vec<Finding> {
+    lint_uops(&frame.uops, frame.mem_addrs.len(), frame.num_insts)
+}
+
+/// Lint a uop sequence. `num_mem_slots` is the length of the recorded
+/// effective-address sequence; `num_insts` the macro-instruction count
+/// (`0` disables the `inst_idx` range check for synthetic sequences).
+pub fn lint_uops(uops: &[Uop], num_mem_slots: usize, num_insts: u32) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seen_slots = vec![false; num_mem_slots];
+    let mut max_slot_seen: i64 = -1;
+    let mut last_store_slot: i64 = -1;
+    let mut last_assert_idx: Option<u32> = None;
+    // A plain `cmp` whose flags nobody reads before the next flags write.
+    let mut pending_cmp: Option<usize> = None;
+
+    for (i, u) in uops.iter().enumerate() {
+        let mut error = |idx: usize, message: String| {
+            out.push(Finding {
+                uop_index: idx,
+                severity: Severity::Error,
+                message,
+            });
+        };
+
+        if u.is_mem() {
+            match u.mem_slot {
+                None => error(i, "memory uop without a mem_slot".into()),
+                Some(s) => {
+                    let si = s as usize;
+                    if si >= num_mem_slots {
+                        error(
+                            i,
+                            format!(
+                                "mem_slot {s} out of bounds ({num_mem_slots} recorded addresses)"
+                            ),
+                        );
+                    } else if seen_slots[si] {
+                        error(i, format!("mem_slot {s} used by two uops"));
+                    } else {
+                        seen_slots[si] = true;
+                        let sl = si as i64;
+                        if u.is_store() {
+                            if sl <= max_slot_seen {
+                                error(
+                                    i,
+                                    format!(
+                                        "store (slot {s}) reordered after a later memory op (slot {max_slot_seen})"
+                                    ),
+                                );
+                            }
+                            last_store_slot = sl;
+                        } else if sl <= last_store_slot {
+                            error(
+                                i,
+                                format!(
+                                    "load (slot {s}) reordered across a store (slot {last_store_slot})"
+                                ),
+                            );
+                        }
+                        max_slot_seen = max_slot_seen.max(sl);
+                    }
+                }
+            }
+        } else if u.mem_slot.is_some() {
+            error(i, "non-memory uop carries a mem_slot".into());
+        }
+
+        if matches!(
+            u.kind,
+            UopKind::Branch(_) | UopKind::Jump | UopKind::JumpInd
+        ) {
+            error(
+                i,
+                "raw branch inside a trace (construction converts these to asserts)".into(),
+            );
+        }
+
+        if u.is_assert() {
+            if num_insts > 0 && u.inst_idx >= num_insts {
+                error(
+                    i,
+                    format!(
+                        "assert inst_idx {} out of range ({} instructions)",
+                        u.inst_idx, num_insts
+                    ),
+                );
+            }
+            if let Some(prev) = last_assert_idx {
+                if u.inst_idx < prev {
+                    error(
+                        i,
+                        format!(
+                            "assert inst_idx not monotone: {} after {} (abort attribution would lie)",
+                            u.inst_idx, prev
+                        ),
+                    );
+                }
+            }
+            last_assert_idx = Some(u.inst_idx);
+        }
+
+        match &u.kind {
+            UopKind::Fused(FusedKind::CmpBranch { .. } | FusedKind::CmpAssert { .. })
+                if u.srcs[0].is_none() =>
+            {
+                error(i, "fused compare without a left operand".into());
+            }
+            UopKind::Fused(FusedKind::AluAlu { .. }) => {
+                if u.srcs[0].is_none() {
+                    error(i, "fused alu-alu without a left operand".into());
+                }
+                if u.dst.is_none() {
+                    error(i, "fused alu-alu without a destination".into());
+                }
+                if u.imm.is_some() && u.srcs[1].is_none() && u.srcs[2].is_none() {
+                    error(
+                        i,
+                        "fused alu-alu immediate is ambiguous (binds to both operand slots)".into(),
+                    );
+                }
+            }
+            UopKind::Simd(pack) => {
+                let n = pack.lanes.len();
+                if !(2..=4).contains(&n) {
+                    error(i, format!("simd pack with {n} lanes (want 2..=4)"));
+                }
+                for (a, la) in pack.lanes.iter().enumerate() {
+                    if pack.lanes[a + 1..].iter().any(|lb| lb.dst == la.dst) {
+                        error(i, format!("simd pack writes lane dst {} twice", la.dst));
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        if u.reads_flags() {
+            pending_cmp = None;
+        }
+        if u.writes_flags() {
+            if let Some(w) = pending_cmp {
+                out.push(Finding {
+                    uop_index: w,
+                    severity: Severity::Warn,
+                    message: format!("dead flag write: cmp overwritten by uop {i} before any read"),
+                });
+            }
+            // Only a plain cmp is a candidate: fused compare forms consume
+            // their own comparison, so their flags write being overwritten
+            // is normal.
+            pending_cmp = matches!(u.kind, UopKind::Cmp).then_some(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parrot_isa::{AluOp, Cond, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::int(i)
+    }
+
+    fn errors(uops: &[Uop], slots: usize) -> Vec<String> {
+        lint_uops(uops, slots, 0)
+            .into_iter()
+            .filter(|f| f.severity == Severity::Error)
+            .map(|f| f.message)
+            .collect()
+    }
+
+    #[test]
+    fn clean_sequence_has_no_findings() {
+        let mut ld = Uop::load(r(1), r(0));
+        ld.mem_slot = Some(0);
+        let mut st = Uop::store(r(1), r(0));
+        st.mem_slot = Some(1);
+        let mut a = Uop::assert(Cond::Eq, true);
+        a.inst_idx = 2;
+        let uops = vec![ld, Uop::cmp(r(1), None, Some(3)), a, st];
+        assert!(lint_uops(&uops, 2, 4).is_empty());
+    }
+
+    #[test]
+    fn mem_slot_errors() {
+        let missing = Uop::load(r(1), r(0));
+        assert!(errors(&[missing], 1)[0].contains("without a mem_slot"));
+
+        let mut oob = Uop::load(r(1), r(0));
+        oob.mem_slot = Some(3);
+        assert!(errors(&[oob], 1)[0].contains("out of bounds"));
+
+        let mut a = Uop::load(r(1), r(0));
+        a.mem_slot = Some(0);
+        let mut b = Uop::load(r(2), r(0));
+        b.mem_slot = Some(0);
+        assert!(errors(&[a, b], 1)[0].contains("two uops"));
+
+        let mut stray = Uop::mov_imm(r(1), 3);
+        stray.mem_slot = Some(0);
+        assert!(errors(&[stray], 1)[0].contains("non-memory uop"));
+    }
+
+    #[test]
+    fn memory_ordering_errors() {
+        let mk_st = |slot: u16| {
+            let mut u = Uop::store(r(1), r(0));
+            u.mem_slot = Some(slot);
+            u
+        };
+        let mk_ld = |slot: u16| {
+            let mut u = Uop::load(r(2), r(0));
+            u.mem_slot = Some(slot);
+            u
+        };
+        // Stores out of slot order.
+        assert!(errors(&[mk_st(1), mk_st(0)], 2)[0].contains("store (slot 0) reordered"));
+        // Load hoisted above the store it followed (its slot precedes the
+        // store's slot).
+        assert!(errors(&[mk_st(1), mk_ld(0)], 2)[0].contains("load (slot 0) reordered"));
+        // Load-load reordering is legal.
+        assert!(errors(&[mk_ld(1), mk_ld(0)], 2).is_empty());
+    }
+
+    #[test]
+    fn assert_ordering_errors() {
+        let mut a1 = Uop::assert(Cond::Eq, true);
+        a1.inst_idx = 3;
+        let mut a2 = Uop::assert(Cond::Ne, true);
+        a2.inst_idx = 1;
+        let found = errors(&[a1.clone(), a2], 0);
+        assert!(found[0].contains("not monotone"));
+        let found = lint_uops(&[a1], 0, 2);
+        assert!(found[0].message.contains("out of range"));
+    }
+
+    #[test]
+    fn fused_arity_errors() {
+        let mut f = Uop::mov_imm(r(0), 0);
+        f.kind = parrot_isa::UopKind::Fused(FusedKind::AluAlu {
+            first: AluOp::Add,
+            second: AluOp::Add,
+        });
+        f.dst = Some(r(0));
+        f.srcs = [Some(r(1)), None, None];
+        f.imm = Some(4);
+        assert!(errors(&[f], 0)[0].contains("ambiguous"));
+
+        let mut c = Uop::assert(Cond::Eq, true);
+        c.kind = parrot_isa::UopKind::Fused(FusedKind::CmpAssert {
+            cond: Cond::Eq,
+            expect: true,
+        });
+        assert!(errors(&[c], 0)[0].contains("without a left operand"));
+    }
+
+    #[test]
+    fn raw_branches_are_errors() {
+        assert!(errors(&[Uop::branch(Cond::Eq)], 0)[0].contains("raw branch"));
+    }
+
+    #[test]
+    fn dead_flag_write_is_a_warning_not_an_error() {
+        let uops = vec![
+            Uop::cmp(r(1), None, Some(1)),
+            Uop::cmp(r(2), None, Some(2)),
+            Uop::assert(Cond::Eq, true),
+        ];
+        let findings = lint_uops(&uops, 0, 0);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Warn);
+        assert_eq!(findings[0].uop_index, 0);
+        assert!(!has_errors(&findings));
+        // Consumed cmp: no warning.
+        let uops = vec![Uop::cmp(r(1), None, Some(1)), Uop::assert(Cond::Eq, true)];
+        assert!(lint_uops(&uops, 0, 0).is_empty());
+    }
+}

@@ -9,6 +9,7 @@
 
 use parrot_isa::exec::{step, ArchState, DeterministicMem};
 use parrot_isa::Uop;
+use std::fmt;
 
 /// Result of fully replaying a uop sequence (the full-commit case: a real
 /// abort would roll everything back, so only the abort *decision* matters).
@@ -22,19 +23,80 @@ pub struct ReplayResult {
     pub first_abort: Option<u32>,
 }
 
+/// A structurally broken memory uop encountered during replay: the uop
+/// cannot be resolved against the frame's recorded address sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Position of the offending uop in the replayed sequence.
+    pub uop_index: usize,
+    /// Originating macro-instruction ordinal of the offending uop.
+    pub inst_idx: u32,
+    /// What was wrong with its `mem_slot`.
+    pub kind: ReplayErrorKind,
+}
+
+/// The ways a memory uop's `mem_slot` can be unusable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayErrorKind {
+    /// A memory uop with `mem_slot: None`.
+    MissingSlot,
+    /// `mem_slot` does not index the recorded address sequence.
+    SlotOutOfRange {
+        /// The offending slot.
+        slot: u16,
+        /// Length of the recorded address sequence.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ReplayErrorKind::MissingSlot => write!(
+                f,
+                "uop {} (inst {}): memory uop without a mem_slot",
+                self.uop_index, self.inst_idx
+            ),
+            ReplayErrorKind::SlotOutOfRange { slot, len } => write!(
+                f,
+                "uop {} (inst {}): mem_slot {} out of range ({} recorded addresses)",
+                self.uop_index, self.inst_idx, slot, len
+            ),
+        }
+    }
+}
+
 /// Replay `uops` from `entry` state; memory uops resolve their addresses
 /// through `mem_addrs[uop.mem_slot]`.
 ///
-/// # Panics
-/// Panics if a memory uop lacks a `mem_slot` or the slot is out of range.
-pub fn replay(uops: &[Uop], mem_addrs: &[u64], entry: &ArchState, mem_seed: u64) -> ReplayResult {
+/// # Errors
+/// Returns a [`ReplayError`] naming the uop and slot if a memory uop lacks
+/// a `mem_slot` or the slot is out of range.
+pub fn replay(
+    uops: &[Uop],
+    mem_addrs: &[u64],
+    entry: &ArchState,
+    mem_seed: u64,
+) -> Result<ReplayResult, ReplayError> {
     let mut st = entry.clone();
     let mut mem = DeterministicMem::new(mem_seed);
     let mut first_abort = None;
-    for u in uops {
+    for (i, u) in uops.iter().enumerate() {
         let addr = if u.is_mem() {
-            let slot = u.mem_slot.expect("memory uop without slot") as usize;
-            Some(mem_addrs[slot])
+            let err = |kind| ReplayError {
+                uop_index: i,
+                inst_idx: u.inst_idx,
+                kind,
+            };
+            let slot = u.mem_slot.ok_or(err(ReplayErrorKind::MissingSlot))?;
+            let addr =
+                mem_addrs
+                    .get(slot as usize)
+                    .ok_or(err(ReplayErrorKind::SlotOutOfRange {
+                        slot,
+                        len: mem_addrs.len(),
+                    }))?;
+            Some(*addr)
         } else {
             None
         };
@@ -43,11 +105,11 @@ pub fn replay(uops: &[Uop], mem_addrs: &[u64], entry: &ArchState, mem_seed: u64)
             first_abort = Some(u.inst_idx);
         }
     }
-    ReplayResult {
+    Ok(ReplayResult {
         final_state: st.architectural(),
         store_log: mem.store_log,
         first_abort,
-    }
+    })
 }
 
 /// Check that `optimized` is observationally equivalent to `original`.
@@ -65,8 +127,10 @@ pub fn check_equivalent(
     entry: &ArchState,
     mem_seed: u64,
 ) -> Result<(), String> {
-    let a = replay(original, mem_addrs, entry, mem_seed);
-    let b = replay(optimized, mem_addrs, entry, mem_seed);
+    let a =
+        replay(original, mem_addrs, entry, mem_seed).map_err(|e| format!("original trace: {e}"))?;
+    let b = replay(optimized, mem_addrs, entry, mem_seed)
+        .map_err(|e| format!("optimized trace: {e}"))?;
     if a.first_abort != b.first_abort {
         return Err(format!(
             "abort decision differs: {:?} vs {:?}",
@@ -164,7 +228,7 @@ mod tests {
         let uops = vec![cmp, assert_u];
         let mut entry = ArchState::new(); // r0 = 0 -> Eq true -> expect false -> abort
         entry.set(r(0), 0);
-        let res = replay(&uops, &[], &entry, 1);
+        let res = replay(&uops, &[], &entry, 1).expect("well-formed trace");
         assert_eq!(res.first_abort, Some(1));
     }
 
@@ -175,8 +239,31 @@ mod tests {
         let mut st = Uop::store(r(1), r(0));
         st.mem_slot = Some(1);
         let uops = vec![ld, st];
-        let res = replay(&uops, &[0x40, 0x80], &ArchState::new(), 7);
+        let res = replay(&uops, &[0x40, 0x80], &ArchState::new(), 7).expect("well-formed trace");
         assert_eq!(res.store_log.len(), 1);
         assert_eq!(res.store_log[0].0, 0x80);
+    }
+
+    #[test]
+    fn bad_mem_slots_are_structured_errors_not_panics() {
+        let mut missing = Uop::load(r(1), r(0));
+        missing.inst_idx = 3;
+        let err = replay(&[missing], &[0x40], &ArchState::new(), 1).unwrap_err();
+        assert_eq!(err.uop_index, 0);
+        assert_eq!(err.inst_idx, 3);
+        assert_eq!(err.kind, ReplayErrorKind::MissingSlot);
+
+        let mut oob = Uop::store(r(1), r(0));
+        oob.mem_slot = Some(5);
+        let seq = [Uop::mov_imm(r(1), 1), oob.clone()];
+        let err = replay(&seq, &[0x40], &ArchState::new(), 1).unwrap_err();
+        assert_eq!(err.uop_index, 1);
+        assert_eq!(
+            err.kind,
+            ReplayErrorKind::SlotOutOfRange { slot: 5, len: 1 }
+        );
+        // The error surfaces through the equivalence checker as a string.
+        let msg = check_equivalent_multi(&[], &[oob], &[0x40], &[1]).unwrap_err();
+        assert!(msg.contains("mem_slot 5 out of range"), "{msg}");
     }
 }

@@ -127,6 +127,7 @@ fn frame_of(uops: &[Uop], addrs: &[u64]) -> TraceFrame {
         orig_uops: uops.len() as u32,
         joins: 1,
         opt_level: OptLevel::Constructed,
+        verdict: None,
         exec_count: 0,
         execs_since_opt: 0,
         live_conf: 2,
@@ -148,6 +149,12 @@ fn full_optimizer_preserves_semantics() {
             outcome.uops_after <= outcome.uops_before,
             "case {case}: optimizer must never grow a trace"
         );
+        if outcome.gate != parrot_opt::GateDecision::Validated {
+            assert_eq!(
+                frame.uops, uops,
+                "case {case}: a demoted frame must keep its original uops"
+            );
+        }
         if let Err(e) = check_equivalent_multi(&uops, &frame.uops, &addrs, &state_seeds) {
             panic!("case {case}: not equivalent: {e}\nops: {ops:?}");
         }

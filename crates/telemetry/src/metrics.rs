@@ -479,6 +479,14 @@ pub fn counter_set(name: &'static str, v: u64) {
     }
 }
 
+/// Add to a cumulative counter (creates it at zero on first use).
+#[inline]
+pub fn counter_add(name: &'static str, by: u64) {
+    if active() {
+        with(|h| h.counter_add(name, by));
+    }
+}
+
 /// Set a point-in-time gauge.
 #[inline]
 pub fn gauge_set(name: &'static str, v: f64) {
@@ -624,11 +632,22 @@ mod tests {
     fn free_functions_noop_when_uninstalled() {
         assert!(!active());
         counter_set("x", 1);
+        counter_add("x", 1);
         hist_record("h", 1);
         gauge_set("g", 1.0);
         assert!(!due(u64::MAX));
         snapshot(1, 1);
         assert!(take().is_none());
+    }
+
+    #[test]
+    fn counter_add_accumulates() {
+        let mut hub = MetricsHub::new(100);
+        hub.counter_add("lint.errors", 2);
+        hub.counter_add("lint.errors", 3);
+        assert_eq!(hub.counter("lint.errors"), 5);
+        hub.counter_set("lint.errors", 1);
+        assert_eq!(hub.counter("lint.errors"), 1);
     }
 
     #[test]

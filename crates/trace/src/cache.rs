@@ -13,8 +13,26 @@ use parrot_telemetry::{metrics, trace as tev};
 pub enum OptLevel {
     /// As constructed from decoded uops (asserts embedded, no transforms).
     Constructed,
-    /// Rewritten by the dynamic optimizer.
+    /// Went through the optimizer but the translation-validation gate could
+    /// not prove the rewrite equivalent: the frame keeps its constructed
+    /// uops and is never re-optimized (the optimizer would produce the same
+    /// unprovable rewrite again).
+    Demoted,
+    /// Rewritten by the dynamic optimizer; the rewrite was statically
+    /// validated.
     Optimized,
+}
+
+/// Verdict attached by the optimizer's translation-validation gate when a
+/// frame is written back (`None` on frames the optimizer has not touched).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptVerdict {
+    /// The optimized uops were statically proven equivalent for all entry
+    /// states.
+    Validated,
+    /// Validation was inconclusive; the frame was demoted to its
+    /// unoptimized form.
+    Demoted,
 }
 
 /// A stored trace: the unit of hot fetch and of atomic commit.
@@ -41,6 +59,9 @@ pub struct TraceFrame {
     pub joins: u32,
     /// Optimization state.
     pub opt_level: OptLevel,
+    /// Translation-validation verdict from the optimizer's gate; `None`
+    /// until the optimizer has processed the frame.
+    pub verdict: Option<OptVerdict>,
     /// Dynamic executions of this frame since insertion.
     pub exec_count: u64,
     /// Dynamic executions since the last optimization write-back
@@ -254,10 +275,21 @@ impl TraceCache {
         }
     }
 
-    /// Replace a resident frame with its optimized form (write-back from the
-    /// optimizer). Returns false if the frame was evicted in the meantime.
+    /// Replace a resident frame with the optimizer's write-back: either its
+    /// validated optimized form or its demoted (unoptimized) form. Returns
+    /// false if the frame was evicted in the meantime.
     pub fn replace_optimized(&mut self, frame: TraceFrame) -> bool {
-        debug_assert_eq!(frame.opt_level, OptLevel::Optimized);
+        debug_assert!(
+            matches!(
+                (frame.opt_level, frame.verdict),
+                (OptLevel::Optimized, Some(OptVerdict::Validated))
+                    | (OptLevel::Demoted, Some(OptVerdict::Demoted))
+            ),
+            "optimizer write-back must carry a matching validation verdict \
+             (got {:?} / {:?})",
+            frame.opt_level,
+            frame.verdict,
+        );
         let range = self.set_range(&frame.tid);
         let tick = self.tick;
         if let Some(slot) = self.slots[range]
@@ -340,6 +372,7 @@ mod tests {
             orig_uops: 6,
             joins: 1,
             opt_level: OptLevel::Constructed,
+            verdict: None,
             exec_count: 0,
             execs_since_opt: 0,
             live_conf: 2,
@@ -386,6 +419,7 @@ mod tests {
         tc.insert(frame(0x300));
         let mut opt = frame(0x300);
         opt.opt_level = OptLevel::Optimized;
+        opt.verdict = Some(OptVerdict::Validated);
         opt.uops = vec![];
         assert!(tc.replace_optimized(opt));
         assert_eq!(
@@ -393,9 +427,19 @@ mod tests {
             OptLevel::Optimized
         );
         assert_eq!(tc.stats().optimized_writebacks, 1);
+        // A demoted write-back is also accepted (keeps constructed uops).
+        let mut dem = frame(0x300);
+        dem.opt_level = OptLevel::Demoted;
+        dem.verdict = Some(OptVerdict::Demoted);
+        assert!(tc.replace_optimized(dem));
+        assert_eq!(
+            tc.peek(&Tid::new(0x300)).unwrap().opt_level,
+            OptLevel::Demoted
+        );
         // Write-back to an evicted TID fails gracefully.
         let mut gone = frame(0x999);
         gone.opt_level = OptLevel::Optimized;
+        gone.verdict = Some(OptVerdict::Validated);
         assert!(!tc.replace_optimized(gone));
     }
 
@@ -444,6 +488,7 @@ mod confidence_tests {
             orig_uops: 6,
             joins: 1,
             opt_level: OptLevel::Constructed,
+            verdict: None,
             exec_count: 0,
             execs_since_opt: 0,
             live_conf: 1,

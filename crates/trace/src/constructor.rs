@@ -66,6 +66,7 @@ pub fn construct_frame(cand: &TraceCandidate, decoded: &DecodedProgram) -> Trace
         orig_uops,
         joins: cand.joins,
         opt_level: OptLevel::Constructed,
+        verdict: None,
         exec_count: 0,
         execs_since_opt: 0,
         live_conf: 1,

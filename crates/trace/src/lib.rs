@@ -28,7 +28,7 @@ mod predictor;
 mod selection;
 mod tid;
 
-pub use cache::{OptLevel, TraceCache, TraceCacheConfig, TraceCacheStats, TraceFrame};
+pub use cache::{OptLevel, OptVerdict, TraceCache, TraceCacheConfig, TraceCacheStats, TraceFrame};
 pub use constructor::construct_frame;
 pub use filter::{CounterFilter, FilterConfig};
 pub use predictor::{TracePredConfig, TracePredStats, TracePredictor};
