@@ -4,7 +4,7 @@
 //! Run with: `cargo bench -p parrot-bench --bench bench_machine`
 
 use parrot_bench::microbench::bench;
-use parrot_core::{simulate, Model};
+use parrot_core::{Model, SimRequest};
 use parrot_workloads::{app_by_name, Workload};
 
 fn main() {
@@ -12,7 +12,7 @@ fn main() {
     let insts = 30_000u64;
     for m in [Model::N, Model::W, Model::TON, Model::TOW, Model::TOS] {
         bench("machine", &format!("simulate_{}_30k", m.name()), || {
-            simulate(m, &wl, insts).cycles
+            SimRequest::model(m).insts(insts).run(&wl).cycles
         });
     }
 }

@@ -14,7 +14,7 @@
 //!
 //! Run with: `cargo run --release -p parrot-bench --bin ablations [insts]`
 
-use parrot_core::{simulate_config, Model, SimReport};
+use parrot_core::{Model, SimReport, SimRequest};
 use parrot_energy::metrics::geo_mean;
 use parrot_opt::OptimizerConfig;
 use parrot_trace::TraceCacheConfig;
@@ -30,11 +30,8 @@ struct Bench {
 
 impl Bench {
     fn run(&self, cfg: parrot_core::MachineConfig) -> (f64, f64, f64) {
-        let runs: Vec<SimReport> = self
-            .workloads
-            .iter()
-            .map(|wl| simulate_config(cfg.clone(), wl, self.insts))
-            .collect();
+        let req = SimRequest::config(cfg).insts(self.insts);
+        let runs: Vec<SimReport> = self.workloads.iter().map(|wl| req.run(wl)).collect();
         let ipc = geo_mean(&runs.iter().map(|r| r.ipc()).collect::<Vec<_>>());
         let energy = geo_mean(&runs.iter().map(|r| r.energy).collect::<Vec<_>>());
         let cov = geo_mean(

@@ -3,13 +3,13 @@
 //!
 //! Run with: `cargo run --release -p parrot-bench --bin breakdown`
 
-use parrot_core::{simulate, Model};
+use parrot_core::{Model, SimRequest};
 use parrot_workloads::{app_by_name, Workload};
 
 fn main() {
     let wl = Workload::build(&app_by_name("gcc").unwrap());
     for m in [Model::N, Model::W, Model::TN, Model::TW, Model::TON] {
-        let r = simulate(m, &wl, 150_000);
+        let r = SimRequest::model(m).insts(150_000).run(&wl);
         print!("{:4} E={:>10.0}  ", m.name(), r.energy);
         for (label, e) in &r.energy_by_unit {
             let share = e / r.energy * 100.0;

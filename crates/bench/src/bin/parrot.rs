@@ -8,6 +8,7 @@
 //! $ parrot compare N TON gcc              # side-by-side with deltas
 //! $ parrot sweep gcc                      # all models on one application
 //! $ parrot lint-traces --all              # uop-IR lint + validation gate
+//! $ parrot soak --rates 0.01,0.1          # seeded fault-injection campaign
 //! ```
 //!
 //! Run via `cargo run --release -p parrot-bench --bin parrot -- <args>`.
@@ -15,7 +16,7 @@
 //! (`--trace-out`, `--metrics-out`, `--profile`, `--jobs`, `-v`/`-q`);
 //! see [`parrot_bench::cli`].
 
-use parrot_core::{simulate, Model, SimReport};
+use parrot_core::{FaultPlan, Model, SimReport, SimRequest};
 use parrot_energy::metrics::cmpw_relative;
 use parrot_workloads::{all_apps, app_by_name, Workload};
 
@@ -33,6 +34,11 @@ fn main() {
             telemetry.finish();
             std::process::exit(code);
         }
+        Some("soak") => {
+            let code = soak(&args[1..]);
+            telemetry.finish();
+            std::process::exit(code);
+        }
         _ => usage(),
     }
     telemetry.finish();
@@ -40,7 +46,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]\n  parrot lint-traces [<APP> | --all] [--insts N]"
+        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json] [--fault-seed S --fault-rate R]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]\n  parrot lint-traces [<APP> | --all] [--insts N]\n  parrot soak [--model M] [--seed S] [--rates R1,R2,..] [--insts N] [--json]"
     );
     std::process::exit(2);
 }
@@ -127,11 +133,86 @@ fn run(args: &[String]) {
         return usage();
     };
     let wl = parse_app(app);
-    let r = simulate(parse_model(model), &wl, flag_insts(args));
+    let mut req = SimRequest::model(parse_model(model)).insts(flag_insts(args));
+    let seed = flag_u64(args, "--fault-seed");
+    let rate = flag_f64(args, "--fault-rate");
+    if seed.is_some() || rate.is_some() {
+        req = req.faults(FaultPlan::new(seed.unwrap_or(0)).rate(rate.unwrap_or(0.01)));
+    }
+    let r = req.run(&wl);
     if args.iter().any(|a| a == "--json") {
         println!("{}", r.to_json().to_json_pretty());
     } else {
         print_human(&r);
+        if let Some(fr) = &r.faults {
+            println!(
+                "  faults           {} injected / {} caught / {} benign (reconciled: {})",
+                fr.counters.total_injected(),
+                fr.counters.total_caught(),
+                fr.counters.total_benign(),
+                fr.reconciles()
+            );
+        }
+    }
+}
+
+fn flag_u64(args: &[String], flag: &str) -> Option<u64> {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .and_then(|w| w[1].parse().ok())
+}
+
+fn flag_f64(args: &[String], flag: &str) -> Option<f64> {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .and_then(|w| w[1].parse().ok())
+}
+
+/// Run a seeded fault-injection soak campaign across every registered
+/// application, record `results/soak.json`, and print the campaign table.
+/// Nonzero exit when any run's committed store log diverged from its
+/// fault-free twin or the fault accounting failed to reconcile — this is
+/// the CI gate for "degrade, never die".
+fn soak(args: &[String]) -> i32 {
+    use parrot_bench::soak::{run_soak, soak_path, SoakConfig};
+    let mut cfg = SoakConfig::from_env();
+    if let Some(m) = args.windows(2).find(|w| w[0] == "--model").map(|w| &w[1]) {
+        cfg = cfg.model(parse_model(m));
+    }
+    if let Some(s) = flag_u64(args, "--seed") {
+        cfg = cfg.seed(s);
+    }
+    if args.windows(2).any(|w| w[0] == "--insts") {
+        cfg = cfg.insts(flag_insts(args));
+    }
+    if let Some(spec) = args.windows(2).find(|w| w[0] == "--rates").map(|w| &w[1]) {
+        let rates: Vec<f64> = spec
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect();
+        if rates.is_empty() {
+            eprintln!("--rates expects a comma-separated list of probabilities");
+            return 2;
+        }
+        cfg = cfg.rates(&rates);
+    }
+    let report = run_soak(&cfg);
+    let path = soak_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let _ = std::fs::write(&path, report.to_json().to_json_pretty());
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json().to_json_pretty());
+    } else {
+        println!("{}", report.markdown());
+    }
+    parrot_telemetry::status!("(written to {})", path.display());
+    if report.passed() {
+        0
+    } else {
+        eprintln!("soak FAILED: store-log divergence or unreconciled fault accounting");
+        1
     }
 }
 
@@ -141,8 +222,8 @@ fn compare(args: &[String]) {
     };
     let wl = parse_app(app);
     let insts = flag_insts(args);
-    let ra = simulate(parse_model(a), &wl, insts);
-    let rb = simulate(parse_model(b), &wl, insts);
+    let ra = SimRequest::model(parse_model(a)).insts(insts).run(&wl);
+    let rb = SimRequest::model(parse_model(b)).insts(insts).run(&wl);
     println!("{:<20}{:>12}{:>12}{:>10}", app, ra.model, rb.model, "delta");
     let row = |label: &str, x: f64, y: f64, pct: bool| {
         let delta = if x != 0.0 { (y / x - 1.0) * 100.0 } else { 0.0 };
@@ -266,7 +347,7 @@ fn sweep(args: &[String]) {
         "model", "IPC", "energy", "cov", "tmr"
     );
     for m in Model::ALL {
-        let r = simulate(m, &wl, insts);
+        let r = SimRequest::model(m).insts(insts).run(&wl);
         let (cov, tmr) = r
             .trace
             .as_ref()

@@ -60,6 +60,23 @@ fn main() {
     }
     writeln!(md).unwrap();
 
+    writeln!(
+        md,
+        "## Fault injection — graceful degradation vs fault rate\n"
+    )
+    .unwrap();
+    match parrot_bench::soak::soak_markdown() {
+        Some(table) => md.push_str(&table),
+        None => writeln!(
+            md,
+            "No soak record yet: run `cargo run --release -p parrot-bench --bin\n\
+             parrot -- soak` to measure IPC/energy degradation under a seeded\n\
+             fault-injection campaign (see DESIGN.md §14)."
+        )
+        .unwrap(),
+    }
+    writeln!(md).unwrap();
+
     // ---- headline table ----
     writeln!(md, "## Headline comparisons (§1, §4.1)\n").unwrap();
     writeln!(md, "| comparison | paper | measured |").unwrap();

@@ -6,7 +6,7 @@
 //! (accepts the shared telemetry flags; see [`parrot_bench::cli`]).
 
 use parrot_bench::cli::Telemetry;
-use parrot_core::{simulate, Model};
+use parrot_core::{Model, SimRequest};
 use parrot_telemetry::verbose;
 use parrot_workloads::{app_by_name, Workload};
 
@@ -18,7 +18,7 @@ fn main() {
         let wl = Workload::build(&app_by_name(app).unwrap());
         for m in Model::ALL {
             let t0 = std::time::Instant::now();
-            let r = simulate(m, &wl, 150_000);
+            let r = SimRequest::model(m).insts(150_000).run(&wl);
             let cov = r.trace.as_ref().map(|t| t.coverage).unwrap_or(0.0);
             let tmr = r
                 .trace

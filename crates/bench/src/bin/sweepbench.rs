@@ -7,7 +7,7 @@
 //! (set `PARROT_INSTS` to change the per-run instruction budget, `--jobs`
 //! to change the parallel worker count).
 
-use parrot_bench::{cli::Telemetry, insts_budget, jobs, ResultSet};
+use parrot_bench::{cli::Telemetry, ResultSet, SweepConfig};
 use parrot_telemetry::json::Value;
 use parrot_telemetry::{metrics, profile, status, trace};
 
@@ -22,7 +22,7 @@ fn timed_sweep(insts: u64, jobs: usize, sinks: bool) -> f64 {
         profile::install(profile::Profiler::new());
     }
     let t0 = std::time::Instant::now();
-    let set = ResultSet::run_sweep_with(insts, jobs);
+    let set = ResultSet::run_sweep_with(&SweepConfig::new().insts(insts).jobs(jobs));
     let secs = t0.elapsed().as_secs_f64();
     assert!(!set.apps().is_empty());
     if sinks {
@@ -41,8 +41,9 @@ fn timed_sweep(insts: u64, jobs: usize, sinks: bool) -> f64 {
 
 fn main() {
     let (telemetry, _args) = Telemetry::from_args(std::env::args().skip(1).collect());
-    let insts = insts_budget();
-    let par = jobs().max(2);
+    let env = SweepConfig::from_env();
+    let insts = env.insts_value();
+    let par = env.jobs_value().max(2);
     let configs = [
         ("serial, no telemetry", 1usize, false),
         ("parallel, no telemetry", par, false),

@@ -52,7 +52,7 @@ impl Telemetry {
     /// (telemetry-free) arguments for the binary's own parser.
     ///
     /// Exits with a usage error on a flag missing its value. The sinks
-    /// are thread-local; the sweep harness (`ResultSet::run_sweep`)
+    /// are thread-local; the sweep harness (`ResultSet::run_sweep_with`)
     /// shards them per work item across its workers and merges the shards
     /// deterministically after the join, so sweeps stay parallel while
     /// being captured (see `parrot_telemetry::shard`).

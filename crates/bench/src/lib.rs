@@ -9,17 +9,18 @@
 //! EXPERIMENTS.md-ready report.
 //!
 //! ```no_run
-//! use parrot_bench::ResultSet;
+//! use parrot_bench::{ResultSet, SweepConfig};
 //! use parrot_core::Model;
 //!
-//! let set = ResultSet::load_or_run(); // cached, or a parallel sweep
+//! // Cached, or a parallel sweep, per PARROT_INSTS / PARROT_JOBS.
+//! let set = ResultSet::load_or_run_with(&SweepConfig::from_env());
 //! let gcc = set.get(Model::TON, "gcc");
 //! println!("TON on gcc: IPC {:.2}", gcc.ipc());
 //! ```
 
 #![warn(missing_docs)]
 
-use parrot_core::{simulate, Model, SimReport};
+use parrot_core::{FaultPlan, Model, SimReport, SimRequest};
 use parrot_energy::metrics::{cmpw_relative, geo_mean};
 use parrot_telemetry::json::Value;
 use parrot_telemetry::shard::SweepSession;
@@ -31,21 +32,19 @@ use std::sync::Mutex;
 
 pub mod cli;
 pub mod microbench;
+pub mod soak;
 
 /// Default committed-instruction budget per (model, app) run. Override with
 /// `PARROT_INSTS`.
-pub const DEFAULT_INSTS: u64 = 200_000;
+pub const DEFAULT_INSTS: u64 = parrot_core::DEFAULT_INSTS;
 
 /// Schema version of the sweep result-cache file. Bump on any change to the
 /// cache layout or to what the fingerprint covers.
 pub const CACHE_VERSION: u64 = 3;
 
-/// The instruction budget in effect.
+/// The instruction budget in effect ([`SweepConfig::from_env`]).
 pub fn insts_budget() -> u64 {
-    std::env::var("PARROT_INSTS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_INSTS)
+    SweepConfig::from_env().insts_value()
 }
 
 /// `--jobs` override; 0 means "not set".
@@ -57,24 +56,159 @@ pub fn set_jobs(n: usize) {
     JOBS.store(n, Ordering::Relaxed);
 }
 
-/// Sweep worker threads in effect: `--jobs N` if given, else `PARROT_JOBS`,
-/// else [`std::thread::available_parallelism`] (capped at 16).
+/// Sweep worker threads in effect ([`SweepConfig::from_env`]): `--jobs N`
+/// if given, else `PARROT_JOBS`, else
+/// [`std::thread::available_parallelism`] (capped at 16).
 pub fn jobs() -> usize {
-    let j = JOBS.load(Ordering::Relaxed);
-    if j > 0 {
-        return j;
+    SweepConfig::from_env().jobs_value()
+}
+
+/// Everything one sweep depends on: instruction budget, worker count,
+/// optional fault plan, and where the result cache lives.
+///
+/// This is the single home of the `PARROT_INSTS` / `PARROT_JOBS`
+/// environment parsing ([`SweepConfig::from_env`]) and of the cache
+/// fingerprint ([`SweepConfig::fingerprint`]). Fault-free configurations
+/// fingerprint identically to the pre-`SweepConfig` harness, so existing
+/// cache files remain valid; arming a [`FaultPlan`] extends the
+/// fingerprint with the plan's cache tag and lands in a separate file.
+///
+/// ```no_run
+/// use parrot_bench::{ResultSet, SweepConfig};
+/// use parrot_core::FaultPlan;
+///
+/// let clean = ResultSet::load_or_run_with(&SweepConfig::from_env());
+/// let faulted = ResultSet::run_sweep_with(
+///     &SweepConfig::new().insts(50_000).faults(FaultPlan::new(42).rate(0.05)),
+/// );
+/// let _ = (clean, faulted);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    insts: u64,
+    jobs: usize,
+    faults: Option<FaultPlan>,
+    cache_dir: Option<PathBuf>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self::new()
     }
-    if let Some(n) = std::env::var("PARROT_JOBS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&n: &usize| n > 0)
-    {
-        return n;
+}
+
+impl SweepConfig {
+    /// The default configuration: [`DEFAULT_INSTS`], automatic worker
+    /// count, no faults, cache under `results/`.
+    pub fn new() -> SweepConfig {
+        SweepConfig {
+            insts: DEFAULT_INSTS,
+            jobs: 0,
+            faults: None,
+            cache_dir: None,
+        }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16)
+
+    /// The configuration from the environment: `PARROT_INSTS` sets the
+    /// budget, the `--jobs` flag (via [`set_jobs`]) or `PARROT_JOBS` sets
+    /// the worker count. This is the only place those variables are
+    /// parsed.
+    pub fn from_env() -> SweepConfig {
+        let mut cfg = Self::new();
+        if let Some(n) = std::env::var("PARROT_INSTS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
+            cfg.insts = n;
+        }
+        let j = JOBS.load(Ordering::Relaxed);
+        if j > 0 {
+            cfg.jobs = j;
+        } else if let Some(n) = std::env::var("PARROT_JOBS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n: &usize| n > 0)
+        {
+            cfg.jobs = n;
+        }
+        cfg
+    }
+
+    /// Set the committed-instruction budget per (model, app) run.
+    pub fn insts(mut self, insts: u64) -> SweepConfig {
+        self.insts = insts;
+        self
+    }
+
+    /// Set the worker-thread count; 0 means "automatic"
+    /// ([`std::thread::available_parallelism`], capped at 16).
+    pub fn jobs(mut self, jobs: usize) -> SweepConfig {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Arm deterministic fault injection for every run of the sweep.
+    pub fn faults(mut self, plan: FaultPlan) -> SweepConfig {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the directory the result cache is written to (default:
+    /// `results/` under the repository root).
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> SweepConfig {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The committed-instruction budget in effect.
+    pub fn insts_value(&self) -> u64 {
+        self.insts
+    }
+
+    /// The effective worker count (0 resolved to the automatic default).
+    pub fn jobs_value(&self) -> usize {
+        if self.jobs > 0 {
+            return self.jobs;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16)
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The cache fingerprint of this configuration. Equal to
+    /// [`config_fingerprint`] when no faults are armed (existing cache
+    /// files stay valid — no `CACHE_VERSION` bump); a fault plan folds its
+    /// [`FaultPlan::cache_tag`] on top.
+    pub fn fingerprint(&self) -> u64 {
+        let base = config_fingerprint(self.insts);
+        match &self.faults {
+            None => base,
+            Some(p) => fnv1a(base, p.cache_tag().as_bytes()),
+        }
+    }
+
+    /// Where the result cache for this configuration lives.
+    pub fn cache_file(&self) -> PathBuf {
+        let name = format!("sweep_{}_{:016x}.json", self.insts, self.fingerprint());
+        match &self.cache_dir {
+            Some(d) => d.join(name),
+            None => PathBuf::from(env_root()).join("results").join(name),
+        }
+    }
+
+    fn request(&self, model: Model) -> SimRequest {
+        let mut req = SimRequest::model(model).insts(self.insts);
+        if let Some(p) = &self.faults {
+            req = req.faults(p.clone());
+        }
+        req
+    }
 }
 
 /// All results of a full sweep, keyed by (model, app).
@@ -85,12 +219,20 @@ pub struct ResultSet {
 }
 
 impl ResultSet {
-    /// Load the cached sweep for the current budget and configuration
-    /// fingerprint, or run it (in parallel) and cache it under `results/`.
+    /// Load the cached sweep for the environment's budget and the current
+    /// configuration fingerprint, or run it (in parallel) and cache it
+    /// under `results/`. Equivalent to
+    /// `load_or_run_with(&SweepConfig::from_env())`.
     pub fn load_or_run() -> ResultSet {
-        let insts = insts_budget();
-        let fp = config_fingerprint(insts);
-        let path = cache_path(insts, fp);
+        Self::load_or_run_with(&SweepConfig::from_env())
+    }
+
+    /// Load the cached sweep matching `cfg`'s fingerprint, or run it (in
+    /// parallel) and cache it at [`SweepConfig::cache_file`].
+    pub fn load_or_run_with(cfg: &SweepConfig) -> ResultSet {
+        let insts = cfg.insts_value();
+        let fp = cfg.fingerprint();
+        let path = cfg.cache_file();
         if let Ok(text) = std::fs::read_to_string(&path) {
             if let Some(runs) = parse_report_cache(&text, fp) {
                 let map = runs
@@ -104,9 +246,9 @@ impl ResultSet {
             "no cached sweep at {} — running {} simulations on {} workers",
             path.display(),
             all_apps().len() * Model::ALL.len(),
-            jobs()
+            cfg.jobs_value()
         );
-        let set = Self::run_sweep(insts);
+        let set = Self::run_sweep_with(cfg);
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
@@ -123,12 +265,17 @@ impl ResultSet {
         set
     }
 
-    /// Run the full (model × app) sweep on [`jobs`] worker threads.
+    /// Run the full (model × app) sweep on the environment's worker count.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `ResultSet::run_sweep_with(&SweepConfig::new().insts(n))`"
+    )]
     pub fn run_sweep(insts: u64) -> ResultSet {
-        Self::run_sweep_with(insts, jobs())
+        Self::run_sweep_with(&SweepConfig::from_env().insts(insts))
     }
 
-    /// Run the full (model × app) sweep on exactly `jobs` worker threads.
+    /// Run the full (model × app) sweep described by `cfg` on
+    /// [`SweepConfig::jobs_value`] worker threads.
     ///
     /// The scheduler is a small work-stealing pool: applications form one
     /// shared queue and every idle worker steals the next unclaimed one, so
@@ -142,10 +289,11 @@ impl ResultSet {
     /// on the calling thread) after the join — so
     /// `--trace-out`/`--metrics-out`/`--profile` capture parallel sweeps
     /// without a serial tax.
-    pub fn run_sweep_with(insts: u64, jobs: usize) -> ResultSet {
+    pub fn run_sweep_with(cfg: &SweepConfig) -> ResultSet {
+        let insts = cfg.insts_value();
         let apps = all_apps();
         let session = SweepSession::begin();
-        let workers = jobs.clamp(1, apps.len());
+        let workers = cfg.jobs_value().clamp(1, apps.len());
         let next = AtomicUsize::new(0);
         let results: Mutex<BTreeMap<(String, String), SimReport>> = Mutex::new(BTreeMap::new());
         std::thread::scope(|s| {
@@ -162,7 +310,7 @@ impl ResultSet {
                     let wl = Workload::build(&apps[i]);
                     let mut local = Vec::with_capacity(Model::ALL.len());
                     for m in Model::ALL {
-                        local.push(simulate(m, &wl, insts));
+                        local.push(cfg.request(m).run(&wl));
                     }
                     if let Some(sess) = session {
                         sess.collect_item(i, w);
@@ -201,6 +349,21 @@ impl ResultSet {
         all_apps()
     }
 
+    /// The generic suite aggregator behind every per-suite figure: the
+    /// geometric mean of a per-application value over a suite (or over all
+    /// apps when `suite` is `None`). [`ResultSet::suite_ratio`],
+    /// [`ResultSet::suite_metric`] and [`ResultSet::suite_cmpw`] are thin
+    /// wrappers.
+    pub fn suite_agg(&self, suite: Option<Suite>, f: impl Fn(&AppProfile) -> f64) -> f64 {
+        let vals: Vec<f64> = self
+            .apps()
+            .iter()
+            .filter(|a| suite.is_none_or(|s| a.suite == s))
+            .map(f)
+            .collect();
+        geo_mean(&vals)
+    }
+
     /// Per-app ratio `f(model run) / f(base run)`, geometrically averaged
     /// over a suite (or all apps when `suite` is `None`).
     pub fn suite_ratio(
@@ -210,21 +373,15 @@ impl ResultSet {
         base: Model,
         f: impl Fn(&SimReport) -> f64,
     ) -> f64 {
-        let vals: Vec<f64> = self
-            .apps()
-            .iter()
-            .filter(|a| suite.is_none_or(|s| a.suite == s))
-            .map(|a| {
-                let num = f(self.get(model, a.name));
-                let den = f(self.get(base, a.name));
-                if den == 0.0 {
-                    1.0
-                } else {
-                    num / den
-                }
-            })
-            .collect();
-        geo_mean(&vals)
+        self.suite_agg(suite, |a| {
+            let num = f(self.get(model, a.name));
+            let den = f(self.get(base, a.name));
+            if den == 0.0 {
+                1.0
+            } else {
+                num / den
+            }
+        })
     }
 
     /// Geometric mean of a per-run metric over a suite (or all apps).
@@ -234,42 +391,33 @@ impl ResultSet {
         model: Model,
         f: impl Fn(&SimReport) -> f64,
     ) -> f64 {
-        let vals: Vec<f64> = self
-            .apps()
-            .iter()
-            .filter(|a| suite.is_none_or(|s| a.suite == s))
-            .map(|a| f(self.get(model, a.name)))
-            .collect();
-        geo_mean(&vals)
+        self.suite_agg(suite, |a| f(self.get(model, a.name)))
     }
 
     /// CMPW of `model` relative to `base`, suite geomean.
     pub fn suite_cmpw(&self, suite: Option<Suite>, model: Model, base: Model) -> f64 {
-        let vals: Vec<f64> = self
-            .apps()
-            .iter()
-            .filter(|a| suite.is_none_or(|s| a.suite == s))
-            .map(|a| {
-                cmpw_relative(
-                    &self.get(base, a.name).summary(),
-                    &self.get(model, a.name).summary(),
-                )
-            })
-            .collect();
-        geo_mean(&vals)
+        self.suite_agg(suite, |a| {
+            cmpw_relative(
+                &self.get(base, a.name).summary(),
+                &self.get(model, a.name).summary(),
+            )
+        })
     }
 }
 
-/// 64-bit FNV-1a fingerprint of everything a sweep result depends on: the
-/// cache schema version, the instruction budget, every machine-model
-/// configuration, and every workload profile. Editing any of those changes
-/// the fingerprint, so stale caches can never be served silently.
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(h, |h, b| {
+        (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// 64-bit FNV-1a fingerprint of everything a fault-free sweep result
+/// depends on: the cache schema version, the instruction budget, every
+/// machine-model configuration, and every workload profile. Editing any of
+/// those changes the fingerprint, so stale caches can never be served
+/// silently. ([`SweepConfig::fingerprint`] additionally folds in the fault
+/// plan, when one is armed.)
 pub fn config_fingerprint(insts: u64) -> u64 {
-    fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
-        bytes.iter().fold(h, |h, b| {
-            (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3)
-        })
-    }
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     h = fnv1a(h, format!("v{CACHE_VERSION};insts={insts}").as_bytes());
     for m in Model::ALL {
@@ -299,10 +447,6 @@ fn parse_report_cache(text: &str, fp: u64) -> Option<Vec<SimReport>> {
         .iter()
         .map(SimReport::from_json)
         .collect()
-}
-
-fn cache_path(insts: u64, fp: u64) -> PathBuf {
-    PathBuf::from(env_root()).join(format!("results/sweep_{insts}_{fp:016x}.json"))
 }
 
 fn env_root() -> String {
@@ -458,7 +602,7 @@ mod tests {
     #[test]
     fn sweep_with_sinks_installed_is_captured() {
         parrot_telemetry::metrics::install(parrot_telemetry::metrics::MetricsHub::new(1_000));
-        let set = ResultSet::run_sweep_with(2_000, 4);
+        let set = ResultSet::run_sweep_with(&SweepConfig::new().insts(2_000).jobs(4));
         let hub = parrot_telemetry::metrics::take().expect("merged hub reinstalled");
         assert!(hub.rows() > 0, "parallel sweep recorded metric snapshots");
         let jsonl = hub.to_jsonl();
@@ -506,12 +650,105 @@ mod tests {
 
     #[test]
     fn sweep_runs_and_aggregates_on_tiny_budget() {
-        let set = ResultSet::run_sweep(2_000);
+        let set = ResultSet::run_sweep_with(&SweepConfig::new().insts(2_000));
         let r = set.get(Model::N, "gcc");
         assert_eq!(r.insts, 2_000);
         let ratio = set.suite_ratio(None, Model::N, Model::N, |r| r.ipc());
         assert!((ratio - 1.0).abs() < 1e-12, "self-ratio is 1");
         let cmpw = set.suite_cmpw(Some(Suite::SpecFp), Model::N, Model::N);
         assert!((cmpw - 1.0).abs() < 1e-12);
+        let agg = set.suite_agg(None, |a| set.get(Model::N, a.name).ipc());
+        let metric = set.suite_metric(None, Model::N, |r| r.ipc());
+        assert_eq!(agg.to_bits(), metric.to_bits(), "wrapper parity is exact");
+    }
+
+    #[test]
+    fn fault_free_sweep_config_fingerprints_like_the_legacy_harness() {
+        // The existing cache files under results/ must stay valid: a
+        // fault-free SweepConfig fingerprints exactly like the old
+        // (insts-only) path did. No CACHE_VERSION bump.
+        let cfg = SweepConfig::new().insts(DEFAULT_INSTS);
+        assert_eq!(cfg.fingerprint(), config_fingerprint(DEFAULT_INSTS));
+        assert!(cfg.cache_file().to_string_lossy().ends_with(&format!(
+            "results/sweep_{}_{:016x}.json",
+            DEFAULT_INSTS,
+            config_fingerprint(DEFAULT_INSTS)
+        )));
+        // Arming faults changes the fingerprint (separate cache file),
+        // and different plans get different files.
+        let a = SweepConfig::new().faults(FaultPlan::new(1));
+        let b = SweepConfig::new().faults(FaultPlan::new(2));
+        assert_ne!(a.fingerprint(), SweepConfig::new().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn new_sweep_api_is_byte_identical_to_the_legacy_entry_points() {
+        let cfg = SweepConfig::new().insts(1_500).jobs(2);
+        let new = ResultSet::run_sweep_with(&cfg);
+        let old = ResultSet::run_sweep(1_500);
+        for a in new.apps() {
+            for m in Model::ALL {
+                assert_eq!(
+                    new.get(m, a.name).to_json().to_json(),
+                    old.get(m, a.name).to_json().to_json(),
+                    "{m}/{} must be byte-identical across entry points",
+                    a.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn load_or_run_with_writes_and_reloads_the_cache_file() {
+        let dir = std::env::temp_dir().join(format!("parrot_sweepcfg_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SweepConfig::new().insts(1_000).jobs(2).cache_dir(&dir);
+        let first = ResultSet::load_or_run_with(&cfg);
+        let bytes = std::fs::read_to_string(cfg.cache_file()).expect("cache written");
+        assert!(
+            parse_report_cache(&bytes, cfg.fingerprint()).is_some(),
+            "cache round-trips through the parser"
+        );
+        let reloaded = ResultSet::load_or_run_with(&cfg);
+        for a in first.apps() {
+            for m in Model::ALL {
+                assert_eq!(
+                    first.get(m, a.name).to_json().to_json(),
+                    reloaded.get(m, a.name).to_json().to_json(),
+                    "reloaded {m}/{} must equal the freshly-run report",
+                    a.name
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_sweeps_degrade_but_match_the_clean_store_logs() {
+        let clean = ResultSet::run_sweep_with(&SweepConfig::new().insts(2_000).jobs(4));
+        let faulted = ResultSet::run_sweep_with(
+            &SweepConfig::new()
+                .insts(2_000)
+                .jobs(4)
+                .faults(FaultPlan::new(0x50AC).rate(0.2)),
+        );
+        let mut injected = 0;
+        for a in clean.apps() {
+            for m in Model::ALL {
+                let (c, f) = (clean.get(m, a.name), faulted.get(m, a.name));
+                assert_eq!(f.insts, c.insts, "{m}/{}: no lost instructions", a.name);
+                assert_eq!(
+                    f.store_log_hash, c.store_log_hash,
+                    "{m}/{}: store log must match the fault-free run",
+                    a.name
+                );
+                let fr = f.faults.as_ref().expect("fault report");
+                assert!(fr.reconciles(), "{m}/{}: accounting reconciles", a.name);
+                injected += fr.counters.total_injected();
+            }
+        }
+        assert!(injected > 0, "a 20% campaign must land faults somewhere");
     }
 }

@@ -5,7 +5,7 @@
 //! to the serial (`jobs = 1`) path, and the merged metrics stream's final
 //! row reconciles *exactly* with the aggregated per-run `SimReport`s.
 
-use parrot_bench::ResultSet;
+use parrot_bench::{ResultSet, SweepConfig};
 use parrot_core::SimReport;
 use parrot_telemetry::json::parse;
 use parrot_telemetry::shard::MERGED_RUN_LABEL;
@@ -47,11 +47,11 @@ fn report_bytes(set: &ResultSet) -> BTreeMap<(String, String), String> {
 #[test]
 fn parallel_sweep_with_sinks_matches_serial_and_reconciles() {
     install_all_sinks();
-    let serial = ResultSet::run_sweep_with(BUDGET, 1);
+    let serial = ResultSet::run_sweep_with(&SweepConfig::new().insts(BUDGET).jobs(1));
     let (_t1, serial_hub, _p1) = take_all_sinks();
 
     install_all_sinks();
-    let parallel = ResultSet::run_sweep_with(BUDGET, 4);
+    let parallel = ResultSet::run_sweep_with(&SweepConfig::new().insts(BUDGET).jobs(4));
     let (tracer, hub, profiler) = take_all_sinks();
 
     // (a) Byte-identical simulation results, serial vs parallel.
@@ -143,4 +143,63 @@ fn parallel_sweep_with_sinks_matches_serial_and_reconciles() {
         .map(|(c, _, _)| c)
         .sum();
     assert_eq!(per_worker, calls, "worker attribution covers every call");
+}
+
+#[test]
+fn faulted_sweep_fault_counters_reconcile_in_the_merged_jsonl() {
+    use parrot_core::{FaultKind, FaultPlan};
+    let _ = metrics::take();
+    metrics::install(metrics::MetricsHub::new(500));
+    let set = ResultSet::run_sweep_with(
+        &SweepConfig::new()
+            .insts(BUDGET)
+            .jobs(4)
+            .faults(FaultPlan::new(0xFA57).rate(0.25)),
+    );
+    let hub = metrics::take().expect("merged hub reinstalled");
+    let total = parse(hub.to_jsonl().lines().last().expect("rows")).expect("final row");
+    assert_eq!(total.get("run").as_str(), Some(MERGED_RUN_LABEL));
+
+    // Aggregate the per-run fault reports and demand the merged metrics
+    // stream reconcile with them exactly, kind by kind.
+    let mut want: BTreeMap<String, u64> = BTreeMap::new();
+    for a in set.apps() {
+        for m in parrot_core::Model::ALL {
+            let fr = set
+                .get(m, a.name)
+                .faults
+                .as_ref()
+                .expect("faulted sweeps report on every run");
+            assert!(fr.reconciles(), "{m}/{}", a.name);
+            for k in FaultKind::ALL {
+                *want.entry(k.injected_counter().to_string()).or_default() +=
+                    fr.counters.injected[k as usize];
+                *want.entry(k.caught_counter().to_string()).or_default() +=
+                    fr.counters.caught[k as usize];
+                *want.entry(k.benign_counter().to_string()).or_default() +=
+                    fr.counters.benign[k as usize];
+            }
+            *want.entry("fault:demoted".to_string()).or_default() += fr.counters.demoted;
+            *want.entry("fault:fellback".to_string()).or_default() += fr.counters.fellback;
+        }
+    }
+    let counter = |name: &str| total.get(name).as_u64().unwrap_or(0);
+    for (name, expected) in &want {
+        assert_eq!(
+            counter(name),
+            *expected,
+            "merged counter {name} must equal the per-run aggregate"
+        );
+    }
+    let mut injected_total = 0;
+    for k in FaultKind::ALL {
+        let (i, c, b) = (
+            counter(k.injected_counter()),
+            counter(k.caught_counter()),
+            counter(k.benign_counter()),
+        );
+        assert_eq!(i, c + b, "{}: merged injected == caught + benign", k.name());
+        injected_total += i;
+    }
+    assert!(injected_total > 0, "a 25% campaign must land faults");
 }

@@ -1,0 +1,488 @@
+//! Deterministic fault injection and graceful-degradation accounting.
+//!
+//! PARROT's hot subsystem (trace cache + dynamic optimizer) is an
+//! *accelerator*: the machine can always fall back to the cold I-cache
+//! pipeline. This module adversarially exercises that guarantee. A seeded
+//! [`FaultPlan`] drives a per-run [`FaultInjector`] that perturbs the trace
+//! machinery at defined points — bit-flips in cached uop encodings, hot-filter
+//! TID aliasing, spurious trace-cache invalidations, eviction storms, stale
+//! (path-corrupted) trace delivery, and corrupted optimizer rewrites — and
+//! the machine must *degrade, never die*: every injection is either caught
+//! (demotion, eviction, cold fallback) or provably benign, and the committed
+//! store log must match a fault-free run exactly.
+//!
+//! Determinism: the injector PRNG is seeded from `(plan seed, model, app)`,
+//! so campaigns are reproducible regardless of sweep parallelism or app
+//! ordering, and `injected == caught + benign` reconciles exactly per kind.
+
+use parrot_telemetry::json::Value;
+use parrot_telemetry::rng::Xorshift64Star;
+
+/// The number of fault kinds (array dimension of the counters).
+pub const NUM_FAULT_KINDS: usize = 6;
+
+/// One class of injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A bit-flip in the stored uop encoding of a cached trace frame,
+    /// injected at hot fetch. Caught by the cache's integrity tag: the
+    /// frame is evicted and fetch redirects to the cold pipeline.
+    BitFlip,
+    /// A hot-filter TID hash collision: an aliased key is bumped into the
+    /// victim's filter set. Benign by construction — filters only gate
+    /// *when* traces are constructed, never architectural state.
+    TidAlias,
+    /// A spurious invalidation of one resident trace frame. Benign: the
+    /// trace cache is a performance structure; execution refetches cold.
+    SpuriousInval,
+    /// An eviction storm wiping several consecutive trace-cache sets.
+    /// Benign for the same reason, at a larger performance cost.
+    EvictionStorm,
+    /// Stale-trace delivery: one recorded path direction of a cached frame
+    /// is flipped, so the frame no longer matches the program. Caught by
+    /// the fetch-time path match as a trace abort (atomic rollback).
+    StaleTrace,
+    /// A corrupted optimizer rewrite, applied after the pass pipeline but
+    /// before the mandatory translation-validation gate. Caught by the
+    /// gate as a demotion ([`parrot_trace::OptLevel::Demoted`]) unless the
+    /// mutation is provably semantics-preserving.
+    CorruptRewrite,
+}
+
+impl FaultKind {
+    /// Every kind, in canonical (counter-array) order.
+    pub const ALL: [FaultKind; NUM_FAULT_KINDS] = [
+        FaultKind::BitFlip,
+        FaultKind::TidAlias,
+        FaultKind::SpuriousInval,
+        FaultKind::EvictionStorm,
+        FaultKind::StaleTrace,
+        FaultKind::CorruptRewrite,
+    ];
+
+    /// Canonical short name (used in reports and metric names).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::BitFlip => "bitflip",
+            FaultKind::TidAlias => "tid_alias",
+            FaultKind::SpuriousInval => "spurious_inval",
+            FaultKind::EvictionStorm => "eviction_storm",
+            FaultKind::StaleTrace => "stale_trace",
+            FaultKind::CorruptRewrite => "corrupt_rewrite",
+        }
+    }
+
+    /// Telemetry counter name for injections of this kind.
+    pub fn injected_counter(self) -> &'static str {
+        match self {
+            FaultKind::BitFlip => "fault:injected:bitflip",
+            FaultKind::TidAlias => "fault:injected:tid_alias",
+            FaultKind::SpuriousInval => "fault:injected:spurious_inval",
+            FaultKind::EvictionStorm => "fault:injected:eviction_storm",
+            FaultKind::StaleTrace => "fault:injected:stale_trace",
+            FaultKind::CorruptRewrite => "fault:injected:corrupt_rewrite",
+        }
+    }
+
+    /// Telemetry counter name for caught (recovered-from) faults.
+    pub fn caught_counter(self) -> &'static str {
+        match self {
+            FaultKind::BitFlip => "fault:caught:bitflip",
+            FaultKind::TidAlias => "fault:caught:tid_alias",
+            FaultKind::SpuriousInval => "fault:caught:spurious_inval",
+            FaultKind::EvictionStorm => "fault:caught:eviction_storm",
+            FaultKind::StaleTrace => "fault:caught:stale_trace",
+            FaultKind::CorruptRewrite => "fault:caught:corrupt_rewrite",
+        }
+    }
+
+    /// Telemetry counter name for provably benign injections.
+    pub fn benign_counter(self) -> &'static str {
+        match self {
+            FaultKind::BitFlip => "fault:benign:bitflip",
+            FaultKind::TidAlias => "fault:benign:tid_alias",
+            FaultKind::SpuriousInval => "fault:benign:spurious_inval",
+            FaultKind::EvictionStorm => "fault:benign:eviction_storm",
+            FaultKind::StaleTrace => "fault:benign:stale_trace",
+            FaultKind::CorruptRewrite => "fault:benign:corrupt_rewrite",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            FaultKind::BitFlip => 0,
+            FaultKind::TidAlias => 1,
+            FaultKind::SpuriousInval => 2,
+            FaultKind::EvictionStorm => 3,
+            FaultKind::StaleTrace => 4,
+            FaultKind::CorruptRewrite => 5,
+        }
+    }
+
+    fn from_name(name: &str) -> Option<FaultKind> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// A seeded fault campaign description: which kinds fire, how often, and
+/// under which master seed. Cheap to clone; one plan drives every run of a
+/// sweep, with per-run injectors derived via [`FaultPlan::injector_for`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rate: f64,
+    enabled: [bool; NUM_FAULT_KINDS],
+}
+
+impl FaultPlan {
+    /// A plan with every fault kind enabled at a 1% per-opportunity rate.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rate: 0.01,
+            enabled: [true; NUM_FAULT_KINDS],
+        }
+    }
+
+    /// Set the per-opportunity injection probability (clamped to `0..=1`).
+    pub fn rate(mut self, rate: f64) -> FaultPlan {
+        self.rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Restrict the plan to exactly `kinds`.
+    pub fn only(mut self, kinds: &[FaultKind]) -> FaultPlan {
+        self.enabled = [false; NUM_FAULT_KINDS];
+        for k in kinds {
+            self.enabled[k.idx()] = true;
+        }
+        self
+    }
+
+    /// Disable one kind, keeping the rest.
+    pub fn without(mut self, kind: FaultKind) -> FaultPlan {
+        self.enabled[kind.idx()] = false;
+        self
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-opportunity injection probability.
+    pub fn rate_value(&self) -> f64 {
+        self.rate
+    }
+
+    /// Is `kind` enabled?
+    pub fn enabled(&self, kind: FaultKind) -> bool {
+        self.enabled[kind.idx()]
+    }
+
+    /// A canonical text form, folded into sweep-cache fingerprints so
+    /// faulted results never collide with fault-free ones.
+    pub fn cache_tag(&self) -> String {
+        let kinds: Vec<&str> = FaultKind::ALL
+            .into_iter()
+            .filter(|k| self.enabled(*k))
+            .map(|k| k.name())
+            .collect();
+        format!(
+            "seed={};rate={};kinds={}",
+            self.seed,
+            self.rate,
+            kinds.join(",")
+        )
+    }
+
+    /// Derive the injector for one `(model, app)` run. The derived seed
+    /// hashes the plan seed with both names, so each run draws an
+    /// independent, reproducible stream regardless of sweep parallelism.
+    pub fn injector_for(&self, model: &str, app: &str) -> FaultInjector {
+        let mut h = parrot_isa::corrupt::fnv1a_u64(0xcbf2_9ce4_8422_2325, self.seed);
+        for b in model.bytes().chain([0u8]).chain(app.bytes()) {
+            h = parrot_isa::corrupt::fnv1a(h, b);
+        }
+        FaultInjector {
+            plan: self.clone(),
+            rng: Xorshift64Star::seed_from_u64(h),
+            counters: FaultCounters::default(),
+        }
+    }
+}
+
+/// Per-kind injection/recovery tallies plus the aggregate recovery actions.
+///
+/// Invariant (checked by [`FaultCounters::reconciles`] and asserted by the
+/// soak harness): `injected[k] == caught[k] + benign[k]` for every kind.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Faults that actually landed in machine state, per kind.
+    pub injected: [u64; NUM_FAULT_KINDS],
+    /// Faults detected and recovered from, per kind.
+    pub caught: [u64; NUM_FAULT_KINDS],
+    /// Faults proven harmless (validated rewrite, performance-only
+    /// structure), per kind.
+    pub benign: [u64; NUM_FAULT_KINDS],
+    /// Frames demoted to their unoptimized form because of an injected
+    /// rewrite corruption.
+    pub demoted: u64,
+    /// Forced cold-pipeline fallbacks (caught bit-flips and stale traces).
+    pub fellback: u64,
+    /// Trace frames dropped by invalidations and eviction storms.
+    pub evicted_frames: u64,
+}
+
+impl FaultCounters {
+    /// Does `injected == caught + benign` hold for every kind?
+    pub fn reconciles(&self) -> bool {
+        (0..NUM_FAULT_KINDS).all(|i| self.injected[i] == self.caught[i] + self.benign[i])
+    }
+
+    /// Total injections across kinds.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Total caught across kinds.
+    pub fn total_caught(&self) -> u64 {
+        self.caught.iter().sum()
+    }
+
+    /// Total benign across kinds.
+    pub fn total_benign(&self) -> u64 {
+        self.benign.iter().sum()
+    }
+}
+
+/// The per-run fault source: a plan, a derived PRNG, and the counters.
+///
+/// The machine consults [`FaultInjector::roll`] at each defined injection
+/// point; draws happen in a fixed program order on the single-threaded
+/// machine loop, so a given `(plan, model, app)` triple always injects the
+/// same faults at the same opportunities.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Xorshift64Star,
+    /// Injection/recovery tallies (public: the machine records outcomes).
+    pub counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// The plan this injector was derived from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Draw at one injection opportunity for `kind`: `Some(entropy)` when
+    /// the fault fires (the caller uses the entropy word to pick victims
+    /// and mutations), `None` otherwise. Disabled kinds never fire and
+    /// consume no PRNG state, keeping single-kind campaigns comparable.
+    pub fn roll(&mut self, kind: FaultKind) -> Option<u64> {
+        if !self.plan.enabled(kind) {
+            return None;
+        }
+        if self.rng.chance(self.plan.rate) {
+            Some(self.rng.next_u64())
+        } else {
+            None
+        }
+    }
+
+    /// Record that a fault of `kind` actually landed in machine state.
+    pub fn note_injected(&mut self, kind: FaultKind) {
+        self.counters.injected[kind.idx()] += 1;
+    }
+
+    /// Record that an injected fault of `kind` was detected and recovered.
+    pub fn note_caught(&mut self, kind: FaultKind) {
+        self.counters.caught[kind.idx()] += 1;
+    }
+
+    /// Record that an injected fault of `kind` was provably harmless.
+    pub fn note_benign(&mut self, kind: FaultKind) {
+        self.counters.benign[kind.idx()] += 1;
+    }
+
+    /// Produce the serializable end-of-run report.
+    pub fn report(&self) -> FaultReport {
+        FaultReport {
+            seed: self.plan.seed,
+            rate: self.plan.rate,
+            counters: self.counters.clone(),
+        }
+    }
+}
+
+/// End-of-run fault accounting, embedded in
+/// [`crate::SimReport`](crate::SimReport) when a run was faulted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultReport {
+    /// Master campaign seed.
+    pub seed: u64,
+    /// Per-opportunity injection probability.
+    pub rate: f64,
+    /// The tallies.
+    pub counters: FaultCounters,
+}
+
+impl FaultReport {
+    /// Does `injected == caught + benign` hold for every kind?
+    pub fn reconciles(&self) -> bool {
+        self.counters.reconciles()
+    }
+
+    /// Serialize through the telemetry JSON writer (no serde).
+    pub fn to_json(&self) -> Value {
+        let per_kind = |a: &[u64; NUM_FAULT_KINDS]| {
+            Value::obj(
+                FaultKind::ALL
+                    .into_iter()
+                    .map(|k| (k.name(), Value::int(a[k.idx()]))),
+            )
+        };
+        Value::obj([
+            // Hex string: JSON numbers are f64, exact only up to 2^53.
+            ("seed", Value::Str(format!("{:016x}", self.seed))),
+            ("rate", Value::Num(self.rate)),
+            ("injected", per_kind(&self.counters.injected)),
+            ("caught", per_kind(&self.counters.caught)),
+            ("benign", per_kind(&self.counters.benign)),
+            ("demoted", Value::int(self.counters.demoted)),
+            ("fellback", Value::int(self.counters.fellback)),
+            ("evicted_frames", Value::int(self.counters.evicted_frames)),
+        ])
+    }
+
+    /// Inverse of [`FaultReport::to_json`]; `None` on a malformed value.
+    pub fn from_json(v: &Value) -> Option<FaultReport> {
+        let read = |field: &str| -> Option<[u64; NUM_FAULT_KINDS]> {
+            let mut a = [0u64; NUM_FAULT_KINDS];
+            let obj = v.get(field);
+            for k in FaultKind::ALL {
+                a[k.idx()] = obj.get(k.name()).as_u64()?;
+            }
+            let _ = FaultKind::from_name; // from_name kept for symmetry/tools
+            Some(a)
+        };
+        Some(FaultReport {
+            seed: u64::from_str_radix(v.get("seed").as_str()?, 16).ok()?,
+            rate: v.get("rate").as_f64()?,
+            counters: FaultCounters {
+                injected: read("injected")?,
+                caught: read("caught")?,
+                benign: read("benign")?,
+                demoted: v.get("demoted").as_u64()?,
+                fellback: v.get("fellback").as_u64()?,
+                evicted_frames: v.get("evicted_frames").as_u64()?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_and_accessors() {
+        let p = FaultPlan::new(7)
+            .rate(0.5)
+            .only(&[FaultKind::BitFlip, FaultKind::StaleTrace]);
+        assert_eq!(p.seed(), 7);
+        assert!((p.rate_value() - 0.5).abs() < 1e-12);
+        assert!(p.enabled(FaultKind::BitFlip));
+        assert!(p.enabled(FaultKind::StaleTrace));
+        assert!(!p.enabled(FaultKind::TidAlias));
+        let q = p.clone().without(FaultKind::BitFlip);
+        assert!(!q.enabled(FaultKind::BitFlip));
+        assert!(q.enabled(FaultKind::StaleTrace));
+        assert_eq!(FaultPlan::new(1).rate(7.0).rate_value(), 1.0, "clamped");
+    }
+
+    #[test]
+    fn cache_tag_distinguishes_plans() {
+        let a = FaultPlan::new(1).rate(0.01);
+        let b = FaultPlan::new(2).rate(0.01);
+        let c = FaultPlan::new(1).rate(0.02);
+        let d = FaultPlan::new(1).rate(0.01).only(&[FaultKind::BitFlip]);
+        let tags = [a.cache_tag(), b.cache_tag(), c.cache_tag(), d.cache_tag()];
+        for i in 0..tags.len() {
+            for j in i + 1..tags.len() {
+                assert_ne!(tags[i], tags[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn injector_streams_are_deterministic_and_run_scoped() {
+        let plan = FaultPlan::new(42).rate(0.3);
+        let draws = |model: &str, app: &str| {
+            let mut inj = plan.injector_for(model, app);
+            (0..200)
+                .map(|_| inj.roll(FaultKind::BitFlip))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draws("TOW", "gcc"), draws("TOW", "gcc"), "reproducible");
+        assert_ne!(draws("TOW", "gcc"), draws("TOW", "swim"), "per-app");
+        assert_ne!(draws("TON", "gcc"), draws("TOW", "gcc"), "per-model");
+    }
+
+    #[test]
+    fn disabled_kinds_never_fire_and_consume_no_state() {
+        let plan = FaultPlan::new(9).rate(1.0).only(&[FaultKind::BitFlip]);
+        let mut inj = plan.injector_for("TOW", "gcc");
+        assert!(inj.roll(FaultKind::TidAlias).is_none());
+        assert!(inj.roll(FaultKind::BitFlip).is_some());
+        // A disabled roll must not perturb the stream: two injectors, one
+        // interleaving disabled rolls, draw identical enabled sequences.
+        let mut a = plan.injector_for("TOW", "swim");
+        let mut b = plan.injector_for("TOW", "swim");
+        let seq_a: Vec<_> = (0..50).map(|_| a.roll(FaultKind::BitFlip)).collect();
+        let seq_b: Vec<_> = (0..50)
+            .map(|_| {
+                let _ = b.roll(FaultKind::EvictionStorm);
+                b.roll(FaultKind::BitFlip)
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn counters_reconcile_and_report_roundtrips() {
+        // Seed above 2^53 exercises the hex-string serialization path.
+        let mut inj = FaultPlan::new(0xdead_beef_dead_beef).injector_for("TOW", "gcc");
+        inj.note_injected(FaultKind::BitFlip);
+        inj.note_caught(FaultKind::BitFlip);
+        inj.note_injected(FaultKind::TidAlias);
+        inj.note_benign(FaultKind::TidAlias);
+        inj.counters.demoted = 1;
+        inj.counters.fellback = 2;
+        inj.counters.evicted_frames = 3;
+        let r = inj.report();
+        assert!(r.reconciles());
+        assert_eq!(r.counters.total_injected(), 2);
+        assert_eq!(r.counters.total_caught(), 1);
+        assert_eq!(r.counters.total_benign(), 1);
+        let v = parrot_telemetry::json::parse(&r.to_json().to_json()).expect("parse");
+        assert_eq!(FaultReport::from_json(&v), Some(r.clone()));
+        assert!(FaultReport::from_json(&Value::Null).is_none());
+        // Non-reconciling counters are detectable.
+        let mut bad = r;
+        bad.counters.injected[0] += 1;
+        assert!(!bad.reconciles());
+    }
+
+    #[test]
+    fn counter_names_are_consistent() {
+        for k in FaultKind::ALL {
+            assert!(k.injected_counter().ends_with(k.name()));
+            assert!(k.caught_counter().ends_with(k.name()));
+            assert!(k.benign_counter().ends_with(k.name()));
+            assert_eq!(FaultKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::from_name("nope"), None);
+    }
+}

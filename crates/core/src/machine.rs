@@ -8,11 +8,13 @@
 //! for aborts — a rollback that re-executes the trace's instructions on the
 //! cold pipeline, exactly matching the paper's atomic-commit semantics.
 
+use crate::faults::{FaultInjector, FaultKind};
 use crate::models::{MachineConfig, Model, TraceConfig};
 use crate::report::{OptReport, SimReport, TraceReport};
 use parrot_energy::{EnergyAccount, EnergyModel, Event};
-use parrot_isa::{Uop, UopKind};
-use parrot_opt::Optimizer;
+use parrot_isa::corrupt::fnv1a_u64;
+use parrot_isa::{ExecClass, Uop, UopKind};
+use parrot_opt::{GateDecision, Optimizer};
 use parrot_telemetry::{metrics, profile, trace as tev};
 use parrot_trace::{
     construct_frame, CounterFilter, OptLevel, TraceCache, TraceCandidate, TracePredictor,
@@ -106,6 +108,7 @@ impl TraceState {
         wl: &Workload,
         model: &EnergyModel,
         acct: &mut EnergyAccount,
+        faults: &mut Option<FaultInjector>,
     ) {
         let kind = wl.program.inst(d.inst).kind;
         acct.emit(model, Event::SelectorStep);
@@ -115,6 +118,18 @@ impl TraceState {
             self.tpred.observe(&cand.tid);
             acct.emit(model, Event::HotFilterAccess);
             let count = self.hot_filter.bump(cand.tid.key());
+            if let Some(inj) = faults {
+                if let Some(r) = inj.roll(FaultKind::TidAlias) {
+                    // A TID hash collision: bump a colliding key into this
+                    // set, stealing counter capacity (and possibly a way)
+                    // from legitimate TIDs. Benign by construction — the
+                    // filter only gates *when* traces get constructed.
+                    let alias = self.hot_filter.alias_key(cand.tid.key(), r);
+                    self.hot_filter.bump(alias);
+                    inj.note_injected(FaultKind::TidAlias);
+                    inj.note_benign(FaultKind::TidAlias);
+                }
+            }
             if self.tc.contains(&cand.tid) {
                 // The exact recorded path just executed: the frame is live.
                 self.tc.revalidate(&cand.tid);
@@ -154,6 +169,16 @@ pub struct Machine<'w> {
     /// is a hot (trace-cache) segment.
     phase_start: u64,
     phase_hot: bool,
+    /// Armed fault injector (None for fault-free runs: zero overhead, and
+    /// trace-cache integrity tagging stays disabled).
+    faults: Option<FaultInjector>,
+    /// FNV-1a hash over the effective addresses of store uops, accumulated
+    /// at queue-push time (program order, schedule-independent). Aborted
+    /// traces push nothing, so this log captures exactly the architecturally
+    /// committed stores — the graceful-degradation correctness witness.
+    store_hash: u64,
+    /// Number of store uops folded into `store_hash`.
+    store_count: u64,
 }
 
 impl<'w> Machine<'w> {
@@ -167,6 +192,18 @@ impl<'w> Machine<'w> {
     /// studies, custom machines). The report's `model` field carries
     /// `cfg.name`.
     pub fn from_config(cfg: MachineConfig, wl: &'w Workload, max_insts: u64) -> Machine<'w> {
+        Self::from_config_faults(cfg, wl, max_insts, None)
+    }
+
+    /// As [`Machine::from_config`], optionally arming a fault injector
+    /// (enables trace-cache integrity tagging). Reached via
+    /// [`crate::SimRequest::faults`].
+    pub(crate) fn from_config_faults(
+        cfg: MachineConfig,
+        wl: &'w Workload,
+        max_insts: u64,
+        faults: Option<FaultInjector>,
+    ) -> Machine<'w> {
         let mut cores = vec![OooCore::new(cfg.core)];
         if let Some(hc) = cfg.hot_core {
             cores.push(OooCore::new(hc));
@@ -178,6 +215,15 @@ impl<'w> Machine<'w> {
             .map(|t| t.hot_fetch_uops)
             .unwrap_or(cfg.core.decode_uops)
             .max(cfg.core.decode_uops) as usize;
+        let mut trace = cfg.trace.map(TraceState::new);
+        if faults.is_some() {
+            // Fingerprint-tag every cached frame so injected encoding
+            // corruption is detectable at hot fetch. Off by default: a
+            // fault-free run does zero extra work and stays byte-identical.
+            if let Some(ts) = &mut trace {
+                ts.tc.set_integrity(true);
+            }
+        }
         Machine {
             label: cfg.name.clone(),
             frontend: ColdFrontEnd::new(cfg.core, cfg.bpred),
@@ -189,7 +235,7 @@ impl<'w> Machine<'w> {
             cold_model,
             hot_model,
             acct: EnergyAccount::new(),
-            trace: cfg.trace.map(TraceState::new),
+            trace,
             now: 0,
             active_side: Side::Cold,
             dispatch_blocked_until: 0,
@@ -198,6 +244,9 @@ impl<'w> Machine<'w> {
             hot_block_cursor: 0,
             phase_start: 0,
             phase_hot: false,
+            faults,
+            store_hash: 0xcbf2_9ce4_8422_2325,
+            store_count: 0,
             wl,
         }
     }
@@ -274,6 +323,16 @@ impl<'w> Machine<'w> {
                     s.inconclusive_lint + s.inconclusive_equiv,
                 );
             }
+        }
+        if let Some(inj) = &self.faults {
+            let c = &inj.counters;
+            for k in FaultKind::ALL {
+                metrics::counter_set(k.injected_counter(), c.injected[k as usize]);
+                metrics::counter_set(k.caught_counter(), c.caught[k as usize]);
+                metrics::counter_set(k.benign_counter(), c.benign[k as usize]);
+            }
+            metrics::counter_set("fault:demoted", c.demoted);
+            metrics::counter_set("fault:fellback", c.fellback);
         }
         metrics::counter_set("state_switches", self.switches);
         metrics::gauge_set("energy", self.acct.total());
@@ -389,6 +448,10 @@ impl<'w> Machine<'w> {
             &mut self.cold_buf,
         );
         while let Some(d) = self.cold_buf.pop_front() {
+            if matches!(d.class, ExecClass::Store) {
+                self.store_count += 1;
+                self.store_hash = fnv1a_u64(self.store_hash, d.eff_addr);
+            }
             self.queue.push_back((Side::Cold, d));
         }
         let after = self.oracle.cursor();
@@ -396,7 +459,14 @@ impl<'w> Machine<'w> {
             ts.cold_insts += after - before;
             for seq in before..after {
                 let d = self.oracle.get(seq).expect("recently consumed");
-                ts.observe_inst(&d, seq, self.wl, &self.cold_model, &mut self.acct);
+                ts.observe_inst(
+                    &d,
+                    seq,
+                    self.wl,
+                    &self.cold_model,
+                    &mut self.acct,
+                    &mut self.faults,
+                );
             }
         }
     }
@@ -418,6 +488,28 @@ impl<'w> Machine<'w> {
         let start_pc = next.pc;
         let ts = self.trace.as_mut().expect("trace state");
         ts.attempts += 1;
+
+        // Pre-lookup fault window: structural cache faults (spurious
+        // invalidations, eviction storms) land between trace executions.
+        // Both are benign by construction — the trace cache is a
+        // performance structure, so losing frames only costs cycles.
+        if let Some(inj) = &mut self.faults {
+            if let Some(r) = inj.roll(FaultKind::SpuriousInval) {
+                if ts.tc.invalidate_nth((r >> 8) as usize).is_some() {
+                    inj.note_injected(FaultKind::SpuriousInval);
+                    inj.note_benign(FaultKind::SpuriousInval);
+                    inj.counters.evicted_frames += 1;
+                }
+            }
+            if let Some(r) = inj.roll(FaultKind::EvictionStorm) {
+                let dropped = ts.tc.storm(r >> 8, 4);
+                if dropped > 0 {
+                    inj.note_injected(FaultKind::EvictionStorm);
+                    inj.note_benign(FaultKind::EvictionStorm);
+                    inj.counters.evicted_frames += dropped as u64;
+                }
+            }
+        }
 
         self.acct.emit(&self.cold_model, Event::TpredLookup);
         let pending_key = ts.selector.pending_tid().map(|t| t.key());
@@ -470,8 +562,44 @@ impl<'w> Machine<'w> {
             ts.tpred_issued += 1;
         }
 
+        // Delivery fault window: the chosen frame is about to stream.
+        let mut stale_at: Option<(usize, u64)> = None;
+        if let Some(inj) = &mut self.faults {
+            if let Some(r) = inj.roll(FaultKind::BitFlip) {
+                if ts.tc.corrupt_uop_in(&chosen, r) {
+                    inj.note_injected(FaultKind::BitFlip);
+                    // The insert-time fingerprint covers every uop field,
+                    // so the gate below must detect the mutation.
+                    debug_assert!(!ts.tc.verify_integrity(&chosen));
+                }
+            }
+            // Integrity gate: a frame whose stored encoding no longer
+            // matches its insert-time fingerprint must never stream into
+            // the pipeline. Evict it and redirect fetch to the cold path.
+            if !ts.tc.verify_integrity(&chosen) {
+                inj.note_caught(FaultKind::BitFlip);
+                inj.counters.fellback += 1;
+                ts.tc.invalidate(&chosen);
+                tev::instant(
+                    "fault.caught",
+                    "trace",
+                    tev::track::TRACE,
+                    tev::arg1("evicted", 1.0),
+                );
+                self.frontend.redirect(now, ts.cfg.abort_penalty);
+                self.hot_block_cursor = self.oracle.cursor() + 1;
+                return true;
+            }
+            if let Some(r) = inj.roll(FaultKind::StaleTrace) {
+                if let Some(idx) = ts.tc.corrupt_path_in(&chosen, r) {
+                    inj.note_injected(FaultKind::StaleTrace);
+                    stale_at = Some((idx, r));
+                }
+            }
+        }
+
         // Match the chosen trace's recorded path against the oracle.
-        let (diverge, frame_len, num_insts) = {
+        let (mut diverge, frame_len, num_insts) = {
             let frame = ts.tc.peek(&chosen).expect("resident");
             let mut diverge = None;
             for (k, (pc, taken)) in frame.path.iter().enumerate() {
@@ -485,6 +613,16 @@ impl<'w> Machine<'w> {
             }
             (diverge, frame.uops.len() as u64, frame.num_insts)
         };
+        if let Some((idx, r)) = stale_at {
+            // The staleness is a *delivery* fault: restore the stored path
+            // (flipping the same index back) so the resident frame stays
+            // pristine for future, un-faulted attempts.
+            let _ = ts.tc.corrupt_path_in(&chosen, r);
+            // Even if the flipped path accidentally matched the committed
+            // stream, the delivered copy's compiled uops still assert the
+            // original direction at `idx`: the atomic trace aborts there.
+            diverge = Some(diverge.map_or(idx, |k| k.min(idx)));
+        }
 
         if let Some(k) = diverge {
             // Trace mispredict: the frame streams into the pipe and aborts
@@ -493,6 +631,14 @@ impl<'w> Machine<'w> {
             // oracle cursor is not advanced).
             ts.aborts += 1;
             ts.tc.on_abort(&chosen);
+            if stale_at.is_some() {
+                // The injected stale trace was caught by the abort/rollback
+                // machinery: architectural state is untouched, execution
+                // falls back to the cold pipeline.
+                let inj = self.faults.as_mut().expect("stale fault was rolled");
+                inj.note_caught(FaultKind::StaleTrace);
+                inj.counters.fellback += 1;
+            }
             if used_prediction {
                 ts.pred_aborts += 1;
                 ts.tpred.score(false);
@@ -551,7 +697,42 @@ impl<'w> Machine<'w> {
                 ts.tc.peek(&chosen).map(|f| f.opt_level) == Some(OptLevel::Constructed);
             if qualifies && constructed_level && optz.is_idle(now) {
                 let mut f = ts.tc.peek(&chosen).expect("resident").clone();
-                let outcome = optz.optimize(&mut f, now);
+                let sabotage = self
+                    .faults
+                    .as_mut()
+                    .and_then(|inj| inj.roll(FaultKind::CorruptRewrite));
+                let mut mutated = false;
+                let outcome = match sabotage {
+                    // Corrupt the rewrite after the pass pipeline, right in
+                    // front of the mandatory translation-validation gate.
+                    Some(r) => optz.optimize_with(
+                        &mut f,
+                        now,
+                        Some(&mut |uops: &mut Vec<Uop>| {
+                            if uops.is_empty() {
+                                return;
+                            }
+                            let idx = (r % uops.len() as u64) as usize;
+                            mutated =
+                                parrot_isa::corrupt::corrupt_uop(&mut uops[idx], r >> 16).is_some();
+                        }),
+                    ),
+                    None => optz.optimize(&mut f, now),
+                };
+                if mutated {
+                    let inj = self.faults.as_mut().expect("sabotage was rolled");
+                    inj.note_injected(FaultKind::CorruptRewrite);
+                    if outcome.gate == GateDecision::Validated {
+                        // The mutation survived replay equivalence (same
+                        // live-outs, same store log): provably harmless.
+                        inj.note_benign(FaultKind::CorruptRewrite);
+                    } else {
+                        // The gate demoted the frame back to its original
+                        // uops: the corruption never reaches execution.
+                        inj.note_caught(FaultKind::CorruptRewrite);
+                        inj.counters.demoted += 1;
+                    }
+                }
                 self.acct
                     .emit_n(&self.cold_model, Event::OptimizerUop, outcome.work_uops);
                 self.acct
@@ -593,7 +774,14 @@ impl<'w> Machine<'w> {
         ts.hot_insts += u64::from(num_insts);
         for seq in from..from + u64::from(num_insts) {
             let d = self.oracle.get(seq).expect("recently consumed");
-            ts.observe_inst(&d, seq, self.wl, &self.cold_model, &mut self.acct);
+            ts.observe_inst(
+                &d,
+                seq,
+                self.wl,
+                &self.cold_model,
+                &mut self.acct,
+                &mut self.faults,
+            );
         }
         for (du, ar) in dus.iter_mut().zip(&addr_ref) {
             if let Some(ii) = ar {
@@ -634,7 +822,12 @@ impl<'w> Machine<'w> {
         };
         let mut n = 0;
         while n < width && run.pos < run.dus.len() && self.queue.len() < self.queue_cap {
-            self.queue.push_back((side, run.dus[run.pos]));
+            let du = run.dus[run.pos];
+            if matches!(du.class, ExecClass::Store) {
+                self.store_count += 1;
+                self.store_hash = fnv1a_u64(self.store_hash, du.eff_addr);
+            }
+            self.queue.push_back((side, du));
             self.acct.emit(&self.cold_model, Event::TcRead);
             run.pos += 1;
             n += 1;
@@ -751,18 +944,33 @@ impl<'w> Machine<'w> {
                 .map(|c| c.stats().issue_blocked_cycles)
                 .sum(),
             state_switches: self.switches,
+            store_log_hash: self.store_hash,
+            committed_stores: self.store_count,
+            faults: self.faults.as_ref().map(|inj| inj.report()),
             trace,
         }
     }
 }
 
 /// Simulate `max_insts` committed instructions of `wl` on `model`.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `SimRequest::model(model).insts(n).run(wl)`"
+)]
 pub fn simulate(model: Model, wl: &Workload, max_insts: u64) -> SimReport {
-    Machine::new(model, wl, max_insts).run()
+    crate::request::SimRequest::model(model)
+        .insts(max_insts)
+        .run(wl)
 }
 
 /// Simulate `max_insts` committed instructions of `wl` on an arbitrary
 /// machine configuration.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `SimRequest::config(cfg).insts(n).run(wl)`"
+)]
 pub fn simulate_config(cfg: MachineConfig, wl: &Workload, max_insts: u64) -> SimReport {
-    Machine::from_config(cfg, wl, max_insts).run()
+    crate::request::SimRequest::config(cfg)
+        .insts(max_insts)
+        .run(wl)
 }

@@ -1,6 +1,7 @@
 //! Simulation reports: everything the evaluation section (§4) needs from a
 //! run, serializable for the figure harness.
 
+use crate::faults::FaultReport;
 use parrot_energy::metrics::RunSummary;
 use parrot_energy::{EnergyAccount, Unit};
 use parrot_telemetry::json::Value;
@@ -221,6 +222,14 @@ pub struct SimReport {
     pub issue_blocked_cycles: u64,
     /// Split-core state switches (0 on unified machines).
     pub state_switches: u64,
+    /// FNV-1a hash over the effective addresses of committed store uops in
+    /// program order — the graceful-degradation witness: a faulted run must
+    /// match its fault-free twin exactly.
+    pub store_log_hash: u64,
+    /// Number of store uops folded into [`SimReport::store_log_hash`].
+    pub committed_stores: u64,
+    /// Fault-injection accounting (None for fault-free runs).
+    pub faults: Option<FaultReport>,
     /// Trace-subsystem results (None for `N`/`W`).
     pub trace: Option<TraceReport>,
 }
@@ -297,6 +306,19 @@ impl SimReport {
                 Value::int(self.issue_blocked_cycles),
             ),
             ("state_switches", Value::int(self.state_switches)),
+            // Hex string: JSON numbers are f64, exact only up to 2^53.
+            (
+                "store_log_hash",
+                Value::Str(format!("{:016x}", self.store_log_hash)),
+            ),
+            ("committed_stores", Value::int(self.committed_stores)),
+            (
+                "faults",
+                self.faults
+                    .as_ref()
+                    .map(FaultReport::to_json)
+                    .unwrap_or(Value::Null),
+            ),
             (
                 "trace",
                 self.trace
@@ -334,6 +356,18 @@ impl SimReport {
             iq_empty_cycles: v.get("iq_empty_cycles").as_u64()?,
             issue_blocked_cycles: v.get("issue_blocked_cycles").as_u64()?,
             state_switches: v.get("state_switches").as_u64()?,
+            // Lenient: reports cached before these fields existed parse as
+            // store-log-free, fault-free runs (no CACHE_VERSION bump).
+            store_log_hash: v
+                .get("store_log_hash")
+                .as_str()
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .unwrap_or(0),
+            committed_stores: v.get("committed_stores").as_u64().unwrap_or(0),
+            faults: match v.get("faults") {
+                Value::Null => None,
+                f => FaultReport::from_json(f),
+            },
             trace: match v.get("trace") {
                 Value::Null => None,
                 t => Some(TraceReport::from_json(t)?),
@@ -361,6 +395,9 @@ mod tests {
             iq_empty_cycles: 0,
             issue_blocked_cycles: 0,
             state_switches: 0,
+            store_log_hash: 0xdead_beef_dead_beef,
+            committed_stores: 17,
+            faults: None,
             trace: None,
         }
     }
@@ -413,6 +450,9 @@ mod tests {
         assert_eq!(back.insts, r.insts);
         assert_eq!(back.model, "N");
         assert_eq!(back.energy_by_unit, r.energy_by_unit);
+        assert_eq!(back.store_log_hash, 0xdead_beef_dead_beef);
+        assert_eq!(back.committed_stores, 17);
+        assert!(back.faults.is_none());
         let t = back.trace.expect("trace present");
         assert_eq!(t.entries, 42);
         let o = t.opt.expect("opt present");
@@ -421,6 +461,34 @@ mod tests {
         assert_eq!(o.demoted, 1);
         assert_eq!(o.inconclusive_lint, 1);
         assert_eq!(o.inconclusive_equiv, 0);
+    }
+
+    #[test]
+    fn legacy_reports_without_new_fields_still_parse() {
+        // Simulate a cache file written before the fault-injection fields
+        // existed: strip them and make sure parsing stays lenient.
+        let v = report().to_json();
+        let Value::Obj(mut m) = v else { unreachable!() };
+        m.remove("store_log_hash");
+        m.remove("committed_stores");
+        m.remove("faults");
+        let back = SimReport::from_json(&Value::Obj(m)).expect("lenient parse");
+        assert_eq!(back.store_log_hash, 0);
+        assert_eq!(back.committed_stores, 0);
+        assert!(back.faults.is_none());
+    }
+
+    #[test]
+    fn faulted_report_roundtrips() {
+        let mut r = report();
+        let mut inj = crate::FaultPlan::new(5).injector_for("TOW", "gcc");
+        inj.note_injected(crate::FaultKind::BitFlip);
+        inj.note_caught(crate::FaultKind::BitFlip);
+        r.faults = Some(inj.report());
+        let v = parrot_telemetry::json::parse(&r.to_json().to_json()).expect("parse back");
+        let back = SimReport::from_json(&v).expect("deserialize");
+        assert_eq!(back.faults, r.faults);
+        assert!(back.faults.expect("present").reconciles());
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! The builder-style simulation entry point.
+//!
+//! [`SimRequest`] replaces the old `simulate`/`simulate_config` free
+//! functions (kept as deprecated shims): one builder carries the machine
+//! description, the instruction budget, and an optional [`FaultPlan`],
+//! and [`SimRequest::run`] produces the [`SimReport`].
+//!
+//! ```no_run
+//! use parrot_core::{Model, SimRequest};
+//! use parrot_workloads::{app_by_name, Workload};
+//!
+//! let wl = Workload::build(&app_by_name("gcc").expect("registered"));
+//! let report = SimRequest::model(Model::TOW).insts(100_000).run(&wl);
+//! println!("{} IPC {:.3}", report.model, report.ipc());
+//! ```
+
+use crate::faults::FaultPlan;
+use crate::machine::Machine;
+use crate::models::{MachineConfig, Model};
+use crate::report::SimReport;
+use parrot_workloads::Workload;
+
+/// Default committed-instruction budget (matches the sweep default).
+pub const DEFAULT_INSTS: u64 = 200_000;
+
+/// A complete description of one simulation: machine, budget, faults.
+///
+/// Build with [`SimRequest::model`] or [`SimRequest::config`], refine with
+/// the chained setters, execute with [`SimRequest::run`].
+#[derive(Clone, Debug)]
+pub struct SimRequest {
+    cfg: MachineConfig,
+    insts: u64,
+    faults: Option<FaultPlan>,
+}
+
+impl SimRequest {
+    /// A request for one of the study's named models.
+    pub fn model(model: Model) -> SimRequest {
+        Self::config(model.config())
+    }
+
+    /// A request for an arbitrary machine configuration (ablations, design
+    /// studies, custom machines). The report's `model` field carries
+    /// `cfg.name`.
+    pub fn config(cfg: MachineConfig) -> SimRequest {
+        SimRequest {
+            cfg,
+            insts: DEFAULT_INSTS,
+            faults: None,
+        }
+    }
+
+    /// Set the committed-instruction budget (default [`DEFAULT_INSTS`]).
+    pub fn insts(mut self, insts: u64) -> SimRequest {
+        self.insts = insts;
+        self
+    }
+
+    /// Arm deterministic fault injection for this run. The injector seed is
+    /// derived from `(plan seed, model name, app name)`, so a given request
+    /// is reproducible regardless of scheduling or app order.
+    pub fn faults(mut self, plan: FaultPlan) -> SimRequest {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The instruction budget this request will simulate.
+    pub fn insts_budget(&self) -> u64 {
+        self.insts
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The machine configuration this request will build.
+    pub fn machine_config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Run the simulation to completion.
+    pub fn run(&self, wl: &Workload) -> SimReport {
+        let inj = self
+            .faults
+            .as_ref()
+            .map(|p| p.injector_for(&self.cfg.name, wl.profile.name));
+        Machine::from_config_faults(self.cfg.clone(), wl, self.insts, inj).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultKind;
+
+    #[test]
+    fn builder_defaults_and_setters() {
+        let r = SimRequest::model(Model::TOW);
+        assert_eq!(r.insts_budget(), DEFAULT_INSTS);
+        assert!(r.fault_plan().is_none());
+        assert_eq!(r.machine_config().name, Model::TOW.config().name);
+        let r = r
+            .insts(5_000)
+            .faults(FaultPlan::new(7).only(&[FaultKind::BitFlip]));
+        assert_eq!(r.insts_budget(), 5_000);
+        assert!(r.fault_plan().is_some_and(|p| p.seed() == 7));
+    }
+}

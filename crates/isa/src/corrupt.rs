@@ -1,0 +1,177 @@
+//! Fault-injection primitives over uop encodings: a canonical content
+//! fingerprint for cached uop sequences, and a deterministic single-uop
+//! corruptor used to model bit-flips in trace-cache storage and buggy
+//! optimizer rewrites.
+//!
+//! Both are pure functions of their inputs, so campaigns driven by a seeded
+//! PRNG are exactly reproducible.
+
+use crate::{Reg, Uop, UopKind};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One FNV-1a step over a single byte.
+pub fn fnv1a(hash: u64, byte: u8) -> u64 {
+    (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME)
+}
+
+/// Fold a `u64` into an FNV-1a hash, little-endian byte order.
+pub fn fnv1a_u64(hash: u64, v: u64) -> u64 {
+    v.to_le_bytes().iter().fold(hash, |h, b| fnv1a(h, *b))
+}
+
+/// Canonical content fingerprint of a uop sequence.
+///
+/// Covers every semantic field of every uop (kind including nested SIMD
+/// lanes and fused sub-operations, destination, sources, immediate,
+/// instruction ordinal and memory slot), so any single-field mutation made
+/// by [`corrupt_uop`] changes the fingerprint. The trace cache stores this
+/// as an integrity tag when fault injection is armed.
+pub fn fingerprint(uops: &[Uop]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for u in uops {
+        // The derived Debug form spells out every field, giving a canonical
+        // encoding without maintaining a parallel serializer.
+        for b in format!("{u:?}").bytes() {
+            h = fnv1a(h, b);
+        }
+        h = fnv1a(h, 0xff); // uop separator
+    }
+    fnv1a_u64(h, uops.len() as u64)
+}
+
+/// Rotate a register within its class (int→int, fp→fp, virt→virt) so the
+/// result is always a *different*, still-valid register. Flags are left
+/// alone: flags dataflow is structural, not a storable operand bit pattern.
+fn rotate_reg(r: Reg, k: u64) -> Reg {
+    let i = r.index() as u64;
+    if r.is_int() {
+        Reg::int(((i + 1 + k % 14) % 16) as u8)
+    } else if r.is_fp() {
+        Reg::fp(((i - 16 + 1 + k % 14) % 16) as u8)
+    } else if r.is_virtual() {
+        Reg::virt(((i - 64 + 1 + k % 126) % 128) as u8)
+    } else {
+        r
+    }
+}
+
+/// Deterministically corrupt one uop in place, selecting the mutation from
+/// the random word `r`. Returns a static label describing the mutation, or
+/// `None` when no field of this uop could be changed (the caller should
+/// then treat the injection as not having fired).
+///
+/// Mutations are confined to fields the downstream safety nets observe —
+/// the immediate, a register operand, or the operation itself — so a
+/// corrupted uop is either caught (fingerprint mismatch, lint failure,
+/// validation failure) or provably semantics-preserving.
+pub fn corrupt_uop(u: &mut Uop, r: u64) -> Option<&'static str> {
+    let before = u.clone();
+    // Try the selected mutation first, falling through the remaining ones
+    // deterministically until something actually changes the uop.
+    for attempt in 0..4u64 {
+        let variant = (r.wrapping_add(attempt)) % 4;
+        let salt = r >> 8;
+        let what = match variant {
+            0 => {
+                let bit = 1i64 << (salt % 63);
+                u.imm = Some(u.imm.unwrap_or(0) ^ bit);
+                "imm-bitflip"
+            }
+            1 => {
+                if let Some(d) = u.dst {
+                    u.dst = Some(rotate_reg(d, salt));
+                }
+                "dst-rotate"
+            }
+            2 => {
+                if let Some(s) = u.srcs.iter().flatten().next().copied() {
+                    u.srcs[0] = Some(rotate_reg(s, salt));
+                }
+                "src-rotate"
+            }
+            _ => {
+                u.kind = UopKind::Nop;
+                "kind-drop"
+            }
+        };
+        if *u != before {
+            return Some(what);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AluOp;
+
+    fn sample() -> Vec<Uop> {
+        vec![
+            Uop::alu(AluOp::Add, Reg::int(1), Reg::int(2), Reg::int(3)),
+            Uop::mov_imm(Reg::int(4), 42),
+            Uop::store(Reg::int(4), Reg::int(5)),
+        ]
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_order_sensitive() {
+        let a = sample();
+        assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+        let mut b = sample();
+        b.swap(0, 1);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&a[..2]));
+    }
+
+    #[test]
+    fn every_mutation_changes_the_fingerprint() {
+        for r in 0..64u64 {
+            let mut uops = sample();
+            let fp = fingerprint(&uops);
+            let which = r.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(r);
+            let idx = (r as usize) % uops.len();
+            if corrupt_uop(&mut uops[idx], which).is_some() {
+                assert_ne!(fingerprint(&uops), fp, "r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let mut a = sample();
+        let mut b = sample();
+        let la = corrupt_uop(&mut a[0], 7);
+        let lb = corrupt_uop(&mut b[0], 7);
+        assert_eq!(la, lb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rotate_reg_stays_in_class_and_changes() {
+        for n in 0..16 {
+            for k in 0..20u64 {
+                let r = rotate_reg(Reg::int(n), k);
+                assert!(r.is_int());
+                assert_ne!(r, Reg::int(n));
+                let f = rotate_reg(Reg::fp(n), k);
+                assert!(f.is_fp());
+                assert_ne!(f, Reg::fp(n));
+            }
+        }
+        assert_eq!(rotate_reg(Reg::FLAGS, 3), Reg::FLAGS);
+    }
+
+    #[test]
+    fn nop_with_no_operands_still_corruptible_via_imm() {
+        let mut u = Uop {
+            kind: UopKind::Nop,
+            ..Uop::mov_imm(Reg::int(0), 0)
+        };
+        u.dst = None;
+        u.imm = None;
+        assert!(corrupt_uop(&mut u, 3).is_some());
+    }
+}

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod absint;
+pub mod corrupt;
 pub mod decode;
 pub mod exec;
 mod inst;

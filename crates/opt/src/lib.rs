@@ -28,5 +28,7 @@ pub mod passes;
 pub mod validate;
 pub mod verify;
 
-pub use optimizer::{GateDecision, OptOutcome, Optimizer, OptimizerConfig, OptimizerStats};
+pub use optimizer::{
+    GateDecision, OptOutcome, Optimizer, OptimizerConfig, OptimizerStats, SabotageHook,
+};
 pub use passes::PassStats;

@@ -90,6 +90,10 @@ pub enum GateDecision {
     DemotedEquiv,
 }
 
+/// A fault-injection sabotage hook: mutates the rewritten uops between the
+/// pass pipeline and the validation gate (see [`Optimizer::optimize_with`]).
+pub type SabotageHook<'a> = &'a mut dyn FnMut(&mut Vec<parrot_isa::Uop>);
+
 /// Result of optimizing one trace.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct OptOutcome {
@@ -224,6 +228,20 @@ impl Optimizer {
     /// Either way the unit is occupied for `latency_cycles` and the frame
     /// carries a [`OptVerdict`].
     pub fn optimize(&mut self, frame: &mut TraceFrame, now: u64) -> OptOutcome {
+        self.optimize_with(frame, now, None)
+    }
+
+    /// [`Optimizer::optimize`] with an optional *sabotage* hook, applied to
+    /// the rewritten uops after the pass pipeline but **before** the
+    /// mandatory validation gate. Fault-injection campaigns use it to model
+    /// a buggy rewrite: the gate must then either demote the frame or prove
+    /// the mutation harmless — it can never ship an unvalidated rewrite.
+    pub fn optimize_with(
+        &mut self,
+        frame: &mut TraceFrame,
+        now: u64,
+        sabotage: Option<SabotageHook<'_>>,
+    ) -> OptOutcome {
         let _prof = profile::scope("opt.optimize");
         let mut out = OptOutcome {
             uops_before: frame.uops.len() as u32,
@@ -315,6 +333,13 @@ impl Optimizer {
             passes::schedule(&mut frame.uops);
             pass_work.push(("opt.schedule", track(&frame.uops)));
             debug_lint(&frame.uops, "schedule");
+        }
+
+        // Sabotage hook (fault injection): mutates the rewrite after the
+        // passes, without the per-pass debug lint — a corrupted rewrite is a
+        // legitimate input to the gate below, not a pass bug.
+        if let Some(sabotage) = sabotage {
+            sabotage(&mut frame.uops);
         }
 
         // Mandatory gate: every rewrite must lint clean and be statically
@@ -535,6 +560,55 @@ mod tests {
         assert_eq!(optz.stats().demoted, 1);
         assert_eq!(optz.stats().inconclusive_lint, 1);
         assert_eq!(optz.stats().inconclusive_equiv, 0);
+    }
+
+    #[test]
+    fn sabotaged_rewrite_is_demoted_or_provably_harmless() {
+        // Drive many traces through optimize_with a corrupting hook: the
+        // gate must catch every mutation it cannot prove equivalent, and a
+        // validated outcome must still replay identically to the original.
+        let mut optz = Optimizer::new(OptimizerConfig::full());
+        let mut caught = 0;
+        let mut benign = 0;
+        for (i, mut frame) in frames_for(&AppProfile::suite_base(Suite::SpecInt), 20_000)
+            .into_iter()
+            .enumerate()
+        {
+            let orig = frame.uops.clone();
+            let r = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            let mut mutated = false;
+            let out = optz.optimize_with(
+                &mut frame,
+                0,
+                Some(&mut |uops: &mut Vec<parrot_isa::Uop>| {
+                    if uops.is_empty() {
+                        return;
+                    }
+                    let idx = (r % uops.len() as u64) as usize;
+                    mutated = parrot_isa::corrupt::corrupt_uop(&mut uops[idx], r >> 8).is_some();
+                }),
+            );
+            if !mutated {
+                continue;
+            }
+            match out.gate {
+                GateDecision::Validated => {
+                    benign += 1;
+                    // Provably harmless: replay must agree with the original.
+                    check_equivalent_multi(&orig, &frame.uops, &frame.mem_addrs, &[3, 11])
+                        .unwrap_or_else(|e| panic!("validated sabotage diverges: {e}"));
+                }
+                _ => {
+                    caught += 1;
+                    assert_eq!(frame.opt_level, OptLevel::Demoted);
+                    assert_eq!(frame.uops, orig, "demotion restores original uops");
+                }
+            }
+        }
+        assert!(caught > 0, "corruption was never caught (caught={caught})");
+        // Benign outcomes are possible (mutating a dead field) but catching
+        // must dominate.
+        assert!(caught >= benign, "caught={caught} benign={benign}");
     }
 
     #[test]

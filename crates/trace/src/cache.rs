@@ -109,6 +109,10 @@ pub struct TraceCacheStats {
 struct Slot {
     frame: Option<TraceFrame>,
     stamp: u64,
+    /// Content fingerprint of the stored uops, written at insert/write-back
+    /// time when integrity checking is armed (0 otherwise). A mismatch at
+    /// fetch means the stored encoding was corrupted after write.
+    tag: u64,
 }
 
 /// The set-associative trace cache.
@@ -118,6 +122,10 @@ pub struct TraceCache {
     slots: Vec<Slot>,
     tick: u64,
     stats: TraceCacheStats,
+    /// When armed, every insert/write-back records a uop-content fingerprint
+    /// and [`TraceCache::verify_integrity`] checks it. Off by default: the
+    /// fault-free machine pays zero overhead and behaves bit-identically.
+    integrity: bool,
     /// Frames evicted after optimization, with their reuse counts — feeds
     /// the optimizer-utilization statistic even for evicted traces.
     pub retired_opt_reuse: Vec<u64>,
@@ -136,12 +144,45 @@ impl TraceCache {
                 .map(|_| Slot {
                     frame: None,
                     stamp: 0,
+                    tag: 0,
                 })
                 .collect(),
             tick: 0,
             stats: TraceCacheStats::default(),
+            integrity: false,
             retired_opt_reuse: Vec::new(),
         }
+    }
+
+    /// Arm or disarm storage-integrity tagging. Armed caches fingerprint
+    /// uops on insert/write-back so later corruption of the stored encoding
+    /// is detectable; disarmed caches (the default) skip all tag work.
+    pub fn set_integrity(&mut self, on: bool) {
+        self.integrity = on;
+    }
+
+    fn tag_for(integrity: bool, frame: &TraceFrame) -> u64 {
+        if integrity {
+            parrot_isa::corrupt::fingerprint(&frame.uops)
+        } else {
+            0
+        }
+    }
+
+    /// Does the stored encoding of `tid` still match the fingerprint taken
+    /// when it was written? Vacuously true when integrity tagging is
+    /// disarmed or the frame is absent.
+    pub fn verify_integrity(&self, tid: &Tid) -> bool {
+        if !self.integrity {
+            return true;
+        }
+        self.slots[self.set_range(tid)]
+            .iter()
+            .find(|s| s.frame.as_ref().is_some_and(|f| f.tid == *tid))
+            .is_none_or(|s| {
+                let f = s.frame.as_ref().expect("matched above");
+                parrot_isa::corrupt::fingerprint(&f.uops) == s.tag
+            })
     }
 
     /// The configuration.
@@ -259,6 +300,7 @@ impl TraceCache {
             }
         }
         slots[idx] = Slot {
+            tag: Self::tag_for(self.integrity, &frame),
             frame: Some(frame),
             stamp: tick,
         };
@@ -292,10 +334,12 @@ impl TraceCache {
         );
         let range = self.set_range(&frame.tid);
         let tick = self.tick;
+        let integrity = self.integrity;
         if let Some(slot) = self.slots[range]
             .iter_mut()
             .find(|s| s.frame.as_ref().is_some_and(|f| f.tid == frame.tid))
         {
+            slot.tag = Self::tag_for(integrity, &frame);
             slot.frame = Some(frame);
             slot.stamp = tick;
             self.stats.optimized_writebacks += 1;
@@ -303,6 +347,105 @@ impl TraceCache {
         } else {
             false
         }
+    }
+
+    /// Drop a resident frame (fault recovery or spurious invalidation).
+    /// Returns false if it was not resident. Counts as an eviction and,
+    /// for optimized frames, records reuse like any other eviction.
+    pub fn invalidate(&mut self, tid: &Tid) -> bool {
+        let range = self.set_range(tid);
+        let Some(slot) = self.slots[range]
+            .iter_mut()
+            .find(|s| s.frame.as_ref().is_some_and(|f| f.tid == *tid))
+        else {
+            return false;
+        };
+        let old = slot.frame.take().expect("matched above");
+        slot.tag = 0;
+        if old.opt_level == OptLevel::Optimized {
+            self.retired_opt_reuse.push(old.execs_since_opt);
+        }
+        self.stats.evictions += 1;
+        true
+    }
+
+    /// Invalidate the `n`-th resident frame in slot order (wrapping), as a
+    /// deterministic stand-in for "a random frame". Returns its TID, or
+    /// `None` when the cache is empty.
+    pub fn invalidate_nth(&mut self, n: usize) -> Option<Tid> {
+        let resident = self.len();
+        if resident == 0 {
+            return None;
+        }
+        let tid = self
+            .frames()
+            .nth(n % resident)
+            .map(|f| f.tid)
+            .expect("resident count checked");
+        self.invalidate(&tid);
+        Some(tid)
+    }
+
+    /// Eviction storm: drop every frame in `n_sets` consecutive sets
+    /// starting at `first_set` (wrapping). Returns the number of frames
+    /// dropped.
+    pub fn storm(&mut self, first_set: u64, n_sets: u32) -> usize {
+        let mut dropped = 0;
+        for s in 0..u64::from(n_sets.min(self.cfg.sets)) {
+            let set = ((first_set + s) % u64::from(self.cfg.sets)) as usize;
+            let base = set * self.cfg.ways as usize;
+            for slot in &mut self.slots[base..base + self.cfg.ways as usize] {
+                if let Some(old) = slot.frame.take() {
+                    slot.tag = 0;
+                    if old.opt_level == OptLevel::Optimized {
+                        self.retired_opt_reuse.push(old.execs_since_opt);
+                    }
+                    self.stats.evictions += 1;
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Corrupt one uop of the resident frame for `tid` in place — modelling
+    /// a storage bit-flip — *without* refreshing the integrity tag, so an
+    /// armed cache will detect the damage. The uop index and mutation are
+    /// derived from `r`. Returns false when nothing could be corrupted
+    /// (frame absent or no mutable encoding bits).
+    pub fn corrupt_uop_in(&mut self, tid: &Tid, r: u64) -> bool {
+        let range = self.set_range(tid);
+        let Some(frame) = self.slots[range]
+            .iter_mut()
+            .find_map(|s| s.frame.as_mut().filter(|f| f.tid == *tid))
+        else {
+            return false;
+        };
+        if frame.uops.is_empty() {
+            return false;
+        }
+        let idx = (r % frame.uops.len() as u64) as usize;
+        parrot_isa::corrupt::corrupt_uop(&mut frame.uops[idx], r >> 16).is_some()
+    }
+
+    /// Flip one recorded path direction of the resident frame for `tid` —
+    /// modelling delivery of a stale trace whose recorded path no longer
+    /// matches the program. The fetch-time path match then aborts the trace.
+    /// Returns the flipped path index (the caller must treat even an
+    /// accidental full match as an abort at that position: the frame's
+    /// compiled uops still assert the *original* direction there), or
+    /// `None` when the frame is absent or has an empty path.
+    pub fn corrupt_path_in(&mut self, tid: &Tid, r: u64) -> Option<usize> {
+        let range = self.set_range(tid);
+        let frame = self.slots[range]
+            .iter_mut()
+            .find_map(|s| s.frame.as_mut().filter(|f| f.tid == *tid))?;
+        if frame.path.is_empty() {
+            return None;
+        }
+        let idx = (r % frame.path.len() as u64) as usize;
+        frame.path[idx].1 = !frame.path[idx].1;
+        Some(idx)
     }
 
     /// Record a full-path match for `tid` (raises fetch confidence).
@@ -453,6 +596,73 @@ mod tests {
         assert!(tc.contains(&Tid::new(1)));
         assert!(tc.contains(&Tid::new(2)));
         assert_eq!(tc.stats().evictions, 0);
+    }
+
+    #[test]
+    fn integrity_detects_storage_corruption() {
+        use parrot_isa::{AluOp, Reg, Uop};
+        let mut tc = TraceCache::new(TraceCacheConfig::standard());
+        tc.set_integrity(true);
+        let mut f = frame(0x500);
+        f.uops = vec![Uop::alu(AluOp::Add, Reg::int(0), Reg::int(1), Reg::int(2))];
+        tc.insert(f);
+        let tid = Tid::new(0x500);
+        assert!(tc.verify_integrity(&tid), "clean frame verifies");
+        assert!(tc.corrupt_uop_in(&tid, 12345));
+        assert!(!tc.verify_integrity(&tid), "bit-flip detected");
+        assert!(tc.invalidate(&tid));
+        assert!(!tc.contains(&tid));
+        assert!(tc.verify_integrity(&tid), "absent frame is vacuously clean");
+        assert!(!tc.invalidate(&tid), "double invalidate is a no-op");
+    }
+
+    #[test]
+    fn disarmed_cache_skips_integrity() {
+        use parrot_isa::{AluOp, Reg, Uop};
+        let mut tc = TraceCache::new(TraceCacheConfig::standard());
+        let mut f = frame(0x600);
+        f.uops = vec![Uop::alu(AluOp::Add, Reg::int(0), Reg::int(1), Reg::int(2))];
+        tc.insert(f);
+        let tid = Tid::new(0x600);
+        assert!(tc.corrupt_uop_in(&tid, 7));
+        assert!(tc.verify_integrity(&tid), "disarmed: always clean");
+    }
+
+    #[test]
+    fn invalidate_nth_and_storm_drop_frames() {
+        let cfg = TraceCacheConfig { sets: 4, ways: 2 };
+        let mut tc = TraceCache::new(cfg);
+        for pc in 1..=6u64 {
+            tc.insert(frame(pc));
+        }
+        let before = tc.len();
+        let victim = tc.invalidate_nth(3).expect("resident frames exist");
+        assert_eq!(tc.len(), before - 1);
+        assert!(!tc.contains(&victim));
+        let dropped = tc.storm(0, 4);
+        assert_eq!(dropped, before - 1, "storm over all sets empties the cache");
+        assert!(tc.is_empty());
+        assert!(
+            tc.invalidate_nth(0).is_none(),
+            "empty cache: nothing to drop"
+        );
+        assert_eq!(tc.storm(0, 4), 0);
+    }
+
+    #[test]
+    fn corrupt_path_flips_one_direction() {
+        let mut tc = TraceCache::new(TraceCacheConfig::standard());
+        let mut f = frame(0x700);
+        f.path = vec![(0x700, true), (0x704, false)];
+        tc.insert(f);
+        let tid = Tid::new(0x700);
+        assert_eq!(tc.corrupt_path_in(&tid, 0), Some(0));
+        assert_eq!(tc.peek(&tid).unwrap().path[0], (0x700, false));
+        // Empty-path and absent frames cannot be corrupted.
+        tc.insert(frame(0x800));
+        assert_eq!(tc.corrupt_path_in(&Tid::new(0x800), 0), None);
+        assert_eq!(tc.corrupt_path_in(&Tid::new(0x999), 0), None);
+        assert!(!tc.corrupt_uop_in(&Tid::new(0x999), 0));
     }
 
     #[test]

@@ -147,6 +147,14 @@ impl CounterFilter {
             .unwrap_or(0)
     }
 
+    /// A different key guaranteed to index the same set as `key` — models a
+    /// TID hash collision for fault injection. Since `sets` is a power of
+    /// two, adding any multiple of it preserves the set index even across
+    /// wrap-around. `salt` varies which colliding key is produced.
+    pub fn alias_key(&self, key: u64, salt: u64) -> u64 {
+        key.wrapping_add(u64::from(self.cfg.sets) * (1 + salt % 7))
+    }
+
     /// Reset the counter for `key` (e.g. after acting on qualification).
     pub fn reset(&mut self, key: u64) {
         let set = (key % u64::from(self.cfg.sets)) as usize;
@@ -234,6 +242,18 @@ mod tests {
         f.bump(116); // different set likely; even same set, independent count
         assert_eq!(f.count(100), 1);
         assert_eq!(f.count(116), 1);
+    }
+
+    #[test]
+    fn alias_key_collides_in_set_but_differs() {
+        let f = filter(3);
+        for key in [0u64, 5, 1 << 40, u64::MAX - 3] {
+            for salt in 0..10 {
+                let alias = f.alias_key(key, salt);
+                assert_ne!(alias, key);
+                assert_eq!(alias % 16, key % 16, "same set");
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub struct FrontEndStats {
     pub fetched_uops: u64,
     /// I-cache misses.
     pub icache_misses: u64,
+    /// Fault-recovery redirects: restarts of cold fetch forced by a
+    /// corrupted or stale trace caught at hot fetch.
+    pub redirects: u64,
 }
 
 /// The cold front end: fetch + predict + decode for one machine.
@@ -91,6 +94,14 @@ impl ColdFrontEnd {
     /// restarts and state switches).
     pub fn block_until(&mut self, cycle: u64) {
         self.resume_at = self.resume_at.max(cycle);
+    }
+
+    /// Fault-recovery redirect: a corrupted or stale trace was caught at hot
+    /// fetch, so the machine falls back to cold fetch after `penalty`
+    /// cycles (the same pipeline-restart cost as a trace abort).
+    pub fn redirect(&mut self, now: u64, penalty: u32) {
+        self.resume_at = self.resume_at.max(now + u64::from(penalty));
+        self.stats.redirects += 1;
     }
 
     /// Fetch and decode one cycle's worth of instructions from the oracle,

@@ -8,13 +8,13 @@
 //!
 //! Run with: `cargo run --release -p parrot-examples --bin custom_workload`
 
-use parrot_core::{simulate, Model};
+use parrot_core::{Model, SimRequest};
 use parrot_workloads::{AppProfile, Suite, Workload};
 
 fn measure(label: &str, profile: &AppProfile) {
     let wl = Workload::build(profile);
-    let n = simulate(Model::N, &wl, 150_000);
-    let ton = simulate(Model::TON, &wl, 150_000);
+    let n = SimRequest::model(Model::N).insts(150_000).run(&wl);
+    let ton = SimRequest::model(Model::TON).insts(150_000).run(&wl);
     let t = ton.trace.as_ref().expect("trace report");
     println!("== {label} ==");
     println!(

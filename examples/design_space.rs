@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release -p parrot-examples --bin design_space`
 
-use parrot_core::{simulate, Model};
+use parrot_core::{Model, SimRequest};
 use parrot_energy::metrics::geo_mean;
 use parrot_workloads::{app_by_name, Workload};
 
@@ -29,7 +29,8 @@ fn main() {
     );
     let mut rows = Vec::new();
     for m in Model::ALL {
-        let runs: Vec<_> = workloads.iter().map(|wl| simulate(m, wl, insts)).collect();
+        let req = SimRequest::model(m).insts(insts);
+        let runs: Vec<_> = workloads.iter().map(|wl| req.run(wl)).collect();
         let ipc = geo_mean(&runs.iter().map(|r| r.ipc()).collect::<Vec<_>>());
         let energy = geo_mean(&runs.iter().map(|r| r.energy).collect::<Vec<_>>());
         rows.push((m, ipc, energy));

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release -p parrot-examples --bin hot_cold [app]`
 
-use parrot_core::{simulate, Model};
+use parrot_core::{Model, SimRequest};
 use parrot_workloads::{app_by_name, Workload};
 
 fn main() {
@@ -18,7 +18,7 @@ fn main() {
     });
 
     let wl = Workload::build(&profile);
-    let r = simulate(Model::TON, &wl, 250_000);
+    let r = SimRequest::model(Model::TON).insts(250_000).run(&wl);
     let t = r.trace.as_ref().expect("TON reports trace statistics");
 
     println!("== {} ({}) on TON ==\n", profile.name, profile.suite);

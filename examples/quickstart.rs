@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release -p parrot-examples --bin quickstart`
 
-use parrot_core::{simulate, Model};
+use parrot_core::{Model, SimRequest};
 use parrot_energy::metrics::cmpw_relative;
 use parrot_workloads::{app_by_name, Workload};
 
@@ -23,8 +23,8 @@ fn main() {
     );
 
     let insts = 200_000;
-    let baseline = simulate(Model::N, &workload, insts);
-    let parrot = simulate(Model::TON, &workload, insts);
+    let baseline = SimRequest::model(Model::N).insts(insts).run(&workload);
+    let parrot = SimRequest::model(Model::TON).insts(insts).run(&workload);
 
     println!("{:<28}{:>12}{:>12}", "", "N (base)", "TON (PARROT)");
     println!(

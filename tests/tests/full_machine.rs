@@ -2,21 +2,21 @@
 //! ordering relations the paper establishes in §4, on small instruction
 //! budgets so the suite stays fast.
 
-use parrot_core::{simulate, Model, SimReport};
+use parrot_core::{Model, SimReport, SimRequest};
 use parrot_workloads::{app_by_name, Workload};
 
 const BUDGET: u64 = 60_000;
 
 fn run(model: Model, app: &str) -> SimReport {
     let wl = Workload::build(&app_by_name(app).expect("registered app"));
-    simulate(model, &wl, BUDGET)
+    SimRequest::model(model).insts(BUDGET).run(&wl)
 }
 
 #[test]
 fn every_model_commits_the_full_budget() {
     let wl = Workload::build(&app_by_name("gzip").expect("app"));
     for m in Model::ALL {
-        let r = simulate(m, &wl, 20_000);
+        let r = SimRequest::model(m).insts(20_000).run(&wl);
         assert_eq!(r.insts, 20_000, "{m}: all instructions must commit");
         assert!(r.cycles > 0 && r.energy > 0.0, "{m}");
         assert!(r.uops >= r.insts, "{m}: at least one uop per instruction");
@@ -26,8 +26,8 @@ fn every_model_commits_the_full_budget() {
 #[test]
 fn simulation_is_deterministic() {
     let wl = Workload::build(&app_by_name("twolf").expect("app"));
-    let a = simulate(Model::TON, &wl, 30_000);
-    let b = simulate(Model::TON, &wl, 30_000);
+    let a = SimRequest::model(Model::TON).insts(30_000).run(&wl);
+    let b = SimRequest::model(Model::TON).insts(30_000).run(&wl);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.energy, b.energy);
     assert_eq!(a.uops, b.uops);

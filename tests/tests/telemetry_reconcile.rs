@@ -4,7 +4,7 @@
 //! the Chrome trace parses back and contains the expected span/instant
 //! families, and (c) the profiler saw the instrumented sections.
 
-use parrot_core::{simulate, Model, SimReport};
+use parrot_core::{Model, SimReport, SimRequest};
 use parrot_telemetry::json::parse;
 use parrot_telemetry::{metrics, profile, trace};
 use parrot_workloads::{app_by_name, Workload};
@@ -13,7 +13,7 @@ const BUDGET: u64 = 60_000;
 
 fn run_instrumented(app: &str) -> SimReport {
     let wl = Workload::build(&app_by_name(app).expect("registered app"));
-    simulate(Model::TON, &wl, BUDGET)
+    SimRequest::model(Model::TON).insts(BUDGET).run(&wl)
 }
 
 #[test]
@@ -99,7 +99,7 @@ fn split_core_model_emits_core_switch_instants() {
     let _ = trace::take();
     trace::install(trace::Tracer::new(1 << 16));
     let wl = Workload::build(&app_by_name("gzip").expect("registered app"));
-    let _ = simulate(Model::TOS, &wl, BUDGET);
+    let _ = SimRequest::model(Model::TOS).insts(BUDGET).run(&wl);
     let tr = trace::take().expect("tracer survives the run");
     let doc = parse(&tr.to_chrome_json()).expect("valid Chrome trace JSON");
     let events = doc.get("traceEvents").as_arr().expect("traceEvents array");
@@ -111,6 +111,43 @@ fn split_core_model_emits_core_switch_instants() {
         switches > 0,
         "TOS drain-based switching must surface as core.switch instants"
     );
+}
+
+#[test]
+fn fault_counters_reconcile_in_the_metrics_jsonl() {
+    use parrot_core::{FaultKind, FaultPlan};
+    let _ = metrics::take();
+    metrics::install(metrics::MetricsHub::new(10_000));
+    let wl = Workload::build(&app_by_name("swim").expect("registered app"));
+    let r = SimRequest::model(Model::TOW)
+        .insts(BUDGET)
+        .faults(FaultPlan::new(0xC0DE).rate(0.3))
+        .run(&wl);
+    let hub = metrics::take().expect("hub survives the run");
+    let last = hub.to_jsonl().lines().last().expect("rows").to_string();
+    let row = parse(&last).expect("final row parses");
+    let fr = r.faults.as_ref().expect("fault report");
+
+    let counter = |name: &str| row.get(name).as_u64().unwrap_or(0);
+    let mut injected_total = 0;
+    for k in FaultKind::ALL {
+        let (i, c, b) = (
+            counter(k.injected_counter()),
+            counter(k.caught_counter()),
+            counter(k.benign_counter()),
+        );
+        assert_eq!(i, c + b, "{}: injected == caught + benign", k.name());
+        assert_eq!(
+            i,
+            fr.counters.injected[k as usize],
+            "{} vs report",
+            k.name()
+        );
+        injected_total += i;
+    }
+    assert!(injected_total > 0, "the campaign must land faults");
+    assert_eq!(counter("fault:demoted"), fr.counters.demoted);
+    assert_eq!(counter("fault:fellback"), fr.counters.fellback);
 }
 
 #[test]
