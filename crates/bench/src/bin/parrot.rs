@@ -9,6 +9,8 @@
 //! $ parrot sweep gcc                      # all models on one application
 //! $ parrot lint-traces --all              # uop-IR lint + validation gate
 //! $ parrot soak --rates 0.01,0.1          # seeded fault-injection campaign
+//! $ parrot bench                          # record BENCH_cips.json baseline
+//! $ parrot bench --check                  # CI perf gate vs the baseline
 //! ```
 //!
 //! Run via `cargo run --release -p parrot-bench --bin parrot -- <args>`.
@@ -39,6 +41,11 @@ fn main() {
             telemetry.finish();
             std::process::exit(code);
         }
+        Some("bench") => {
+            let code = bench(&args[1..]);
+            telemetry.finish();
+            std::process::exit(code);
+        }
         _ => usage(),
     }
     telemetry.finish();
@@ -46,7 +53,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json] [--fault-seed S --fault-rate R]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]\n  parrot lint-traces [<APP> | --all] [--insts N]\n  parrot soak [--model M] [--seed S] [--rates R1,R2,..] [--insts N] [--json]"
+        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json] [--fault-seed S --fault-rate R]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]\n  parrot lint-traces [<APP> | --all] [--insts N]\n  parrot soak [--model M] [--seed S] [--rates R1,R2,..] [--insts N] [--json]\n  parrot bench [--insts N] [--check] [--tolerance T] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -212,6 +219,73 @@ fn soak(args: &[String]) -> i32 {
         0
     } else {
         eprintln!("soak FAILED: store-log divergence or unreconciled fault accounting");
+        1
+    }
+}
+
+/// Measure committed-instructions-per-second for every model with and
+/// without telemetry sinks. Default: rewrite the `BENCH_cips.json`
+/// baseline at the repository root (or `--out FILE`). With `--check`:
+/// leave the baseline untouched, write the fresh numbers to `--out FILE`
+/// if given, and exit nonzero when any model regressed more than the
+/// tolerance (default 10%) below the baseline — the CI perf gate.
+fn bench(args: &[String]) -> i32 {
+    use parrot_bench::cips;
+    let insts = flag_u64(args, "--insts").unwrap_or(cips::DEFAULT_BENCH_INSTS);
+    let tolerance = flag_f64(args, "--tolerance").unwrap_or(cips::REGRESSION_TOLERANCE);
+    let out = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| std::path::PathBuf::from(&w[1]));
+    let fresh = cips::measure(insts);
+    println!("{}", fresh.markdown());
+    if !args.iter().any(|a| a == "--check") {
+        let path = out.unwrap_or_else(cips::baseline_path);
+        if let Err(e) = std::fs::write(&path, fresh.to_json().to_json_pretty()) {
+            eprintln!("bench: cannot write {}: {e}", path.display());
+            return 1;
+        }
+        parrot_telemetry::status!("bench: recorded baseline at {}", path.display());
+        return 0;
+    }
+    if let Some(path) = &out {
+        let _ = std::fs::write(path, fresh.to_json().to_json_pretty());
+        parrot_telemetry::status!("bench: fresh measurement written to {}", path.display());
+    }
+    let base_path = cips::baseline_path();
+    let baseline = std::fs::read_to_string(&base_path)
+        .ok()
+        .and_then(|t| parrot_telemetry::json::parse(&t).ok())
+        .as_ref()
+        .and_then(cips::BenchReport::from_json);
+    let Some(baseline) = baseline else {
+        eprintln!(
+            "bench: no readable baseline at {} (run `parrot bench` and commit it)",
+            base_path.display()
+        );
+        return 1;
+    };
+    if baseline.insts_per_run != fresh.insts_per_run {
+        eprintln!(
+            "bench: warning: baseline measured at {} insts/run, fresh at {} — \
+             comparing rates anyway",
+            baseline.insts_per_run, fresh.insts_per_run
+        );
+    }
+    let regs = cips::regressions(&baseline, &fresh, tolerance);
+    if regs.is_empty() {
+        println!(
+            "bench: PASS — no model regressed more than {:.0}% vs {}",
+            tolerance * 100.0,
+            base_path.display()
+        );
+        0
+    } else {
+        eprintln!("bench: FAIL — CIPS regressions vs {}:", base_path.display());
+        for r in &regs {
+            eprintln!("  {r}");
+        }
+        eprintln!("(intentional? re-record with `parrot bench` and commit BENCH_cips.json)");
         1
     }
 }

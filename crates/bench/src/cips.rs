@@ -1,0 +1,373 @@
+//! Committed-instructions-per-second (CIPS) trajectory behind
+//! `parrot bench`.
+//!
+//! CIPS is the simulator's own throughput: how many instructions it
+//! commits per wall-clock second. Each model is measured twice over a
+//! fixed application batch at a pinned per-run budget — once bare and once
+//! with every telemetry sink installed (tracer, metrics hub, profiler) —
+//! so the numbers track both raw simulator speed and observability
+//! overhead across commits.
+//!
+//! The committed baseline lives at `BENCH_cips.json` in the repository
+//! root ([`baseline_path`]). `parrot bench` rewrites it;
+//! `parrot bench --check` measures fresh numbers and fails when any
+//! model's CIPS dropped more than [`REGRESSION_TOLERANCE`] below the
+//! baseline — that comparison is the CI perf gate.
+//!
+//! Timing reuses [`crate::microbench::measure`]: auto-calibrated iteration
+//! count, best of a few rounds, so a background hiccup inflates one round
+//! and gets discarded instead of polluting the trajectory.
+
+use crate::cli::{METRICS_INTERVAL, TRACE_CAP};
+use crate::microbench;
+use parrot_core::{Model, SimRequest};
+use parrot_telemetry::json::Value;
+use parrot_telemetry::{metrics, profile, status, trace};
+use parrot_workloads::{all_apps, Workload};
+use std::path::PathBuf;
+
+/// Default per-run committed-instruction budget for `parrot bench`. Small
+/// enough for CI (the full measurement is a few seconds in release), large
+/// enough that per-run constant costs do not dominate.
+pub const DEFAULT_BENCH_INSTS: u64 = 20_000;
+
+/// Relative CIPS drop versus the committed baseline that fails
+/// `parrot bench --check`.
+pub const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// Schema version of `BENCH_cips.json`. Bump on any layout change;
+/// `--check` refuses to compare across versions.
+pub const SCHEMA: u64 = 1;
+
+/// The fixed application batch: every 5th registered application, in
+/// registry order. Deterministic, spans the suites, and keeps the full
+/// measurement under CI-friendly wall clock.
+pub fn bench_apps() -> Vec<parrot_workloads::AppProfile> {
+    all_apps().into_iter().step_by(5).collect()
+}
+
+/// CIPS figures for one machine model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelCips {
+    /// Model name (`N`, `TON`, …).
+    pub model: String,
+    /// Committed instructions per second with no telemetry sinks.
+    pub cips_no_sinks: f64,
+    /// Committed instructions per second with tracer + metrics hub +
+    /// profiler all installed.
+    pub cips_all_sinks: f64,
+}
+
+impl ModelCips {
+    /// Slowdown factor of running with every sink installed (1.0 = free,
+    /// 1.5 = sinks cost 50% extra wall clock).
+    pub fn overhead(&self) -> f64 {
+        if self.cips_all_sinks > 0.0 {
+            self.cips_no_sinks / self.cips_all_sinks
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// One full CIPS measurement: every model, with and without sinks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Committed-instruction budget of each (model, app) run.
+    pub insts_per_run: u64,
+    /// `available_parallelism` of the measuring host (the runs themselves
+    /// are serial; this contextualizes cross-machine comparisons).
+    pub host_parallelism: u64,
+    /// Names of the applications in the measured batch.
+    pub apps: Vec<String>,
+    /// Per-model figures, in [`Model::ALL`] order.
+    pub models: Vec<ModelCips>,
+}
+
+/// Run the application batch once on `model`; returns total committed
+/// instructions (deterministic, so also the per-repetition total).
+fn run_batch(model: Model, insts: u64, workloads: &[Workload]) -> u64 {
+    workloads
+        .iter()
+        .map(|wl| SimRequest::model(model).insts(insts).run(wl).insts)
+        .sum()
+}
+
+/// Measure CIPS for every model at the given per-run budget. Any sinks the
+/// caller had installed are set aside for the duration (the bare
+/// measurement needs a sink-free thread) and reinstalled before returning.
+pub fn measure(insts: u64) -> BenchReport {
+    measure_models(insts, Model::ALL)
+}
+
+/// [`measure`] restricted to a model subset (test hook; `parrot bench`
+/// always measures all models so baselines stay comparable).
+pub fn measure_models(insts: u64, models_in: impl IntoIterator<Item = Model>) -> BenchReport {
+    let saved = (trace::take(), metrics::take(), profile::take());
+    let apps = bench_apps();
+    let workloads: Vec<Workload> = apps.iter().map(Workload::build).collect();
+    let picked: Vec<Model> = models_in.into_iter().collect();
+    let mut models: Vec<ModelCips> = picked
+        .iter()
+        .map(|m| ModelCips {
+            model: m.name().to_string(),
+            cips_no_sinks: 0.0,
+            cips_all_sinks: 0.0,
+        })
+        .collect();
+    // Two interleaved passes over the whole model set, keeping the best
+    // rate per configuration: host speed drifts on timescales longer than
+    // one model's measurement (frequency scaling, noisy neighbours), and
+    // spreading the repetitions out samples more than one such epoch.
+    for _pass in 0..2 {
+        for (m, row) in picked.iter().zip(models.iter_mut()) {
+            // Warm-up run doubles as the committed-instruction count (runs
+            // are deterministic, so one count covers every repetition).
+            let committed = run_batch(*m, insts, &workloads);
+            let bare = microbench::measure(|| run_batch(*m, insts, &workloads));
+            trace::install(trace::Tracer::new(TRACE_CAP));
+            metrics::install(metrics::MetricsHub::new(METRICS_INTERVAL));
+            profile::install(profile::Profiler::new());
+            let sunk = microbench::measure(|| run_batch(*m, insts, &workloads));
+            let _ = (trace::take(), metrics::take(), profile::take());
+            row.cips_no_sinks = row.cips_no_sinks.max(committed as f64 / bare.as_secs_f64());
+            row.cips_all_sinks = row
+                .cips_all_sinks
+                .max(committed as f64 / sunk.as_secs_f64());
+        }
+    }
+    for row in &models {
+        status!(
+            "bench: {:<4} {:>7.2}M CIPS bare, {:>7.2}M with sinks ({:.2}x)",
+            row.model,
+            row.cips_no_sinks / 1e6,
+            row.cips_all_sinks / 1e6,
+            row.overhead()
+        );
+    }
+    if let Some(t) = saved.0 {
+        trace::install(t);
+    }
+    if let Some(h) = saved.1 {
+        metrics::install(h);
+    }
+    if let Some(p) = saved.2 {
+        profile::install(p);
+    }
+    BenchReport {
+        insts_per_run: insts,
+        host_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+        apps: apps.iter().map(|a| a.name.to_string()).collect(),
+        models,
+    }
+}
+
+impl BenchReport {
+    /// The `BENCH_cips.json` document for this measurement.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("schema", Value::int(SCHEMA)),
+            ("insts_per_run", Value::int(self.insts_per_run)),
+            ("host_parallelism", Value::int(self.host_parallelism)),
+            (
+                "apps",
+                Value::Arr(self.apps.iter().map(|a| Value::Str(a.clone())).collect()),
+            ),
+            (
+                "models",
+                Value::Arr(
+                    self.models
+                        .iter()
+                        .map(|m| {
+                            Value::obj([
+                                ("model", Value::Str(m.model.clone())),
+                                ("cips_no_sinks", Value::Num(m.cips_no_sinks)),
+                                ("cips_all_sinks", Value::Num(m.cips_all_sinks)),
+                                ("overhead", Value::Num(m.overhead())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a `BENCH_cips.json` document; `None` on malformed input or a
+    /// schema-version mismatch.
+    pub fn from_json(v: &Value) -> Option<BenchReport> {
+        if v.get("schema").as_u64()? != SCHEMA {
+            return None;
+        }
+        Some(BenchReport {
+            insts_per_run: v.get("insts_per_run").as_u64()?,
+            host_parallelism: v.get("host_parallelism").as_u64().unwrap_or(1),
+            apps: v
+                .get("apps")
+                .as_arr()?
+                .iter()
+                .map(|a| a.as_str().map(str::to_string))
+                .collect::<Option<_>>()?,
+            models: v
+                .get("models")
+                .as_arr()?
+                .iter()
+                .map(|m| {
+                    Some(ModelCips {
+                        model: m.get("model").as_str()?.to_string(),
+                        cips_no_sinks: m.get("cips_no_sinks").as_f64()?,
+                        cips_all_sinks: m.get("cips_all_sinks").as_f64()?,
+                    })
+                })
+                .collect::<Option<_>>()?,
+        })
+    }
+
+    /// Markdown table of the per-model figures.
+    pub fn markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut md = String::new();
+        let _ = writeln!(
+            md,
+            "CIPS (committed instructions / second of simulator wall clock),\n\
+             {} apps x {} committed instructions per run:\n",
+            self.apps.len(),
+            self.insts_per_run
+        );
+        let _ = writeln!(md, "| model | no sinks | all sinks | overhead |");
+        let _ = writeln!(md, "|---|---|---|---|");
+        for m in &self.models {
+            let _ = writeln!(
+                md,
+                "| {} | {:.2}M | {:.2}M | {:.2}x |",
+                m.model,
+                m.cips_no_sinks / 1e6,
+                m.cips_all_sinks / 1e6,
+                m.overhead()
+            );
+        }
+        md
+    }
+}
+
+/// Where the committed CIPS baseline lives: `BENCH_cips.json` at the
+/// repository root.
+pub fn baseline_path() -> PathBuf {
+    PathBuf::from(crate::env_root()).join("BENCH_cips.json")
+}
+
+/// Compare a fresh measurement against the committed baseline. Returns one
+/// human-readable line per regression — a model whose CIPS (bare or with
+/// sinks) dropped more than `tolerance` below baseline. Empty means pass;
+/// models absent from the baseline are skipped (new models have nothing to
+/// regress against). CIPS is a rate, so differing budgets still compare,
+/// but [`BenchReport::insts_per_run`] mismatches are worth a warning at
+/// the call site.
+pub fn regressions(baseline: &BenchReport, fresh: &BenchReport, tolerance: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for f in &fresh.models {
+        let Some(b) = baseline.models.iter().find(|b| b.model == f.model) else {
+            continue;
+        };
+        let pairs = [
+            ("no sinks", b.cips_no_sinks, f.cips_no_sinks),
+            ("all sinks", b.cips_all_sinks, f.cips_all_sinks),
+        ];
+        for (what, base, now) in pairs {
+            if base > 0.0 && now < base * (1.0 - tolerance) {
+                out.push(format!(
+                    "{} ({what}): {:.2}M -> {:.2}M CIPS ({:+.1}%)",
+                    f.model,
+                    base / 1e6,
+                    now / 1e6,
+                    (now / base - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(no: f64, with: f64) -> BenchReport {
+        BenchReport {
+            insts_per_run: 20_000,
+            host_parallelism: 1,
+            apps: vec!["gcc".into()],
+            models: vec![ModelCips {
+                model: "TON".into(),
+                cips_no_sinks: no,
+                cips_all_sinks: with,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_report() {
+        let r = report(12_345_678.5, 9_876_543.25);
+        let text = r.to_json().to_json_pretty();
+        let back = BenchReport::from_json(&parrot_telemetry::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_rejects_other_schema_versions() {
+        let mut v = report(1e6, 1e6).to_json();
+        if let Value::Obj(m) = &mut v {
+            m.insert("schema".into(), Value::int(SCHEMA + 1));
+        }
+        assert!(BenchReport::from_json(&v).is_none());
+    }
+
+    #[test]
+    fn regressions_flag_drops_beyond_tolerance_only() {
+        let base = report(10e6, 8e6);
+        // 5% slower: within the 10% budget.
+        assert!(regressions(&base, &report(9.5e6, 7.6e6), 0.10).is_empty());
+        // 20% slower bare: one regression line.
+        let regs = regressions(&base, &report(8e6, 7.6e6), 0.10);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("TON (no sinks)"), "{regs:?}");
+        // Improvements never fail the gate.
+        assert!(regressions(&base, &report(20e6, 16e6), 0.10).is_empty());
+        // Models missing from the baseline are skipped.
+        let empty = BenchReport {
+            models: Vec::new(),
+            ..base.clone()
+        };
+        assert!(regressions(&empty, &report(1.0, 1.0), 0.10).is_empty());
+    }
+
+    #[test]
+    fn bench_apps_is_a_deterministic_suite_spanning_subset() {
+        let a = bench_apps();
+        let b = bench_apps();
+        assert!(!a.is_empty());
+        assert_eq!(
+            a.iter().map(|p| p.name).collect::<Vec<_>>(),
+            b.iter().map(|p| p.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn measure_produces_positive_rates() {
+        // One cheap model at a tiny budget: exercises the full measurement
+        // path (warm-up, bare, sinks installed and restored) in test time.
+        let r = measure_models(300, [Model::N]);
+        assert_eq!(r.models.len(), 1);
+        assert!(r.models[0].cips_no_sinks > 0.0);
+        assert!(r.models[0].cips_all_sinks > 0.0);
+        assert!(parrot_telemetry::trace::take().is_none(), "no sink leaked");
+    }
+
+    #[test]
+    fn markdown_lists_every_model() {
+        let md = report(10e6, 8e6).markdown();
+        assert!(md.contains("| TON |"), "{md}");
+        assert!(md.contains("1.25x"), "{md}");
+    }
+}

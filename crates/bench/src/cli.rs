@@ -4,11 +4,16 @@
 //!
 //! - `--trace-out FILE`   — write a Chrome/Perfetto trace-event JSON file
 //!   of the run (fetch phases, trace lifecycle, optimizer jobs).
+//! - `--sample N`         — keep 1-in-N trace events per event name (with
+//!   exact per-name correction counts in the file's `eventStats`
+//!   metadata); metrics counters are unaffected by sampling.
 //! - `--metrics-out FILE` — write JSONL metric snapshots taken every
 //!   `--metrics-interval N` committed instructions (default 10000).
 //! - `--profile`          — print a wall-clock self/total profile of the
-//!   simulator itself to stderr on exit (parallel sweeps add per-worker
-//!   attribution).
+//!   simulator itself to stderr on exit, with p50/p95/max per scope and
+//!   sampled cycle-loop stage attribution (parallel sweeps add per-worker
+//!   attribution). Combined with `--trace-out FILE.json`, also writes a
+//!   collapsed-stack flamegraph file next to it (`FILE.folded`).
 //! - `--jobs N`           — sweep worker threads (default
 //!   `available_parallelism`, env `PARROT_JOBS`).
 //! - `-v` / `-q`          — verbose / quiet logging (stderr only; stdout
@@ -33,10 +38,10 @@ use std::path::PathBuf;
 
 /// Default ring capacity of the event tracer (events, not bytes). Oldest
 /// events are dropped past this; the drop count is recorded in the file.
-const TRACE_CAP: usize = 1 << 18;
+pub const TRACE_CAP: usize = 1 << 18;
 
 /// Default metric-snapshot interval in committed instructions.
-const METRICS_INTERVAL: u64 = 10_000;
+pub const METRICS_INTERVAL: u64 = 10_000;
 
 /// Telemetry sinks requested on the command line. Created by
 /// [`Telemetry::from_args`]; flushed by [`Telemetry::finish`].
@@ -53,9 +58,9 @@ impl Telemetry {
     ///
     /// Exits with a usage error on a flag missing its value. The sinks
     /// are thread-local; the sweep harness (`ResultSet::run_sweep_with`)
-    /// shards them per work item across its workers and merges the shards
-    /// deterministically after the join, so sweeps stay parallel while
-    /// being captured (see `parrot_telemetry::shard`).
+    /// shards them per work item across its workers and drains the shards
+    /// deterministically at work-item boundaries, so sweeps stay parallel
+    /// while being captured (see `parrot_telemetry::shard`).
     pub fn from_args(args: Vec<String>) -> (Telemetry, Vec<String>) {
         let mut t = Telemetry {
             trace_out: None,
@@ -63,6 +68,7 @@ impl Telemetry {
             profile: false,
         };
         let mut interval = METRICS_INTERVAL;
+        let mut sample = 1u32;
         let mut rest = Vec::with_capacity(args.len());
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -82,6 +88,17 @@ impl Telemetry {
                     });
                     interval = v;
                 }
+                "--sample" => {
+                    let n = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u32| n > 0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--sample requires a positive integer");
+                            std::process::exit(2);
+                        });
+                    sample = n;
+                }
                 "--profile" => t.profile = true,
                 "--jobs" => {
                     let n = it
@@ -100,7 +117,9 @@ impl Telemetry {
             }
         }
         if t.trace_out.is_some() {
-            trace::install(trace::Tracer::new(TRACE_CAP));
+            let mut tr = trace::Tracer::new(TRACE_CAP);
+            tr.set_sample(sample);
+            trace::install(tr);
         }
         if t.metrics_out.is_some() {
             metrics::install(metrics::MetricsHub::new(interval));
@@ -112,7 +131,9 @@ impl Telemetry {
     }
 
     /// Flush every installed sink: write the trace-event JSON and metrics
-    /// JSONL files, print the profile table to stderr.
+    /// JSONL files, print the profile table to stderr, and — when both
+    /// `--profile` and `--trace-out` were given — write the collapsed-
+    /// stack flamegraph text next to the trace file.
     pub fn finish(self) {
         if let Some(path) = &self.trace_out {
             if let Some(tr) = trace::take() {
@@ -137,6 +158,16 @@ impl Telemetry {
         if self.profile {
             if let Some(p) = profile::take() {
                 eprint!("{}", p.report());
+                if let Some(trace_path) = &self.trace_out {
+                    let folded = trace_path.with_extension("folded");
+                    match std::fs::write(&folded, p.collapsed()) {
+                        Ok(()) => status!(
+                            "telemetry: wrote collapsed stacks to {} (feed to inferno/flamegraph.pl)",
+                            folded.display()
+                        ),
+                        Err(e) => eprintln!("telemetry: cannot write {}: {e}", folded.display()),
+                    }
+                }
             }
         }
     }
@@ -199,5 +230,17 @@ mod tests {
         // Installed sinks exist; drop them without writing.
         assert!(parrot_telemetry::trace::take().is_some());
         assert!(parrot_telemetry::metrics::take().is_some());
+    }
+
+    #[test]
+    fn sample_flag_configures_the_tracer() {
+        let args: Vec<String> = ["--trace-out", "/tmp/t2.json", "--sample", "8", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (_t, rest) = Telemetry::from_args(args);
+        assert_eq!(rest, ["x"]);
+        let tr = parrot_telemetry::trace::take().expect("tracer installed");
+        assert_eq!(tr.sample(), 8);
     }
 }

@@ -30,6 +30,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub mod cips;
 pub mod cli;
 pub mod microbench;
 pub mod soak;
@@ -474,13 +475,24 @@ pub fn sweep_timing_markdown() -> Option<String> {
     let host = v
         .get("host_parallelism")
         .as_u64()
-        .map(|n| format!(" on a host with {n} available core(s)"))
+        .map(|n| format!(" on a host with {n} detected core(s)"))
+        .unwrap_or_default();
+    let used = v
+        .get("jobs_used")
+        .as_u64()
+        .map(|n| format!(", parallel rows on {n} worker(s)"))
+        .unwrap_or_default();
+    let reps = v
+        .get("reps")
+        .as_u64()
+        .filter(|&r| r > 1)
+        .map(|r| format!(", best of {r}"))
         .unwrap_or_default();
     writeln!(
         md,
         "Measured with `cargo run --release -p parrot-bench --bin sweepbench`\n\
-         ({} runs at {insts} committed instructions each{host}; re-run it to\n\
-         refresh):\n",
+         ({} runs at {insts} committed instructions each{host}{used}{reps};\n\
+         re-run it to refresh):\n",
         all_apps().len() * Model::ALL.len()
     )
     .ok()?;

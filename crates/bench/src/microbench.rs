@@ -87,6 +87,33 @@ pub fn bench_with_setup<S, T>(
     }
 }
 
+/// Time `f` exactly like [`bench()`] — auto-calibrated iteration count,
+/// best of a few rounds — but return the best per-iteration time instead
+/// of printing a line. `parrot bench` builds its committed-instructions-per-
+/// second figures on this.
+pub fn measure<T>(mut f: impl FnMut() -> T) -> Duration {
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt >= MIN_ROUND || iters >= 1 << 30 {
+            let mut best = dt;
+            for _ in 1..ROUNDS {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                best = best.min(t0.elapsed());
+            }
+            return best / iters as u32;
+        }
+        iters *= 2;
+    }
+}
+
 fn report(group: &str, name: &str, total: Duration, iters: u64) {
     let per = total.as_nanos() as f64 / iters as f64;
     let (value, unit) = if per >= 1e6 {
@@ -114,5 +141,11 @@ mod tests {
         // Smoke: a trivial body completes and does not loop forever.
         bench("test", "noop", || 1u64 + 1);
         bench_with_setup("test", "setup", || vec![1u8; 16], |v| v.len());
+    }
+
+    #[test]
+    fn measure_returns_a_positive_per_iteration_time() {
+        let per = measure(|| std::thread::sleep(Duration::from_micros(50)));
+        assert!(per >= Duration::from_micros(50));
     }
 }

@@ -1,0 +1,56 @@
+//! Tier-2 telemetry overhead budget.
+//!
+//! Running the full sweep with every sink installed (tracer, metrics hub,
+//! profiler) must cost no more than 1.5x the sink-free wall clock at the
+//! same job count. Ignored under plain `cargo test -q` (it is a timing
+//! assertion, meaningless in debug builds and on loaded machines); the CI
+//! bench job runs it in release:
+//!
+//! ```console
+//! cargo test --release -p parrot-bench --test overhead_budget -- --ignored
+//! ```
+
+use parrot_bench::cli::{METRICS_INTERVAL, TRACE_CAP};
+use parrot_bench::{ResultSet, SweepConfig};
+use parrot_telemetry::{metrics, profile, trace};
+
+const BUDGET: u64 = 20_000;
+const JOBS: usize = 2;
+const REPS: u32 = 3;
+const MAX_OVERHEAD: f64 = 1.5;
+
+fn best_sweep_secs(sinks: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        if sinks {
+            trace::install(trace::Tracer::new(TRACE_CAP));
+            metrics::install(metrics::MetricsHub::new(METRICS_INTERVAL));
+            profile::install(profile::Profiler::new());
+        }
+        let t0 = std::time::Instant::now();
+        let set = ResultSet::run_sweep_with(&SweepConfig::new().insts(BUDGET).jobs(JOBS));
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(!set.apps().is_empty());
+        if sinks {
+            assert!(!trace::take().expect("tracer reinstalled").is_empty());
+            let _ = metrics::take().expect("hub reinstalled");
+            let _ = profile::take().expect("profiler reinstalled");
+        }
+        best = best.min(secs);
+    }
+    best
+}
+
+#[test]
+#[ignore = "tier-2 perf budget; run in release via the CI bench job"]
+fn all_sinks_sweep_stays_within_overhead_budget() {
+    let bare = best_sweep_secs(false);
+    let sunk = best_sweep_secs(true);
+    let ratio = sunk / bare;
+    eprintln!("overhead budget: bare {bare:.2}s, all sinks {sunk:.2}s ({ratio:.2}x)");
+    assert!(
+        ratio <= MAX_OVERHEAD,
+        "all-sinks sweep took {ratio:.2}x the sink-free run (budget {MAX_OVERHEAD}x): \
+         {sunk:.2}s vs {bare:.2}s at {BUDGET} insts, {JOBS} jobs"
+    );
+}

@@ -1,0 +1,99 @@
+//! Shard-merge behaviour under trace-event sampling.
+//!
+//! Sampling must be a pure event-volume knob: the sampled stream merges
+//! deterministically (serial and parallel sweeps agree event-for-event),
+//! the per-name `offered = kept + sampledOut` ledger reconciles exactly in
+//! the merged file, and the metrics stream — including the final
+//! `sweep:total` row — is byte-for-byte unchanged by the sampling rate.
+
+use parrot_bench::{ResultSet, SweepConfig};
+use parrot_telemetry::json::{parse, Value};
+use parrot_telemetry::{metrics, trace};
+use std::collections::BTreeMap;
+
+const BUDGET: u64 = 2_000;
+const SAMPLE: u32 = 4;
+
+fn sampled_sweep(jobs: usize, sample: u32) -> trace::Tracer {
+    let mut tr = trace::Tracer::new(1 << 14);
+    tr.set_sample(sample);
+    trace::install(tr);
+    let set = ResultSet::run_sweep_with(&SweepConfig::new().insts(BUDGET).jobs(jobs));
+    assert!(!set.apps().is_empty());
+    trace::take().expect("tracer reinstalled after sweep")
+}
+
+/// Kept (non-metadata) events per name in a rendered Chrome trace.
+fn kept_by_name(doc: &Value) -> BTreeMap<String, u64> {
+    let mut kept = BTreeMap::new();
+    for e in doc.get("traceEvents").as_arr().expect("traceEvents") {
+        if e.get("ph").as_str() == Some("M") {
+            continue;
+        }
+        let name = e.get("name").as_str().expect("event name").to_string();
+        *kept.entry(name).or_default() += 1;
+    }
+    kept
+}
+
+#[test]
+fn sampled_streams_merge_deterministically_and_reconcile() {
+    let serial = sampled_sweep(1, SAMPLE);
+    let parallel = sampled_sweep(4, SAMPLE);
+
+    // The kept stream is identical serial vs parallel (worker labels
+    // aside): same length, same per-name counts, same correction ledger.
+    assert_eq!(serial.len(), parallel.len(), "same kept-event count");
+    assert_eq!(serial.dropped(), parallel.dropped());
+    assert_eq!(serial.sampled_out(), parallel.sampled_out());
+    assert!(serial.sampled_out() > 0, "a 1-in-4 rate must drop events");
+
+    let sdoc = parse(&serial.to_chrome_json()).expect("serial trace parses");
+    let pdoc = parse(&parallel.to_chrome_json()).expect("parallel trace parses");
+    let skept = kept_by_name(&sdoc);
+    assert_eq!(skept, kept_by_name(&pdoc), "per-name kept events agree");
+
+    // Exact correction: for every sampled name, offered = kept + sampledOut.
+    let meta = sdoc.get("otherData");
+    assert_eq!(meta.get("sampling").get("n").as_u64(), Some(SAMPLE as u64));
+    let Value::Obj(stats) = meta.get("eventStats") else {
+        panic!("sampled traces carry eventStats metadata");
+    };
+    assert!(!stats.is_empty());
+    for (name, st) in stats {
+        let offered = st.get("offered").as_u64().expect("offered");
+        let out = st.get("sampledOut").as_u64().expect("sampledOut");
+        let kept = skept.get(name).copied().unwrap_or(0);
+        assert_eq!(offered, kept + out, "ledger reconciles for {name}");
+        // The API view agrees with the file and across schedules.
+        assert_eq!(serial.event_stats(name), (offered, out));
+        assert_eq!(parallel.event_stats(name), (offered, out));
+    }
+}
+
+#[test]
+fn sweep_total_metrics_row_is_invariant_under_sampling() {
+    let total_row = |sample: u32| {
+        let mut tr = trace::Tracer::new(1 << 14);
+        tr.set_sample(sample);
+        trace::install(tr);
+        metrics::install(metrics::MetricsHub::new(500));
+        let set = ResultSet::run_sweep_with(&SweepConfig::new().insts(BUDGET).jobs(2));
+        assert!(!set.apps().is_empty());
+        let _ = trace::take();
+        let hub = metrics::take().expect("hub reinstalled");
+        let jsonl = hub.to_jsonl();
+        jsonl.lines().last().expect("rows recorded").to_string()
+    };
+    let unsampled = total_row(1);
+    let sampled = total_row(8);
+    let row = parse(&unsampled).expect("row parses");
+    assert_eq!(
+        row.get("run").as_str(),
+        Some(parrot_telemetry::shard::MERGED_RUN_LABEL)
+    );
+    assert_eq!(
+        unsampled, sampled,
+        "sampling must never perturb merged counters"
+    );
+}

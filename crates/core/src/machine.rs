@@ -276,6 +276,10 @@ impl<'w> Machine<'w> {
 
     fn tick(&mut self) {
         tev::set_clock(self.now);
+        // Arm the sampled stage timers for 1-in-N ticks (see
+        // telemetry::profile): stage guards below and inside the uarch core
+        // and frontend are inert Cell reads on unarmed ticks.
+        profile::cycle_tick();
         // Writeback → commit → issue on every core, then dispatch and fetch.
         for i in 0..self.cores.len() {
             let model = if i == 0 {
@@ -289,12 +293,16 @@ impl<'w> Machine<'w> {
             self.cores[i].commit(self.now, &mut self.mem, &model, &mut self.acct);
             self.cores[i].issue(self.now, &mut self.mem, &model, &mut self.acct);
         }
-        self.dispatch();
+        {
+            let _stage = profile::stage(profile::Stage::Dispatch);
+            self.dispatch();
+        }
         self.fetch();
         self.now += 1;
         if metrics::active() {
             let insts: u64 = self.cores.iter().map(|c| c.stats().committed_insts).sum();
             if metrics::due(insts) {
+                let _stage = profile::stage(profile::Stage::Accounting);
                 self.publish_metrics(insts);
             }
         }
@@ -408,6 +416,7 @@ impl<'w> Machine<'w> {
     fn fetch(&mut self) {
         // Continue streaming an active hot run.
         if self.trace.as_ref().is_some_and(|t| t.hot_run.is_some()) {
+            let _stage = profile::stage(profile::Stage::TraceCache);
             self.deliver_hot();
             return;
         }
@@ -481,6 +490,7 @@ impl<'w> Machine<'w> {
     /// with the branch predictor is chosen. Divergence from the committed
     /// path aborts the atomic trace.
     fn attempt_hot_entry(&mut self) -> bool {
+        let _stage = profile::stage(profile::Stage::TraceCache);
         let now = self.now;
         let Some(next) = self.oracle.peek(0) else {
             return false;
@@ -702,6 +712,7 @@ impl<'w> Machine<'w> {
                     .as_mut()
                     .and_then(|inj| inj.roll(FaultKind::CorruptRewrite));
                 let mut mutated = false;
+                let _stage = profile::stage(profile::Stage::Optimizer);
                 let outcome = match sabotage {
                     // Corrupt the rewrite after the pass pipeline, right in
                     // front of the mandatory translation-validation gate.

@@ -158,6 +158,14 @@ fn check_metric_name(name: &str) {
     );
 }
 
+/// Pointer-first `&'static str` equality for metric-slot lookup: call
+/// sites pass literals, so after a slot exists the pointer comparison
+/// almost always hits and the content comparison never runs.
+#[inline]
+fn name_eq(a: &'static str, b: &'static str) -> bool {
+    (a.as_ptr() == b.as_ptr() && a.len() == b.len()) || a == b
+}
+
 /// One formatted snapshot row plus the keys a deterministic sweep merge
 /// sorts by (committed-instruction interval, then run label, then sequence
 /// number within the run).
@@ -299,10 +307,11 @@ impl MetricsHub {
     }
 
     fn counter_slot(&mut self, name: &'static str) -> &mut u64 {
-        check_metric_name(name);
-        if let Some(i) = self.counters.iter().position(|c| c.name == name) {
+        if let Some(i) = self.counters.iter().position(|c| name_eq(c.name, name)) {
             &mut self.counters[i].v
         } else {
+            // Validate once, at slot creation — not on every bump.
+            check_metric_name(name);
             self.counters.push(Named { name, v: 0 });
             &mut self.counters.last_mut().unwrap().v
         }
@@ -329,20 +338,20 @@ impl MetricsHub {
 
     /// Set a point-in-time gauge.
     pub fn gauge_set(&mut self, name: &'static str, v: f64) {
-        check_metric_name(name);
-        if let Some(i) = self.gauges.iter().position(|g| g.name == name) {
+        if let Some(i) = self.gauges.iter().position(|g| name_eq(g.name, name)) {
             self.gauges[i].v = v;
         } else {
+            check_metric_name(name);
             self.gauges.push(Named { name, v });
         }
     }
 
     /// Record one histogram observation.
     pub fn hist_record(&mut self, name: &'static str, v: u64) {
-        check_metric_name(name);
-        if let Some(i) = self.hists.iter().position(|h| h.name == name) {
+        if let Some(i) = self.hists.iter().position(|h| name_eq(h.name, name)) {
             self.hists[i].v.record(v);
         } else {
+            check_metric_name(name);
             let mut h = Histogram::default();
             h.record(v);
             self.hists.push(Named { name, v: h });

@@ -1,9 +1,37 @@
-//! Scoped wall-clock timers around simulator hot paths.
+//! Scoped wall-clock timers around simulator hot paths, plus sampled
+//! cycle-loop stage attribution and flamegraph output.
 //!
 //! Sections nest: a scope's elapsed time counts toward its own *total* and
 //! is subtracted from the enclosing scope's *self* time, so the report
 //! attributes every nanosecond exactly once. Install with [`install`],
 //! guard hot paths with [`scope`], and print [`Profiler::report`] at exit.
+//!
+//! All timing derives from one monotonic source: the profiler's epoch
+//! `Instant`, with every duration kept as integer nanoseconds. Each
+//! section keeps a 64-bucket log₂ histogram of scope durations, so the
+//! report shows p50/p95/max per scope alongside totals (percentiles are
+//! read at geometric bucket midpoints — exact to within a power of two —
+//! while max is exact).
+//!
+//! # Cycle-loop stages
+//!
+//! Wrapping every pipeline stage of every simulated cycle in a full scope
+//! would cost two `Instant::now` calls per stage per tick — far too much
+//! for a loop that runs hundreds of millions of ticks. Instead the machine
+//! calls [`cycle_tick`] once per tick, which arms the stage timers on
+//! 1-in-[`STAGE_STRIDE`] ticks; [`stage`] guards are inert single-`Cell`
+//! reads on unarmed ticks and real timers on armed ones. Reported stage
+//! totals are estimates (sampled time × stride, marked `~` in the report);
+//! per-stage histograms and max are over the sampled entries.
+//!
+//! # Flamegraphs
+//!
+//! [`Profiler::collapsed`] renders collapsed-stack text (one
+//! `frame;frame;frame value` line per unique stack, values in self-
+//! nanoseconds) directly consumable by `inferno` / `flamegraph.pl` /
+//! speedscope. Sampled cycle-loop stages appear under a synthetic
+//! `cycle-stages` root frame so their estimated time does not double-count
+//! the enclosing `machine.run` scope.
 //!
 //! When no profiler is installed, [`scope`] is a single thread-local `Cell`
 //! read and the guard's `Drop` does nothing — cheap enough to leave in the
@@ -21,66 +49,218 @@
 //! let (calls, _total, _own) = p.section("machine.run").unwrap();
 //! assert_eq!(calls, 1);
 //! assert!(p.report().contains("machine.run"));
+//! assert!(p.collapsed().contains("machine.run;opt.pass"));
 //! ```
 
 use std::cell::{Cell, RefCell};
 use std::time::{Duration, Instant};
 
+/// Stage timers are armed on 1-in-this-many calls to [`cycle_tick`].
+pub const STAGE_STRIDE: u32 = 64;
+
+/// Cycle-loop stages attributed by the sampled stage timers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Cold-path fetch: I-cache, branch prediction, decode.
+    Frontend = 0,
+    /// Trace-cache lookup and hot-entry arbitration.
+    TraceCache = 1,
+    /// Optimizer invocations from the cycle loop.
+    Optimizer = 2,
+    /// Out-of-order core: issue, execute, writeback, commit.
+    Exec = 3,
+    /// Dispatch from the fetch queue into the core.
+    Dispatch = 4,
+    /// Energy accounting and metrics publication.
+    Accounting = 5,
+}
+
+const STAGE_COUNT: usize = 6;
+
+impl Stage {
+    /// All stages, in id order.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Frontend,
+        Stage::TraceCache,
+        Stage::Optimizer,
+        Stage::Exec,
+        Stage::Dispatch,
+        Stage::Accounting,
+    ];
+
+    /// Display name (also the collapsed-stack frame name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Frontend => "frontend",
+            Stage::TraceCache => "trace-cache",
+            Stage::Optimizer => "optimizer",
+            Stage::Exec => "exec",
+            Stage::Dispatch => "dispatch",
+            Stage::Accounting => "accounting",
+        }
+    }
+}
+
+/// 64-bucket log₂ histogram of nanosecond durations. Bucket `b` covers
+/// `[2^b, 2^(b+1))`; percentiles are read at the geometric bucket midpoint.
+#[derive(Clone, Debug)]
+struct LogHist {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LogHist {
+    fn default() -> LogHist {
+        LogHist {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+}
+
+impl LogHist {
+    #[inline]
+    fn record(&mut self, ns: u64) {
+        let b = 63 - (ns | 1).leading_zeros() as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &LogHist) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Nearest-rank percentile, reported at the bucket's geometric
+    /// midpoint (`1.5 × 2^b`). 0 when empty.
+    fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return (1u64 << b) + ((1u64 << b) >> 1);
+            }
+        }
+        (1u64 << 63) + ((1u64 << 63) >> 1)
+    }
+}
+
 #[derive(Clone, Debug, Default)]
 struct Section {
     name: &'static str,
     calls: u64,
-    total: Duration,
-    own: Duration,
+    total_ns: u64,
+    own_ns: u64,
+    max_ns: u64,
+    hist: LogHist,
 }
 
 #[derive(Debug)]
 struct Frame {
     section: usize,
-    started: Instant,
-    child: Duration,
+    start_ns: u64,
+    child_ns: u64,
+}
+
+/// Per-stage sampled timing (entries timed on armed ticks only).
+#[derive(Clone, Debug, Default)]
+struct StageStat {
+    sampled: u64,
+    ns: u64,
+    max_ns: u64,
+    hist: LogHist,
 }
 
 /// Wall-clock section profiler.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Profiler {
     sections: Vec<Section>,
     stack: Vec<Frame>,
-    epoch: Option<Instant>,
+    /// Current stack rendered as "a;b;c", maintained incrementally.
+    stack_key: String,
+    /// `stack_key` length before each frame was pushed.
+    key_lens: Vec<usize>,
+    /// Self-nanoseconds per unique collapsed stack.
+    stacks: Vec<(String, u64)>,
+    epoch: Instant,
+    stages: Vec<StageStat>,
     /// Per-sweep-worker section totals, accumulated by
     /// [`Profiler::absorb_worker`] and reported as attribution sub-tables.
     workers: Vec<(u32, Vec<Section>)>,
+}
+
+impl Default for Profiler {
+    fn default() -> Profiler {
+        Profiler::new()
+    }
 }
 
 fn merge_sections(into: &mut Vec<Section>, from: &[Section]) {
     for s in from {
         if let Some(t) = into.iter_mut().find(|t| t.name == s.name) {
             t.calls += s.calls;
-            t.total += s.total;
-            t.own += s.own;
+            t.total_ns += s.total_ns;
+            t.own_ns += s.own_ns;
+            t.max_ns = t.max_ns.max(s.max_ns);
+            t.hist.merge(&s.hist);
         } else {
             into.push(s.clone());
         }
     }
 }
 
+fn fmt_us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
 impl Profiler {
-    /// A profiler whose wall-clock epoch starts now.
+    /// A profiler whose monotonic epoch starts now.
     pub fn new() -> Profiler {
         Profiler {
             sections: Vec::new(),
             stack: Vec::new(),
-            epoch: Some(Instant::now()),
+            stack_key: String::new(),
+            key_lens: Vec::new(),
+            stacks: Vec::new(),
+            epoch: Instant::now(),
+            stages: vec![StageStat::default(); STAGE_COUNT],
             workers: Vec::new(),
         }
+    }
+
+    /// Nanoseconds since this profiler's epoch — the single monotonic
+    /// clock source every measurement derives from.
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
     }
 
     /// Fold a sweep shard's profiler into this one: its section totals add
     /// into the aggregate table and into the per-worker attribution bucket
     /// for `worker` (self/total time stays exactly attributed — shard
     /// scopes closed before collection, so no time is double-counted).
+    /// Collapsed stacks and sampled stage stats merge into the aggregate.
     pub fn absorb_worker(&mut self, worker: u32, other: Profiler) {
         merge_sections(&mut self.sections, &other.sections);
+        for (key, ns) in &other.stacks {
+            if let Some((_, v)) = self.stacks.iter_mut().find(|(k, _)| k == key) {
+                *v += ns;
+            } else {
+                self.stacks.push((key.clone(), *ns));
+            }
+        }
+        for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
+            mine.sampled += theirs.sampled;
+            mine.ns += theirs.ns;
+            mine.max_ns = mine.max_ns.max(theirs.max_ns);
+            mine.hist.merge(&theirs.hist);
+        }
         if let Some((_, bucket)) = self.workers.iter_mut().find(|(w, _)| *w == worker) {
             merge_sections(bucket, &other.sections);
         } else {
@@ -111,10 +291,16 @@ impl Profiler {
 
     fn begin(&mut self, name: &'static str) {
         let section = self.section_index(name);
+        self.key_lens.push(self.stack_key.len());
+        if !self.stack_key.is_empty() {
+            self.stack_key.push(';');
+        }
+        self.stack_key.push_str(name);
+        let start_ns = self.now_ns();
         self.stack.push(Frame {
             section,
-            started: Instant::now(),
-            child: Duration::ZERO,
+            start_ns,
+            child_ns: 0,
         });
     }
 
@@ -122,58 +308,103 @@ impl Profiler {
         let Some(frame) = self.stack.pop() else {
             return;
         };
-        let elapsed = frame.started.elapsed();
+        let elapsed = self.now_ns().saturating_sub(frame.start_ns);
+        let own = elapsed.saturating_sub(frame.child_ns);
         let s = &mut self.sections[frame.section];
         s.calls += 1;
-        s.total += elapsed;
-        s.own += elapsed.saturating_sub(frame.child);
+        s.total_ns += elapsed;
+        s.own_ns += own;
+        s.max_ns = s.max_ns.max(elapsed);
+        s.hist.record(elapsed);
+        if let Some((_, v)) = self.stacks.iter_mut().find(|(k, _)| *k == self.stack_key) {
+            *v += own;
+        } else {
+            self.stacks.push((self.stack_key.clone(), own));
+        }
+        let len = self.key_lens.pop().unwrap_or(0);
+        self.stack_key.truncate(len);
         if let Some(parent) = self.stack.last_mut() {
-            parent.child += elapsed;
+            parent.child_ns += elapsed;
         }
     }
 
-    /// Render the per-section table (sorted by self time, descending).
+    fn record_stage(&mut self, stage: Stage, ns: u64) {
+        let st = &mut self.stages[stage as usize];
+        st.sampled += 1;
+        st.ns += ns;
+        st.max_ns = st.max_ns.max(ns);
+        st.hist.record(ns);
+    }
+
+    /// Render the per-section table (sorted by self time, descending),
+    /// with p50/p95/max per scope and the sampled cycle-loop stage table.
     pub fn report(&self) -> String {
-        let wall = self.epoch.map(|e| e.elapsed()).unwrap_or_default();
+        let wall_ns = self.now_ns();
         let mut rows = self.sections.clone();
-        rows.sort_by_key(|s| std::cmp::Reverse(s.own));
+        rows.sort_by_key(|s| std::cmp::Reverse(s.own_ns));
         let mut out = String::new();
         out.push_str("profile (wall-clock)\n");
         out.push_str(&format!(
-            "{:<28} {:>10} {:>12} {:>12} {:>7}\n",
-            "section", "calls", "total ms", "self ms", "self %"
+            "{:<28} {:>10} {:>12} {:>12} {:>7} {:>9} {:>9} {:>9}\n",
+            "section", "calls", "total ms", "self ms", "self %", "p50 us", "p95 us", "max us"
         ));
-        let wall_s = wall.as_secs_f64().max(1e-12);
+        let wall_s = (wall_ns as f64 / 1e9).max(1e-12);
         for s in &rows {
             out.push_str(&format!(
-                "{:<28} {:>10} {:>12.3} {:>12.3} {:>6.1}%\n",
+                "{:<28} {:>10} {:>12.3} {:>12.3} {:>6.1}% {:>9} {:>9} {:>9}\n",
                 s.name,
                 s.calls,
-                s.total.as_secs_f64() * 1e3,
-                s.own.as_secs_f64() * 1e3,
-                100.0 * s.own.as_secs_f64() / wall_s
+                s.total_ns as f64 / 1e6,
+                s.own_ns as f64 / 1e6,
+                100.0 * (s.own_ns as f64 / 1e9) / wall_s,
+                fmt_us(s.hist.percentile(50.0)),
+                fmt_us(s.hist.percentile(95.0)),
+                fmt_us(s.max_ns),
             ));
         }
-        out.push_str(&format!("wall total: {:.3} ms\n", wall.as_secs_f64() * 1e3));
+        out.push_str(&format!("wall total: {:.3} ms\n", wall_ns as f64 / 1e6));
+        if self.stages.iter().any(|s| s.sampled > 0) {
+            out.push_str(&format!(
+                "\ncycle-loop stages (sampled 1-in-{STAGE_STRIDE}; totals estimated)\n"
+            ));
+            out.push_str(&format!(
+                "{:<14} {:>10} {:>12} {:>7} {:>9} {:>9} {:>9}\n",
+                "stage", "sampled", "~total ms", "share%", "p50 us", "p95 us", "max us"
+            ));
+            for stage in Stage::ALL {
+                let st = &self.stages[stage as usize];
+                if st.sampled == 0 {
+                    continue;
+                }
+                let est_ns = st.ns.saturating_mul(u64::from(STAGE_STRIDE));
+                out.push_str(&format!(
+                    "{:<14} {:>10} {:>12.3} {:>6.1}% {:>9} {:>9} {:>9}\n",
+                    stage.name(),
+                    st.sampled,
+                    est_ns as f64 / 1e6,
+                    100.0 * (est_ns as f64 / 1e9) / wall_s,
+                    fmt_us(st.hist.percentile(50.0)),
+                    fmt_us(st.hist.percentile(95.0)),
+                    fmt_us(st.max_ns),
+                ));
+            }
+        }
         if !self.workers.is_empty() {
             let mut workers = self.workers.clone();
             workers.sort_by_key(|(w, _)| *w);
             out.push_str("\nper-worker attribution\n");
             for (w, sections) in &workers {
-                let busy: Duration = sections.iter().map(|s| s.own).sum();
-                out.push_str(&format!(
-                    "worker {w} — busy {:.3} ms\n",
-                    busy.as_secs_f64() * 1e3
-                ));
+                let busy: u64 = sections.iter().map(|s| s.own_ns).sum();
+                out.push_str(&format!("worker {w} — busy {:.3} ms\n", busy as f64 / 1e6));
                 let mut rows = sections.clone();
-                rows.sort_by_key(|s| std::cmp::Reverse(s.own));
+                rows.sort_by_key(|s| std::cmp::Reverse(s.own_ns));
                 for s in &rows {
                     out.push_str(&format!(
                         "  {:<26} {:>10} {:>12.3} {:>12.3}\n",
                         s.name,
                         s.calls,
-                        s.total.as_secs_f64() * 1e3,
-                        s.own.as_secs_f64() * 1e3
+                        s.total_ns as f64 / 1e6,
+                        s.own_ns as f64 / 1e6
                     ));
                 }
             }
@@ -181,12 +412,69 @@ impl Profiler {
         out
     }
 
+    /// Collapsed-stack text (flamegraph.pl / inferno / speedscope input):
+    /// one `frame;frame value` line per unique scope stack, values in
+    /// self-nanoseconds, sorted for determinism. Sampled cycle-loop stages
+    /// are emitted under a synthetic `cycle-stages` root with estimated
+    /// (× stride) nanoseconds.
+    pub fn collapsed(&self) -> String {
+        let mut lines: Vec<String> = self
+            .stacks
+            .iter()
+            .filter(|(_, ns)| *ns > 0)
+            .map(|(k, ns)| format!("{k} {ns}"))
+            .collect();
+        for stage in Stage::ALL {
+            let st = &self.stages[stage as usize];
+            if st.sampled > 0 {
+                let est = st.ns.saturating_mul(u64::from(STAGE_STRIDE));
+                lines.push(format!("cycle-stages;{} {est}", stage.name()));
+            }
+        }
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
     /// (calls, total, self) for `name`, if the section was entered.
     pub fn section(&self, name: &str) -> Option<(u64, Duration, Duration)> {
-        self.sections
-            .iter()
-            .find(|s| s.name == name)
-            .map(|s| (s.calls, s.total, s.own))
+        self.sections.iter().find(|s| s.name == name).map(|s| {
+            (
+                s.calls,
+                Duration::from_nanos(s.total_ns),
+                Duration::from_nanos(s.own_ns),
+            )
+        })
+    }
+
+    /// (p50, p95, max) scope duration for `name`, if entered. p50/p95 are
+    /// log₂-bucket midpoints (exact within a power of two); max is exact.
+    pub fn section_percentiles(&self, name: &str) -> Option<(Duration, Duration, Duration)> {
+        self.sections.iter().find(|s| s.name == name).map(|s| {
+            (
+                Duration::from_nanos(s.hist.percentile(50.0)),
+                Duration::from_nanos(s.hist.percentile(95.0)),
+                Duration::from_nanos(s.max_ns),
+            )
+        })
+    }
+
+    /// (sampled entries, sampled time, max sampled entry) for a cycle-loop
+    /// stage; `None` if the stage was never sampled. Estimated total time
+    /// is `sampled time × STAGE_STRIDE`.
+    pub fn stage_stats(&self, stage: Stage) -> Option<(u64, Duration, Duration)> {
+        let st = &self.stages[stage as usize];
+        if st.sampled == 0 {
+            return None;
+        }
+        Some((
+            st.sampled,
+            Duration::from_nanos(st.ns),
+            Duration::from_nanos(st.max_ns),
+        ))
     }
 
     /// (calls, total, self) for `name` as attributed to sweep `worker`, if
@@ -196,24 +484,34 @@ impl Profiler {
             .iter()
             .find(|(w, _)| *w == worker)
             .and_then(|(_, ss)| ss.iter().find(|s| s.name == name))
-            .map(|s| (s.calls, s.total, s.own))
+            .map(|s| {
+                (
+                    s.calls,
+                    Duration::from_nanos(s.total_ns),
+                    Duration::from_nanos(s.own_ns),
+                )
+            })
     }
 }
 
 thread_local! {
     static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static STAGE_ARMED: Cell<bool> = const { Cell::new(false) };
+    static STAGE_CTR: Cell<u32> = const { Cell::new(0) };
     static PROFILER: RefCell<Option<Profiler>> = const { RefCell::new(None) };
 }
 
 /// Install a profiler as this thread's sink (returning any previous one).
 pub fn install(p: Profiler) -> Option<Profiler> {
     ACTIVE.with(|a| a.set(true));
+    STAGE_CTR.with(|c| c.set(0));
     PROFILER.with(|cell| cell.borrow_mut().replace(p))
 }
 
 /// Remove and return the installed profiler.
 pub fn take() -> Option<Profiler> {
     ACTIVE.with(|a| a.set(false));
+    STAGE_ARMED.with(|a| a.set(false));
     PROFILER.with(|cell| cell.borrow_mut().take())
 }
 
@@ -255,6 +553,62 @@ pub fn scope(name: &'static str) -> Scope {
     Scope { live: true }
 }
 
+/// Advance the stage-timer sampler by one simulated tick: arms the
+/// [`stage`] guards on 1-in-[`STAGE_STRIDE`] ticks when a profiler is
+/// installed. Call once per machine tick; costs two `Cell` accesses.
+#[inline]
+pub fn cycle_tick() {
+    if !active() {
+        STAGE_ARMED.with(|a| {
+            if a.get() {
+                a.set(false);
+            }
+        });
+        return;
+    }
+    STAGE_CTR.with(|c| {
+        let n = c.get();
+        if n == 0 {
+            STAGE_ARMED.with(|a| a.set(true));
+            c.set(STAGE_STRIDE - 1);
+        } else {
+            STAGE_ARMED.with(|a| a.set(false));
+            c.set(n - 1);
+        }
+    });
+}
+
+/// RAII guard attributing a cycle-loop stage. Obtain via [`stage`].
+#[must_use = "the stage ends when the guard is dropped"]
+pub struct StageScope {
+    stage: Stage,
+    start: Option<Instant>,
+}
+
+impl Drop for StageScope {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos() as u64;
+            PROFILER.with(|cell| {
+                if let Some(p) = cell.borrow_mut().as_mut() {
+                    p.record_stage(self.stage, ns);
+                }
+            });
+        }
+    }
+}
+
+/// Time a cycle-loop stage when the sampler armed this tick (see
+/// [`cycle_tick`]); a single `Cell` read otherwise.
+#[inline]
+pub fn stage(s: Stage) -> StageScope {
+    let armed = STAGE_ARMED.with(|a| a.get());
+    StageScope {
+        stage: s,
+        start: if armed { Some(Instant::now()) } else { None },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +637,9 @@ mod tests {
         assert!(report.contains("outer"));
         assert!(report.contains("inner"));
         assert!(report.contains("self %"));
+        assert!(report.contains("p50 us"));
+        assert!(report.contains("p95 us"));
+        assert!(report.contains("max us"));
     }
 
     #[test]
@@ -299,6 +656,93 @@ mod tests {
     fn scope_without_profiler_is_noop() {
         assert!(!active());
         let _s = scope("nothing");
+        cycle_tick();
+        let _g = stage(Stage::Exec);
         assert!(take().is_none());
+    }
+
+    #[test]
+    fn percentiles_bracket_scope_durations() {
+        install(Profiler::new());
+        for _ in 0..8 {
+            let _s = scope("sleepy");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let p = take().unwrap();
+        let (p50, p95, max) = p.section_percentiles("sleepy").unwrap();
+        // 1ms sleeps land in log2 buckets near 1–4ms; midpoints are within
+        // a power of two of the true duration.
+        assert!(p50 >= Duration::from_micros(500), "p50 {p50:?}");
+        assert!(p95 >= p50);
+        assert!(max >= Duration::from_millis(1));
+        assert!(max < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn collapsed_stacks_nest_and_sum_self_time() {
+        install(Profiler::new());
+        {
+            let _a = scope("a");
+            std::thread::sleep(Duration::from_millis(1));
+            {
+                let _b = scope("b");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        {
+            let _b = scope("b");
+        }
+        let p = take().unwrap();
+        let folded = p.collapsed();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.iter().any(|l| l.starts_with("a ")));
+        assert!(lines.iter().any(|l| l.starts_with("a;b ")));
+        // Every line is "stack value".
+        for l in &lines {
+            let (_, v) = l.rsplit_once(' ').unwrap();
+            v.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn stage_sampler_arms_one_in_stride() {
+        install(Profiler::new());
+        let ticks = STAGE_STRIDE * 4;
+        for _ in 0..ticks {
+            cycle_tick();
+            let _e = stage(Stage::Exec);
+            std::hint::black_box(0u64);
+        }
+        let p = take().unwrap();
+        let (sampled, total, max) = p.stage_stats(Stage::Exec).unwrap();
+        assert_eq!(sampled, 4, "one armed tick per stride");
+        assert!(total > Duration::ZERO);
+        assert!(max >= total / 4);
+        assert!(p.stage_stats(Stage::Frontend).is_none());
+        let report = p.report();
+        assert!(report.contains("cycle-loop stages"));
+        assert!(report.contains("exec"));
+        let folded = p.collapsed();
+        assert!(folded.contains("cycle-stages;exec "));
+    }
+
+    #[test]
+    fn absorb_worker_merges_stages_and_stacks() {
+        install(Profiler::new());
+        cycle_tick();
+        {
+            let _e = stage(Stage::Frontend);
+        }
+        {
+            let _s = scope("work");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let shard = take().unwrap();
+
+        let mut base = Profiler::new();
+        base.absorb_worker(2, shard);
+        assert!(base.stage_stats(Stage::Frontend).is_some());
+        assert!(base.collapsed().contains("work "));
+        assert_eq!(base.worker_section(2, "work").unwrap().0, 1);
     }
 }

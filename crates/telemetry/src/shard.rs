@@ -13,29 +13,44 @@
 //!    [`SweepSession::install_item`] / [`SweepSession::collect_item`]:
 //!    fresh, identically-configured sinks are installed thread-locally for
 //!    the item, then collected into a *shard* tagged with the item index
-//!    and worker id.
-//! 3. After the join, [`SweepSession::finish`] sorts the shards by work
-//!    item — making the merge deterministic regardless of which worker ran
-//!    what, or in what order items completed — merges them into the
-//!    original sinks, and reinstalls those on the calling thread so the
-//!    caller's normal flush path (e.g. `Telemetry::finish` in the bench
-//!    CLI) works unchanged.
+//!    and worker id. During the item, every event is a plain store into
+//!    the shard's own ring buffers and counter slots — no locks, no
+//!    cross-thread traffic.
+//! 3. Shards drain into the base sinks *at work-item boundaries*: when a
+//!    shard for the next work item (in item order) is available,
+//!    [`SweepSession::collect_item`] batch-absorbs the contiguous ready
+//!    prefix into the captured sinks instead of letting completed shards
+//!    pile up until the join. This bounds peak memory to in-flight items
+//!    rather than the whole sweep — the fix for the parallel all-sinks
+//!    pathology, where retaining every shard's event ring until the end
+//!    put hundreds of megabytes of dead telemetry on the heap.
+//! 4. After the join, [`SweepSession::finish`] drains any remaining shards
+//!    (still in item order), merges them into the original sinks, and
+//!    reinstalls those on the calling thread so the caller's normal flush
+//!    path (e.g. `Telemetry::finish` in the bench CLI) works unchanged.
 //!
 //! Sharding per *item* rather than per worker keeps the merged artifacts
 //! bit-stable: the trace ring bound and metric rows of an item depend only
 //! on that item's (deterministic) simulation, never on which other items
-//! happened to share a worker's sink.
+//! happened to share a worker's sink. Draining strictly in item order —
+//! only one drainer runs at a time, and it only ever absorbs the next
+//! contiguous item — makes the merged documents identical regardless of
+//! which worker finished what first, and identical to a serial sweep.
 //!
 //! Merge invariants (see DESIGN.md "Sweep engine & sharded telemetry"):
 //!
 //! - **Trace**: one Chrome trace; each run keeps its event order and
 //!   simulated-cycle timestamps, gets a fresh deterministic pid, and is
 //!   tagged with its worker as a named tid ([`trace::Tracer::absorb`]).
+//!   Per-name sampling stats fold so the merged file's correction
+//!   metadata stays exact.
 //! - **Metrics**: one JSONL stream; rows ordered by committed-instruction
 //!   interval, then run label, then sequence number; a final
 //!   `sweep:total` row sums every counter absolutely and merges the
 //!   histograms, reconciling exactly with the aggregated end-of-run
-//!   reports ([`metrics::MetricsHub::seal_merged`]).
+//!   reports ([`metrics::MetricsHub::seal_merged`]). Counters are plain
+//!   per-shard `u64` values folded at merge, and trace-event sampling
+//!   never touches them, so the total row is invariant under sampling.
 //! - **Profile**: one report with aggregate section totals plus per-worker
 //!   self/total attribution ([`profile::Profiler::absorb_worker`]).
 //!
@@ -77,18 +92,30 @@ struct Shard {
     profiler: Option<profile::Profiler>,
 }
 
+/// Completed-but-undrained shards plus the drain cursor.
+#[derive(Default)]
+struct Pending {
+    shards: Vec<Shard>,
+    /// Next work item to drain; only the drain-lock holder advances it.
+    next: usize,
+}
+
 /// A sweep-wide telemetry session: the calling thread's sinks, the
 /// configuration to replicate on workers, and the collected shards.
 ///
 /// See the [module docs](self) for the lifecycle.
 pub struct SweepSession {
     trace_cap: Option<usize>,
+    trace_sample: u32,
     metrics_interval: Option<u64>,
     profile: bool,
     base_trace: Mutex<Option<trace::Tracer>>,
     base_metrics: Mutex<Option<metrics::MetricsHub>>,
     base_profile: Mutex<Option<profile::Profiler>>,
-    shards: Mutex<Vec<Shard>>,
+    pending: Mutex<Pending>,
+    /// Held while draining shards into the base sinks; `try_lock` so at
+    /// most one worker drains and drain order stays strictly item order.
+    drain: Mutex<()>,
 }
 
 impl SweepSession {
@@ -104,20 +131,25 @@ impl SweepSession {
         let p = profile::take();
         Some(SweepSession {
             trace_cap: t.as_ref().map(trace::Tracer::cap),
+            trace_sample: t.as_ref().map_or(1, trace::Tracer::sample),
             metrics_interval: m.as_ref().map(metrics::MetricsHub::interval),
             profile: p.is_some(),
             base_trace: Mutex::new(t),
             base_metrics: Mutex::new(m),
             base_profile: Mutex::new(p),
-            shards: Mutex::new(Vec::new()),
+            pending: Mutex::new(Pending::default()),
+            drain: Mutex::new(()),
         })
     }
 
-    /// Install fresh sinks, configured like the captured ones, on the
-    /// current worker thread. Call immediately before running a work item.
+    /// Install fresh sinks, configured like the captured ones (ring
+    /// capacity, sampling rate, metrics interval), on the current worker
+    /// thread. Call immediately before running a work item.
     pub fn install_item(&self) {
         if let Some(cap) = self.trace_cap {
-            trace::install(trace::Tracer::new(cap));
+            let mut t = trace::Tracer::new(cap);
+            t.set_sample(self.trace_sample);
+            trace::install(t);
         }
         if let Some(interval) = self.metrics_interval {
             metrics::install(metrics::MetricsHub::new(interval));
@@ -128,8 +160,9 @@ impl SweepSession {
     }
 
     /// Collect the current worker thread's sinks into the shard for work
-    /// item `item`, executed by `worker`. Call immediately after the item
-    /// completes.
+    /// item `item`, executed by `worker`, then opportunistically drain the
+    /// contiguous ready prefix of shards into the base sinks. Call
+    /// immediately after the item completes.
     pub fn collect_item(&self, item: usize, worker: u32) {
         let shard = Shard {
             item,
@@ -146,21 +179,73 @@ impl SweepSession {
             },
             profiler: if self.profile { profile::take() } else { None },
         };
-        self.shards.lock().expect("shard list lock").push(shard);
+        self.pending
+            .lock()
+            .expect("shard list lock")
+            .shards
+            .push(shard);
+        self.drain_ready();
     }
 
-    /// Merge every collected shard (in work-item order) into the captured
+    /// Absorb every shard whose item index is next in line. Only one
+    /// drainer runs at a time (`try_lock`); a shard that becomes ready
+    /// while another worker drains is picked up by the next drain call or
+    /// by [`SweepSession::finish`].
+    fn drain_ready(&self) {
+        let Ok(_guard) = self.drain.try_lock() else {
+            return;
+        };
+        loop {
+            let shard = {
+                let mut pending = self.pending.lock().expect("shard list lock");
+                let next = pending.next;
+                match pending.shards.iter().position(|s| s.item == next) {
+                    Some(i) => {
+                        pending.next += 1;
+                        pending.shards.swap_remove(i)
+                    }
+                    None => return,
+                }
+            };
+            self.absorb(shard);
+        }
+    }
+
+    /// Merge one shard into the base sinks.
+    fn absorb(&self, shard: Shard) {
+        if let Some(t) = shard.tracer {
+            if let Some(base) = self.base_trace.lock().expect("base tracer").as_mut() {
+                base.absorb(shard.worker, t);
+            }
+        }
+        if let Some(m) = shard.metrics {
+            if let Some(base) = self.base_metrics.lock().expect("base metrics").as_mut() {
+                base.absorb(m);
+            }
+        }
+        if let Some(p) = shard.profiler {
+            if let Some(base) = self.base_profile.lock().expect("base profiler").as_mut() {
+                base.absorb_worker(shard.worker, p);
+            }
+        }
+    }
+
+    /// Drain every remaining shard (in work-item order) into the captured
     /// sinks and reinstall them on the calling thread, so the caller
     /// flushes one merged trace file, one reconciled metrics stream ending
     /// in a [`MERGED_RUN_LABEL`] total row, and one profiler report with
     /// per-worker attribution.
     pub fn finish(self) {
-        let mut shards = self.shards.into_inner().expect("shard list");
-        shards.sort_by_key(|s| s.item);
+        // Workers have joined: drain the contiguous tail, then absorb any
+        // non-contiguous leftovers (callers using arbitrary item indices)
+        // in sorted order.
+        self.drain_ready();
+        let mut leftovers = self.pending.into_inner().expect("shard list").shards;
+        leftovers.sort_by_key(|s| s.item);
         let mut tracer = self.base_trace.into_inner().expect("base tracer");
         let mut hub = self.base_metrics.into_inner().expect("base metrics");
         let mut profiler = self.base_profile.into_inner().expect("base profiler");
-        for shard in shards {
+        for shard in leftovers {
             if let (Some(base), Some(t)) = (tracer.as_mut(), shard.tracer) {
                 base.absorb(shard.worker, t);
             }
@@ -238,8 +323,8 @@ mod tests {
         let tracer = trace::take().expect("merged tracer reinstalled");
         let doc = json::parse(&tracer.to_chrome_json()).unwrap();
         let events = doc.get("traceEvents").as_arr().unwrap();
-        // Shards sorted by item: run0 gets the lower pid despite finishing
-        // second.
+        // Shards drained in item order: run0 gets the lower pid despite
+        // finishing second.
         let pid_of = |label: &str| {
             events
                 .iter()
@@ -263,5 +348,27 @@ mod tests {
         assert_eq!(p.worker_section(1, "machine.run").unwrap().0, 1);
         let report = p.report();
         assert!(report.contains("per-worker attribution"));
+    }
+
+    #[test]
+    fn session_replicates_sampling_rate_and_folds_stats() {
+        let mut t = trace::Tracer::new(256);
+        t.set_sample(3);
+        trace::install(t);
+        let session = SweepSession::begin().expect("tracer installed");
+        for item in 0..2usize {
+            session.install_item();
+            trace::begin_run(&format!("run{item}"));
+            for i in 0..6u64 {
+                trace::set_clock(i);
+                trace::instant("e", "c", trace::track::MACHINE, trace::NO_ARGS);
+            }
+            session.collect_item(item, 0);
+        }
+        session.finish();
+        let t = trace::take().expect("merged tracer");
+        // Each shard keeps ceil(6/3)=2 of 6 "e" events.
+        assert_eq!(t.event_stats("e"), (12, 8));
+        assert_eq!(t.len(), 4);
     }
 }

@@ -7,6 +7,30 @@
 //! crates that do not know the cycle (`parrot-trace`, `parrot-opt`) emit
 //! events against that ambient clock.
 //!
+//! # Fast path
+//!
+//! Events are stored as fixed-size 48-byte binary records in a flat
+//! wrap-around ring (`Vec<Event>` + head index): names, categories and arg
+//! keys are interned to `u16` ids against a small per-tracer table scanned
+//! by pointer equality (all hook call sites pass `&'static str` literals,
+//! so the pointer fast path hits after the first occurrence). Recording an
+//! event is an intern lookup plus a 48-byte store — no allocation, no
+//! locking, no `VecDeque` churn. Merging sweep shards
+//! ([`Tracer::absorb`]) remaps ids through the destination table and bulk-
+//! extends the flat ring, so the merge cost is a memcpy plus one small
+//! remap table per shard rather than a per-event `push_back`.
+//!
+//! # Sampling
+//!
+//! A tracer can keep only 1-in-N events per event *name*
+//! ([`Tracer::set_sample`]): each name's stream keeps its first occurrence
+//! and every Nth thereafter, and the tracer counts exactly how many were
+//! offered vs. sampled out per name ([`Tracer::event_stats`]), so any
+//! consumer can correct counts exactly (`true count = offered`, kept =
+//! `ceil(offered / N)`). Sampling never touches metrics counters — those
+//! are absolute values published by the simulator — so metric totals are
+//! independent of the sampling rate by construction.
+//!
 //! Like the `log` crate, the tracer is an installable thread-local sink:
 //! [`install`] one before a run, call the free functions from anywhere, and
 //! [`take`] it back to write the file. When no tracer is installed every
@@ -36,7 +60,6 @@
 
 use crate::json::write_escaped;
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
 
 /// Track ("thread") ids used to group events into Perfetto rows.
 pub mod track {
@@ -67,17 +90,45 @@ pub fn arg2(k1: &'static str, v1: f64, k2: &'static str, v2: f64) -> Args {
 /// No args.
 pub const NO_ARGS: Args = [None, None];
 
-#[derive(Clone, Debug)]
+/// Sentinel id for "no arg key in this slot".
+const NO_KEY: u16 = u16::MAX;
+
+/// Fixed-size binary event record (48 bytes). Strings live in the tracer's
+/// intern table; the record holds only `u16` ids.
+#[derive(Clone, Copy, Debug)]
 struct Event {
-    name: &'static str,
-    cat: &'static str,
-    /// 'X' = complete (has dur), 'i' = instant.
-    ph: u8,
     ts: u64,
     dur: u64,
+    a1: f64,
+    a2: f64,
+    /// Intern ids for name / category / arg keys (`NO_KEY` = empty slot).
+    name: u16,
+    cat: u16,
+    k1: u16,
+    k2: u16,
     pid: u32,
-    tid: u32,
-    args: Args,
+    /// 'X' = complete (has dur), 'i' = instant.
+    ph: u8,
+    tid: u8,
+    _pad: u16,
+}
+
+/// Pointer-first `&'static str` equality: hook call sites pass literals, so
+/// after the first occurrence the pointer comparison almost always hits.
+#[inline]
+fn ptr_eq(a: &'static str, b: &'static str) -> bool {
+    a.as_ptr() == b.as_ptr() && a.len() == b.len()
+}
+
+/// Per-interned-name bookkeeping for exact sampling correction.
+#[derive(Clone, Copy, Debug, Default)]
+struct NameStat {
+    /// Events offered to the tracer under this name.
+    offered: u64,
+    /// Events discarded by 1-in-N sampling (never entered the ring).
+    sampled_out: u64,
+    /// Rotating position in this name's 1-in-N window.
+    tick: u32,
 }
 
 /// One run's process metadata: pid, display label, and — for runs absorbed
@@ -95,8 +146,16 @@ struct Run {
 #[derive(Debug)]
 pub struct Tracer {
     cap: usize,
-    events: VecDeque<Event>,
+    /// Flat ring storage: linear until `cap` is reached, then wraps with
+    /// `head` marking the oldest record.
+    events: Vec<Event>,
+    head: usize,
     dropped: u64,
+    /// Keep 1-in-`sample` events per name (1 = keep everything).
+    sample: u32,
+    /// Intern table: `Event` ids index into this.
+    names: Vec<&'static str>,
+    stats: Vec<NameStat>,
     /// Current run ("process") id; one per simulated run.
     pid: u32,
     /// Process-name metadata, one entry per run.
@@ -108,8 +167,12 @@ impl Tracer {
     pub fn new(cap: usize) -> Tracer {
         Tracer {
             cap: cap.max(16),
-            events: VecDeque::new(),
+            events: Vec::new(),
+            head: 0,
             dropped: 0,
+            sample: 1,
+            names: Vec::new(),
+            stats: Vec::new(),
             pid: 0,
             runs: Vec::new(),
         }
@@ -118,6 +181,19 @@ impl Tracer {
     /// The ring capacity this tracer was created with.
     pub fn cap(&self) -> usize {
         self.cap
+    }
+
+    /// Keep only 1-in-`n` events per event name (first of each window is
+    /// kept, so every event family stays visible). `n = 1` (or 0) keeps
+    /// everything. Per-name offered/sampled-out counts remain exact — see
+    /// [`Tracer::event_stats`].
+    pub fn set_sample(&mut self, n: u32) {
+        self.sample = n.max(1);
+    }
+
+    /// The 1-in-N sampling rate (1 = no sampling).
+    pub fn sample(&self) -> u32 {
+        self.sample
     }
 
     /// Start a new run: a fresh Perfetto "process" labeled `label`.
@@ -130,15 +206,53 @@ impl Tracer {
         });
     }
 
+    /// Intern `s`, scanning by pointer only — the hot path. Distinct
+    /// `&'static str` instances with equal content (possible across
+    /// codegen units) may get distinct ids; [`Tracer::event_stats`] and the
+    /// JSON renderer aggregate by content so this is invisible outside.
+    #[inline]
+    fn intern(&mut self, s: &'static str) -> u16 {
+        if let Some(i) = self.names.iter().position(|n| ptr_eq(n, s)) {
+            return i as u16;
+        }
+        assert!(
+            self.names.len() < usize::from(NO_KEY),
+            "intern table overflow"
+        );
+        self.names.push(s);
+        self.stats.push(NameStat::default());
+        (self.names.len() - 1) as u16
+    }
+
+    /// Intern by content (pointer fast path first) — used when remapping a
+    /// shard's table during [`Tracer::absorb`], where content-duplicate ids
+    /// should collapse.
+    fn intern_by_content(&mut self, s: &'static str) -> u16 {
+        if let Some(i) = self.names.iter().position(|n| ptr_eq(n, s) || *n == s) {
+            return i as u16;
+        }
+        self.intern(s)
+    }
+
+    /// Straighten the ring so `events` is in record order and `head == 0`.
+    fn linearize(&mut self) {
+        if self.head != 0 {
+            self.events.rotate_left(self.head);
+            self.head = 0;
+        }
+    }
+
     /// Fold a sweep shard's tracer into this one. The shard's runs keep
     /// their event order and simulated-cycle timestamps but are renumbered
     /// onto fresh pids after this tracer's own, and are tagged with the
     /// sweep `worker` that executed them (rendered as a named tid). Call in
-    /// a deterministic shard order (the sweep session sorts by work item)
-    /// so the merged document is identical regardless of which worker
-    /// finished first. Ring-drop counts add; the merged tracer's capacity
-    /// grows to hold every absorbed event (no merge-time drops).
-    pub fn absorb(&mut self, worker: u32, other: Tracer) {
+    /// a deterministic shard order (the sweep session drains shards in work-
+    /// item order) so the merged document is identical regardless of which
+    /// worker finished first. Ring-drop and sampling counts add; the merged
+    /// tracer's capacity grows to hold every absorbed event (no merge-time
+    /// drops). The merge is a bulk extend of fixed-size records plus one
+    /// small id-remap table per shard.
+    pub fn absorb(&mut self, worker: u32, mut other: Tracer) {
         let base = self.pid;
         self.dropped += other.dropped;
         let mut absorbed_pids = other.pid;
@@ -152,27 +266,102 @@ impl Tracer {
             });
             absorbed_pids = absorbed_pids.max(1);
         }
-        for r in other.runs {
+        for r in std::mem::take(&mut other.runs) {
             self.runs.push(Run {
                 pid: base + r.pid,
                 label: r.label,
                 worker: r.worker.or(Some(worker)),
             });
         }
-        for mut ev in other.events {
-            ev.pid = base + ev.pid.max(1);
-            self.events.push_back(ev);
+        // Remap the shard's intern ids through this tracer's table, folding
+        // the per-name sampling stats along the way.
+        let remap: Vec<u16> = other
+            .names
+            .iter()
+            .map(|n| self.intern_by_content(n))
+            .collect();
+        for (i, st) in other.stats.iter().enumerate() {
+            let dst = &mut self.stats[remap[i] as usize];
+            dst.offered += st.offered;
+            dst.sampled_out += st.sampled_out;
         }
+        let map = |id: u16| -> u16 {
+            if id == NO_KEY {
+                NO_KEY
+            } else {
+                remap[id as usize]
+            }
+        };
+        self.linearize();
+        other.linearize();
+        self.events.reserve(other.events.len());
+        self.events.extend(other.events.iter().map(|ev| Event {
+            pid: base + ev.pid.max(1),
+            name: map(ev.name),
+            cat: map(ev.cat),
+            k1: map(ev.k1),
+            k2: map(ev.k2),
+            ..*ev
+        }));
         self.pid = base + absorbed_pids;
         self.cap = self.cap.max(self.events.len());
     }
 
-    fn push(&mut self, ev: Event) {
-        if self.events.len() == self.cap {
-            self.events.pop_front();
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // one flat hot-path call, no public surface
+    fn record(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        ph: u8,
+        ts: u64,
+        dur: u64,
+        tid: u32,
+        args: Args,
+    ) {
+        let name = self.intern(name);
+        {
+            let st = &mut self.stats[name as usize];
+            st.offered += 1;
+            if self.sample > 1 {
+                // Keep the first event of each 1-in-N window per name.
+                let keep = st.tick == 0;
+                st.tick += 1;
+                if st.tick >= self.sample {
+                    st.tick = 0;
+                }
+                if !keep {
+                    st.sampled_out += 1;
+                    return;
+                }
+            }
+        }
+        let (k1, a1) = args[0].map_or((NO_KEY, 0.0), |(k, v)| (self.intern(k), v));
+        let (k2, a2) = args[1].map_or((NO_KEY, 0.0), |(k, v)| (self.intern(k), v));
+        let ev = Event {
+            ts,
+            dur,
+            a1,
+            a2,
+            name,
+            cat: self.intern(cat),
+            k1,
+            k2,
+            pid: self.pid.max(1),
+            ph,
+            tid: tid.min(u32::from(u8::MAX)) as u8,
+            _pad: 0,
+        };
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
             self.dropped += 1;
         }
-        self.events.push_back(ev);
     }
 
     /// Number of retained events.
@@ -185,9 +374,38 @@ impl Tracer {
         self.events.is_empty()
     }
 
-    /// Number of events dropped to the ring bound.
+    /// Number of events dropped to the ring bound (excludes sampled-out
+    /// events, which are counted per name — see [`Tracer::event_stats`]).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Total events discarded by 1-in-N sampling across all names.
+    pub fn sampled_out(&self) -> u64 {
+        self.stats.iter().map(|s| s.sampled_out).sum()
+    }
+
+    /// `(offered, sampled_out)` for event `name`, aggregated by content.
+    /// `offered` is the exact number of events recorded under that name
+    /// before sampling — the correction identity is
+    /// `true count = offered = kept + sampled_out`.
+    pub fn event_stats(&self, name: &str) -> (u64, u64) {
+        let mut offered = 0;
+        let mut sampled_out = 0;
+        for (n, st) in self.names.iter().zip(&self.stats) {
+            if *n == name {
+                offered += st.offered;
+                sampled_out += st.sampled_out;
+            }
+        }
+        (offered, sampled_out)
+    }
+
+    /// Events currently in the ring, oldest first.
+    fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events[self.head..]
+            .iter()
+            .chain(self.events[..self.head].iter())
     }
 
     /// Render the Chrome trace-event JSON document.
@@ -196,6 +414,35 @@ impl Tracer {
         out.push_str("{\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock\":\"simulated-cycles\"");
         if self.dropped > 0 {
             out.push_str(&format!(",\"droppedEvents\":{}", self.dropped));
+        }
+        let sampled_out = self.sampled_out();
+        if self.sample > 1 || sampled_out > 0 {
+            // Exact correction metadata: per name, `offered` is the true
+            // pre-sampling event count.
+            out.push_str(&format!(
+                ",\"sampling\":{{\"n\":{},\"sampledOut\":{}}}",
+                self.sample, sampled_out
+            ));
+            out.push_str(",\"eventStats\":{");
+            let mut first = true;
+            let mut seen: Vec<&str> = Vec::new();
+            for n in &self.names {
+                if seen.contains(n) {
+                    continue;
+                }
+                seen.push(n);
+                let (offered, so) = self.event_stats(n);
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                write_escaped(n, &mut out);
+                out.push_str(&format!(
+                    ":{{\"offered\":{},\"sampledOut\":{}}}",
+                    offered, so
+                ));
+            }
+            out.push('}');
         }
         out.push_str("},\"traceEvents\":[");
         let mut first = true;
@@ -228,15 +475,15 @@ impl Tracer {
                 out.push_str("}}");
             }
         }
-        for ev in &self.events {
+        for ev in self.iter() {
             if !first {
                 out.push(',');
             }
             first = false;
             out.push_str("{\"name\":");
-            write_escaped(ev.name, &mut out);
+            write_escaped(self.names[ev.name as usize], &mut out);
             out.push_str(",\"cat\":");
-            write_escaped(ev.cat, &mut out);
+            write_escaped(self.names[ev.cat as usize], &mut out);
             out.push_str(&format!(
                 ",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
                 ev.ph as char, ev.ts, ev.pid, ev.tid
@@ -249,17 +496,20 @@ impl Tracer {
             }
             out.push_str(",\"args\":{");
             let mut firsta = true;
-            for (k, v) in ev.args.iter().flatten() {
+            for (k, v) in [(ev.k1, ev.a1), (ev.k2, ev.a2)] {
+                if k == NO_KEY {
+                    continue;
+                }
                 if !firsta {
                     out.push(',');
                 }
                 firsta = false;
-                write_escaped(k, &mut out);
+                write_escaped(self.names[k as usize], &mut out);
                 out.push(':');
                 if !v.is_finite() {
                     out.push_str("null");
                 } else if v.fract() == 0.0 && v.abs() < 2f64.powi(53) {
-                    out.push_str(&format!("{}", *v as i64));
+                    out.push_str(&format!("{}", v as i64));
                 } else {
                     out.push_str(&format!("{v:?}"));
                 }
@@ -331,19 +581,7 @@ pub fn begin_run(label: &str) {
 pub fn instant(name: &'static str, cat: &'static str, tid: u32, args: Args) {
     if active() {
         let ts = clock();
-        with(|t| {
-            let pid = t.pid.max(1);
-            t.push(Event {
-                name,
-                cat,
-                ph: b'i',
-                ts,
-                dur: 0,
-                pid,
-                tid,
-                args,
-            });
-        });
+        with(|t| t.record(name, cat, b'i', ts, 0, tid, args));
     }
 }
 
@@ -352,17 +590,7 @@ pub fn instant(name: &'static str, cat: &'static str, tid: u32, args: Args) {
 pub fn complete(name: &'static str, cat: &'static str, tid: u32, start: u64, end: u64, args: Args) {
     if active() {
         with(|t| {
-            let pid = t.pid.max(1);
-            t.push(Event {
-                name,
-                cat,
-                ph: b'X',
-                ts: start,
-                dur: end.saturating_sub(start),
-                pid,
-                tid,
-                args,
-            });
+            t.record(name, cat, b'X', start, end.saturating_sub(start), tid, args);
         });
     }
 }
@@ -412,6 +640,8 @@ mod tests {
         assert_eq!(hot.get("ts").as_u64(), Some(40));
         assert_eq!(hot.get("dur").as_u64(), Some(50));
         assert_eq!(hot.get("pid").as_u64(), Some(1));
+        assert_eq!(hot.get("args").get("insts").as_u64(), Some(24));
+        assert_eq!(hot.get("args").get("tid").as_u64(), Some(7));
     }
 
     #[test]
@@ -428,14 +658,14 @@ mod tests {
         assert_eq!(t.dropped(), 24);
         let doc = json::parse(&t.to_chrome_json()).unwrap();
         assert_eq!(doc.get("otherData").get("droppedEvents").as_u64(), Some(24));
-        // The oldest surviving event is ts=24.
+        // The oldest surviving event is ts=24, and ring order is preserved.
         let evs = doc.get("traceEvents").as_arr().unwrap();
-        let min_ts = evs
+        let ts: Vec<u64> = evs
             .iter()
             .filter(|e| e.get("ph").as_str() == Some("i"))
             .filter_map(|e| e.get("ts").as_u64())
-            .min();
-        assert_eq!(min_ts, Some(24));
+            .collect();
+        assert_eq!(ts, (24..40).collect::<Vec<u64>>());
     }
 
     #[test]
@@ -446,6 +676,61 @@ mod tests {
         complete("y", "c", 1, 0, 10, NO_ARGS);
         begin_run("nothing");
         assert!(take().is_none());
+    }
+
+    #[test]
+    fn sampling_keeps_first_of_each_window_with_exact_accounting() {
+        let mut t = Tracer::new(1024);
+        t.set_sample(4);
+        t.begin_run("r");
+        install(t);
+        for i in 0..10u64 {
+            set_clock(i);
+            instant("dense", "c", track::MACHINE, NO_ARGS);
+        }
+        instant("rare", "c", track::MACHINE, NO_ARGS);
+        let t = take().unwrap();
+        // dense: 10 offered, kept ceil(10/4)=3 (ts 0, 4, 8); rare: kept.
+        assert_eq!(t.event_stats("dense"), (10, 7));
+        assert_eq!(t.event_stats("rare"), (1, 0));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.sampled_out(), 7);
+        assert_eq!(t.dropped(), 0, "sampling is not a ring drop");
+        let doc = json::parse(&t.to_chrome_json()).unwrap();
+        let ts: Vec<u64> = doc
+            .get("traceEvents")
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("name").as_str() == Some("dense"))
+            .filter_map(|e| e.get("ts").as_u64())
+            .collect();
+        assert_eq!(ts, vec![0, 4, 8]);
+        let stats = doc.get("otherData").get("eventStats");
+        assert_eq!(stats.get("dense").get("offered").as_u64(), Some(10));
+        assert_eq!(stats.get("dense").get("sampledOut").as_u64(), Some(7));
+        assert_eq!(
+            doc.get("otherData").get("sampling").get("n").as_u64(),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn absorb_folds_sampling_stats() {
+        let mut shard = Tracer::new(64);
+        shard.set_sample(2);
+        shard.begin_run("s");
+        install(shard);
+        for i in 0..6u64 {
+            set_clock(i);
+            instant("e", "c", track::MACHINE, NO_ARGS);
+        }
+        let shard = take().unwrap();
+        let mut base = Tracer::new(64);
+        base.begin_run("main");
+        base.absorb(1, shard);
+        assert_eq!(base.event_stats("e"), (6, 3));
+        assert_eq!(base.sampled_out(), 3);
     }
 
     #[test]
@@ -507,6 +792,13 @@ mod tests {
             .iter()
             .filter(|e| e.get("name").as_str() == Some("e"))
             .all(|e| e.get("pid").as_u64() == Some(wrapped_pid)));
+        // The absorbed shard's events come out oldest-first (ts 24..40).
+        let ts: Vec<u64> = evs
+            .iter()
+            .filter(|e| e.get("name").as_str() == Some("e"))
+            .filter_map(|e| e.get("ts").as_u64())
+            .collect();
+        assert_eq!(ts, (24..40).collect::<Vec<u64>>());
         // The absorbing worker shows up as a named tid on the shard's pid.
         assert!(evs.iter().any(|e| {
             e.get("name").as_str() == Some("thread_name")
@@ -542,5 +834,10 @@ mod tests {
             .unwrap();
         assert_eq!(stray.get("pid").as_u64(), Some(pid));
         assert_eq!(stray.get("ts").as_u64(), Some(7));
+    }
+
+    #[test]
+    fn event_record_is_48_bytes() {
+        assert_eq!(std::mem::size_of::<Event>(), 48);
     }
 }

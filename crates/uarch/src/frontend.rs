@@ -13,6 +13,7 @@ use crate::core::{CoreConfig, DispatchUop};
 use crate::oracle::OracleStream;
 use parrot_energy::{EnergyAccount, EnergyModel, Event};
 use parrot_isa::InstKind;
+use parrot_telemetry::profile;
 use parrot_workloads::Workload;
 use std::collections::VecDeque;
 
@@ -121,6 +122,7 @@ impl ColdFrontEnd {
         acct: &mut EnergyAccount,
         out: &mut VecDeque<DispatchUop>,
     ) {
+        let _stage = profile::stage(profile::Stage::Frontend);
         if now < self.resume_at || self.waiting_on_branch {
             return;
         }
