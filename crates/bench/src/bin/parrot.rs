@@ -11,6 +11,9 @@
 //! $ parrot soak --rates 0.01,0.1          # seeded fault-injection campaign
 //! $ parrot bench                          # record BENCH_cips.json baseline
 //! $ parrot bench --check                  # CI perf gate vs the baseline
+//! $ parrot capture gcc                    # write corpus/gcc.ptrace
+//! $ parrot capture --all --insts 500000   # capture the full corpus
+//! $ parrot replay gcc --verify            # replay a capture, diff vs live
 //! ```
 //!
 //! Run via `cargo run --release -p parrot-bench --bin parrot -- <args>`.
@@ -46,6 +49,16 @@ fn main() {
             telemetry.finish();
             std::process::exit(code);
         }
+        Some("capture") => {
+            let code = capture(&args[1..]);
+            telemetry.finish();
+            std::process::exit(code);
+        }
+        Some("replay") => {
+            let code = replay(&args[1..]);
+            telemetry.finish();
+            std::process::exit(code);
+        }
         _ => usage(),
     }
     telemetry.finish();
@@ -53,7 +66,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json] [--fault-seed S --fault-rate R]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]\n  parrot lint-traces [<APP> | --all] [--insts N]\n  parrot soak [--model M] [--seed S] [--rates R1,R2,..] [--insts N] [--json]\n  parrot bench [--insts N] [--check] [--tolerance T] [--out FILE]"
+        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json] [--fault-seed S --fault-rate R]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]\n  parrot lint-traces [<APP> | --all] [--insts N]\n  parrot soak [--model M] [--seed S] [--rates R1,R2,..] [--insts N] [--json]\n  parrot bench [--insts N] [--check] [--tolerance T] [--out FILE]\n  parrot capture <APP | --all> [--insts N] [--slice N] [--dir D | --out FILE]\n  parrot replay <FILE | APP> [--model M] [--insts N] [--json] [--verify]\n                [--fault-seed S --fault-rate R]"
     );
     std::process::exit(2);
 }
@@ -410,6 +423,179 @@ fn lint_traces(args: &[String]) -> i32 {
     }
     println!("{total_frames} frames linted, {total_errors} lint errors");
     i32::from(total_errors > 0)
+}
+
+/// Capture one app (or all 44) into `.ptrace` files under the corpus
+/// directory (default `corpus/`, the convention `parrot replay APP` and
+/// `SweepConfig::replay_dir` read from). Prints per-app size accounting.
+fn capture(args: &[String]) -> i32 {
+    use parrot_workloads::tracefmt::{self, DEFAULT_SLICE_INSTS};
+
+    let insts = flag_u64(args, "--insts").unwrap_or_else(parrot_bench::insts_budget);
+    let slice = flag_u64(args, "--slice")
+        .map(|s| s as u32)
+        .unwrap_or(DEFAULT_SLICE_INSTS);
+    let out = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| std::path::PathBuf::from(&w[1]));
+    let dir = args
+        .windows(2)
+        .find(|w| w[0] == "--dir")
+        .map(|w| std::path::PathBuf::from(&w[1]))
+        .unwrap_or_else(parrot_bench::corpus_dir);
+    let profiles = if args.iter().any(|a| a == "--all") {
+        all_apps()
+    } else {
+        match args.first().filter(|a| !a.starts_with("--")) {
+            Some(name) => match app_by_name(name) {
+                Some(p) => vec![p],
+                None => {
+                    eprintln!("unknown app '{name}'; run `parrot list-apps`");
+                    return 2;
+                }
+            },
+            None => {
+                usage();
+                return 2;
+            }
+        }
+    };
+    if out.is_some() && profiles.len() > 1 {
+        eprintln!("--out names a single file; use --dir with --all");
+        return 2;
+    }
+    println!(
+        "{:<16}{:>10}{:>12}{:>11}  file",
+        "app", "insts", "bytes", "bits/inst"
+    );
+    for p in &profiles {
+        let wl = Workload::build(p);
+        let trace = match tracefmt::capture(&wl, insts, slice) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("capture {} failed: {e}", p.name);
+                return 1;
+            }
+        };
+        let path = out
+            .clone()
+            .unwrap_or_else(|| parrot_bench::corpus_file(&dir, p.name));
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, trace.bytes()) {
+            eprintln!("capture {}: cannot write {}: {e}", p.name, path.display());
+            return 1;
+        }
+        println!(
+            "{:<16}{:>10}{:>12}{:>11.2}  {}",
+            p.name,
+            trace.inst_count(),
+            trace.bytes().len(),
+            trace.bits_per_inst(),
+            path.display()
+        );
+    }
+    0
+}
+
+/// Replay a `.ptrace` capture through a machine model. The argument is a
+/// file path, or an app name resolved to `corpus/<app>.ptrace`. With
+/// `--verify`, the committed stream is re-decoded fallibly and the report
+/// is byte-compared against a live-engine twin (nonzero exit on any
+/// divergence).
+fn replay(args: &[String]) -> i32 {
+    use parrot_workloads::tracefmt::{decode_all, TraceFile};
+    use std::sync::Arc;
+
+    let Some(target) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage();
+        return 2;
+    };
+    let path = if std::path::Path::new(target).is_file() {
+        std::path::PathBuf::from(target)
+    } else if app_by_name(target).is_some() {
+        parrot_bench::corpus_file(&parrot_bench::corpus_dir(), target)
+    } else {
+        eprintln!("'{target}' is neither a trace file nor a registered app");
+        return 2;
+    };
+    let trace = match TraceFile::open(&path) {
+        Ok(t) => Arc::new(t),
+        Err(e) => {
+            eprintln!("replay: {e}");
+            return 1;
+        }
+    };
+    let Some(profile) = app_by_name(trace.app_name()) else {
+        eprintln!(
+            "replay: trace was captured from unknown app '{}'",
+            trace.app_name()
+        );
+        return 1;
+    };
+    let wl = Workload::build(&profile);
+    if let Err(e) = trace.check_source(&wl) {
+        eprintln!("replay: {e}");
+        return 1;
+    }
+    let insts = flag_u64(args, "--insts").unwrap_or_else(|| trace.inst_count());
+    let model = args
+        .windows(2)
+        .find(|w| w[0] == "--model")
+        .map(|w| parse_model(&w[1]))
+        .unwrap_or(Model::TOW);
+    let mut req = SimRequest::model(model)
+        .insts(insts)
+        .replay(Arc::clone(&trace));
+    let seed = flag_u64(args, "--fault-seed");
+    let rate = flag_f64(args, "--fault-rate");
+    if seed.is_some() || rate.is_some() {
+        req = req.faults(FaultPlan::new(seed.unwrap_or(0)).rate(rate.unwrap_or(0.01)));
+    }
+    if let Err(e) = req.validate_replay(&wl) {
+        eprintln!("replay: {e}");
+        return 1;
+    }
+    let r = req.run(&wl);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", r.to_json().to_json_pretty());
+    } else {
+        print_human(&r);
+        println!("  replayed from    {}", path.display());
+    }
+    if !args.iter().any(|a| a == "--verify") {
+        return 0;
+    }
+    // Full fallible decode, stream diff, and report diff vs the live twin.
+    let decoded = match decode_all(&trace, &wl) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("verify: decode failed: {e}");
+            return 1;
+        }
+    };
+    let live_stream: Vec<_> = wl.engine().take(decoded.len()).collect();
+    if decoded != live_stream {
+        eprintln!("verify: FAIL — replayed committed stream diverges from the live engine");
+        return 1;
+    }
+    let mut live_req = SimRequest::model(model).insts(insts);
+    if seed.is_some() || rate.is_some() {
+        live_req = live_req.faults(FaultPlan::new(seed.unwrap_or(0)).rate(rate.unwrap_or(0.01)));
+    }
+    let live = live_req.run(&wl);
+    if live.to_json().to_json() != r.to_json().to_json() {
+        eprintln!("verify: FAIL — replayed report differs from the live-engine report");
+        return 1;
+    }
+    println!(
+        "verify: PASS — {} instructions and the {} report are byte-identical to the live engine",
+        decoded.len(),
+        model.name()
+    );
+    0
 }
 
 fn sweep(args: &[String]) {

@@ -60,6 +60,19 @@ fn main() {
     }
     writeln!(md).unwrap();
 
+    writeln!(md, "## Trace capture/replay — size and speedup\n").unwrap();
+    match parrot_bench::trace_replay_markdown() {
+        Some(table) => md.push_str(&table),
+        None => writeln!(
+            md,
+            "No capture/replay record yet: run `cargo run --release -p parrot-bench\n\
+             --bin tracebench` to capture every app into `corpus/` and measure\n\
+             replay-vs-generate wall clock (see DESIGN.md §16)."
+        )
+        .unwrap(),
+    }
+    writeln!(md).unwrap();
+
     writeln!(
         md,
         "## Fault injection — graceful degradation vs fault rate\n"

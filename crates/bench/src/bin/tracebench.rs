@@ -1,0 +1,123 @@
+//! Measure replay-vs-generate for every registered application: capture
+//! each committed stream into the `corpus/` convention, verify the replayed
+//! stream and a TOW report are byte-identical to the live engine, then time
+//! raw stream production (engine vs cursor) and a full simulation over each
+//! source. Records `results/trace_replay.json` (embedded into
+//! EXPERIMENTS.md by `reproduce`) and prints the same table as markdown.
+//!
+//! Run with: `cargo run --release -p parrot-bench --bin tracebench`
+//! (set `PARROT_INSTS` to change the per-app instruction budget).
+
+use parrot_bench::cli::Telemetry;
+use parrot_bench::SweepConfig;
+use parrot_core::{Model, SimRequest};
+use parrot_telemetry::json::Value;
+use parrot_telemetry::status;
+use parrot_workloads::tracefmt::{capture, ReplayCursor, DEFAULT_SLICE_INSTS};
+use parrot_workloads::{all_apps, Workload};
+use std::sync::Arc;
+
+/// Best-of repetitions per timed measurement.
+const REPS: u32 = 3;
+
+fn best_of(mut f: impl FnMut() -> f64) -> f64 {
+    (0..REPS).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let (telemetry, _args) = Telemetry::from_args(std::env::args().skip(1).collect());
+    let insts = SweepConfig::from_env().insts_value();
+    let corpus = parrot_bench::corpus_dir();
+    let _ = std::fs::create_dir_all(&corpus);
+    let mut rows = Vec::new();
+    for p in all_apps() {
+        let wl = Workload::build(&p);
+        let trace = Arc::new(capture(&wl, insts, DEFAULT_SLICE_INSTS).expect("encodable stream"));
+        let path = parrot_bench::corpus_file(&corpus, p.name);
+        std::fs::write(&path, trace.bytes()).expect("write capture");
+
+        // Correctness first: the replayed stream and a TOW report must be
+        // byte-identical to the live engine before any timing is recorded.
+        let live: Vec<_> = wl.engine().take(insts as usize).collect();
+        let mut cur = ReplayCursor::new(Arc::clone(&trace), &wl).expect("source matches");
+        let replayed: Vec<_> = (0..insts).map(|_| cur.next_inst()).collect();
+        assert_eq!(replayed, live, "{}: replayed stream diverges", p.name);
+        let req = SimRequest::model(Model::TOW).insts(insts);
+        let sim_live = req.clone().run(&wl);
+        let sim_replay = req.clone().replay(Arc::clone(&trace)).run(&wl);
+        assert_eq!(
+            sim_live.to_json().to_json(),
+            sim_replay.to_json().to_json(),
+            "{}: replayed report diverges",
+            p.name
+        );
+
+        // Raw stream production cost: engine vs decode cursor. Both loops
+        // have the same shape — source constructed outside the timed
+        // region, every produced instruction black-boxed — so neither side
+        // can dead-code-eliminate per-instruction work.
+        let generate_ms = best_of(|| {
+            let mut eng = wl.engine();
+            let t0 = std::time::Instant::now();
+            for _ in 0..insts {
+                std::hint::black_box(eng.next().expect("engine streams are infinite"));
+            }
+            t0.elapsed().as_secs_f64() * 1e3
+        });
+        let replay_ms = best_of(|| {
+            let mut cur = ReplayCursor::new(Arc::clone(&trace), &wl).expect("source matches");
+            let t0 = std::time::Instant::now();
+            for _ in 0..insts {
+                std::hint::black_box(cur.next_inst());
+            }
+            t0.elapsed().as_secs_f64() * 1e3
+        });
+        // Whole-simulation cost over each source.
+        let sim_generate_ms = best_of(|| {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(req.clone().run(&wl));
+            t0.elapsed().as_secs_f64() * 1e3
+        });
+        let sim_replay_ms = best_of(|| {
+            let r = req.clone().replay(Arc::clone(&trace));
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(r.run(&wl));
+            t0.elapsed().as_secs_f64() * 1e3
+        });
+        status!(
+            "{}: {} B, {:.2} bits/inst, stream {:.2}→{:.2} ms, sim {:.2}→{:.2} ms",
+            p.name,
+            trace.bytes().len(),
+            trace.bits_per_inst(),
+            generate_ms,
+            replay_ms,
+            sim_generate_ms,
+            sim_replay_ms
+        );
+        rows.push(Value::obj([
+            ("app", Value::Str(p.name.to_string())),
+            ("bytes", Value::int(trace.bytes().len() as u64)),
+            ("bits_per_inst", Value::Num(trace.bits_per_inst())),
+            ("generate_ms", Value::Num(generate_ms)),
+            ("replay_ms", Value::Num(replay_ms)),
+            ("sim_generate_ms", Value::Num(sim_generate_ms)),
+            ("sim_replay_ms", Value::Num(sim_replay_ms)),
+        ]));
+    }
+    let doc = Value::obj([
+        ("insts", Value::int(insts)),
+        ("reps", Value::int(u64::from(REPS))),
+        ("apps", Value::Arr(rows)),
+    ]);
+    let path = parrot_bench::trace_timings_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, doc.to_json_pretty()).expect("write trace timings");
+    status!("wrote {}", path.display());
+    print!(
+        "{}",
+        parrot_bench::trace_replay_markdown().expect("timings just recorded")
+    );
+    telemetry.finish();
+}

@@ -24,11 +24,12 @@ use parrot_core::{FaultPlan, Model, SimReport, SimRequest};
 use parrot_energy::metrics::{cmpw_relative, geo_mean};
 use parrot_telemetry::json::Value;
 use parrot_telemetry::shard::SweepSession;
+use parrot_workloads::tracefmt::{TraceError, TraceFile, FILE_EXT};
 use parrot_workloads::{all_apps, AppProfile, Suite, Workload};
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 pub mod cips;
 pub mod cli;
@@ -90,6 +91,7 @@ pub struct SweepConfig {
     jobs: usize,
     faults: Option<FaultPlan>,
     cache_dir: Option<PathBuf>,
+    replay_dir: Option<PathBuf>,
 }
 
 impl Default for SweepConfig {
@@ -107,6 +109,7 @@ impl SweepConfig {
             jobs: 0,
             faults: None,
             cache_dir: None,
+            replay_dir: None,
         }
     }
 
@@ -161,6 +164,23 @@ impl SweepConfig {
         self
     }
 
+    /// Drive every run of the sweep from captured traces instead of the
+    /// live engine: the directory must hold one `<app>.ptrace` per
+    /// application (the `parrot capture --all` corpus convention), each
+    /// captured from the current workload definitions with at least the
+    /// sweep's instruction budget. The per-file content checksums are
+    /// folded into [`SweepConfig::fingerprint`], so replayed sweeps can
+    /// never alias live-engine cache entries.
+    pub fn replay_dir(mut self, dir: impl Into<PathBuf>) -> SweepConfig {
+        self.replay_dir = Some(dir.into());
+        self
+    }
+
+    /// The replay corpus directory, if one is armed.
+    pub fn replay_dir_value(&self) -> Option<&Path> {
+        self.replay_dir.as_deref()
+    }
+
     /// The committed-instruction budget in effect.
     pub fn insts_value(&self) -> u64 {
         self.insts
@@ -188,9 +208,28 @@ impl SweepConfig {
     /// [`FaultPlan::cache_tag`] on top.
     pub fn fingerprint(&self) -> u64 {
         let base = config_fingerprint(self.insts);
-        match &self.faults {
+        let base = match &self.faults {
             None => base,
             Some(p) => fnv1a(base, p.cache_tag().as_bytes()),
+        };
+        match &self.replay_dir {
+            None => base,
+            Some(dir) => {
+                // Fold the corpus identity: path plus the content checksum
+                // of every per-app capture (a missing or unreadable file
+                // folds a distinct marker; the sweep itself will then fail
+                // with the structured error).
+                let mut h = fnv1a(base, b"replay;");
+                h = fnv1a(h, dir.to_string_lossy().as_bytes());
+                for a in all_apps() {
+                    h = fnv1a(h, a.name.as_bytes());
+                    h = match TraceFile::open(corpus_file(dir, a.name)) {
+                        Ok(t) => fnv1a(h, &t.file_fp().to_le_bytes()),
+                        Err(_) => fnv1a(h, b"<unreadable>"),
+                    };
+                }
+                h
+            }
         }
     }
 
@@ -209,6 +248,24 @@ impl SweepConfig {
             req = req.faults(p.clone());
         }
         req
+    }
+
+    /// Load and validate the replay capture for `wl`, when a corpus is
+    /// armed: the file must parse, match the workload, and cover the
+    /// instruction budget.
+    fn replay_for(&self, wl: &Workload) -> Result<Option<Arc<TraceFile>>, TraceError> {
+        let Some(dir) = &self.replay_dir else {
+            return Ok(None);
+        };
+        let trace = TraceFile::open(corpus_file(dir, wl.profile.name))?;
+        trace.check_source(wl)?;
+        if trace.inst_count() < self.insts {
+            return Err(TraceError::TooShort {
+                captured: trace.inst_count(),
+                requested: self.insts,
+            });
+        }
+        Ok(Some(Arc::new(trace)))
     }
 }
 
@@ -309,9 +366,16 @@ impl ResultSet {
                         sess.install_item();
                     }
                     let wl = Workload::build(&apps[i]);
+                    let replay = cfg.replay_for(&wl).unwrap_or_else(|e| {
+                        panic!("replay corpus unusable for {}: {e}", apps[i].name)
+                    });
                     let mut local = Vec::with_capacity(Model::ALL.len());
                     for m in Model::ALL {
-                        local.push(cfg.request(m).run(&wl));
+                        let mut req = cfg.request(m);
+                        if let Some(t) = &replay {
+                            req = req.replay(Arc::clone(t));
+                        }
+                        local.push(req.run(&wl));
                     }
                     if let Some(sess) = session {
                         sess.collect_item(i, w);
@@ -459,6 +523,89 @@ fn env_root() -> String {
 /// Where the `sweepbench` binary records measured sweep wall-clock numbers.
 pub fn timings_path() -> PathBuf {
     PathBuf::from(env_root()).join("results/sweep_timings.json")
+}
+
+/// The conventional capture-corpus directory: `corpus/` under the
+/// repository root (`parrot capture --all` writes here, `parrot replay APP`
+/// and `parrot sweep --replay-dir` read from it).
+pub fn corpus_dir() -> PathBuf {
+    PathBuf::from(env_root()).join("corpus")
+}
+
+/// The conventional capture path for one application inside `dir`:
+/// `<dir>/<app>.ptrace`.
+pub fn corpus_file(dir: &Path, app: &str) -> PathBuf {
+    dir.join(format!("{app}.{FILE_EXT}"))
+}
+
+/// Where the `tracebench` binary records replay-vs-generate measurements.
+pub fn trace_timings_path() -> PathBuf {
+    PathBuf::from(env_root()).join("results/trace_replay.json")
+}
+
+/// Markdown table of the per-app capture sizes and replay-vs-generate
+/// wall-clock measurements recorded by the `tracebench` binary, or `None`
+/// when no record exists yet. Embedded into EXPERIMENTS.md by `reproduce`
+/// so the replay-speedup claim stays re-checkable.
+pub fn trace_replay_markdown() -> Option<String> {
+    let text = std::fs::read_to_string(trace_timings_path()).ok()?;
+    let v = parrot_telemetry::json::parse(&text).ok()?;
+    let insts = v.get("insts").as_u64()?;
+    let rows = v.get("apps").as_arr()?;
+    let mut md = String::new();
+    use std::fmt::Write as _;
+    writeln!(
+        md,
+        "Measured with `cargo run --release -p parrot-bench --bin tracebench`\n\
+         ({insts} committed instructions per app; every replayed stream and\n\
+         TOW report verified byte-identical to the live engine before timing;\n\
+         re-run it to refresh):\n"
+    )
+    .ok()?;
+    writeln!(
+        md,
+        "| app | capture size | bits/inst | generate | replay | stream speedup | sim speedup |"
+    )
+    .ok()?;
+    writeln!(md, "|---|---|---|---|---|---|---|").ok()?;
+    let mut bits = Vec::new();
+    let mut stream_sp = Vec::new();
+    let mut sim_sp = Vec::new();
+    for r in rows {
+        let app = r.get("app").as_str()?;
+        let bytes = r.get("bytes").as_u64()?;
+        let bpi = r.get("bits_per_inst").as_f64()?;
+        let gen_ms = r.get("generate_ms").as_f64()?;
+        let rep_ms = r.get("replay_ms").as_f64()?;
+        let sim_gen_ms = r.get("sim_generate_ms").as_f64()?;
+        let sim_rep_ms = r.get("sim_replay_ms").as_f64()?;
+        let ssp = if rep_ms > 0.0 { gen_ms / rep_ms } else { 0.0 };
+        let msp = if sim_rep_ms > 0.0 {
+            sim_gen_ms / sim_rep_ms
+        } else {
+            0.0
+        };
+        bits.push(bpi);
+        stream_sp.push(ssp);
+        sim_sp.push(msp);
+        writeln!(
+            md,
+            "| {app} | {:.1} KiB | {bpi:.2} | {gen_ms:.2} ms | {rep_ms:.2} ms | {ssp:.2}× | {msp:.2}× |",
+            bytes as f64 / 1024.0
+        )
+        .ok()?;
+    }
+    if !bits.is_empty() {
+        writeln!(
+            md,
+            "| **geomean** | | **{:.2}** | | | **{:.2}×** | **{:.2}×** |",
+            geo_mean(&bits),
+            geo_mean(&stream_sp),
+            geo_mean(&sim_sp)
+        )
+        .ok()?;
+    }
+    Some(md)
 }
 
 /// Markdown table of the sweep wall-clock timings recorded by the

@@ -1,0 +1,175 @@
+//! Replay must be invisible to results: a simulation driven by a captured
+//! trace produces byte-identical reports to the live engine for every
+//! model and application, the capture/replay telemetry counters reconcile
+//! exactly, replayed sweeps match live sweeps while occupying a distinct
+//! cache fingerprint, and invalid replay requests fail with structured
+//! errors before any machine is built.
+
+use parrot_bench::{corpus_file, ResultSet, SweepConfig};
+use parrot_core::{Model, SimRequest};
+use parrot_telemetry::metrics;
+use parrot_workloads::tracefmt::{capture, TraceError, DEFAULT_SLICE_INSTS};
+use parrot_workloads::{all_apps, app_by_name, Workload};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const BUDGET: u64 = 2_000;
+
+fn wl(name: &str) -> Workload {
+    Workload::build(&app_by_name(name).expect("registered app"))
+}
+
+fn report_json(req: SimRequest, wl: &Workload) -> String {
+    req.run(wl).to_json().to_json_pretty()
+}
+
+#[test]
+fn tow_replay_report_is_byte_identical_for_all_apps() {
+    for p in all_apps() {
+        let wl = Workload::build(&p);
+        let trace = Arc::new(capture(&wl, BUDGET, DEFAULT_SLICE_INSTS).expect("encodable"));
+        let req = SimRequest::model(Model::TOW).insts(BUDGET);
+        assert_eq!(
+            report_json(req.clone(), &wl),
+            report_json(req.replay(Arc::clone(&trace)), &wl),
+            "{}: replayed TOW report diverges from the live engine",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn every_model_is_replay_invariant() {
+    for name in ["gcc", "swim"] {
+        let w = wl(name);
+        let trace = Arc::new(capture(&w, BUDGET, DEFAULT_SLICE_INSTS).expect("encodable"));
+        for m in Model::ALL {
+            let req = SimRequest::model(m).insts(BUDGET);
+            assert_eq!(
+                report_json(req.clone(), &w),
+                report_json(req.replay(Arc::clone(&trace)), &w),
+                "{name}/{m}: replayed report diverges from the live engine"
+            );
+        }
+    }
+}
+
+/// ISSUE acceptance: `capture:written` from the capture pass must equal
+/// `replay:read` from a replay of the same budget, per app.
+#[test]
+fn capture_and_replay_counters_reconcile_exactly() {
+    for name in ["perlbench", "ammp"] {
+        let w = wl(name);
+
+        metrics::install(metrics::MetricsHub::new(500));
+        let trace = Arc::new(capture(&w, BUDGET, DEFAULT_SLICE_INSTS).expect("encodable"));
+        let hub = metrics::take().expect("hub still installed");
+        let written = hub.counter("capture:written");
+
+        metrics::install(metrics::MetricsHub::new(500));
+        let _report = SimRequest::model(Model::TOW)
+            .insts(BUDGET)
+            .replay(Arc::clone(&trace))
+            .run(&w);
+        let hub = metrics::take().expect("hub reinstalled after run");
+        let read = hub.counter("replay:read");
+
+        assert_eq!(written, BUDGET, "{name}: capture:written");
+        assert_eq!(
+            written, read,
+            "{name}: capture:written must reconcile with replay:read"
+        );
+    }
+}
+
+#[test]
+fn replayed_sweep_matches_live_sweep_with_distinct_fingerprint() {
+    // Build a complete corpus in a scratch directory.
+    let dir = std::env::temp_dir().join(format!("parrot-replay-corpus-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch corpus dir");
+    for p in all_apps() {
+        let w = Workload::build(&p);
+        let trace = capture(&w, BUDGET, DEFAULT_SLICE_INSTS).expect("encodable");
+        std::fs::write(corpus_file(&dir, p.name), trace.bytes()).expect("write capture");
+    }
+
+    let live_cfg = SweepConfig::new().insts(BUDGET).jobs(4);
+    let replay_cfg = SweepConfig::new()
+        .insts(BUDGET)
+        .jobs(4)
+        .replay_dir(dir.clone());
+    // Replayed sweeps must never alias live-engine cache entries.
+    assert_ne!(
+        live_cfg.fingerprint(),
+        replay_cfg.fingerprint(),
+        "replay corpus identity must be folded into the sweep fingerprint"
+    );
+
+    let live = ResultSet::run_sweep_with(&live_cfg);
+    let replayed = ResultSet::run_sweep_with(&replay_cfg);
+    for p in all_apps() {
+        for m in Model::ALL {
+            assert_eq!(
+                live.get(m, p.name).to_json().to_json_pretty(),
+                replayed.get(m, p.name).to_json().to_json_pretty(),
+                "{}/{m}: replayed sweep report diverges",
+                p.name
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn invalid_replay_requests_fail_with_structured_errors() {
+    let gcc = wl("gcc");
+    let swim = wl("swim");
+    let short = Arc::new(capture(&gcc, 500, 256).expect("encodable"));
+
+    // Budget exceeds the capture: TooShort, reported before any sim runs.
+    let req = SimRequest::model(Model::TOW)
+        .insts(BUDGET)
+        .replay(short.clone());
+    assert_eq!(
+        req.validate_replay(&gcc),
+        Err(TraceError::TooShort {
+            captured: 500,
+            requested: BUDGET
+        })
+    );
+
+    // Wrong application: SourceMismatch.
+    let req = SimRequest::model(Model::TOW)
+        .insts(500)
+        .replay(short.clone());
+    assert!(matches!(
+        req.validate_replay(&swim),
+        Err(TraceError::SourceMismatch { .. })
+    ));
+
+    // A well-formed request validates cleanly.
+    let req = SimRequest::model(Model::TOW).insts(500).replay(short);
+    assert_eq!(req.validate_replay(&gcc), Ok(()));
+
+    // No replay armed: nothing to validate.
+    assert_eq!(
+        SimRequest::model(Model::TOW)
+            .insts(BUDGET)
+            .validate_replay(&gcc),
+        Ok(())
+    );
+
+    // A corpus directory with no captures fails the sweep loader the same
+    // structured way (missing file surfaces as an I/O-shaped TraceError).
+    let empty: PathBuf =
+        std::env::temp_dir().join(format!("parrot-empty-corpus-{}", std::process::id()));
+    std::fs::create_dir_all(&empty).expect("scratch dir");
+    let cfg = SweepConfig::new().insts(BUDGET).replay_dir(empty.clone());
+    // Fingerprint still computes (missing files fold a marker) and differs
+    // from the live configuration.
+    assert_ne!(
+        cfg.fingerprint(),
+        SweepConfig::new().insts(BUDGET).fingerprint()
+    );
+    let _ = std::fs::remove_dir_all(&empty);
+}

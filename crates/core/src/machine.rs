@@ -23,8 +23,10 @@ use parrot_trace::{
 use parrot_uarch::core::{DispatchUop, OooCore};
 use parrot_uarch::frontend::ColdFrontEnd;
 use parrot_uarch::oracle::OracleStream;
-use parrot_workloads::Workload;
+use parrot_workloads::tracefmt::TraceFile;
+use parrot_workloads::{StreamSource, Workload};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Which pipeline a uop belongs to (cores differ only in split models).
 /// `HotOpt` marks uops of *optimized* traces: partial renaming was already
@@ -204,6 +206,20 @@ impl<'w> Machine<'w> {
         max_insts: u64,
         faults: Option<FaultInjector>,
     ) -> Machine<'w> {
+        Self::from_config_source(cfg, wl, max_insts, faults, None)
+    }
+
+    /// As [`Machine::from_config_faults`], with the committed stream drawn
+    /// from a capture instead of the live engine when `replay` is set. The
+    /// caller ([`crate::SimRequest::run`]) must already have validated the
+    /// capture against `wl` and `max_insts`.
+    pub(crate) fn from_config_source(
+        cfg: MachineConfig,
+        wl: &'w Workload,
+        max_insts: u64,
+        faults: Option<FaultInjector>,
+        replay: Option<Arc<TraceFile>>,
+    ) -> Machine<'w> {
         let mut cores = vec![OooCore::new(cfg.core)];
         if let Some(hc) = cfg.hot_core {
             cores.push(OooCore::new(hc));
@@ -224,10 +240,15 @@ impl<'w> Machine<'w> {
                 ts.tc.set_integrity(true);
             }
         }
+        let src = match replay {
+            Some(trace) => StreamSource::replay(trace, wl)
+                .expect("replay source validated before machine construction"),
+            None => StreamSource::live(wl),
+        };
         Machine {
             label: cfg.name.clone(),
             frontend: ColdFrontEnd::new(cfg.core, cfg.bpred),
-            oracle: OracleStream::new(wl.engine(), max_insts),
+            oracle: OracleStream::from_source(src, max_insts),
             mem: parrot_uarch::cache::MemHierarchy::standard(),
             cores,
             queue: VecDeque::with_capacity(queue_cap + 8),
@@ -341,6 +362,9 @@ impl<'w> Machine<'w> {
             }
             metrics::counter_set("fault:demoted", c.demoted);
             metrics::counter_set("fault:fellback", c.fellback);
+        }
+        if self.oracle.is_replay() {
+            metrics::counter_set("replay:read", self.oracle.pulled());
         }
         metrics::counter_set("state_switches", self.switches);
         metrics::gauge_set("energy", self.acct.total());

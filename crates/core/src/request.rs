@@ -18,7 +18,9 @@ use crate::faults::FaultPlan;
 use crate::machine::Machine;
 use crate::models::{MachineConfig, Model};
 use crate::report::SimReport;
+use parrot_workloads::tracefmt::{TraceError, TraceFile};
 use parrot_workloads::Workload;
+use std::sync::Arc;
 
 /// Default committed-instruction budget (matches the sweep default).
 pub const DEFAULT_INSTS: u64 = 200_000;
@@ -32,6 +34,7 @@ pub struct SimRequest {
     cfg: MachineConfig,
     insts: u64,
     faults: Option<FaultPlan>,
+    replay: Option<Arc<TraceFile>>,
 }
 
 impl SimRequest {
@@ -48,6 +51,7 @@ impl SimRequest {
             cfg,
             insts: DEFAULT_INSTS,
             faults: None,
+            replay: None,
         }
     }
 
@@ -63,6 +67,54 @@ impl SimRequest {
     pub fn faults(mut self, plan: FaultPlan) -> SimRequest {
         self.faults = Some(plan);
         self
+    }
+
+    /// Drive the simulation from a captured trace instead of the live
+    /// engine. The capture must have been taken from the workload passed to
+    /// [`SimRequest::run`] and must hold at least the instruction budget —
+    /// check with [`SimRequest::validate_replay`] first when either is in
+    /// doubt. Replay changes only where the committed stream comes from;
+    /// the report is byte-identical to the live-engine run.
+    ///
+    /// ```
+    /// use parrot_core::{Model, SimRequest};
+    /// use parrot_workloads::tracefmt::{capture, DEFAULT_SLICE_INSTS};
+    /// use parrot_workloads::{app_by_name, Workload};
+    /// use std::sync::Arc;
+    ///
+    /// let wl = Workload::build(&app_by_name("eon").expect("registered"));
+    /// let trace = Arc::new(capture(&wl, 3_000, DEFAULT_SLICE_INSTS).expect("encodable"));
+    /// let req = SimRequest::model(Model::TOW).insts(3_000);
+    /// let live = req.clone().run(&wl);
+    /// let replayed = req.replay(Arc::clone(&trace)).run(&wl);
+    /// assert_eq!(live.to_json().to_json(), replayed.to_json().to_json());
+    /// ```
+    pub fn replay(mut self, trace: Arc<TraceFile>) -> SimRequest {
+        self.replay = Some(trace);
+        self
+    }
+
+    /// The armed replay capture, if any.
+    pub fn replay_trace(&self) -> Option<&Arc<TraceFile>> {
+        self.replay.as_ref()
+    }
+
+    /// Check that the armed replay capture (if any) was taken from `wl` and
+    /// covers the instruction budget. [`SimRequest::run`] enforces the same
+    /// conditions by panicking; call this first to get the structured
+    /// [`TraceError`] instead.
+    pub fn validate_replay(&self, wl: &Workload) -> Result<(), TraceError> {
+        let Some(trace) = &self.replay else {
+            return Ok(());
+        };
+        trace.check_source(wl)?;
+        if trace.inst_count() < self.insts {
+            return Err(TraceError::TooShort {
+                captured: trace.inst_count(),
+                requested: self.insts,
+            });
+        }
+        Ok(())
     }
 
     /// The instruction budget this request will simulate.
@@ -81,12 +133,21 @@ impl SimRequest {
     }
 
     /// Run the simulation to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replay capture is armed that fails
+    /// [`SimRequest::validate_replay`] (wrong source or too short).
     pub fn run(&self, wl: &Workload) -> SimReport {
+        if let Err(e) = self.validate_replay(wl) {
+            panic!("invalid replay request: {e}");
+        }
         let inj = self
             .faults
             .as_ref()
             .map(|p| p.injector_for(&self.cfg.name, wl.profile.name));
-        Machine::from_config_faults(self.cfg.clone(), wl, self.insts, inj).run()
+        Machine::from_config_source(self.cfg.clone(), wl, self.insts, inj, self.replay.clone())
+            .run()
     }
 }
 

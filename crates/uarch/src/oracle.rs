@@ -7,18 +7,18 @@
 //! re-fetched cold). [`OracleStream`] buffers a sliding window to support
 //! both.
 
-use parrot_workloads::{DynInst, ExecutionEngine};
+use parrot_workloads::{DynInst, ExecutionEngine, StreamSource};
 use std::collections::VecDeque;
 
 /// How many already-consumed instructions stay buffered for rewind (must
 /// exceed the largest trace: 64 uops ≥ 64 instructions).
 const RETAIN: u64 = 256;
 
-/// Sliding, rewindable window over an [`ExecutionEngine`]'s output, bounded
-/// by an instruction budget.
-#[derive(Clone, Debug)]
+/// Sliding, rewindable window over a [`StreamSource`]'s output (live engine
+/// or trace replay), bounded by an instruction budget.
+#[derive(Debug)]
 pub struct OracleStream<'p> {
-    engine: ExecutionEngine<'p>,
+    src: StreamSource<'p>,
     buf: VecDeque<DynInst>,
     /// Sequence number of `buf[0]`.
     base: u64,
@@ -29,15 +29,33 @@ pub struct OracleStream<'p> {
 }
 
 impl<'p> OracleStream<'p> {
-    /// Wrap an engine, capping the stream at `limit` instructions.
+    /// Wrap a live engine, capping the stream at `limit` instructions.
     pub fn new(engine: ExecutionEngine<'p>, limit: u64) -> OracleStream<'p> {
+        Self::from_source(StreamSource::Live(engine), limit)
+    }
+
+    /// Wrap any committed-stream source, capping at `limit` instructions.
+    /// For a replay source the caller must have validated that the capture
+    /// holds at least `limit` instructions (`SimRequest` does).
+    pub fn from_source(src: StreamSource<'p>, limit: u64) -> OracleStream<'p> {
         OracleStream {
-            engine,
+            src,
             buf: VecDeque::with_capacity(512),
             base: 0,
             cursor: 0,
             limit,
         }
+    }
+
+    /// Total instructions pulled from the underlying source so far (the
+    /// basis of the `replay:read` reconciliation counter).
+    pub fn pulled(&self) -> u64 {
+        self.base + self.buf.len() as u64
+    }
+
+    /// Is the underlying source a trace replay?
+    pub fn is_replay(&self) -> bool {
+        self.src.is_replay()
     }
 
     /// The next sequence number to be consumed.
@@ -69,7 +87,7 @@ impl<'p> OracleStream<'p> {
             self.base
         );
         while self.base + self.buf.len() as u64 <= seq {
-            let d = self.engine.next().expect("engine streams are infinite");
+            let d = self.src.next_inst();
             self.buf.push_back(d);
         }
         Some(self.buf[(seq - self.base) as usize])

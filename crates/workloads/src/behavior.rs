@@ -13,17 +13,33 @@ pub type BehaviorId = u32;
 pub enum BranchBehavior {
     /// Independently random with probability `p_taken` (data-dependent
     /// branch; captures weakly predictable control).
-    Bias { p_taken: f64 },
+    Bias {
+        /// Probability of resolving taken.
+        p_taken: f64,
+    },
     /// A loop back-edge: taken `trips - 1` times, then not-taken, where
     /// `trips` is redrawn around `trip_mean` on each loop entry. Low
     /// `trip_jitter` makes trip counts (and hence traces) highly regular.
-    Loop { trip_mean: f64, trip_jitter: f64 },
+    Loop {
+        /// Mean trip count per loop entry.
+        trip_mean: f64,
+        /// Relative jitter applied when redrawing the trip count.
+        trip_jitter: f64,
+    },
     /// A deterministic repeating taken/not-taken pattern of `len` bits —
     /// perfectly predictable by a history-based predictor.
-    Periodic { pattern: u64, len: u8 },
+    Periodic {
+        /// The direction bits, LSB first.
+        pattern: u64,
+        /// Pattern length in bits.
+        len: u8,
+    },
     /// For indirect jumps: select among N targets with the given cumulative
     /// distribution (typically Zipf-skewed).
-    Select { cdf: Vec<f64> },
+    Select {
+        /// Cumulative probability per target index.
+        cdf: Vec<f64>,
+    },
 }
 
 /// Per-branch runtime state evolved by [`BranchBehavior::resolve`].
@@ -102,10 +118,22 @@ pub type StreamId = u16;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AddrStreamSpec {
     /// Sequential walk: `base + (pos · stride) mod region`, 8-byte aligned.
-    Stride { base: u64, stride: u32, region: u32 },
+    Stride {
+        /// Region base address.
+        base: u64,
+        /// Bytes advanced per dynamic occurrence.
+        stride: u32,
+        /// Region size in bytes (the walk wraps).
+        region: u32,
+    },
     /// Uniformly random within `region` bytes above `base` (pointer-chasing
     /// style), 8-byte aligned.
-    Random { base: u64, region: u32 },
+    Random {
+        /// Region base address.
+        base: u64,
+        /// Region size in bytes.
+        region: u32,
+    },
 }
 
 impl AddrStreamSpec {

@@ -26,11 +26,15 @@
 //! assert_eq!(first_1000.len(), 1000);
 //! ```
 
+#![warn(missing_docs)]
+
 mod behavior;
 mod engine;
 mod genprog;
 mod profile;
 mod program;
+mod stream;
+pub mod tracefmt;
 
 /// The in-tree deterministic PRNG (xorshift64*) used for program
 /// generation and branch/address behavior. Re-exported from
@@ -49,6 +53,7 @@ pub use program::{
     BasicBlock, BlockId, DecodedProgram, FuncId, Function, Program, Terminator, CODE_BASE,
     DATA_BASE, STACK_BASE,
 };
+pub use stream::StreamSource;
 
 /// A ready-to-simulate application: profile, generated program and
 /// pre-decoded uops.

@@ -3,10 +3,15 @@ use std::fmt;
 /// Benchmark suite classification, matching the paper's §3.4 grouping.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Suite {
+    /// SPEC CPU2000 integer benchmarks.
     SpecInt,
+    /// SPEC CPU2000 floating-point benchmarks.
     SpecFp,
+    /// SysMark 2000 office-productivity workloads.
     Office,
+    /// Multimedia kernels (codecs, imaging).
     Multimedia,
+    /// .NET managed-runtime workloads.
     DotNet,
 }
 

@@ -16,23 +16,39 @@ pub type FuncId = u32;
 #[derive(Clone, Debug, PartialEq)]
 pub enum Terminator {
     /// No CTI; control continues at `next`.
-    FallThrough { next: BlockId },
+    FallThrough {
+        /// Successor block.
+        next: BlockId,
+    },
     /// Conditional branch: `taken` vs. `fall`, resolved by `behavior`.
     CondBranch {
+        /// Successor when the branch is taken.
         taken: BlockId,
+        /// Fall-through successor.
         fall: BlockId,
+        /// Dynamic direction model.
         behavior: BehaviorId,
     },
     /// Unconditional direct jump.
-    Jump { target: BlockId },
+    Jump {
+        /// Jump target block.
+        target: BlockId,
+    },
     /// Indirect jump among `targets`, selected by `behavior`.
     IndirectJump {
+        /// Candidate target blocks.
         targets: Vec<BlockId>,
+        /// Dynamic target-selection model.
         behavior: BehaviorId,
     },
     /// Call `callee`; execution resumes at `ret_to` after the callee
     /// returns.
-    Call { callee: FuncId, ret_to: BlockId },
+    Call {
+        /// Function whose entry block receives control.
+        callee: FuncId,
+        /// Block execution resumes at after the callee returns.
+        ret_to: BlockId,
+    },
     /// Return to the caller.
     Return,
 }

@@ -1,0 +1,448 @@
+//! Replay side of the trace format: a streaming cursor that re-materializes
+//! the committed [`DynInst`] stream from a parsed [`TraceFile`] plus the
+//! static [`crate::Program`] it was captured from.
+//!
+//! Slices are self-contained (DESIGN.md §16.4): [`ReplayCursor::at_slice`]
+//! jumps to any slice boundary using only that slice's index entry, which
+//! is what phase-sampled simulation will build on.
+
+use std::sync::Arc;
+
+use parrot_isa::InstKind;
+
+use super::encode::{TOK_LITERAL, TOK_RUN};
+use super::varint::{read_varint, unzigzag};
+use super::{TraceError, TraceFile};
+use crate::program::Program;
+use crate::{DynInst, Workload};
+
+/// An event pulled from the dictionary or a literal token: `run` sequential
+/// instructions, then one control transfer (`ctl` bit 0 = taken) whose
+/// successor id is `cti_id + 1 + delta`.
+#[derive(Clone, Copy)]
+struct Event {
+    run: u64,
+    ctl: u8,
+    delta: i64,
+}
+
+/// Streaming decoder over a captured trace.
+///
+/// Construction verifies the trace's source fingerprint against the
+/// workload, so a cursor can only exist for the exact program that was
+/// captured. The hot-path [`ReplayCursor::next_inst`] is infallible — every
+/// container-level corruption is rejected at [`TraceFile::parse`] time by
+/// checksums, so a decode failure past that point means the file was
+/// hand-crafted; use [`ReplayCursor::try_next`] or [`decode_all`] when the
+/// input is untrusted and a structured [`TraceError`] is required.
+///
+/// ```
+/// use parrot_workloads::tracefmt::{capture, ReplayCursor};
+/// use parrot_workloads::{app_by_name, Workload};
+/// use std::sync::Arc;
+///
+/// let wl = Workload::build(&app_by_name("vpr").expect("registered"));
+/// let trace = Arc::new(capture(&wl, 1_500, 300).expect("encodable"));
+/// let mut cur = ReplayCursor::new(trace, &wl).expect("source matches");
+/// let live = wl.engine().nth(0).expect("infinite stream");
+/// assert_eq!(cur.next_inst(), live);
+/// assert_eq!(cur.read(), 1);
+/// ```
+pub struct ReplayCursor<'p> {
+    trace: Arc<TraceFile>,
+    prog: &'p Program,
+    /// Slice currently buffered.
+    slice: usize,
+    /// The current slice, fully decoded. Batch-decoding one slice at a
+    /// time keeps the per-instruction hot path a plain buffer read while
+    /// bounding memory at one slice regardless of capture length.
+    buf: Vec<DynInst>,
+    buf_pos: usize,
+    /// Decoder state after the buffered slice, checked against the next
+    /// slice's index restart on sequential advance.
+    end_id: u32,
+    end_depth: u64,
+    /// Per-stream previous effective address (reset per slice).
+    last_addr: Vec<u64>,
+    /// Total instructions emitted.
+    read: u64,
+}
+
+impl<'p> ReplayCursor<'p> {
+    /// Open a cursor at the start of the capture. Fails with
+    /// [`TraceError::SourceMismatch`] if the trace was not captured from
+    /// `wl`, or [`TraceError::Malformed`] if the first slice's metadata is
+    /// inconsistent.
+    pub fn new(trace: Arc<TraceFile>, wl: &'p Workload) -> Result<ReplayCursor<'p>, TraceError> {
+        trace.check_source(wl)?;
+        let mut c = ReplayCursor {
+            trace,
+            prog: &wl.program,
+            slice: 0,
+            buf: Vec::new(),
+            buf_pos: 0,
+            end_id: 0,
+            end_depth: 0,
+            last_addr: vec![0; wl.program.addr_streams.len()],
+            read: 0,
+        };
+        c.load_slice(0)?;
+        Ok(c)
+    }
+
+    /// Total instructions emitted so far (the `replay:read` counter value).
+    pub fn read(&self) -> u64 {
+        self.read
+    }
+
+    /// The trace being replayed.
+    pub fn trace(&self) -> &TraceFile {
+        &self.trace
+    }
+
+    /// Reposition at the start of slice `i`, using only that slice's index
+    /// entry (random access). `read()` restarts from the slice's global
+    /// position.
+    pub fn at_slice(&mut self, i: usize) -> Result<(), TraceError> {
+        self.load_slice(i)?;
+        self.read = i as u64 * u64::from(self.trace.slice_insts());
+        Ok(())
+    }
+
+    /// Batch-decode slice `i` into the instruction buffer, validating the
+    /// whole payload (section framing, dictionary references, id bounds,
+    /// token/address sections consumed exactly) as it goes.
+    fn load_slice(&mut self, i: usize) -> Result<(), TraceError> {
+        let trace = Arc::clone(&self.trace);
+        let entries = trace.slices();
+        let entry = *entries.get(i).ok_or_else(|| {
+            TraceError::Malformed(format!("slice {i} out of range ({})", entries.len()))
+        })?;
+        let per = u64::from(trace.slice_insts());
+        let slice_len = per.min(trace.inst_count() - i as u64 * per) as usize;
+        self.slice = i;
+        self.buf.clear();
+        self.buf_pos = 0;
+        self.buf.reserve(slice_len);
+        self.last_addr.iter_mut().for_each(|a| *a = 0);
+
+        // Section framing.
+        let data = trace.bytes();
+        let pl = &data[entry.off..entry.off + entry.len];
+        let mut pos = 0usize;
+        let dict_count = *pl
+            .first()
+            .ok_or_else(|| TraceError::Malformed(format!("slice {i}: empty payload")))?
+            as usize;
+        pos += 1;
+        if dict_count >= TOK_LITERAL as usize {
+            return Err(TraceError::Malformed(format!(
+                "slice {i}: dictionary of {dict_count} entries exceeds the token space"
+            )));
+        }
+        let mut dict: Vec<Event> = Vec::with_capacity(dict_count);
+        for _ in 0..dict_count {
+            let (ev, used) = read_event(&pl[pos..])
+                .ok_or_else(|| TraceError::Malformed(format!("slice {i}: truncated dictionary")))?;
+            dict.push(ev);
+            pos += used;
+        }
+        let (tok_len, used) = read_varint(&pl[pos..])
+            .ok_or_else(|| TraceError::Malformed(format!("slice {i}: missing token length")))?;
+        pos += used;
+        let mut tok_pos = pos;
+        pos = pos
+            .checked_add(tok_len as usize)
+            .filter(|p| *p <= pl.len())
+            .ok_or_else(|| TraceError::Malformed(format!("slice {i}: token section overruns")))?;
+        let tok_end = pos;
+        let (addr_len, used) = read_varint(&pl[pos..])
+            .ok_or_else(|| TraceError::Malformed(format!("slice {i}: missing address length")))?;
+        pos += used;
+        let mut addr_pos = pos;
+        pos = pos
+            .checked_add(addr_len as usize)
+            .filter(|p| *p == pl.len())
+            .ok_or_else(|| {
+                TraceError::Malformed(format!("slice {i}: address section does not end the slice"))
+            })?;
+        let addr_end = pos;
+
+        // Event loop: every event makes progress (a CTI, or a nonempty
+        // trailing run), so this terminates at exactly `slice_len`.
+        let mut id = entry.first_inst;
+        let mut depth = u64::from(entry.start_depth);
+        let num_insts = self.prog.num_insts();
+        while self.buf.len() < slice_len {
+            if tok_pos >= tok_end {
+                return Err(TraceError::Malformed(format!(
+                    "slice {i}: token stream ends {} instructions early",
+                    slice_len - self.buf.len()
+                )));
+            }
+            let tok = pl[tok_pos];
+            tok_pos += 1;
+            let ev = match tok {
+                TOK_LITERAL => {
+                    let (ev, used) = read_event(&pl[tok_pos..tok_end]).ok_or_else(|| {
+                        TraceError::Malformed(format!("slice {i}: truncated literal event"))
+                    })?;
+                    tok_pos += used;
+                    ev
+                }
+                TOK_RUN => {
+                    let (run, used) = read_varint(&pl[tok_pos..tok_end]).ok_or_else(|| {
+                        TraceError::Malformed(format!("slice {i}: truncated trailing run"))
+                    })?;
+                    tok_pos += used;
+                    // A trailing run has no CTI: it must cover exactly the
+                    // rest of the slice.
+                    if run != (slice_len - self.buf.len()) as u64 {
+                        return Err(TraceError::Malformed(format!(
+                            "slice {i}: trailing run of {run} does not close the slice"
+                        )));
+                    }
+                    Event {
+                        run,
+                        ctl: 0xFF,
+                        delta: 0,
+                    }
+                }
+                d => *dict.get(d as usize).ok_or_else(|| {
+                    TraceError::Malformed(format!(
+                        "slice {i}: dictionary reference {d} out of range ({})",
+                        dict.len()
+                    ))
+                })?,
+            };
+            let trailing = ev.ctl == 0xFF;
+            let emitted = ev.run + u64::from(!trailing);
+            if !trailing && self.buf.len() as u64 + emitted > slice_len as u64 {
+                return Err(TraceError::Malformed(format!(
+                    "slice {i}: token stream overruns the slice"
+                )));
+            }
+            // All ids this event emits are sequential from `id`; bound
+            // them once instead of per instruction.
+            if u64::from(id) + emitted > num_insts as u64 {
+                return Err(TraceError::Malformed(format!(
+                    "slice {i}: instruction id {} outside the program",
+                    u64::from(id) + emitted - 1
+                )));
+            }
+            // The event's id range is bounds-checked above, so the run can
+            // iterate the instruction table slice directly.
+            let run_insts = &self.prog.insts[id as usize..id as usize + ev.run as usize];
+            for inst in run_insts {
+                let (eff_addr, has_mem) = eff_addr(
+                    self.prog,
+                    &inst.kind,
+                    pl,
+                    &mut addr_pos,
+                    addr_end,
+                    &mut self.last_addr,
+                    &mut depth,
+                    i,
+                )?;
+                self.buf.push(DynInst {
+                    inst: id,
+                    pc: inst.addr,
+                    len: inst.len,
+                    taken: false,
+                    next_pc: inst.addr + u64::from(inst.len),
+                    eff_addr,
+                    has_mem,
+                });
+                id += 1;
+            }
+            if trailing {
+                continue;
+            }
+            let next_id = (i64::from(id) + 1 + ev.delta) as u32;
+            if (next_id as usize) >= num_insts {
+                return Err(TraceError::Malformed(format!(
+                    "slice {i}: control transfer to id {next_id} outside the program"
+                )));
+            }
+            let inst = self.prog.inst(id);
+            let (ea, has_mem) = eff_addr(
+                self.prog,
+                &inst.kind,
+                pl,
+                &mut addr_pos,
+                addr_end,
+                &mut self.last_addr,
+                &mut depth,
+                i,
+            )?;
+            self.buf.push(DynInst {
+                inst: id,
+                pc: inst.addr,
+                len: inst.len,
+                taken: ev.ctl & 1 != 0,
+                next_pc: self.prog.inst(next_id).addr,
+                eff_addr: ea,
+                has_mem,
+            });
+            id = next_id;
+        }
+        if tok_pos != tok_end {
+            return Err(TraceError::Malformed(format!(
+                "slice {i}: token stream overruns the slice"
+            )));
+        }
+        if addr_pos != addr_end {
+            return Err(TraceError::Malformed(format!(
+                "slice {i}: {} unconsumed address bytes",
+                addr_end - addr_pos
+            )));
+        }
+        self.end_id = id;
+        self.end_depth = depth;
+        Ok(())
+    }
+
+    /// Decode the next committed instruction, or a structured error if the
+    /// payload is internally inconsistent (possible only for hand-crafted
+    /// files — checksums catch accidental corruption at parse time).
+    pub fn try_next(&mut self) -> Result<DynInst, TraceError> {
+        if self.buf_pos == self.buf.len() {
+            if self.read >= self.trace.inst_count() {
+                return Err(TraceError::TooShort {
+                    captured: self.trace.inst_count(),
+                    requested: self.read + 1,
+                });
+            }
+            let next = self.slice + 1;
+            let (expect_id, expect_depth) = (self.end_id, self.end_depth);
+            self.load_slice(next)?;
+            let entry = self.trace.slices()[next];
+            if entry.first_inst != expect_id || u64::from(entry.start_depth) != expect_depth {
+                return Err(TraceError::Malformed(format!(
+                    "slice {next}: index restart (inst {}, depth {}) disagrees with \
+                     the decoded stream (inst {expect_id}, depth {expect_depth})",
+                    entry.first_inst, entry.start_depth
+                )));
+            }
+        }
+        let d = self.buf[self.buf_pos];
+        self.buf_pos += 1;
+        self.read += 1;
+        Ok(d)
+    }
+
+    /// Infallible hot-path decode for the simulator's oracle stream: a
+    /// buffer read, with a batch decode of the next slice every
+    /// [`TraceFile::slice_insts`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is internally inconsistent or the cursor is
+    /// advanced past [`TraceFile::inst_count`]. Neither can happen for a
+    /// file that [`TraceFile::parse`] accepted and an instruction budget
+    /// validated against the capture — see [`ReplayCursor::try_next`] for
+    /// the fallible form.
+    #[inline]
+    pub fn next_inst(&mut self) -> DynInst {
+        if self.buf_pos < self.buf.len() {
+            let d = self.buf[self.buf_pos];
+            self.buf_pos += 1;
+            self.read += 1;
+            return d;
+        }
+        match self.try_next() {
+            Ok(d) => d,
+            Err(e) => panic!("trace replay failed past validation: {e}"),
+        }
+    }
+}
+
+/// Effective-address reconstruction for one instruction: memory ops read a
+/// per-stream zigzag delta from the address section, calls/returns derive
+/// the stack slot from the tracked depth, everything else has none.
+#[allow(clippy::too_many_arguments)]
+fn eff_addr(
+    prog: &Program,
+    kind: &InstKind,
+    pl: &[u8],
+    addr_pos: &mut usize,
+    addr_end: usize,
+    last_addr: &mut [u64],
+    depth: &mut u64,
+    slice: usize,
+) -> Result<(u64, bool), TraceError> {
+    if let Some(m) = kind.mem_ref() {
+        let (zz, used) = read_varint(&pl[*addr_pos..addr_end]).ok_or_else(|| {
+            TraceError::Malformed(format!("slice {slice}: address section exhausted"))
+        })?;
+        *addr_pos += used;
+        let sid = m.stream as usize;
+        let addr = last_addr[sid].wrapping_add(unzigzag(zz) as u64);
+        last_addr[sid] = addr;
+        return Ok((addr, true));
+    }
+    match kind {
+        InstKind::Call => {
+            let addr = prog.stack_base - 8 * (*depth + 1);
+            *depth += 1;
+            Ok((addr, true))
+        }
+        InstKind::Return => {
+            let addr = prog.stack_base - 8 * (*depth).max(1);
+            *depth = depth.saturating_sub(1);
+            Ok((addr, true))
+        }
+        _ => Ok((0, false)),
+    }
+}
+
+impl std::fmt::Debug for ReplayCursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayCursor")
+            .field("app", &self.trace.app_name())
+            .field("slice", &self.slice)
+            .field("read", &self.read)
+            .finish()
+    }
+}
+
+fn read_event(buf: &[u8]) -> Option<(Event, usize)> {
+    let ctl = *buf.first()?;
+    let mut pos = 1usize;
+    let (run, used) = read_varint(&buf[pos..])?;
+    pos += used;
+    let (zz, used) = read_varint(&buf[pos..])?;
+    pos += used;
+    Some((
+        Event {
+            run,
+            ctl,
+            delta: unzigzag(zz),
+        },
+        pos,
+    ))
+}
+
+/// Decode an entire capture fallibly — the validation path used by
+/// `parrot replay --verify` and by tests on untrusted files. Returns the
+/// full committed stream or the first structural error.
+///
+/// ```
+/// use parrot_workloads::tracefmt::{capture, decode_all};
+/// use parrot_workloads::{app_by_name, Workload};
+/// use std::sync::Arc;
+///
+/// let wl = Workload::build(&app_by_name("art").expect("registered"));
+/// let trace = Arc::new(capture(&wl, 800, 128).expect("encodable"));
+/// let stream = decode_all(&trace, &wl).expect("decodes");
+/// assert_eq!(stream.len(), 800);
+/// ```
+pub fn decode_all(trace: &Arc<TraceFile>, wl: &Workload) -> Result<Vec<DynInst>, TraceError> {
+    let mut cur = ReplayCursor::new(Arc::clone(trace), wl)?;
+    let n = trace.inst_count() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(cur.try_next()?);
+    }
+    Ok(out)
+}

@@ -1,0 +1,88 @@
+//! LEB128 variable-length integers and zigzag signed mapping — the two
+//! primitive encodings every section of the on-disk trace format is built
+//! from (DESIGN.md §16.2).
+//!
+//! ```
+//! use parrot_workloads::tracefmt::varint::{read_varint, write_varint, zigzag, unzigzag};
+//!
+//! let mut buf = Vec::new();
+//! write_varint(&mut buf, zigzag(-3));
+//! let (v, used) = read_varint(&buf).unwrap();
+//! assert_eq!(unzigzag(v), -3);
+//! assert_eq!(used, 1);
+//! ```
+
+/// Append `v` to `out` as an unsigned LEB128 varint (7 payload bits per
+/// byte, high bit = continuation; at most 10 bytes for a `u64`).
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode an unsigned LEB128 varint from the front of `buf`, returning the
+/// value and the number of bytes consumed. `None` on truncation or on an
+/// encoding longer than 10 bytes (which cannot be a canonical `u64`).
+pub fn read_varint(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    for (i, b) in buf.iter().enumerate().take(10) {
+        v |= u64::from(b & 0x7f) << (7 * i);
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+    }
+    None
+}
+
+/// Map a signed integer onto an unsigned one with small absolute values
+/// staying small: `0, -1, 1, -2, 2, …` → `0, 1, 2, 3, 4, …`.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrips_edge_values() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let (back, used) = read_varint(&buf).expect("decodes");
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.pop();
+        // All remaining bytes carry the continuation bit: truncated.
+        assert!(read_varint(&buf).is_none());
+        assert!(read_varint(&[]).is_none());
+    }
+
+    #[test]
+    fn zigzag_roundtrips_and_orders_by_magnitude() {
+        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert!(zigzag(-1) < zigzag(2));
+        assert!(zigzag(3) < zigzag(-4));
+    }
+}
