@@ -1,0 +1,231 @@
+//! Per-function control-flow-graph recovery from the static
+//! [`Program`] table.
+//!
+//! Function blocks are contiguous from [`parrot_workloads::Function::entry`],
+//! so a function's CFG uses *local* block indices (`0..num_blocks`) with
+//! `local = global - first`. Edges are read straight off each block's
+//! [`Terminator`]: calls contribute an intra-procedural edge to the return
+//! block (the callee is call-graph structure, not CFG structure) and
+//! returns have no intra-procedural successor.
+//!
+//! ```
+//! let prof = parrot_workloads::app_by_name("gcc").unwrap();
+//! let prog = parrot_workloads::generate_program(&prof);
+//! let cfg = parrot_analysis::cfg::Cfg::build(&prog).unwrap();
+//! assert_eq!(cfg.funcs.len(), prog.funcs.len());
+//! ```
+
+use crate::AnalysisError;
+use parrot_workloads::{BlockId, FuncId, Program, Terminator};
+
+/// The recovered CFG of a single function, in local block indices.
+#[derive(Clone, Debug)]
+pub struct FuncCfg {
+    /// Which function this is.
+    pub func: FuncId,
+    /// First (entry) block, as a global [`BlockId`].
+    pub first: BlockId,
+    /// Number of blocks in the contiguous range.
+    pub num_blocks: u32,
+    /// Intra-procedural successor lists, deduplicated, ascending.
+    pub succs: Vec<Vec<u32>>,
+    /// Intra-procedural predecessor lists, deduplicated, ascending.
+    pub preds: Vec<Vec<u32>>,
+    /// Reverse postorder over blocks reachable from the entry.
+    pub rpo: Vec<u32>,
+    /// Position of each block in `rpo` (`None` when unreachable).
+    pub rpo_pos: Vec<Option<u32>>,
+    /// Blocks not reachable from the entry (ascending local indices).
+    pub unreachable: Vec<u32>,
+    /// Edges whose target lies outside this function's block range
+    /// (excluding calls/returns, which are expected to leave it).
+    pub cross_function_edges: u32,
+}
+
+impl FuncCfg {
+    /// Convert a local index to the global [`BlockId`].
+    #[must_use]
+    pub fn global(&self, local: u32) -> BlockId {
+        self.first + local
+    }
+
+    /// Convert a global [`BlockId`] to a local index, if it belongs here.
+    #[must_use]
+    pub fn local(&self, block: BlockId) -> Option<u32> {
+        block
+            .checked_sub(self.first)
+            .filter(|&l| l < self.num_blocks)
+    }
+
+    /// Whether `local` is reachable from the function entry.
+    #[must_use]
+    pub fn reachable(&self, local: u32) -> bool {
+        self.rpo_pos
+            .get(local as usize)
+            .is_some_and(Option::is_some)
+    }
+}
+
+/// The whole-program CFG: one [`FuncCfg`] per function plus an owner map.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Per-function CFGs, indexed by [`FuncId`].
+    pub funcs: Vec<FuncCfg>,
+    /// Owning function of every block.
+    pub block_func: Vec<FuncId>,
+    /// Direct call edges `(caller, caller_block, callee)`, in block order.
+    pub calls: Vec<(FuncId, BlockId, FuncId)>,
+}
+
+impl Cfg {
+    /// Recover the CFG for every function of `prog`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`AnalysisError`] when the program table is
+    /// malformed (no functions, an empty function, a block range or edge
+    /// target out of bounds). Never panics.
+    pub fn build(prog: &Program) -> Result<Cfg, AnalysisError> {
+        if prog.funcs.is_empty() {
+            return Err(AnalysisError::NoFunctions);
+        }
+        let total = u32::try_from(prog.blocks.len()).map_err(|_| AnalysisError::NoFunctions)?;
+        let mut block_func = vec![0u32; prog.blocks.len()];
+        let mut funcs = Vec::with_capacity(prog.funcs.len());
+        let mut calls = Vec::new();
+        for (fid, f) in prog.funcs.iter().enumerate() {
+            let fid = u32::try_from(fid).map_err(|_| AnalysisError::NoFunctions)?;
+            if f.num_blocks == 0 {
+                return Err(AnalysisError::EmptyFunction { func: fid });
+            }
+            let end = f
+                .entry
+                .checked_add(f.num_blocks)
+                .filter(|&e| e <= total)
+                .ok_or(AnalysisError::BlockRangeOutOfBounds {
+                    func: fid,
+                    first: f.entry,
+                    num_blocks: f.num_blocks,
+                    total,
+                })?;
+            for b in f.entry..end {
+                block_func[b as usize] = fid;
+            }
+            funcs.push(build_func(prog, fid, f.entry, f.num_blocks, &mut calls)?);
+        }
+        Ok(Cfg {
+            funcs,
+            block_func,
+            calls,
+        })
+    }
+
+    /// The [`FuncCfg`] owning a global block id, if any function does.
+    #[must_use]
+    pub fn func_of(&self, block: BlockId) -> Option<&FuncCfg> {
+        self.block_func
+            .get(block as usize)
+            .map(|&f| &self.funcs[f as usize])
+    }
+}
+
+fn build_func(
+    prog: &Program,
+    func: FuncId,
+    first: BlockId,
+    num_blocks: u32,
+    calls: &mut Vec<(FuncId, BlockId, FuncId)>,
+) -> Result<FuncCfg, AnalysisError> {
+    let n = num_blocks as usize;
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut cross_function_edges = 0u32;
+    let total = u32::try_from(prog.blocks.len()).unwrap_or(u32::MAX);
+    for local in 0..num_blocks {
+        let b = first + local;
+        let mut targets: Vec<BlockId> = Vec::new();
+        match &prog.blocks[b as usize].term {
+            Terminator::FallThrough { next } => targets.push(*next),
+            Terminator::CondBranch { taken, fall, .. } => {
+                targets.push(*taken);
+                targets.push(*fall);
+            }
+            Terminator::Jump { target } => targets.push(*target),
+            Terminator::IndirectJump { targets: ts, .. } => {
+                targets.extend_from_slice(ts);
+            }
+            Terminator::Call { callee, ret_to } => {
+                calls.push((func, b, *callee));
+                targets.push(*ret_to);
+            }
+            Terminator::Return => {}
+        }
+        for t in targets {
+            if t >= total {
+                return Err(AnalysisError::EdgeOutOfRange { from: b, to: t });
+            }
+            if let Some(tl) = t.checked_sub(first).filter(|&l| l < num_blocks) {
+                if !succs[local as usize].contains(&tl) {
+                    succs[local as usize].push(tl);
+                }
+            } else {
+                // A jump that lands in another function: keep the CFG
+                // intra-procedural (like a return) but record the anomaly.
+                cross_function_edges += 1;
+            }
+        }
+        succs[local as usize].sort_unstable();
+    }
+    for (u, ss) in succs.iter().enumerate() {
+        for &v in ss {
+            let u = u32::try_from(u).unwrap_or(u32::MAX);
+            if !preds[v as usize].contains(&u) {
+                preds[v as usize].push(u);
+            }
+        }
+    }
+    for p in &mut preds {
+        p.sort_unstable();
+    }
+
+    // Iterative DFS postorder from the entry (local 0); no recursion so a
+    // pathological program cannot overflow the stack.
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = open, 2 = done
+    let mut post: Vec<u32> = Vec::with_capacity(n);
+    let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+    state[0] = 1;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let ss = &succs[b as usize];
+        if *next < ss.len() {
+            let s = ss[*next];
+            *next += 1;
+            if state[s as usize] == 0 {
+                state[s as usize] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[b as usize] = 2;
+            post.push(b);
+            stack.pop();
+        }
+    }
+    let rpo: Vec<u32> = post.into_iter().rev().collect();
+    let mut rpo_pos: Vec<Option<u32>> = vec![None; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_pos[b as usize] = u32::try_from(i).ok();
+    }
+    let unreachable: Vec<u32> = (0..num_blocks)
+        .filter(|&b| rpo_pos[b as usize].is_none())
+        .collect();
+    Ok(FuncCfg {
+        func,
+        first,
+        num_blocks,
+        succs,
+        preds,
+        rpo,
+        rpo_pos,
+        unreachable,
+        cross_function_edges,
+    })
+}

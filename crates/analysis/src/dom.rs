@@ -1,0 +1,108 @@
+//! Dominator trees via the iterative Cooper–Harvey–Kennedy algorithm.
+//!
+//! The engine's CFGs are small (tens of blocks per function) and already
+//! come with a reverse postorder, so the simple iterative data-flow
+//! formulation beats Lengauer–Tarjan on both code size and constant
+//! factors; it converges in `d(G) + 3` passes (≤ 2 on reducible graphs).
+//!
+//! ```
+//! let prof = parrot_workloads::app_by_name("gcc").unwrap();
+//! let prog = parrot_workloads::generate_program(&prof);
+//! let cfg = parrot_analysis::cfg::Cfg::build(&prog).unwrap();
+//! let dom = parrot_analysis::dom::DomTree::compute(&cfg.funcs[0]);
+//! // The entry dominates every reachable block.
+//! assert!(cfg.funcs[0].rpo.iter().all(|&b| dom.dominates(0, b, &cfg.funcs[0])));
+//! ```
+
+use crate::cfg::FuncCfg;
+
+/// Immediate-dominator table over a function's *local* block indices.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b]` for reachable non-entry blocks; the entry maps to itself;
+    /// unreachable blocks map to `None`.
+    pub idom: Vec<Option<u32>>,
+}
+
+impl DomTree {
+    /// Compute immediate dominators for every block reachable from the
+    /// function entry. Unreachable blocks get `None` and are ignored.
+    #[must_use]
+    pub fn compute(cfg: &FuncCfg) -> DomTree {
+        let n = cfg.num_blocks as usize;
+        let mut idom: Vec<Option<u32>> = vec![None; n];
+        if n == 0 || cfg.rpo.is_empty() {
+            return DomTree { idom };
+        }
+        let entry = cfg.rpo[0];
+        idom[entry as usize] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                // First processed predecessor seeds the intersection.
+                let mut new_idom: Option<u32> = None;
+                for &p in &cfg.preds[b as usize] {
+                    if idom[p as usize].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &cfg.rpo_pos, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b as usize] != new_idom {
+                    idom[b as usize] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom }
+    }
+
+    /// Whether local block `a` dominates local block `b` (reflexive).
+    /// Returns `false` when either block is unreachable.
+    #[must_use]
+    pub fn dominates(&self, a: u32, b: u32, cfg: &FuncCfg) -> bool {
+        if self.idom.get(a as usize).copied().flatten().is_none() {
+            return false;
+        }
+        let Some(&entry) = cfg.rpo.first() else {
+            return false;
+        };
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == entry {
+                return false;
+            }
+            match self.idom.get(cur as usize).copied().flatten() {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// Walk two dominator-tree paths up to their common ancestor, comparing by
+/// reverse-postorder position (later position = deeper in the order).
+fn intersect(idom: &[Option<u32>], rpo_pos: &[Option<u32>], mut a: u32, mut b: u32) -> u32 {
+    let pos = |x: u32| rpo_pos[x as usize].unwrap_or(u32::MAX);
+    while a != b {
+        while pos(a) > pos(b) {
+            match idom[a as usize] {
+                Some(x) if x != a => a = x,
+                _ => return b, // defensive: malformed chain, pick the other
+            }
+        }
+        while pos(b) > pos(a) {
+            match idom[b as usize] {
+                Some(x) if x != b => b = x,
+                _ => return a,
+            }
+        }
+    }
+    a
+}

@@ -1,0 +1,98 @@
+//! Static hotness estimates: loop-depth-weighted frequency propagation.
+//!
+//! Intra-function block weight is the product of the trip estimates of
+//! every enclosing loop (a block three levels deep in 8-trip loops is
+//! expected to run ~512× per function invocation). Function invocation
+//! weights then flow through the call graph with a damped, bounded
+//! fixed-point iteration seeded at the dispatch driver (`funcs[0]`),
+//! which the engine invokes in a steady round-robin. Absolute hotness of
+//! a block is `func_weight × intra_weight`; everything is computed with
+//! deterministic f64 operations in a fixed order so reports are
+//! byte-identical across runs.
+
+use crate::cfg::Cfg;
+use crate::loops::LoopForest;
+
+/// Caps keep recursive call chains and extreme trip products finite.
+const MAX_INTRA: f64 = 1e12;
+const MAX_FUNC: f64 = 1e15;
+/// Fixed-point passes over the call graph; the generator's call depth is
+/// shallow, so this over-covers while staying bounded for recursion.
+const CALL_PASSES: u32 = 8;
+/// Damping applied to call contributions after the first pass, so
+/// recursive cycles converge instead of doubling every pass.
+const DAMPING: f64 = 0.5;
+
+/// Per-function intra weights: expected executions of each block per
+/// invocation of its function (entry = 1.0, unreachable = 0.0).
+#[must_use]
+pub fn intra_weights(cfg: &Cfg, forests: &[LoopForest]) -> Vec<Vec<f64>> {
+    cfg.funcs
+        .iter()
+        .zip(forests)
+        .map(|(f, forest)| {
+            (0..f.num_blocks)
+                .map(|b| {
+                    if !f.reachable(b) {
+                        return 0.0;
+                    }
+                    let mut w = 1.0f64;
+                    for l in &forest.loops {
+                        if l.body.binary_search(&b).is_ok() {
+                            w = (w * l.trip).min(MAX_INTRA);
+                        }
+                    }
+                    w
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Function invocation weights via damped fixed-point over the call graph.
+/// `funcs[0]` (the dispatch driver) is pinned at weight 1.0.
+#[must_use]
+pub fn function_weights(cfg: &Cfg, intra: &[Vec<f64>]) -> Vec<f64> {
+    let nf = cfg.funcs.len();
+    let mut fw = vec![0.0f64; nf];
+    if nf == 0 {
+        return fw;
+    }
+    fw[0] = 1.0;
+    for pass in 0..CALL_PASSES {
+        let damp = if pass == 0 { 1.0 } else { DAMPING };
+        let mut next = vec![0.0f64; nf];
+        next[0] = 1.0;
+        for &(caller, block, callee) in &cfg.calls {
+            let f = &cfg.funcs[caller as usize];
+            let Some(local) = f.local(block) else {
+                continue;
+            };
+            let site = intra[caller as usize][local as usize];
+            let add = fw[caller as usize] * site * damp;
+            let slot = &mut next[callee as usize];
+            *slot = (*slot + add).min(MAX_FUNC);
+        }
+        // Keep the old estimate when a pass would lower it to zero
+        // transiently (call chains deeper than the pass number).
+        for (cur, new) in fw.iter_mut().zip(&next).skip(1) {
+            *cur = cur.max(*new);
+        }
+    }
+    fw
+}
+
+/// Absolute per-block hotness over the whole program, indexed by global
+/// [`parrot_workloads::BlockId`]: `func_weight × intra_weight`.
+#[must_use]
+pub fn block_hotness(cfg: &Cfg, intra: &[Vec<f64>], fw: &[f64]) -> Vec<f64> {
+    let total: usize = cfg.block_func.len();
+    let mut hot = vec![0.0f64; total];
+    for f in &cfg.funcs {
+        for local in 0..f.num_blocks {
+            let g = f.global(local) as usize;
+            hot[g] = fw[f.func as usize] * intra[f.func as usize][local as usize];
+        }
+    }
+    hot
+}

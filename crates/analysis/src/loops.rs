@@ -1,0 +1,197 @@
+//! Natural-loop forests with nesting depth and static trip estimates.
+//!
+//! A back edge is an edge `u → v` where `v` dominates `u`; the natural
+//! loop of that edge is `v` plus everything that reaches `u` backwards
+//! without passing through `v`. Loops sharing a header are merged.
+//! Retreating edges whose target does *not* dominate the source mark
+//! irreducible regions: they are recorded as warnings and excluded from
+//! the forest rather than guessed at (the generator emits reducible
+//! control flow, so any hit is a red flag worth surfacing).
+//!
+//! ```
+//! let prof = parrot_workloads::app_by_name("gcc").unwrap();
+//! let prog = parrot_workloads::generate_program(&prof);
+//! let cfg = parrot_analysis::cfg::Cfg::build(&prog).unwrap();
+//! let dom = parrot_analysis::dom::DomTree::compute(&cfg.funcs[1]);
+//! let forest = parrot_analysis::loops::LoopForest::build(&cfg.funcs[1], &dom, &prog);
+//! assert!(forest.irreducible_edges.is_empty()); // generator emits reducible CFGs
+//! ```
+
+use crate::cfg::FuncCfg;
+use crate::dom::DomTree;
+use parrot_workloads::{BranchBehavior, Program, Terminator};
+
+/// Trip estimate used when a loop's latch branch has no `Loop` behavior
+/// attached (e.g. a fall-through latch or a bias-modelled branch).
+pub const DEFAULT_TRIP: f64 = 8.0;
+/// Trip estimates are clamped to `[MIN_TRIP, MAX_TRIP]` so one extreme
+/// profile cannot saturate the whole hotness propagation.
+pub const MIN_TRIP: f64 = 1.5;
+/// Upper trip clamp; see [`MIN_TRIP`].
+pub const MAX_TRIP: f64 = 256.0;
+
+/// One natural loop, in local block indices.
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// Header block (target of the back edges).
+    pub header: u32,
+    /// Back-edge sources, ascending.
+    pub latches: Vec<u32>,
+    /// All member blocks including the header, ascending.
+    pub body: Vec<u32>,
+    /// Enclosing loop (index into [`LoopForest::loops`]), if nested.
+    pub parent: Option<usize>,
+    /// Nesting depth; 1 for outermost loops.
+    pub depth: u32,
+    /// Static per-entry trip estimate (clamped; see [`DEFAULT_TRIP`]).
+    pub trip: f64,
+}
+
+/// The loop forest of one function.
+#[derive(Clone, Debug, Default)]
+pub struct LoopForest {
+    /// All loops, ordered by header index.
+    pub loops: Vec<NaturalLoop>,
+    /// Per-block nesting depth (0 = not in any loop).
+    pub depth_of: Vec<u32>,
+    /// Per-block innermost containing loop (index into `loops`).
+    pub innermost: Vec<Option<usize>>,
+    /// Retreating edges that are not back edges (irreducible entries),
+    /// as local `(from, to)` pairs.
+    pub irreducible_edges: Vec<(u32, u32)>,
+}
+
+impl LoopForest {
+    /// Detect back edges, grow natural loops, merge shared headers, and
+    /// nest them. Irreducible retreating edges are collected instead of
+    /// being folded into bogus loops.
+    #[must_use]
+    pub fn build(cfg: &FuncCfg, dom: &DomTree, prog: &Program) -> LoopForest {
+        let n = cfg.num_blocks as usize;
+        let mut back_edges: Vec<(u32, u32)> = Vec::new();
+        let mut irreducible_edges: Vec<(u32, u32)> = Vec::new();
+        for &u in &cfg.rpo {
+            for &v in &cfg.succs[u as usize] {
+                if !cfg.reachable(v) {
+                    continue;
+                }
+                let retreating = cfg.rpo_pos[v as usize] <= cfg.rpo_pos[u as usize];
+                if dom.dominates(v, u, cfg) {
+                    back_edges.push((u, v));
+                } else if retreating {
+                    irreducible_edges.push((u, v));
+                }
+            }
+        }
+        back_edges.sort_unstable_by_key(|&(u, v)| (v, u));
+        irreducible_edges.sort_unstable();
+
+        // Natural loop of each back edge via backward reachability from the
+        // latch, stopping at the header; merge loops sharing a header.
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for &(latch, header) in &back_edges {
+            let idx = loops
+                .iter()
+                .position(|l| l.header == header)
+                .unwrap_or_else(|| {
+                    loops.push(NaturalLoop {
+                        header,
+                        latches: Vec::new(),
+                        body: vec![header],
+                        parent: None,
+                        depth: 0,
+                        trip: 0.0,
+                    });
+                    loops.len() - 1
+                });
+            let l = &mut loops[idx];
+            if !l.latches.contains(&latch) {
+                l.latches.push(latch);
+            }
+            let mut work = vec![latch];
+            while let Some(b) = work.pop() {
+                if l.body.contains(&b) {
+                    continue;
+                }
+                l.body.push(b);
+                for &p in &cfg.preds[b as usize] {
+                    if cfg.reachable(p) {
+                        work.push(p);
+                    }
+                }
+            }
+        }
+        for l in &mut loops {
+            l.latches.sort_unstable();
+            l.body.sort_unstable();
+            l.trip = trip_estimate(cfg, prog, l);
+        }
+        loops.sort_by_key(|l| l.header);
+
+        // Nesting: the parent of loop B is the smallest-bodied loop A ≠ B
+        // whose body contains B's header. Depth follows the parent chain.
+        let parents: Vec<Option<usize>> = (0..loops.len())
+            .map(|i| {
+                loops
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, a)| j != i && a.header != loops[i].header)
+                    .filter(|(_, a)| a.body.binary_search(&loops[i].header).is_ok())
+                    .min_by_key(|(_, a)| a.body.len())
+                    .map(|(j, _)| j)
+            })
+            .collect();
+        for (i, p) in parents.iter().enumerate() {
+            loops[i].parent = *p;
+        }
+        for i in 0..loops.len() {
+            let mut depth = 1u32;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                depth += 1;
+                if depth > u32::try_from(loops.len()).unwrap_or(u32::MAX) {
+                    break; // defensive: cyclic parent chain cannot happen, but never hang
+                }
+                cur = loops[p].parent;
+            }
+            loops[i].depth = depth;
+        }
+
+        let mut depth_of = vec![0u32; n];
+        let mut innermost: Vec<Option<usize>> = vec![None; n];
+        for (i, l) in loops.iter().enumerate() {
+            for &b in &l.body {
+                if l.depth >= depth_of[b as usize] {
+                    depth_of[b as usize] = l.depth;
+                    innermost[b as usize] = Some(i);
+                }
+            }
+        }
+        LoopForest {
+            loops,
+            depth_of,
+            innermost,
+            irreducible_edges,
+        }
+    }
+}
+
+/// Read the static trip estimate off the latch branch's behavior table
+/// entry; take the max over latches so multi-latch loops use their hottest
+/// back edge, and fall back to [`DEFAULT_TRIP`] when no latch carries a
+/// `Loop` behavior.
+fn trip_estimate(cfg: &FuncCfg, prog: &Program, l: &NaturalLoop) -> f64 {
+    let mut best: Option<f64> = None;
+    for &latch in &l.latches {
+        let b = cfg.global(latch);
+        if let Terminator::CondBranch { behavior, .. } = &prog.blocks[b as usize].term {
+            if let Some(BranchBehavior::Loop { trip_mean, .. }) = usize::try_from(*behavior)
+                .ok()
+                .and_then(|i| prog.behaviors.get(i))
+            {
+                best = Some(best.map_or(*trip_mean, |t: f64| t.max(*trip_mean)));
+            }
+        }
+    }
+    best.unwrap_or(DEFAULT_TRIP).clamp(MIN_TRIP, MAX_TRIP)
+}

@@ -1,0 +1,227 @@
+//! Predicted-reuse classification of potential trace heads.
+//!
+//! Coppieters et al. (PAPERS.md) show trace reuse is dominated by loop
+//! structure and by which instruction types a trace carries (memory and
+//! floating-point traces are re-entered far more than branchy glue
+//! code). We mirror that: every *potential trace head* — loop header,
+//! function entry, call-return join, or control-flow join — gets a score
+//! combining its static hotness share, loop depth, trip estimate, and
+//! the instruction mix of its scope, and heads are binned `High` /
+//! `Medium` / `Low` by cumulative score mass (top 50% / next 40% /
+//! tail), which keeps the bins meaningful across 44 very differently
+//! shaped apps.
+
+use crate::cfg::Cfg;
+use crate::loops::LoopForest;
+use parrot_isa::InstKind;
+use parrot_workloads::{BlockId, FuncId, Program, Terminator};
+
+/// Predicted reuse bin for a trace head.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReuseClass {
+    /// Tail of the score mass: expect little reuse; optimizing is waste.
+    Low,
+    /// Middle of the score mass.
+    Medium,
+    /// Top of the score mass: expect heavy reuse; protect and optimize.
+    High,
+}
+
+impl ReuseClass {
+    /// Stable lowercase label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ReuseClass::High => "high",
+            ReuseClass::Medium => "medium",
+            ReuseClass::Low => "low",
+        }
+    }
+}
+
+/// Why a block qualifies as a potential trace head. (Deliberately a set
+/// of independent flags, not an enum: one block is often several at once.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(clippy::struct_excessive_bools)]
+pub struct HeadRoles {
+    /// Header of a natural loop.
+    pub loop_header: bool,
+    /// Entry block of a function.
+    pub func_entry: bool,
+    /// Return-to block of a call (post-call join).
+    pub ret_to: bool,
+    /// Control-flow join (≥ 2 intra-procedural predecessors).
+    pub join: bool,
+}
+
+/// One classified potential trace head.
+#[derive(Clone, Debug)]
+pub struct TraceHead {
+    /// Global block id of the head.
+    pub block: BlockId,
+    /// Code address of the head (== first-instruction address).
+    pub pc: u64,
+    /// Owning function.
+    pub func: FuncId,
+    /// Why this block is a head candidate.
+    pub roles: HeadRoles,
+    /// Loop-nesting depth of the head block (0 = straight-line code).
+    pub loop_depth: u32,
+    /// Trip estimate of the innermost loop headed here (1.0 if none).
+    pub trip: f64,
+    /// Absolute static hotness of the head block.
+    pub hotness: f64,
+    /// Hotness normalized over all head blocks of the program.
+    pub share: f64,
+    /// Memory-instruction fraction of the head's scope.
+    pub mem_frac: f64,
+    /// Floating-point fraction of the head's scope.
+    pub fp_frac: f64,
+    /// Predicted-reuse score (see module docs).
+    pub score: f64,
+    /// Final bin.
+    pub class: ReuseClass,
+}
+
+/// Identify and classify every potential trace head of the program.
+/// Deterministic: heads are returned sorted by pc.
+#[must_use]
+pub fn classify_heads(
+    prog: &Program,
+    cfg: &Cfg,
+    forests: &[LoopForest],
+    hotness: &[f64],
+) -> Vec<TraceHead> {
+    let mut heads: Vec<TraceHead> = Vec::new();
+    for f in &cfg.funcs {
+        let forest = &forests[f.func as usize];
+        for local in 0..f.num_blocks {
+            if !f.reachable(local) {
+                continue;
+            }
+            let g = f.global(local);
+            let mut roles = HeadRoles {
+                loop_header: forest.loops.iter().any(|l| l.header == local),
+                func_entry: local == 0,
+                ret_to: false,
+                join: f.preds[local as usize].len() >= 2,
+            };
+            // ret_to: some predecessor reaches us through a Call terminator.
+            roles.ret_to = f.preds[local as usize].iter().any(|&p| {
+                matches!(
+                    prog.blocks[f.global(p) as usize].term,
+                    Terminator::Call { ret_to, .. } if ret_to == g
+                )
+            });
+            if !(roles.loop_header || roles.func_entry || roles.ret_to || roles.join) {
+                continue;
+            }
+            let depth = forest.depth_of[local as usize];
+            let trip = if roles.loop_header {
+                forest
+                    .loops
+                    .iter()
+                    .find(|l| l.header == local)
+                    .map_or(1.0, |l| l.trip)
+            } else {
+                1.0
+            };
+            // Mix scope: the whole loop body for a header (that is what
+            // the trace will cover), otherwise just the head block.
+            let scope: Vec<BlockId> = if roles.loop_header {
+                forest.loops.iter().find(|l| l.header == local).map_or_else(
+                    || vec![g],
+                    |l| l.body.iter().map(|&b| f.global(b)).collect(),
+                )
+            } else {
+                vec![g]
+            };
+            let (mem_frac, fp_frac) = mix(prog, &scope);
+            heads.push(TraceHead {
+                block: g,
+                pc: prog.block_pc(g),
+                func: f.func,
+                roles,
+                loop_depth: depth,
+                trip,
+                hotness: hotness[g as usize],
+                share: 0.0,
+                mem_frac,
+                fp_frac,
+                score: 0.0,
+                class: ReuseClass::Low,
+            });
+        }
+    }
+
+    let total_hot: f64 = heads.iter().map(|h| h.hotness).sum();
+    for h in &mut heads {
+        h.share = if total_hot > 0.0 {
+            h.hotness / total_hot
+        } else {
+            0.0
+        };
+        // Loop structure multiplies reuse; memory/fp content stabilizes it.
+        let structure = (1.0 + f64::from(h.loop_depth)) * (1.0 + h.trip.ln().max(0.0));
+        let content = 0.6 + h.mem_frac + 0.5 * h.fp_frac;
+        h.score = h.share * structure * content;
+    }
+
+    // Bin by cumulative score mass: High covers the top 50%, Medium the
+    // next 40%, Low the tail. Ties break on pc so output is stable.
+    let total_score: f64 = heads.iter().map(|h| h.score).sum();
+    if total_score > 0.0 {
+        let mut order: Vec<usize> = (0..heads.len()).collect();
+        order.sort_by(|&a, &b| {
+            heads[b]
+                .score
+                .partial_cmp(&heads[a].score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(heads[a].pc.cmp(&heads[b].pc))
+        });
+        let mut cum = 0.0f64;
+        for i in order {
+            let before = cum / total_score;
+            cum += heads[i].score;
+            heads[i].class = if before < 0.5 {
+                ReuseClass::High
+            } else if before < 0.9 {
+                ReuseClass::Medium
+            } else {
+                ReuseClass::Low
+            };
+        }
+    }
+    heads.sort_by_key(|h| h.pc);
+    heads
+}
+
+/// (memory fraction, floating-point fraction) over the blocks' instructions.
+fn mix(prog: &Program, blocks: &[BlockId]) -> (f64, f64) {
+    let mut total = 0u32;
+    let mut mem = 0u32;
+    let mut fp = 0u32;
+    for &b in blocks {
+        for id in prog.blocks[b as usize].inst_ids() {
+            total += 1;
+            let kind = prog.inst(id).kind;
+            if kind.mem_ref().is_some() {
+                mem += 1;
+            }
+            if matches!(
+                kind,
+                InstKind::FpAlu { .. } | InstKind::FpLoad { .. } | InstKind::FpStore { .. }
+            ) {
+                fp += 1;
+            }
+        }
+    }
+    if total == 0 {
+        (0.0, 0.0)
+    } else {
+        (
+            f64::from(mem) / f64::from(total),
+            f64::from(fp) / f64::from(total),
+        )
+    }
+}

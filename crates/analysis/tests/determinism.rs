@@ -1,0 +1,42 @@
+//! All-apps determinism and totality: `analyze` must succeed on every
+//! registered app and produce byte-identical report bytes across two
+//! independent runs (the CI `analyze` job re-checks this across two
+//! process invocations).
+
+use parrot_workloads::{all_apps, generate_program};
+
+#[test]
+fn analysis_succeeds_and_is_deterministic_on_all_44_apps() {
+    let apps = all_apps();
+    assert_eq!(apps.len(), 44);
+    for app in apps {
+        let prog = generate_program(&app);
+        let first = parrot_analysis::analyze(&prog)
+            .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", app.name));
+        let again = parrot_analysis::analyze(&prog).expect(app.name);
+        assert_eq!(
+            first.report_string(app.name),
+            again.report_string(app.name),
+            "{}: report bytes differ between two runs",
+            app.name
+        );
+        // Regenerating the program must also reproduce the report.
+        let prog2 = generate_program(&app);
+        let regen = parrot_analysis::analyze(&prog2).expect(app.name);
+        assert_eq!(
+            first.report_string(app.name),
+            regen.report_string(app.name),
+            "{}: report bytes differ across program regeneration",
+            app.name
+        );
+        // Totality: the generator emits reducible, fully reachable CFGs.
+        assert!(
+            first.warnings.is_empty(),
+            "{}: unexpected degradation warnings {:?}",
+            app.name,
+            first.warnings
+        );
+        assert!(first.num_loops > 0, "{}: no loops found", app.name);
+        assert!(!first.heads.is_empty(), "{}: no trace heads", app.name);
+    }
+}

@@ -7,6 +7,8 @@
 //! $ parrot run TON gcc --json             # machine-readable report
 //! $ parrot compare N TON gcc              # side-by-side with deltas
 //! $ parrot sweep gcc                      # all models on one application
+//! $ parrot analyze --all                  # whole-program CFG/loop analysis
+//! $ parrot analyze gcc --json             # one app's full analysis report
 //! $ parrot lint-traces --all              # uop-IR lint + validation gate
 //! $ parrot soak --rates 0.01,0.1          # seeded fault-injection campaign
 //! $ parrot bench                          # record BENCH_cips.json baseline
@@ -34,6 +36,11 @@ fn main() {
         Some("run") => run(&args[1..]),
         Some("compare") => compare(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("analyze") => {
+            let code = analyze(&args[1..]);
+            telemetry.finish();
+            std::process::exit(code);
+        }
         Some("lint-traces") => {
             let code = lint_traces(&args[1..]);
             telemetry.finish();
@@ -66,7 +73,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json] [--fault-seed S --fault-rate R]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]\n  parrot lint-traces [<APP> | --all] [--insts N]\n  parrot soak [--model M] [--seed S] [--rates R1,R2,..] [--insts N] [--json]\n  parrot bench [--insts N] [--check] [--tolerance T] [--out FILE]\n  parrot capture <APP | --all> [--insts N] [--slice N] [--dir D | --out FILE]\n  parrot replay <FILE | APP> [--model M] [--insts N] [--json] [--verify]\n                [--fault-seed S --fault-rate R]"
+        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json] [--fault-seed S --fault-rate R]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]\n  parrot analyze <APP | --all> [--json] [--out DIR]\n  parrot lint-traces [<APP> | --all] [--insts N]\n  parrot soak [--model M] [--seed S] [--rates R1,R2,..] [--insts N] [--json]\n  parrot bench [--insts N] [--check] [--tolerance T] [--out FILE]\n  parrot capture <APP | --all> [--insts N] [--slice N] [--dir D | --out FILE]\n  parrot replay <FILE | APP> [--model M] [--insts N] [--json] [--verify]\n                [--fault-seed S --fault-rate R]"
     );
     std::process::exit(2);
 }
@@ -342,6 +349,113 @@ fn compare(args: &[String]) {
 /// execution stream, run the uop-IR lint suite before and after the full
 /// pass pipeline, and tally the validation-gate verdicts. Nonzero exit on
 /// any lint error.
+/// Whole-program static analysis: CFG recovery, dominators, natural
+/// loops, hotness, and reuse classification for one app or all 44.
+/// `--json` prints the full deterministic report(s); `--out DIR` writes
+/// one `<app>.json` per app (the artifact the CI determinism job diffs).
+fn analyze(args: &[String]) -> i32 {
+    use parrot_workloads::generate_program;
+
+    let json = args.iter().any(|a| a == "--json");
+    let out_dir = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| std::path::PathBuf::from(&w[1]));
+    let profiles = if args.iter().any(|a| a == "--all") {
+        all_apps()
+    } else {
+        match args.first().filter(|a| !a.starts_with("--")) {
+            Some(name) => vec![app_by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown app '{name}'; run `parrot list-apps`");
+                std::process::exit(2);
+            })],
+            None => {
+                usage();
+                return 2;
+            }
+        }
+    };
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("analyze: cannot create {}: {e}", dir.display());
+            return 1;
+        }
+    }
+    if !json {
+        println!(
+            "{:<16}{:>6}{:>8}{:>7}{:>7}{:>7}{:>7}{:>7}{:>6}{:>6}{:>6}{:>6}",
+            "app",
+            "funcs",
+            "blocks",
+            "loops",
+            "depth",
+            "irred",
+            "unrch",
+            "heads",
+            "hi",
+            "med",
+            "lo",
+            "warns"
+        );
+    }
+    let mut all_reports: std::collections::BTreeMap<String, parrot_telemetry::json::Value> =
+        std::collections::BTreeMap::new();
+    let mut failures = 0u32;
+    for p in &profiles {
+        let prog = generate_program(p);
+        let pa = match parrot_analysis::analyze(&prog) {
+            Ok(pa) => pa,
+            Err(e) => {
+                eprintln!("{}: analysis error: {e}", p.name);
+                failures += 1;
+                continue;
+            }
+        };
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{}.json", p.name));
+            if let Err(e) = std::fs::write(&path, pa.report_string(p.name)) {
+                eprintln!("analyze: cannot write {}: {e}", path.display());
+                failures += 1;
+            }
+        }
+        if json {
+            all_reports.insert(p.name.to_string(), pa.report(p.name));
+        } else {
+            let blocks: u32 = pa.funcs.iter().map(|f| f.num_blocks).sum();
+            let irred: u32 = pa.funcs.iter().map(|f| f.irreducible_edges).sum();
+            let unreach: u32 = pa.funcs.iter().map(|f| f.unreachable).sum();
+            let (hi, med, lo) = pa.class_counts();
+            println!(
+                "{:<16}{:>6}{:>8}{:>7}{:>7}{:>7}{:>7}{:>7}{:>6}{:>6}{:>6}{:>6}",
+                p.name,
+                pa.funcs.len(),
+                blocks,
+                pa.num_loops,
+                pa.max_loop_depth,
+                irred,
+                unreach,
+                pa.heads.len(),
+                hi,
+                med,
+                lo,
+                pa.warnings.len()
+            );
+        }
+    }
+    if json {
+        let v = if profiles.len() == 1 {
+            all_reports
+                .into_values()
+                .next()
+                .unwrap_or(parrot_telemetry::json::Value::Null)
+        } else {
+            parrot_telemetry::json::Value::Obj(all_reports)
+        };
+        println!("{}", v.to_json_pretty());
+    }
+    i32::from(failures > 0)
+}
+
 fn lint_traces(args: &[String]) -> i32 {
     use parrot_opt::{validate, GateDecision, Optimizer, OptimizerConfig};
     use parrot_telemetry::metrics;
@@ -368,13 +482,17 @@ fn lint_traces(args: &[String]) -> i32 {
         }
     };
     println!(
-        "{:<16}{:>8}{:>9}{:>11}{:>9}{:>7}",
-        "app", "frames", "uops", "validated", "demoted", "errs"
+        "{:<16}{:>8}{:>9}{:>11}{:>9}{:>7}{:>7}",
+        "app", "frames", "uops", "validated", "demoted", "errs", "struct"
     );
-    let (mut total_frames, mut total_errors) = (0u64, 0u64);
+    let (mut total_frames, mut total_errors, mut total_struct) = (0u64, 0u64, 0u64);
     for p in &profiles {
         let prog = generate_program(p);
         let decoded = prog.decode_all();
+        // Structural lints come from the static analyzer; if the program
+        // is malformed the uop lints below still run, just without the
+        // structural pass.
+        let pa = parrot_analysis::analyze(&prog).ok();
         let mut sel = TraceSelector::new(SelectionConfig::default());
         let mut cands = Vec::new();
         for (seq, d) in ExecutionEngine::new(&prog).take(insts).enumerate() {
@@ -384,6 +502,7 @@ fn lint_traces(args: &[String]) -> i32 {
         sel.flush(&mut cands);
         let mut optz = Optimizer::new(OptimizerConfig::full());
         let (mut validated, mut demoted, mut errors, mut uops) = (0u64, 0u64, 0u64, 0u64);
+        let mut structural = 0u64;
         let report =
             |stage: &str, app: &str, tid: &dyn std::fmt::Display, f: &validate::lint::Finding| {
                 if f.severity == validate::lint::Severity::Error {
@@ -396,6 +515,13 @@ fn lint_traces(args: &[String]) -> i32 {
         for c in &cands {
             let mut frame = construct_frame(c, &decoded);
             uops += frame.uops.len() as u64;
+            if let Some(pa) = &pa {
+                // Advisory only: structural lints flag traces the static
+                // analyzer predicts won't close or re-enter, but they are
+                // not uop-IR correctness errors and never fail the run.
+                let pcs: Vec<u64> = frame.path.iter().map(|&(pc, _)| pc).collect();
+                structural += pa.lint_trace(frame.tid.start_pc, &pcs).len() as u64;
+            }
             for f in &validate::lint::lint_frame(&frame) {
                 errors += report("constructed", p.name, &frame.tid, f);
             }
@@ -409,19 +535,25 @@ fn lint_traces(args: &[String]) -> i32 {
         }
         metrics::counter_add("lint:frames", cands.len() as u64);
         metrics::counter_add("lint:errors", errors);
+        metrics::counter_add("lint:structural", structural);
         total_frames += cands.len() as u64;
         total_errors += errors;
+        total_struct += structural;
         println!(
-            "{:<16}{:>8}{:>9}{:>11}{:>9}{:>7}",
+            "{:<16}{:>8}{:>9}{:>11}{:>9}{:>7}{:>7}",
             p.name,
             cands.len(),
             uops,
             validated,
             demoted,
-            errors
+            errors,
+            structural
         );
     }
-    println!("{total_frames} frames linted, {total_errors} lint errors");
+    println!(
+        "{total_frames} frames linted, {total_errors} lint errors, \
+         {total_struct} structural warnings (advisory)"
+    );
     i32::from(total_errors > 0)
 }
 

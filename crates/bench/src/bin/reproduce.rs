@@ -433,6 +433,97 @@ fn main() {
         writeln!(md).unwrap();
     }
 
+    // ---- static analysis cross-validation ----
+    // Computed live (deterministic: fixed selector config and budget, no
+    // cycle simulation), so there is no cache to go stale.
+    writeln!(
+        md,
+        "## Static reuse prediction vs observed trace selection\n"
+    )
+    .unwrap();
+    writeln!(
+        md,
+        "`parrot analyze` predicts per-head reuse from loop structure alone\n\
+         (no execution). Validation against the trace selector's observed\n\
+         per-head selection mass at {} committed instructions per app:\n\
+         *precision* = predicted-hot heads that were observed hot, *recall* =\n\
+         observed-hot heads that were predicted, *event coverage* = fraction\n\
+         of all selection events landing on predicted-hot heads. See\n\
+         DESIGN.md §17.\n",
+        parrot_bench::xval::XVAL_INSTS
+    )
+    .unwrap();
+    md.push_str(&parrot_bench::xval::xval_markdown());
+    writeln!(md).unwrap();
+
+    // ---- loop-aware eviction ----
+    writeln!(md, "## Loop-aware trace-cache eviction (static hints)\n").unwrap();
+    writeln!(
+        md,
+        "Same sweep with `loop_aware_eviction(true)`: the trace cache breaks\n\
+         LRU ties by preferring to keep frames whose head sits in a deeper\n\
+         static loop (hints from `parrot analyze`, see DESIGN.md §17). The\n\
+         flag is part of the sweep fingerprint, so both variants cache\n\
+         independently; with the flag off the reports are byte-identical to\n\
+         the plain-LRU baseline. At the default budget the trace cache\n\
+         rarely overflows, so deltas are small by construction — the policy\n\
+         only changes *which* frame dies when a set is full (the\n\
+         under-pressure behaviour is pinned by unit tests in\n\
+         `crates/trace/src/cache.rs`).\n"
+    )
+    .unwrap();
+    let set_la = ResultSet::load_or_run_with(
+        &parrot_bench::SweepConfig::from_env().loop_aware_eviction(true),
+    );
+    writeln!(
+        md,
+        "| group | model | tc hit rate (LRU) | tc hit rate (hints) | evictions (LRU) | evictions (hints) | IPC delta |"
+    )
+    .unwrap();
+    writeln!(md, "|---|---|---|---|---|---|---|").unwrap();
+    let hit_rate = |r: &parrot_core::SimReport| {
+        r.trace
+            .as_ref()
+            .map(|t| {
+                if t.tc_lookups == 0 {
+                    0.0
+                } else {
+                    t.tc_hits as f64 / t.tc_lookups as f64
+                }
+            })
+            .unwrap_or(0.0)
+            .max(1e-9)
+    };
+    let evictions = |r: &parrot_core::SimReport| {
+        r.trace
+            .as_ref()
+            .map(|t| t.tc_evictions as f64)
+            .unwrap_or(0.0)
+            .max(1e-9)
+    };
+    for m in [Model::TON, Model::TOW] {
+        for (label, suite) in groups() {
+            let h0 = set.suite_metric(suite, m, hit_rate);
+            let h1 = set_la.suite_metric(suite, m, hit_rate);
+            let e0 = set.suite_metric(suite, m, evictions);
+            let e1 = set_la.suite_metric(suite, m, evictions);
+            let ipc = set_la.suite_metric(suite, m, |r| r.ipc())
+                / set.suite_metric(suite, m, |r| r.ipc());
+            writeln!(
+                md,
+                "| {label} | {} | {:.1}% | {:.1}% | {:.0} | {:.0} | {} |",
+                m.name(),
+                h0 * 100.0,
+                h1 * 100.0,
+                e0,
+                e1,
+                pct(ipc)
+            )
+            .unwrap();
+        }
+    }
+    writeln!(md).unwrap();
+
     writeln!(md, "## Known calibration gaps\n").unwrap();
     writeln!(
         md,

@@ -35,14 +35,17 @@ pub mod cips;
 pub mod cli;
 pub mod microbench;
 pub mod soak;
+pub mod xval;
 
 /// Default committed-instruction budget per (model, app) run. Override with
 /// `PARROT_INSTS`.
 pub const DEFAULT_INSTS: u64 = parrot_core::DEFAULT_INSTS;
 
 /// Schema version of the sweep result-cache file. Bump on any change to the
-/// cache layout or to what the fingerprint covers.
-pub const CACHE_VERSION: u64 = 3;
+/// cache layout or to what the fingerprint covers. (v4: the fingerprint
+/// additionally covers the loop-aware-eviction flag, and model-config Debug
+/// output gained the `loop_aware` trace-cache field.)
+pub const CACHE_VERSION: u64 = 4;
 
 /// The instruction budget in effect ([`SweepConfig::from_env`]).
 pub fn insts_budget() -> u64 {
@@ -92,6 +95,7 @@ pub struct SweepConfig {
     faults: Option<FaultPlan>,
     cache_dir: Option<PathBuf>,
     replay_dir: Option<PathBuf>,
+    loop_aware: bool,
 }
 
 impl Default for SweepConfig {
@@ -110,6 +114,7 @@ impl SweepConfig {
             faults: None,
             cache_dir: None,
             replay_dir: None,
+            loop_aware: false,
         }
     }
 
@@ -155,6 +160,22 @@ impl SweepConfig {
     pub fn faults(mut self, plan: FaultPlan) -> SweepConfig {
         self.faults = Some(plan);
         self
+    }
+
+    /// Enable loop-aware trace-cache eviction for every trace model of the
+    /// sweep: victims are chosen by (static loop depth, recency) instead of
+    /// recency alone, using hints from the whole-program analysis. The flag
+    /// is folded into [`SweepConfig::fingerprint`], so enabled sweeps get
+    /// their own cache files and a disabled sweep's reports stay
+    /// byte-identical to the pre-flag harness.
+    pub fn loop_aware_eviction(mut self, on: bool) -> SweepConfig {
+        self.loop_aware = on;
+        self
+    }
+
+    /// Whether loop-aware eviction is armed.
+    pub fn loop_aware_value(&self) -> bool {
+        self.loop_aware
     }
 
     /// Override the directory the result cache is written to (default:
@@ -212,6 +233,11 @@ impl SweepConfig {
             None => base,
             Some(p) => fnv1a(base, p.cache_tag().as_bytes()),
         };
+        let base = if self.loop_aware {
+            fnv1a(base, b"loop_aware_eviction;")
+        } else {
+            base
+        };
         match &self.replay_dir {
             None => base,
             Some(dir) => {
@@ -243,7 +269,15 @@ impl SweepConfig {
     }
 
     fn request(&self, model: Model) -> SimRequest {
-        let mut req = SimRequest::model(model).insts(self.insts);
+        let mut req = if self.loop_aware {
+            let mut cfg = model.config();
+            if let Some(t) = cfg.trace.as_mut() {
+                t.tcache.loop_aware = true;
+            }
+            SimRequest::config(cfg).insts(self.insts)
+        } else {
+            SimRequest::model(model).insts(self.insts)
+        };
         if let Some(p) = &self.faults {
             req = req.faults(p.clone());
         }
@@ -839,6 +873,15 @@ mod tests {
         let b = SweepConfig::new().faults(FaultPlan::new(2));
         assert_ne!(a.fingerprint(), SweepConfig::new().fingerprint());
         assert_ne!(a.fingerprint(), b.fingerprint());
+        // Loop-aware eviction is fingerprinted: enabled sweeps can never
+        // alias the plain-LRU cache files.
+        let la = SweepConfig::new().loop_aware_eviction(true);
+        assert!(la.loop_aware_value());
+        assert_ne!(la.fingerprint(), SweepConfig::new().fingerprint());
+        assert_ne!(
+            la.fingerprint(),
+            SweepConfig::new().faults(FaultPlan::new(1)).fingerprint()
+        );
     }
 
     #[test]

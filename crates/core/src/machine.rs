@@ -232,6 +232,16 @@ impl<'w> Machine<'w> {
             .unwrap_or(cfg.core.decode_uops)
             .max(cfg.core.decode_uops) as usize;
         let mut trace = cfg.trace.map(TraceState::new);
+        if let Some(ts) = &mut trace {
+            if ts.cfg.tcache.loop_aware {
+                // Loop-aware eviction: install static loop-depth hints from
+                // the whole-program analysis. Analysis failure degrades to
+                // plain LRU (no hints) rather than failing the run.
+                if let Ok(pa) = parrot_analysis::analyze(&wl.program) {
+                    ts.tc.set_reuse_hints(pa.eviction_hints());
+                }
+            }
+        }
         if faults.is_some() {
             // Fingerprint-tag every cached frame so injected encoding
             // corruption is detectable at hot fetch. Off by default: a

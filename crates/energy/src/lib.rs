@@ -29,6 +29,8 @@
 //! assert!(acct.total() > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod account;
 mod event;
 pub mod metrics;

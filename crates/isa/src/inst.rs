@@ -28,47 +28,111 @@ pub struct MemRef {
 pub enum InstKind {
     /// `dst = op(src, rhs)` — 1 uop.
     IntAlu {
+        /// ALU operation.
         op: AluOp,
+        /// Destination register.
         dst: Reg,
+        /// Left-hand source register.
         src: Reg,
+        /// Right-hand operand (register or immediate).
         rhs: Operand,
     },
     /// `dst = src1 * src2` — 1 uop, long latency.
-    IntMul { dst: Reg, src1: Reg, src2: Reg },
+    IntMul {
+        /// Destination register.
+        dst: Reg,
+        /// First factor.
+        src1: Reg,
+        /// Second factor.
+        src2: Reg,
+    },
     /// `dst = src1 / max(src2,1)` — 1 uop, very long latency, unpipelined.
-    IntDiv { dst: Reg, src1: Reg, src2: Reg },
+    IntDiv {
+        /// Destination register.
+        dst: Reg,
+        /// Dividend.
+        src1: Reg,
+        /// Divisor (clamped to avoid division by zero).
+        src2: Reg,
+    },
     /// `dst = [mem]` — 1 uop.
-    Load { dst: Reg, mem: MemRef },
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Memory reference.
+        mem: MemRef,
+    },
     /// `[mem] = src` — 1 uop (store-address and store-data fused).
-    Store { src: Reg, mem: MemRef },
+    Store {
+        /// Register holding the value to store.
+        src: Reg,
+        /// Memory reference.
+        mem: MemRef,
+    },
     /// `dst = op(src, [mem])` — CISC load-op, 2 uops.
     LoadOp {
+        /// ALU operation applied to the loaded value.
         op: AluOp,
+        /// Destination register.
         dst: Reg,
+        /// Register source operand.
         src: Reg,
+        /// Memory reference providing the other operand.
         mem: MemRef,
     },
     /// `[mem] = op([mem], src)` — CISC read-modify-write, 3 uops.
-    RmwStore { op: AluOp, src: Reg, mem: MemRef },
+    RmwStore {
+        /// ALU operation applied in place.
+        op: AluOp,
+        /// Register source operand.
+        src: Reg,
+        /// Memory location read and written back.
+        mem: MemRef,
+    },
     /// `flags = compare(src, rhs)` — 1 uop.
-    Cmp { src: Reg, rhs: Operand },
+    Cmp {
+        /// Left-hand comparison register.
+        src: Reg,
+        /// Right-hand operand (register or immediate).
+        rhs: Operand,
+    },
     /// `dst = op(src1, src2)` over FP registers — 1 uop.
     FpAlu {
+        /// Floating-point operation.
         op: FpOp,
+        /// Destination FP register.
         dst: Reg,
+        /// First FP source.
         src1: Reg,
+        /// Second FP source.
         src2: Reg,
     },
     /// `dst = [mem]` into an FP register — 1 uop.
-    FpLoad { dst: Reg, mem: MemRef },
+    FpLoad {
+        /// Destination FP register.
+        dst: Reg,
+        /// Memory reference.
+        mem: MemRef,
+    },
     /// `[mem] = src` from an FP register — 1 uop.
-    FpStore { src: Reg, mem: MemRef },
+    FpStore {
+        /// FP register holding the value to store.
+        src: Reg,
+        /// Memory reference.
+        mem: MemRef,
+    },
     /// Conditional direct branch reading flags — 1 uop.
-    CondBranch { cond: Cond },
+    CondBranch {
+        /// Flag condition the branch tests.
+        cond: Cond,
+    },
     /// Unconditional direct jump — 1 uop.
     Jump,
     /// Indirect jump through a register (e.g. a jump table) — 1 uop.
-    IndirectJump { sel: Reg },
+    IndirectJump {
+        /// Register selecting the jump-table entry.
+        sel: Reg,
+    },
     /// Direct call: pushes the return address (store) then jumps — 2 uops.
     Call,
     /// Return: pops the return address (load) then jumps — 2 uops.
@@ -124,6 +188,7 @@ impl InstKind {
 /// branch/jump/call destination (0 when not applicable or dynamic).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Inst {
+    /// What the instruction does.
     pub kind: InstKind,
     /// Encoded length in bytes (1..=15), fixed by the kind.
     pub len: u8,

@@ -31,6 +31,8 @@
 //! assert_eq!(uops.len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod absint;
 pub mod corrupt;
 pub mod decode;

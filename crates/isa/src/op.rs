@@ -8,12 +8,19 @@ use std::fmt;
 /// which the optimizer equivalence tests rely on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AluOp {
+    /// Wrapping addition.
     Add,
+    /// Wrapping subtraction.
     Sub,
+    /// Bitwise AND.
     And,
+    /// Bitwise OR.
     Or,
+    /// Bitwise XOR.
     Xor,
+    /// Logical shift left (low 6 bits of the shift amount).
     Shl,
+    /// Logical shift right (low 6 bits of the shift amount).
     Shr,
     /// Register-to-register (or immediate-to-register) move; `rhs` is the
     /// moved value and `src` is ignored by [`AluOp::apply`].
@@ -77,10 +84,15 @@ impl AluOp {
 /// dataflow matters to the microarchitecture study, never IEEE rounding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FpOp {
+    /// Addition (over bit patterns; see the enum docs).
     Add,
+    /// Subtraction.
     Sub,
+    /// Multiplication.
     Mul,
+    /// Division (zero divisor yields `u64::MAX`).
     Div,
+    /// Register move.
     Mov,
 }
 
@@ -110,7 +122,9 @@ impl FpOp {
 /// SIMDification pass.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PackOp {
+    /// Integer lanes, applying the given ALU operation.
     Int(AluOp),
+    /// Floating-point lanes, applying the given FP operation.
     Fp(FpOp),
 }
 
@@ -127,11 +141,17 @@ impl PackOp {
 /// Branch condition, evaluated against the flags produced by a `cmp`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Cond {
+    /// Equal (zero flag set).
     Eq,
+    /// Not equal.
     Ne,
+    /// Signed less-than (negative flag set).
     Lt,
+    /// Signed greater-or-equal.
     Ge,
+    /// Signed greater-than.
     Gt,
+    /// Signed less-or-equal.
     Le,
 }
 
@@ -182,7 +202,9 @@ impl fmt::Display for Cond {
 /// The right-hand operand of a two-operand macro-instruction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Operand {
+    /// A register operand.
     Reg(Reg),
+    /// An immediate operand.
     Imm(i64),
 }
 

@@ -4,7 +4,9 @@ use std::fmt;
 /// One lane of a SIMDified (packed) uop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimdLane {
+    /// Lane destination register.
     pub dst: Reg,
+    /// Lane left-hand source register.
     pub a: Reg,
     /// Register right-hand operand; `None` means the lane uses `imm`.
     pub b: Option<Reg>,
@@ -16,7 +18,9 @@ pub struct SimdLane {
 /// isomorphic, independent scalar operations executed as one uop.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimdPack {
+    /// The operation applied to every lane.
     pub op: PackOp,
+    /// The packed lanes (2..=4, enforced by the uop lint).
     pub lanes: Vec<SimdLane>,
 }
 
@@ -25,12 +29,25 @@ pub struct SimdPack {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FusedKind {
     /// `cmp srcs[0], srcs[1]/imm` + conditional branch, macro-fused.
-    CmpBranch { cond: Cond },
+    CmpBranch {
+        /// Flag condition of the fused branch.
+        cond: Cond,
+    },
     /// `cmp` + trace assert, macro-fused (the dominant fusion inside traces).
-    CmpAssert { cond: Cond, expect: bool },
+    CmpAssert {
+        /// Flag condition the assert evaluates.
+        cond: Cond,
+        /// Recorded direction the condition must evaluate to.
+        expect: bool,
+    },
     /// `dst = second(first(srcs[0], srcs[1]/imm), srcs[2])` — dependent
     /// ALU pair collapsed into one uop.
-    AluAlu { first: AluOp, second: AluOp },
+    AluAlu {
+        /// The producing (inner) operation.
+        first: AluOp,
+        /// The consuming (outer) operation.
+        second: AluOp,
+    },
 }
 
 /// The operation performed by a micro-operation.
@@ -68,7 +85,12 @@ pub enum UopKind {
     RetPop,
     /// Trace assert: verifies an embedded branch went the recorded way.
     /// Reads flags; fires a trace abort on mismatch instead of redirecting.
-    Assert { cond: Cond, expect: bool },
+    Assert {
+        /// Flag condition the assert evaluates.
+        cond: Cond,
+        /// Recorded direction the condition must evaluate to.
+        expect: bool,
+    },
     /// Fused pair (optimizer-generated).
     Fused(FusedKind),
     /// Packed lanes (optimizer-generated).
@@ -80,16 +102,27 @@ pub enum UopKind {
 /// Execution-resource class of a uop; determines port binding and latency.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ExecClass {
+    /// Single-cycle integer ALU.
     IntAlu,
+    /// Pipelined integer multiplier.
     IntMul,
+    /// Unpipelined integer divider.
     IntDiv,
+    /// FP adder (also moves).
     FpAdd,
+    /// FP multiplier.
     FpMul,
+    /// FP divider.
     FpDiv,
+    /// Load port (includes return-address pops).
     Load,
+    /// Store port (includes return-address pushes).
     Store,
+    /// Branch/jump/assert unit.
     Branch,
+    /// SIMD unit (packed uops).
     Simd,
+    /// Retires without executing.
     Nop,
 }
 
@@ -97,6 +130,7 @@ pub enum ExecClass {
 /// energy accounting.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Uop {
+    /// What the uop does.
     pub kind: UopKind,
     /// Destination register, if the uop produces a register value.
     pub dst: Option<Reg>,

@@ -22,6 +22,8 @@
 //! assert!(opt.is_idle(0));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod depgraph;
 mod optimizer;
 pub mod passes;

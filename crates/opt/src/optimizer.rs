@@ -118,11 +118,13 @@ pub struct OptOutcome {
 pub struct OptimizerStats {
     /// Traces optimized.
     pub traces: u64,
-    /// Total uops before / after.
+    /// Total uops before optimization.
     pub uops_before: u64,
+    /// Total uops after optimization.
     pub uops_after: u64,
-    /// Total critical path before / after.
+    /// Total critical path before optimization.
     pub dep_before: u64,
+    /// Total critical path after optimization.
     pub dep_after: u64,
     /// Total analysis work (uop·pass).
     pub work_uops: u64,

@@ -205,7 +205,11 @@ pub fn lint_uops(uops: &[Uop], num_mem_slots: usize, num_insts: u32) -> Vec<Find
             pending_cmp = None;
         }
         if u.writes_flags() {
-            if let Some(w) = pending_cmp {
+            // Fused assert forms consume the comparison they carry; their
+            // flags write merely re-materializes it. A pending cmp they
+            // shadow is routine fusion fallout, not a lost computation, so
+            // don't warn about it.
+            if let Some(w) = pending_cmp.filter(|_| !u.is_assert()) {
                 out.push(Finding {
                     uop_index: w,
                     severity: Severity::Warn,
@@ -343,5 +347,39 @@ mod tests {
         // Consumed cmp: no warning.
         let uops = vec![Uop::cmp(r(1), None, Some(1)), Uop::assert(Cond::Eq, true)];
         assert!(lint_uops(&uops, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn cmp_shadowed_by_fused_assert_is_not_flagged() {
+        // A fused CmpAssert carries (and consumes) its own comparison; the
+        // flags write it performs is re-materialization, not a new dead
+        // value, so a pending plain cmp it shadows must stay silent...
+        let mut fused = Uop::cmp(r(2), None, Some(2));
+        fused.kind = UopKind::Fused(FusedKind::CmpAssert {
+            cond: Cond::Eq,
+            expect: true,
+        });
+        let uops = vec![Uop::cmp(r(1), None, Some(1)), fused.clone()];
+        assert!(lint_uops(&uops, 0, 0).is_empty());
+        // ...while a plain cmp shadowing a plain cmp still warns.
+        let uops = vec![
+            Uop::cmp(r(1), None, Some(1)),
+            Uop::cmp(r(2), None, Some(2)),
+            Uop::assert(Cond::Eq, true),
+        ];
+        let findings = lint_uops(&uops, 0, 0);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].uop_index, 0);
+        // And the cmp *after* a fused assert is a fresh candidate: if it is
+        // itself shadowed, the warning points at it, not the fused uop.
+        let uops = vec![
+            fused,
+            Uop::cmp(r(3), None, Some(3)),
+            Uop::cmp(r(4), None, Some(4)),
+            Uop::assert(Cond::Eq, true),
+        ];
+        let findings = lint_uops(&uops, 0, 0);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].uop_index, 1);
     }
 }

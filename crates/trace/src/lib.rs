@@ -21,6 +21,8 @@
 //! assert_eq!(selector.stats().candidates, 0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod cache;
 mod constructor;
 mod filter;

@@ -72,10 +72,15 @@ impl SelectionConfig {
 /// construction later needs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CandInst {
+    /// Static instruction id.
     pub inst: InstId,
+    /// Committed pc.
     pub pc: u64,
+    /// Committed direction (conditional branches; false otherwise).
     pub taken: bool,
+    /// Committed effective address (memory instructions; 0 otherwise).
     pub eff_addr: u64,
+    /// Decoded uop count of the instruction.
     pub uop_count: u8,
 }
 
@@ -99,11 +104,17 @@ pub struct TraceCandidate {
 /// Why a trace was terminated (statistics).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SelectorStats {
+    /// Candidates emitted.
     pub candidates: u64,
+    /// Extra units merged into joined candidates.
     pub joined_units: u64,
+    /// Frames cut at the uop-capacity limit.
     pub term_capacity: u64,
+    /// Frames cut at a backward taken branch.
     pub term_backward: u64,
+    /// Frames cut at an indirect jump.
     pub term_indirect: u64,
+    /// Frames cut at a return.
     pub term_return: u64,
     /// rePlay mode: frames cut at weakly biased branches.
     pub term_lowbias: u64,

@@ -143,8 +143,11 @@ impl Cache {
 /// Where an access was finally serviced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ServicedBy {
+    /// Hit in the first level.
     L1,
+    /// L1 miss, L2 hit.
     L2,
+    /// Missed the whole hierarchy.
     Memory,
 }
 
@@ -152,7 +155,9 @@ pub enum ServicedBy {
 /// (the caller emits the corresponding energy events).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AccessResult {
+    /// Total access latency in cycles.
     pub latency: u32,
+    /// Level that serviced the access.
     pub serviced_by: ServicedBy,
 }
 
@@ -160,8 +165,11 @@ pub struct AccessResult {
 /// memory.
 #[derive(Clone, Debug)]
 pub struct MemHierarchy {
+    /// Instruction L1.
     pub l1i: Cache,
+    /// Data L1.
     pub l1d: Cache,
+    /// Unified second level.
     pub l2: Cache,
     /// Latency of a memory (L2 miss) access.
     pub mem_latency: u32,

@@ -20,6 +20,8 @@
 //! assert!(core.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bpred;
 pub mod cache;
 pub mod core;
