@@ -16,6 +16,8 @@
 //! $ parrot capture gcc                    # write corpus/gcc.ptrace
 //! $ parrot capture --all --insts 500000   # capture the full corpus
 //! $ parrot replay gcc --verify            # replay a capture, diff vs live
+//! $ parrot sample gcc --insts 30000000    # sampled-vs-full fidelity, one app
+//! $ parrot sample --all --tol 0.03        # full table + tolerance gate
 //! ```
 //!
 //! Run via `cargo run --release -p parrot-bench --bin parrot -- <args>`.
@@ -66,6 +68,11 @@ fn main() {
             telemetry.finish();
             std::process::exit(code);
         }
+        Some("sample") => {
+            let code = sample(&args[1..]);
+            telemetry.finish();
+            std::process::exit(code);
+        }
         _ => usage(),
     }
     telemetry.finish();
@@ -73,7 +80,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json] [--fault-seed S --fault-rate R]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]\n  parrot analyze <APP | --all> [--json] [--out DIR]\n  parrot lint-traces [<APP> | --all] [--insts N]\n  parrot soak [--model M] [--seed S] [--rates R1,R2,..] [--insts N] [--json]\n  parrot bench [--insts N] [--check] [--tolerance T] [--out FILE]\n  parrot capture <APP | --all> [--insts N] [--slice N] [--dir D | --out FILE]\n  parrot replay <FILE | APP> [--model M] [--insts N] [--json] [--verify]\n                [--fault-seed S --fault-rate R]"
+        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json] [--fault-seed S --fault-rate R]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]\n  parrot analyze <APP | --all> [--json] [--out DIR]\n  parrot lint-traces [<APP> | --all] [--insts N]\n  parrot soak [--model M] [--seed S] [--rates R1,R2,..] [--insts N] [--json]\n  parrot bench [--insts N] [--check] [--tolerance T] [--out FILE]\n  parrot capture <APP | --all> [--insts N] [--slice N] [--dir D | --out FILE]\n  parrot replay <FILE | APP> [--model M] [--insts N] [--json] [--verify]\n                [--fault-seed S --fault-rate R]\n  parrot sample <APP.. | --all> [--insts N] [--interval N] [--warmup N]\n                [--k K] [--tol T] [--out FILE] [--fresh] [--json]"
     );
     std::process::exit(2);
 }
@@ -728,6 +735,112 @@ fn replay(args: &[String]) -> i32 {
         model.name()
     );
     0
+}
+
+/// SimPoint-style phase-sampling fidelity measurement: run every model
+/// full and sampled for the named apps (or all 44), merge the per-app
+/// records into `results/sampling.json` (refusing to mix configurations
+/// unless `--fresh` starts the file over), print the per-suite table, and
+/// — when `--tol` is given — fail if any per-suite geomean error exceeds
+/// the tolerance.
+fn sample(args: &[String]) -> i32 {
+    use parrot_bench::sample::{self, SampleReport};
+    use parrot_core::SamplingSpec;
+
+    let insts = flag_u64(args, "--insts").unwrap_or_else(parrot_bench::insts_budget);
+    let mut spec = SamplingSpec::default();
+    if let Some(n) = flag_u64(args, "--interval") {
+        spec.interval = n;
+    }
+    if let Some(n) = flag_u64(args, "--warmup") {
+        spec.warmup = n;
+    }
+    if let Some(k) = flag_u64(args, "--k") {
+        spec.max_k = k as usize;
+    }
+    let profiles = if args.iter().any(|a| a == "--all") {
+        all_apps()
+    } else {
+        let mut named = Vec::new();
+        let mut skip = false;
+        for a in args {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                // Every flag of this subcommand except --all/--fresh/--json
+                // takes a value.
+                skip = !matches!(a.as_str(), "--all" | "--fresh" | "--json");
+                continue;
+            }
+            match app_by_name(a) {
+                Some(p) => named.push(p),
+                None => {
+                    eprintln!("unknown app '{a}'; run `parrot list-apps`");
+                    return 2;
+                }
+            }
+        }
+        if named.is_empty() {
+            usage();
+            return 2;
+        }
+        named
+    };
+    let path = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| std::path::PathBuf::from(&w[1]))
+        .unwrap_or_else(sample::sampling_path);
+    let mut report = match SampleReport::load(&path) {
+        Some(_) if args.iter().any(|a| a == "--fresh") => SampleReport::new(insts, spec.clone()),
+        Some(existing) => {
+            if !existing.compatible(insts, &spec) {
+                eprintln!(
+                    "sample: {} was measured at a different configuration \
+                     (insts {}, {}); re-run with --fresh to start it over",
+                    path.display(),
+                    existing.insts,
+                    existing.spec.cache_tag()
+                );
+                return 2;
+            }
+            existing
+        }
+        None => SampleReport::new(insts, spec.clone()),
+    };
+    report.merge(sample::run_sample(&profiles, insts, &spec));
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&path, report.to_json().to_json_pretty()) {
+        eprintln!("sample: cannot write {}: {e}", path.display());
+        return 1;
+    }
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json().to_json_pretty());
+    } else {
+        println!("{}", report.markdown());
+    }
+    parrot_telemetry::status!("(written to {})", path.display());
+    let Some(tol) = flag_f64(args, "--tol") else {
+        return 0;
+    };
+    let violations = sample::gate(&report, tol);
+    if violations.is_empty() {
+        println!(
+            "sample: PASS — every per-suite geomean error within {:.2}%",
+            tol * 100.0
+        );
+        0
+    } else {
+        eprintln!("sample: FAIL — fidelity gate violations:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        1
+    }
 }
 
 fn sweep(args: &[String]) {

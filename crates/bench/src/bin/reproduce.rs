@@ -73,6 +73,20 @@ fn main() {
     }
     writeln!(md).unwrap();
 
+    writeln!(md, "## Phase sampling — sampled-vs-full fidelity\n").unwrap();
+    match parrot_bench::sample::sampling_markdown() {
+        Some(table) => md.push_str(&table),
+        None => writeln!(
+            md,
+            "No sampling record yet: run `cargo run --release -p parrot-bench\n\
+             --bin parrot -- sample --all --insts 30000000` to measure the\n\
+             sampled reconstruction of every model against the full simulation\n\
+             (see DESIGN.md §18)."
+        )
+        .unwrap(),
+    }
+    writeln!(md).unwrap();
+
     writeln!(
         md,
         "## Fault injection — graceful degradation vs fault rate\n"

@@ -20,11 +20,11 @@
 
 #![warn(missing_docs)]
 
-use parrot_core::{FaultPlan, Model, SimReport, SimRequest};
+use parrot_core::{build_plan, FaultPlan, Model, SampleWarmth, SamplingSpec, SimReport, SimRequest};
 use parrot_energy::metrics::{cmpw_relative, geo_mean};
 use parrot_telemetry::json::Value;
 use parrot_telemetry::shard::SweepSession;
-use parrot_workloads::tracefmt::{TraceError, TraceFile, FILE_EXT};
+use parrot_workloads::tracefmt::{capture, TraceError, TraceFile, DEFAULT_SLICE_INSTS, FILE_EXT};
 use parrot_workloads::{all_apps, AppProfile, Suite, Workload};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -34,6 +34,7 @@ use std::sync::{Arc, Mutex};
 pub mod cips;
 pub mod cli;
 pub mod microbench;
+pub mod sample;
 pub mod soak;
 pub mod xval;
 
@@ -96,6 +97,7 @@ pub struct SweepConfig {
     cache_dir: Option<PathBuf>,
     replay_dir: Option<PathBuf>,
     loop_aware: bool,
+    sampling: Option<SamplingSpec>,
 }
 
 impl Default for SweepConfig {
@@ -115,6 +117,7 @@ impl SweepConfig {
             cache_dir: None,
             replay_dir: None,
             loop_aware: false,
+            sampling: None,
         }
     }
 
@@ -178,6 +181,25 @@ impl SweepConfig {
         self.loop_aware
     }
 
+    /// Run every simulation of the sweep under SimPoint-style phase
+    /// sampling ([`SimRequest::sampled`]): each app's committed stream is
+    /// captured once, sliced into `spec.interval`-instruction intervals,
+    /// clustered on basic-block frequency vectors, and only one weighted
+    /// representative per cluster is simulated per model. The spec's
+    /// [`SamplingSpec::cache_tag`] is folded into
+    /// [`SweepConfig::fingerprint`], so sampled sweeps can never alias
+    /// full-simulation cache entries. Incompatible with
+    /// [`SweepConfig::faults`] (the runner panics).
+    pub fn sampled(mut self, spec: SamplingSpec) -> SweepConfig {
+        self.sampling = Some(spec);
+        self
+    }
+
+    /// The armed sampling spec, if any.
+    pub fn sampling_value(&self) -> Option<&SamplingSpec> {
+        self.sampling.as_ref()
+    }
+
     /// Override the directory the result cache is written to (default:
     /// `results/` under the repository root).
     pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> SweepConfig {
@@ -237,6 +259,10 @@ impl SweepConfig {
             fnv1a(base, b"loop_aware_eviction;")
         } else {
             base
+        };
+        let base = match &self.sampling {
+            None => base,
+            Some(spec) => fnv1a(base, spec.cache_tag().as_bytes()),
         };
         match &self.replay_dir {
             None => base,
@@ -400,14 +426,40 @@ impl ResultSet {
                         sess.install_item();
                     }
                     let wl = Workload::build(&apps[i]);
-                    let replay = cfg.replay_for(&wl).unwrap_or_else(|e| {
+                    let mut replay = cfg.replay_for(&wl).unwrap_or_else(|e| {
                         panic!("replay corpus unusable for {}: {e}", apps[i].name)
+                    });
+                    // Under phase sampling the BBV + clustering work is
+                    // per-app, not per-model: build the plan once (capturing
+                    // the stream in memory when no corpus is armed) and
+                    // share it across all models.
+                    let plan = cfg.sampling_value().map(|spec| {
+                        let trace = replay.get_or_insert_with(|| {
+                            Arc::new(
+                                capture(&wl, insts, DEFAULT_SLICE_INSTS).unwrap_or_else(|e| {
+                                    panic!("capture failed for {}: {e}", apps[i].name)
+                                }),
+                            )
+                        });
+                        let plan = Arc::new(build_plan(trace, &wl, insts, spec).unwrap_or_else(
+                            |e| panic!("sampling plan failed for {}: {e}", apps[i].name),
+                        ));
+                        // Functional warming is likewise per-app: one pass
+                        // per distinct bpred config covers the whole zoo.
+                        let cfgs: Vec<_> = Model::ALL.iter().map(|m| m.config()).collect();
+                        let warmth = Arc::new(SampleWarmth::build(
+                            trace, &wl, insts, &plan, spec, &cfgs,
+                        ));
+                        (plan, warmth)
                     });
                     let mut local = Vec::with_capacity(Model::ALL.len());
                     for m in Model::ALL {
                         let mut req = cfg.request(m);
                         if let Some(t) = &replay {
                             req = req.replay(Arc::clone(t));
+                        }
+                        if let Some((p, w)) = &plan {
+                            req = req.sampled_plan(Arc::clone(p)).sample_warmth(Arc::clone(w));
                         }
                         local.push(req.run(&wl));
                     }
@@ -882,6 +934,19 @@ mod tests {
             la.fingerprint(),
             SweepConfig::new().faults(FaultPlan::new(1)).fingerprint()
         );
+        // Phase sampling is fingerprinted: a sampled sweep can never be
+        // served a full-simulation cache file (or vice versa), and every
+        // spec field lands in a distinct file.
+        let spec = SamplingSpec::default();
+        let sa = SweepConfig::new().sampled(spec.clone());
+        assert_eq!(sa.sampling_value(), Some(&spec));
+        assert_ne!(sa.fingerprint(), SweepConfig::new().fingerprint());
+        assert_ne!(sa.fingerprint(), la.fingerprint());
+        let sb = SweepConfig::new().sampled(SamplingSpec {
+            interval: spec.interval / 2,
+            ..spec.clone()
+        });
+        assert_ne!(sa.fingerprint(), sb.fingerprint());
     }
 
     #[test]

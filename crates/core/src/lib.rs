@@ -30,11 +30,15 @@ mod machine;
 mod models;
 mod report;
 mod request;
+mod sampled;
+mod warmth;
 
 pub use faults::{FaultCounters, FaultInjector, FaultKind, FaultPlan, FaultReport};
 pub use machine::Machine;
 #[allow(deprecated)]
 pub use machine::{simulate, simulate_config};
 pub use models::{MachineConfig, Model, TraceConfig};
+pub use parrot_sampling::{build_plan, SamplePlan, SamplingSpec};
 pub use report::{OptReport, SimReport, TraceReport};
 pub use request::{SimRequest, DEFAULT_INSTS};
+pub use warmth::{effective_warmup, SampleWarmth, BASELINE_DETAILED_WARMUP};

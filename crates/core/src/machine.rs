@@ -220,6 +220,24 @@ impl<'w> Machine<'w> {
         faults: Option<FaultInjector>,
         replay: Option<Arc<TraceFile>>,
     ) -> Machine<'w> {
+        Self::from_config_window(cfg, wl, max_insts, faults, replay, 0)
+    }
+
+    /// As [`Machine::from_config_source`], but positioned `start` committed
+    /// instructions into the stream before simulation begins: the machine
+    /// simulates stream positions `[start, start + max_insts)` from cold
+    /// microarchitectural state. Phase sampling runs representatives this
+    /// way ([`crate::SimRequest::sampled`]); with a replay source the
+    /// reposition is O(slice) through the capture's index, while a live
+    /// engine must step to `start`.
+    pub(crate) fn from_config_window(
+        cfg: MachineConfig,
+        wl: &'w Workload,
+        max_insts: u64,
+        faults: Option<FaultInjector>,
+        replay: Option<Arc<TraceFile>>,
+        start: u64,
+    ) -> Machine<'w> {
         let mut cores = vec![OooCore::new(cfg.core)];
         if let Some(hc) = cfg.hot_core {
             cores.push(OooCore::new(hc));
@@ -250,11 +268,15 @@ impl<'w> Machine<'w> {
                 ts.tc.set_integrity(true);
             }
         }
-        let src = match replay {
+        let mut src = match replay {
             Some(trace) => StreamSource::replay(trace, wl)
                 .expect("replay source validated before machine construction"),
             None => StreamSource::live(wl),
         };
+        if start > 0 {
+            src.skip(start)
+                .expect("window validated against the capture before machine construction");
+        }
         Machine {
             label: cfg.name.clone(),
             frontend: ColdFrontEnd::new(cfg.core, cfg.bpred),
@@ -289,6 +311,19 @@ impl<'w> Machine<'w> {
             && self.trace.as_ref().is_none_or(|t| t.hot_run.is_none())
     }
 
+    /// Start from functionally warmed cache/predictor state instead of
+    /// cold (sampled simulation, DESIGN.md §18.3). Must be called before
+    /// the first tick.
+    pub(crate) fn inject_warm_state(
+        &mut self,
+        mem: parrot_uarch::cache::MemHierarchy,
+        bpred: parrot_uarch::bpred::HybridPredictor,
+    ) {
+        debug_assert_eq!(self.now, 0, "warm state must be injected before running");
+        self.mem = mem;
+        self.frontend.bpred = bpred;
+    }
+
     /// Run to completion and produce the report.
     pub fn run(mut self) -> SimReport {
         if tev::active() || metrics::active() {
@@ -303,6 +338,52 @@ impl<'w> Machine<'w> {
         }
         debug_assert!(self.done(), "simulation hit the cycle cap — livelock?");
         self.finish()
+    }
+
+    /// Cumulative report for the machine's current mid-run state, without
+    /// disturbing it: static/clock energy for the elapsed cycles is
+    /// finished on a clone of the energy account.
+    fn snapshot_report(&self) -> SimReport {
+        let mut acct = self.acct.clone();
+        acct.finish_static(&self.cold_model, self.now);
+        self.build_report(&acct)
+    }
+
+    /// Run until `b` instructions have committed, capturing cumulative
+    /// report snapshots at the first commit boundaries at-or-past `a`
+    /// (skipped when `a` is 0) and `b`, then stop. Both snapshots are
+    /// taken mid-flight — younger in-flight work is abandoned at the
+    /// second one — so `b − a` measures a contiguous fully-overlapped
+    /// segment with no pipeline-drain tail on either side. The machine's
+    /// own budget should exceed `b` by a pipeline's worth of
+    /// instructions; if the stream runs dry first, the drained final
+    /// report stands in for the `b` snapshot.
+    ///
+    /// Sampled simulation uses this to measure one warmed representative
+    /// window per run: snapshot-at-`b` minus snapshot-at-`a` is the
+    /// contribution of the window past its warmup prefix.
+    pub(crate) fn run_segment(mut self, a: u64, b: u64) -> (Option<SimReport>, SimReport) {
+        debug_assert!(a < b, "segment start must precede its end");
+        if tev::active() || metrics::active() {
+            let label = format!("{}/{}", self.label, self.wl.profile.name);
+            tev::begin_run(&label);
+            metrics::begin_run(&label);
+        }
+        let _prof = profile::scope("machine.run");
+        let cycle_cap = self.oracle.remaining() * 400 + 5_000_000;
+        let mut first = None;
+        while !self.done() && self.now < cycle_cap {
+            self.tick();
+            let insts: u64 = self.cores.iter().map(|c| c.stats().committed_insts).sum();
+            if first.is_none() && a > 0 && insts >= a {
+                first = Some(self.snapshot_report());
+            }
+            if insts >= b {
+                return (first, self.snapshot_report());
+            }
+        }
+        debug_assert!(self.done(), "simulation hit the cycle cap — livelock?");
+        (first, self.finish())
     }
 
     fn tick(&mut self) {
@@ -915,6 +996,16 @@ impl<'w> Machine<'w> {
             // final cumulative counters, equal to the report below.
             self.publish_metrics(insts);
         }
+        let acct = std::mem::take(&mut self.acct);
+        self.build_report(&acct)
+    }
+
+    /// The report for the machine's current cumulative state, with energy
+    /// read from `acct` (the caller finishes static energy on it — on the
+    /// live account at end of run, or on a clone for a mid-run snapshot
+    /// that must not disturb the machine).
+    fn build_report(&self, acct: &EnergyAccount) -> SimReport {
+        let insts: u64 = self.cores.iter().map(|c| c.stats().committed_insts).sum();
         let uops: u64 = self.cores.iter().map(|c| c.stats().committed_uops).sum();
         let fe = self.frontend.stats();
         let trace = self.trace.as_ref().map(|ts| {
@@ -978,8 +1069,8 @@ impl<'w> Machine<'w> {
             insts,
             uops,
             cycles: self.now,
-            energy: self.acct.total(),
-            energy_by_unit: SimReport::breakdown_from(&self.acct),
+            energy: acct.total(),
+            energy_by_unit: SimReport::breakdown_from(acct),
             cond_branches: fe.cond_branches,
             cond_mispredicts: fe.cond_mispredicts,
             iq_empty_cycles: self.cores.iter().map(|c| c.stats().iq_empty_cycles).sum(),

@@ -18,6 +18,8 @@ use crate::faults::FaultPlan;
 use crate::machine::Machine;
 use crate::models::{MachineConfig, Model};
 use crate::report::SimReport;
+use crate::warmth::SampleWarmth;
+use parrot_sampling::{SamplePlan, SamplingSpec};
 use parrot_workloads::tracefmt::{TraceError, TraceFile};
 use parrot_workloads::Workload;
 use std::sync::Arc;
@@ -35,6 +37,9 @@ pub struct SimRequest {
     insts: u64,
     faults: Option<FaultPlan>,
     replay: Option<Arc<TraceFile>>,
+    sampling: Option<SamplingSpec>,
+    plan: Option<Arc<SamplePlan>>,
+    warmth: Option<Arc<SampleWarmth>>,
 }
 
 impl SimRequest {
@@ -52,6 +57,9 @@ impl SimRequest {
             insts: DEFAULT_INSTS,
             faults: None,
             replay: None,
+            sampling: None,
+            plan: None,
+            warmth: None,
         }
     }
 
@@ -99,6 +107,55 @@ impl SimRequest {
         self.replay.as_ref()
     }
 
+    /// Run this request under SimPoint-style phase sampling instead of
+    /// simulating the full budget: the committed stream is sliced into
+    /// intervals, clustered on basic-block frequency vectors, and only one
+    /// weighted representative per cluster is simulated (with
+    /// `spec.warmup` instructions of unmeasured warmup). The report is the
+    /// weighted reconstruction — `insts` equals the budget exactly, rates
+    /// are weighted means, and `store_log_hash` is 0 (not reconstructible).
+    /// See `parrot_sampling::build_plan` and DESIGN.md §18.
+    ///
+    /// Incompatible with [`SimRequest::faults`]: [`SimRequest::run`] panics
+    /// if both are armed. An armed [`SimRequest::replay`] capture is reused
+    /// as the sampling stream; otherwise one is captured in memory.
+    pub fn sampled(mut self, spec: SamplingSpec) -> SimRequest {
+        self.sampling = Some(spec);
+        self.plan = None;
+        self
+    }
+
+    /// As [`SimRequest::sampled`], reusing a prebuilt [`SamplePlan`] (the
+    /// BBV + clustering work) — the sweep runner builds one plan per app
+    /// and shares it across all models. The plan's budget and spec must
+    /// match this request.
+    pub fn sampled_plan(mut self, plan: Arc<SamplePlan>) -> SimRequest {
+        self.sampling = Some(plan.spec.clone());
+        self.plan = Some(plan);
+        self
+    }
+
+    /// As [`SimRequest::sampled_plan`], additionally reusing prebuilt
+    /// functional-warming snapshots ([`SampleWarmth`], DESIGN.md §18.3) —
+    /// the sweep runner builds them once per app and shares them across
+    /// all models. Snapshots whose budget/spec don't match this request,
+    /// or that carry no pass for this machine's branch-predictor
+    /// configuration, are ignored and rebuilt inside the run.
+    pub fn sample_warmth(mut self, warmth: Arc<SampleWarmth>) -> SimRequest {
+        self.warmth = Some(warmth);
+        self
+    }
+
+    /// The armed warming snapshots, if any.
+    pub(crate) fn warmth(&self) -> Option<&Arc<SampleWarmth>> {
+        self.warmth.as_ref()
+    }
+
+    /// The armed sampling spec, if any.
+    pub fn sampling_spec(&self) -> Option<&SamplingSpec> {
+        self.sampling.as_ref()
+    }
+
     /// Check that the armed replay capture (if any) was taken from `wl` and
     /// covers the instruction budget. [`SimRequest::run`] enforces the same
     /// conditions by panicking; call this first to get the structured
@@ -141,6 +198,9 @@ impl SimRequest {
     pub fn run(&self, wl: &Workload) -> SimReport {
         if let Err(e) = self.validate_replay(wl) {
             panic!("invalid replay request: {e}");
+        }
+        if let Some(spec) = &self.sampling {
+            return crate::sampled::run_sampled(self, wl, spec, self.plan.as_ref());
         }
         let inj = self
             .faults

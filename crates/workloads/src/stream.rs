@@ -66,4 +66,22 @@ impl<'p> StreamSource<'p> {
     pub fn is_replay(&self) -> bool {
         matches!(self, StreamSource::Replay(_))
     }
+
+    /// Advance the source past the first `n` committed instructions, so the
+    /// next [`StreamSource::next_inst`] returns instruction `n` of the
+    /// stream. Replay repositions through the slice index in O(slice)
+    /// ([`ReplayCursor::seek`]) — the operation phase sampling leans on to
+    /// make warmup windows cheap; a live engine can only step there, which
+    /// is why sampled simulation always runs from a capture.
+    pub fn skip(&mut self, n: u64) -> Result<(), TraceError> {
+        match self {
+            StreamSource::Live(eng) => {
+                for _ in 0..n {
+                    eng.next().expect("engine streams are infinite");
+                }
+                Ok(())
+            }
+            StreamSource::Replay(cur) => cur.seek(n),
+        }
+    }
 }

@@ -302,6 +302,27 @@ impl<'p> ReplayCursor<'p> {
         Ok(())
     }
 
+    /// Reposition at absolute stream position `pos` (instructions from the
+    /// start of the capture), so the next decode returns instruction `pos`.
+    /// Random access: jumps to the enclosing slice through its index entry
+    /// ([`ReplayCursor::at_slice`]) and decodes at most one slice's worth of
+    /// instructions to land mid-slice. Fails with [`TraceError::TooShort`]
+    /// when the capture does not extend past `pos`.
+    pub fn seek(&mut self, pos: u64) -> Result<(), TraceError> {
+        if pos >= self.trace.inst_count() {
+            return Err(TraceError::TooShort {
+                captured: self.trace.inst_count(),
+                requested: pos + 1,
+            });
+        }
+        let per = u64::from(self.trace.slice_insts());
+        self.at_slice((pos / per) as usize)?;
+        for _ in 0..pos % per {
+            self.try_next()?;
+        }
+        Ok(())
+    }
+
     /// Decode the next committed instruction, or a structured error if the
     /// payload is internally inconsistent (possible only for hand-crafted
     /// files — checksums catch accidental corruption at parse time).

@@ -85,6 +85,40 @@ fn random_slice_access_matches_sequential_decode() {
 }
 
 #[test]
+fn seek_lands_mid_slice_and_agrees_with_sequential_decode() {
+    let w = wl("lucas");
+    let trace = Arc::new(capture(&w, 10_000, 1_000).expect("encodable"));
+    let all = decode_all(&trace, &w).expect("decodes");
+    let mut cur = ReplayCursor::new(Arc::clone(&trace), &w).expect("source matches");
+    // Positions straddling slice boundaries, out of order, including 0 and
+    // the very last instruction.
+    for pos in [4_321usize, 0, 999, 1_000, 7_700, 9_999, 2_500] {
+        cur.seek(pos as u64).expect("in range");
+        assert_eq!(cur.read(), pos as u64);
+        let got = cur.try_next().expect("decodes");
+        assert_eq!(got, all[pos], "seek({pos})");
+    }
+    assert_eq!(
+        cur.seek(10_000),
+        Err(TraceError::TooShort {
+            captured: 10_000,
+            requested: 10_001
+        })
+    );
+
+    // StreamSource::skip routes through the same machinery and must agree
+    // with a live engine skipped the slow way.
+    let mut replay = parrot_workloads::StreamSource::replay(Arc::clone(&trace), &w)
+        .expect("source matches");
+    let mut live = parrot_workloads::StreamSource::live(&w);
+    replay.skip(6_400).expect("in range");
+    live.skip(6_400).expect("live skip is infallible");
+    for k in 0..200 {
+        assert_eq!(replay.next_inst(), live.next_inst(), "inst {k} after skip");
+    }
+}
+
+#[test]
 fn replay_past_capture_end_is_a_structured_error() {
     let w = wl("art");
     let trace = Arc::new(capture(&w, 1_000, 256).expect("encodable"));
