@@ -7,6 +7,7 @@
 //! $ parrot run TON gcc --json             # machine-readable report
 //! $ parrot compare N TON gcc              # side-by-side with deltas
 //! $ parrot sweep gcc                      # all models on one application
+//! $ parrot sweep gcc --json               # same, as one JSON document
 //! $ parrot analyze --all                  # whole-program CFG/loop analysis
 //! $ parrot analyze gcc --json             # one app's full analysis report
 //! $ parrot lint-traces --all              # uop-IR lint + validation gate
@@ -18,78 +19,82 @@
 //! $ parrot replay gcc --verify            # replay a capture, diff vs live
 //! $ parrot sample gcc --insts 30000000    # sampled-vs-full fidelity, one app
 //! $ parrot sample --all --tol 0.03        # full table + tolerance gate
+//! $ parrot serve --addr 127.0.0.1:8040    # the HTTP simulation service
+//! $ parrot help replay                    # one command's full flag schema
 //! ```
 //!
 //! Run via `cargo run --release -p parrot-bench --bin parrot -- <args>`.
-//! Every subcommand also accepts the shared telemetry flags
-//! (`--trace-out`, `--metrics-out`, `--profile`, `--jobs`, `-v`/`-q`);
-//! see [`parrot_bench::cli`].
+//! Subcommands, their positionals, and their flags all come from the
+//! table in [`parrot_bench::cli`] ([`cli::COMMANDS`]): parsing, the
+//! usage screen, and `parrot help <cmd>` are generated from one schema,
+//! so an unknown flag is an error everywhere, not silently ignored
+//! somewhere. Every subcommand also accepts the shared telemetry flags
+//! (`--trace-out`, `--metrics-out`, `--profile`, `--jobs`, `-v`/`-q`).
+//!
+//! JSON outputs that have a served twin (`run --json`, `sweep --json`,
+//! `replay --json`) are printed with `print!` — the pretty serializer
+//! carries its own trailing newline — so stdout is byte-identical to
+//! the corresponding `/v1/results/:fingerprint` body.
 
+use parrot_bench::cli;
 use parrot_core::{FaultPlan, Model, SimReport, SimRequest};
 use parrot_energy::metrics::cmpw_relative;
-use parrot_workloads::{all_apps, app_by_name, Workload};
+use parrot_workloads::{all_apps, app_by_name, AppProfile, Workload};
 
 fn main() {
     let (telemetry, args) =
         parrot_bench::cli::Telemetry::from_args(std::env::args().skip(1).collect());
-    match args.first().map(String::as_str) {
-        Some("list-apps") => list_apps(),
-        Some("list-models") => list_models(),
-        Some("run") => run(&args[1..]),
-        Some("compare") => compare(&args[1..]),
-        Some("sweep") => sweep(&args[1..]),
-        Some("analyze") => {
-            let code = analyze(&args[1..]);
-            telemetry.finish();
-            std::process::exit(code);
+    let Some(name) = args.first() else {
+        usage();
+    };
+    let Some(spec) = cli::command(name) else {
+        eprintln!("parrot: unknown command '{name}'\n");
+        usage();
+    };
+    let p = match cli::parse_command(spec, &args[1..]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
         }
-        Some("lint-traces") => {
-            let code = lint_traces(&args[1..]);
-            telemetry.finish();
-            std::process::exit(code);
-        }
-        Some("soak") => {
-            let code = soak(&args[1..]);
-            telemetry.finish();
-            std::process::exit(code);
-        }
-        Some("bench") => {
-            let code = bench(&args[1..]);
-            telemetry.finish();
-            std::process::exit(code);
-        }
-        Some("capture") => {
-            let code = capture(&args[1..]);
-            telemetry.finish();
-            std::process::exit(code);
-        }
-        Some("replay") => {
-            let code = replay(&args[1..]);
-            telemetry.finish();
-            std::process::exit(code);
-        }
-        Some("sample") => {
-            let code = sample(&args[1..]);
-            telemetry.finish();
-            std::process::exit(code);
-        }
-        _ => usage(),
-    }
+    };
+    let code = match spec.name {
+        "list-apps" => list_apps(),
+        "list-models" => list_models(),
+        "run" => run(&p),
+        "compare" => compare(&p),
+        "sweep" => sweep(&p),
+        "analyze" => analyze(&p),
+        "lint-traces" => lint_traces(&p),
+        "soak" => soak(&p),
+        "bench" => bench(&p),
+        "capture" => capture(&p),
+        "replay" => replay(&p),
+        "sample" => sample(&p),
+        "serve" => serve(&p),
+        "help" => help(&p),
+        other => unreachable!("command {other} is in the table but not dispatched"),
+    };
     telemetry.finish();
+    std::process::exit(code);
 }
 
-fn usage() {
-    eprintln!(
-        "usage:\n  parrot list-apps\n  parrot list-models\n  parrot run <MODEL> <APP> [--insts N] [--json] [--fault-seed S --fault-rate R]\n  parrot compare <MODEL> <MODEL> <APP> [--insts N]\n  parrot sweep <APP> [--insts N]\n  parrot analyze <APP | --all> [--json] [--out DIR]\n  parrot lint-traces [<APP> | --all] [--insts N]\n  parrot soak [--model M] [--seed S] [--rates R1,R2,..] [--insts N] [--json]\n  parrot bench [--insts N] [--check] [--tolerance T] [--out FILE]\n  parrot capture <APP | --all> [--insts N] [--slice N] [--dir D | --out FILE]\n  parrot replay <FILE | APP> [--model M] [--insts N] [--json] [--verify]\n                [--fault-seed S --fault-rate R]\n  parrot sample <APP.. | --all> [--insts N] [--interval N] [--warmup N]\n                [--k K] [--tol T] [--out FILE] [--fresh] [--json]"
-    );
+fn usage() -> ! {
+    eprintln!("{}", cli::usage_text());
     std::process::exit(2);
 }
 
-fn flag_insts(args: &[String]) -> u64 {
-    args.windows(2)
-        .find(|w| w[0] == "--insts")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(200_000)
+/// Unwrap a typed flag lookup, exiting with the conventional usage code
+/// on a malformed value.
+fn flag<T>(r: Result<Option<T>, String>) -> Option<T> {
+    r.unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
+fn insts_or_default(p: &cli::Parsed) -> u64 {
+    flag(p.u64_value("--insts")).unwrap_or_else(parrot_bench::insts_budget)
 }
 
 fn parse_model(s: &str) -> Model {
@@ -99,24 +104,37 @@ fn parse_model(s: &str) -> Model {
     })
 }
 
-fn parse_app(s: &str) -> Workload {
-    let profile = app_by_name(s).unwrap_or_else(|| {
+fn parse_profile(s: &str) -> AppProfile {
+    app_by_name(s).unwrap_or_else(|| {
         eprintln!("unknown app '{s}'; run `parrot list-apps`");
         std::process::exit(2);
-    });
-    Workload::build(&profile)
+    })
 }
 
-fn list_apps() {
+fn parse_app(s: &str) -> Workload {
+    Workload::build(&parse_profile(s))
+}
+
+/// The `<APP> | --all` convention shared by analyze / lint-traces /
+/// capture: `--all` wins, else the first positional names one app.
+fn profiles_of(p: &cli::Parsed) -> Option<Vec<AppProfile>> {
+    if p.switch("--all") {
+        return Some(all_apps());
+    }
+    p.positionals.first().map(|name| vec![parse_profile(name)])
+}
+
+fn list_apps() -> i32 {
     for suite in parrot_workloads::Suite::ALL {
         println!("{suite}:");
         for a in all_apps().iter().filter(|a| a.suite == suite) {
             println!("  {}", a.name);
         }
     }
+    0
 }
 
-fn list_models() {
+fn list_models() -> i32 {
     for m in Model::ALL {
         let c = m.config();
         println!(
@@ -134,6 +152,26 @@ fn list_models() {
                 ""
             },
         );
+    }
+    0
+}
+
+fn help(p: &cli::Parsed) -> i32 {
+    match p.positionals.first() {
+        None => {
+            println!("{}", cli::usage_text());
+            0
+        }
+        Some(name) => match cli::command(name) {
+            Some(spec) => {
+                println!("{}", cli::help_text(spec));
+                0
+            }
+            None => {
+                eprintln!("help: unknown command '{name}'\n\n{}", cli::usage_text());
+                2
+            }
+        },
     }
 }
 
@@ -162,20 +200,30 @@ fn print_human(r: &SimReport) {
     }
 }
 
-fn run(args: &[String]) {
-    let [model, app, ..] = args else {
-        return usage();
+/// The optional fault plan from the shared `--fault-seed`/`--fault-rate`
+/// pair (same defaults the serve backend applies).
+fn fault_plan(p: &cli::Parsed) -> Option<FaultPlan> {
+    let seed = flag(p.u64_value("--fault-seed"));
+    let rate = flag(p.f64_value("--fault-rate"));
+    if seed.is_some() || rate.is_some() {
+        Some(FaultPlan::new(seed.unwrap_or(0)).rate(rate.unwrap_or(0.01)))
+    } else {
+        None
+    }
+}
+
+fn run(p: &cli::Parsed) -> i32 {
+    let [model, app, ..] = p.positionals.as_slice() else {
+        usage();
     };
     let wl = parse_app(app);
-    let mut req = SimRequest::model(parse_model(model)).insts(flag_insts(args));
-    let seed = flag_u64(args, "--fault-seed");
-    let rate = flag_f64(args, "--fault-rate");
-    if seed.is_some() || rate.is_some() {
-        req = req.faults(FaultPlan::new(seed.unwrap_or(0)).rate(rate.unwrap_or(0.01)));
+    let mut req = SimRequest::model(parse_model(model)).insts(insts_or_default(p));
+    if let Some(plan) = fault_plan(p) {
+        req = req.faults(plan);
     }
     let r = req.run(&wl);
-    if args.iter().any(|a| a == "--json") {
-        println!("{}", r.to_json().to_json_pretty());
+    if p.switch("--json") {
+        print!("{}", r.to_json().to_json_pretty());
     } else {
         print_human(&r);
         if let Some(fr) = &r.faults {
@@ -188,18 +236,42 @@ fn run(args: &[String]) {
             );
         }
     }
+    0
 }
 
-fn flag_u64(args: &[String], flag: &str) -> Option<u64> {
-    args.windows(2)
-        .find(|w| w[0] == flag)
-        .and_then(|w| w[1].parse().ok())
-}
+/// Run the admission-controlled HTTP simulation service (DESIGN.md §19)
+/// over the real backend until killed.
+fn serve(p: &cli::Parsed) -> i32 {
+    use parrot_serve::{serve, ServerConfig};
 
-fn flag_f64(args: &[String], flag: &str) -> Option<f64> {
-    args.windows(2)
-        .find(|w| w[0] == flag)
-        .and_then(|w| w[1].parse().ok())
+    let mut cfg = ServerConfig::default();
+    if let Some(addr) = p.value("--addr") {
+        cfg.addr = addr.to_string();
+    }
+    // The sweep pool already parallelizes inside one job; a couple of
+    // service workers is about concurrency between jobs, not speed.
+    cfg.workers = parrot_bench::jobs().clamp(1, 4);
+    if let Some(n) = flag(p.usize_value("--queue-cap")) {
+        cfg.admission.queue_cap = n;
+    }
+    if let Some(n) = flag(p.usize_value("--shed-mark")) {
+        cfg.admission.shed_mark = n;
+    }
+    if let Some(n) = flag(p.usize_value("--cache-cap")) {
+        cfg.cache_cap = n;
+    }
+    let handle = match serve(cfg, parrot_bench::serve_backend::Backend::new()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: cannot bind: {e}");
+            return 1;
+        }
+    };
+    println!("parrot serve: listening on http://{}", handle.addr());
+    println!("  POST /v1/jobs | GET /v1/jobs/:id | GET /v1/results/:fp | GET /v1/healthz | GET /v1/metrics");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }
 
 /// Run a seeded fault-injection soak campaign across every registered
@@ -207,19 +279,19 @@ fn flag_f64(args: &[String], flag: &str) -> Option<f64> {
 /// Nonzero exit when any run's committed store log diverged from its
 /// fault-free twin or the fault accounting failed to reconcile — this is
 /// the CI gate for "degrade, never die".
-fn soak(args: &[String]) -> i32 {
+fn soak(p: &cli::Parsed) -> i32 {
     use parrot_bench::soak::{run_soak, soak_path, SoakConfig};
     let mut cfg = SoakConfig::from_env();
-    if let Some(m) = args.windows(2).find(|w| w[0] == "--model").map(|w| &w[1]) {
+    if let Some(m) = p.value("--model") {
         cfg = cfg.model(parse_model(m));
     }
-    if let Some(s) = flag_u64(args, "--seed") {
+    if let Some(s) = flag(p.u64_value("--seed")) {
         cfg = cfg.seed(s);
     }
-    if args.windows(2).any(|w| w[0] == "--insts") {
-        cfg = cfg.insts(flag_insts(args));
+    if let Some(n) = flag(p.u64_value("--insts")) {
+        cfg = cfg.insts(n);
     }
-    if let Some(spec) = args.windows(2).find(|w| w[0] == "--rates").map(|w| &w[1]) {
+    if let Some(spec) = p.value("--rates") {
         let rates: Vec<f64> = spec
             .split(',')
             .filter_map(|s| s.trim().parse().ok())
@@ -236,8 +308,8 @@ fn soak(args: &[String]) -> i32 {
         let _ = std::fs::create_dir_all(dir);
     }
     let _ = std::fs::write(&path, report.to_json().to_json_pretty());
-    if args.iter().any(|a| a == "--json") {
-        println!("{}", report.to_json().to_json_pretty());
+    if p.switch("--json") {
+        print!("{}", report.to_json().to_json_pretty());
     } else {
         println!("{}", report.markdown());
     }
@@ -256,17 +328,14 @@ fn soak(args: &[String]) -> i32 {
 /// leave the baseline untouched, write the fresh numbers to `--out FILE`
 /// if given, and exit nonzero when any model regressed more than the
 /// tolerance (default 10%) below the baseline — the CI perf gate.
-fn bench(args: &[String]) -> i32 {
+fn bench(p: &cli::Parsed) -> i32 {
     use parrot_bench::cips;
-    let insts = flag_u64(args, "--insts").unwrap_or(cips::DEFAULT_BENCH_INSTS);
-    let tolerance = flag_f64(args, "--tolerance").unwrap_or(cips::REGRESSION_TOLERANCE);
-    let out = args
-        .windows(2)
-        .find(|w| w[0] == "--out")
-        .map(|w| std::path::PathBuf::from(&w[1]));
+    let insts = flag(p.u64_value("--insts")).unwrap_or(cips::DEFAULT_BENCH_INSTS);
+    let tolerance = flag(p.f64_value("--tolerance")).unwrap_or(cips::REGRESSION_TOLERANCE);
+    let out = p.value("--out").map(std::path::PathBuf::from);
     let fresh = cips::measure(insts);
     println!("{}", fresh.markdown());
-    if !args.iter().any(|a| a == "--check") {
+    if !p.switch("--check") {
         let path = out.unwrap_or_else(cips::baseline_path);
         if let Err(e) = std::fs::write(&path, fresh.to_json().to_json_pretty()) {
             eprintln!("bench: cannot write {}: {e}", path.display());
@@ -317,12 +386,12 @@ fn bench(args: &[String]) -> i32 {
     }
 }
 
-fn compare(args: &[String]) {
-    let [a, b, app, ..] = args else {
-        return usage();
+fn compare(p: &cli::Parsed) -> i32 {
+    let [a, b, app, ..] = p.positionals.as_slice() else {
+        usage();
     };
     let wl = parse_app(app);
-    let insts = flag_insts(args);
+    let insts = insts_or_default(p);
     let ra = SimRequest::model(parse_model(a)).insts(insts).run(&wl);
     let rb = SimRequest::model(parse_model(b)).insts(insts).run(&wl);
     println!("{:<20}{:>12}{:>12}{:>10}", app, ra.model, rb.model, "delta");
@@ -349,38 +418,20 @@ fn compare(args: &[String]) {
         "",
         (cmpw - 1.0) * 100.0
     );
+    0
 }
 
-/// Lint constructed and optimized traces for one app (or all 44) without
-/// running a full simulation: select and construct frames from the cold
-/// execution stream, run the uop-IR lint suite before and after the full
-/// pass pipeline, and tally the validation-gate verdicts. Nonzero exit on
-/// any lint error.
 /// Whole-program static analysis: CFG recovery, dominators, natural
 /// loops, hotness, and reuse classification for one app or all 44.
 /// `--json` prints the full deterministic report(s); `--out DIR` writes
 /// one `<app>.json` per app (the artifact the CI determinism job diffs).
-fn analyze(args: &[String]) -> i32 {
+fn analyze(p: &cli::Parsed) -> i32 {
     use parrot_workloads::generate_program;
 
-    let json = args.iter().any(|a| a == "--json");
-    let out_dir = args
-        .windows(2)
-        .find(|w| w[0] == "--out")
-        .map(|w| std::path::PathBuf::from(&w[1]));
-    let profiles = if args.iter().any(|a| a == "--all") {
-        all_apps()
-    } else {
-        match args.first().filter(|a| !a.starts_with("--")) {
-            Some(name) => vec![app_by_name(name).unwrap_or_else(|| {
-                eprintln!("unknown app '{name}'; run `parrot list-apps`");
-                std::process::exit(2);
-            })],
-            None => {
-                usage();
-                return 2;
-            }
-        }
+    let json = p.switch("--json");
+    let out_dir = p.value("--out").map(std::path::PathBuf::from);
+    let Some(profiles) = profiles_of(p) else {
+        usage();
     };
     if let Some(dir) = &out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -458,35 +509,25 @@ fn analyze(args: &[String]) -> i32 {
         } else {
             parrot_telemetry::json::Value::Obj(all_reports)
         };
-        println!("{}", v.to_json_pretty());
+        print!("{}", v.to_json_pretty());
     }
     i32::from(failures > 0)
 }
 
-fn lint_traces(args: &[String]) -> i32 {
+/// Lint constructed and optimized traces for one app (or all 44) without
+/// running a full simulation: select and construct frames from the cold
+/// execution stream, run the uop-IR lint suite before and after the full
+/// pass pipeline, and tally the validation-gate verdicts. Nonzero exit on
+/// any lint error.
+fn lint_traces(p: &cli::Parsed) -> i32 {
     use parrot_opt::{validate, GateDecision, Optimizer, OptimizerConfig};
     use parrot_telemetry::metrics;
     use parrot_trace::{construct_frame, SelectionConfig, TraceSelector};
     use parrot_workloads::{generate_program, ExecutionEngine};
 
-    let insts: usize = args
-        .windows(2)
-        .find(|w| w[0] == "--insts")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(30_000);
-    let profiles = if args.iter().any(|a| a == "--all") {
-        all_apps()
-    } else {
-        match args.first().filter(|a| !a.starts_with("--")) {
-            Some(name) => vec![app_by_name(name).unwrap_or_else(|| {
-                eprintln!("unknown app '{name}'; run `parrot list-apps`");
-                std::process::exit(2);
-            })],
-            None => {
-                usage();
-                return 2;
-            }
-        }
+    let insts = flag(p.u64_value("--insts")).unwrap_or(30_000) as usize;
+    let Some(profiles) = profiles_of(p) else {
+        usage();
     };
     println!(
         "{:<16}{:>8}{:>9}{:>11}{:>9}{:>7}{:>7}",
@@ -567,38 +608,20 @@ fn lint_traces(args: &[String]) -> i32 {
 /// Capture one app (or all 44) into `.ptrace` files under the corpus
 /// directory (default `corpus/`, the convention `parrot replay APP` and
 /// `SweepConfig::replay_dir` read from). Prints per-app size accounting.
-fn capture(args: &[String]) -> i32 {
+fn capture(p: &cli::Parsed) -> i32 {
     use parrot_workloads::tracefmt::{self, DEFAULT_SLICE_INSTS};
 
-    let insts = flag_u64(args, "--insts").unwrap_or_else(parrot_bench::insts_budget);
-    let slice = flag_u64(args, "--slice")
+    let insts = insts_or_default(p);
+    let slice = flag(p.u64_value("--slice"))
         .map(|s| s as u32)
         .unwrap_or(DEFAULT_SLICE_INSTS);
-    let out = args
-        .windows(2)
-        .find(|w| w[0] == "--out")
-        .map(|w| std::path::PathBuf::from(&w[1]));
-    let dir = args
-        .windows(2)
-        .find(|w| w[0] == "--dir")
-        .map(|w| std::path::PathBuf::from(&w[1]))
+    let out = p.value("--out").map(std::path::PathBuf::from);
+    let dir = p
+        .value("--dir")
+        .map(std::path::PathBuf::from)
         .unwrap_or_else(parrot_bench::corpus_dir);
-    let profiles = if args.iter().any(|a| a == "--all") {
-        all_apps()
-    } else {
-        match args.first().filter(|a| !a.starts_with("--")) {
-            Some(name) => match app_by_name(name) {
-                Some(p) => vec![p],
-                None => {
-                    eprintln!("unknown app '{name}'; run `parrot list-apps`");
-                    return 2;
-                }
-            },
-            None => {
-                usage();
-                return 2;
-            }
-        }
+    let Some(profiles) = profiles_of(p) else {
+        usage();
     };
     if out.is_some() && profiles.len() > 1 {
         eprintln!("--out names a single file; use --dir with --all");
@@ -644,13 +667,12 @@ fn capture(args: &[String]) -> i32 {
 /// `--verify`, the committed stream is re-decoded fallibly and the report
 /// is byte-compared against a live-engine twin (nonzero exit on any
 /// divergence).
-fn replay(args: &[String]) -> i32 {
+fn replay(p: &cli::Parsed) -> i32 {
     use parrot_workloads::tracefmt::{decode_all, TraceFile};
     use std::sync::Arc;
 
-    let Some(target) = args.first().filter(|a| !a.starts_with("--")) else {
+    let Some(target) = p.positionals.first() else {
         usage();
-        return 2;
     };
     let path = if std::path::Path::new(target).is_file() {
         std::path::PathBuf::from(target)
@@ -679,32 +701,27 @@ fn replay(args: &[String]) -> i32 {
         eprintln!("replay: {e}");
         return 1;
     }
-    let insts = flag_u64(args, "--insts").unwrap_or_else(|| trace.inst_count());
-    let model = args
-        .windows(2)
-        .find(|w| w[0] == "--model")
-        .map(|w| parse_model(&w[1]))
-        .unwrap_or(Model::TOW);
+    let insts = flag(p.u64_value("--insts")).unwrap_or_else(|| trace.inst_count());
+    let model = p.value("--model").map(parse_model).unwrap_or(Model::TOW);
     let mut req = SimRequest::model(model)
         .insts(insts)
         .replay(Arc::clone(&trace));
-    let seed = flag_u64(args, "--fault-seed");
-    let rate = flag_f64(args, "--fault-rate");
-    if seed.is_some() || rate.is_some() {
-        req = req.faults(FaultPlan::new(seed.unwrap_or(0)).rate(rate.unwrap_or(0.01)));
+    let plan = fault_plan(p);
+    if let Some(plan) = plan.clone() {
+        req = req.faults(plan);
     }
     if let Err(e) = req.validate_replay(&wl) {
         eprintln!("replay: {e}");
         return 1;
     }
     let r = req.run(&wl);
-    if args.iter().any(|a| a == "--json") {
-        println!("{}", r.to_json().to_json_pretty());
+    if p.switch("--json") {
+        print!("{}", r.to_json().to_json_pretty());
     } else {
         print_human(&r);
         println!("  replayed from    {}", path.display());
     }
-    if !args.iter().any(|a| a == "--verify") {
+    if !p.switch("--verify") {
         return 0;
     }
     // Full fallible decode, stream diff, and report diff vs the live twin.
@@ -721,8 +738,8 @@ fn replay(args: &[String]) -> i32 {
         return 1;
     }
     let mut live_req = SimRequest::model(model).insts(insts);
-    if seed.is_some() || rate.is_some() {
-        live_req = live_req.faults(FaultPlan::new(seed.unwrap_or(0)).rate(rate.unwrap_or(0.01)));
+    if let Some(plan) = plan {
+        live_req = live_req.faults(plan);
     }
     let live = live_req.run(&wl);
     if live.to_json().to_json() != r.to_json().to_json() {
@@ -743,58 +760,36 @@ fn replay(args: &[String]) -> i32 {
 /// unless `--fresh` starts the file over), print the per-suite table, and
 /// — when `--tol` is given — fail if any per-suite geomean error exceeds
 /// the tolerance.
-fn sample(args: &[String]) -> i32 {
+fn sample(p: &cli::Parsed) -> i32 {
     use parrot_bench::sample::{self, SampleReport};
     use parrot_core::SamplingSpec;
 
-    let insts = flag_u64(args, "--insts").unwrap_or_else(parrot_bench::insts_budget);
+    let insts = insts_or_default(p);
     let mut spec = SamplingSpec::default();
-    if let Some(n) = flag_u64(args, "--interval") {
+    if let Some(n) = flag(p.u64_value("--interval")) {
         spec.interval = n;
     }
-    if let Some(n) = flag_u64(args, "--warmup") {
+    if let Some(n) = flag(p.u64_value("--warmup")) {
         spec.warmup = n;
     }
-    if let Some(k) = flag_u64(args, "--k") {
+    if let Some(k) = flag(p.u64_value("--k")) {
         spec.max_k = k as usize;
     }
-    let profiles = if args.iter().any(|a| a == "--all") {
+    let profiles = if p.switch("--all") {
         all_apps()
     } else {
-        let mut named = Vec::new();
-        let mut skip = false;
-        for a in args {
-            if skip {
-                skip = false;
-                continue;
-            }
-            if a.starts_with("--") {
-                // Every flag of this subcommand except --all/--fresh/--json
-                // takes a value.
-                skip = !matches!(a.as_str(), "--all" | "--fresh" | "--json");
-                continue;
-            }
-            match app_by_name(a) {
-                Some(p) => named.push(p),
-                None => {
-                    eprintln!("unknown app '{a}'; run `parrot list-apps`");
-                    return 2;
-                }
-            }
-        }
+        let named: Vec<_> = p.positionals.iter().map(|a| parse_profile(a)).collect();
         if named.is_empty() {
             usage();
-            return 2;
         }
         named
     };
-    let path = args
-        .windows(2)
-        .find(|w| w[0] == "--out")
-        .map(|w| std::path::PathBuf::from(&w[1]))
+    let path = p
+        .value("--out")
+        .map(std::path::PathBuf::from)
         .unwrap_or_else(sample::sampling_path);
     let mut report = match SampleReport::load(&path) {
-        Some(_) if args.iter().any(|a| a == "--fresh") => SampleReport::new(insts, spec.clone()),
+        Some(_) if p.switch("--fresh") => SampleReport::new(insts, spec.clone()),
         Some(existing) => {
             if !existing.compatible(insts, &spec) {
                 eprintln!(
@@ -818,13 +813,13 @@ fn sample(args: &[String]) -> i32 {
         eprintln!("sample: cannot write {}: {e}", path.display());
         return 1;
     }
-    if args.iter().any(|a| a == "--json") {
-        println!("{}", report.to_json().to_json_pretty());
+    if p.switch("--json") {
+        print!("{}", report.to_json().to_json_pretty());
     } else {
         println!("{}", report.markdown());
     }
     parrot_telemetry::status!("(written to {})", path.display());
-    let Some(tol) = flag_f64(args, "--tol") else {
+    let Some(tol) = flag(p.f64_value("--tol")) else {
         return 0;
     };
     let violations = sample::gate(&report, tol);
@@ -843,10 +838,20 @@ fn sample(args: &[String]) -> i32 {
     }
 }
 
-fn sweep(args: &[String]) {
-    let [app, ..] = args else { return usage() };
-    let wl = parse_app(app);
-    let insts = flag_insts(args);
+fn sweep(p: &cli::Parsed) -> i32 {
+    let Some(app) = p.positionals.first() else {
+        usage();
+    };
+    let profile = parse_profile(app);
+    let insts = insts_or_default(p);
+    if p.switch("--json") {
+        // The same function the serve backend runs for a one-app sweep
+        // job: stdout here is byte-identical to that job's result body.
+        let doc = parrot_bench::serve_backend::sweep_app_doc(&profile, insts, None);
+        print!("{}", doc.to_json_pretty());
+        return 0;
+    }
+    let wl = Workload::build(&profile);
     println!(
         "{:<6}{:>9}{:>12}{:>10}{:>10}",
         "model", "IPC", "energy", "cov", "tmr"
@@ -867,4 +872,5 @@ fn sweep(args: &[String]) {
             tmr
         );
     }
+    0
 }

@@ -77,6 +77,10 @@ fn main() {
         ]));
     }
     let doc = Value::obj([
+        (
+            "schema_version",
+            Value::int(parrot_bench::RESULTS_SCHEMA_VERSION),
+        ),
         ("insts", Value::int(insts)),
         ("host_parallelism", Value::int(detected)),
         ("jobs_used", Value::int(par as u64)),

@@ -105,6 +105,10 @@ fn main() {
         ]));
     }
     let doc = Value::obj([
+        (
+            "schema_version",
+            Value::int(parrot_bench::RESULTS_SCHEMA_VERSION),
+        ),
         ("insts", Value::int(insts)),
         ("reps", Value::int(u64::from(REPS))),
         ("apps", Value::Arr(rows)),

@@ -34,6 +34,7 @@
 
 use parrot_telemetry::log::{self, Level};
 use parrot_telemetry::{metrics, profile, status, trace};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 /// Default ring capacity of the event tracer (events, not bytes). Oldest
@@ -173,6 +174,401 @@ impl Telemetry {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The subcommand table. Every `parrot` subcommand declares its flags here
+// once; the parser, the `usage` text, and `parrot help <cmd>` are all
+// generated from this table, so they cannot drift apart. Shared flags
+// (`--json`, `--insts`, `--out`, `--all`, ...) are single `FlagSpec`
+// constants referenced by every command that takes them; `--jobs`/`-v`/`-q`
+// and the telemetry sinks are shared one level up, in
+// [`Telemetry::from_args`], before the table parser ever sees the args.
+// ---------------------------------------------------------------------------
+
+/// One flag in a subcommand's schema.
+#[derive(Clone, Copy)]
+pub struct FlagSpec {
+    /// The flag itself, e.g. `--insts`.
+    pub name: &'static str,
+    /// Placeholder for the value it consumes (`None` for boolean switches).
+    pub value: Option<&'static str>,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
+/// One `parrot` subcommand.
+#[derive(Clone, Copy)]
+pub struct CommandSpec {
+    /// Subcommand name.
+    pub name: &'static str,
+    /// Positional-argument synopsis, e.g. `<MODEL> <APP>`.
+    pub positional: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Accepted flags.
+    pub flags: &'static [FlagSpec],
+}
+
+const FLAG_JSON: FlagSpec = FlagSpec {
+    name: "--json",
+    value: None,
+    help: "machine-readable JSON output",
+};
+const FLAG_INSTS: FlagSpec = FlagSpec {
+    name: "--insts",
+    value: Some("N"),
+    help: "committed-instruction budget",
+};
+const FLAG_OUT: FlagSpec = FlagSpec {
+    name: "--out",
+    value: Some("PATH"),
+    help: "write the artifact here instead of the default location",
+};
+const FLAG_ALL: FlagSpec = FlagSpec {
+    name: "--all",
+    value: None,
+    help: "every registered application",
+};
+const FLAG_MODEL: FlagSpec = FlagSpec {
+    name: "--model",
+    value: Some("M"),
+    help: "machine model (N W TN TW TON TOW TOS)",
+};
+const FLAG_FAULT_SEED: FlagSpec = FlagSpec {
+    name: "--fault-seed",
+    value: Some("S"),
+    help: "arm fault injection with this seed",
+};
+const FLAG_FAULT_RATE: FlagSpec = FlagSpec {
+    name: "--fault-rate",
+    value: Some("R"),
+    help: "per-opportunity fault probability",
+};
+
+/// Every `parrot` subcommand, in help order.
+pub const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "list-apps",
+        positional: "",
+        summary: "the 44 registered applications",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "list-models",
+        positional: "",
+        summary: "the 7 machine models",
+        flags: &[],
+    },
+    CommandSpec {
+        name: "run",
+        positional: "<MODEL> <APP>",
+        summary: "one simulation",
+        flags: &[FLAG_INSTS, FLAG_JSON, FLAG_FAULT_SEED, FLAG_FAULT_RATE],
+    },
+    CommandSpec {
+        name: "compare",
+        positional: "<MODEL> <MODEL> <APP>",
+        summary: "two models side by side with deltas",
+        flags: &[FLAG_INSTS],
+    },
+    CommandSpec {
+        name: "sweep",
+        positional: "<APP>",
+        summary: "all models on one application",
+        flags: &[FLAG_INSTS, FLAG_JSON],
+    },
+    CommandSpec {
+        name: "analyze",
+        positional: "<APP>",
+        summary: "whole-program CFG/loop analysis",
+        flags: &[FLAG_ALL, FLAG_JSON, FLAG_OUT],
+    },
+    CommandSpec {
+        name: "lint-traces",
+        positional: "<APP>",
+        summary: "uop-IR lint + validation gate",
+        flags: &[FLAG_ALL, FLAG_INSTS],
+    },
+    CommandSpec {
+        name: "soak",
+        positional: "",
+        summary: "seeded fault-injection campaign",
+        flags: &[
+            FLAG_MODEL,
+            FlagSpec {
+                name: "--seed",
+                value: Some("S"),
+                help: "campaign seed",
+            },
+            FlagSpec {
+                name: "--rates",
+                value: Some("R1,R2,.."),
+                help: "comma-separated fault rates",
+            },
+            FLAG_INSTS,
+            FLAG_JSON,
+        ],
+    },
+    CommandSpec {
+        name: "bench",
+        positional: "",
+        summary: "CIPS baseline / CI perf gate",
+        flags: &[
+            FLAG_INSTS,
+            FlagSpec {
+                name: "--check",
+                value: None,
+                help: "gate against the committed baseline instead of rewriting it",
+            },
+            FlagSpec {
+                name: "--tolerance",
+                value: Some("T"),
+                help: "allowed fractional regression (default 0.10)",
+            },
+            FLAG_OUT,
+        ],
+    },
+    CommandSpec {
+        name: "capture",
+        positional: "<APP>",
+        summary: "write .ptrace captures",
+        flags: &[
+            FLAG_ALL,
+            FLAG_INSTS,
+            FlagSpec {
+                name: "--slice",
+                value: Some("N"),
+                help: "instructions per compressed slice",
+            },
+            FlagSpec {
+                name: "--dir",
+                value: Some("DIR"),
+                help: "corpus directory (default corpus/)",
+            },
+            FLAG_OUT,
+        ],
+    },
+    CommandSpec {
+        name: "replay",
+        positional: "<FILE | APP>",
+        summary: "replay a capture through a model",
+        flags: &[
+            FLAG_MODEL,
+            FLAG_INSTS,
+            FLAG_JSON,
+            FlagSpec {
+                name: "--verify",
+                value: None,
+                help: "diff stream and report against the live engine",
+            },
+            FLAG_FAULT_SEED,
+            FLAG_FAULT_RATE,
+        ],
+    },
+    CommandSpec {
+        name: "sample",
+        positional: "<APP..>",
+        summary: "sampled-vs-full fidelity measurement",
+        flags: &[
+            FLAG_ALL,
+            FLAG_INSTS,
+            FlagSpec {
+                name: "--interval",
+                value: Some("N"),
+                help: "sampling interval (instructions)",
+            },
+            FlagSpec {
+                name: "--warmup",
+                value: Some("N"),
+                help: "detailed warmup per sample",
+            },
+            FlagSpec {
+                name: "--k",
+                value: Some("K"),
+                help: "max phase clusters",
+            },
+            FlagSpec {
+                name: "--tol",
+                value: Some("T"),
+                help: "fail if any per-suite geomean error exceeds T",
+            },
+            FLAG_OUT,
+            FlagSpec {
+                name: "--fresh",
+                value: None,
+                help: "start the merged report file over",
+            },
+            FLAG_JSON,
+        ],
+    },
+    CommandSpec {
+        name: "serve",
+        positional: "",
+        summary: "admission-controlled HTTP simulation service",
+        flags: &[
+            FlagSpec {
+                name: "--addr",
+                value: Some("HOST:PORT"),
+                help: "bind address (default 127.0.0.1:8040)",
+            },
+            FlagSpec {
+                name: "--queue-cap",
+                value: Some("N"),
+                help: "max jobs queued or running (default 64)",
+            },
+            FlagSpec {
+                name: "--shed-mark",
+                value: Some("N"),
+                help: "load at which sim/sweep jobs shed to sampled mode (default 16)",
+            },
+            FlagSpec {
+                name: "--cache-cap",
+                value: Some("N"),
+                help: "result-cache capacity in documents (default 64)",
+            },
+        ],
+    },
+    CommandSpec {
+        name: "help",
+        positional: "[<COMMAND>]",
+        summary: "this message, or one command's full schema",
+        flags: &[],
+    },
+];
+
+/// Look up a subcommand in the table.
+pub fn command(name: &str) -> Option<&'static CommandSpec> {
+    COMMANDS.iter().find(|c| c.name == name)
+}
+
+/// Arguments parsed against one [`CommandSpec`].
+#[derive(Default)]
+#[derive(Debug)]
+pub struct Parsed {
+    /// Non-flag arguments, in order.
+    pub positionals: Vec<String>,
+    values: BTreeMap<&'static str, String>,
+    switches: Vec<&'static str>,
+}
+
+impl Parsed {
+    /// Was this boolean switch given?
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| *s == name)
+    }
+
+    /// The raw value of a value-taking flag, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A `u64` flag value. `Err` if given but unparseable.
+    pub fn u64_value(&self, name: &str) -> Result<Option<u64>, String> {
+        self.typed(name)
+    }
+
+    /// An `f64` flag value. `Err` if given but unparseable.
+    pub fn f64_value(&self, name: &str) -> Result<Option<f64>, String> {
+        self.typed(name)
+    }
+
+    /// A `usize` flag value. `Err` if given but unparseable.
+    pub fn usize_value(&self, name: &str) -> Result<Option<usize>, String> {
+        self.typed(name)
+    }
+
+    fn typed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("{name}: cannot parse {raw:?}")),
+        }
+    }
+}
+
+/// Parse `args` against `spec`. Unknown flags and missing flag values are
+/// errors (with the command's generated help appended), not silently
+/// ignored.
+pub fn parse_command(spec: &CommandSpec, args: &[String]) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if !a.starts_with("--") {
+            out.positionals.push(a.clone());
+            continue;
+        }
+        let Some(flag) = spec.flags.iter().find(|f| f.name == a.as_str()) else {
+            return Err(format!(
+                "{}: unknown flag {a}\n{}",
+                spec.name,
+                help_text(spec)
+            ));
+        };
+        match flag.value {
+            None => out.switches.push(flag.name),
+            Some(placeholder) => match it.next() {
+                Some(v) => {
+                    out.values.insert(flag.name, v.clone());
+                }
+                None => {
+                    return Err(format!(
+                        "{}: {} requires a value <{placeholder}>",
+                        spec.name, flag.name
+                    ));
+                }
+            },
+        }
+    }
+    Ok(out)
+}
+
+/// The one-line synopsis of a command (used in the overall usage).
+pub fn synopsis(spec: &CommandSpec) -> String {
+    let mut s = format!("parrot {}", spec.name);
+    if !spec.positional.is_empty() {
+        s.push(' ');
+        s.push_str(spec.positional);
+    }
+    for f in spec.flags {
+        match f.value {
+            None => s.push_str(&format!(" [{}]", f.name)),
+            Some(v) => s.push_str(&format!(" [{} {v}]", f.name)),
+        }
+    }
+    s
+}
+
+/// The full generated help for one command (`parrot help <cmd>`).
+pub fn help_text(spec: &CommandSpec) -> String {
+    let mut s = format!("{}\n  {}\n", synopsis(spec), spec.summary);
+    if !spec.flags.is_empty() {
+        s.push_str("  flags:\n");
+        for f in spec.flags {
+            let head = match f.value {
+                None => f.name.to_string(),
+                Some(v) => format!("{} {v}", f.name),
+            };
+            s.push_str(&format!("    {head:<24}{}\n", f.help));
+        }
+    }
+    s.push_str(
+        "  shared: --jobs N, -v/-q, --trace-out FILE, --metrics-out FILE, \
+         --metrics-interval N, --sample N, --profile\n",
+    );
+    s
+}
+
+/// The overall generated usage text (`parrot help`, or any parse failure).
+pub fn usage_text() -> String {
+    let mut s = String::from("usage:\n");
+    for c in COMMANDS {
+        s.push_str(&format!("  parrot {:<12} {}\n", c.name, c.summary));
+    }
+    s.push_str("run `parrot help <command>` for a command's full schema\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +626,51 @@ mod tests {
         // Installed sinks exist; drop them without writing.
         assert!(parrot_telemetry::trace::take().is_some());
         assert!(parrot_telemetry::metrics::take().is_some());
+    }
+
+    fn strs(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn the_table_parser_separates_positionals_switches_and_values() {
+        let spec = command("run").expect("run is in the table");
+        let p = parse_command(
+            spec,
+            &strs(&["TON", "gcc", "--insts", "5000", "--json"]),
+        )
+        .unwrap();
+        assert_eq!(p.positionals, ["TON", "gcc"]);
+        assert!(p.switch("--json"));
+        assert_eq!(p.u64_value("--insts").unwrap(), Some(5000));
+        assert_eq!(p.u64_value("--fault-seed").unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_flags_and_missing_values_are_errors() {
+        let spec = command("run").unwrap();
+        let e = parse_command(spec, &strs(&["TON", "gcc", "--frobnicate"])).unwrap_err();
+        assert!(e.contains("unknown flag --frobnicate"));
+        assert!(e.contains("parrot run"), "the error carries generated help");
+        let e = parse_command(spec, &strs(&["TON", "gcc", "--insts"])).unwrap_err();
+        assert!(e.contains("--insts requires a value"));
+        let p = parse_command(spec, &strs(&["TON", "gcc", "--insts", "lots"])).unwrap();
+        assert!(p.u64_value("--insts").is_err());
+    }
+
+    #[test]
+    fn every_command_generates_help_and_the_usage_lists_them_all() {
+        let usage = usage_text();
+        for c in COMMANDS {
+            assert!(usage.contains(c.name), "usage must list {}", c.name);
+            let help = help_text(c);
+            assert!(help.contains(c.summary));
+            for f in c.flags {
+                assert!(help.contains(f.name), "{} help must list {}", c.name, f.name);
+            }
+        }
+        // The shared flags are documented exactly once per help page.
+        assert!(help_text(command("serve").unwrap()).contains("--jobs N"));
     }
 
     #[test]

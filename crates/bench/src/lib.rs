@@ -20,7 +20,9 @@
 
 #![warn(missing_docs)]
 
-use parrot_core::{build_plan, FaultPlan, Model, SampleWarmth, SamplingSpec, SimReport, SimRequest};
+use parrot_core::{
+    build_plan, FaultKind, FaultPlan, Model, SampleWarmth, SamplingSpec, SimReport, SimRequest,
+};
 use parrot_energy::metrics::{cmpw_relative, geo_mean};
 use parrot_telemetry::json::Value;
 use parrot_telemetry::shard::SweepSession;
@@ -35,6 +37,7 @@ pub mod cips;
 pub mod cli;
 pub mod microbench;
 pub mod sample;
+pub mod serve_backend;
 pub mod soak;
 pub mod xval;
 
@@ -245,6 +248,52 @@ impl SweepConfig {
         self.faults.as_ref()
     }
 
+    /// The canonical serialized form of this configuration: a
+    /// deterministic, versioned JSON value carrying exactly the knobs that
+    /// determine the sweep's report bytes. The CLI and `parrot serve`
+    /// share this form — a sweep job submitted over HTTP and the same
+    /// sweep run from the command line canonicalize identically, which is
+    /// what lets the serve result cache treat them as the same work.
+    ///
+    /// Worker count, cache/replay directories, and prebuilt handles are
+    /// deliberately absent: they change scheduling or where bytes come
+    /// from, never what the reports say. Seeds are hex strings because
+    /// they use all 64 bits and a JSON number only carries 53.
+    pub fn canonical(&self) -> Value {
+        let mut fields = vec![
+            ("v", Value::int(parrot_core::CANONICAL_VERSION)),
+            ("insts", Value::int(self.insts)),
+            ("loop_aware", Value::Bool(self.loop_aware)),
+        ];
+        if let Some(plan) = &self.faults {
+            let kinds = FaultKind::ALL
+                .iter()
+                .filter(|k| plan.enabled(**k))
+                .map(|k| Value::Str(k.name().to_string()))
+                .collect();
+            fields.push((
+                "faults",
+                Value::obj([
+                    ("seed", Value::Str(format!("{:#x}", plan.seed()))),
+                    ("rate", Value::Num(plan.rate_value())),
+                    ("kinds", Value::Arr(kinds)),
+                ]),
+            ));
+        }
+        if let Some(spec) = &self.sampling {
+            fields.push((
+                "sampling",
+                Value::obj([
+                    ("interval", Value::int(spec.interval)),
+                    ("warmup", Value::int(spec.warmup)),
+                    ("max_k", Value::int(spec.max_k as u64)),
+                    ("seed", Value::Str(format!("{:#x}", spec.seed))),
+                ]),
+            ));
+        }
+        Value::obj(fields)
+    }
+
     /// The cache fingerprint of this configuration. Equal to
     /// [`config_fingerprint`] when no faults are armed (existing cache
     /// files stay valid — no `CACHE_VERSION` bump); a fault plan folds its
@@ -381,15 +430,6 @@ impl ResultSet {
         ]);
         let _ = std::fs::write(&path, doc.to_json_pretty());
         set
-    }
-
-    /// Run the full (model × app) sweep on the environment's worker count.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `ResultSet::run_sweep_with(&SweepConfig::new().insts(n))`"
-    )]
-    pub fn run_sweep(insts: u64) -> ResultSet {
-        Self::run_sweep_with(&SweepConfig::from_env().insts(insts))
     }
 
     /// Run the full (model × app) sweep described by `cfg` on
@@ -606,6 +646,30 @@ fn env_root() -> String {
         .unwrap_or_else(|_| ".".to_string())
 }
 
+/// Schema version stamped into every `results/*.json` artifact
+/// (`soak.json`, `sampling.json`, `sweep_timings.json`,
+/// `trace_replay.json`). Bump when an artifact's layout changes;
+/// loaders — and therefore `reproduce` — refuse mismatched files
+/// instead of misreading them.
+pub const RESULTS_SCHEMA_VERSION: u64 = 1;
+
+/// Check an artifact's `schema_version` stamp. `None` (with a clear
+/// message on stderr) when the file was written by a different schema —
+/// the caller treats it as absent and the regeneration hint applies.
+pub fn check_results_schema(v: &Value, what: &str) -> Option<()> {
+    match v.get("schema_version").as_u64() {
+        Some(RESULTS_SCHEMA_VERSION) => Some(()),
+        found => {
+            eprintln!(
+                "{what}: schema_version {} does not match this build's {RESULTS_SCHEMA_VERSION} — \
+                 refusing to read it; regenerate the artifact",
+                found.map_or("missing".to_string(), |n| n.to_string()),
+            );
+            None
+        }
+    }
+}
+
 /// Where the `sweepbench` binary records measured sweep wall-clock numbers.
 pub fn timings_path() -> PathBuf {
     PathBuf::from(env_root()).join("results/sweep_timings.json")
@@ -636,6 +700,7 @@ pub fn trace_timings_path() -> PathBuf {
 pub fn trace_replay_markdown() -> Option<String> {
     let text = std::fs::read_to_string(trace_timings_path()).ok()?;
     let v = parrot_telemetry::json::parse(&text).ok()?;
+    check_results_schema(&v, "results/trace_replay.json")?;
     let insts = v.get("insts").as_u64()?;
     let rows = v.get("apps").as_arr()?;
     let mut md = String::new();
@@ -701,6 +766,7 @@ pub fn trace_replay_markdown() -> Option<String> {
 pub fn sweep_timing_markdown() -> Option<String> {
     let text = std::fs::read_to_string(timings_path()).ok()?;
     let v = parrot_telemetry::json::parse(&text).ok()?;
+    check_results_schema(&v, "results/sweep_timings.json")?;
     let insts = v.get("insts").as_u64()?;
     let rows = v.get("timings").as_arr()?;
     let mut md = String::new();
@@ -947,24 +1013,6 @@ mod tests {
             ..spec.clone()
         });
         assert_ne!(sa.fingerprint(), sb.fingerprint());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn new_sweep_api_is_byte_identical_to_the_legacy_entry_points() {
-        let cfg = SweepConfig::new().insts(1_500).jobs(2);
-        let new = ResultSet::run_sweep_with(&cfg);
-        let old = ResultSet::run_sweep(1_500);
-        for a in new.apps() {
-            for m in Model::ALL {
-                assert_eq!(
-                    new.get(m, a.name).to_json().to_json(),
-                    old.get(m, a.name).to_json().to_json(),
-                    "{m}/{} must be byte-identical across entry points",
-                    a.name
-                );
-            }
-        }
     }
 
     #[test]

@@ -128,7 +128,7 @@ impl SampleReport {
     /// The `results/sampling.json` document for this record.
     pub fn to_json(&self) -> Value {
         Value::obj([
-            ("schema", Value::int(SCHEMA)),
+            ("schema_version", Value::int(SCHEMA)),
             ("insts", Value::int(self.insts)),
             ("interval", Value::int(self.spec.interval)),
             ("warmup", Value::int(self.spec.warmup)),
@@ -144,7 +144,11 @@ impl SampleReport {
     /// Parse a `results/sampling.json` document; `None` on malformed
     /// input or a schema-version mismatch.
     pub fn from_json(v: &Value) -> Option<SampleReport> {
-        if v.get("schema").as_u64()? != SCHEMA {
+        if v.get("schema_version").as_u64()? != SCHEMA {
+            eprintln!(
+                "results/sampling.json: schema_version mismatch (this build writes {SCHEMA}) — \
+                 refusing to read it; re-run `parrot sample` with --fresh"
+            );
             return None;
         }
         let seed = v.get("seed").as_str()?;
@@ -445,7 +449,7 @@ mod tests {
     fn from_json_rejects_other_schema_versions() {
         let mut v = SampleReport::new(6_000, spec()).to_json();
         if let Value::Obj(m) = &mut v {
-            m.insert("schema".into(), Value::int(SCHEMA + 1));
+            m.insert("schema_version".into(), Value::int(SCHEMA + 1));
         }
         assert!(SampleReport::from_json(&v).is_none());
     }

@@ -173,6 +173,10 @@ impl SoakReport {
     /// rounded).
     pub fn to_json(&self) -> Value {
         Value::obj([
+            (
+                "schema_version",
+                Value::int(crate::RESULTS_SCHEMA_VERSION),
+            ),
             ("model", Value::Str(self.model.clone())),
             ("seed", Value::Str(format!("{:016x}", self.seed))),
             ("insts", Value::int(self.insts)),
@@ -205,6 +209,7 @@ impl SoakReport {
 
     /// Parse a `results/soak.json` document.
     pub fn from_json(v: &Value) -> Option<SoakReport> {
+        crate::check_results_schema(v, "results/soak.json")?;
         Some(SoakReport {
             model: v.get("model").as_str()?.to_string(),
             seed: u64::from_str_radix(v.get("seed").as_str()?, 16).ok()?,

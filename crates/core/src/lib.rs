@@ -35,10 +35,8 @@ mod warmth;
 
 pub use faults::{FaultCounters, FaultInjector, FaultKind, FaultPlan, FaultReport};
 pub use machine::Machine;
-#[allow(deprecated)]
-pub use machine::{simulate, simulate_config};
 pub use models::{MachineConfig, Model, TraceConfig};
 pub use parrot_sampling::{build_plan, SamplePlan, SamplingSpec};
 pub use report::{OptReport, SimReport, TraceReport};
-pub use request::{SimRequest, DEFAULT_INSTS};
+pub use request::{SimRequest, CANONICAL_VERSION, DEFAULT_INSTS};
 pub use warmth::{effective_warmup, SampleWarmth, BASELINE_DETAILED_WARMUP};

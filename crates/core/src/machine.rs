@@ -1087,26 +1087,3 @@ impl<'w> Machine<'w> {
         }
     }
 }
-
-/// Simulate `max_insts` committed instructions of `wl` on `model`.
-#[deprecated(
-    since = "0.6.0",
-    note = "use `SimRequest::model(model).insts(n).run(wl)`"
-)]
-pub fn simulate(model: Model, wl: &Workload, max_insts: u64) -> SimReport {
-    crate::request::SimRequest::model(model)
-        .insts(max_insts)
-        .run(wl)
-}
-
-/// Simulate `max_insts` committed instructions of `wl` on an arbitrary
-/// machine configuration.
-#[deprecated(
-    since = "0.6.0",
-    note = "use `SimRequest::config(cfg).insts(n).run(wl)`"
-)]
-pub fn simulate_config(cfg: MachineConfig, wl: &Workload, max_insts: u64) -> SimReport {
-    crate::request::SimRequest::config(cfg)
-        .insts(max_insts)
-        .run(wl)
-}

@@ -276,7 +276,7 @@ fn warm_pass(
         .expect("capture validated before warming");
     let mut oracle = OracleStream::from_source(src, last);
     let mut next = 0usize;
-    let mut snap = |ev: &SnapEvent,
+    let snap = |ev: &SnapEvent,
                     full: &mut Vec<Option<(MemHierarchy, HybridPredictor)>>,
                     data: &mut Vec<Option<MemHierarchy>>,
                     mem: &MemHierarchy,

@@ -121,23 +121,33 @@ fn budget_zero_is_a_clean_noop() {
 }
 
 // ---------------------------------------------------------------------------
-// Golden equivalence: the deprecated free functions are thin shims over
-// SimRequest and must produce byte-identical reports.
+// Canonical form: the serialized request is deterministic, versioned, and
+// distinguishes every knob that changes simulation output — it is the wire
+// schema's `config fingerprint` input, so two requests with equal canonical
+// bytes must produce byte-identical reports.
 // ---------------------------------------------------------------------------
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_are_byte_identical_to_sim_request() {
-    let w = wl("gcc");
-    let new = SimRequest::model(Model::TOW).insts(30_000).run(&w);
-    let old = parrot_core::simulate(Model::TOW, &w, 30_000);
-    assert_eq!(new.to_json().to_json(), old.to_json().to_json());
+fn canonical_form_is_deterministic_and_distinguishes_knobs() {
+    let base = SimRequest::model(Model::TOW).insts(30_000);
+    let a = base.clone().canonical().to_json();
+    let b = base.clone().canonical().to_json();
+    assert_eq!(a, b, "canonicalization is a pure function of the request");
 
-    let mut cfg = Model::TON.config();
-    cfg.name = "shim-check".to_string();
-    let new = SimRequest::config(cfg.clone()).insts(20_000).run(&w);
-    let old = parrot_core::simulate_config(cfg, &w, 20_000);
-    assert_eq!(new.to_json().to_json(), old.to_json().to_json());
+    let budget = base.clone().insts(40_000).canonical().to_json();
+    assert_ne!(a, budget, "budget must be visible in the canonical form");
+
+    let faulted = base
+        .clone()
+        .faults(FaultPlan::new(9).rate(0.01))
+        .canonical()
+        .to_json();
+    assert_ne!(a, faulted, "fault plan must be visible in the canonical form");
+
+    let mut cfg = Model::TOW.config();
+    cfg.name = "ablation".to_string();
+    let renamed = SimRequest::config(cfg).insts(30_000).canonical().to_json();
+    assert_ne!(a, renamed, "config name must be visible in the canonical form");
 }
 
 // ---------------------------------------------------------------------------

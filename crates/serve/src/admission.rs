@@ -1,0 +1,249 @@
+//! Layer 2 of the service: admission control and accounting.
+//!
+//! The queue is bounded and every kind has its own budget — the server
+//! never queues unboundedly. Under overload the controller degrades in
+//! two steps, mirroring the paper's selective economics (spend full
+//! fidelity only where it pays):
+//!
+//! 1. past the *shed mark*, simulation-shaped jobs are admitted in
+//!    SimPoint-sampled mode (DESIGN.md §18) — an order of magnitude
+//!    cheaper at bounded IPC/EPI error;
+//! 2. past the *queue cap* (or a kind's budget), jobs are rejected with
+//!    `Retry-After`.
+//!
+//! Every well-formed submission is counted exactly once in `admitted`
+//! and exactly once in a terminal bucket, so at quiescence
+//! `admitted == completed + shed + rejected (+ failed)` reconciles
+//! exactly. The `/v1/metrics` endpoint serves these counters as JSONL.
+
+use crate::wire::JobKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Admission-control tunables.
+#[derive(Clone, Debug)]
+pub struct AdmissionConfig {
+    /// Hard cap on jobs queued or running at once. At the cap, new work
+    /// is rejected.
+    pub queue_cap: usize,
+    /// Load (queued + running) at which sheddable kinds switch to
+    /// SimPoint-sampled mode. Must be `<= queue_cap` to ever matter.
+    pub shed_mark: usize,
+    /// Per-kind budgets over queued + running jobs, indexed by
+    /// [`JobKind::index`]. A kind at its budget is rejected even if the
+    /// global queue has room (one kind can't starve the rest).
+    pub kind_budget: [usize; JobKind::ALL.len()],
+    /// Seconds clients should wait before retrying a rejected job
+    /// (the `Retry-After` response header).
+    pub retry_after_s: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_cap: 64,
+            shed_mark: 16,
+            // sim, sweep, soak, replay_verify, analyze
+            kind_budget: [64, 8, 2, 16, 8],
+            retry_after_s: 2,
+        }
+    }
+}
+
+/// The admission decision for one submission.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decision {
+    /// Run at full fidelity.
+    Admit,
+    /// Run, but in SimPoint-sampled mode.
+    AdmitShed,
+    /// Turned away; the client should retry after the given delay.
+    Reject {
+        /// Suggested client back-off, in seconds.
+        retry_after_s: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// The service ledger. All counters are monotonic; `admitted` counts
+/// well-formed submissions entering admission, and each of those lands
+/// in exactly one of `completed` (full fidelity, including cache hits),
+/// `shed` (finished in sampled mode), `rejected`, or `failed`.
+#[derive(Default)]
+pub struct Counters {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl Counters {
+    /// One well-formed submission entered admission.
+    pub fn note_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A full-fidelity job finished (or was served from cache).
+    pub fn note_completed(&self) {
+        self.completed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A shed (sampled-mode) job finished.
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A submission was turned away.
+    pub fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A job's execution errored.
+    pub fn note_failed(&self) {
+        self.failed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// `(admitted, completed, shed, rejected, failed)`.
+    pub fn read(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.admitted.load(Ordering::Acquire),
+            self.completed.load(Ordering::Acquire),
+            self.shed.load(Ordering::Acquire),
+            self.rejected.load(Ordering::Acquire),
+            self.failed.load(Ordering::Acquire),
+        )
+    }
+
+    /// Does the ledger balance at quiescence (no job in flight)?
+    pub fn reconciles(&self) -> bool {
+        let (a, c, s, r, f) = self.read();
+        a == c + s + r + f
+    }
+
+    /// The `/v1/metrics` JSONL snapshot: one counter per line, in the
+    /// same `{"counter": ..., "value": ...}` row shape the rest of the
+    /// telemetry stack uses.
+    pub fn to_jsonl(&self) -> String {
+        let (a, c, s, r, f) = self.read();
+        let rows = [
+            ("serve:admitted", a),
+            ("serve:completed", c),
+            ("serve:shed", s),
+            ("serve:rejected", r),
+            ("serve:failed", f),
+        ];
+        let mut out = String::new();
+        for (name, v) in rows {
+            out.push_str(&format!("{{\"counter\":\"{name}\",\"value\":{v}}}\n"));
+        }
+        out
+    }
+}
+
+/// Decide one submission against current load.
+///
+/// `active` and `per_kind` are the queued + running counts from the job
+/// table (cache hits never occupy a slot). The caller holds no lock:
+/// admission races are benign — the budgets bound memory, they don't
+/// promise an exact high-water mark.
+pub fn decide(
+    cfg: &AdmissionConfig,
+    kind: JobKind,
+    active: usize,
+    per_kind: &[usize; JobKind::ALL.len()],
+) -> Decision {
+    if active >= cfg.queue_cap {
+        return Decision::Reject {
+            retry_after_s: cfg.retry_after_s,
+            reason: format!("queue full ({} jobs in flight)", active),
+        };
+    }
+    if per_kind[kind.index()] >= cfg.kind_budget[kind.index()] {
+        return Decision::Reject {
+            retry_after_s: cfg.retry_after_s,
+            reason: format!(
+                "kind {kind} at its budget ({} in flight)",
+                per_kind[kind.index()]
+            ),
+        };
+    }
+    if active >= cfg.shed_mark && kind.sheddable() {
+        return Decision::AdmitShed;
+    }
+    Decision::Admit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded(n: usize, kind: JobKind, k: usize) -> [usize; JobKind::ALL.len()] {
+        let mut per = [0usize; JobKind::ALL.len()];
+        per[kind.index()] = k.min(n);
+        per
+    }
+
+    #[test]
+    fn under_light_load_everything_is_admitted_at_full_fidelity() {
+        let cfg = AdmissionConfig::default();
+        for kind in JobKind::ALL {
+            let d = decide(&cfg, kind, 0, &loaded(0, kind, 0));
+            assert_eq!(d, Decision::Admit, "{kind}");
+        }
+    }
+
+    #[test]
+    fn past_the_shed_mark_simulation_kinds_degrade_and_others_do_not() {
+        let cfg = AdmissionConfig::default();
+        let at = cfg.shed_mark;
+        assert_eq!(
+            decide(&cfg, JobKind::Sim, at, &loaded(at, JobKind::Sim, at)),
+            Decision::AdmitShed
+        );
+        assert_eq!(
+            decide(&cfg, JobKind::Analyze, at, &loaded(at, JobKind::Analyze, 1)),
+            Decision::Admit,
+            "analyze can't be sampled, and there's still room, so it runs whole"
+        );
+    }
+
+    #[test]
+    fn the_queue_cap_and_kind_budgets_reject_with_retry_after() {
+        let cfg = AdmissionConfig::default();
+        let full = decide(
+            &cfg,
+            JobKind::Sim,
+            cfg.queue_cap,
+            &loaded(cfg.queue_cap, JobKind::Sim, cfg.queue_cap),
+        );
+        assert!(
+            matches!(full, Decision::Reject { retry_after_s, .. } if retry_after_s == cfg.retry_after_s)
+        );
+        // Soak has a budget of 2: the third concurrent soak is rejected
+        // even though the global queue is nearly empty.
+        let d = decide(&cfg, JobKind::Soak, 2, &loaded(2, JobKind::Soak, 2));
+        assert!(matches!(d, Decision::Reject { .. }));
+    }
+
+    #[test]
+    fn the_ledger_reconciles_when_every_admission_reaches_a_terminal_bucket() {
+        let c = Counters::default();
+        for _ in 0..5 {
+            c.note_admitted();
+        }
+        c.note_completed();
+        c.note_completed();
+        c.note_shed();
+        c.note_rejected();
+        assert!(!c.reconciles(), "one admission still in flight");
+        c.note_failed();
+        assert!(c.reconciles());
+        let jsonl = c.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 5);
+        for line in jsonl.lines() {
+            assert!(parrot_telemetry::json::parse(line).is_ok(), "{line}");
+        }
+        assert!(jsonl.contains("{\"counter\":\"serve:admitted\",\"value\":5}"));
+    }
+}

@@ -6,6 +6,14 @@
 //! are written without a decimal point; that covers every counter the
 //! simulator produces.
 //!
+//! The parser is also the `parrot serve` wire codec, so it must be safe on
+//! *untrusted* input: every malformed document — truncated, deeply nested,
+//! non-finite numbers, invalid escapes — yields a structured [`ParseError`]
+//! with a byte offset, never a panic or unbounded recursion. Nesting is
+//! capped at [`MAX_DEPTH`]; duplicate object keys keep the last value
+//! (deterministic, RFC 8259-permitted); numbers that overflow `f64` to
+//! infinity are rejected rather than silently becoming `null` on re-write.
+//!
 //! ```
 //! use parrot_telemetry::json::{parse, Value};
 //!
@@ -241,6 +249,12 @@ pub fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container nesting depth the parser accepts. Recursive-descent
+/// parsing consumes stack per level; the cap turns a hostile
+/// `[[[[…]]]]` document into a structured error instead of a stack
+/// overflow. Real telemetry/wire documents nest a handful of levels.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse error with a byte offset into the input.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
@@ -267,6 +281,7 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -280,6 +295,7 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -331,12 +347,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Value, ParseError> {
         self.eat(b'[', "expected '['")?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -347,6 +373,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -356,10 +383,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value, ParseError> {
         self.eat(b'{', "expected '{'")?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(map));
         }
         loop {
@@ -369,12 +398,14 @@ impl<'a> Parser<'a> {
             self.eat(b':', "expected ':'")?;
             self.skip_ws();
             let val = self.value()?;
+            // Duplicate keys: last one wins, deterministically.
             map.insert(key, val);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(map));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -461,11 +492,22 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
+        // Strict RFC 8259 grammar, not `f64::from_str`'s: the std parser
+        // accepts `"1."`, `".5"`, and `"inf"`, none of which are JSON.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("invalid number"));
+            }
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
             }
@@ -475,16 +517,29 @@ impl<'a> Parser<'a> {
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("invalid number"));
+            }
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
             }
         }
         let s = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
-        s.parse::<f64>().map(Value::Num).map_err(|_| ParseError {
+        let n = s.parse::<f64>().map_err(|_| ParseError {
             offset: start,
             message: "invalid number",
-        })
+        })?;
+        // `"1e999".parse::<f64>()` is Ok(inf): reject it here, or a hostile
+        // document would round-trip to `null` and corrupt re-serialized
+        // output downstream.
+        if !n.is_finite() {
+            return Err(ParseError {
+                offset: start,
+                message: "number out of range",
+            });
+        }
+        Ok(Value::Num(n))
     }
 }
 

@@ -77,11 +77,90 @@
 //! ```
 
 use crate::{metrics, profile, trace};
-use std::sync::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Run label of the final merged metrics row appended by
 /// [`SweepSession::finish`].
 pub const MERGED_RUN_LABEL: &str = "sweep:total";
+
+/// A shared progress feed for long-running sweeps, drained from the
+/// sharded telemetry merge: every time a completed work item's shard is
+/// absorbed into the base sinks (strictly in item order — see the module
+/// docs), the counter ticks. `parrot serve` installs one per job with
+/// [`install_progress`] before handing the job to the sweep runner, then
+/// reads `done/total` from other threads to answer job-status queries
+/// while the sweep is still running.
+#[derive(Debug, Default)]
+pub struct Progress {
+    done: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Progress {
+    /// A fresh handle expecting `total` work items.
+    pub fn new(total: u64) -> Arc<Progress> {
+        Arc::new(Progress {
+            done: AtomicU64::new(0),
+            total: AtomicU64::new(total),
+        })
+    }
+
+    /// Work items drained so far (monotonic, in item order).
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Expected total work items (0 when unknown).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Acquire)
+    }
+
+    /// Record one more drained work item.
+    pub fn tick(&self) {
+        self.done.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Reset the expected total (a runner that discovers its work list
+    /// late may correct the estimate).
+    pub fn set_total(&self, total: u64) {
+        self.total.store(total, Ordering::Release);
+    }
+}
+
+thread_local! {
+    static PROGRESS: RefCell<Option<Arc<Progress>>> = const { RefCell::new(None) };
+}
+
+/// Install a progress handle on the current thread. The next
+/// [`SweepSession::begin`] on this thread captures it and ticks it once
+/// per drained work-item shard; the caller keeps (a clone of) the `Arc`
+/// and may read it from any thread.
+pub fn install_progress(p: Arc<Progress>) {
+    PROGRESS.with(|slot| *slot.borrow_mut() = Some(p));
+}
+
+/// Remove and return the current thread's progress handle, if any.
+pub fn take_progress() -> Option<Arc<Progress>> {
+    PROGRESS.with(|slot| slot.borrow_mut().take())
+}
+
+/// Tick the current thread's installed progress handle, if any. Lets a
+/// serial loop report per-step progress through the same channel the
+/// sweep runner uses, without the caller having to thread the handle —
+/// and compiles to a no-op when nothing is installed (the CLI path).
+pub fn tick_installed_progress() {
+    PROGRESS.with(|slot| {
+        if let Some(p) = slot.borrow().as_ref() {
+            p.tick();
+        }
+    });
+}
+
+fn current_progress() -> Option<Arc<Progress>> {
+    PROGRESS.with(|slot| slot.borrow().clone())
+}
 
 /// Sinks collected from one completed work item.
 struct Shard {
@@ -116,14 +195,18 @@ pub struct SweepSession {
     /// Held while draining shards into the base sinks; `try_lock` so at
     /// most one worker drains and drain order stays strictly item order.
     drain: Mutex<()>,
+    /// Progress feed captured from the calling thread ([`install_progress`]);
+    /// ticked once per drained work-item shard.
+    progress: Option<Arc<Progress>>,
 }
 
 impl SweepSession {
     /// Capture the calling thread's installed sinks into a session, or
-    /// `None` when no sink is installed (the sweep then needs no telemetry
-    /// bookkeeping at all).
+    /// `None` when no sink (and no progress handle) is installed — the
+    /// sweep then needs no telemetry bookkeeping at all.
     pub fn begin() -> Option<SweepSession> {
-        if !trace::active() && !metrics::active() && !profile::active() {
+        let progress = current_progress();
+        if !trace::active() && !metrics::active() && !profile::active() && progress.is_none() {
             return None;
         }
         let t = trace::take();
@@ -139,6 +222,7 @@ impl SweepSession {
             base_profile: Mutex::new(p),
             pending: Mutex::new(Pending::default()),
             drain: Mutex::new(()),
+            progress,
         })
     }
 
@@ -228,6 +312,9 @@ impl SweepSession {
                 base.absorb_worker(shard.worker, p);
             }
         }
+        if let Some(progress) = &self.progress {
+            progress.tick();
+        }
     }
 
     /// Drain every remaining shard (in work-item order) into the captured
@@ -254,6 +341,9 @@ impl SweepSession {
             }
             if let (Some(base), Some(p)) = (profiler.as_mut(), shard.profiler) {
                 base.absorb_worker(shard.worker, p);
+            }
+            if let Some(progress) = &self.progress {
+                progress.tick();
             }
         }
         if let Some(t) = tracer {
@@ -348,6 +438,32 @@ mod tests {
         assert_eq!(p.worker_section(1, "machine.run").unwrap().0, 1);
         let report = p.report();
         assert!(report.contains("per-worker attribution"));
+    }
+
+    #[test]
+    fn progress_ticks_in_item_order_without_other_sinks() {
+        // A progress handle alone is enough to get a session: serve jobs
+        // want incremental status even when no trace/metrics sink is on.
+        let p = Progress::new(3);
+        install_progress(Arc::clone(&p));
+        let session = SweepSession::begin().expect("progress handle installed");
+        assert_eq!(p.done(), 0);
+        // Item 1 completes first: nothing drains (item 0 not ready).
+        session.install_item();
+        session.collect_item(1, 0);
+        assert_eq!(p.done(), 0, "drain is strictly in item order");
+        // Item 0 completes: both drain.
+        session.install_item();
+        session.collect_item(0, 1);
+        assert_eq!(p.done(), 2);
+        // Item 2 arrives only at finish.
+        session.install_item();
+        session.collect_item(7, 0); // non-contiguous: drained at finish
+        session.finish();
+        assert_eq!(p.done(), 3);
+        assert_eq!(p.total(), 3);
+        assert!(take_progress().is_some(), "handle stays installed");
+        assert!(take_progress().is_none());
     }
 
     #[test]
